@@ -1,0 +1,129 @@
+// Ablations of FedCav's design choices (DESIGN.md §4):
+//  1. clip policy        — none / mean (Algorithm 1) / 75th-pct quantile
+//  2. softmax temperature— τ ∈ {0.5, 1, 2, 4}; τ→∞ degrades to uniform
+//  3. sampler policy     — uniform (paper) / round-robin / loss-biased
+// Each ablation runs the σ=900 digits workload and reports converged
+// accuracy + oscillation.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/core/fedcav.hpp"
+#include "src/utils/logging.hpp"
+
+namespace {
+
+using namespace fedcav;
+using namespace fedcav::bench;
+
+struct Outcome {
+  double converged = 0.0;
+  double best = 0.0;
+  double oscillation = 0.0;
+};
+
+Outcome run(const Scale& scale, std::uint64_t seed,
+            std::unique_ptr<fl::AggregationStrategy> strategy,
+            fl::SamplerPolicy sampler = fl::SamplerPolicy::kUniform) {
+  fl::SimulationConfig config = make_config(scale, "digits", "lenet5", "fedavg", seed);
+  config.partition.scheme = data::PartitionScheme::kNonIidImbalanced;
+  config.partition.sigma = 900.0;
+  config.server.sampler = sampler;
+  fl::Simulation sim = fl::build_simulation(config);
+
+  // Swap the placeholder strategy for the ablated one by rebuilding the
+  // server path: easiest is a fresh server sharing the same data/seed.
+  Rng rng(config.seed);
+  const nn::ModelBuilder builder = nn::model_builder(config.model);
+  std::vector<std::unique_ptr<fl::Client>> clients;
+  for (std::size_t k = 0; k < sim.partition.size(); ++k) {
+    Rng model_rng = rng.fork();
+    clients.push_back(std::make_unique<fl::Client>(
+        k, sim.train.subset(sim.partition[k]), builder(model_rng), rng.fork()));
+  }
+  Rng global_rng(config.seed ^ 0xabcdef12345ULL);
+  fl::Server server(builder(global_rng), std::move(strategy), std::move(clients),
+                    sim.test, config.server);
+  server.run(scale.rounds);
+
+  Outcome outcome;
+  outcome.converged = server.history().converged_accuracy(5);
+  outcome.best = server.history().best_accuracy();
+  outcome.oscillation = accuracy_oscillation(server.history());
+  return outcome;
+}
+
+std::unique_ptr<fl::AggregationStrategy> fedcav_with(core::ClipPolicy clip,
+                                                     double temperature,
+                                                     double quantile = 0.75) {
+  core::ContributionConfig config;
+  config.clip = clip;
+  config.temperature = temperature;
+  config.quantile = quantile;
+  return std::make_unique<core::FedCavStrategy>(config);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("ablation_fedcav",
+                "ablate FedCav's clip policy, temperature, and sampler policy");
+  add_scale_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  set_log_level(LogLevel::kWarn);
+
+  const Scale scale = resolve_scale(cli);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::printf("== FedCav ablations: digits, sigma=900, %zu clients, %zu rounds ==\n\n",
+              scale.clients, scale.rounds);
+
+  {
+    std::printf("-- 1. clip policy (Algorithm 1 line 7; Fig. 5's knob) --\n");
+    MarkdownTable table({"clip", "converged_acc", "best_acc", "oscillation"});
+    struct Case {
+      const char* label;
+      core::ClipPolicy clip;
+    };
+    for (const Case c : {Case{"none", core::ClipPolicy::kNone},
+                         Case{"mean (paper)", core::ClipPolicy::kMean},
+                         Case{"quantile-0.75", core::ClipPolicy::kQuantile}}) {
+      const Outcome o = run(scale, seed, fedcav_with(c.clip, 1.0));
+      table.add_row({c.label, format_double(o.converged, 4), format_double(o.best, 4),
+                     format_double(o.oscillation, 4)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  {
+    std::printf("-- 2. softmax temperature (tau=1 is the paper's Eq. 9) --\n");
+    MarkdownTable table({"tau", "converged_acc", "best_acc", "oscillation"});
+    for (double tau : {0.5, 1.0, 2.0, 4.0}) {
+      const Outcome o = run(scale, seed, fedcav_with(core::ClipPolicy::kMean, tau));
+      table.add_row({format_double(tau, 1), format_double(o.converged, 4),
+                     format_double(o.best, 4), format_double(o.oscillation, 4)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  {
+    std::printf("-- 3. participant sampler (paper: uniform q=0.3) --\n");
+    MarkdownTable table({"sampler", "converged_acc", "best_acc"});
+    struct Case {
+      const char* label;
+      fl::SamplerPolicy policy;
+    };
+    for (const Case c : {Case{"uniform (paper)", fl::SamplerPolicy::kUniform},
+                         Case{"roundrobin", fl::SamplerPolicy::kRoundRobin},
+                         Case{"lossbiased", fl::SamplerPolicy::kLossBiased}}) {
+      const Outcome o =
+          run(scale, seed, fedcav_with(core::ClipPolicy::kMean, 1.0), c.policy);
+      table.add_row({c.label, format_double(o.converged, 4), format_double(o.best, 4)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  std::printf("Reading: mean-clip trades a little peak accuracy for stability; "
+              "large tau flattens weights toward FedAvg-like averaging; selection "
+              "policies interact with (not replace) contribution-aware weighting.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fig. 2 reproduction: FedAvg classification accuracy over communication
+// rounds on five data distributions — IID&balanced, non-IID&balanced,
+// and non-IID with σ = 300 / 600 / 900.
+//
+// Paper shape to reproduce: balanced distributions converge within a few
+// rounds; imbalance slows convergence and depresses final accuracy, and
+// the degradation grows with σ.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/utils/logging.hpp"
+
+namespace {
+
+using namespace fedcav;
+using namespace fedcav::bench;
+
+struct Distribution {
+  const char* label;
+  data::PartitionScheme scheme;
+  double sigma;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fedcav;
+  using namespace fedcav::bench;
+
+  CliParser cli("fig2_heterogeneity",
+                "Fig. 2: FedAvg accuracy vs rounds on 5 data distributions");
+  add_scale_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  set_log_level(LogLevel::kWarn);
+
+  const Scale scale = resolve_scale(cli);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const Distribution distributions[] = {
+      {"IID&balanced", data::PartitionScheme::kIidBalanced, 0.0},
+      {"non-IID&balanced", data::PartitionScheme::kNonIidBalanced, 0.0},
+      {"non-IID&sigma=300", data::PartitionScheme::kNonIidImbalanced, 300.0},
+      {"non-IID&sigma=600", data::PartitionScheme::kNonIidImbalanced, 600.0},
+      {"non-IID&sigma=900", data::PartitionScheme::kNonIidImbalanced, 900.0},
+  };
+
+  std::printf("== Fig. 2: FedAvg on SynthDigits (LeNet5Lite), %zu clients, "
+              "q=%.1f, %zu rounds ==\n",
+              scale.clients, scale.sample_ratio, scale.rounds);
+  print_history_csv_header();
+
+  MarkdownTable table({"distribution", "best_acc", "final_acc", "rounds_to_0.7"});
+  for (const Distribution& dist : distributions) {
+    fl::SimulationConfig config = make_config(scale, "digits", "lenet5", "fedavg", seed);
+    config.partition.scheme = dist.scheme;
+    config.partition.sigma = dist.sigma;
+    fl::Simulation sim = fl::build_simulation(config);
+    sim.server->run(scale.rounds);
+    const auto& history = sim.server->history();
+    print_history_csv("fig2", dist.label, history);
+
+    const auto to_target = history.rounds_to_accuracy(0.7);
+    table.add_row({dist.label, format_double(history.best_accuracy(), 4),
+                   format_double(history.back().test_accuracy, 4),
+                   to_target ? std::to_string(*to_target) : ">" + std::to_string(scale.rounds)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nExpected shape (paper): balanced curves converge fastest; "
+              "accuracy drops and instability grows as sigma rises.\n");
+  return 0;
+}

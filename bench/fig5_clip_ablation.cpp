@@ -1,0 +1,64 @@
+// Fig. 5 reproduction: FedCav with vs without inference-loss clipping on
+// the three datasets.
+//
+// Paper shape to reproduce: the un-clipped variant oscillates — sharp
+// accuracy drops where one client's extreme inference loss dominates a
+// round — while the clipped variant tracks a smooth curve. We report the
+// round-to-round accuracy-delta standard deviation ("oscillation") and
+// the worst single-round drop for both variants.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/utils/logging.hpp"
+
+namespace {
+
+double worst_drop(const fedcav::metrics::TrainingHistory& history) {
+  double worst = 0.0;
+  for (std::size_t i = 1; i < history.rounds(); ++i) {
+    worst = std::min(worst, history[i].test_accuracy - history[i - 1].test_accuracy);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fedcav;
+  using namespace fedcav::bench;
+
+  CliParser cli("fig5_clip_ablation", "Fig. 5: FedCav clip vs no-clip stability");
+  add_scale_flags(cli);
+  cli.add_string("datasets", "digits,fashion,cifar", "comma-separated dataset list");
+  if (!cli.parse(argc, argv)) return 0;
+  set_log_level(LogLevel::kWarn);
+
+  const Scale scale = resolve_scale(cli);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::printf("== Fig. 5: clip ablation, %zu clients, %zu rounds ==\n", scale.clients,
+              scale.rounds);
+  print_history_csv_header();
+
+  MarkdownTable table({"dataset", "variant", "best_acc", "oscillation", "worst_drop"});
+  for (const std::string& dataset : split(cli.get_string("datasets"), ',')) {
+    for (const char* strategy : {"fedcav", "fedcav-noclip"}) {
+      TunedPlan plan = tuned_plan(scale, dataset, strategy, seed);
+      plan.config.partition.scheme = data::PartitionScheme::kNonIidImbalanced;
+      plan.config.partition.sigma = 900.0;  // heavy imbalance maximizes loss spread
+      fl::Simulation sim = build_warmstarted(plan);
+      sim.server->run(scale.rounds);
+      const auto& history = sim.server->history();
+      const std::string series = dataset + "/" + strategy;
+      print_history_csv("fig5", series, history);
+      table.add_row({dataset, strategy, format_double(history.best_accuracy(), 4),
+                     format_double(accuracy_oscillation(history), 4),
+                     format_double(worst_drop(history), 4)});
+      std::fflush(stdout);
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nExpected shape (paper Fig. 5): the no-clip variant shows larger "
+              "oscillation and deeper single-round drops on every dataset.\n");
+  return 0;
+}

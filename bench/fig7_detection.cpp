@@ -1,0 +1,106 @@
+// Fig. 7 reproduction: detection + reverse under replacement attacks of
+// different strengths (20% / 50% / 80% label-poisoned malicious models).
+//
+// Paper shape to reproduce: the attack lands in round 4, the detector
+// fires in round 5 and reverses the global model to the cached one, so
+// accuracy snaps back immediately instead of re-training for many
+// rounds. Includes the fake-loss ablation: an attacker who also lies
+// about its inference loss poisons the Eq. 13 reference and suppresses
+// detection (the §6 authenticity caveat the paper defers to TEE).
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/attack/model_replacement.hpp"
+#include "src/utils/logging.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fedcav;
+  using namespace fedcav::bench;
+
+  CliParser cli("fig7_detection",
+                "Fig. 7: detection + reverse under 20/50/80% poisoned replacement");
+  add_scale_flags(cli);
+  cli.add_int("attack-round", 10, "round the adversary strikes (1-based)");
+  cli.add_flag("fake-loss-ablation", "also run an attacker that lies about its loss");
+  if (!cli.parse(argc, argv)) return 0;
+  set_log_level(LogLevel::kWarn);
+
+  Scale scale = resolve_scale(cli);
+  if (!cli.get_flag("paper") && cli.get_int("rounds") == 0) scale.rounds = 16;
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto attack_round = static_cast<std::size_t>(cli.get_int("attack-round"));
+
+  std::printf("== Fig. 7: detection + reverse, attack at round %zu, %zu rounds ==\n",
+              attack_round, scale.rounds);
+  print_history_csv_header();
+
+  MarkdownTable table({"poison", "detected_round", "reversed", "acc_before_attack",
+                       "acc_attack_round", "acc_after_reverse"});
+  for (double poison : {0.2, 0.5, 0.8}) {
+    fl::SimulationConfig config = make_config(scale, "digits", "lenet5", "fedcav", seed);
+    config.partition.scheme = data::PartitionScheme::kNonIidImbalanced;
+    config.partition.sigma = 600.0;
+    config.attack = "replacement";
+    config.attack_rounds = {attack_round};
+    config.attack_poison_fraction = poison;
+    config.server.detection_enabled = true;
+    fl::Simulation sim = fl::build_simulation(config);
+    sim.server->run(scale.rounds);
+    const auto& history = sim.server->history();
+    const std::string series = "poison=" + format_double(poison, 1);
+    print_history_csv("fig7", series, history);
+
+    std::size_t detected_round = 0;
+    bool reversed = false;
+    for (const auto& record : history.records()) {
+      if (record.detection_fired && detected_round == 0) detected_round = record.round;
+      if (record.reversed) reversed = true;
+    }
+    table.add_row(
+        {format_double(poison, 1),
+         detected_round > 0 ? std::to_string(detected_round) : "never",
+         reversed ? "yes" : "no",
+         format_double(history[attack_round - 2].test_accuracy, 4),
+         format_double(history[attack_round - 1].test_accuracy, 4),
+         format_double(history[std::min(history.rounds() - 1, attack_round + 1)].test_accuracy, 4)});
+    std::fflush(stdout);
+  }
+  std::printf("%s", table.render().c_str());
+
+  if (cli.get_flag("fake-loss-ablation")) {
+    std::printf("\n-- ablation: attacker also fakes a huge inference loss --\n");
+    // The library keeps reported_loss configurable on the adversary; the
+    // simulation builder wires the honest-report default, so replicate
+    // the wiring here with the lying variant.
+    fl::SimulationConfig config = make_config(scale, "digits", "lenet5", "fedcav", seed);
+    config.partition.scheme = data::PartitionScheme::kNonIidImbalanced;
+    config.partition.sigma = 600.0;
+    config.server.detection_enabled = true;
+    fl::Simulation sim = fl::build_simulation(config);
+
+    attack::ModelReplacementConfig attack_cfg;
+    attack_cfg.poison_fraction = 1.0;
+    attack_cfg.reported_loss = 50.0;  // the lie
+    Rng rng(seed ^ 0xbad);
+    data::Dataset shard = sim.train.subset(sim.partition.front());
+    auto adversary = std::make_shared<attack::ModelReplacementAdversary>(
+        std::move(shard), nn::model_builder("lenet5")(rng), config.server.local,
+        attack_cfg, Rng(seed ^ 0xdab));
+    sim.server->set_adversary(adversary, {attack_round});
+    sim.server->run(scale.rounds);
+
+    bool detected = false;
+    for (const auto& record : sim.server->history().records()) {
+      if (record.detection_fired) detected = true;
+    }
+    print_history_csv("fig7", "fake-loss", sim.server->history());
+    std::printf("fake-loss attacker detected: %s (paper defers loss authenticity "
+                "to TEE, SS6)\n",
+                detected ? "yes" : "NO - reference poisoned as predicted");
+  }
+
+  std::printf("\nExpected shape (paper Fig. 7): attack lands at round %zu, detection "
+              "fires at round %zu, reverse restores pre-attack accuracy immediately.\n",
+              attack_round, attack_round + 1);
+  return 0;
+}

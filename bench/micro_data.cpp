@@ -1,0 +1,83 @@
+// Microbenchmarks for the data substrate: synthesis, partitioning,
+// batching — the per-experiment setup costs.
+#include <benchmark/benchmark.h>
+
+#include "src/data/partition.hpp"
+#include "src/data/synthetic.hpp"
+#include "src/utils/rng.hpp"
+
+namespace {
+
+using namespace fedcav;
+
+void BM_SynthGenerate(benchmark::State& state) {
+  const auto per_class = static_cast<std::size_t>(state.range(0));
+  const data::SynthGenerator gen(data::synth_digits_config(1));
+  for (auto _ : state) {
+    Rng rng(2);
+    data::Dataset ds = gen.generate_balanced(per_class, rng);
+    benchmark::DoNotOptimize(&ds);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(per_class * 10));
+}
+BENCHMARK(BM_SynthGenerate)->Arg(10)->Arg(60);
+
+void BM_SynthGenerateCifar(benchmark::State& state) {
+  const data::SynthGenerator gen(data::synth_cifar_config(1));
+  for (auto _ : state) {
+    Rng rng(2);
+    data::Dataset ds = gen.generate_balanced(20, rng);
+    benchmark::DoNotOptimize(&ds);
+  }
+}
+BENCHMARK(BM_SynthGenerateCifar);
+
+void BM_PartitionImbalanced(benchmark::State& state) {
+  const auto clients = static_cast<std::size_t>(state.range(0));
+  const data::SynthGenerator gen(data::synth_digits_config(1));
+  Rng rng(3);
+  const data::Dataset ds = gen.generate_balanced(60, rng);
+  data::PartitionConfig config;
+  config.scheme = data::PartitionScheme::kNonIidImbalanced;
+  config.num_clients = clients;
+  config.sigma = 600.0;
+  for (auto _ : state) {
+    data::Partition part = data::make_partition(ds, config);
+    benchmark::DoNotOptimize(&part);
+  }
+}
+BENCHMARK(BM_PartitionImbalanced)->Arg(10)->Arg(100);
+
+void BM_PartitionDirichlet(benchmark::State& state) {
+  const data::SynthGenerator gen(data::synth_digits_config(1));
+  Rng rng(4);
+  const data::Dataset ds = gen.generate_balanced(60, rng);
+  data::PartitionConfig config;
+  config.scheme = data::PartitionScheme::kDirichlet;
+  config.num_clients = 100;
+  for (auto _ : state) {
+    data::Partition part = data::make_partition(ds, config);
+    benchmark::DoNotOptimize(&part);
+  }
+}
+BENCHMARK(BM_PartitionDirichlet);
+
+void BM_MakeBatch(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const data::SynthGenerator gen(data::synth_digits_config(1));
+  Rng rng(5);
+  const data::Dataset ds = gen.generate_balanced(30, rng);
+  std::vector<std::size_t> indices(batch);
+  for (std::size_t i = 0; i < batch; ++i) indices[i] = i;
+  std::vector<std::size_t> labels;
+  for (auto _ : state) {
+    Tensor b = ds.make_batch(indices, &labels);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch * ds.sample_numel() * sizeof(float)));
+}
+BENCHMARK(BM_MakeBatch)->Arg(10)->Arg(64);
+
+}  // namespace

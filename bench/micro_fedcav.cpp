@@ -1,0 +1,114 @@
+// Microbenchmarks for the FedCav core: contribution weighting,
+// aggregation, detection, and message serialization — the per-round
+// server-side costs as a function of cohort size and model size.
+#include <benchmark/benchmark.h>
+
+#include "src/comm/message.hpp"
+#include "src/core/contribution.hpp"
+#include "src/core/detector.hpp"
+#include "src/core/fedcav.hpp"
+#include "src/fl/fedavg.hpp"
+#include "src/utils/rng.hpp"
+
+namespace {
+
+using namespace fedcav;
+
+std::vector<fl::ClientUpdate> make_updates(std::size_t clients, std::size_t dim,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<fl::ClientUpdate> updates(clients);
+  for (std::size_t i = 0; i < clients; ++i) {
+    updates[i].client_id = i;
+    updates[i].inference_loss = rng.uniform(0.1, 4.0);
+    updates[i].num_samples = 10 + rng.uniform_int(std::uint64_t{100});
+    updates[i].weights.resize(dim);
+    for (auto& w : updates[i].weights) w = rng.uniform_f(-1.0f, 1.0f);
+  }
+  return updates;
+}
+
+void BM_ContributionWeights(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<double> losses(n);
+  for (auto& f : losses) f = rng.uniform(0.0, 5.0);
+  core::ContributionConfig config;
+  for (auto _ : state) {
+    auto w = core::contribution_weights(losses, config);
+    benchmark::DoNotOptimize(w.data());
+  }
+}
+BENCHMARK(BM_ContributionWeights)->Arg(10)->Arg(30)->Arg(100)->Arg(1000);
+
+void BM_FedCavAggregate(benchmark::State& state) {
+  const auto clients = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  auto updates = make_updates(clients, dim, 2);
+  nn::Weights global(dim, 0.0f);
+  core::FedCavStrategy strategy;
+  for (auto _ : state) {
+    nn::Weights out = strategy.aggregate(global, updates);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(clients * dim * sizeof(float)));
+}
+BENCHMARK(BM_FedCavAggregate)->Args({10, 12502})->Args({30, 12502})->Args({100, 12502});
+
+void BM_FedAvgAggregate(benchmark::State& state) {
+  const auto clients = static_cast<std::size_t>(state.range(0));
+  auto updates = make_updates(clients, 12502, 3);
+  nn::Weights global(12502, 0.0f);
+  fl::FedAvg strategy;
+  for (auto _ : state) {
+    nn::Weights out = strategy.aggregate(global, updates);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FedAvgAggregate)->Arg(30);
+
+void BM_DetectorCheck(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<double> losses(n);
+  for (auto& f : losses) f = rng.uniform(0.5, 2.0);
+  core::AnomalyDetector detector;
+  detector.commit(losses);
+  for (auto _ : state) {
+    auto result = detector.check(losses);
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(BM_DetectorCheck)->Arg(30)->Arg(1000);
+
+void BM_ClientReportEncode(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  comm::ClientReportMsg msg;
+  msg.round = 7;
+  msg.client_id = 3;
+  msg.num_samples = 60;
+  msg.inference_loss = 1.5;
+  msg.weights.assign(dim, 0.5f);
+  for (auto _ : state) {
+    ByteBuffer wire = msg.encode();
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim * sizeof(float)));
+}
+BENCHMARK(BM_ClientReportEncode)->Arg(12502);
+
+void BM_ClientReportDecode(benchmark::State& state) {
+  comm::ClientReportMsg msg;
+  msg.weights.assign(12502, 0.5f);
+  const ByteBuffer wire = msg.encode();
+  for (auto _ : state) {
+    ByteReader reader(wire);
+    comm::ClientReportMsg back = comm::ClientReportMsg::decode(reader);
+    benchmark::DoNotOptimize(back.weights.data());
+  }
+}
+BENCHMARK(BM_ClientReportDecode);
+
+}  // namespace

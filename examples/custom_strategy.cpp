@@ -1,0 +1,115 @@
+// Custom aggregation strategy: plug a user-defined rule into the
+// federated runtime. This example implements "FedMedian" — coordinate-
+// wise median aggregation (a classic Byzantine-robust rule) — entirely
+// outside the library, then races it against FedCav under a Byzantine
+// adversary.
+//
+//   ./example_custom_strategy [--rounds 12]
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "src/attack/loss_inflation.hpp"
+#include "src/fl/simulation.hpp"
+#include "src/utils/cli.hpp"
+#include "src/utils/logging.hpp"
+
+namespace {
+
+using namespace fedcav;
+
+/// Coordinate-wise median of the client updates. Robust to a minority of
+/// arbitrarily-corrupted updates at the cost of ignoring sample counts.
+class FedMedian : public fl::AggregationStrategy {
+ public:
+  nn::Weights aggregate(const nn::Weights& global,
+                        const std::vector<fl::ClientUpdate>& updates) override {
+    (void)global;
+    const std::size_t dim = updates.front().weights.size();
+    nn::Weights out(dim);
+    std::vector<float> column(updates.size());
+    for (std::size_t d = 0; d < dim; ++d) {
+      for (std::size_t u = 0; u < updates.size(); ++u) {
+        column[u] = updates[u].weights[d];
+      }
+      const std::size_t mid = column.size() / 2;
+      std::nth_element(column.begin(), column.begin() + static_cast<std::ptrdiff_t>(mid),
+                       column.end());
+      out[d] = column[mid];
+    }
+    return out;
+  }
+
+  std::vector<double> aggregation_weights(
+      const std::vector<fl::ClientUpdate>& updates) const override {
+    // The median has no per-client linear weights; report uniform ones
+    // for introspection purposes.
+    return std::vector<double>(updates.size(), 1.0 / static_cast<double>(updates.size()));
+  }
+
+  std::string name() const override { return "FedMedian"; }
+};
+
+metrics::TrainingHistory run_with(std::unique_ptr<fl::AggregationStrategy> strategy,
+                                  std::size_t rounds) {
+  // Build via the simulation config, then swap in the custom strategy by
+  // constructing the server directly from the same ingredients.
+  fl::SimulationConfig config;
+  config.dataset = "digits";
+  config.model = "mlp";
+  config.strategy = "fedavg";  // placeholder; replaced below
+  config.train_samples_per_class = 25;
+  config.test_samples_per_class = 15;
+  config.partition.scheme = data::PartitionScheme::kNonIidImbalanced;
+  config.partition.num_clients = 16;
+  config.partition.sigma = 600.0;
+  config.server.local.lr = 0.05f;
+  config.attack = "byzantine";
+  config.attack_rounds = {3, 6, 9};
+
+  fl::Simulation sim = fl::build_simulation(config);
+
+  // Rebuild clients around the same partition for the custom server.
+  Rng rng(config.seed);
+  const nn::ModelBuilder builder = nn::model_builder(config.model);
+  std::vector<std::unique_ptr<fl::Client>> clients;
+  for (std::size_t k = 0; k < sim.partition.size(); ++k) {
+    Rng model_rng = rng.fork();
+    clients.push_back(std::make_unique<fl::Client>(
+        k, sim.train.subset(sim.partition[k]), builder(model_rng), rng.fork()));
+  }
+  Rng global_rng(config.seed ^ 0xabcdef12345ULL);
+  fl::Server server(builder(global_rng), std::move(strategy), std::move(clients),
+                    sim.test, config.server);
+  server.set_adversary(std::make_shared<attack::ByzantineAdversary>(),
+                       {3, 6, 9});
+  server.run(rounds);
+  return server.history();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("custom_strategy",
+                "user-defined FedMedian strategy vs FedCav under Byzantine noise");
+  cli.add_int("rounds", 12, "communication rounds");
+  if (!cli.parse(argc, argv)) return 0;
+  set_log_level(LogLevel::kWarn);
+
+  const auto rounds = static_cast<std::size_t>(cli.get_int("rounds"));
+  const metrics::TrainingHistory median = run_with(std::make_unique<FedMedian>(), rounds);
+  const metrics::TrainingHistory fedcav =
+      run_with(fl::make_strategy("fedcav"), rounds);
+
+  std::printf("%-7s %-12s %-12s   (Byzantine noise injected in rounds 3, 6, 9)\n",
+              "round", "FedMedian", "FedCav");
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::printf("%-7zu %-12.3f %-12.3f\n", r + 1, median[r].test_accuracy,
+                fedcav[r].test_accuracy);
+  }
+  std::printf("\nFedMedian rides through the corrupted rounds (median discards the "
+              "outlier update); FedCav dips and re-converges. Writing a strategy "
+              "takes ~30 lines: subclass fl::AggregationStrategy and hand it to "
+              "fl::Server.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Heterogeneity study: sweep the partition schemes and the imbalance
+// factor sigma on one dataset, printing the distribution statistics
+// (classes per client, client/global divergence) next to the training
+// outcome — a compact version of the paper's §3 observation study.
+//
+//   ./example_heterogeneity_study [--dataset digits] [--rounds 12]
+#include <cstdio>
+
+#include "src/data/stats.hpp"
+#include "src/fl/simulation.hpp"
+#include "src/utils/cli.hpp"
+#include "src/utils/csv.hpp"
+#include "src/utils/logging.hpp"
+#include "src/utils/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fedcav;
+
+  CliParser cli("heterogeneity_study",
+                "sweep partition schemes and sigma; report divergence vs accuracy");
+  cli.add_string("dataset", "digits", "digits | fashion | cifar");
+  cli.add_string("strategy", "fedavg", "aggregation strategy under test");
+  cli.add_int("rounds", 12, "communication rounds per setting");
+  cli.add_int("clients", 24, "number of clients");
+  if (!cli.parse(argc, argv)) return 0;
+  set_log_level(LogLevel::kWarn);
+
+  struct Setting {
+    const char* label;
+    data::PartitionScheme scheme;
+    double sigma;
+  };
+  const Setting settings[] = {
+      {"iid", data::PartitionScheme::kIidBalanced, 0.0},
+      {"noniid-2shard", data::PartitionScheme::kNonIidBalanced, 0.0},
+      {"imbalanced sigma=300", data::PartitionScheme::kNonIidImbalanced, 300.0},
+      {"imbalanced sigma=900", data::PartitionScheme::kNonIidImbalanced, 900.0},
+      {"dirichlet alpha=0.3", data::PartitionScheme::kDirichlet, 0.0},
+  };
+
+  MarkdownTable table({"partition", "mean classes/client", "divergence", "best_acc",
+                       "rounds_to_0.5"});
+  for (const Setting& setting : settings) {
+    fl::SimulationConfig config;
+    config.dataset = cli.get_string("dataset");
+    config.model = config.dataset == "cifar" ? "resnet" : "lenet5";
+    config.strategy = cli.get_string("strategy");
+    config.train_samples_per_class = 30;
+    config.test_samples_per_class = 20;
+    config.partition.scheme = setting.scheme;
+    config.partition.sigma = setting.sigma;
+    config.partition.dirichlet_alpha = 0.3;
+    config.partition.num_clients = static_cast<std::size_t>(cli.get_int("clients"));
+    config.server.local.lr = 0.05f;
+
+    fl::Simulation sim = fl::build_simulation(config);
+
+    const auto classes = data::classes_per_client(sim.train, sim.partition);
+    double mean_classes = 0.0;
+    for (std::size_t c : classes) mean_classes += static_cast<double>(c);
+    mean_classes /= static_cast<double>(classes.size());
+    const double divergence = data::mean_client_divergence(sim.train, sim.partition);
+
+    sim.server->run(static_cast<std::size_t>(cli.get_int("rounds")));
+    const auto to_half = sim.server->history().rounds_to_accuracy(0.5);
+
+    table.add_row({setting.label, format_double(mean_classes, 1),
+                   format_double(divergence, 3),
+                   format_double(sim.server->history().best_accuracy(), 4),
+                   to_half ? std::to_string(*to_half) : "n/a"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nReading: divergence (total-variation distance between client and "
+              "global class mix) predicts slower convergence and lower accuracy — "
+              "the paper's SS3 observation.\n");
+  return 0;
+}

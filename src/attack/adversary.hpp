@@ -1,0 +1,40 @@
+// Adversary interface for the threat-model experiments (§4.4, Figs. 6-7).
+//
+// An adversary intercepts the update a compromised client would have
+// sent and replaces it with a crafted one. The server never sees this
+// interface — defense happens purely through the reported statistics,
+// exactly as in the paper.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/fl/types.hpp"
+
+namespace fedcav::attack {
+
+struct AttackContext {
+  /// The round's downloaded global weights w_t.
+  const nn::Weights* global = nullptr;
+  std::size_t round = 0;
+  /// Number of participants in the round (the attacker can observe or
+  /// estimate this to size its boost, Eq. 11).
+  std::size_t participants = 1;
+  /// The attacker's estimate of its own aggregation weight γ_m. The
+  /// simulation supplies 1/participants by default (FedAvg's uniform
+  /// case); an oracle-grade attacker may be given the exact value.
+  double estimated_gamma = 1.0;
+};
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Replace (or perturb) the honest update. `honest` was produced by a
+  /// genuine Client::local_update on the compromised device's data.
+  virtual fl::ClientUpdate corrupt(fl::ClientUpdate honest, const AttackContext& ctx) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace fedcav::attack

@@ -1,0 +1,82 @@
+#include "src/attack/label_flip.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/nn/optimizer.hpp"
+#include "src/utils/error.hpp"
+
+namespace fedcav::attack {
+
+data::Dataset flip_labels(const data::Dataset& clean, double fraction, Rng& rng) {
+  FEDCAV_REQUIRE(fraction >= 0.0 && fraction <= 1.0, "flip_labels: fraction out of range");
+  FEDCAV_REQUIRE(clean.num_classes() >= 2, "flip_labels: need at least two classes");
+  data::Dataset out(clean.sample_shape(), clean.num_classes());
+  out.reserve(clean.size());
+
+  std::vector<std::size_t> order(clean.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  const std::size_t n_flip = static_cast<std::size_t>(
+      fraction * static_cast<double>(clean.size()));
+  std::vector<bool> flip(clean.size(), false);
+  for (std::size_t i = 0; i < n_flip; ++i) flip[order[i]] = true;
+
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    std::size_t label = clean.label(i);
+    if (flip[i]) {
+      // Deterministic label inversion (c -> C-1-c): a *consistent* wrong
+      // mapping the malicious model can actually fit, which is what
+      // makes the replacement payload destructive. A per-sample random
+      // target would give the attacker an unlearnable objective.
+      std::size_t target = clean.num_classes() - 1 - label;
+      if (target == label) target = (label + 1) % clean.num_classes();
+      label = target;
+    }
+    out.add_sample(clean.pixels(i), label);
+  }
+  return out;
+}
+
+LabelFlipAdversary::LabelFlipAdversary(data::Dataset poisoned,
+                                       std::unique_ptr<nn::Model> model,
+                                       fl::LocalTrainConfig train_config, Rng rng)
+    : poisoned_(std::move(poisoned)), model_(std::move(model)),
+      train_config_(train_config), rng_(rng) {
+  FEDCAV_REQUIRE(!poisoned_.empty(), "LabelFlipAdversary: empty poisoned dataset");
+  FEDCAV_REQUIRE(model_ != nullptr, "LabelFlipAdversary: null model");
+}
+
+nn::Weights LabelFlipAdversary::train_malicious(const nn::Weights& global) {
+  model_->set_weights(global);
+  nn::SgdConfig sgd_config;
+  sgd_config.lr = train_config_.lr;
+  sgd_config.momentum = train_config_.momentum;
+  nn::Sgd optimizer(sgd_config);
+
+  std::vector<std::size_t> order(poisoned_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<std::size_t> labels;
+  for (std::size_t epoch = 0; epoch < train_config_.epochs; ++epoch) {
+    rng_.shuffle(order);
+    for (std::size_t begin = 0; begin < order.size(); begin += train_config_.batch_size) {
+      const std::size_t end = std::min(order.size(), begin + train_config_.batch_size);
+      Tensor batch = poisoned_.make_batch(
+          std::span(order.data() + begin, end - begin), &labels);
+      model_->forward_backward(batch, labels);
+      optimizer.step(*model_);
+    }
+  }
+  return model_->get_weights();
+}
+
+fl::ClientUpdate LabelFlipAdversary::corrupt(fl::ClientUpdate honest,
+                                             const AttackContext& ctx) {
+  FEDCAV_REQUIRE(ctx.global != nullptr, "LabelFlipAdversary: null global weights");
+  honest.weights = train_malicious(*ctx.global);
+  honest.num_samples = poisoned_.size();
+  honest.malicious = true;
+  return honest;
+}
+
+}  // namespace fedcav::attack

@@ -1,0 +1,44 @@
+// Label-flipping utilities and the plain data-poisoning adversary.
+#pragma once
+
+#include "src/attack/adversary.hpp"
+#include "src/data/dataset.hpp"
+#include "src/utils/rng.hpp"
+
+namespace fedcav::attack {
+
+/// Copy `clean` with a `fraction` of labels flipped to a different
+/// uniformly-chosen class. fraction=1 flips every label (the Fig. 6
+/// "all labels flipped" malicious model).
+data::Dataset flip_labels(const data::Dataset& clean, double fraction, Rng& rng);
+
+/// Poisoning adversary: trains honestly but on flipped-label data.
+/// Without replacement scaling this models a low-profile poisoner.
+class LabelFlipAdversary : public Adversary {
+ public:
+  /// `poisoned` is the attacker's (already flipped) training set;
+  /// `train_config` mirrors the honest clients' settings so the update
+  /// is statistically inconspicuous.
+  LabelFlipAdversary(data::Dataset poisoned, std::unique_ptr<nn::Model> model,
+                     fl::LocalTrainConfig train_config, Rng rng);
+
+  fl::ClientUpdate corrupt(fl::ClientUpdate honest, const AttackContext& ctx) override;
+  std::string name() const override { return "LabelFlip"; }
+
+ protected:
+  /// For subclasses (e.g. ModelReplacementAdversary) that fill the
+  /// members themselves after extra preprocessing.
+  LabelFlipAdversary(fl::LocalTrainConfig train_config, Rng rng)
+      : train_config_(train_config), rng_(rng) {}
+
+  /// Train the malicious model from w_t on the poisoned data; returns
+  /// its weights.
+  nn::Weights train_malicious(const nn::Weights& global);
+
+  data::Dataset poisoned_;
+  std::unique_ptr<nn::Model> model_;
+  fl::LocalTrainConfig train_config_;
+  Rng rng_;
+};
+
+}  // namespace fedcav::attack

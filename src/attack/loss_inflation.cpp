@@ -1,0 +1,35 @@
+#include "src/attack/loss_inflation.hpp"
+
+#include "src/utils/error.hpp"
+#include "src/utils/rng.hpp"
+
+namespace fedcav::attack {
+
+LossInflationAdversary::LossInflationAdversary(double factor) : factor_(factor) {
+  FEDCAV_REQUIRE(factor > 1.0, "LossInflation: factor must exceed 1");
+}
+
+fl::ClientUpdate LossInflationAdversary::corrupt(fl::ClientUpdate honest,
+                                                 const AttackContext& ctx) {
+  (void)ctx;
+  honest.inference_loss *= factor_;
+  honest.malicious = true;
+  return honest;
+}
+
+ByzantineAdversary::ByzantineAdversary(float stddev, std::uint64_t seed)
+    : stddev_(stddev), seed_(seed) {
+  FEDCAV_REQUIRE(stddev > 0.0f, "Byzantine: stddev must be positive");
+}
+
+fl::ClientUpdate ByzantineAdversary::corrupt(fl::ClientUpdate honest,
+                                             const AttackContext& ctx) {
+  Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (ctx.round + 1)));
+  for (float& w : honest.weights) {
+    w = static_cast<float>(rng.normal(0.0, static_cast<double>(stddev_)));
+  }
+  honest.malicious = true;
+  return honest;
+}
+
+}  // namespace fedcav::attack

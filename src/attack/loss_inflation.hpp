@@ -1,0 +1,36 @@
+// Loss-inflation adversary: trains honestly but lies about the
+// inference loss to inflate its FedCav aggregation weight (the "fake
+// loss" threat §4.4 warns about). Useful for isolating the weighting
+// hijack from the model-payload hijack.
+#pragma once
+
+#include "src/attack/adversary.hpp"
+
+namespace fedcav::attack {
+
+class LossInflationAdversary : public Adversary {
+ public:
+  explicit LossInflationAdversary(double factor = 10.0);
+
+  fl::ClientUpdate corrupt(fl::ClientUpdate honest, const AttackContext& ctx) override;
+  std::string name() const override { return "LossInflation"; }
+
+ private:
+  double factor_;
+};
+
+/// Byzantine adversary: submits iid N(0, stddev²) noise instead of
+/// trained weights (Blanchard et al.'s arbitrary-update threat model).
+class ByzantineAdversary : public Adversary {
+ public:
+  explicit ByzantineAdversary(float stddev = 1.0f, std::uint64_t seed = 1337);
+
+  fl::ClientUpdate corrupt(fl::ClientUpdate honest, const AttackContext& ctx) override;
+  std::string name() const override { return "Byzantine"; }
+
+ private:
+  float stddev_;
+  std::uint64_t seed_;
+};
+
+}  // namespace fedcav::attack

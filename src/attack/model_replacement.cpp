@@ -1,0 +1,56 @@
+#include "src/attack/model_replacement.hpp"
+
+#include <algorithm>
+
+#include "src/utils/error.hpp"
+#include "src/utils/string_util.hpp"
+
+namespace fedcav::attack {
+
+ModelReplacementAdversary::ModelReplacementAdversary(data::Dataset clean_local,
+                                                     std::unique_ptr<nn::Model> model,
+                                                     fl::LocalTrainConfig train_config,
+                                                     ModelReplacementConfig attack_config,
+                                                     Rng rng)
+    : LabelFlipAdversary(train_config, rng), attack_config_(attack_config) {
+  FEDCAV_REQUIRE(attack_config.poison_fraction >= 0.0 &&
+                     attack_config.poison_fraction <= 1.0,
+                 "ModelReplacement: poison_fraction out of range");
+  FEDCAV_REQUIRE(attack_config.max_boost >= 1.0, "ModelReplacement: max_boost must be >= 1");
+  FEDCAV_REQUIRE(attack_config.epochs_multiplier >= 1,
+                 "ModelReplacement: epochs_multiplier must be >= 1");
+  train_config_.epochs *= attack_config.epochs_multiplier;
+  poisoned_ = flip_labels(clean_local, attack_config.poison_fraction, rng_);
+  model_ = std::move(model);
+  FEDCAV_REQUIRE(model_ != nullptr, "ModelReplacement: null model");
+}
+
+fl::ClientUpdate ModelReplacementAdversary::corrupt(fl::ClientUpdate honest,
+                                                    const AttackContext& ctx) {
+  FEDCAV_REQUIRE(ctx.global != nullptr, "ModelReplacement: null global weights");
+  const nn::Weights& w_t = *ctx.global;
+  const nn::Weights m = train_malicious(w_t);
+  FEDCAV_REQUIRE(m.size() == w_t.size(), "ModelReplacement: weight size mismatch");
+
+  const double gamma = std::max(ctx.estimated_gamma, 1.0 / attack_config_.max_boost);
+  const float boost = static_cast<float>(1.0 / gamma);
+  nn::Weights crafted(w_t.size());
+  for (std::size_t i = 0; i < w_t.size(); ++i) {
+    crafted[i] = w_t[i] + boost * (m[i] - w_t[i]);
+  }
+
+  honest.weights = std::move(crafted);
+  if (attack_config_.reported_loss > 0.0) {
+    honest.inference_loss = attack_config_.reported_loss;
+  }
+  honest.num_samples = poisoned_.size();
+  honest.malicious = true;
+  return honest;
+}
+
+std::string ModelReplacementAdversary::name() const {
+  return "ModelReplacement(poison=" +
+         format_double(attack_config_.poison_fraction, 2) + ")";
+}
+
+}  // namespace fedcav::attack

@@ -1,0 +1,49 @@
+// Model-replacement attack (Bagdasaryan et al., paper Eq. 10-11).
+//
+// The attacker trains a malicious model M on label-flipped data, then
+// boosts its update so that, after weighted averaging, the global model
+// lands (approximately) on M:
+//   w_m = w_t + (1/γ_m)(M − w_t)                           (Eq. 11)
+// Against FedCav the attacker additionally reports an inflated
+// inference loss to drive its aggregation weight γ_m toward 1 (§4.4:
+// "attackers just need to scale up the local loss").
+#pragma once
+
+#include "src/attack/label_flip.hpp"
+
+namespace fedcav::attack {
+
+struct ModelReplacementConfig {
+  /// Fraction of labels flipped when training the malicious model M
+  /// (Fig. 7 sweeps 0.2 / 0.5 / 0.8; Fig. 6 uses 1.0).
+  double poison_fraction = 1.0;
+  /// Fake inference loss reported to hijack FedCav's weighting; ignored
+  /// by FedAvg. 0 (default) keeps the honest loss — the paper's Fig. 7
+  /// detection experiment assumes authentic statistics (§6 defers loss
+  /// authenticity to TEE); a lying attacker additionally poisons the
+  /// Eq. 13 reference max and suppresses detection, which
+  /// bench/fig7_detection demonstrates as an ablation.
+  double reported_loss = 0.0;
+  /// Cap on the boost 1/γ_m so float weights don't overflow when the
+  /// attacker's estimated γ is tiny.
+  double max_boost = 100.0;
+  /// The paper's adversary trains M to convergence on the flipped data;
+  /// honest clients only run E local epochs. The multiplier gives the
+  /// attacker that extra optimization budget.
+  std::size_t epochs_multiplier = 5;
+};
+
+class ModelReplacementAdversary : public LabelFlipAdversary {
+ public:
+  ModelReplacementAdversary(data::Dataset clean_local, std::unique_ptr<nn::Model> model,
+                            fl::LocalTrainConfig train_config,
+                            ModelReplacementConfig attack_config, Rng rng);
+
+  fl::ClientUpdate corrupt(fl::ClientUpdate honest, const AttackContext& ctx) override;
+  std::string name() const override;
+
+ private:
+  ModelReplacementConfig attack_config_;
+};
+
+}  // namespace fedcav::attack

@@ -1,0 +1,88 @@
+#include "src/comm/compression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::comm {
+
+std::size_t SparseDelta::wire_size() const {
+  return 8 /*dim*/ + 8 /*count*/ + indices.size() * (sizeof(std::uint32_t) + sizeof(float));
+}
+
+ByteBuffer SparseDelta::encode() const {
+  FEDCAV_REQUIRE(indices.size() == values.size(), "SparseDelta: index/value mismatch");
+  ByteBuffer buf;
+  buf.reserve(wire_size());
+  write_u64(buf, dim);
+  write_u64(buf, indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    // u32 index then f32 value, little-endian.
+    for (int b = 0; b < 4; ++b) {
+      buf.push_back(static_cast<std::uint8_t>((indices[i] >> (8 * b)) & 0xff));
+    }
+    write_f32(buf, values[i]);
+  }
+  return buf;
+}
+
+SparseDelta SparseDelta::decode(ByteReader& reader) {
+  SparseDelta out;
+  out.dim = reader.read_u64();
+  const std::uint64_t count = reader.read_u64();
+  FEDCAV_REQUIRE(count <= out.dim, "SparseDelta: more entries than dimensions");
+  out.indices.resize(count);
+  out.values.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t idx = 0;
+    for (int b = 0; b < 4; ++b) {
+      idx |= static_cast<std::uint32_t>(reader.read_u8()) << (8 * b);
+    }
+    out.indices[i] = idx;
+    out.values[i] = reader.read_f32();
+    FEDCAV_REQUIRE(idx < out.dim, "SparseDelta: index out of range");
+  }
+  return out;
+}
+
+SparseDelta topk_compress(std::span<const float> dense, double ratio) {
+  FEDCAV_REQUIRE(ratio > 0.0 && ratio <= 1.0, "topk_compress: ratio must be in (0, 1]");
+  FEDCAV_REQUIRE(!dense.empty(), "topk_compress: empty input");
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(ratio * static_cast<double>(dense.size()))));
+
+  std::vector<std::uint32_t> order(dense.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   order.end(), [&](std::uint32_t a, std::uint32_t b) {
+                     return std::abs(dense[a]) > std::abs(dense[b]);
+                   });
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+
+  SparseDelta out;
+  out.dim = dense.size();
+  out.indices = std::move(order);
+  out.values.reserve(k);
+  for (std::uint32_t idx : out.indices) out.values.push_back(dense[idx]);
+  return out;
+}
+
+std::vector<float> decompress(const SparseDelta& sparse) {
+  std::vector<float> dense(sparse.dim, 0.0f);
+  add_sparse(dense, sparse);
+  return dense;
+}
+
+void add_sparse(std::span<float> y, const SparseDelta& sparse) {
+  FEDCAV_REQUIRE(y.size() == sparse.dim, "add_sparse: dimension mismatch");
+  FEDCAV_REQUIRE(sparse.indices.size() == sparse.values.size(),
+                 "add_sparse: index/value mismatch");
+  for (std::size_t i = 0; i < sparse.indices.size(); ++i) {
+    y[sparse.indices[i]] += sparse.values[i];
+  }
+}
+
+}  // namespace fedcav::comm

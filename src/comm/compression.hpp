@@ -1,0 +1,39 @@
+// Top-k sparsification of model updates (communication-efficiency
+// extension). A client sends only the k = ⌈ratio·dim⌉ largest-magnitude
+// coordinates of its weight *delta* w_i − w_t; the server reconstructs
+// w_t + scatter(values). This is the standard gradient-sparsification
+// construction; the ablation bench measures its accuracy/byte tradeoff
+// on the FedCav workload.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/tensor/serialize.hpp"
+
+namespace fedcav::comm {
+
+struct SparseDelta {
+  std::uint64_t dim = 0;
+  std::vector<std::uint32_t> indices;  // sorted ascending
+  std::vector<float> values;
+
+  /// Exact wire size of encode()'s output.
+  std::size_t wire_size() const;
+
+  ByteBuffer encode() const;
+  static SparseDelta decode(ByteReader& reader);
+};
+
+/// Keep the ⌈ratio·dim⌉ largest-|v| coordinates of `dense`.
+/// ratio in (0, 1]; ratio = 1 keeps everything.
+SparseDelta topk_compress(std::span<const float> dense, double ratio);
+
+/// Dense reconstruction (zeros everywhere the delta is silent).
+std::vector<float> decompress(const SparseDelta& sparse);
+
+/// y += decompress(sparse) without materializing the dense vector.
+void add_sparse(std::span<float> y, const SparseDelta& sparse);
+
+}  // namespace fedcav::comm

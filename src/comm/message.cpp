@@ -1,0 +1,74 @@
+#include "src/comm/message.hpp"
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::comm {
+
+ByteBuffer GlobalModelMsg::encode() const {
+  ByteBuffer buf;
+  write_u64(buf, round);
+  write_f32_span(buf, weights);
+  return buf;
+}
+
+GlobalModelMsg GlobalModelMsg::decode(ByteReader& reader) {
+  GlobalModelMsg msg;
+  msg.round = reader.read_u64();
+  msg.weights = reader.read_f32_vector();
+  return msg;
+}
+
+ByteBuffer ClientReportMsg::encode() const {
+  ByteBuffer buf;
+  write_u64(buf, round);
+  write_u64(buf, client_id);
+  write_u64(buf, num_samples);
+  write_f64(buf, inference_loss);
+  write_f32_span(buf, weights);
+  return buf;
+}
+
+ClientReportMsg ClientReportMsg::decode(ByteReader& reader) {
+  ClientReportMsg msg;
+  msg.round = reader.read_u64();
+  msg.client_id = reader.read_u64();
+  msg.num_samples = reader.read_u64();
+  msg.inference_loss = reader.read_f64();
+  msg.weights = reader.read_f32_vector();
+  return msg;
+}
+
+ByteBuffer ControlMsg::encode() const {
+  ByteBuffer buf;
+  write_u64(buf, round);
+  write_u64(buf, static_cast<std::uint64_t>(action));
+  return buf;
+}
+
+ControlMsg ControlMsg::decode(ByteReader& reader) {
+  ControlMsg msg;
+  msg.round = reader.read_u64();
+  const std::uint64_t a = reader.read_u64();
+  FEDCAV_REQUIRE(a <= 1, "ControlMsg: unknown action");
+  msg.action = static_cast<ControlAction>(a);
+  return msg;
+}
+
+ByteBuffer Envelope::encode() const {
+  ByteBuffer buf;
+  write_u64(buf, static_cast<std::uint64_t>(type));
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  return buf;
+}
+
+Envelope Envelope::decode(const ByteBuffer& wire) {
+  ByteReader reader(wire);
+  const std::uint64_t t = reader.read_u64();
+  FEDCAV_REQUIRE(t >= 1 && t <= 3, "Envelope: unknown message type");
+  Envelope env;
+  env.type = static_cast<MessageType>(t);
+  env.payload.assign(wire.begin() + sizeof(std::uint64_t), wire.end());
+  return env;
+}
+
+}  // namespace fedcav::comm

@@ -1,0 +1,74 @@
+// Federated protocol messages and their wire encoding.
+//
+// The protocol mirrors Fig. 3 of the paper:
+//   server -> client : GlobalModel      (weights for round t)
+//   client -> server : ClientReport     (updated weights + inference loss
+//                                        f_i(w_t) + sample count)
+//   server -> client : Control          (accept / reject-and-reverse)
+// Every message serializes to a byte buffer through src/tensor/serialize
+// so the network can meter exact payload sizes — this is how the
+// overhead bench verifies the paper's "one extra float per client" claim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tensor/serialize.hpp"
+
+namespace fedcav::comm {
+
+enum class MessageType : std::uint64_t {
+  kGlobalModel = 1,
+  kClientReport = 2,
+  kControl = 3,
+};
+
+struct GlobalModelMsg {
+  std::uint64_t round = 0;
+  std::vector<float> weights;
+
+  ByteBuffer encode() const;
+  static GlobalModelMsg decode(ByteReader& reader);
+};
+
+struct ClientReportMsg {
+  std::uint64_t round = 0;
+  std::uint64_t client_id = 0;
+  std::uint64_t num_samples = 0;
+  /// Inference loss f_i(w_t) of the *global* model on local data,
+  /// computed before local training (Algorithm 2 line 2). This is the
+  /// single extra float FedCav adds to the FedAvg payload.
+  double inference_loss = 0.0;
+  std::vector<float> weights;
+
+  ByteBuffer encode() const;
+  static ClientReportMsg decode(ByteReader& reader);
+};
+
+enum class ControlAction : std::uint64_t {
+  kAccept = 0,
+  /// Round rejected by the anomaly detector; clients must discard their
+  /// local updates and re-download the (reversed) global model.
+  kRejectAndReverse = 1,
+};
+
+struct ControlMsg {
+  std::uint64_t round = 0;
+  ControlAction action = ControlAction::kAccept;
+
+  ByteBuffer encode() const;
+  static ControlMsg decode(ByteReader& reader);
+};
+
+/// Envelope: type tag + payload, as transmitted.
+struct Envelope {
+  MessageType type;
+  ByteBuffer payload;
+
+  ByteBuffer encode() const;
+  static Envelope decode(const ByteBuffer& wire);
+  std::size_t wire_size() const { return payload.size() + sizeof(std::uint64_t); }
+};
+
+}  // namespace fedcav::comm

@@ -1,0 +1,90 @@
+#include "src/comm/network.hpp"
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::comm {
+
+InMemoryNetwork::InMemoryNetwork(NetworkConfig config) : config_(config) {
+  FEDCAV_REQUIRE(config.num_endpoints >= 2, "InMemoryNetwork: need server + >=1 client");
+  FEDCAV_REQUIRE(config.bandwidth_bytes_per_s > 0.0, "InMemoryNetwork: zero bandwidth");
+  inboxes_.resize(config.num_endpoints);
+  stats_.resize(config.num_endpoints);
+}
+
+double InMemoryNetwork::model_transfer_seconds(std::size_t bytes) const {
+  return config_.latency_s + static_cast<double>(bytes) / config_.bandwidth_bytes_per_s;
+}
+
+void InMemoryNetwork::send(std::size_t src, std::size_t dst, const Envelope& env) {
+  FEDCAV_REQUIRE(src < config_.num_endpoints && dst < config_.num_endpoints,
+                 "InMemoryNetwork::send: endpoint out of range");
+  FEDCAV_REQUIRE(src != dst, "InMemoryNetwork::send: self-send");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t wire = env.wire_size();
+  stats_[src].messages_sent += 1;
+  stats_[src].bytes_sent += wire;
+  stats_[src].simulated_seconds += model_transfer_seconds(wire);
+  inboxes_[dst].push_back({src, env});
+}
+
+std::optional<Envelope> InMemoryNetwork::try_recv(std::size_t dst, std::size_t src) {
+  FEDCAV_REQUIRE(dst < config_.num_endpoints, "InMemoryNetwork::try_recv: bad endpoint");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& inbox = inboxes_[dst];
+  for (auto it = inbox.begin(); it != inbox.end(); ++it) {
+    if (it->src == src) {
+      Envelope env = std::move(it->env);
+      inbox.erase(it);
+      return env;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Envelope> InMemoryNetwork::try_recv_any(std::size_t dst, std::size_t* src_out) {
+  FEDCAV_REQUIRE(dst < config_.num_endpoints, "InMemoryNetwork::try_recv_any: bad endpoint");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& inbox = inboxes_[dst];
+  if (inbox.empty()) return std::nullopt;
+  Queued q = std::move(inbox.front());
+  inbox.pop_front();
+  if (src_out != nullptr) *src_out = q.src;
+  return q.env;
+}
+
+void InMemoryNetwork::broadcast(std::size_t src, const Envelope& env) {
+  for (std::size_t dst = 0; dst < config_.num_endpoints; ++dst) {
+    if (dst != src) send(src, dst, env);
+  }
+}
+
+TrafficStats InMemoryNetwork::stats(std::size_t endpoint) const {
+  FEDCAV_REQUIRE(endpoint < config_.num_endpoints, "InMemoryNetwork::stats: bad endpoint");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_[endpoint];
+}
+
+TrafficStats InMemoryNetwork::total_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TrafficStats total;
+  for (const auto& s : stats_) {
+    total.messages_sent += s.messages_sent;
+    total.bytes_sent += s.bytes_sent;
+    total.simulated_seconds += s.simulated_seconds;
+  }
+  return total;
+}
+
+void InMemoryNetwork::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& s : stats_) s = TrafficStats{};
+}
+
+std::size_t InMemoryNetwork::pending_messages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& inbox : inboxes_) n += inbox.size();
+  return n;
+}
+
+}  // namespace fedcav::comm

@@ -1,0 +1,68 @@
+#include "src/core/contribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tensor/ops.hpp"
+#include "src/utils/error.hpp"
+
+namespace fedcav::core {
+
+ClipPolicy parse_clip_policy(const std::string& name) {
+  if (name == "none") return ClipPolicy::kNone;
+  if (name == "mean") return ClipPolicy::kMean;
+  if (name == "quantile") return ClipPolicy::kQuantile;
+  throw Error("parse_clip_policy: unknown policy '" + name + "'");
+}
+
+std::string to_string(ClipPolicy policy) {
+  switch (policy) {
+    case ClipPolicy::kNone: return "none";
+    case ClipPolicy::kMean: return "mean";
+    case ClipPolicy::kQuantile: return "quantile";
+  }
+  return "?";
+}
+
+std::vector<double> clip_losses(const std::vector<double>& losses,
+                                const ContributionConfig& config) {
+  FEDCAV_REQUIRE(!losses.empty(), "clip_losses: empty input");
+  std::vector<double> out = losses;
+  switch (config.clip) {
+    case ClipPolicy::kNone:
+      break;
+    case ClipPolicy::kMean: {
+      double mean = 0.0;
+      for (double v : losses) mean += v;
+      mean /= static_cast<double>(losses.size());
+      for (double& v : out) v = std::min(v, mean);
+      break;
+    }
+    case ClipPolicy::kQuantile: {
+      FEDCAV_REQUIRE(config.quantile > 0.0 && config.quantile <= 1.0,
+                     "clip_losses: quantile out of range");
+      std::vector<double> sorted = losses;
+      std::sort(sorted.begin(), sorted.end());
+      const double pos = config.quantile * static_cast<double>(sorted.size() - 1);
+      const std::size_t lo = static_cast<std::size_t>(pos);
+      const std::size_t hi = std::min(sorted.size() - 1, lo + 1);
+      const double frac = pos - static_cast<double>(lo);
+      const double threshold = (1.0 - frac) * sorted[lo] + frac * sorted[hi];
+      for (double& v : out) v = std::min(v, threshold);
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<double> contribution_weights(const std::vector<double>& losses,
+                                         const ContributionConfig& config) {
+  FEDCAV_REQUIRE(config.temperature > 0.0, "contribution_weights: temperature must be > 0");
+  std::vector<double> clipped = clip_losses(losses, config);
+  if (config.temperature != 1.0) {
+    for (double& v : clipped) v /= config.temperature;
+  }
+  return ops::stable_softmax(clipped);
+}
+
+}  // namespace fedcav::core

@@ -1,0 +1,42 @@
+// Contribution weighting — the heart of FedCav (§4.2-4.3).
+//
+// Given the participants' inference losses f_i(w_t), the aggregation
+// weight of client i is softmax(clip(f))_i:
+//  * clip (Algorithm 1 line 7): f_j ← min(f_j, mean(f)) to stop one
+//    extreme loss from monopolizing the round (Fig. 5 ablates this).
+//  * softmax with max-subtraction (§4.2.3's overflow note).
+// The resulting weights are strictly positive and sum to 1, so FedCav's
+// update (Eq. 9) is always a convex combination of local models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fedcav::core {
+
+enum class ClipPolicy {
+  kNone,      // raw losses (the Fig. 5 "without Clip" ablation)
+  kMean,      // Algorithm 1: clip at the mean of the round's losses
+  kQuantile,  // extension: clip at a configurable quantile
+};
+
+ClipPolicy parse_clip_policy(const std::string& name);  // none|mean|quantile
+std::string to_string(ClipPolicy policy);
+
+struct ContributionConfig {
+  ClipPolicy clip = ClipPolicy::kMean;
+  /// Quantile in (0, 1] for kQuantile (0.75 clips at the 75th pct).
+  double quantile = 0.75;
+  /// Temperature τ applied as softmax(f/τ); 1.0 is the paper's rule.
+  double temperature = 1.0;
+};
+
+/// Apply the clip policy, returning the adjusted losses.
+std::vector<double> clip_losses(const std::vector<double>& losses,
+                                const ContributionConfig& config);
+
+/// softmax(clip(losses)/τ): the γ_i of Eq. 9. Throws on empty input.
+std::vector<double> contribution_weights(const std::vector<double>& losses,
+                                         const ContributionConfig& config);
+
+}  // namespace fedcav::core

@@ -1,0 +1,39 @@
+#include "src/core/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::core {
+
+AnomalyDetector::AnomalyDetector(DetectorConfig config) : config_(config) {
+  FEDCAV_REQUIRE(config.vote_fraction > 0.0 && config.vote_fraction <= 1.0,
+                 "AnomalyDetector: vote_fraction must be in (0, 1]");
+  FEDCAV_REQUIRE(config.slack >= 1.0, "AnomalyDetector: slack must be >= 1");
+}
+
+DetectionResult AnomalyDetector::check(const std::vector<double>& losses) const {
+  FEDCAV_REQUIRE(!losses.empty(), "AnomalyDetector::check: no losses");
+  DetectionResult result;
+  result.voters = losses.size();
+  if (!reference_max_.has_value()) return result;  // first round: nothing to compare
+  result.previous_max = *reference_max_;
+  const double threshold = config_.slack * result.previous_max;
+  for (double f : losses) {
+    if (f > threshold) ++result.votes;
+  }
+  const auto needed = static_cast<std::size_t>(
+      std::ceil(config_.vote_fraction * static_cast<double>(losses.size())));
+  result.abnormal = result.votes >= std::max<std::size_t>(1, needed);
+  return result;
+}
+
+void AnomalyDetector::commit(const std::vector<double>& losses) {
+  FEDCAV_REQUIRE(!losses.empty(), "AnomalyDetector::commit: no losses");
+  reference_max_ = *std::max_element(losses.begin(), losses.end());
+}
+
+void AnomalyDetector::reset() { reference_max_.reset(); }
+
+}  // namespace fedcav::core

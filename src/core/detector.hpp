@@ -1,0 +1,54 @@
+// Anomaly detection against model-replacement attacks (§4.4).
+//
+// Each round the server compares the participants' fresh inference
+// losses f_i(w_t) with the *maximum* loss reported in the previous
+// round. A client "votes abnormal" when its loss exceeds that maximum;
+// the round is flagged when at least `vote_fraction` of clients vote so:
+//   D_r = I{ Σ_i I[f_i(w_t) > max(f(w_{t-1}))] ≥ n/2 }      (Eq. 13)
+// On a flag the server reverses to the cached pre-attack model.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace fedcav::core {
+
+struct DetectorConfig {
+  /// Fraction of clients that must vote abnormal (paper: 1/2).
+  double vote_fraction = 0.5;
+  /// Multiplicative slack on the previous max: vote when
+  /// f_i > slack · max_prev. 1.0 is the paper's rule; >1 trades recall
+  /// for fewer false positives on noisy early rounds.
+  double slack = 1.0;
+};
+
+struct DetectionResult {
+  bool abnormal = false;
+  std::size_t votes = 0;
+  std::size_t voters = 0;
+  double previous_max = 0.0;
+};
+
+class AnomalyDetector {
+ public:
+  explicit AnomalyDetector(DetectorConfig config = {});
+
+  /// Evaluate Eq. 13 on this round's losses. Returns "normal" until a
+  /// previous round has been committed (there is nothing to compare to).
+  DetectionResult check(const std::vector<double>& losses) const;
+
+  /// Commit a round's losses as the new reference (call only on normal
+  /// rounds — after a reverse the pre-attack reference must persist).
+  void commit(const std::vector<double>& losses);
+
+  bool has_reference() const { return reference_max_.has_value(); }
+  std::optional<double> reference_max() const { return reference_max_; }
+  void reset();
+
+ private:
+  DetectorConfig config_;
+  std::optional<double> reference_max_;
+};
+
+}  // namespace fedcav::core

@@ -1,0 +1,38 @@
+#include "src/core/fedcav.hpp"
+
+#include "src/fl/fedavg.hpp"
+#include "src/tensor/ops.hpp"
+#include "src/utils/error.hpp"
+
+namespace fedcav::core {
+
+FedCavStrategy::FedCavStrategy(ContributionConfig config) : config_(config) {}
+
+std::vector<double> FedCavStrategy::aggregation_weights(
+    const std::vector<fl::ClientUpdate>& updates) const {
+  FEDCAV_REQUIRE(!updates.empty(), "FedCav: no updates");
+  std::vector<double> losses(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) losses[i] = updates[i].inference_loss;
+  return contribution_weights(losses, config_);
+}
+
+nn::Weights FedCavStrategy::aggregate(const nn::Weights& global,
+                                      const std::vector<fl::ClientUpdate>& updates) {
+  (void)global;
+  return fl::weighted_average(updates, aggregation_weights(updates));
+}
+
+std::string FedCavStrategy::name() const {
+  std::string s = "FedCav(clip=" + to_string(config_.clip);
+  if (config_.temperature != 1.0) s += ", tau=" + std::to_string(config_.temperature);
+  return s + ")";
+}
+
+double FedCavStrategy::global_loss(const std::vector<fl::ClientUpdate>& updates) {
+  FEDCAV_REQUIRE(!updates.empty(), "FedCav::global_loss: no updates");
+  std::vector<double> losses(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) losses[i] = updates[i].inference_loss;
+  return ops::log_sum_exp(losses);
+}
+
+}  // namespace fedcav::core

@@ -1,0 +1,33 @@
+// FedCav aggregation strategy (Algorithm 1):
+//   w_{t+1} = Σ_i softmax[min(f_i(w_t), mean(f))] · w_i^{t+1}     (Eq. 9)
+// The weights come from the clients' reported inference losses, so the
+// optimizer of the global objective F(w) = ln Σ_i e^{f_i(w)} (Eq. 7)
+// explicitly favors informative (badly-fit) local data.
+#pragma once
+
+#include "src/core/contribution.hpp"
+#include "src/fl/strategy.hpp"
+
+namespace fedcav::core {
+
+class FedCavStrategy : public fl::AggregationStrategy {
+ public:
+  explicit FedCavStrategy(ContributionConfig config = {});
+
+  nn::Weights aggregate(const nn::Weights& global,
+                        const std::vector<fl::ClientUpdate>& updates) override;
+  std::vector<double> aggregation_weights(
+      const std::vector<fl::ClientUpdate>& updates) const override;
+  std::string name() const override;
+
+  const ContributionConfig& contribution_config() const { return config_; }
+
+  /// The paper's global objective F(w) = ln Σ e^{f_i} evaluated on the
+  /// round's reported losses — exposed so tests can check it decreases.
+  static double global_loss(const std::vector<fl::ClientUpdate>& updates);
+
+ private:
+  ContributionConfig config_;
+};
+
+}  // namespace fedcav::core

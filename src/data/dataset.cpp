@@ -1,0 +1,121 @@
+#include "src/data/dataset.hpp"
+
+#include <cstring>
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::data {
+
+Dataset::Dataset(Shape sample_shape, std::size_t num_classes)
+    : sample_shape_(sample_shape),
+      sample_numel_(sample_shape.numel()),
+      num_classes_(num_classes) {
+  FEDCAV_REQUIRE(sample_shape.rank() == 3, "Dataset: sample shape must be CHW (rank 3)");
+  FEDCAV_REQUIRE(num_classes > 0, "Dataset: num_classes must be positive");
+}
+
+void Dataset::add_sample(std::span<const float> pixels, std::size_t label) {
+  FEDCAV_REQUIRE(pixels.size() == sample_numel_, "Dataset::add_sample: pixel count mismatch");
+  FEDCAV_REQUIRE(label < num_classes_, "Dataset::add_sample: label out of range");
+  pixels_.insert(pixels_.end(), pixels.begin(), pixels.end());
+  labels_.push_back(label);
+}
+
+void Dataset::reserve(std::size_t n) {
+  pixels_.reserve(n * sample_numel_);
+  labels_.reserve(n);
+}
+
+std::size_t Dataset::label(std::size_t i) const {
+  FEDCAV_REQUIRE(i < labels_.size(), "Dataset::label: index out of range");
+  return labels_[i];
+}
+
+std::span<const float> Dataset::pixels(std::size_t i) const {
+  FEDCAV_REQUIRE(i < labels_.size(), "Dataset::pixels: index out of range");
+  return {pixels_.data() + i * sample_numel_, sample_numel_};
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> hist(num_classes_, 0);
+  for (std::size_t y : labels_) ++hist[y];
+  return hist;
+}
+
+Tensor Dataset::make_batch(std::span<const std::size_t> indices,
+                           std::vector<std::size_t>* labels_out) const {
+  FEDCAV_REQUIRE(!indices.empty(), "Dataset::make_batch: empty index list");
+  const std::size_t n = indices.size();
+  Tensor batch(Shape::of(n, sample_shape_[0], sample_shape_[1], sample_shape_[2]));
+  if (labels_out != nullptr) {
+    labels_out->clear();
+    labels_out->reserve(n);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t src = indices[i];
+    FEDCAV_REQUIRE(src < labels_.size(), "Dataset::make_batch: index out of range");
+    std::memcpy(batch.data() + i * sample_numel_, pixels_.data() + src * sample_numel_,
+                sample_numel_ * sizeof(float));
+    if (labels_out != nullptr) labels_out->push_back(labels_[src]);
+  }
+  return batch;
+}
+
+Tensor Dataset::all_pixels(std::vector<std::size_t>* labels_out) const {
+  std::vector<std::size_t> idx(size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  return make_batch(idx, labels_out);
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(sample_shape_, num_classes_);
+  out.reserve(indices.size());
+  for (std::size_t i : indices) out.add_sample(pixels(i), label(i));
+  return out;
+}
+
+std::vector<std::size_t> Dataset::indices_of_class(std::size_t target) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == target) out.push_back(i);
+  }
+  return out;
+}
+
+void Dataset::shuffle(Rng& rng) {
+  std::vector<std::size_t> perm(size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.shuffle(perm);
+  std::vector<float> new_pixels(pixels_.size());
+  std::vector<std::size_t> new_labels(labels_.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    std::memcpy(new_pixels.data() + i * sample_numel_,
+                pixels_.data() + perm[i] * sample_numel_, sample_numel_ * sizeof(float));
+    new_labels[i] = labels_[perm[i]];
+  }
+  pixels_ = std::move(new_pixels);
+  labels_ = std::move(new_labels);
+}
+
+void Dataset::append(const Dataset& other) {
+  FEDCAV_REQUIRE(sample_shape_ == other.sample_shape_, "Dataset::append: shape mismatch");
+  FEDCAV_REQUIRE(num_classes_ == other.num_classes_, "Dataset::append: class count mismatch");
+  pixels_.insert(pixels_.end(), other.pixels_.begin(), other.pixels_.end());
+  labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+}
+
+TrainTestSplit split_train_test(const Dataset& all, double train_fraction, Rng& rng) {
+  FEDCAV_REQUIRE(train_fraction > 0.0 && train_fraction < 1.0,
+                 "split_train_test: fraction must be in (0, 1)");
+  std::vector<std::size_t> perm(all.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.shuffle(perm);
+  const std::size_t n_train = static_cast<std::size_t>(
+      static_cast<double>(all.size()) * train_fraction);
+  TrainTestSplit out;
+  out.train = all.subset(std::span(perm.data(), n_train));
+  out.test = all.subset(std::span(perm.data() + n_train, perm.size() - n_train));
+  return out;
+}
+
+}  // namespace fedcav::data

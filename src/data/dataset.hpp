@@ -1,0 +1,78 @@
+// Dataset: an owning collection of (image, label) samples plus cheap
+// index-based views for partitioning across federated clients.
+//
+// Images are stored as one contiguous float block (sample-major, CHW
+// within a sample) so batch assembly is a couple of memcpys.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/tensor/shape.hpp"
+#include "src/tensor/tensor.hpp"
+#include "src/utils/rng.hpp"
+
+namespace fedcav::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  /// `sample_shape` is the per-sample CHW shape (rank 3).
+  Dataset(Shape sample_shape, std::size_t num_classes);
+
+  /// Append one sample; `pixels` must have sample_shape().numel() values.
+  void add_sample(std::span<const float> pixels, std::size_t label);
+  void reserve(std::size_t n);
+
+  std::size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+  std::size_t num_classes() const { return num_classes_; }
+  const Shape& sample_shape() const { return sample_shape_; }
+  std::size_t sample_numel() const { return sample_numel_; }
+
+  std::size_t label(std::size_t i) const;
+  std::span<const float> pixels(std::size_t i) const;
+
+  /// Histogram of labels (length num_classes()).
+  std::vector<std::size_t> class_histogram() const;
+
+  /// Assemble the samples at `indices` into one batch tensor
+  /// (N × C × H × W) and parallel label vector.
+  Tensor make_batch(std::span<const std::size_t> indices,
+                    std::vector<std::size_t>* labels_out) const;
+
+  /// Batch of the whole dataset (careful with memory on large sets).
+  Tensor all_pixels(std::vector<std::size_t>* labels_out) const;
+
+  /// New dataset holding copies of the samples at `indices`.
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Indices of every sample with the given label.
+  std::vector<std::size_t> indices_of_class(std::size_t label) const;
+
+  /// Deterministic in-place shuffle of sample order.
+  void shuffle(Rng& rng);
+
+  /// Merge another dataset (same shape/classes) into this one.
+  void append(const Dataset& other);
+
+ private:
+  Shape sample_shape_;
+  std::size_t sample_numel_ = 0;
+  std::size_t num_classes_ = 0;
+  std::vector<float> pixels_;
+  std::vector<std::size_t> labels_;
+};
+
+/// Split into two datasets: the first `fraction` (after an optional
+/// shuffle the caller does beforehand) and the rest. Used for
+/// train/test splits of the synthetic corpora.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+TrainTestSplit split_train_test(const Dataset& all, double train_fraction, Rng& rng);
+
+}  // namespace fedcav::data

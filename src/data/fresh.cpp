@@ -1,0 +1,32 @@
+#include "src/data/fresh.hpp"
+
+#include <cmath>
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::data {
+
+FreshSplit split_fresh_classes(const Dataset& all, double alpha) {
+  FEDCAV_REQUIRE(alpha >= 0.0 && alpha <= 0.5,
+                 "split_fresh_classes: alpha must be in [0, 0.5]");
+  const std::size_t num_classes = all.num_classes();
+  const std::size_t num_fresh = static_cast<std::size_t>(
+      std::round(alpha * static_cast<double>(num_classes)));
+
+  FreshSplit out;
+  out.common = Dataset(all.sample_shape(), num_classes);
+  out.fresh = Dataset(all.sample_shape(), num_classes);
+  const std::size_t first_fresh = num_classes - num_fresh;
+  for (std::size_t c = first_fresh; c < num_classes; ++c) out.fresh_classes.push_back(c);
+
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all.label(i) >= first_fresh) {
+      out.fresh.add_sample(all.pixels(i), all.label(i));
+    } else {
+      out.common.add_sample(all.pixels(i), all.label(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace fedcav::data

@@ -1,0 +1,28 @@
+// Fresh-class splitting for the paper's dynamic-environment experiment
+// (Fig. 4): a fraction α of the class labels is "fresh" — collected
+// recently and absent from earlier training. The experiment pre-trains
+// on the common classes, then continues federated training on data that
+// includes the fresh classes.
+#pragma once
+
+#include <cstddef>
+
+#include "src/data/dataset.hpp"
+
+namespace fedcav::data {
+
+struct FreshSplit {
+  /// Samples whose label is a common (previously seen) class.
+  Dataset common;
+  /// Samples whose label is a fresh class.
+  Dataset fresh;
+  /// The fresh class labels (the last ⌈α·C⌉ label ids).
+  std::vector<std::size_t> fresh_classes;
+};
+
+/// Split by label: the last round(α·num_classes) labels are fresh.
+/// α must lie in [0, 0.5] per the paper ("we set α < 0.5 ... to get a
+/// more stable global model"); α = 0 yields an empty fresh set.
+FreshSplit split_fresh_classes(const Dataset& all, double alpha);
+
+}  // namespace fedcav::data

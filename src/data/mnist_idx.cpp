@@ -1,0 +1,90 @@
+#include "src/data/mnist_idx.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::data {
+
+namespace {
+
+std::uint32_t read_be32(std::istream& in, const char* what) {
+  unsigned char b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  FEDCAV_REQUIRE(in.good(), std::string("IDX: truncated ") + what);
+  return (static_cast<std::uint32_t>(b[0]) << 24) | (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) | static_cast<std::uint32_t>(b[3]);
+}
+
+constexpr std::uint32_t kImagesMagic = 0x00000803;
+constexpr std::uint32_t kLabelsMagic = 0x00000801;
+
+}  // namespace
+
+bool mnist_idx_available(const std::string& images_path, const std::string& labels_path) {
+  std::ifstream imgs(images_path, std::ios::binary);
+  std::ifstream lbls(labels_path, std::ios::binary);
+  if (!imgs.good() || !lbls.good()) return false;
+  try {
+    return read_be32(imgs, "magic") == kImagesMagic &&
+           read_be32(lbls, "magic") == kLabelsMagic;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+Dataset load_mnist_idx(const std::string& images_path, const std::string& labels_path,
+                       std::size_t target_side) {
+  std::ifstream imgs(images_path, std::ios::binary);
+  FEDCAV_REQUIRE(imgs.good(), "IDX: cannot open " + images_path);
+  std::ifstream lbls(labels_path, std::ios::binary);
+  FEDCAV_REQUIRE(lbls.good(), "IDX: cannot open " + labels_path);
+
+  FEDCAV_REQUIRE(read_be32(imgs, "image magic") == kImagesMagic,
+                 "IDX: bad image magic in " + images_path);
+  FEDCAV_REQUIRE(read_be32(lbls, "label magic") == kLabelsMagic,
+                 "IDX: bad label magic in " + labels_path);
+
+  const std::uint32_t n_images = read_be32(imgs, "image count");
+  const std::uint32_t rows = read_be32(imgs, "rows");
+  const std::uint32_t cols = read_be32(imgs, "cols");
+  const std::uint32_t n_labels = read_be32(lbls, "label count");
+  FEDCAV_REQUIRE(n_images == n_labels, "IDX: image/label count mismatch");
+  FEDCAV_REQUIRE(rows % target_side == 0 && cols % target_side == 0,
+                 "IDX: image size not divisible by target_side");
+
+  const std::size_t pool = rows / target_side;
+  Dataset out(Shape::of(1, target_side, target_side), 10);
+  out.reserve(n_images);
+
+  std::vector<unsigned char> raw(rows * cols);
+  std::vector<float> pooled(target_side * target_side);
+  const float inv = 1.0f / (255.0f * static_cast<float>(pool * pool));
+  for (std::uint32_t i = 0; i < n_images; ++i) {
+    imgs.read(reinterpret_cast<char*>(raw.data()), static_cast<std::streamsize>(raw.size()));
+    FEDCAV_REQUIRE(imgs.good(), "IDX: truncated image data");
+    char label_byte = 0;
+    lbls.read(&label_byte, 1);
+    FEDCAV_REQUIRE(lbls.good(), "IDX: truncated label data");
+
+    for (std::size_t y = 0; y < target_side; ++y) {
+      for (std::size_t x = 0; x < target_side; ++x) {
+        std::uint32_t acc = 0;
+        for (std::size_t dy = 0; dy < pool; ++dy) {
+          for (std::size_t dx = 0; dx < pool; ++dx) {
+            acc += raw[(y * pool + dy) * cols + (x * pool + dx)];
+          }
+        }
+        pooled[y * target_side + x] = static_cast<float>(acc) * inv;
+      }
+    }
+    const auto label = static_cast<std::size_t>(static_cast<unsigned char>(label_byte));
+    FEDCAV_REQUIRE(label < 10, "IDX: label out of range");
+    out.add_sample(pooled, label);
+  }
+  return out;
+}
+
+}  // namespace fedcav::data

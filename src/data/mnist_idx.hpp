@@ -1,0 +1,25 @@
+// IDX file loader (the MNIST/FMNIST on-disk format).
+//
+// The synthetic corpora drive all CI runs; when a user has the real
+// `train-images-idx3-ubyte` / `train-labels-idx1-ubyte` files on disk
+// this loader lets every experiment run on genuine MNIST instead —
+// images are downscaled 28×28 → 14×14 (2×2 average pooling) to match
+// the model zoo geometry.
+#pragma once
+
+#include <string>
+
+#include "src/data/dataset.hpp"
+
+namespace fedcav::data {
+
+/// Load an images+labels IDX pair into a Dataset (pixels scaled to
+/// [0, 1], optionally pooled to `target_side`). Throws fedcav::Error on
+/// missing files, bad magic numbers, or image/label count mismatch.
+Dataset load_mnist_idx(const std::string& images_path, const std::string& labels_path,
+                       std::size_t target_side = 14);
+
+/// True if both files exist and start with the correct IDX magics.
+bool mnist_idx_available(const std::string& images_path, const std::string& labels_path);
+
+}  // namespace fedcav::data

@@ -1,0 +1,233 @@
+#include "src/data/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::data {
+
+PartitionScheme parse_partition_scheme(const std::string& name) {
+  if (name == "iid") return PartitionScheme::kIidBalanced;
+  if (name == "noniid") return PartitionScheme::kNonIidBalanced;
+  if (name == "imbalanced") return PartitionScheme::kNonIidImbalanced;
+  if (name == "dirichlet") return PartitionScheme::kDirichlet;
+  throw Error("parse_partition_scheme: unknown scheme '" + name + "'");
+}
+
+std::string to_string(PartitionScheme scheme) {
+  switch (scheme) {
+    case PartitionScheme::kIidBalanced: return "iid";
+    case PartitionScheme::kNonIidBalanced: return "noniid";
+    case PartitionScheme::kNonIidImbalanced: return "imbalanced";
+    case PartitionScheme::kDirichlet: return "dirichlet";
+  }
+  return "?";
+}
+
+void PartitionConfig::validate() const {
+  FEDCAV_REQUIRE(num_clients >= 1, "PartitionConfig: need at least one client");
+  FEDCAV_REQUIRE(sigma >= 0.0, "PartitionConfig: negative sigma");
+  FEDCAV_REQUIRE(dirichlet_alpha > 0.0, "PartitionConfig: alpha must be positive");
+  FEDCAV_REQUIRE(classes_per_client >= 1, "PartitionConfig: classes_per_client >= 1");
+}
+
+double sigma_to_cv(double sigma) { return sigma / 2000.0; }
+
+namespace {
+
+/// Per-class index pools with a cursor; draws cycle deterministically so
+/// every client gets data even when a class pool is exhausted.
+class ClassPools {
+ public:
+  ClassPools(const Dataset& train, Rng& rng) {
+    pools_.resize(train.num_classes());
+    cursors_.assign(train.num_classes(), 0);
+    for (std::size_t c = 0; c < train.num_classes(); ++c) {
+      pools_[c] = train.indices_of_class(c);
+      rng.shuffle(pools_[c]);
+    }
+  }
+
+  bool class_available(std::size_t c) const { return !pools_[c].empty(); }
+
+  std::size_t draw(std::size_t c) {
+    auto& pool = pools_[c];
+    FEDCAV_REQUIRE(!pool.empty(), "ClassPools: class has no samples");
+    const std::size_t idx = pool[cursors_[c] % pool.size()];
+    ++cursors_[c];
+    return idx;
+  }
+
+ private:
+  std::vector<std::vector<std::size_t>> pools_;
+  std::vector<std::size_t> cursors_;
+};
+
+Partition partition_iid(const Dataset& train, const PartitionConfig& config, Rng& rng) {
+  std::vector<std::size_t> perm(train.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  rng.shuffle(perm);
+  Partition out(config.num_clients);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    out[i % config.num_clients].push_back(perm[i]);
+  }
+  return out;
+}
+
+Partition partition_noniid_shards(const Dataset& train, const PartitionConfig& config,
+                                  Rng& rng) {
+  // Sort indices by label, cut into classes_per_client × num_clients
+  // shards, deal shards randomly: each client ends up with (mostly)
+  // classes_per_client distinct labels.
+  std::vector<std::size_t> sorted(train.size());
+  std::iota(sorted.begin(), sorted.end(), std::size_t{0});
+  std::stable_sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+    return train.label(a) < train.label(b);
+  });
+  const std::size_t num_shards = config.num_clients * config.classes_per_client;
+  FEDCAV_REQUIRE(train.size() >= num_shards,
+                 "partition: dataset smaller than shard count");
+  std::vector<std::size_t> shard_order(num_shards);
+  std::iota(shard_order.begin(), shard_order.end(), std::size_t{0});
+  rng.shuffle(shard_order);
+
+  const std::size_t shard_size = train.size() / num_shards;
+  Partition out(config.num_clients);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t client = s / config.classes_per_client;
+    const std::size_t shard = shard_order[s];
+    const std::size_t begin = shard * shard_size;
+    const std::size_t end = (shard + 1 == num_shards) ? train.size() : begin + shard_size;
+    for (std::size_t i = begin; i < end; ++i) out[client].push_back(sorted[i]);
+  }
+  return out;
+}
+
+Partition partition_noniid_imbalanced(const Dataset& train, const PartitionConfig& config,
+                                      Rng& rng) {
+  // Sample only from classes that actually have data — corpora produced
+  // by the fresh-class splitter legitimately have empty label slots.
+  std::vector<std::size_t> populated;
+  {
+    const auto hist = train.class_histogram();
+    for (std::size_t c = 0; c < hist.size(); ++c) {
+      if (hist[c] > 0) populated.push_back(c);
+    }
+  }
+  const std::size_t num_classes = populated.size();
+  FEDCAV_REQUIRE(config.classes_per_client <= num_classes,
+                 "partition: classes_per_client exceeds populated class count");
+  const std::size_t per_client =
+      std::max<std::size_t>(2, train.size() / config.num_clients);
+  const double cv = sigma_to_cv(config.sigma);
+
+  ClassPools pools(train, rng);
+  Partition out(config.num_clients);
+  for (std::size_t k = 0; k < config.num_clients; ++k) {
+    // Pick distinct populated classes for this client.
+    std::vector<std::size_t> classes =
+        rng.sample_without_replacement(num_classes, config.classes_per_client);
+    for (auto& c : classes) c = populated[c];
+    // Share of the first class: 1/m shifted by a |N(0, cv)| perturbation,
+    // clamped so each class keeps at least one sample.
+    const double base = 1.0 / static_cast<double>(classes.size());
+    double p = base + std::abs(rng.normal(0.0, cv));
+    p = std::clamp(p, base, 0.95);
+    std::vector<std::size_t> counts(classes.size());
+    counts[0] = std::max<std::size_t>(
+        1, static_cast<std::size_t>(p * static_cast<double>(per_client)));
+    counts[0] = std::min(counts[0], per_client - (classes.size() - 1));
+    const std::size_t rest = per_client - counts[0];
+    for (std::size_t j = 1; j < classes.size(); ++j) {
+      counts[j] = std::max<std::size_t>(1, rest / (classes.size() - 1));
+    }
+    for (std::size_t j = 0; j < classes.size(); ++j) {
+      for (std::size_t i = 0; i < counts[j]; ++i) {
+        out[k].push_back(pools.draw(classes[j]));
+      }
+    }
+  }
+  return out;
+}
+
+Partition partition_dirichlet(const Dataset& train, const PartitionConfig& config,
+                              Rng& rng) {
+  const std::size_t num_classes = train.num_classes();
+  const std::size_t per_client =
+      std::max<std::size_t>(1, train.size() / config.num_clients);
+  ClassPools pools(train, rng);
+  Partition out(config.num_clients);
+  for (std::size_t k = 0; k < config.num_clients; ++k) {
+    // Dir(α) draw via normalized Gamma(α, 1) samples, using the
+    // Marsaglia-Tsang method for the gamma variates (α may be < 1).
+    // Empty classes keep proportion zero so draw() never touches them.
+    std::vector<double> props(num_classes, 0.0);
+    double total = 0.0;
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      if (!pools.class_available(c)) continue;
+      double alpha = config.dirichlet_alpha;
+      double boost = 1.0;
+      if (alpha < 1.0) {
+        // Gamma(α) = Gamma(α+1) * U^{1/α}
+        boost = std::pow(rng.uniform(), 1.0 / alpha);
+        alpha += 1.0;
+      }
+      const double d = alpha - 1.0 / 3.0;
+      const double c9 = 1.0 / std::sqrt(9.0 * d);
+      double g = 0.0;
+      for (;;) {
+        const double x = rng.normal();
+        const double v = std::pow(1.0 + c9 * x, 3.0);
+        if (v <= 0.0) continue;
+        const double u = rng.uniform();
+        if (std::log(std::max(u, 1e-300)) < 0.5 * x * x + d - d * v + d * std::log(v)) {
+          g = d * v;
+          break;
+        }
+      }
+      props[c] = g * boost;
+      total += props[c];
+    }
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      const std::size_t count = static_cast<std::size_t>(
+          std::round(props[c] / total * static_cast<double>(per_client)));
+      for (std::size_t i = 0; i < count; ++i) out[k].push_back(pools.draw(c));
+    }
+    if (out[k].empty()) {
+      // Rounding can starve a client; give it one sample of its argmax
+      // proportion class.
+      const std::size_t c = static_cast<std::size_t>(
+          std::max_element(props.begin(), props.end()) - props.begin());
+      out[k].push_back(pools.draw(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Partition make_partition(const Dataset& train, const PartitionConfig& config) {
+  config.validate();
+  FEDCAV_REQUIRE(train.size() >= config.num_clients,
+                 "make_partition: fewer samples than clients");
+  Rng rng(config.seed);
+  Partition out;
+  switch (config.scheme) {
+    case PartitionScheme::kIidBalanced: out = partition_iid(train, config, rng); break;
+    case PartitionScheme::kNonIidBalanced:
+      out = partition_noniid_shards(train, config, rng);
+      break;
+    case PartitionScheme::kNonIidImbalanced:
+      out = partition_noniid_imbalanced(train, config, rng);
+      break;
+    case PartitionScheme::kDirichlet: out = partition_dirichlet(train, config, rng); break;
+  }
+  for (const auto& client : out) {
+    FEDCAV_CHECK(!client.empty(), "make_partition: produced an empty client");
+  }
+  return out;
+}
+
+}  // namespace fedcav::data

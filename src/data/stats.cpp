@@ -1,0 +1,66 @@
+#include "src/data/stats.hpp"
+
+#include <cmath>
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::data {
+
+std::vector<std::vector<std::size_t>> client_class_histograms(const Dataset& train,
+                                                              const Partition& partition) {
+  std::vector<std::vector<std::size_t>> out(partition.size());
+  for (std::size_t k = 0; k < partition.size(); ++k) {
+    out[k].assign(train.num_classes(), 0);
+    for (std::size_t i : partition[k]) ++out[k][train.label(i)];
+  }
+  return out;
+}
+
+double histogram_stddev(const std::vector<std::size_t>& counts) {
+  FEDCAV_REQUIRE(!counts.empty(), "histogram_stddev: empty histogram");
+  double mean = 0.0;
+  for (std::size_t c : counts) mean += static_cast<double>(c);
+  mean /= static_cast<double>(counts.size());
+  double var = 0.0;
+  for (std::size_t c : counts) {
+    const double d = static_cast<double>(c) - mean;
+    var += d * d;
+  }
+  return std::sqrt(var / static_cast<double>(counts.size()));
+}
+
+double mean_client_divergence(const Dataset& train, const Partition& partition) {
+  const auto hists = client_class_histograms(train, partition);
+  const auto global = train.class_histogram();
+  double global_total = 0.0;
+  for (std::size_t c : global) global_total += static_cast<double>(c);
+  FEDCAV_REQUIRE(global_total > 0.0, "mean_client_divergence: empty dataset");
+
+  double acc = 0.0;
+  for (const auto& h : hists) {
+    double client_total = 0.0;
+    for (std::size_t c : h) client_total += static_cast<double>(c);
+    if (client_total == 0.0) continue;
+    double tv = 0.0;
+    for (std::size_t c = 0; c < h.size(); ++c) {
+      tv += std::abs(static_cast<double>(h[c]) / client_total -
+                     static_cast<double>(global[c]) / global_total);
+    }
+    acc += 0.5 * tv;
+  }
+  return acc / static_cast<double>(hists.size());
+}
+
+std::vector<std::size_t> classes_per_client(const Dataset& train,
+                                            const Partition& partition) {
+  const auto hists = client_class_histograms(train, partition);
+  std::vector<std::size_t> out(hists.size(), 0);
+  for (std::size_t k = 0; k < hists.size(); ++k) {
+    for (std::size_t c : hists[k]) {
+      if (c > 0) ++out[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace fedcav::data

@@ -1,0 +1,27 @@
+// Distribution statistics over partitions: the quantities §3 of the
+// paper reasons about (class-size variance, client/global divergence).
+#pragma once
+
+#include <vector>
+
+#include "src/data/dataset.hpp"
+#include "src/data/partition.hpp"
+
+namespace fedcav::data {
+
+/// Per-client class histograms (num_clients × num_classes).
+std::vector<std::vector<std::size_t>> client_class_histograms(const Dataset& train,
+                                                              const Partition& partition);
+
+/// Population standard deviation of a count vector.
+double histogram_stddev(const std::vector<std::size_t>& counts);
+
+/// Mean (over clients) total-variation distance between the client's
+/// class distribution and the global class distribution — a scalar
+/// "how non-IID is this partition" summary in [0, 1].
+double mean_client_divergence(const Dataset& train, const Partition& partition);
+
+/// Number of distinct classes present on each client.
+std::vector<std::size_t> classes_per_client(const Dataset& train, const Partition& partition);
+
+}  // namespace fedcav::data

@@ -1,0 +1,200 @@
+#include "src/data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::data {
+
+void SynthConfig::validate() const {
+  FEDCAV_REQUIRE(num_classes >= 2, "SynthConfig: need at least two classes");
+  FEDCAV_REQUIRE(channels >= 1 && channels <= 3, "SynthConfig: channels must be 1..3");
+  FEDCAV_REQUIRE(side >= 8, "SynthConfig: side must be at least 8");
+  FEDCAV_REQUIRE(class_overlap >= 0.0 && class_overlap < 1.0,
+                 "SynthConfig: class_overlap must be in [0, 1)");
+  FEDCAV_REQUIRE(noise_stddev >= 0.0, "SynthConfig: negative noise");
+  FEDCAV_REQUIRE(max_shift < side / 2, "SynthConfig: shift too large for image");
+}
+
+namespace {
+
+/// Smooth random field: random values on a coarse grid, bilinearly
+/// upsampled. Gives class prototypes with large-scale structure a small
+/// CNN can key on (analogous to stroke layout in real digits).
+void fill_low_freq(std::vector<float>& img, std::size_t side, Rng& rng,
+                   std::size_t grid = 4) {
+  std::vector<float> coarse(grid * grid);
+  for (auto& v : coarse) v = rng.uniform_f(-1.0f, 1.0f);
+  for (std::size_t y = 0; y < side; ++y) {
+    const double gy = static_cast<double>(y) / static_cast<double>(side - 1) *
+                      static_cast<double>(grid - 1);
+    const std::size_t y0 = static_cast<std::size_t>(gy);
+    const std::size_t y1 = std::min(grid - 1, y0 + 1);
+    const double fy = gy - static_cast<double>(y0);
+    for (std::size_t x = 0; x < side; ++x) {
+      const double gx = static_cast<double>(x) / static_cast<double>(side - 1) *
+                        static_cast<double>(grid - 1);
+      const std::size_t x0 = static_cast<std::size_t>(gx);
+      const std::size_t x1 = std::min(grid - 1, x0 + 1);
+      const double fx = gx - static_cast<double>(x0);
+      const double c00 = static_cast<double>(coarse[y0 * grid + x0]);
+      const double c01 = static_cast<double>(coarse[y0 * grid + x1]);
+      const double c10 = static_cast<double>(coarse[y1 * grid + x0]);
+      const double c11 = static_cast<double>(coarse[y1 * grid + x1]);
+      const double v = (1 - fy) * ((1 - fx) * c00 + fx * c01) +
+                       fy * ((1 - fx) * c10 + fx * c11);
+      img[y * side + x] = static_cast<float>(v);
+    }
+  }
+}
+
+/// Class-keyed texture: stripes or checkers whose frequency/orientation
+/// depend on the class id. Adds the fine-scale cues fashion/cifar images
+/// have beyond blob layout.
+void add_texture(std::vector<float>& img, std::size_t side, std::size_t label,
+                 float amplitude) {
+  const double freq = 2.0 * std::numbers::pi * (1.0 + static_cast<double>(label % 4)) /
+                      static_cast<double>(side);
+  const int mode = static_cast<int>(label % 3);
+  for (std::size_t y = 0; y < side; ++y) {
+    for (std::size_t x = 0; x < side; ++x) {
+      double t = 0.0;
+      switch (mode) {
+        case 0: t = std::sin(freq * static_cast<double>(x)); break;
+        case 1: t = std::sin(freq * static_cast<double>(y)); break;
+        default: t = std::sin(freq * static_cast<double>(x + y)); break;
+      }
+      img[y * side + x] += amplitude * static_cast<float>(t);
+    }
+  }
+}
+
+}  // namespace
+
+SynthGenerator::SynthGenerator(SynthConfig config) : config_(config) {
+  config_.validate();
+  const std::size_t plane = config_.side * config_.side;
+  const std::size_t per_class = config_.channels * plane;
+  prototypes_.assign(config_.num_classes * per_class, 0.0f);
+
+  Rng proto_rng(config_.seed);
+  // Shared base mixed into every prototype to raise class overlap.
+  std::vector<float> base(plane);
+  fill_low_freq(base, config_.side, proto_rng);
+
+  std::vector<float> field(plane);
+  for (std::size_t c = 0; c < config_.num_classes; ++c) {
+    for (std::size_t ch = 0; ch < config_.channels; ++ch) {
+      fill_low_freq(field, config_.side, proto_rng);
+      add_texture(field, config_.side, c, /*amplitude=*/0.5f);
+      float* dst = prototypes_.data() + (c * config_.channels + ch) * plane;
+      const float overlap = static_cast<float>(config_.class_overlap);
+      for (std::size_t i = 0; i < plane; ++i) {
+        dst[i] = overlap * base[i] + (1.0f - overlap) * field[i];
+      }
+    }
+  }
+}
+
+void SynthGenerator::sample_into(std::size_t label, Rng& rng,
+                                 std::vector<float>& out) const {
+  FEDCAV_REQUIRE(label < config_.num_classes, "SynthGenerator: label out of range");
+  const std::size_t side = config_.side;
+  const std::size_t plane = side * side;
+  const std::size_t sample_size = config_.channels * plane;
+  out.resize(sample_size);
+
+  const long long max_shift = static_cast<long long>(config_.max_shift);
+  const long long dx = rng.uniform_int(-max_shift, max_shift);
+  const long long dy = rng.uniform_int(-max_shift, max_shift);
+  const float contrast = rng.uniform_f(1.0f - static_cast<float>(config_.contrast_jitter),
+                                       1.0f + static_cast<float>(config_.contrast_jitter));
+
+  const float* proto = prototypes_.data() + label * sample_size;
+  for (std::size_t ch = 0; ch < config_.channels; ++ch) {
+    const float* src = proto + ch * plane;
+    float* dst = out.data() + ch * plane;
+    for (std::size_t y = 0; y < side; ++y) {
+      const long long sy = static_cast<long long>(y) + dy;
+      for (std::size_t x = 0; x < side; ++x) {
+        const long long sx = static_cast<long long>(x) + dx;
+        float v = 0.0f;
+        if (sy >= 0 && sy < static_cast<long long>(side) && sx >= 0 &&
+            sx < static_cast<long long>(side)) {
+          v = src[static_cast<std::size_t>(sy) * side + static_cast<std::size_t>(sx)];
+        }
+        v = contrast * v + static_cast<float>(rng.normal(0.0, config_.noise_stddev));
+        dst[y * side + x] = v;
+      }
+    }
+  }
+}
+
+Dataset SynthGenerator::generate_balanced(std::size_t per_class, Rng& rng) const {
+  std::vector<std::size_t> counts(config_.num_classes, per_class);
+  return generate_with_counts(counts, rng);
+}
+
+Dataset SynthGenerator::generate_with_counts(const std::vector<std::size_t>& counts,
+                                             Rng& rng) const {
+  FEDCAV_REQUIRE(counts.size() == config_.num_classes,
+                 "SynthGenerator: counts size must equal num_classes");
+  Dataset out(Shape::of(config_.channels, config_.side, config_.side), config_.num_classes);
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  out.reserve(total);
+  std::vector<float> sample;
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    for (std::size_t i = 0; i < counts[c]; ++i) {
+      sample_into(c, rng, sample);
+      out.add_sample(sample, c);
+    }
+  }
+  out.shuffle(rng);
+  return out;
+}
+
+SynthConfig synth_digits_config(std::uint64_t seed) {
+  SynthConfig c;
+  c.channels = 1;
+  c.side = 14;
+  c.class_overlap = 0.25;
+  c.noise_stddev = 0.35;
+  c.max_shift = 2;
+  c.seed = seed;
+  return c;
+}
+
+SynthConfig synth_fashion_config(std::uint64_t seed) {
+  SynthConfig c;
+  c.channels = 1;
+  c.side = 14;
+  c.class_overlap = 0.45;
+  c.noise_stddev = 0.3;
+  c.max_shift = 2;
+  c.seed = seed;
+  return c;
+}
+
+SynthConfig synth_cifar_config(std::uint64_t seed) {
+  SynthConfig c;
+  c.channels = 3;
+  c.side = 16;
+  c.class_overlap = 0.65;
+  c.noise_stddev = 0.45;
+  c.max_shift = 3;
+  c.contrast_jitter = 0.35;
+  c.seed = seed;
+  return c;
+}
+
+SynthConfig synth_config_by_name(const std::string& name, std::uint64_t seed) {
+  if (name == "digits") return synth_digits_config(seed);
+  if (name == "fashion") return synth_fashion_config(seed);
+  if (name == "cifar") return synth_cifar_config(seed);
+  throw Error("synth_config_by_name: unknown dataset '" + name + "'");
+}
+
+}  // namespace fedcav::data

@@ -1,0 +1,67 @@
+// Synthetic image corpora standing in for MNIST / FMNIST / CIFAR-10.
+//
+// Generation model: each class c gets a prototype image P_c built from
+// smooth low-frequency structure plus (for the fashion/cifar variants) a
+// class-keyed texture. A sample is an augmented prototype:
+//     x = contrast * shift(P_c, dx, dy) + N(0, noise²)
+// Difficulty is controlled by three knobs that mirror why the real
+// datasets order MNIST < FMNIST < CIFAR-10 in hardness:
+//  * `class_overlap`  — fraction of a shared base image mixed into every
+//    prototype (raises inter-class similarity),
+//  * `noise_stddev`   — per-pixel additive noise,
+//  * `max_shift`      — translation jitter in pixels.
+// A balanced test set follows the paper's setup ("the test dataset is
+// balanced", §5.2.1).
+#pragma once
+
+#include <cstddef>
+
+#include "src/data/dataset.hpp"
+
+namespace fedcav::data {
+
+struct SynthConfig {
+  std::size_t num_classes = 10;
+  std::size_t channels = 1;
+  std::size_t side = 14;
+  double class_overlap = 0.0;   // [0, 1)
+  double noise_stddev = 0.15;
+  std::size_t max_shift = 1;
+  double contrast_jitter = 0.2; // contrast ~ U(1-j, 1+j)
+  std::uint64_t seed = 42;
+
+  void validate() const;
+};
+
+/// Prototype bank: deterministic given the config seed, shared between
+/// train and test generation so both draw from the same distribution.
+class SynthGenerator {
+ public:
+  explicit SynthGenerator(SynthConfig config);
+
+  const SynthConfig& config() const { return config_; }
+
+  /// Generate `per_class` samples of every class (size = classes*per_class).
+  Dataset generate_balanced(std::size_t per_class, Rng& rng) const;
+
+  /// Generate samples with the given per-class counts
+  /// (counts.size() == num_classes).
+  Dataset generate_with_counts(const std::vector<std::size_t>& counts, Rng& rng) const;
+
+  /// One augmented sample of class `label`.
+  void sample_into(std::size_t label, Rng& rng, std::vector<float>& out) const;
+
+ private:
+  SynthConfig config_;
+  std::vector<float> prototypes_;  // num_classes × channels × side × side
+};
+
+/// Canned configurations matching DESIGN.md's dataset substitutions.
+SynthConfig synth_digits_config(std::uint64_t seed = 42);   // MNIST-like: easy
+SynthConfig synth_fashion_config(std::uint64_t seed = 43);  // FMNIST-like: medium
+SynthConfig synth_cifar_config(std::uint64_t seed = 44);    // CIFAR-like: hard
+
+/// Named lookup: "digits" | "fashion" | "cifar". Throws on unknown name.
+SynthConfig synth_config_by_name(const std::string& name, std::uint64_t seed);
+
+}  // namespace fedcav::data

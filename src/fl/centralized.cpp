@@ -1,0 +1,65 @@
+#include "src/fl/centralized.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/metrics/evaluation.hpp"
+#include "src/nn/optimizer.hpp"
+#include "src/utils/error.hpp"
+#include "src/utils/timer.hpp"
+
+namespace fedcav::fl {
+
+CentralizedTrainer::CentralizedTrainer(std::unique_ptr<nn::Model> model,
+                                       data::Dataset train, data::Dataset test,
+                                       LocalTrainConfig config, Rng rng)
+    : model_(std::move(model)),
+      train_(std::move(train)),
+      test_(std::move(test)),
+      config_(config),
+      rng_(rng) {
+  FEDCAV_REQUIRE(model_ != nullptr, "CentralizedTrainer: null model");
+  FEDCAV_REQUIRE(!train_.empty(), "CentralizedTrainer: empty training set");
+  FEDCAV_REQUIRE(!test_.empty(), "CentralizedTrainer: empty test set");
+}
+
+metrics::RoundRecord CentralizedTrainer::run_round(std::size_t epochs_per_round) {
+  FEDCAV_REQUIRE(epochs_per_round > 0, "CentralizedTrainer: zero epochs");
+  ++round_;
+  Stopwatch watch;
+
+  nn::SgdConfig sgd_config;
+  sgd_config.lr = config_.lr;
+  sgd_config.momentum = config_.momentum;
+  sgd_config.weight_decay = config_.weight_decay;
+  nn::Sgd optimizer(sgd_config);
+
+  std::vector<std::size_t> order(train_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<std::size_t> labels;
+  for (std::size_t epoch = 0; epoch < epochs_per_round; ++epoch) {
+    rng_.shuffle(order);
+    for (std::size_t begin = 0; begin < order.size(); begin += config_.batch_size) {
+      const std::size_t end = std::min(order.size(), begin + config_.batch_size);
+      Tensor batch = train_.make_batch(std::span(order.data() + begin, end - begin), &labels);
+      model_->forward_backward(batch, labels);
+      optimizer.step(*model_);
+    }
+  }
+
+  const metrics::EvalResult eval = metrics::evaluate(*model_, test_);
+  metrics::RoundRecord record;
+  record.round = round_;
+  record.test_accuracy = eval.accuracy;
+  record.test_loss = eval.mean_loss;
+  record.participants = 1;
+  record.wall_seconds = watch.seconds();
+  history_.add(record);
+  return record;
+}
+
+void CentralizedTrainer::run(std::size_t rounds, std::size_t epochs_per_round) {
+  for (std::size_t r = 0; r < rounds; ++r) run_round(epochs_per_round);
+}
+
+}  // namespace fedcav::fl

@@ -1,0 +1,41 @@
+// Centralized gradient-descent baseline (paper §5.1.2 baseline (1)):
+// the whole corpus on one node, standard mini-batch SGD. Reported per
+// "round" (= one local-epoch-equivalent sweep) so its curve overlays the
+// federated ones in the Fig. 4 reproduction.
+#pragma once
+
+#include <memory>
+
+#include "src/data/dataset.hpp"
+#include "src/fl/types.hpp"
+#include "src/metrics/history.hpp"
+#include "src/nn/model.hpp"
+#include "src/utils/rng.hpp"
+
+namespace fedcav::fl {
+
+class CentralizedTrainer {
+ public:
+  CentralizedTrainer(std::unique_ptr<nn::Model> model, data::Dataset train,
+                     data::Dataset test, LocalTrainConfig config, Rng rng);
+
+  /// One "round": `epochs_per_round` passes over the full training set,
+  /// then evaluation. Appends to history().
+  metrics::RoundRecord run_round(std::size_t epochs_per_round = 1);
+
+  void run(std::size_t rounds, std::size_t epochs_per_round = 1);
+
+  const metrics::TrainingHistory& history() const { return history_; }
+  nn::Model& model() { return *model_; }
+
+ private:
+  std::unique_ptr<nn::Model> model_;
+  data::Dataset train_;
+  data::Dataset test_;
+  LocalTrainConfig config_;
+  Rng rng_;
+  metrics::TrainingHistory history_;
+  std::size_t round_ = 0;
+};
+
+}  // namespace fedcav::fl

@@ -1,0 +1,100 @@
+#include "src/fl/client.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/metrics/evaluation.hpp"
+#include "src/utils/error.hpp"
+
+namespace fedcav::fl {
+
+Client::Client(std::size_t id, data::Dataset local_data, std::unique_ptr<nn::Model> model,
+               Rng rng)
+    : id_(id), data_(std::move(local_data)), model_(std::move(model)), rng_(rng) {
+  FEDCAV_REQUIRE(model_ != nullptr, "Client: null model");
+  FEDCAV_REQUIRE(!data_.empty(), "Client: empty local dataset");
+}
+
+double Client::compute_inference_loss(const nn::Weights& global) {
+  model_->set_weights(global);
+  return metrics::inference_loss(*model_, data_);
+}
+
+ClientUpdate Client::local_update(const nn::Weights& global, const LocalTrainConfig& config) {
+  FEDCAV_REQUIRE(config.epochs > 0, "Client: zero local epochs");
+  FEDCAV_REQUIRE(config.batch_size > 0, "Client: zero batch size");
+
+  // Phase ①: inference loss of the downloaded (pre-training) model.
+  model_->set_weights(global);
+  const double f_i = metrics::inference_loss(*model_, data_);
+
+  // Phase ②: E epochs of mini-batch SGD from the global weights.
+  nn::SgdConfig sgd_config;
+  sgd_config.lr = config.lr;
+  sgd_config.momentum = config.momentum;
+  sgd_config.weight_decay = config.weight_decay;
+  sgd_config.prox_mu = config.prox_mu;
+  nn::Sgd optimizer(sgd_config);
+  if (config.prox_mu > 0.0f) optimizer.set_prox_anchor(global);
+  if (config.curv_lambda > 0.0f && has_curvature_state()) {
+    optimizer.set_quadratic_penalty(curv_anchor_, curv_importance_, config.curv_lambda);
+  }
+
+  std::vector<std::size_t> order(data_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<std::size_t> labels;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng_.shuffle(order);
+    for (std::size_t begin = 0; begin < order.size(); begin += config.batch_size) {
+      const std::size_t end = std::min(order.size(), begin + config.batch_size);
+      Tensor batch = data_.make_batch(
+          std::span(order.data() + begin, end - begin), &labels);
+      model_->forward_backward(batch, labels);
+      optimizer.step(*model_);
+    }
+  }
+
+  ClientUpdate update;
+  update.client_id = id_;
+  update.weights = model_->get_weights();
+  update.inference_loss = f_i;
+  update.num_samples = data_.size();
+
+  if (config.curv_lambda > 0.0f) {
+    // Remember this participation's optimum and parameter importances
+    // for the EWC-style penalty next time this client is sampled.
+    curv_importance_ = estimate_fisher();
+    curv_anchor_ = update.weights;
+  }
+  return update;
+}
+
+std::vector<float> Client::estimate_fisher() {
+  model_->zero_grad();
+  std::vector<float> fisher(model_->num_params(), 0.0f);
+  std::vector<std::size_t> labels;
+  std::size_t batches = 0;
+  constexpr std::size_t kFisherBatch = 16;
+  std::vector<std::size_t> indices;
+  for (std::size_t begin = 0; begin < data_.size(); begin += kFisherBatch) {
+    const std::size_t end = std::min(data_.size(), begin + kFisherBatch);
+    indices.resize(end - begin);
+    for (std::size_t i = begin; i < end; ++i) indices[i - begin] = i;
+    Tensor batch = data_.make_batch(indices, &labels);
+    model_->forward_backward(batch, labels);
+    const nn::Weights grads = model_->get_gradients();
+    for (std::size_t i = 0; i < grads.size(); ++i) fisher[i] += grads[i] * grads[i];
+    model_->zero_grad();
+    ++batches;
+  }
+  const float inv = 1.0f / static_cast<float>(std::max<std::size_t>(1, batches));
+  for (float& f : fisher) f *= inv;
+  return fisher;
+}
+
+void Client::set_local_data(data::Dataset new_data) {
+  FEDCAV_REQUIRE(!new_data.empty(), "Client::set_local_data: empty dataset");
+  data_ = std::move(new_data);
+}
+
+}  // namespace fedcav::fl

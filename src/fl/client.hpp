@@ -1,0 +1,61 @@
+// Federated client: owns a private data shard and a model replica and
+// implements Algorithm 2 (LocalUpdate).
+//
+// Per round the client (1) loads the downloaded global weights,
+// (2) computes the inference loss f_i(w_t) of that *untrained* model on
+// its local data, (3) runs E epochs of mini-batch SGD (optionally with
+// FedProx's proximal pull toward the global weights), and (4) returns
+// the trained weights, the inference loss, and its sample count.
+//
+// Each client owns an independent model replica, so a round's clients
+// can train concurrently on the thread pool without sharing buffers.
+#pragma once
+
+#include <memory>
+
+#include "src/data/dataset.hpp"
+#include "src/fl/types.hpp"
+#include "src/nn/optimizer.hpp"
+#include "src/utils/rng.hpp"
+
+namespace fedcav::fl {
+
+class Client {
+ public:
+  Client(std::size_t id, data::Dataset local_data, std::unique_ptr<nn::Model> model,
+         Rng rng);
+
+  std::size_t id() const { return id_; }
+  const data::Dataset& local_data() const { return data_; }
+  std::size_t num_samples() const { return data_.size(); }
+
+  /// Algorithm 2. `config` carries E, B, η and (for FedProx) μ.
+  ClientUpdate local_update(const nn::Weights& global, const LocalTrainConfig& config);
+
+  /// The inference loss alone (phase ① of Fig. 3) — also used by the
+  /// server-side overhead accounting bench.
+  double compute_inference_loss(const nn::Weights& global);
+
+  /// Replace this client's data (dynamic-environment experiments inject
+  /// fresh-class samples between phases).
+  void set_local_data(data::Dataset new_data);
+
+  /// True once a curv_lambda run has stored a previous-optimum anchor.
+  bool has_curvature_state() const { return !curv_anchor_.empty(); }
+
+ private:
+  /// Diagonal Fisher estimate of the current model on the local data
+  /// (mean squared gradient over one pass).
+  std::vector<float> estimate_fisher();
+
+  std::size_t id_;
+  data::Dataset data_;
+  std::unique_ptr<nn::Model> model_;
+  Rng rng_;
+  // FedCurv-lite state: the client's previous local optimum and its
+  // parameter importances, kept across participations.
+  std::vector<float> curv_anchor_;
+  std::vector<float> curv_importance_;
+};
+
+}  // namespace fedcav::fl

@@ -1,0 +1,48 @@
+#include "src/fl/compressed.hpp"
+
+#include "src/utils/error.hpp"
+#include "src/utils/string_util.hpp"
+
+namespace fedcav::fl {
+
+CompressedStrategy::CompressedStrategy(std::unique_ptr<AggregationStrategy> inner,
+                                       double ratio)
+    : inner_(std::move(inner)), ratio_(ratio) {
+  FEDCAV_REQUIRE(inner_ != nullptr, "CompressedStrategy: null inner strategy");
+  FEDCAV_REQUIRE(ratio > 0.0 && ratio <= 1.0,
+                 "CompressedStrategy: ratio must be in (0, 1]");
+}
+
+nn::Weights CompressedStrategy::aggregate(const nn::Weights& global,
+                                          const std::vector<ClientUpdate>& updates) {
+  std::vector<ClientUpdate> lossy = updates;
+  std::vector<float> delta(global.size());
+  for (ClientUpdate& update : lossy) {
+    FEDCAV_REQUIRE(update.weights.size() == global.size(),
+                   "CompressedStrategy: weight size mismatch");
+    for (std::size_t i = 0; i < global.size(); ++i) {
+      delta[i] = update.weights[i] - global[i];
+    }
+    const comm::SparseDelta sparse = comm::topk_compress(delta, ratio_);
+    sparse_bytes_ += sparse.wire_size();
+    dense_bytes_ += global.size() * sizeof(float);
+    update.weights = global;
+    comm::add_sparse(update.weights, sparse);
+  }
+  return inner_->aggregate(global, lossy);
+}
+
+std::vector<double> CompressedStrategy::aggregation_weights(
+    const std::vector<ClientUpdate>& updates) const {
+  return inner_->aggregation_weights(updates);
+}
+
+void CompressedStrategy::apply_local_overrides(LocalTrainConfig& config) const {
+  inner_->apply_local_overrides(config);
+}
+
+std::string CompressedStrategy::name() const {
+  return "TopK(" + format_double(ratio_, 2) + ", " + inner_->name() + ")";
+}
+
+}  // namespace fedcav::fl

@@ -1,0 +1,41 @@
+// CompressedStrategy: decorator that simulates top-k sparsified uplinks.
+//
+// Each client update's weights are replaced by the reconstruction
+//   w_t + decompress(topk(w_i − w_t, ratio))
+// before being handed to the wrapped aggregation strategy, and the bytes
+// a real sparse uplink would have cost are tallied. This keeps the
+// Server and wire protocol unchanged while letting the ablation bench
+// measure the accuracy/byte tradeoff of lossy uplinks.
+#pragma once
+
+#include <memory>
+
+#include "src/comm/compression.hpp"
+#include "src/fl/strategy.hpp"
+
+namespace fedcav::fl {
+
+class CompressedStrategy : public AggregationStrategy {
+ public:
+  CompressedStrategy(std::unique_ptr<AggregationStrategy> inner, double ratio);
+
+  nn::Weights aggregate(const nn::Weights& global,
+                        const std::vector<ClientUpdate>& updates) override;
+  std::vector<double> aggregation_weights(
+      const std::vector<ClientUpdate>& updates) const override;
+  void apply_local_overrides(LocalTrainConfig& config) const override;
+  std::string name() const override;
+
+  /// Cumulative bytes the sparse uplinks would have used, and the dense
+  /// bytes they replaced.
+  std::uint64_t sparse_bytes() const { return sparse_bytes_; }
+  std::uint64_t dense_bytes() const { return dense_bytes_; }
+
+ private:
+  std::unique_ptr<AggregationStrategy> inner_;
+  double ratio_;
+  std::uint64_t sparse_bytes_ = 0;
+  std::uint64_t dense_bytes_ = 0;
+};
+
+}  // namespace fedcav::fl

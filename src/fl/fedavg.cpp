@@ -1,0 +1,46 @@
+#include "src/fl/fedavg.hpp"
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::fl {
+
+nn::Weights weighted_average(const std::vector<ClientUpdate>& updates,
+                             const std::vector<double>& weights) {
+  FEDCAV_REQUIRE(!updates.empty(), "weighted_average: no updates");
+  FEDCAV_REQUIRE(updates.size() == weights.size(), "weighted_average: size mismatch");
+  const std::size_t dim = updates.front().weights.size();
+  // Accumulate in double: rounds sum 30+ weight vectors and float
+  // accumulation noise would otherwise leak into convergence curves.
+  std::vector<double> acc(dim, 0.0);
+  for (std::size_t u = 0; u < updates.size(); ++u) {
+    FEDCAV_REQUIRE(updates[u].weights.size() == dim,
+                   "weighted_average: weight dimension mismatch");
+    const double w = weights[u];
+    const float* src = updates[u].weights.data();
+    for (std::size_t i = 0; i < dim; ++i) acc[i] += w * static_cast<double>(src[i]);
+  }
+  nn::Weights out(dim);
+  for (std::size_t i = 0; i < dim; ++i) out[i] = static_cast<float>(acc[i]);
+  return out;
+}
+
+std::vector<double> FedAvg::aggregation_weights(
+    const std::vector<ClientUpdate>& updates) const {
+  FEDCAV_REQUIRE(!updates.empty(), "FedAvg: no updates");
+  double total = 0.0;
+  for (const auto& u : updates) total += static_cast<double>(u.num_samples);
+  FEDCAV_REQUIRE(total > 0.0, "FedAvg: all updates empty");
+  std::vector<double> w(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    w[i] = static_cast<double>(updates[i].num_samples) / total;
+  }
+  return w;
+}
+
+nn::Weights FedAvg::aggregate(const nn::Weights& global,
+                              const std::vector<ClientUpdate>& updates) {
+  (void)global;
+  return weighted_average(updates, aggregation_weights(updates));
+}
+
+}  // namespace fedcav::fl

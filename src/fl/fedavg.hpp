@@ -1,0 +1,22 @@
+// FedAvg (McMahan et al.): sample-count-weighted averaging,
+// w_{t+1} = Σ_i (|d_i| / |D_{S_t}|) · w_i^{t+1}   (paper Eq. 6 form).
+#pragma once
+
+#include "src/fl/strategy.hpp"
+
+namespace fedcav::fl {
+
+class FedAvg : public AggregationStrategy {
+ public:
+  nn::Weights aggregate(const nn::Weights& global,
+                        const std::vector<ClientUpdate>& updates) override;
+  std::vector<double> aggregation_weights(
+      const std::vector<ClientUpdate>& updates) const override;
+  std::string name() const override { return "FedAvg"; }
+};
+
+/// Shared helper: convex combination Σ γ_i · w_i with Σ γ_i = 1.
+nn::Weights weighted_average(const std::vector<ClientUpdate>& updates,
+                             const std::vector<double>& weights);
+
+}  // namespace fedcav::fl

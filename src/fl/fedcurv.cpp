@@ -1,0 +1,20 @@
+#include "src/fl/fedcurv.hpp"
+
+#include "src/utils/error.hpp"
+#include "src/utils/string_util.hpp"
+
+namespace fedcav::fl {
+
+FedCurvLite::FedCurvLite(float lambda) : lambda_(lambda) {
+  FEDCAV_REQUIRE(lambda > 0.0f, "FedCurvLite: lambda must be positive");
+}
+
+void FedCurvLite::apply_local_overrides(LocalTrainConfig& config) const {
+  config.curv_lambda = lambda_;
+}
+
+std::string FedCurvLite::name() const {
+  return "FedCurvLite(lambda=" + format_double(static_cast<double>(lambda_), 2) + ")";
+}
+
+}  // namespace fedcav::fl

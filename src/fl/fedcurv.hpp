@@ -1,0 +1,32 @@
+// FedCurv-lite (related work [18], Shoham et al.): FedAvg aggregation
+// plus an EWC-style curvature penalty in the local objective —
+//   ℓ_i(w) + λ Σ_j F_j (w_j − w*_j)²
+// where w* is the client's previous local optimum and F its diagonal
+// Fisher estimate. The penalty "compels all local models to converge to
+// a shared optimum" by protecting the parameters each client found
+// important, countering catastrophic drift on non-IID shards.
+//
+// "Lite": the canonical FedCurv also exchanges Fisher terms through the
+// server; here the state stays client-side (no extra uplink), which
+// preserves the regularization effect the paper's §2 describes while
+// keeping FedAvg's wire protocol.
+#pragma once
+
+#include "src/fl/fedavg.hpp"
+
+namespace fedcav::fl {
+
+class FedCurvLite : public FedAvg {
+ public:
+  explicit FedCurvLite(float lambda = 1.0f);
+
+  void apply_local_overrides(LocalTrainConfig& config) const override;
+  std::string name() const override;
+
+  float lambda() const { return lambda_; }
+
+ private:
+  float lambda_;
+};
+
+}  // namespace fedcav::fl

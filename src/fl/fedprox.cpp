@@ -1,0 +1,20 @@
+#include "src/fl/fedprox.hpp"
+
+#include "src/utils/error.hpp"
+#include "src/utils/string_util.hpp"
+
+namespace fedcav::fl {
+
+FedProx::FedProx(float mu) : mu_(mu) {
+  FEDCAV_REQUIRE(mu > 0.0f, "FedProx: mu must be positive");
+}
+
+void FedProx::apply_local_overrides(LocalTrainConfig& config) const {
+  config.prox_mu = mu_;
+}
+
+std::string FedProx::name() const {
+  return "FedProx(mu=" + format_double(static_cast<double>(mu_), 3) + ")";
+}
+
+}  // namespace fedcav::fl

@@ -1,0 +1,24 @@
+// FedProx (Li et al., the paper's baseline [11]): FedAvg aggregation
+// plus a proximal term μ/2·‖w − w_t‖² added to every client's local
+// objective. The aggregation rule is unchanged; the strategy's override
+// hook injects μ into the local optimizer.
+#pragma once
+
+#include "src/fl/fedavg.hpp"
+
+namespace fedcav::fl {
+
+class FedProx : public FedAvg {
+ public:
+  explicit FedProx(float mu = 0.01f);
+
+  void apply_local_overrides(LocalTrainConfig& config) const override;
+  std::string name() const override;
+
+  float mu() const { return mu_; }
+
+ private:
+  float mu_;
+};
+
+}  // namespace fedcav::fl

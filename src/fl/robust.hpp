@@ -1,0 +1,64 @@
+// Byzantine-robust aggregation rules (the §2 threat-model baselines).
+//
+// FedCav's detector handles model replacement after the fact; these
+// rules bound the influence of arbitrary updates inside the aggregation
+// itself, at the cost of ignoring the contribution signal:
+//  * CoordinateMedian — coordinate-wise median (Blanchard et al. lineage).
+//  * TrimmedMean      — drop the β largest and smallest values per
+//    coordinate, average the rest.
+//  * Krum             — select the single update whose summed squared
+//    distance to its n−f−2 nearest neighbours is smallest.
+#pragma once
+
+#include "src/fl/strategy.hpp"
+
+namespace fedcav::fl {
+
+class CoordinateMedian : public AggregationStrategy {
+ public:
+  nn::Weights aggregate(const nn::Weights& global,
+                        const std::vector<ClientUpdate>& updates) override;
+  std::vector<double> aggregation_weights(
+      const std::vector<ClientUpdate>& updates) const override;
+  std::string name() const override { return "CoordinateMedian"; }
+};
+
+class TrimmedMean : public AggregationStrategy {
+ public:
+  /// `trim_fraction` β of each tail is discarded per coordinate;
+  /// β must leave at least one value (2β < 1).
+  explicit TrimmedMean(double trim_fraction = 0.2);
+
+  nn::Weights aggregate(const nn::Weights& global,
+                        const std::vector<ClientUpdate>& updates) override;
+  std::vector<double> aggregation_weights(
+      const std::vector<ClientUpdate>& updates) const override;
+  std::string name() const override;
+
+  double trim_fraction() const { return trim_fraction_; }
+
+ private:
+  double trim_fraction_;
+};
+
+class Krum : public AggregationStrategy {
+ public:
+  /// `max_byzantine` is the f the selection tolerates; requires
+  /// n >= f + 3 participants to be meaningful (falls back to the
+  /// closest-pair choice when the round is smaller).
+  explicit Krum(std::size_t max_byzantine = 1);
+
+  nn::Weights aggregate(const nn::Weights& global,
+                        const std::vector<ClientUpdate>& updates) override;
+  std::vector<double> aggregation_weights(
+      const std::vector<ClientUpdate>& updates) const override;
+  std::string name() const override;
+
+  /// Index (into the round's update list) Krum would select.
+  std::size_t select(const std::vector<ClientUpdate>& updates) const;
+
+ private:
+  std::size_t max_byzantine_;
+};
+
+}  // namespace fedcav::fl

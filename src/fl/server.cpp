@@ -1,0 +1,268 @@
+#include "src/fl/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iterator>
+
+#include "src/metrics/evaluation.hpp"
+#include "src/utils/error.hpp"
+#include "src/utils/logging.hpp"
+#include "src/utils/timer.hpp"
+
+namespace fedcav::fl {
+
+namespace {
+constexpr std::size_t kServerRank = 0;
+}
+
+void ServerConfig::validate(std::size_t num_clients) const {
+  FEDCAV_REQUIRE(sample_ratio > 0.0 && sample_ratio <= 1.0,
+                 "ServerConfig: sample_ratio must be in (0, 1]");
+  FEDCAV_REQUIRE(num_clients >= 1, "ServerConfig: need at least one client");
+  FEDCAV_REQUIRE(eval_batch_size > 0, "ServerConfig: zero eval batch size");
+  FEDCAV_REQUIRE(straggler_drop_prob >= 0.0 && straggler_drop_prob < 1.0,
+                 "ServerConfig: straggler_drop_prob must be in [0, 1)");
+}
+
+Server::Server(std::unique_ptr<nn::Model> global_model,
+               std::unique_ptr<AggregationStrategy> strategy,
+               std::vector<std::unique_ptr<Client>> clients, data::Dataset test_set,
+               ServerConfig config)
+    : global_model_(std::move(global_model)),
+      strategy_(std::move(strategy)),
+      clients_(std::move(clients)),
+      test_set_(std::move(test_set)),
+      config_(config),
+      effective_local_(config.local),
+      detector_(config.detector),
+      sampler_(config.sampler, clients_.size(), config.sample_ratio, config.seed),
+      straggler_rng_(config.seed ^ 0x57a661e2ULL) {
+  FEDCAV_REQUIRE(global_model_ != nullptr, "Server: null global model");
+  FEDCAV_REQUIRE(strategy_ != nullptr, "Server: null strategy");
+  FEDCAV_REQUIRE(!clients_.empty(), "Server: no clients");
+  FEDCAV_REQUIRE(!test_set_.empty(), "Server: empty test set");
+  config_.validate(clients_.size());
+  strategy_->apply_local_overrides(effective_local_);
+
+  global_weights_ = global_model_->get_weights();
+  cached_weights_ = global_weights_;
+  if (config_.use_network) {
+    comm::NetworkConfig net = config_.network;
+    net.num_endpoints = clients_.size() + 1;
+    network_ = std::make_unique<comm::InMemoryNetwork>(net);
+  }
+}
+
+void Server::set_adversary(std::shared_ptr<attack::Adversary> adversary,
+                           std::set<std::size_t> attack_rounds) {
+  adversary_ = std::move(adversary);
+  attack_rounds_ = std::move(attack_rounds);
+}
+
+void Server::set_global_weights(nn::Weights weights) {
+  FEDCAV_REQUIRE(weights.size() == global_weights_.size(),
+                 "Server::set_global_weights: size mismatch");
+  global_weights_ = std::move(weights);
+  global_model_->set_weights(global_weights_);
+}
+
+double Server::evaluate_accuracy() {
+  global_model_->set_weights(global_weights_);
+  return metrics::accuracy(*global_model_, test_set_, config_.eval_batch_size);
+}
+
+void Server::redistribute_data(std::vector<data::Dataset> per_client) {
+  FEDCAV_REQUIRE(per_client.size() == clients_.size(),
+                 "Server::redistribute_data: dataset count mismatch");
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    clients_[i]->set_local_data(std::move(per_client[i]));
+  }
+}
+
+ClientUpdate Server::run_participant(std::size_t client_index) {
+  Client& client = *clients_[client_index];
+  if (network_ != nullptr) {
+    // Weights travel through the fabric both ways so byte counters see
+    // the genuine serialized payloads (Fig. 3 phases ① and ②).
+    const std::size_t rank = client_index + 1;
+    comm::GlobalModelMsg down;
+    down.round = round_;
+    down.weights = global_weights_;
+    network_->send(kServerRank, rank,
+                   comm::Envelope{comm::MessageType::kGlobalModel, down.encode()});
+
+    auto envelope = network_->try_recv(rank, kServerRank);
+    FEDCAV_CHECK(envelope.has_value(), "Server: lost global-model message");
+    ByteReader reader(envelope->payload);
+    comm::GlobalModelMsg received = comm::GlobalModelMsg::decode(reader);
+
+    ClientUpdate update = client.local_update(received.weights, effective_local_);
+
+    comm::ClientReportMsg up;
+    up.round = round_;
+    up.client_id = client.id();
+    up.num_samples = update.num_samples;
+    up.inference_loss = update.inference_loss;
+    up.weights = update.weights;
+    network_->send(rank, kServerRank,
+                   comm::Envelope{comm::MessageType::kClientReport, up.encode()});
+
+    auto report = network_->try_recv(kServerRank, rank);
+    FEDCAV_CHECK(report.has_value(), "Server: lost client report");
+    ByteReader report_reader(report->payload);
+    comm::ClientReportMsg decoded = comm::ClientReportMsg::decode(report_reader);
+    update.weights = std::move(decoded.weights);
+    update.inference_loss = decoded.inference_loss;
+    return update;
+  }
+  return client.local_update(global_weights_, effective_local_);
+}
+
+void Server::set_lr_schedule(std::unique_ptr<nn::LrSchedule> schedule) {
+  lr_schedule_ = std::move(schedule);
+}
+
+void Server::save_checkpoint(const std::string& path) const {
+  ByteBuffer buf;
+  write_u64(buf, 0xfedca5c4ec9017ULL);  // magic
+  write_u64(buf, round_);
+  write_f32_span(buf, global_weights_);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  FEDCAV_REQUIRE(out.good(), "save_checkpoint: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+  FEDCAV_REQUIRE(out.good(), "save_checkpoint: write failed for " + path);
+}
+
+void Server::load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FEDCAV_REQUIRE(in.good(), "load_checkpoint: cannot open " + path);
+  ByteBuffer buf((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  ByteReader reader(buf);
+  FEDCAV_REQUIRE(reader.read_u64() == 0xfedca5c4ec9017ULL,
+                 "load_checkpoint: bad magic in " + path);
+  const std::uint64_t saved_round = reader.read_u64();
+  std::vector<float> weights = reader.read_f32_vector();
+  FEDCAV_REQUIRE(weights.size() == global_weights_.size(),
+                 "load_checkpoint: weight count mismatch in " + path);
+  round_ = saved_round;
+  set_global_weights(std::move(weights));
+}
+
+metrics::RoundRecord Server::run_round() {
+  ++round_;
+  if (lr_schedule_ != nullptr) effective_local_.lr = lr_schedule_->lr(round_);
+  Stopwatch watch;
+  metrics::RoundRecord record;
+  record.round = round_;
+
+  const std::uint64_t bytes_down_before =
+      network_ ? network_->stats(kServerRank).bytes_sent : 0;
+  std::uint64_t bytes_up_before = 0;
+  if (network_ != nullptr) {
+    for (std::size_t i = 1; i <= clients_.size(); ++i) {
+      bytes_up_before += network_->stats(i).bytes_sent;
+    }
+  }
+
+  const std::vector<std::size_t> participants = sampler_.sample();
+  record.participants = participants.size();
+
+  // Phase ①+②ᶜˡⁱᵉⁿᵗ: parallel local work; results land in fixed slots so
+  // aggregation order is deterministic (HPC-guide reduction idiom).
+  std::vector<ClientUpdate> updates(participants.size());
+  global_thread_pool().parallel_for(participants.size(), [&](std::size_t i) {
+    updates[i] = run_participant(participants[i]);
+  });
+
+  // Stragglers: each report is lost independently with the configured
+  // probability; the round proceeds with whoever got through.
+  std::vector<std::size_t> surviving = participants;
+  if (config_.straggler_drop_prob > 0.0) {
+    std::vector<ClientUpdate> kept_updates;
+    std::vector<std::size_t> kept_participants;
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      if (!straggler_rng_.bernoulli(config_.straggler_drop_prob)) {
+        kept_updates.push_back(std::move(updates[i]));
+        kept_participants.push_back(participants[i]);
+      }
+    }
+    if (kept_updates.empty()) {
+      // Everyone dropped: keep the first report so the round is defined.
+      kept_updates.push_back(std::move(updates.front()));
+      kept_participants.push_back(participants.front());
+    }
+    updates = std::move(kept_updates);
+    surviving = std::move(kept_participants);
+    record.participants = updates.size();
+  }
+
+  // Adversary hijacks the first sampled participant on attack rounds.
+  const bool attack_now = adversary_ != nullptr && attack_rounds_.count(round_) > 0;
+  if (attack_now) {
+    attack::AttackContext ctx;
+    ctx.global = &global_weights_;
+    ctx.round = round_;
+    ctx.participants = participants.size();
+    const std::vector<double> honest_gamma = strategy_->aggregation_weights(updates);
+    ctx.estimated_gamma = honest_gamma.front();
+    updates.front() = adversary_->corrupt(std::move(updates.front()), ctx);
+    record.attacked = true;
+  }
+
+  std::vector<double> losses(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) losses[i] = updates[i].inference_loss;
+  sampler_.observe_losses(surviving, losses);
+  record.mean_inference_loss = 0.0;
+  for (double f : losses) record.mean_inference_loss += f;
+  record.mean_inference_loss /= static_cast<double>(losses.size());
+  record.max_inference_loss = *std::max_element(losses.begin(), losses.end());
+
+  // Phase ②ˢᵉʳᵛᵉʳ: detection on the fresh inference losses (they were
+  // measured on w_t, i.e. on the *previous* round's aggregation result).
+  bool reversed = false;
+  if (config_.detection_enabled) {
+    const core::DetectionResult detection = detector_.check(losses);
+    record.detection_fired = detection.abnormal;
+    if (detection.abnormal) {
+      // Reverse: discard this round's updates, restore the cached model.
+      FEDCAV_LOG_INFO << "round " << round_ << ": detector fired (" << detection.votes
+                      << "/" << detection.voters << " votes), reversing global model";
+      global_weights_ = cached_weights_;
+      reversed = true;
+    }
+  }
+  record.reversed = reversed;
+
+  // Phase ③: aggregate (normal rounds only).
+  if (!reversed) {
+    cached_weights_ = global_weights_;
+    if (config_.detection_enabled) detector_.commit(losses);
+    global_weights_ = strategy_->aggregate(global_weights_, updates);
+  }
+
+  global_model_->set_weights(global_weights_);
+  const metrics::EvalResult eval =
+      metrics::evaluate(*global_model_, test_set_, config_.eval_batch_size);
+  record.test_accuracy = eval.accuracy;
+  record.test_loss = eval.mean_loss;
+  record.wall_seconds = watch.seconds();
+  if (network_ != nullptr) {
+    record.bytes_down = network_->stats(kServerRank).bytes_sent - bytes_down_before;
+    std::uint64_t bytes_up_after = 0;
+    for (std::size_t i = 1; i <= clients_.size(); ++i) {
+      bytes_up_after += network_->stats(i).bytes_sent;
+    }
+    record.bytes_up = bytes_up_after - bytes_up_before;
+  }
+
+  history_.add(record);
+  return record;
+}
+
+void Server::run(std::size_t rounds) {
+  for (std::size_t r = 0; r < rounds; ++r) run_round();
+}
+
+}  // namespace fedcav::fl

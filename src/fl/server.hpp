@@ -1,0 +1,119 @@
+// Federated server: Algorithm 1's outer loop with the Fig. 3 workflow —
+// participant sampling, global-model broadcast, parallel local training,
+// anomaly detection with model reverse, contribution-aware aggregation,
+// and per-round evaluation/accounting.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/attack/adversary.hpp"
+#include "src/comm/network.hpp"
+#include "src/core/detector.hpp"
+#include "src/data/dataset.hpp"
+#include "src/fl/client.hpp"
+#include "src/fl/sampler.hpp"
+#include "src/fl/strategy.hpp"
+#include "src/nn/schedule.hpp"
+#include "src/metrics/history.hpp"
+#include "src/utils/threadpool.hpp"
+
+namespace fedcav::fl {
+
+struct ServerConfig {
+  /// Fraction q of clients sampled each round (paper: 0.3).
+  double sample_ratio = 0.3;
+  /// How the round's cohort is chosen (paper: uniform).
+  SamplerPolicy sampler = SamplerPolicy::kUniform;
+  LocalTrainConfig local;
+  /// Probability a sampled participant fails to report (straggler /
+  /// connection loss). At least one update always survives. The paper's
+  /// dynamic view ("clients dynamically participating ... at any time",
+  /// §3.1) motivates exercising aggregation under partial cohorts.
+  double straggler_drop_prob = 0.0;
+  /// Enable the §4.4 detector + model reverse.
+  bool detection_enabled = false;
+  core::DetectorConfig detector;
+  std::size_t eval_batch_size = 64;
+  std::uint64_t seed = 11;
+  /// Route weights through the comm fabric (exact byte metering). Off
+  /// saves two serialization passes per participant per round.
+  bool use_network = true;
+  comm::NetworkConfig network;
+
+  void validate(std::size_t num_clients) const;
+};
+
+class Server {
+ public:
+  Server(std::unique_ptr<nn::Model> global_model,
+         std::unique_ptr<AggregationStrategy> strategy,
+         std::vector<std::unique_ptr<Client>> clients, data::Dataset test_set,
+         ServerConfig config);
+
+  /// Attach an adversary that hijacks one sampled participant's update
+  /// in each round listed in `attack_rounds` (1-based round numbers).
+  void set_adversary(std::shared_ptr<attack::Adversary> adversary,
+                     std::set<std::size_t> attack_rounds);
+
+  /// Execute one communication round; returns its record (also appended
+  /// to history()).
+  metrics::RoundRecord run_round();
+
+  /// Run `rounds` rounds.
+  void run(std::size_t rounds);
+
+  const metrics::TrainingHistory& history() const { return history_; }
+  std::size_t current_round() const { return round_; }
+  std::size_t num_clients() const { return clients_.size(); }
+
+  const nn::Weights& global_weights() const { return global_weights_; }
+  void set_global_weights(nn::Weights weights);
+
+  /// Accuracy of the current global model on the held-out test set.
+  double evaluate_accuracy();
+
+  /// Replace every client's dataset (fresh-class experiment phase 2).
+  void redistribute_data(std::vector<data::Dataset> per_client);
+
+  /// Attach a learning-rate schedule: before each round the local lr is
+  /// set to schedule->lr(round). nullptr restores the fixed configured η.
+  void set_lr_schedule(std::unique_ptr<nn::LrSchedule> schedule);
+
+  /// Serialize the current global weights to `path` (binary; includes a
+  /// magic, the round counter, and the flat weight vector).
+  void save_checkpoint(const std::string& path) const;
+  /// Restore weights (and round counter) from save_checkpoint output.
+  /// Throws fedcav::Error on malformed files or size mismatch.
+  void load_checkpoint(const std::string& path);
+
+  AggregationStrategy& strategy() { return *strategy_; }
+  const core::AnomalyDetector& detector() const { return detector_; }
+  const comm::InMemoryNetwork* network() const { return network_.get(); }
+
+ private:
+  ClientUpdate run_participant(std::size_t client_index);
+
+  std::unique_ptr<nn::Model> global_model_;
+  std::unique_ptr<AggregationStrategy> strategy_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  data::Dataset test_set_;
+  ServerConfig config_;
+  LocalTrainConfig effective_local_;  // config_.local + strategy overrides
+
+  nn::Weights global_weights_;
+  nn::Weights cached_weights_;  // w_{t-1}: the reverse target
+  core::AnomalyDetector detector_;
+  metrics::TrainingHistory history_;
+  std::unique_ptr<comm::InMemoryNetwork> network_;
+  ParticipantSampler sampler_;
+  Rng straggler_rng_;
+  std::size_t round_ = 0;
+
+  std::shared_ptr<attack::Adversary> adversary_;
+  std::set<std::size_t> attack_rounds_;
+  std::unique_ptr<nn::LrSchedule> lr_schedule_;
+};
+
+}  // namespace fedcav::fl

@@ -1,0 +1,145 @@
+#include "src/fl/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/attack/loss_inflation.hpp"
+#include "src/attack/model_replacement.hpp"
+#include "src/utils/error.hpp"
+
+namespace fedcav::fl {
+
+void SimulationConfig::validate() const {
+  FEDCAV_REQUIRE(train_samples_per_class >= 1, "SimulationConfig: no training samples");
+  FEDCAV_REQUIRE(test_samples_per_class >= 1, "SimulationConfig: no test samples");
+  if (!attack.empty()) {
+    FEDCAV_REQUIRE(!attack_rounds.empty(),
+                   "SimulationConfig: attack set but no attack_rounds");
+  }
+  FEDCAV_REQUIRE(attack_poison_fraction >= 0.0 && attack_poison_fraction <= 1.0,
+                 "SimulationConfig: poison fraction out of range");
+}
+
+namespace {
+
+std::shared_ptr<attack::Adversary> build_adversary(const SimulationConfig& config,
+                                                   const data::Dataset& train,
+                                                   const data::Partition& partition,
+                                                   const nn::ModelBuilder& builder,
+                                                   Rng& rng) {
+  // The adversary trains its malicious model on a compromised client's
+  // shard (the first partition slot — the same client the server's
+  // attack hook hijacks).
+  data::Dataset shard = train.subset(partition.front());
+  LocalTrainConfig attacker_train = config.server.local;
+
+  if (config.attack == "replacement") {
+    attack::ModelReplacementConfig rc;
+    rc.poison_fraction = config.attack_poison_fraction;
+    Rng model_rng = rng.fork();
+    return std::make_shared<attack::ModelReplacementAdversary>(
+        std::move(shard), builder(model_rng), attacker_train, rc, rng.fork());
+  }
+  if (config.attack == "labelflip") {
+    Rng flip_rng = rng.fork();
+    data::Dataset poisoned =
+        attack::flip_labels(shard, config.attack_poison_fraction, flip_rng);
+    Rng model_rng = rng.fork();
+    return std::make_shared<attack::LabelFlipAdversary>(
+        std::move(poisoned), builder(model_rng), attacker_train, rng.fork());
+  }
+  if (config.attack == "lossinflation") {
+    return std::make_shared<attack::LossInflationAdversary>();
+  }
+  if (config.attack == "byzantine") {
+    return std::make_shared<attack::ByzantineAdversary>();
+  }
+  throw Error("build_simulation: unknown attack '" + config.attack + "'");
+}
+
+}  // namespace
+
+Simulation build_simulation(const SimulationConfig& config) {
+  config.validate();
+  Rng rng(config.seed);
+
+  const data::SynthConfig synth = data::synth_config_by_name(config.dataset, config.seed);
+  const data::SynthGenerator generator(synth);
+  Rng data_rng = rng.fork();
+  Simulation sim;
+  if (config.partition.scheme == data::PartitionScheme::kNonIidImbalanced &&
+      config.partition.sigma > 0.0) {
+    // The paper's σ skews the *global* class sizes as well as each
+    // client's two-class split (§5.1.3: "the size of each class is
+    // different and the distribution of each class over the clients is
+    // also different"). Draw per-class counts ~ N(mean, cv·mean).
+    const double cv = data::sigma_to_cv(config.partition.sigma);
+    const double mean = static_cast<double>(config.train_samples_per_class);
+    std::vector<double> raw(synth.num_classes);
+    double raw_total = 0.0;
+    for (auto& r : raw) {
+      r = std::max(2.0, mean * (1.0 + cv * data_rng.normal()));
+      raw_total += r;
+    }
+    // Renormalize so σ only skews the class *mix*, never the corpus
+    // size — otherwise data volume confounds the imbalance effect.
+    const double target_total = mean * static_cast<double>(synth.num_classes);
+    std::vector<std::size_t> counts(synth.num_classes);
+    for (std::size_t c = 0; c < counts.size(); ++c) {
+      counts[c] = static_cast<std::size_t>(
+          std::max(2.0, std::round(raw[c] * target_total / raw_total)));
+    }
+    sim.train = generator.generate_with_counts(counts, data_rng);
+  } else {
+    sim.train = generator.generate_balanced(config.train_samples_per_class, data_rng);
+  }
+  // Balanced test set, disjoint RNG stream from training data.
+  Rng test_rng = rng.fork();
+  sim.test = generator.generate_balanced(config.test_samples_per_class, test_rng);
+
+  data::PartitionConfig part = config.partition;
+  part.seed = rng.fork().next_u64();
+  sim.partition = data::make_partition(sim.train, part);
+
+  const nn::ModelBuilder builder = nn::model_builder(config.model);
+
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(sim.partition.size());
+  for (std::size_t k = 0; k < sim.partition.size(); ++k) {
+    Rng model_rng = rng.fork();
+    clients.push_back(std::make_unique<Client>(
+        k, sim.train.subset(sim.partition[k]), builder(model_rng), rng.fork()));
+  }
+
+  Rng global_rng(config.seed ^ 0xabcdef12345ULL);
+  auto global_model = builder(global_rng);
+  auto strategy = make_strategy(config.strategy);
+
+  sim.server = std::make_unique<Server>(std::move(global_model), std::move(strategy),
+                                        std::move(clients), sim.test, config.server);
+
+  if (!config.attack.empty()) {
+    auto adversary = build_adversary(config, sim.train, sim.partition, builder, rng);
+    sim.server->set_adversary(std::move(adversary), config.attack_rounds);
+  }
+  return sim;
+}
+
+std::unique_ptr<CentralizedTrainer> build_centralized(const SimulationConfig& config) {
+  config.validate();
+  Rng rng(config.seed);
+  const data::SynthConfig synth = data::synth_config_by_name(config.dataset, config.seed);
+  const data::SynthGenerator generator(synth);
+  Rng data_rng = rng.fork();
+  data::Dataset train = generator.generate_balanced(config.train_samples_per_class, data_rng);
+  Rng test_rng = rng.fork();
+  data::Dataset test = generator.generate_balanced(config.test_samples_per_class, test_rng);
+
+  Rng model_rng(config.seed ^ 0xabcdef12345ULL);
+  auto model = nn::model_builder(config.model)(model_rng);
+  return std::make_unique<CentralizedTrainer>(std::move(model), std::move(train),
+                                              std::move(test), config.server.local,
+                                              rng.fork());
+}
+
+}  // namespace fedcav::fl

@@ -1,0 +1,58 @@
+// High-level simulation builder — the library's main entry point.
+//
+// A SimulationConfig names a synthetic dataset, a model, a partition
+// scheme and an aggregation strategy; build_server() wires up clients,
+// partitions, the comm fabric and (optionally) an adversary, returning a
+// ready-to-run Server. Examples and every bench binary go through this.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/data/partition.hpp"
+#include "src/data/synthetic.hpp"
+#include "src/fl/centralized.hpp"
+#include "src/fl/server.hpp"
+#include "src/nn/zoo.hpp"
+
+namespace fedcav::fl {
+
+struct SimulationConfig {
+  /// Synthetic corpus: "digits" | "fashion" | "cifar".
+  std::string dataset = "digits";
+  /// Model: "mlp" | "lenet5" | "cnn9" | "resnet".
+  std::string model = "lenet5";
+  /// Strategy: "fedavg" | "fedprox" | "fedcav" | "fedcav-noclip".
+  std::string strategy = "fedcav";
+
+  std::size_t train_samples_per_class = 60;
+  std::size_t test_samples_per_class = 20;
+
+  data::PartitionConfig partition;
+  ServerConfig server;
+  std::uint64_t seed = 2021;
+
+  /// Attack wiring (empty = no adversary): "replacement" | "labelflip" |
+  /// "lossinflation" | "byzantine".
+  std::string attack;
+  std::set<std::size_t> attack_rounds;
+  double attack_poison_fraction = 1.0;
+
+  void validate() const;
+};
+
+/// Everything a built simulation owns besides the Server.
+struct Simulation {
+  std::unique_ptr<Server> server;
+  data::Dataset train;  // the full training corpus (pre-partition copy)
+  data::Dataset test;
+  data::Partition partition;
+};
+
+/// Generate data, partition it, build clients + server (+ adversary).
+Simulation build_simulation(const SimulationConfig& config);
+
+/// Matching centralized baseline: same corpus, same model, one node.
+std::unique_ptr<CentralizedTrainer> build_centralized(const SimulationConfig& config);
+
+}  // namespace fedcav::fl

@@ -1,0 +1,28 @@
+#include "src/fl/strategy.hpp"
+
+#include "src/core/fedcav.hpp"
+#include "src/fl/fedavg.hpp"
+#include "src/fl/fedcurv.hpp"
+#include "src/fl/fedprox.hpp"
+#include "src/fl/robust.hpp"
+#include "src/utils/error.hpp"
+
+namespace fedcav::fl {
+
+std::unique_ptr<AggregationStrategy> make_strategy(const std::string& name) {
+  if (name == "fedavg") return std::make_unique<FedAvg>();
+  if (name == "fedprox") return std::make_unique<FedProx>();
+  if (name == "fedcav") return std::make_unique<core::FedCavStrategy>();
+  if (name == "fedcav-noclip") {
+    core::ContributionConfig config;
+    config.clip = core::ClipPolicy::kNone;
+    return std::make_unique<core::FedCavStrategy>(config);
+  }
+  if (name == "fedcurv") return std::make_unique<FedCurvLite>();
+  if (name == "median") return std::make_unique<CoordinateMedian>();
+  if (name == "trimmedmean") return std::make_unique<TrimmedMean>();
+  if (name == "krum") return std::make_unique<Krum>();
+  throw Error("make_strategy: unknown strategy '" + name + "'");
+}
+
+}  // namespace fedcav::fl

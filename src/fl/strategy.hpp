@@ -1,0 +1,41 @@
+// Aggregation strategy interface.
+//
+// A strategy turns the round's client updates into the next global
+// weight vector. It may also prescribe local-objective modifications
+// (FedProx's proximal term) through local_config_overrides().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fl/types.hpp"
+
+namespace fedcav::fl {
+
+class AggregationStrategy {
+ public:
+  virtual ~AggregationStrategy() = default;
+
+  /// Compute w_{t+1} from the current global w_t and the participants'
+  /// updates. `updates` is non-empty; all weight vectors have the same
+  /// size as `global`.
+  virtual nn::Weights aggregate(const nn::Weights& global,
+                                const std::vector<ClientUpdate>& updates) = 0;
+
+  /// The aggregation weight γ_i the strategy would assign each update —
+  /// exposed so attacks (Eq. 10-11) and tests can introspect.
+  virtual std::vector<double> aggregation_weights(
+      const std::vector<ClientUpdate>& updates) const = 0;
+
+  /// Let the strategy adjust local training (e.g. set prox_mu).
+  virtual void apply_local_overrides(LocalTrainConfig& config) const { (void)config; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Build "fedavg" | "fedprox" | "fedcav" | "fedcav-noclip" with default
+/// hyperparameters. Throws fedcav::Error on unknown names.
+std::unique_ptr<AggregationStrategy> make_strategy(const std::string& name);
+
+}  // namespace fedcav::fl

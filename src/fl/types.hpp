@@ -1,0 +1,39 @@
+// Shared value types of the federated runtime.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/nn/model.hpp"
+
+namespace fedcav::fl {
+
+/// What one participant returns from a round of local work: the trained
+/// weights w_i^{t+1}, the pre-training inference loss f_i(w_t), and the
+/// local sample count |d_i| (FedAvg's weighting signal).
+struct ClientUpdate {
+  std::size_t client_id = 0;
+  nn::Weights weights;
+  double inference_loss = 0.0;
+  std::size_t num_samples = 0;
+  /// Ground-truth experiment flag (the server never reads it; benches
+  /// use it to label attacked rounds in reports).
+  bool malicious = false;
+};
+
+/// Local-training hyperparameters (Algorithm 2's E, B, η plus optimizer
+/// extras). `prox_mu` > 0 switches the local objective to FedProx's;
+/// `curv_lambda` > 0 adds FedCurv-lite's EWC-style penalty
+/// λ·F_j·(w_j − w*_j)² toward the client's previous local optimum,
+/// weighted by its diagonal Fisher estimate F (related work [18]).
+struct LocalTrainConfig {
+  std::size_t epochs = 5;
+  std::size_t batch_size = 10;
+  float lr = 0.01f;
+  float momentum = 0.0f;
+  float weight_decay = 0.0f;
+  float prox_mu = 0.0f;
+  float curv_lambda = 0.0f;
+};
+
+}  // namespace fedcav::fl

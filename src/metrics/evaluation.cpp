@@ -1,0 +1,106 @@
+#include "src/metrics/evaluation.hpp"
+
+#include <algorithm>
+
+#include "src/tensor/ops.hpp"
+#include "src/utils/error.hpp"
+
+namespace fedcav::metrics {
+
+double EvalResult::macro_f1() const {
+  if (per_class.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& c : per_class) acc += c.f1;
+  return acc / static_cast<double>(per_class.size());
+}
+
+EvalResult evaluate(nn::Model& model, const data::Dataset& test, std::size_t batch_size) {
+  FEDCAV_REQUIRE(!test.empty(), "evaluate: empty test set");
+  FEDCAV_REQUIRE(batch_size > 0, "evaluate: zero batch size");
+  const std::size_t classes = test.num_classes();
+
+  EvalResult result;
+  result.confusion.assign(classes, std::vector<std::size_t>(classes, 0));
+
+  std::size_t correct = 0;
+  double loss_sum = 0.0;
+  std::vector<std::size_t> indices(batch_size);
+  std::vector<std::size_t> labels;
+  for (std::size_t begin = 0; begin < test.size(); begin += batch_size) {
+    const std::size_t end = std::min(test.size(), begin + batch_size);
+    indices.resize(end - begin);
+    for (std::size_t i = begin; i < end; ++i) indices[i - begin] = i;
+    Tensor batch = test.make_batch(indices, &labels);
+    Tensor logits = model.predict(batch);
+    loss_sum += static_cast<double>(model.loss().forward(logits, labels)) *
+                static_cast<double>(labels.size());
+    const std::size_t cols = logits.shape()[1];
+    for (std::size_t b = 0; b < labels.size(); ++b) {
+      const std::size_t pred =
+          ops::argmax(std::span(logits.data() + b * cols, cols));
+      result.confusion[labels[b]][pred] += 1;
+      if (pred == labels[b]) ++correct;
+    }
+  }
+  result.accuracy = static_cast<double>(correct) / static_cast<double>(test.size());
+  result.mean_loss = loss_sum / static_cast<double>(test.size());
+
+  result.per_class.resize(classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    std::size_t tp = result.confusion[c][c];
+    std::size_t fn = 0;
+    std::size_t fp = 0;
+    for (std::size_t j = 0; j < classes; ++j) {
+      if (j != c) {
+        fn += result.confusion[c][j];
+        fp += result.confusion[j][c];
+      }
+    }
+    ClassMetrics& m = result.per_class[c];
+    m.support = tp + fn;
+    m.precision = (tp + fp) == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
+    m.recall = (tp + fn) == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fn);
+    m.f1 = (m.precision + m.recall) == 0.0
+               ? 0.0
+               : 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return result;
+}
+
+double accuracy(nn::Model& model, const data::Dataset& test, std::size_t batch_size) {
+  FEDCAV_REQUIRE(!test.empty(), "accuracy: empty test set");
+  std::size_t correct = 0;
+  std::vector<std::size_t> indices;
+  std::vector<std::size_t> labels;
+  for (std::size_t begin = 0; begin < test.size(); begin += batch_size) {
+    const std::size_t end = std::min(test.size(), begin + batch_size);
+    indices.resize(end - begin);
+    for (std::size_t i = begin; i < end; ++i) indices[i - begin] = i;
+    Tensor batch = test.make_batch(indices, &labels);
+    Tensor logits = model.predict(batch);
+    const std::size_t cols = logits.shape()[1];
+    for (std::size_t b = 0; b < labels.size(); ++b) {
+      if (ops::argmax(std::span(logits.data() + b * cols, cols)) == labels[b]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+double inference_loss(nn::Model& model, const data::Dataset& dataset,
+                      std::size_t batch_size) {
+  FEDCAV_REQUIRE(!dataset.empty(), "inference_loss: empty dataset");
+  double loss_sum = 0.0;
+  std::vector<std::size_t> indices;
+  std::vector<std::size_t> labels;
+  for (std::size_t begin = 0; begin < dataset.size(); begin += batch_size) {
+    const std::size_t end = std::min(dataset.size(), begin + batch_size);
+    indices.resize(end - begin);
+    for (std::size_t i = begin; i < end; ++i) indices[i - begin] = i;
+    Tensor batch = dataset.make_batch(indices, &labels);
+    loss_sum += static_cast<double>(model.compute_loss(batch, labels)) *
+                static_cast<double>(labels.size());
+  }
+  return loss_sum / static_cast<double>(dataset.size());
+}
+
+}  // namespace fedcav::metrics

@@ -1,0 +1,89 @@
+#include "src/metrics/history.hpp"
+
+#include <algorithm>
+
+#include "src/utils/csv.hpp"
+#include "src/utils/error.hpp"
+
+namespace fedcav::metrics {
+
+void TrainingHistory::add(RoundRecord record) { records_.push_back(record); }
+
+const RoundRecord& TrainingHistory::operator[](std::size_t i) const {
+  FEDCAV_REQUIRE(i < records_.size(), "TrainingHistory: index out of range");
+  return records_[i];
+}
+
+const RoundRecord& TrainingHistory::back() const {
+  FEDCAV_REQUIRE(!records_.empty(), "TrainingHistory: empty history");
+  return records_.back();
+}
+
+double TrainingHistory::best_accuracy() const {
+  double best = 0.0;
+  for (const auto& r : records_) best = std::max(best, r.test_accuracy);
+  return best;
+}
+
+double TrainingHistory::converged_accuracy(std::size_t window) const {
+  FEDCAV_REQUIRE(!records_.empty(), "converged_accuracy: empty history");
+  const std::size_t n = std::min(window, records_.size());
+  double acc = 0.0;
+  for (std::size_t i = records_.size() - n; i < records_.size(); ++i) {
+    acc += records_[i].test_accuracy;
+  }
+  return acc / static_cast<double>(n);
+}
+
+std::optional<std::size_t> TrainingHistory::rounds_to_accuracy(double target) const {
+  for (const auto& r : records_) {
+    if (r.test_accuracy >= target) return r.round;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> TrainingHistory::recovery_rounds(double fraction) const {
+  // Find the first attacked round; the pre-attack baseline is the best
+  // accuracy strictly before it.
+  std::size_t attack_idx = records_.size();
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].attacked) {
+      attack_idx = i;
+      break;
+    }
+  }
+  if (attack_idx == records_.size()) return std::nullopt;
+  double baseline = 0.0;
+  for (std::size_t i = 0; i < attack_idx; ++i) {
+    baseline = std::max(baseline, records_[i].test_accuracy);
+  }
+  if (baseline <= 0.0) return std::nullopt;
+  for (std::size_t i = attack_idx + 1; i < records_.size(); ++i) {
+    if (records_[i].test_accuracy >= fraction * baseline) return i - attack_idx;
+  }
+  return std::nullopt;
+}
+
+void TrainingHistory::write_csv(std::ostream& out) const {
+  CsvWriter csv(out);
+  csv.header({"round", "test_accuracy", "test_loss", "mean_inference_loss",
+              "max_inference_loss", "participants", "detection_fired", "reversed",
+              "attacked", "wall_seconds", "bytes_up", "bytes_down"});
+  for (const auto& r : records_) {
+    csv.cell(static_cast<long long>(r.round))
+        .cell(r.test_accuracy, 6)
+        .cell(r.test_loss, 6)
+        .cell(r.mean_inference_loss, 6)
+        .cell(r.max_inference_loss, 6)
+        .cell(static_cast<long long>(r.participants))
+        .cell(std::string(r.detection_fired ? "1" : "0"))
+        .cell(std::string(r.reversed ? "1" : "0"))
+        .cell(std::string(r.attacked ? "1" : "0"))
+        .cell(r.wall_seconds, 4)
+        .cell(static_cast<long long>(r.bytes_up))
+        .cell(static_cast<long long>(r.bytes_down));
+    csv.end_row();
+  }
+}
+
+}  // namespace fedcav::metrics

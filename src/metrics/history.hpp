@@ -1,0 +1,61 @@
+// Training history: one record per communication round, plus the
+// derived statistics the paper reports (rounds-to-convergence, converged
+// accuracy, recovery time after an attack).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fedcav::metrics {
+
+struct RoundRecord {
+  std::size_t round = 0;
+  double test_accuracy = 0.0;
+  double test_loss = 0.0;
+  /// Mean of the participating clients' reported inference losses.
+  double mean_inference_loss = 0.0;
+  /// Max of the participating clients' reported inference losses (the
+  /// detector's reference value, Eq. 13).
+  double max_inference_loss = 0.0;
+  std::size_t participants = 0;
+  bool detection_fired = false;   // detector voted "abnormal" this round
+  bool reversed = false;          // global model rolled back this round
+  bool attacked = false;          // an adversary corrupted this round
+  double wall_seconds = 0.0;      // host time spent on the round
+  std::uint64_t bytes_up = 0;     // client -> server traffic
+  std::uint64_t bytes_down = 0;   // server -> client traffic
+};
+
+class TrainingHistory {
+ public:
+  void add(RoundRecord record);
+
+  std::size_t rounds() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const RoundRecord& operator[](std::size_t i) const;
+  const std::vector<RoundRecord>& records() const { return records_; }
+  const RoundRecord& back() const;
+
+  /// Best test accuracy seen so far.
+  double best_accuracy() const;
+  /// Mean accuracy of the last `window` rounds (the "converged accuracy"
+  /// the paper's Table 4 reports).
+  double converged_accuracy(std::size_t window = 5) const;
+  /// First round whose accuracy reaches `target`, if any.
+  std::optional<std::size_t> rounds_to_accuracy(double target) const;
+  /// Rounds between an attack and the first round back at `fraction`
+  /// of the pre-attack accuracy, if an attack happened and recovery
+  /// completed.
+  std::optional<std::size_t> recovery_rounds(double fraction = 0.9) const;
+
+  /// CSV with a header; one line per round.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<RoundRecord> records_;
+};
+
+}  // namespace fedcav::metrics

@@ -1,0 +1,48 @@
+#include "src/metrics/per_class.hpp"
+
+#include "src/metrics/evaluation.hpp"
+#include "src/utils/error.hpp"
+
+namespace fedcav::metrics {
+
+PerClassTracker::PerClassTracker(std::size_t num_classes) : num_classes_(num_classes) {
+  FEDCAV_REQUIRE(num_classes > 0, "PerClassTracker: zero classes");
+}
+
+void PerClassTracker::record(nn::Model& model, const data::Dataset& test,
+                             std::size_t batch_size) {
+  FEDCAV_REQUIRE(test.num_classes() == num_classes_,
+                 "PerClassTracker: class count mismatch");
+  const EvalResult result = evaluate(model, test, batch_size);
+  std::vector<double> recalls(num_classes_);
+  for (std::size_t c = 0; c < num_classes_; ++c) recalls[c] = result.per_class[c].recall;
+  history_.push_back(std::move(recalls));
+}
+
+double PerClassTracker::recall(std::size_t r, std::size_t c) const {
+  FEDCAV_REQUIRE(r < history_.size(), "PerClassTracker: round out of range");
+  FEDCAV_REQUIRE(c < num_classes_, "PerClassTracker: class out of range");
+  return history_[r][c];
+}
+
+double PerClassTracker::group_recall(std::size_t r,
+                                     const std::vector<std::size_t>& classes) const {
+  FEDCAV_REQUIRE(r < history_.size(), "PerClassTracker: round out of range");
+  FEDCAV_REQUIRE(!classes.empty(), "PerClassTracker: empty class group");
+  double acc = 0.0;
+  for (std::size_t c : classes) {
+    FEDCAV_REQUIRE(c < num_classes_, "PerClassTracker: class out of range");
+    acc += history_[r][c];
+  }
+  return acc / static_cast<double>(classes.size());
+}
+
+std::size_t PerClassTracker::rounds_to_group_recall(
+    const std::vector<std::size_t>& classes, double target) const {
+  for (std::size_t r = 0; r < history_.size(); ++r) {
+    if (group_recall(r, classes) >= target) return r;
+  }
+  return history_.size();
+}
+
+}  // namespace fedcav::metrics

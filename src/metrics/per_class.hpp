@@ -1,0 +1,44 @@
+// Per-class accuracy tracking across rounds.
+//
+// The fresh-class experiment (Fig. 4) is really a claim about *which*
+// classes improve: FedCav upweights the clients holding fresh classes,
+// so their recall should climb faster. This tracker records per-class
+// recall each round and reports class-group trajectories.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/data/dataset.hpp"
+#include "src/nn/model.hpp"
+
+namespace fedcav::metrics {
+
+class PerClassTracker {
+ public:
+  explicit PerClassTracker(std::size_t num_classes);
+
+  /// Evaluate `model` on `test` and append this round's per-class recall.
+  void record(nn::Model& model, const data::Dataset& test, std::size_t batch_size = 64);
+
+  std::size_t rounds() const { return history_.size(); }
+  std::size_t num_classes() const { return num_classes_; }
+
+  /// Recall of class `c` at round index `r`.
+  double recall(std::size_t r, std::size_t c) const;
+
+  /// Mean recall over a set of classes at round index `r` (e.g. the
+  /// fresh classes vs the common classes).
+  double group_recall(std::size_t r, const std::vector<std::size_t>& classes) const;
+
+  /// First round index where the group's mean recall reaches `target`,
+  /// or rounds() if never.
+  std::size_t rounds_to_group_recall(const std::vector<std::size_t>& classes,
+                                     double target) const;
+
+ private:
+  std::size_t num_classes_;
+  std::vector<std::vector<double>> history_;  // [round][class]
+};
+
+}  // namespace fedcav::metrics

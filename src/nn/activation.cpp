@@ -1,0 +1,77 @@
+#include "src/nn/activation.hpp"
+
+#include <cmath>
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool training) {
+  Tensor out = input;
+  if (training) mask_ = Tensor(input.shape());
+  float* po = out.data();
+  float* pm = training ? mask_.data() : nullptr;
+  for (std::size_t i = 0, n = out.numel(); i < n; ++i) {
+    const bool positive = po[i] > 0.0f;
+    if (!positive) po[i] = 0.0f;
+    if (pm != nullptr) pm[i] = positive ? 1.0f : 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  FEDCAV_REQUIRE(mask_.same_shape(grad_output), "ReLU::backward: shape mismatch");
+  Tensor dx = grad_output;
+  float* pd = dx.data();
+  const float* pm = mask_.data();
+  for (std::size_t i = 0, n = dx.numel(); i < n; ++i) pd[i] *= pm[i];
+  return dx;
+}
+
+std::unique_ptr<Layer> ReLU::clone() const { return std::make_unique<ReLU>(); }
+
+Tensor LeakyReLU::forward(const Tensor& input, bool training) {
+  if (training) cached_input_ = input;
+  Tensor out = input;
+  float* po = out.data();
+  for (std::size_t i = 0, n = out.numel(); i < n; ++i) {
+    if (po[i] < 0.0f) po[i] *= slope_;
+  }
+  return out;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+  FEDCAV_REQUIRE(cached_input_.same_shape(grad_output), "LeakyReLU::backward: shape mismatch");
+  Tensor dx = grad_output;
+  float* pd = dx.data();
+  const float* pi = cached_input_.data();
+  for (std::size_t i = 0, n = dx.numel(); i < n; ++i) {
+    if (pi[i] < 0.0f) pd[i] *= slope_;
+  }
+  return dx;
+}
+
+std::unique_ptr<Layer> LeakyReLU::clone() const {
+  return std::make_unique<LeakyReLU>(slope_);
+}
+
+Tensor Tanh::forward(const Tensor& input, bool training) {
+  Tensor out = input;
+  float* po = out.data();
+  for (std::size_t i = 0, n = out.numel(); i < n; ++i) po[i] = std::tanh(po[i]);
+  if (training) cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  FEDCAV_REQUIRE(cached_output_.same_shape(grad_output), "Tanh::backward: shape mismatch");
+  Tensor dx = grad_output;
+  float* pd = dx.data();
+  const float* py = cached_output_.data();
+  for (std::size_t i = 0, n = dx.numel(); i < n; ++i) pd[i] *= 1.0f - py[i] * py[i];
+  return dx;
+}
+
+std::unique_ptr<Layer> Tanh::clone() const { return std::make_unique<Tanh>(); }
+
+}  // namespace fedcav::nn

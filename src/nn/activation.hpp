@@ -1,0 +1,44 @@
+// Pointwise activation layers: ReLU, LeakyReLU, Tanh. Shape-agnostic.
+#pragma once
+
+#include "src/nn/layer.hpp"
+
+namespace fedcav::nn {
+
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Tensor mask_;  // 1 where input > 0
+};
+
+class LeakyReLU : public Layer {
+ public:
+  explicit LeakyReLU(float negative_slope = 0.01f) : slope_(negative_slope) {}
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "LeakyReLU"; }
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  float slope_;
+  Tensor cached_input_;
+};
+
+class Tanh : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Tanh"; }
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace fedcav::nn

@@ -1,0 +1,116 @@
+#include "src/nn/conv2d.hpp"
+
+#include "src/nn/init.hpp"
+#include "src/tensor/ops.hpp"
+#include "src/utils/error.hpp"
+
+namespace fedcav::nn {
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+               std::size_t stride, std::size_t pad, std::size_t in_h, std::size_t in_w,
+               Rng& rng)
+    : geometry_{in_channels, in_h, in_w, kernel, kernel, stride, pad},
+      out_channels_(out_channels),
+      weight_(Shape::of(out_channels, in_channels * kernel * kernel)),
+      bias_(Shape::of(out_channels)),
+      weight_grad_(Shape::of(out_channels, in_channels * kernel * kernel)),
+      bias_grad_(Shape::of(out_channels)) {
+  geometry_.validate();
+  FEDCAV_REQUIRE(out_channels > 0, "Conv2D: zero output channels");
+  he_normal(weight_, geometry_.col_rows(), rng);
+}
+
+Tensor Conv2D::forward(const Tensor& input, bool training) {
+  const auto& s = input.shape();
+  FEDCAV_REQUIRE(s.rank() == 4 && s[1] == geometry_.in_channels &&
+                     s[2] == geometry_.in_h && s[3] == geometry_.in_w,
+                 "Conv2D::forward: input shape mismatch, got " + s.to_string());
+  const std::size_t batch = s[0];
+  const std::size_t oh = geometry_.out_h();
+  const std::size_t ow = geometry_.out_w();
+  const std::size_t image_size = geometry_.in_channels * geometry_.in_h * geometry_.in_w;
+
+  if (training) {
+    cached_input_ = input;
+    cached_cols_.assign(batch, Tensor());
+  }
+
+  Tensor out(Shape::of(batch, out_channels_, oh, ow));
+  Tensor cols(Shape::of(geometry_.col_rows(), geometry_.col_cols()));
+  Tensor result(Shape::of(out_channels_, oh * ow));
+  for (std::size_t b = 0; b < batch; ++b) {
+    im2col(geometry_, input.data() + b * image_size, cols);
+    if (training) cached_cols_[b] = cols;
+    ops::matmul(weight_, cols, result);
+    float* dst = out.data() + b * out_channels_ * oh * ow;
+    for (std::size_t c = 0; c < out_channels_; ++c) {
+      const float bc = bias_(c);
+      const float* src = result.data() + c * oh * ow;
+      float* d = dst + c * oh * ow;
+      for (std::size_t i = 0; i < oh * ow; ++i) d[i] = src[i] + bc;
+    }
+  }
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  FEDCAV_REQUIRE(cached_input_.numel() > 0, "Conv2D::backward before forward(training=true)");
+  const std::size_t batch = cached_input_.shape()[0];
+  const std::size_t oh = geometry_.out_h();
+  const std::size_t ow = geometry_.out_w();
+  FEDCAV_REQUIRE(grad_output.shape().rank() == 4 && grad_output.shape()[0] == batch &&
+                     grad_output.shape()[1] == out_channels_ &&
+                     grad_output.shape()[2] == oh && grad_output.shape()[3] == ow,
+                 "Conv2D::backward: grad_output shape mismatch");
+
+  const std::size_t image_size = geometry_.in_channels * geometry_.in_h * geometry_.in_w;
+  Tensor dx(cached_input_.shape());
+  Tensor dcols(Shape::of(geometry_.col_rows(), geometry_.col_cols()));
+  Tensor dw(Shape::of(out_channels_, geometry_.col_rows()));
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    // View this image's output gradient as (C_out × OH*OW).
+    const float* gptr = grad_output.data() + b * out_channels_ * oh * ow;
+    Tensor gmat(Shape::of(out_channels_, oh * ow),
+                std::vector<float>(gptr, gptr + out_channels_ * oh * ow));
+
+    // db += row sums of gmat.
+    for (std::size_t c = 0; c < out_channels_; ++c) {
+      double acc = 0.0;
+      const float* row = gmat.data() + c * oh * ow;
+      for (std::size_t i = 0; i < oh * ow; ++i) acc += static_cast<double>(row[i]);
+      bias_grad_(c) += static_cast<float>(acc);
+    }
+
+    // dW += gmat · cols^T  ((C_out × OHOW) · (OHOW × col_rows)).
+    ops::matmul_transposed_b(gmat, cached_cols_[b], dw);
+    ops::add_inplace(weight_grad_, dw);
+
+    // dcols = W^T · gmat  ((col_rows × C_out) · (C_out × OHOW)).
+    ops::matmul_transposed_a(weight_, gmat, dcols);
+    col2im(geometry_, dcols, dx.data() + b * image_size);
+  }
+  return dx;
+}
+
+std::vector<ParamView> Conv2D::params() {
+  return {{&weight_, &weight_grad_}, {&bias_, &bias_grad_}};
+}
+
+std::string Conv2D::name() const {
+  return "Conv2D(" + std::to_string(geometry_.in_channels) + "->" +
+         std::to_string(out_channels_) + ", k=" + std::to_string(geometry_.kernel_h) +
+         ", s=" + std::to_string(geometry_.stride) + ", p=" + std::to_string(geometry_.pad) +
+         ")";
+}
+
+std::unique_ptr<Layer> Conv2D::clone() const {
+  auto copy = std::unique_ptr<Conv2D>(new Conv2D(*this));
+  copy->weight_grad_.fill(0.0f);
+  copy->bias_grad_.fill(0.0f);
+  copy->cached_input_ = Tensor();
+  copy->cached_cols_.clear();
+  return copy;
+}
+
+}  // namespace fedcav::nn

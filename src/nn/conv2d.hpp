@@ -1,0 +1,43 @@
+// 2-D convolution lowered to GEMM via im2col.
+//
+// Input: (batch × C_in × H × W); output: (batch × C_out × OH × OW).
+// Weights are stored as a (C_out × C_in*KH*KW) matrix so forward is a
+// single matmul per image against the column expansion.
+#pragma once
+
+#include "src/nn/layer.hpp"
+#include "src/tensor/im2col.hpp"
+#include "src/utils/rng.hpp"
+
+namespace fedcav::nn {
+
+class Conv2D : public Layer {
+ public:
+  Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t stride, std::size_t pad, std::size_t in_h, std::size_t in_w,
+         Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamView> params() override;
+  std::string name() const override;
+  std::unique_ptr<Layer> clone() const override;
+
+  std::size_t out_channels() const { return out_channels_; }
+  std::size_t out_h() const { return geometry_.out_h(); }
+  std::size_t out_w() const { return geometry_.out_w(); }
+
+ private:
+  Conv2D(const Conv2D&) = default;
+
+  Conv2dGeometry geometry_;
+  std::size_t out_channels_;
+  Tensor weight_;       // (C_out × C_in*KH*KW)
+  Tensor bias_;         // (C_out)
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor cached_input_;           // (B × C_in × H × W)
+  std::vector<Tensor> cached_cols_;  // per-image column matrices
+};
+
+}  // namespace fedcav::nn

@@ -1,0 +1,75 @@
+#include "src/nn/dense.hpp"
+
+#include "src/nn/init.hpp"
+#include "src/tensor/ops.hpp"
+#include "src/utils/error.hpp"
+
+namespace fedcav::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_(Shape::of(out_features, in_features)),
+      bias_(Shape::of(out_features)),
+      weight_grad_(Shape::of(out_features, in_features)),
+      bias_grad_(Shape::of(out_features)) {
+  FEDCAV_REQUIRE(in_features > 0 && out_features > 0, "Dense: zero-sized layer");
+  he_normal(weight_, in_features, rng);
+}
+
+Tensor Dense::forward(const Tensor& input, bool training) {
+  FEDCAV_REQUIRE(input.shape().rank() == 2 && input.shape()[1] == in_,
+                 "Dense::forward: expected (batch × " + std::to_string(in_) +
+                     "), got " + input.shape().to_string());
+  if (training) cached_input_ = input;
+  const std::size_t batch = input.shape()[0];
+  Tensor out(Shape::of(batch, out_));
+  ops::matmul_transposed_b(input, weight_, out);  // (B×in)·(out×in)^T
+  for (std::size_t b = 0; b < batch; ++b) {
+    float* row = out.data() + b * out_;
+    for (std::size_t o = 0; o < out_; ++o) row[o] += bias_(o);
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  FEDCAV_REQUIRE(cached_input_.numel() > 0, "Dense::backward before forward(training=true)");
+  const std::size_t batch = cached_input_.shape()[0];
+  FEDCAV_REQUIRE(grad_output.shape().rank() == 2 && grad_output.shape()[0] == batch &&
+                     grad_output.shape()[1] == out_,
+                 "Dense::backward: grad_output shape mismatch");
+
+  // dW += dY^T X  (out×B · B×in), accumulated into the grad buffer.
+  Tensor dw(Shape::of(out_, in_));
+  ops::matmul_transposed_a(grad_output, cached_input_, dw);
+  ops::add_inplace(weight_grad_, dw);
+
+  // db += column sums of dY.
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* row = grad_output.data() + b * out_;
+    for (std::size_t o = 0; o < out_; ++o) bias_grad_(o) += row[o];
+  }
+
+  // dX = dY W  (B×out · out×in).
+  Tensor dx(Shape::of(batch, in_));
+  ops::matmul(grad_output, weight_, dx);
+  return dx;
+}
+
+std::vector<ParamView> Dense::params() {
+  return {{&weight_, &weight_grad_}, {&bias_, &bias_grad_}};
+}
+
+std::string Dense::name() const {
+  return "Dense(" + std::to_string(in_) + "->" + std::to_string(out_) + ")";
+}
+
+std::unique_ptr<Layer> Dense::clone() const {
+  auto copy = std::unique_ptr<Dense>(new Dense(*this));
+  copy->weight_grad_.fill(0.0f);
+  copy->bias_grad_.fill(0.0f);
+  copy->cached_input_ = Tensor();
+  return copy;
+}
+
+}  // namespace fedcav::nn

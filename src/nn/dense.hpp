@@ -1,0 +1,35 @@
+// Fully-connected layer: y = x W^T + b.
+#pragma once
+
+#include "src/nn/layer.hpp"
+#include "src/utils/rng.hpp"
+
+namespace fedcav::nn {
+
+class Dense : public Layer {
+ public:
+  /// Weights W are (out × in), He-initialized; bias b is zero-initialized.
+  Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamView> params() override;
+  std::string name() const override;
+  std::unique_ptr<Layer> clone() const override;
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+ private:
+  Dense(const Dense&) = default;
+
+  std::size_t in_;
+  std::size_t out_;
+  Tensor weight_;       // (out × in)
+  Tensor bias_;         // (out)
+  Tensor weight_grad_;  // (out × in)
+  Tensor bias_grad_;    // (out)
+  Tensor cached_input_;
+};
+
+}  // namespace fedcav::nn

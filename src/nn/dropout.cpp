@@ -1,0 +1,51 @@
+#include "src/nn/dropout.hpp"
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::nn {
+
+Dropout::Dropout(float drop_probability, std::uint64_t seed)
+    : p_(drop_probability), seed_(seed), rng_(seed) {
+  FEDCAV_REQUIRE(drop_probability >= 0.0f && drop_probability < 1.0f,
+                 "Dropout: probability must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  if (!training || p_ == 0.0f) {
+    mask_ = Tensor();
+    return input;
+  }
+  // Inverted dropout: surviving activations scaled by 1/(1-p) so
+  // inference needs no rescaling.
+  const float scale = 1.0f / (1.0f - p_);
+  mask_ = Tensor(input.shape());
+  Tensor out = input;
+  float* pm = mask_.data();
+  float* po = out.data();
+  for (std::size_t i = 0, n = out.numel(); i < n; ++i) {
+    const bool keep = !rng_.bernoulli(static_cast<double>(p_));
+    pm[i] = keep ? scale : 0.0f;
+    po[i] *= pm[i];
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (mask_.empty()) return grad_output;  // eval-mode or p == 0 forward
+  FEDCAV_REQUIRE(mask_.same_shape(grad_output), "Dropout::backward: shape mismatch");
+  Tensor dx = grad_output;
+  float* pd = dx.data();
+  const float* pm = mask_.data();
+  for (std::size_t i = 0, n = dx.numel(); i < n; ++i) pd[i] *= pm[i];
+  return dx;
+}
+
+std::string Dropout::name() const {
+  return "Dropout(p=" + std::to_string(p_) + ")";
+}
+
+std::unique_ptr<Layer> Dropout::clone() const {
+  return std::make_unique<Dropout>(p_, seed_);
+}
+
+}  // namespace fedcav::nn

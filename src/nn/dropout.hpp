@@ -1,0 +1,29 @@
+// Inverted dropout: active only in training mode; inference is identity.
+// Each layer instance owns a private RNG stream so per-client model
+// replicas drop independently.
+#pragma once
+
+#include "src/nn/layer.hpp"
+#include "src/utils/rng.hpp"
+
+namespace fedcav::nn {
+
+class Dropout : public Layer {
+ public:
+  explicit Dropout(float drop_probability, std::uint64_t seed = 0x0d20ff);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override;
+  std::unique_ptr<Layer> clone() const override;
+
+  float drop_probability() const { return p_; }
+
+ private:
+  float p_;
+  std::uint64_t seed_;
+  Rng rng_;
+  Tensor mask_;  // scaled keep mask cached for backward
+};
+
+}  // namespace fedcav::nn

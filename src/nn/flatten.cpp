@@ -1,0 +1,23 @@
+#include "src/nn/flatten.hpp"
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::nn {
+
+Tensor Flatten::forward(const Tensor& input, bool training) {
+  (void)training;
+  const Shape& s = input.shape();
+  FEDCAV_REQUIRE(s.rank() >= 2, "Flatten: rank >= 2 input required");
+  input_shape_ = s;
+  const std::size_t batch = s[0];
+  return input.reshaped(Shape::of(batch, input.numel() / batch));
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  FEDCAV_REQUIRE(input_shape_.rank() >= 2, "Flatten::backward before forward");
+  return grad_output.reshaped(input_shape_);
+}
+
+std::unique_ptr<Layer> Flatten::clone() const { return std::make_unique<Flatten>(); }
+
+}  // namespace fedcav::nn

@@ -1,0 +1,19 @@
+// Flatten: (B × C × H × W) -> (B × C*H*W). Bridges conv and dense stacks.
+#pragma once
+
+#include "src/nn/layer.hpp"
+
+namespace fedcav::nn {
+
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Flatten"; }
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Shape input_shape_;
+};
+
+}  // namespace fedcav::nn

@@ -1,0 +1,23 @@
+#include "src/nn/init.hpp"
+
+#include <cmath>
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::nn {
+
+void xavier_uniform(Tensor& w, std::size_t fan_in, std::size_t fan_out, Rng& rng) {
+  FEDCAV_REQUIRE(fan_in + fan_out > 0, "xavier_uniform: zero fan");
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (std::size_t i = 0, n = w.numel(); i < n; ++i) w[i] = rng.uniform_f(-a, a);
+}
+
+void he_normal(Tensor& w, std::size_t fan_in, Rng& rng) {
+  FEDCAV_REQUIRE(fan_in > 0, "he_normal: zero fan_in");
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (std::size_t i = 0, n = w.numel(); i < n; ++i) {
+    w[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+}
+
+}  // namespace fedcav::nn

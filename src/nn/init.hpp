@@ -1,0 +1,16 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "src/tensor/tensor.hpp"
+#include "src/utils/rng.hpp"
+
+namespace fedcav::nn {
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+/// Suits tanh-ish layers and is a safe default for output heads.
+void xavier_uniform(Tensor& w, std::size_t fan_in, std::size_t fan_out, Rng& rng);
+
+/// Kaiming/He normal: N(0, sqrt(2 / fan_in)); default for ReLU stacks.
+void he_normal(Tensor& w, std::size_t fan_in, Rng& rng);
+
+}  // namespace fedcav::nn

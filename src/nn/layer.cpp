@@ -1,0 +1,11 @@
+#include "src/nn/layer.hpp"
+
+namespace fedcav::nn {
+
+void Layer::zero_grad() {
+  for (ParamView p : params()) {
+    if (p.grad != nullptr) p.grad->fill(0.0f);
+  }
+}
+
+}  // namespace fedcav::nn

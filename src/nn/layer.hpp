@@ -1,0 +1,54 @@
+// Layer abstraction for the explicit-backprop NN substrate.
+//
+// Layers are stateful: forward() caches whatever backward() needs, and
+// backward() accumulates parameter gradients in place while returning the
+// gradient w.r.t. the layer input. This matches the fixed-architecture
+// training loop FL needs and avoids the compile cost of a tape autograd.
+//
+// Input conventions:
+//  * Dense layers take rank-2 (batch × features).
+//  * Conv/pool layers take rank-4 (batch × channels × height × width).
+//  * Flatten bridges the two.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.hpp"
+
+namespace fedcav::nn {
+
+/// Non-owning handle to one parameter tensor and its gradient buffer.
+struct ParamView {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Compute outputs; `training` toggles train-only behaviour. Caches
+  /// activations for backward().
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Given dL/d(output), accumulate dL/d(params) into grad buffers and
+  /// return dL/d(input). Must be called after a matching forward().
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers). Views remain
+  /// valid for the life of the layer.
+  virtual std::vector<ParamView> params() { return {}; }
+
+  /// Zero all gradient buffers.
+  void zero_grad();
+
+  virtual std::string name() const = 0;
+
+  /// Deep copy, including current parameter values (gradients are
+  /// zeroed). Needed to replicate a model per federated client.
+  virtual std::unique_ptr<Layer> clone() const = 0;
+};
+
+}  // namespace fedcav::nn

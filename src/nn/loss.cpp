@@ -1,0 +1,143 @@
+#include "src/nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tensor/ops.hpp"
+#include "src/utils/error.hpp"
+
+namespace fedcav::nn {
+
+namespace {
+void check_batch(const Tensor& logits, const std::vector<std::size_t>& labels,
+                 const char* who) {
+  FEDCAV_REQUIRE(logits.shape().rank() == 2, std::string(who) + ": rank-2 logits required");
+  FEDCAV_REQUIRE(logits.shape()[0] == labels.size(),
+                 std::string(who) + ": batch size mismatch");
+  const std::size_t classes = logits.shape()[1];
+  for (std::size_t y : labels) {
+    FEDCAV_REQUIRE(y < classes, std::string(who) + ": label out of range");
+  }
+}
+constexpr float kProbFloor = 1e-12f;
+}  // namespace
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                   const std::vector<std::size_t>& labels) {
+  check_batch(logits, labels, "SoftmaxCrossEntropy");
+  probs_ = ops::softmax_rows(logits);
+  labels_ = labels;
+  const std::size_t batch = labels.size();
+  const std::size_t classes = logits.shape()[1];
+  double total = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float p = std::max(kProbFloor, probs_.data()[b * classes + labels[b]]);
+    total -= std::log(static_cast<double>(p));
+  }
+  return static_cast<float>(total / static_cast<double>(batch));
+}
+
+Tensor SoftmaxCrossEntropy::backward() {
+  FEDCAV_REQUIRE(probs_.numel() > 0, "SoftmaxCrossEntropy::backward before forward");
+  Tensor grad = probs_;
+  const std::size_t batch = labels_.size();
+  const std::size_t classes = grad.shape()[1];
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    grad.data()[b * classes + labels_[b]] -= 1.0f;
+  }
+  ops::scale_inplace(grad, inv_batch);
+  return grad;
+}
+
+std::unique_ptr<Loss> SoftmaxCrossEntropy::clone() const {
+  return std::make_unique<SoftmaxCrossEntropy>();
+}
+
+FocalLoss::FocalLoss(float gamma) : gamma_(gamma) {
+  FEDCAV_REQUIRE(gamma >= 0.0f, "FocalLoss: gamma must be non-negative");
+}
+
+float FocalLoss::forward(const Tensor& logits, const std::vector<std::size_t>& labels) {
+  check_batch(logits, labels, "FocalLoss");
+  probs_ = ops::softmax_rows(logits);
+  labels_ = labels;
+  const std::size_t batch = labels.size();
+  const std::size_t classes = logits.shape()[1];
+  double total = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const double pt = std::max(kProbFloor, probs_.data()[b * classes + labels[b]]);
+    total -= std::pow(1.0 - pt, static_cast<double>(gamma_)) * std::log(pt);
+  }
+  return static_cast<float>(total / static_cast<double>(batch));
+}
+
+Tensor FocalLoss::backward() {
+  FEDCAV_REQUIRE(probs_.numel() > 0, "FocalLoss::backward before forward");
+  const std::size_t batch = labels_.size();
+  const std::size_t classes = probs_.shape()[1];
+  const double g = static_cast<double>(gamma_);
+  Tensor grad(probs_.shape());
+  // dFL/dz_j = p_j * s - [j == y] * s_y-term, derived from
+  // FL = -(1-p_y)^g log(p_y) with softmax p. Let
+  //   A = g (1-p_y)^{g-1} p_y log(p_y) - (1-p_y)^g
+  // then dFL/dz_j = -A * (delta_{jy} - p_j) ... expanded below.
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* p = probs_.data() + b * classes;
+    float* dst = grad.data() + b * classes;
+    const std::size_t y = labels_[b];
+    const double py = std::max(static_cast<double>(kProbFloor), static_cast<double>(p[y]));
+    const double one_minus = std::max(0.0, 1.0 - py);
+    const double a = g * std::pow(one_minus, g - 1.0) * py * std::log(py) -
+                     std::pow(one_minus, g);
+    for (std::size_t j = 0; j < classes; ++j) {
+      const double delta = (j == y) ? 1.0 : 0.0;
+      dst[j] = static_cast<float>(a * (delta - static_cast<double>(p[j])) /
+                                  static_cast<double>(batch));
+    }
+  }
+  return grad;
+}
+
+std::unique_ptr<Loss> FocalLoss::clone() const {
+  return std::make_unique<FocalLoss>(gamma_);
+}
+
+float MseLoss::forward(const Tensor& logits, const std::vector<std::size_t>& labels) {
+  check_batch(logits, labels, "MseLoss");
+  logits_ = logits;
+  labels_ = labels;
+  const std::size_t batch = labels.size();
+  const std::size_t classes = logits.shape()[1];
+  double total = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* row = logits.data() + b * classes;
+    for (std::size_t j = 0; j < classes; ++j) {
+      const double target = (j == labels[b]) ? 1.0 : 0.0;
+      const double d = static_cast<double>(row[j]) - target;
+      total += d * d;
+    }
+  }
+  return static_cast<float>(total / static_cast<double>(batch * classes));
+}
+
+Tensor MseLoss::backward() {
+  FEDCAV_REQUIRE(logits_.numel() > 0, "MseLoss::backward before forward");
+  const std::size_t batch = labels_.size();
+  const std::size_t classes = logits_.shape()[1];
+  const float scale = 2.0f / static_cast<float>(batch * classes);
+  Tensor grad(logits_.shape());
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* row = logits_.data() + b * classes;
+    float* dst = grad.data() + b * classes;
+    for (std::size_t j = 0; j < classes; ++j) {
+      const float target = (j == labels_[b]) ? 1.0f : 0.0f;
+      dst[j] = scale * (row[j] - target);
+    }
+  }
+  return grad;
+}
+
+std::unique_ptr<Loss> MseLoss::clone() const { return std::make_unique<MseLoss>(); }
+
+}  // namespace fedcav::nn

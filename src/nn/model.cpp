@@ -1,0 +1,73 @@
+#include "src/nn/model.hpp"
+
+#include <cstring>
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::nn {
+
+Model::Model(std::unique_ptr<Layer> network, std::unique_ptr<Loss> loss, std::string name)
+    : network_(std::move(network)), loss_(std::move(loss)), name_(std::move(name)) {
+  FEDCAV_REQUIRE(network_ != nullptr, "Model: null network");
+  FEDCAV_REQUIRE(loss_ != nullptr, "Model: null loss");
+  params_ = network_->params();
+  for (const ParamView& p : params_) {
+    FEDCAV_REQUIRE(p.value != nullptr && p.grad != nullptr, "Model: null param view");
+    FEDCAV_REQUIRE(p.value->numel() == p.grad->numel(), "Model: param/grad size mismatch");
+    num_params_ += p.value->numel();
+  }
+}
+
+Tensor Model::predict(const Tensor& input) { return network_->forward(input, /*training=*/false); }
+
+float Model::compute_loss(const Tensor& input, const std::vector<std::size_t>& labels) {
+  Tensor logits = network_->forward(input, /*training=*/false);
+  return loss_->forward(logits, labels);
+}
+
+float Model::forward_backward(const Tensor& input, const std::vector<std::size_t>& labels) {
+  Tensor logits = network_->forward(input, /*training=*/true);
+  const float value = loss_->forward(logits, labels);
+  Tensor grad = loss_->backward();
+  network_->backward(grad);
+  return value;
+}
+
+void Model::zero_grad() { network_->zero_grad(); }
+
+Weights Model::get_weights() const {
+  Weights flat(num_params_);
+  std::size_t offset = 0;
+  for (const ParamView& p : params_) {
+    std::memcpy(flat.data() + offset, p.value->data(), p.value->numel() * sizeof(float));
+    offset += p.value->numel();
+  }
+  return flat;
+}
+
+void Model::set_weights(std::span<const float> flat) {
+  FEDCAV_REQUIRE(flat.size() == num_params_,
+                 "Model::set_weights: expected " + std::to_string(num_params_) +
+                     " values, got " + std::to_string(flat.size()));
+  std::size_t offset = 0;
+  for (const ParamView& p : params_) {
+    std::memcpy(p.value->data(), flat.data() + offset, p.value->numel() * sizeof(float));
+    offset += p.value->numel();
+  }
+}
+
+Weights Model::get_gradients() const {
+  Weights flat(num_params_);
+  std::size_t offset = 0;
+  for (const ParamView& p : params_) {
+    std::memcpy(flat.data() + offset, p.grad->data(), p.grad->numel() * sizeof(float));
+    offset += p.grad->numel();
+  }
+  return flat;
+}
+
+std::unique_ptr<Model> Model::clone() const {
+  return std::make_unique<Model>(network_->clone(), loss_->clone(), name_);
+}
+
+}  // namespace fedcav::nn

@@ -1,0 +1,63 @@
+// Model: a network + loss pair with flat-vector weight exchange.
+//
+// This is the unit the federated runtime manipulates. The flat weight
+// vector (concatenation of every parameter tensor in registration order)
+// is what travels over the comm substrate and what aggregation strategies
+// average — matching the w / w_i^t vectors in the paper's formulation.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/nn/layer.hpp"
+#include "src/nn/loss.hpp"
+
+namespace fedcav::nn {
+
+using Weights = std::vector<float>;
+
+class Model {
+ public:
+  Model(std::unique_ptr<Layer> network, std::unique_ptr<Loss> loss, std::string name);
+
+  /// Forward pass only (inference).
+  Tensor predict(const Tensor& input);
+
+  /// Mean loss of the current weights on a batch, no gradient update.
+  /// This is the paper's inference loss f_i(w) evaluated on one batch.
+  float compute_loss(const Tensor& input, const std::vector<std::size_t>& labels);
+
+  /// One forward+backward pass; leaves gradients accumulated in the
+  /// layers and returns the batch loss. Caller applies an optimizer step.
+  float forward_backward(const Tensor& input, const std::vector<std::size_t>& labels);
+
+  void zero_grad();
+
+  /// Total number of trainable scalars.
+  std::size_t num_params() const { return num_params_; }
+
+  /// Snapshot all parameters into one flat vector.
+  Weights get_weights() const;
+  /// Load parameters from a flat vector (size must equal num_params()).
+  void set_weights(std::span<const float> flat);
+  /// Snapshot all gradients (same layout as get_weights()).
+  Weights get_gradients() const;
+
+  std::vector<ParamView>& params() { return params_; }
+  Loss& loss() { return *loss_; }
+  const std::string& name() const { return name_; }
+
+  /// Deep copy with identical weights and a fresh loss/grad state.
+  std::unique_ptr<Model> clone() const;
+
+ private:
+  std::unique_ptr<Layer> network_;
+  std::unique_ptr<Loss> loss_;
+  std::string name_;
+  std::vector<ParamView> params_;  // cached from network_->params()
+  std::size_t num_params_ = 0;
+};
+
+}  // namespace fedcav::nn

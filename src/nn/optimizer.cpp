@@ -1,0 +1,116 @@
+#include "src/nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::nn {
+
+Sgd::Sgd(SgdConfig config) : config_(config) {
+  FEDCAV_REQUIRE(config.lr > 0.0f, "Sgd: learning rate must be positive");
+  FEDCAV_REQUIRE(config.momentum >= 0.0f && config.momentum < 1.0f,
+                 "Sgd: momentum must be in [0, 1)");
+  FEDCAV_REQUIRE(config.prox_mu >= 0.0f, "Sgd: prox_mu must be non-negative");
+}
+
+void Sgd::set_prox_anchor(std::span<const float> anchor) {
+  anchor_.assign(anchor.begin(), anchor.end());
+}
+
+void Sgd::set_quadratic_penalty(std::span<const float> anchor,
+                                std::span<const float> importance, float lambda) {
+  FEDCAV_REQUIRE(anchor.size() == importance.size(),
+                 "Sgd: penalty anchor/importance size mismatch");
+  FEDCAV_REQUIRE(lambda >= 0.0f, "Sgd: penalty lambda must be non-negative");
+  penalty_anchor_.assign(anchor.begin(), anchor.end());
+  penalty_importance_.assign(importance.begin(), importance.end());
+  penalty_lambda_ = lambda;
+}
+
+void Sgd::step(Model& model) {
+  const bool use_prox = config_.prox_mu > 0.0f;
+  if (use_prox) {
+    FEDCAV_REQUIRE(anchor_.size() == model.num_params(),
+                   "Sgd: prox anchor size mismatch (set_prox_anchor required)");
+  }
+  const bool use_momentum = config_.momentum > 0.0f;
+  if (use_momentum && velocity_.size() != model.num_params()) {
+    velocity_.assign(model.num_params(), 0.0f);
+  }
+  const bool use_penalty = penalty_lambda_ > 0.0f && !penalty_anchor_.empty();
+  if (use_penalty) {
+    FEDCAV_REQUIRE(penalty_anchor_.size() == model.num_params(),
+                   "Sgd: quadratic penalty size mismatch");
+  }
+
+  std::size_t offset = 0;
+  for (ParamView& p : model.params()) {
+    float* w = p.value->data();
+    float* g = p.grad->data();
+    const std::size_t n = p.value->numel();
+    for (std::size_t i = 0; i < n; ++i) {
+      float grad = g[i];
+      if (config_.weight_decay > 0.0f) grad += config_.weight_decay * w[i];
+      if (use_prox) grad += config_.prox_mu * (w[i] - anchor_[offset + i]);
+      if (use_penalty) {
+        grad += penalty_lambda_ * penalty_importance_[offset + i] *
+                (w[i] - penalty_anchor_[offset + i]);
+      }
+      if (use_momentum) {
+        float& v = velocity_[offset + i];
+        v = config_.momentum * v + grad;
+        grad = v;
+      }
+      w[i] -= config_.lr * grad;
+      g[i] = 0.0f;
+    }
+    offset += n;
+  }
+}
+
+std::string Sgd::name() const {
+  std::string s = "Sgd(lr=" + std::to_string(config_.lr);
+  if (config_.momentum > 0.0f) s += ", momentum=" + std::to_string(config_.momentum);
+  if (config_.prox_mu > 0.0f) s += ", prox_mu=" + std::to_string(config_.prox_mu);
+  return s + ")";
+}
+
+Adam::Adam(AdamConfig config) : config_(config) {
+  FEDCAV_REQUIRE(config.lr > 0.0f, "Adam: learning rate must be positive");
+  FEDCAV_REQUIRE(config.beta1 >= 0.0f && config.beta1 < 1.0f, "Adam: beta1 out of range");
+  FEDCAV_REQUIRE(config.beta2 >= 0.0f && config.beta2 < 1.0f, "Adam: beta2 out of range");
+}
+
+void Adam::step(Model& model) {
+  if (m_.size() != model.num_params()) {
+    m_.assign(model.num_params(), 0.0f);
+    v_.assign(model.num_params(), 0.0f);
+    t_ = 0;
+  }
+  ++t_;
+  const double bias1 = 1.0 - std::pow(static_cast<double>(config_.beta1), static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(static_cast<double>(config_.beta2), static_cast<double>(t_));
+
+  std::size_t offset = 0;
+  for (ParamView& p : model.params()) {
+    float* w = p.value->data();
+    float* g = p.grad->data();
+    const std::size_t n = p.value->numel();
+    for (std::size_t i = 0; i < n; ++i) {
+      float grad = g[i];
+      if (config_.weight_decay > 0.0f) grad += config_.weight_decay * w[i];
+      float& m = m_[offset + i];
+      float& v = v_[offset + i];
+      m = config_.beta1 * m + (1.0f - config_.beta1) * grad;
+      v = config_.beta2 * v + (1.0f - config_.beta2) * grad * grad;
+      const double mhat = static_cast<double>(m) / bias1;
+      const double vhat = static_cast<double>(v) / bias2;
+      w[i] -= static_cast<float>(static_cast<double>(config_.lr) * mhat /
+                                 (std::sqrt(vhat) + static_cast<double>(config_.epsilon)));
+      g[i] = 0.0f;
+    }
+    offset += n;
+  }
+}
+
+}  // namespace fedcav::nn

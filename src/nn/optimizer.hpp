@@ -1,0 +1,88 @@
+// Optimizers. All step() implementations read accumulated gradients from
+// the model's ParamViews and update the values in place.
+//
+// Sgd carries an optional proximal term μ‖w − w_anchor‖²/2 toward an
+// anchor weight vector: with μ=0 it is plain (momentum) SGD, with μ>0 it
+// is exactly FedProx's local objective modification (Li et al., the
+// paper's baseline [11]). The anchor is the round's global model.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/nn/model.hpp"
+
+namespace fedcav::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Apply one update using the gradients currently in `model`; zeroes
+  /// the gradients afterwards.
+  virtual void step(Model& model) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+struct SgdConfig {
+  float lr = 0.01f;
+  float momentum = 0.0f;
+  float weight_decay = 0.0f;
+  /// FedProx proximal coefficient μ; 0 disables the proximal term.
+  float prox_mu = 0.0f;
+};
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(SgdConfig config);
+
+  void step(Model& model) override;
+  std::string name() const override;
+
+  /// Set the proximal anchor (the downloaded global weights). Required
+  /// before step() when prox_mu > 0; cleared with an empty span.
+  void set_prox_anchor(std::span<const float> anchor);
+
+  /// Per-coordinate quadratic penalty λ·F_j·(w_j − a_j)² (EWC/FedCurv
+  /// style): adds λ·F_j·(w_j − a_j) to each gradient. Pass empty spans
+  /// to clear. `anchor` and `importance` must be the same length.
+  void set_quadratic_penalty(std::span<const float> anchor,
+                             std::span<const float> importance, float lambda);
+
+  const SgdConfig& config() const { return config_; }
+
+ private:
+  SgdConfig config_;
+  std::vector<float> velocity_;  // lazily sized to num_params
+  std::vector<float> anchor_;
+  std::vector<float> penalty_anchor_;
+  std::vector<float> penalty_importance_;
+  float penalty_lambda_ = 0.0f;
+};
+
+struct AdamConfig {
+  float lr = 0.001f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class Adam : public Optimizer {
+ public:
+  explicit Adam(AdamConfig config);
+
+  void step(Model& model) override;
+  std::string name() const override { return "Adam"; }
+
+ private:
+  AdamConfig config_;
+  std::vector<float> m_;
+  std::vector<float> v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace fedcav::nn

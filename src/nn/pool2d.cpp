@@ -1,0 +1,198 @@
+#include "src/nn/pool2d.hpp"
+
+#include <limits>
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::nn {
+
+namespace {
+void check_pool_input(const Shape& s, std::size_t window, const char* who) {
+  FEDCAV_REQUIRE(s.rank() == 4, std::string(who) + ": rank-4 input required");
+  FEDCAV_REQUIRE(s[2] >= window && s[3] >= window,
+                 std::string(who) + ": window larger than input");
+}
+}  // namespace
+
+MaxPool2D::MaxPool2D(std::size_t window, std::size_t stride)
+    : window_(window), stride_(stride) {
+  FEDCAV_REQUIRE(window > 0 && stride > 0, "MaxPool2D: zero window or stride");
+}
+
+Tensor MaxPool2D::forward(const Tensor& input, bool training) {
+  check_pool_input(input.shape(), window_, "MaxPool2D");
+  input_shape_ = input.shape();
+  const std::size_t batch = input_shape_[0];
+  const std::size_t channels = input_shape_[1];
+  const std::size_t h = input_shape_[2];
+  const std::size_t w = input_shape_[3];
+  const std::size_t oh = (h - window_) / stride_ + 1;
+  const std::size_t ow = (w - window_) / stride_ + 1;
+
+  Tensor out(Shape::of(batch, channels, oh, ow));
+  if (training) argmax_.assign(out.numel(), 0);
+
+  std::size_t oi = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const float* plane = input.data() + (b * channels + c) * h * w;
+      const std::size_t plane_base = (b * channels + c) * h * w;
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t dy = 0; dy < window_; ++dy) {
+            for (std::size_t dx = 0; dx < window_; ++dx) {
+              const std::size_t idx = (y * stride_ + dy) * w + (x * stride_ + dx);
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          out[oi] = best;
+          if (training) argmax_[oi] = plane_base + best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_output) {
+  FEDCAV_REQUIRE(!argmax_.empty(), "MaxPool2D::backward before forward(training=true)");
+  FEDCAV_REQUIRE(grad_output.numel() == argmax_.size(),
+                 "MaxPool2D::backward: grad_output size mismatch");
+  Tensor dx(input_shape_);
+  for (std::size_t i = 0; i < argmax_.size(); ++i) dx[argmax_[i]] += grad_output[i];
+  return dx;
+}
+
+std::string MaxPool2D::name() const {
+  return "MaxPool2D(w=" + std::to_string(window_) + ", s=" + std::to_string(stride_) + ")";
+}
+
+std::unique_ptr<Layer> MaxPool2D::clone() const {
+  return std::make_unique<MaxPool2D>(window_, stride_);
+}
+
+AvgPool2D::AvgPool2D(std::size_t window, std::size_t stride)
+    : window_(window), stride_(stride) {
+  FEDCAV_REQUIRE(window > 0 && stride > 0, "AvgPool2D: zero window or stride");
+}
+
+Tensor AvgPool2D::forward(const Tensor& input, bool training) {
+  (void)training;
+  check_pool_input(input.shape(), window_, "AvgPool2D");
+  input_shape_ = input.shape();
+  const std::size_t batch = input_shape_[0];
+  const std::size_t channels = input_shape_[1];
+  const std::size_t h = input_shape_[2];
+  const std::size_t w = input_shape_[3];
+  const std::size_t oh = (h - window_) / stride_ + 1;
+  const std::size_t ow = (w - window_) / stride_ + 1;
+  const float inv = 1.0f / static_cast<float>(window_ * window_);
+
+  Tensor out(Shape::of(batch, channels, oh, ow));
+  std::size_t oi = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const float* plane = input.data() + (b * channels + c) * h * w;
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x, ++oi) {
+          float acc = 0.0f;
+          for (std::size_t dy = 0; dy < window_; ++dy) {
+            for (std::size_t dx = 0; dx < window_; ++dx) {
+              acc += plane[(y * stride_ + dy) * w + (x * stride_ + dx)];
+            }
+          }
+          out[oi] = acc * inv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2D::backward(const Tensor& grad_output) {
+  FEDCAV_REQUIRE(input_shape_.rank() == 4, "AvgPool2D::backward before forward");
+  const std::size_t batch = input_shape_[0];
+  const std::size_t channels = input_shape_[1];
+  const std::size_t h = input_shape_[2];
+  const std::size_t w = input_shape_[3];
+  const std::size_t oh = (h - window_) / stride_ + 1;
+  const std::size_t ow = (w - window_) / stride_ + 1;
+  const float inv = 1.0f / static_cast<float>(window_ * window_);
+
+  Tensor dx(input_shape_);
+  std::size_t oi = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      float* plane = dx.data() + (b * channels + c) * h * w;
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x, ++oi) {
+          const float g = grad_output[oi] * inv;
+          for (std::size_t dy = 0; dy < window_; ++dy) {
+            for (std::size_t dx2 = 0; dx2 < window_; ++dx2) {
+              plane[(y * stride_ + dy) * w + (x * stride_ + dx2)] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+std::string AvgPool2D::name() const {
+  return "AvgPool2D(w=" + std::to_string(window_) + ", s=" + std::to_string(stride_) + ")";
+}
+
+std::unique_ptr<Layer> AvgPool2D::clone() const {
+  return std::make_unique<AvgPool2D>(window_, stride_);
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool training) {
+  (void)training;
+  FEDCAV_REQUIRE(input.shape().rank() == 4, "GlobalAvgPool: rank-4 input required");
+  input_shape_ = input.shape();
+  const std::size_t batch = input_shape_[0];
+  const std::size_t channels = input_shape_[1];
+  const std::size_t plane = input_shape_[2] * input_shape_[3];
+  const float inv = 1.0f / static_cast<float>(plane);
+
+  Tensor out(Shape::of(batch, channels));
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const float* src = input.data() + (b * channels + c) * plane;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < plane; ++i) acc += static_cast<double>(src[i]);
+      out(b, c) = static_cast<float>(acc) * inv;
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  FEDCAV_REQUIRE(input_shape_.rank() == 4, "GlobalAvgPool::backward before forward");
+  const std::size_t batch = input_shape_[0];
+  const std::size_t channels = input_shape_[1];
+  const std::size_t plane = input_shape_[2] * input_shape_[3];
+  const float inv = 1.0f / static_cast<float>(plane);
+
+  Tensor dx(input_shape_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const float g = grad_output(b, c) * inv;
+      float* dst = dx.data() + (b * channels + c) * plane;
+      for (std::size_t i = 0; i < plane; ++i) dst[i] = g;
+    }
+  }
+  return dx;
+}
+
+std::unique_ptr<Layer> GlobalAvgPool::clone() const {
+  return std::make_unique<GlobalAvgPool>();
+}
+
+}  // namespace fedcav::nn

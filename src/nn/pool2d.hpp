@@ -1,0 +1,53 @@
+// Max and average pooling over non-overlapping-or-strided windows.
+// Input/output are rank-4 (batch × channels × height × width).
+#pragma once
+
+#include "src/nn/layer.hpp"
+
+namespace fedcav::nn {
+
+class MaxPool2D : public Layer {
+ public:
+  MaxPool2D(std::size_t window, std::size_t stride);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  std::size_t window_;
+  std::size_t stride_;
+  Shape input_shape_;
+  std::vector<std::size_t> argmax_;  // flat source index per output cell
+};
+
+class AvgPool2D : public Layer {
+ public:
+  AvgPool2D(std::size_t window, std::size_t stride);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  std::size_t window_;
+  std::size_t stride_;
+  Shape input_shape_;
+};
+
+/// Global average pool: (B × C × H × W) -> (B × C). Used by ResNetLite's
+/// head in place of a large dense layer.
+class GlobalAvgPool : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Shape input_shape_;
+};
+
+}  // namespace fedcav::nn

@@ -1,0 +1,101 @@
+#include "src/nn/residual.hpp"
+
+#include "src/tensor/ops.hpp"
+#include "src/utils/error.hpp"
+
+namespace fedcav::nn {
+
+ResidualBlock::ResidualBlock(std::size_t in_channels, std::size_t out_channels,
+                             std::size_t stride, std::size_t in_h, std::size_t in_w,
+                             Rng& rng) {
+  conv1_ = std::make_unique<Conv2D>(in_channels, out_channels, /*kernel=*/3, stride,
+                                    /*pad=*/1, in_h, in_w, rng);
+  conv2_ = std::make_unique<Conv2D>(out_channels, out_channels, /*kernel=*/3, /*stride=*/1,
+                                    /*pad=*/1, conv1_->out_h(), conv1_->out_w(), rng);
+  if (stride != 1 || in_channels != out_channels) {
+    projection_ = std::make_unique<Conv2D>(in_channels, out_channels, /*kernel=*/1, stride,
+                                           /*pad=*/0, in_h, in_w, rng);
+  }
+}
+
+Tensor ResidualBlock::forward(const Tensor& input, bool training) {
+  Tensor h = conv1_->forward(input, training);
+  // In-block ReLU with a cached mask (same trick as the ReLU layer).
+  if (training) relu1_mask_ = Tensor(h.shape());
+  {
+    float* p = h.data();
+    float* m = training ? relu1_mask_.data() : nullptr;
+    for (std::size_t i = 0, n = h.numel(); i < n; ++i) {
+      const bool pos = p[i] > 0.0f;
+      if (!pos) p[i] = 0.0f;
+      if (m != nullptr) m[i] = pos ? 1.0f : 0.0f;
+    }
+  }
+  Tensor f = conv2_->forward(h, training);
+  Tensor skip = projection_ ? projection_->forward(input, training) : input;
+  ops::add_inplace(f, skip);
+  if (training) relu_out_mask_ = Tensor(f.shape());
+  {
+    float* p = f.data();
+    float* m = training ? relu_out_mask_.data() : nullptr;
+    for (std::size_t i = 0, n = f.numel(); i < n; ++i) {
+      const bool pos = p[i] > 0.0f;
+      if (!pos) p[i] = 0.0f;
+      if (m != nullptr) m[i] = pos ? 1.0f : 0.0f;
+    }
+  }
+  return f;
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_output) {
+  FEDCAV_REQUIRE(relu_out_mask_.same_shape(grad_output),
+                 "ResidualBlock::backward: shape mismatch");
+  Tensor g = grad_output;
+  {
+    float* p = g.data();
+    const float* m = relu_out_mask_.data();
+    for (std::size_t i = 0, n = g.numel(); i < n; ++i) p[i] *= m[i];
+  }
+  // g flows to both the conv branch and the skip branch.
+  Tensor gh = conv2_->backward(g);
+  {
+    float* p = gh.data();
+    const float* m = relu1_mask_.data();
+    for (std::size_t i = 0, n = gh.numel(); i < n; ++i) p[i] *= m[i];
+  }
+  Tensor dx = conv1_->backward(gh);
+  if (projection_) {
+    Tensor dskip = projection_->backward(g);
+    ops::add_inplace(dx, dskip);
+  } else {
+    ops::add_inplace(dx, g);
+  }
+  return dx;
+}
+
+std::vector<ParamView> ResidualBlock::params() {
+  std::vector<ParamView> out = conv1_->params();
+  for (ParamView p : conv2_->params()) out.push_back(p);
+  if (projection_) {
+    for (ParamView p : projection_->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::string ResidualBlock::name() const {
+  return "ResidualBlock(" + conv1_->name() + " + " + conv2_->name() +
+         (projection_ ? ", projected skip)" : ", identity skip)");
+}
+
+std::unique_ptr<Layer> ResidualBlock::clone() const {
+  auto copy = std::unique_ptr<ResidualBlock>(new ResidualBlock());
+  copy->conv1_ = std::unique_ptr<Conv2D>(static_cast<Conv2D*>(conv1_->clone().release()));
+  copy->conv2_ = std::unique_ptr<Conv2D>(static_cast<Conv2D*>(conv2_->clone().release()));
+  if (projection_) {
+    copy->projection_ =
+        std::unique_ptr<Conv2D>(static_cast<Conv2D*>(projection_->clone().release()));
+  }
+  return copy;
+}
+
+}  // namespace fedcav::nn

@@ -1,0 +1,39 @@
+// Residual block: y = ReLU(F(x) + P(x)) where F is conv-ReLU-conv and P
+// is identity or a 1×1 projection when channel count / spatial size
+// change. This is the building unit of ResNetLite (the CIFAR-10 model
+// substitute for the paper's ResNet-18).
+#pragma once
+
+#include "src/nn/conv2d.hpp"
+#include "src/nn/layer.hpp"
+
+namespace fedcav::nn {
+
+class ResidualBlock : public Layer {
+ public:
+  /// `stride` applies to the first conv; when stride > 1 or channels
+  /// change, a 1×1 projection conv is inserted on the skip path.
+  ResidualBlock(std::size_t in_channels, std::size_t out_channels, std::size_t stride,
+                std::size_t in_h, std::size_t in_w, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamView> params() override;
+  std::string name() const override;
+  std::unique_ptr<Layer> clone() const override;
+
+  std::size_t out_h() const { return conv2_->out_h(); }
+  std::size_t out_w() const { return conv2_->out_w(); }
+  std::size_t out_channels() const { return conv2_->out_channels(); }
+
+ private:
+  ResidualBlock() = default;
+
+  std::unique_ptr<Conv2D> conv1_;
+  std::unique_ptr<Conv2D> conv2_;
+  std::unique_ptr<Conv2D> projection_;  // nullptr when identity skip works
+  Tensor relu1_mask_;
+  Tensor relu_out_mask_;
+};
+
+}  // namespace fedcav::nn

@@ -1,0 +1,58 @@
+#include "src/nn/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::nn {
+
+ConstantLr::ConstantLr(float base) : base_(base) {
+  FEDCAV_REQUIRE(base > 0.0f, "ConstantLr: base must be positive");
+}
+
+float ConstantLr::lr(std::size_t round) const {
+  (void)round;
+  return base_;
+}
+
+StepDecayLr::StepDecayLr(float base, std::size_t step, float gamma)
+    : base_(base), step_(step), gamma_(gamma) {
+  FEDCAV_REQUIRE(base > 0.0f, "StepDecayLr: base must be positive");
+  FEDCAV_REQUIRE(step > 0, "StepDecayLr: step must be positive");
+  FEDCAV_REQUIRE(gamma > 0.0f && gamma <= 1.0f, "StepDecayLr: gamma must be in (0, 1]");
+}
+
+float StepDecayLr::lr(std::size_t round) const {
+  FEDCAV_REQUIRE(round >= 1, "StepDecayLr: rounds are 1-based");
+  const std::size_t decays = (round - 1) / step_;
+  return base_ * std::pow(gamma_, static_cast<float>(decays));
+}
+
+CosineLr::CosineLr(float base, float floor, std::size_t horizon)
+    : base_(base), floor_(floor), horizon_(horizon) {
+  FEDCAV_REQUIRE(base > 0.0f, "CosineLr: base must be positive");
+  FEDCAV_REQUIRE(floor >= 0.0f && floor <= base, "CosineLr: floor must be in [0, base]");
+  FEDCAV_REQUIRE(horizon >= 1, "CosineLr: horizon must be positive");
+}
+
+float CosineLr::lr(std::size_t round) const {
+  FEDCAV_REQUIRE(round >= 1, "CosineLr: rounds are 1-based");
+  if (round >= horizon_) return floor_;
+  const double progress = static_cast<double>(round - 1) / static_cast<double>(horizon_ - 1);
+  const double cosine = 0.5 * (1.0 + std::cos(std::numbers::pi * progress));
+  return floor_ + static_cast<float>(cosine) * (base_ - floor_);
+}
+
+std::unique_ptr<LrSchedule> make_schedule(const std::string& name, float base,
+                                          std::size_t rounds) {
+  if (name == "constant") return std::make_unique<ConstantLr>(base);
+  if (name == "step") {
+    return std::make_unique<StepDecayLr>(base, std::max<std::size_t>(1, rounds / 3), 0.5f);
+  }
+  if (name == "cosine") return std::make_unique<CosineLr>(base, base * 0.1f, rounds);
+  throw Error("make_schedule: unknown schedule '" + name + "'");
+}
+
+}  // namespace fedcav::nn

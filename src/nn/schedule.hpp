@@ -1,0 +1,65 @@
+// Learning-rate schedules over communication rounds.
+//
+// The paper holds η fixed; schedules are provided as an extension for
+// the long-horizon runs where fixed-η FL plateaus (the ablation bench
+// compares them on the σ=900 workload).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace fedcav::nn {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+
+  /// Learning rate for 1-based round `round`.
+  virtual float lr(std::size_t round) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// lr(t) = base.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float base);
+  float lr(std::size_t round) const override;
+  std::string name() const override { return "constant"; }
+
+ private:
+  float base_;
+};
+
+/// lr(t) = base · gamma^⌊t / step⌋.
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(float base, std::size_t step, float gamma);
+  float lr(std::size_t round) const override;
+  std::string name() const override { return "step"; }
+
+ private:
+  float base_;
+  std::size_t step_;
+  float gamma_;
+};
+
+/// Cosine annealing from base to floor over `horizon` rounds, flat after.
+class CosineLr : public LrSchedule {
+ public:
+  CosineLr(float base, float floor, std::size_t horizon);
+  float lr(std::size_t round) const override;
+  std::string name() const override { return "cosine"; }
+
+ private:
+  float base_;
+  float floor_;
+  std::size_t horizon_;
+};
+
+/// "constant" | "step" | "cosine" with sane defaults scaled to `rounds`.
+std::unique_ptr<LrSchedule> make_schedule(const std::string& name, float base,
+                                          std::size_t rounds);
+
+}  // namespace fedcav::nn

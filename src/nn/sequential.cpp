@@ -1,0 +1,55 @@
+#include "src/nn/sequential.hpp"
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::nn {
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  FEDCAV_REQUIRE(layer != nullptr, "Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input, bool training) {
+  FEDCAV_REQUIRE(!layers_.empty(), "Sequential::forward: empty container");
+  Tensor x = input;
+  for (auto& l : layers_) x = l->forward(x, training);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  FEDCAV_REQUIRE(!layers_.empty(), "Sequential::backward: empty container");
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<ParamView> Sequential::params() {
+  std::vector<ParamView> out;
+  for (auto& l : layers_) {
+    for (ParamView p : l->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::string Sequential::name() const {
+  std::string s = "Sequential[";
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += layers_[i]->name();
+  }
+  return s + "]";
+}
+
+std::unique_ptr<Layer> Sequential::clone() const {
+  auto copy = std::make_unique<Sequential>();
+  for (const auto& l : layers_) copy->add(l->clone());
+  return copy;
+}
+
+Layer& Sequential::layer(std::size_t i) {
+  FEDCAV_REQUIRE(i < layers_.size(), "Sequential::layer: index out of range");
+  return *layers_[i];
+}
+
+}  // namespace fedcav::nn

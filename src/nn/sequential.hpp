@@ -1,0 +1,31 @@
+// Sequential container: runs layers in order forward, reverse backward.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/layer.hpp"
+
+namespace fedcav::nn {
+
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns *this for chaining.
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamView> params() override;
+  std::string name() const override;
+  std::unique_ptr<Layer> clone() const override;
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace fedcav::nn

@@ -1,0 +1,94 @@
+#include "src/nn/zoo.hpp"
+
+#include "src/nn/activation.hpp"
+#include "src/nn/conv2d.hpp"
+#include "src/nn/dense.hpp"
+#include "src/nn/flatten.hpp"
+#include "src/nn/pool2d.hpp"
+#include "src/nn/residual.hpp"
+#include "src/nn/sequential.hpp"
+#include "src/utils/error.hpp"
+
+namespace fedcav::nn {
+
+std::unique_ptr<Model> make_mlp(std::size_t input_dim, std::size_t hidden,
+                                std::size_t classes, Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Flatten>());  // accept (B × C × H × W) batches too
+  net->add(std::make_unique<Dense>(input_dim, hidden, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Dense>(hidden, classes, rng));
+  return std::make_unique<Model>(std::move(net), std::make_unique<SoftmaxCrossEntropy>(),
+                                 "Mlp");
+}
+
+std::unique_ptr<Model> make_lenet5_lite(Rng& rng) {
+  // 1×14×14 -> conv5 p2 (6×14×14) -> pool2 (6×7×7) -> conv5 (16×3×3)
+  // -> dense 144->64 -> dense 64->10. Same conv/pool/dense cadence as
+  // LeNet-5 at half resolution.
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Conv2D>(kGrayChannels, 6, /*kernel=*/5, /*stride=*/1,
+                                    /*pad=*/2, kGraySide, kGraySide, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<MaxPool2D>(2, 2));
+  net->add(std::make_unique<Conv2D>(6, 16, /*kernel=*/5, /*stride=*/1, /*pad=*/0, 7, 7, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Flatten>());
+  net->add(std::make_unique<Dense>(16 * 3 * 3, 64, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Dense>(64, kNumClasses, rng));
+  return std::make_unique<Model>(std::move(net), std::make_unique<SoftmaxCrossEntropy>(),
+                                 "LeNet5Lite");
+}
+
+std::unique_ptr<Model> make_cnn9_lite(Rng& rng) {
+  // Double-conv blocks with pooling, then a two-layer head: 9 weighted /
+  // activation stages mirroring the paper's "9-layers CNN" for FMNIST.
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Conv2D>(kGrayChannels, 8, 3, 1, 1, kGraySide, kGraySide, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Conv2D>(8, 8, 3, 1, 1, kGraySide, kGraySide, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<MaxPool2D>(2, 2));  // 7×7
+  net->add(std::make_unique<Conv2D>(8, 16, 3, 1, 1, 7, 7, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Conv2D>(16, 16, 3, 1, 1, 7, 7, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<MaxPool2D>(2, 2));  // 3×3
+  net->add(std::make_unique<Flatten>());
+  net->add(std::make_unique<Dense>(16 * 3 * 3, 64, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Dense>(64, kNumClasses, rng));
+  return std::make_unique<Model>(std::move(net), std::make_unique<SoftmaxCrossEntropy>(),
+                                 "Cnn9Lite");
+}
+
+std::unique_ptr<Model> make_resnet_lite(Rng& rng) {
+  // Stem conv, three residual stages (8 -> 16 -> 32 channels with
+  // stride-2 downsampling), global average pool, linear head — the
+  // ResNet-18 topology at reduced width/depth for 3×16×16 inputs.
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Conv2D>(kColorChannels, 8, 3, 1, 1, kColorSide, kColorSide, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<ResidualBlock>(8, 8, 1, kColorSide, kColorSide, rng));
+  net->add(std::make_unique<ResidualBlock>(8, 16, 2, kColorSide, kColorSide, rng));  // 8×8
+  net->add(std::make_unique<ResidualBlock>(16, 32, 2, 8, 8, rng));                   // 4×4
+  net->add(std::make_unique<GlobalAvgPool>());
+  net->add(std::make_unique<Dense>(32, kNumClasses, rng));
+  return std::make_unique<Model>(std::move(net), std::make_unique<SoftmaxCrossEntropy>(),
+                                 "ResNetLite");
+}
+
+ModelBuilder model_builder(const std::string& name) {
+  if (name == "mlp") {
+    return [](Rng& rng) {
+      return make_mlp(kGraySide * kGraySide, 32, kNumClasses, rng);
+    };
+  }
+  if (name == "lenet5") return [](Rng& rng) { return make_lenet5_lite(rng); };
+  if (name == "cnn9") return [](Rng& rng) { return make_cnn9_lite(rng); };
+  if (name == "resnet") return [](Rng& rng) { return make_resnet_lite(rng); };
+  throw Error("model_builder: unknown model '" + name + "'");
+}
+
+}  // namespace fedcav::nn

@@ -1,0 +1,42 @@
+// Model zoo: the three architectures used in the paper's evaluation,
+// scaled to the synthetic dataset resolutions (see DESIGN.md §1):
+//  * LeNet5Lite  — MNIST substitute  (1×14×14), mirrors LeNet-5.
+//  * Cnn9Lite    — FMNIST substitute (1×14×14), mirrors the 9-layer CNN.
+//  * ResNetLite  — CIFAR substitute  (3×16×16), mirrors ResNet-18 with
+//                  three residual stages and a global-average-pool head.
+// Plus an MLP for fast unit tests and the quickstart example.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "src/nn/model.hpp"
+#include "src/utils/rng.hpp"
+
+namespace fedcav::nn {
+
+inline constexpr std::size_t kNumClasses = 10;
+
+/// Digits/fashion image geometry (single channel).
+inline constexpr std::size_t kGrayChannels = 1;
+inline constexpr std::size_t kGraySide = 14;
+/// Colour image geometry.
+inline constexpr std::size_t kColorChannels = 3;
+inline constexpr std::size_t kColorSide = 16;
+
+std::unique_ptr<Model> make_mlp(std::size_t input_dim, std::size_t hidden,
+                                std::size_t classes, Rng& rng);
+std::unique_ptr<Model> make_lenet5_lite(Rng& rng);
+std::unique_ptr<Model> make_cnn9_lite(Rng& rng);
+std::unique_ptr<Model> make_resnet_lite(Rng& rng);
+
+/// Callable factory handed to the federated runtime; every invocation
+/// builds a structurally identical model (fresh storage) so clients can
+/// train concurrently without sharing buffers.
+using ModelBuilder = std::function<std::unique_ptr<Model>(Rng&)>;
+
+/// Look up a builder by name: "mlp", "lenet5", "cnn9", "resnet".
+/// Throws fedcav::Error on unknown names.
+ModelBuilder model_builder(const std::string& name);
+
+}  // namespace fedcav::nn

@@ -1,0 +1,78 @@
+#include "src/tensor/im2col.hpp"
+
+#include "src/utils/error.hpp"
+
+namespace fedcav {
+
+void Conv2dGeometry::validate() const {
+  FEDCAV_REQUIRE(in_channels > 0 && in_h > 0 && in_w > 0, "Conv2dGeometry: empty input");
+  FEDCAV_REQUIRE(kernel_h > 0 && kernel_w > 0, "Conv2dGeometry: empty kernel");
+  FEDCAV_REQUIRE(stride > 0, "Conv2dGeometry: zero stride");
+  FEDCAV_REQUIRE(in_h + 2 * pad >= kernel_h && in_w + 2 * pad >= kernel_w,
+                 "Conv2dGeometry: kernel larger than padded input");
+}
+
+void im2col(const Conv2dGeometry& g, const float* image, Tensor& cols) {
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  FEDCAV_REQUIRE(cols.shape().rank() == 2 && cols.shape()[0] == g.col_rows() &&
+                     cols.shape()[1] == g.col_cols(),
+                 "im2col: cols shape mismatch");
+  float* out = cols.data();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_channels; ++c) {
+    const float* chan = image + c * g.in_h * g.in_w;
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* dst = out + row * (oh * ow);
+        for (std::size_t y = 0; y < oh; ++y) {
+          // Signed source coordinates: padding can push them negative.
+          const long long sy = static_cast<long long>(y * g.stride + kh) -
+                               static_cast<long long>(g.pad);
+          for (std::size_t x = 0; x < ow; ++x) {
+            const long long sx = static_cast<long long>(x * g.stride + kw) -
+                                 static_cast<long long>(g.pad);
+            const bool inside = sy >= 0 && sy < static_cast<long long>(g.in_h) &&
+                                sx >= 0 && sx < static_cast<long long>(g.in_w);
+            dst[y * ow + x] =
+                inside ? chan[static_cast<std::size_t>(sy) * g.in_w +
+                              static_cast<std::size_t>(sx)]
+                       : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Conv2dGeometry& g, const Tensor& cols, float* grad_image) {
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  FEDCAV_REQUIRE(cols.shape().rank() == 2 && cols.shape()[0] == g.col_rows() &&
+                     cols.shape()[1] == g.col_cols(),
+                 "col2im: cols shape mismatch");
+  const float* in = cols.data();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_channels; ++c) {
+    float* chan = grad_image + c * g.in_h * g.in_w;
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* src = in + row * (oh * ow);
+        for (std::size_t y = 0; y < oh; ++y) {
+          const long long sy = static_cast<long long>(y * g.stride + kh) -
+                               static_cast<long long>(g.pad);
+          if (sy < 0 || sy >= static_cast<long long>(g.in_h)) continue;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const long long sx = static_cast<long long>(x * g.stride + kw) -
+                                 static_cast<long long>(g.pad);
+            if (sx < 0 || sx >= static_cast<long long>(g.in_w)) continue;
+            chan[static_cast<std::size_t>(sy) * g.in_w + static_cast<std::size_t>(sx)] +=
+                src[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fedcav

@@ -1,0 +1,40 @@
+// im2col / col2im: lower convolution to GEMM.
+//
+// Layout convention: images are CHW (channels, height, width); the column
+// matrix is (C*KH*KW) × (OH*OW) so that `weights(OC, C*KH*KW) * cols`
+// yields the (OC, OH*OW) output feature map in one matmul.
+#pragma once
+
+#include <cstddef>
+
+#include "src/tensor/tensor.hpp"
+
+namespace fedcav {
+
+struct Conv2dGeometry {
+  std::size_t in_channels = 0;
+  std::size_t in_h = 0;
+  std::size_t in_w = 0;
+  std::size_t kernel_h = 0;
+  std::size_t kernel_w = 0;
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+
+  std::size_t out_h() const { return (in_h + 2 * pad - kernel_h) / stride + 1; }
+  std::size_t out_w() const { return (in_w + 2 * pad - kernel_w) / stride + 1; }
+  std::size_t col_rows() const { return in_channels * kernel_h * kernel_w; }
+  std::size_t col_cols() const { return out_h() * out_w(); }
+
+  /// Throws if the kernel does not fit the padded input.
+  void validate() const;
+};
+
+/// Expand one CHW image (`image` has numel C*H*W) into the column matrix
+/// `cols` (col_rows × col_cols, preallocated). Zero padding.
+void im2col(const Conv2dGeometry& g, const float* image, Tensor& cols);
+
+/// Scatter-add the column-matrix gradient back into an image gradient
+/// (`grad_image` has numel C*H*W and is accumulated into, not zeroed).
+void col2im(const Conv2dGeometry& g, const Tensor& cols, float* grad_image);
+
+}  // namespace fedcav

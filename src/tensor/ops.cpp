@@ -1,0 +1,277 @@
+#include "src/tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::ops {
+
+namespace {
+void require_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  FEDCAV_REQUIRE(a.same_shape(b), std::string(op) + ": shape mismatch " +
+                                      a.shape().to_string() + " vs " +
+                                      b.shape().to_string());
+}
+}  // namespace
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "add_inplace");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0, n = a.numel(); i < n; ++i) pa[i] += pb[i];
+}
+
+void sub_inplace(Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "sub_inplace");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0, n = a.numel(); i < n; ++i) pa[i] -= pb[i];
+}
+
+void mul_inplace(Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "mul_inplace");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0, n = a.numel(); i < n; ++i) pa[i] *= pb[i];
+}
+
+void scale_inplace(Tensor& a, float s) {
+  float* pa = a.data();
+  for (std::size_t i = 0, n = a.numel(); i < n; ++i) pa[i] *= s;
+}
+
+void axpy_inplace(Tensor& y, float alpha, const Tensor& x) {
+  require_same_shape(y, x, "axpy_inplace");
+  float* py = y.data();
+  const float* px = x.data();
+  for (std::size_t i = 0, n = y.numel(); i < n; ++i) py[i] += alpha * px[i];
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  add_inplace(c, b);
+  return c;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  sub_inplace(c, b);
+  return c;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  mul_inplace(c, b);
+  return c;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor c = a;
+  scale_inplace(c, s);
+  return c;
+}
+
+void axpy(std::span<float> y, float alpha, std::span<const float> x) {
+  FEDCAV_REQUIRE(y.size() == x.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<float> y, float s) {
+  for (auto& v : y) v *= s;
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  FEDCAV_REQUIRE(a.size() == b.size(), "dot: size mismatch");
+  double acc = 0.0;  // double accumulator for stability on long vectors
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return static_cast<float>(acc);
+}
+
+float l2_norm(std::span<const float> a) {
+  double acc = 0.0;
+  for (float v : a) acc += static_cast<double>(v) * static_cast<double>(v);
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float l2_distance(std::span<const float> a, std::span<const float> b) {
+  FEDCAV_REQUIRE(a.size() == b.size(), "l2_distance: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
+  FEDCAV_REQUIRE(a.shape().rank() == 2 && b.shape().rank() == 2, "matmul: rank-2 inputs required");
+  const std::size_t m = a.shape()[0];
+  const std::size_t k = a.shape()[1];
+  const std::size_t n = b.shape()[1];
+  FEDCAV_REQUIRE(b.shape()[0] == k, "matmul: inner dimensions differ");
+  FEDCAV_REQUIRE(c.shape().rank() == 2 && c.shape()[0] == m && c.shape()[1] == n,
+                 "matmul: output shape mismatch");
+  c.fill(0.0f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // ikj loop order: the inner j-loop streams B and C rows contiguously.
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
+    const std::size_t i_end = std::min(m, i0 + kBlock);
+    for (std::size_t kk0 = 0; kk0 < k; kk0 += kBlock) {
+      const std::size_t k_end = std::min(k, kk0 + kBlock);
+      for (std::size_t i = i0; i < i_end; ++i) {
+        for (std::size_t kk = kk0; kk < k_end; ++kk) {
+          const float aik = pa[i * k + kk];
+          if (aik == 0.0f) continue;
+          const float* brow = pb + kk * n;
+          float* crow = pc + i * n;
+          for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor c(Shape::of(a.shape()[0], b.shape()[1]));
+  matmul(a, b, c);
+  return c;
+}
+
+void matmul_transposed_b(const Tensor& a, const Tensor& b, Tensor& c) {
+  FEDCAV_REQUIRE(a.shape().rank() == 2 && b.shape().rank() == 2,
+                 "matmul_transposed_b: rank-2 inputs required");
+  const std::size_t m = a.shape()[0];
+  const std::size_t k = a.shape()[1];
+  const std::size_t n = b.shape()[0];
+  FEDCAV_REQUIRE(b.shape()[1] == k, "matmul_transposed_b: inner dimensions differ");
+  FEDCAV_REQUIRE(c.shape().rank() == 2 && c.shape()[0] == m && c.shape()[1] == n,
+                 "matmul_transposed_b: output shape mismatch");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      const float* arow = pa + i * k;
+      const float* brow = pb + j * k;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(arow[kk]) * static_cast<double>(brow[kk]);
+      }
+      pc[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+void matmul_transposed_a(const Tensor& a, const Tensor& b, Tensor& c) {
+  FEDCAV_REQUIRE(a.shape().rank() == 2 && b.shape().rank() == 2,
+                 "matmul_transposed_a: rank-2 inputs required");
+  const std::size_t k = a.shape()[0];
+  const std::size_t m = a.shape()[1];
+  const std::size_t n = b.shape()[1];
+  FEDCAV_REQUIRE(b.shape()[0] == k, "matmul_transposed_a: inner dimensions differ");
+  FEDCAV_REQUIRE(c.shape().rank() == 2 && c.shape()[0] == m && c.shape()[1] == n,
+                 "matmul_transposed_a: output shape mismatch");
+  c.fill(0.0f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
+Tensor transpose(const Tensor& a) {
+  FEDCAV_REQUIRE(a.shape().rank() == 2, "transpose: rank-2 input required");
+  const std::size_t m = a.shape()[0];
+  const std::size_t n = a.shape()[1];
+  Tensor t(Shape::of(n, m));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+float sum(const Tensor& a) {
+  double acc = 0.0;
+  for (std::size_t i = 0, n = a.numel(); i < n; ++i) acc += static_cast<double>(a[i]);
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  FEDCAV_REQUIRE(a.numel() > 0, "mean: empty tensor");
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float max_value(const Tensor& a) {
+  FEDCAV_REQUIRE(a.numel() > 0, "max_value: empty tensor");
+  float m = a[0];
+  for (std::size_t i = 1, n = a.numel(); i < n; ++i) m = std::max(m, a[i]);
+  return m;
+}
+
+std::size_t argmax(std::span<const float> v) {
+  FEDCAV_REQUIRE(!v.empty(), "argmax: empty span");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  FEDCAV_REQUIRE(logits.shape().rank() == 2, "softmax_rows: rank-2 input required");
+  const std::size_t rows = logits.shape()[0];
+  const std::size_t cols = logits.shape()[1];
+  Tensor out(logits.shape());
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* in = logits.data() + r * cols;
+    float* o = out.data() + r * cols;
+    float mx = in[0];
+    for (std::size_t c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double e = std::exp(static_cast<double>(in[c] - mx));
+      o[c] = static_cast<float>(e);
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::size_t c = 0; c < cols; ++c) o[c] *= inv;
+  }
+  return out;
+}
+
+std::vector<double> stable_softmax(const std::vector<double>& x) {
+  FEDCAV_REQUIRE(!x.empty(), "stable_softmax: empty input");
+  const double mx = *std::max_element(x.begin(), x.end());
+  std::vector<double> out(x.size());
+  double denom = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = std::exp(x[i] - mx);
+    denom += out[i];
+  }
+  for (auto& v : out) v /= denom;
+  return out;
+}
+
+double log_sum_exp(const std::vector<double>& x) {
+  FEDCAV_REQUIRE(!x.empty(), "log_sum_exp: empty input");
+  const double mx = *std::max_element(x.begin(), x.end());
+  double acc = 0.0;
+  for (double v : x) acc += std::exp(v - mx);
+  return mx + std::log(acc);
+}
+
+}  // namespace fedcav::ops

@@ -1,0 +1,61 @@
+// Tensor operations: elementwise kernels, BLAS-lite GEMM, reductions and
+// the numerically-stable softmax family. All kernels are written as
+// straight loops over contiguous memory so the compiler can vectorize;
+// the blocked GEMM is the only cache-tiled kernel (it dominates training
+// time through the Dense and im2col'd Conv2D layers).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/tensor/tensor.hpp"
+
+namespace fedcav::ops {
+
+// ---- elementwise (shapes must match) ----
+void add_inplace(Tensor& a, const Tensor& b);            // a += b
+void sub_inplace(Tensor& a, const Tensor& b);            // a -= b
+void mul_inplace(Tensor& a, const Tensor& b);            // a *= b (Hadamard)
+void scale_inplace(Tensor& a, float s);                  // a *= s
+void axpy_inplace(Tensor& y, float alpha, const Tensor& x);  // y += alpha*x
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, float s);
+
+// ---- flat-buffer variants used on model weight vectors ----
+void axpy(std::span<float> y, float alpha, std::span<const float> x);
+void scale(std::span<float> y, float s);
+float dot(std::span<const float> a, std::span<const float> b);
+float l2_norm(std::span<const float> a);
+float l2_distance(std::span<const float> a, std::span<const float> b);
+
+// ---- linear algebra ----
+/// C = A(m×k) * B(k×n). C must be preallocated m×n; it is overwritten.
+void matmul(const Tensor& a, const Tensor& b, Tensor& c);
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C = A(m×k) * B^T where B is n×k.
+void matmul_transposed_b(const Tensor& a, const Tensor& b, Tensor& c);
+/// C = A^T(k×m -> m rows become cols) * B(k×n) giving m×n.
+void matmul_transposed_a(const Tensor& a, const Tensor& b, Tensor& c);
+Tensor transpose(const Tensor& a);  // 2-D only
+
+// ---- reductions ----
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float max_value(const Tensor& a);
+std::size_t argmax(std::span<const float> v);
+
+// ---- softmax family ----
+/// Row-wise stable softmax of a 2-D tensor (batch × classes).
+Tensor softmax_rows(const Tensor& logits);
+/// Stable softmax of a plain vector (used for FedCav aggregation
+/// weights; subtracts the max per the paper's overflow note §4.2.3).
+std::vector<double> stable_softmax(const std::vector<double>& x);
+/// log(sum_i exp(x_i)) computed stably; this is the paper's global loss
+/// F(w) = ln(sum_i e^{f_i(w)}) (Eq. 7).
+double log_sum_exp(const std::vector<double>& x);
+
+}  // namespace fedcav::ops

@@ -1,0 +1,68 @@
+#include "src/tensor/shape.hpp"
+
+#include "src/utils/error.hpp"
+
+namespace fedcav {
+
+Shape::Shape(std::initializer_list<std::size_t> dims) {
+  FEDCAV_REQUIRE(dims.size() <= kMaxRank, "Shape: rank exceeds kMaxRank");
+  for (std::size_t d : dims) dims_[rank_++] = d;
+}
+
+Shape Shape::of(std::size_t d0) { return Shape{d0}; }
+Shape Shape::of(std::size_t d0, std::size_t d1) { return Shape{d0, d1}; }
+Shape Shape::of(std::size_t d0, std::size_t d1, std::size_t d2) { return Shape{d0, d1, d2}; }
+Shape Shape::of(std::size_t d0, std::size_t d1, std::size_t d2, std::size_t d3) {
+  return Shape{d0, d1, d2, d3};
+}
+
+std::size_t Shape::operator[](std::size_t axis) const {
+  FEDCAV_REQUIRE(axis < rank_, "Shape: axis out of range");
+  return dims_[axis];
+}
+
+std::size_t Shape::numel() const {
+  std::size_t n = 1;
+  for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+  return n;
+}
+
+std::size_t Shape::offset(std::size_t i0) const {
+  FEDCAV_REQUIRE(rank_ == 1, "Shape::offset: rank mismatch");
+  return i0;
+}
+
+std::size_t Shape::offset(std::size_t i0, std::size_t i1) const {
+  FEDCAV_REQUIRE(rank_ == 2, "Shape::offset: rank mismatch");
+  return i0 * dims_[1] + i1;
+}
+
+std::size_t Shape::offset(std::size_t i0, std::size_t i1, std::size_t i2) const {
+  FEDCAV_REQUIRE(rank_ == 3, "Shape::offset: rank mismatch");
+  return (i0 * dims_[1] + i1) * dims_[2] + i2;
+}
+
+std::size_t Shape::offset(std::size_t i0, std::size_t i1, std::size_t i2,
+                          std::size_t i3) const {
+  FEDCAV_REQUIRE(rank_ == 4, "Shape::offset: rank mismatch");
+  return ((i0 * dims_[1] + i1) * dims_[2] + i2) * dims_[3] + i3;
+}
+
+bool Shape::operator==(const Shape& other) const {
+  if (rank_ != other.rank_) return false;
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (dims_[i] != other.dims_[i]) return false;
+  }
+  return true;
+}
+
+std::string Shape::to_string() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (i > 0) s += ", ";
+    s += std::to_string(dims_[i]);
+  }
+  return s + "]";
+}
+
+}  // namespace fedcav

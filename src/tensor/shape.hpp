@@ -1,0 +1,48 @@
+// Tensor shape: a small fixed-capacity dimension list with row-major
+// stride/offset arithmetic. Kept separate from Tensor so layers can do
+// shape algebra without touching storage.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+
+namespace fedcav {
+
+/// Up to kMaxRank dimensions, row-major. Rank-0 (scalar) is allowed and
+/// has numel() == 1.
+class Shape {
+ public:
+  static constexpr std::size_t kMaxRank = 4;
+
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims);
+
+  static Shape of(std::size_t d0);
+  static Shape of(std::size_t d0, std::size_t d1);
+  static Shape of(std::size_t d0, std::size_t d1, std::size_t d2);
+  static Shape of(std::size_t d0, std::size_t d1, std::size_t d2, std::size_t d3);
+
+  std::size_t rank() const { return rank_; }
+  std::size_t operator[](std::size_t axis) const;
+  std::size_t numel() const;
+
+  /// Row-major linear offset of a multi-index (rank must match).
+  std::size_t offset(std::size_t i0) const;
+  std::size_t offset(std::size_t i0, std::size_t i1) const;
+  std::size_t offset(std::size_t i0, std::size_t i1, std::size_t i2) const;
+  std::size_t offset(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3) const;
+
+  bool operator==(const Shape& other) const;
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// "[2, 3, 4]" for diagnostics.
+  std::string to_string() const;
+
+ private:
+  std::array<std::size_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+}  // namespace fedcav

@@ -1,0 +1,52 @@
+#include "src/tensor/tensor.hpp"
+
+#include "src/utils/error.hpp"
+#include "src/utils/rng.hpp"
+
+namespace fedcav {
+
+Tensor::Tensor(Shape shape, float fill_value)
+    : shape_(shape), data_(shape.numel(), fill_value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(shape), data_(std::move(data)) {
+  FEDCAV_REQUIRE(data_.size() == shape_.numel(),
+                 "Tensor: data size does not match shape " + shape_.to_string());
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(shape);
+  for (auto& v : t.data_) v = rng.uniform_f(lo, hi);
+  return t;
+}
+
+Tensor Tensor::normal(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(shape);
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.normal(static_cast<double>(mean), static_cast<double>(stddev)));
+  }
+  return t;
+}
+
+float& Tensor::at(std::size_t i) {
+  FEDCAV_REQUIRE(i < data_.size(), "Tensor::at: index out of range");
+  return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  FEDCAV_REQUIRE(i < data_.size(), "Tensor::at: index out of range");
+  return data_[i];
+}
+
+void Tensor::fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  FEDCAV_REQUIRE(new_shape.numel() == numel(),
+                 "Tensor::reshaped: numel mismatch " + shape_.to_string() + " -> " +
+                     new_shape.to_string());
+  return Tensor(new_shape, data_);
+}
+
+}  // namespace fedcav

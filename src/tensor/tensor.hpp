@@ -1,0 +1,80 @@
+// Dense float32 N-D tensor with owned, contiguous row-major storage.
+//
+// This is the numeric workhorse of the NN substrate. Design choices:
+//  * float32 only — matches the paper's training stack and halves memory
+//    traffic versus double on the aggregation path.
+//  * Value semantics with cheap moves; explicit `zeros_like` etc. rather
+//    than implicit broadcasting, so every allocation is visible.
+//  * Element access goes through Shape::offset, which bounds-checks the
+//    rank; per-element bounds checks are debug-only via at().
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/tensor/shape.hpp"
+
+namespace fedcav {
+
+class Rng;
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape, float fill = 0.0f);
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape) { return Tensor(shape, 0.0f); }
+  static Tensor full(Shape shape, float value) { return Tensor(shape, value); }
+  /// iid U(lo, hi) entries.
+  static Tensor uniform(Shape shape, Rng& rng, float lo, float hi);
+  /// iid N(mean, stddev) entries.
+  static Tensor normal(Shape shape, Rng& rng, float mean, float stddev);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Checked flat access (throws on out-of-range).
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
+
+  float& operator()(std::size_t i0) { return data_[shape_.offset(i0)]; }
+  float operator()(std::size_t i0) const { return data_[shape_.offset(i0)]; }
+  float& operator()(std::size_t i0, std::size_t i1) { return data_[shape_.offset(i0, i1)]; }
+  float operator()(std::size_t i0, std::size_t i1) const { return data_[shape_.offset(i0, i1)]; }
+  float& operator()(std::size_t i0, std::size_t i1, std::size_t i2) {
+    return data_[shape_.offset(i0, i1, i2)];
+  }
+  float operator()(std::size_t i0, std::size_t i1, std::size_t i2) const {
+    return data_[shape_.offset(i0, i1, i2)];
+  }
+  float& operator()(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3) {
+    return data_[shape_.offset(i0, i1, i2, i3)];
+  }
+  float operator()(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3) const {
+    return data_[shape_.offset(i0, i1, i2, i3)];
+  }
+
+  void fill(float value);
+
+  /// Reinterpret storage with a new shape of identical numel.
+  Tensor reshaped(Shape new_shape) const;
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace fedcav

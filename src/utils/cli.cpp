@@ -1,0 +1,116 @@
+#include "src/utils/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/utils/error.hpp"
+#include "src/utils/string_util.hpp"
+
+namespace fedcav {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_int(const std::string& name, long long default_value,
+                        const std::string& help) {
+  FEDCAV_REQUIRE(!options_.count(name), "CliParser: duplicate option --" + name);
+  options_[name] = Option{Kind::kInt, help, std::to_string(default_value)};
+  order_.push_back(name);
+}
+
+void CliParser::add_double(const std::string& name, double default_value,
+                           const std::string& help) {
+  FEDCAV_REQUIRE(!options_.count(name), "CliParser: duplicate option --" + name);
+  options_[name] = Option{Kind::kDouble, help, format_double(default_value, 6)};
+  order_.push_back(name);
+}
+
+void CliParser::add_string(const std::string& name, const std::string& default_value,
+                           const std::string& help) {
+  FEDCAV_REQUIRE(!options_.count(name), "CliParser: duplicate option --" + name);
+  options_[name] = Option{Kind::kString, help, default_value};
+  order_.push_back(name);
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  FEDCAV_REQUIRE(!options_.count(name), "CliParser: duplicate option --" + name);
+  options_[name] = Option{Kind::kFlag, help, "false"};
+  order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help_text().c_str(), stdout);
+      return false;
+    }
+    FEDCAV_REQUIRE(starts_with(arg, "--"), "unexpected positional argument '" + arg + "'");
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool has_inline_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_inline_value = true;
+    }
+    auto it = options_.find(name);
+    FEDCAV_REQUIRE(it != options_.end(), "unknown flag --" + name);
+    Option& opt = it->second;
+    if (opt.kind == Kind::kFlag) {
+      opt.value = has_inline_value ? (parse_bool(value) ? "true" : "false") : "true";
+      continue;
+    }
+    if (!has_inline_value) {
+      FEDCAV_REQUIRE(i + 1 < argc, "flag --" + name + " expects a value");
+      value = argv[++i];
+    }
+    // Validate eagerly so errors point at the flag, not a later get().
+    switch (opt.kind) {
+      case Kind::kInt: (void)parse_int(value); break;
+      case Kind::kDouble: (void)parse_double(value); break;
+      default: break;
+    }
+    opt.value = value;
+  }
+  return true;
+}
+
+const CliParser::Option& CliParser::find(const std::string& name, Kind kind) const {
+  auto it = options_.find(name);
+  FEDCAV_REQUIRE(it != options_.end(), "CliParser: undeclared option --" + name);
+  FEDCAV_REQUIRE(it->second.kind == kind, "CliParser: wrong type for --" + name);
+  return it->second;
+}
+
+long long CliParser::get_int(const std::string& name) const {
+  return parse_int(find(name, Kind::kInt).value);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return parse_double(find(name, Kind::kDouble).value);
+}
+
+const std::string& CliParser::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  return parse_bool(find(name, Kind::kFlag).value);
+}
+
+std::string CliParser::help_text() const {
+  std::ostringstream oss;
+  oss << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    oss << "  --" << name;
+    if (opt.kind != Kind::kFlag) oss << " <value>";
+    oss << "\n      " << opt.help << " (default: " << opt.value << ")\n";
+  }
+  oss << "  --help\n      show this message\n";
+  return oss.str();
+}
+
+}  // namespace fedcav

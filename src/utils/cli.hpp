@@ -1,0 +1,59 @@
+// Command-line flag parsing for examples and bench binaries.
+//
+// Usage:
+//   CliParser cli("fig2_heterogeneity", "FedAvg on 5 distributions");
+//   cli.add_int("rounds", 50, "communication rounds");
+//   cli.add_double("lr", 0.05, "local learning rate");
+//   cli.add_flag("fast", "shrink the workload for CI");
+//   cli.parse(argc, argv);          // handles --help, validates names
+//   int rounds = cli.get_int("rounds");
+//
+// Flags use `--name value` or `--name=value`; boolean flags take no value.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fedcav {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  void add_int(const std::string& name, long long default_value, const std::string& help);
+  void add_double(const std::string& name, double default_value, const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  /// Boolean flag, defaults to false; present on the command line = true.
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Returns false if --help was requested (help text already
+  /// printed); throws fedcav::Error on unknown flags or bad values.
+  bool parse(int argc, const char* const* argv);
+
+  long long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  /// Render the --help text.
+  std::string help_text() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kFlag };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string value;  // canonical textual value
+  };
+
+  const Option& find(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;  // declaration order for help text
+};
+
+}  // namespace fedcav

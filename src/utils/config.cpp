@@ -1,0 +1,109 @@
+#include "src/utils/config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/utils/error.hpp"
+#include "src/utils/string_util.hpp"
+
+namespace fedcav {
+
+Config Config::from_string(const std::string& text) {
+  Config config;
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    // Strip comments, then whitespace.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    const std::string trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    FEDCAV_REQUIRE(eq != std::string::npos,
+                   "Config: missing '=' on line " + std::to_string(line_number));
+    const std::string key = trim(trimmed.substr(0, eq));
+    FEDCAV_REQUIRE(!key.empty(), "Config: empty key on line " + std::to_string(line_number));
+    config.values_[key] = trim(trimmed.substr(eq + 1));
+  }
+  return config;
+}
+
+Config Config::from_file(const std::string& path) {
+  std::ifstream in(path);
+  FEDCAV_REQUIRE(in.good(), "Config: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_string(buffer.str());
+}
+
+bool Config::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::optional<std::string> Config::find(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key) const {
+  const auto v = find(key);
+  FEDCAV_REQUIRE(v.has_value(), "Config: missing key '" + key + "'");
+  return *v;
+}
+
+long long Config::get_int(const std::string& key) const {
+  try {
+    return parse_int(get_string(key));
+  } catch (const Error&) {
+    throw Error("Config: malformed integer for key '" + key + "'");
+  }
+}
+
+double Config::get_double(const std::string& key) const {
+  try {
+    return parse_double(get_string(key));
+  } catch (const Error&) {
+    throw Error("Config: malformed number for key '" + key + "'");
+  }
+}
+
+bool Config::get_bool(const std::string& key) const {
+  try {
+    return parse_bool(get_string(key));
+  } catch (const Error&) {
+    throw Error("Config: malformed boolean for key '" + key + "'");
+  }
+}
+
+std::string Config::get_string(const std::string& key, const std::string& fallback) const {
+  return find(key).value_or(fallback);
+}
+
+long long Config::get_int(const std::string& key, long long fallback) const {
+  return has(key) ? get_int(key) : fallback;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  return has(key) ? get_double(key) : fallback;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  return has(key) ? get_bool(key) : fallback;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  FEDCAV_REQUIRE(!trim(key).empty(), "Config::set: empty key");
+  values_[trim(key)] = trim(value);
+}
+
+std::string Config::to_string() const {
+  std::string out;
+  for (const auto& [key, value] : values_) {
+    out += key + " = " + value + "\n";
+  }
+  return out;
+}
+
+}  // namespace fedcav

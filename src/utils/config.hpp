@@ -1,0 +1,49 @@
+// Key=value configuration files for experiment definitions.
+//
+// Format: one `key = value` per line; `#` starts a comment; blank lines
+// ignored. Keys are flat strings ("server.lr" style nesting is just a
+// naming convention). Typed getters parse on access and throw
+// fedcav::Error with the offending key on malformed values.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace fedcav {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from text. Throws on malformed lines (no '=').
+  static Config from_string(const std::string& text);
+  /// Parse a file. Throws if unreadable.
+  static Config from_file(const std::string& path);
+
+  bool has(const std::string& key) const;
+  std::size_t size() const { return values_.size(); }
+
+  /// Typed getters with required-key semantics.
+  std::string get_string(const std::string& key) const;
+  long long get_int(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  bool get_bool(const std::string& key) const;
+
+  /// Defaulted variants.
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  void set(const std::string& key, const std::string& value);
+
+  /// Render back to the file format (sorted keys).
+  std::string to_string() const;
+
+ private:
+  std::optional<std::string> find(const std::string& key) const;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace fedcav

@@ -1,0 +1,100 @@
+#include "src/utils/csv.hpp"
+
+#include <algorithm>
+
+#include "src/utils/error.hpp"
+#include "src/utils/string_util.hpp"
+
+namespace fedcav {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  FEDCAV_REQUIRE(!header_written_, "CsvWriter: header written twice");
+  FEDCAV_REQUIRE(!names.empty(), "CsvWriter: empty header");
+  columns_ = names.size();
+  header_written_ = true;
+  row(names);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (columns_ != 0) {
+    FEDCAV_REQUIRE(fields.size() == columns_,
+                   "CsvWriter: row width does not match header");
+  }
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+CsvWriter& CsvWriter::cell(const std::string& v) {
+  pending_.push_back(v);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double v, int precision) {
+  pending_.push_back(format_double(v, precision));
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(long long v) {
+  pending_.push_back(std::to_string(v));
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(std::size_t v) {
+  pending_.push_back(std::to_string(v));
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  row(pending_);
+  pending_.clear();
+}
+
+MarkdownTable::MarkdownTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  FEDCAV_REQUIRE(!header_.empty(), "MarkdownTable: empty header");
+}
+
+void MarkdownTable::add_row(std::vector<std::string> row) {
+  FEDCAV_REQUIRE(row.size() == header_.size(),
+                 "MarkdownTable: row width does not match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string MarkdownTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) widths[i] = std::max(widths[i], r[i].size());
+  }
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      line += ' ' + r[i] + std::string(widths[i] - r[i].size(), ' ') + " |";
+    }
+    return line + '\n';
+  };
+  std::string out = emit_row(header_);
+  out += "|";
+  for (std::size_t w : widths) out += std::string(w + 2, '-') + "|";
+  out += '\n';
+  for (const auto& r : rows_) out += emit_row(r);
+  return out;
+}
+
+}  // namespace fedcav

@@ -1,0 +1,50 @@
+// CSV and Markdown table writers used by the bench harness and the
+// training-history exporters. Both escape correctly and are stream-backed
+// so benches can write to stdout or a file interchangeably.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fedcav {
+
+/// Streaming CSV writer. Call `header` once, then `row` per record.
+/// Numeric overloads format locale-free.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void header(const std::vector<std::string>& names);
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience row builder: mixed-type cell appends.
+  CsvWriter& cell(const std::string& v);
+  CsvWriter& cell(double v, int precision = 6);
+  CsvWriter& cell(long long v);
+  CsvWriter& cell(std::size_t v);
+  void end_row();
+
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& out_;
+  std::vector<std::string> pending_;
+  std::size_t columns_ = 0;
+  bool header_written_ = false;
+};
+
+/// Accumulating Markdown table; renders with aligned pipes on `render`.
+class MarkdownTable {
+ public:
+  explicit MarkdownTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fedcav

@@ -1,0 +1,13 @@
+#include "src/utils/error.hpp"
+
+#include <sstream>
+
+namespace fedcav::detail {
+
+void throw_error(const char* file, int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << file << ':' << line << ": " << msg;
+  throw Error(oss.str());
+}
+
+}  // namespace fedcav::detail

@@ -1,0 +1,37 @@
+// Error handling primitives for the fedcav library.
+//
+// The library throws `fedcav::Error` (a std::runtime_error subtype) on
+// precondition violations. The FEDCAV_CHECK / FEDCAV_REQUIRE macros give
+// file:line context without pulling in a heavyweight assertion framework.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fedcav {
+
+/// Exception type thrown on any precondition or invariant violation
+/// inside the library. Carries a human-readable message with source
+/// location prepended.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace fedcav
+
+/// Check `cond`; on failure throw fedcav::Error with `msg` and location.
+/// Used for caller-facing precondition checks (always on, even in Release).
+#define FEDCAV_CHECK(cond, msg)                                   \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::fedcav::detail::throw_error(__FILE__, __LINE__, (msg));   \
+    }                                                             \
+  } while (false)
+
+/// Equivalent to FEDCAV_CHECK but reads as a precondition at API entry.
+#define FEDCAV_REQUIRE(cond, msg) FEDCAV_CHECK(cond, msg)

@@ -1,0 +1,51 @@
+#include "src/utils/logging.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <mutex>
+
+#include "src/utils/error.hpp"
+
+namespace fedcav {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_emit_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+LogLevel parse_log_level(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  throw Error("parse_log_level: unknown level '" + name + "'");
+}
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < g_level.load()) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[fedcav %s] %s\n", level_tag(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace fedcav

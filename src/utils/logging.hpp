@@ -1,0 +1,57 @@
+// Minimal leveled logger.
+//
+// The library logs to stderr through a single global sink with a runtime
+// level filter. Benches lower the level to keep stdout clean for the
+// CSV/markdown tables they emit.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fedcav {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Global log-level threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parse "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+/// Throws fedcav::Error on unknown names.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+
+/// Stream-style one-shot log statement; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, oss_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    oss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream oss_;
+};
+}  // namespace detail
+
+}  // namespace fedcav
+
+#define FEDCAV_LOG_DEBUG ::fedcav::detail::LogLine(::fedcav::LogLevel::kDebug)
+#define FEDCAV_LOG_INFO ::fedcav::detail::LogLine(::fedcav::LogLevel::kInfo)
+#define FEDCAV_LOG_WARN ::fedcav::detail::LogLine(::fedcav::LogLevel::kWarn)
+#define FEDCAV_LOG_ERROR ::fedcav::detail::LogLine(::fedcav::LogLevel::kError)

@@ -1,0 +1,130 @@
+#include "src/utils/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/utils/error.hpp"
+
+namespace fedcav {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // xoshiro requires a nonzero state; splitmix64 output of any seed is
+  // astronomically unlikely to be all-zero, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+float Rng::uniform_f(float lo, float hi) {
+  return static_cast<float>(uniform(static_cast<double>(lo), static_cast<double>(hi)));
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  FEDCAV_REQUIRE(n > 0, "uniform_int: n must be positive");
+  // Lemire-style rejection to kill modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  FEDCAV_REQUIRE(lo <= hi, "uniform_int: lo must be <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_int(span));
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  FEDCAV_REQUIRE(!weights.empty(), "categorical: empty weight vector");
+  double total = 0.0;
+  for (double w : weights) {
+    FEDCAV_REQUIRE(w >= 0.0, "categorical: negative weight");
+    total += w;
+  }
+  FEDCAV_REQUIRE(total > 0.0, "categorical: all weights zero");
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating point slop: last bucket
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  FEDCAV_REQUIRE(k <= n, "sample_without_replacement: k > n");
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  // Partial Fisher-Yates: only the first k swaps are needed.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(uniform_int(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+Rng Rng::fork() {
+  // Child seeded from two fresh outputs; mixes the full state through
+  // splitmix64 in the child's constructor.
+  const std::uint64_t a = next_u64();
+  const std::uint64_t b = next_u64();
+  return Rng(a ^ rotl(b, 29));
+}
+
+}  // namespace fedcav

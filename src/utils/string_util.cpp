@@ -1,0 +1,82 @@
+#include "src/utils/string_util.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/utils/error.hpp"
+
+namespace fedcav {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view delim) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += delim;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+long long parse_int(const std::string& s) {
+  const std::string t = trim(s);
+  FEDCAV_REQUIRE(!t.empty(), "parse_int: empty string");
+  char* end = nullptr;
+  const long long v = std::strtoll(t.c_str(), &end, 10);
+  FEDCAV_REQUIRE(end == t.c_str() + t.size(), "parse_int: malformed integer '" + s + "'");
+  return v;
+}
+
+double parse_double(const std::string& s) {
+  const std::string t = trim(s);
+  FEDCAV_REQUIRE(!t.empty(), "parse_double: empty string");
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  FEDCAV_REQUIRE(end == t.c_str() + t.size(), "parse_double: malformed number '" + s + "'");
+  return v;
+}
+
+bool parse_bool(const std::string& s) {
+  const std::string t = to_lower(trim(s));
+  if (t == "true" || t == "1" || t == "yes" || t == "on") return true;
+  if (t == "false" || t == "0" || t == "no" || t == "off") return false;
+  throw Error("parse_bool: malformed boolean '" + s + "'");
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return std::string(buf);
+}
+
+}  // namespace fedcav

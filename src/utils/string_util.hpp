@@ -1,0 +1,34 @@
+// Small string helpers shared by CLI parsing, config files and writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fedcav {
+
+/// Split `s` on `delim`; empty fields are preserved ("a,,b" -> 3 parts).
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Join parts with `delim` between them.
+std::string join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string trim(std::string_view s);
+
+/// ASCII lower-case copy.
+std::string to_lower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse helpers; throw fedcav::Error on malformed input (whole string
+/// must be consumed).
+long long parse_int(const std::string& s);
+double parse_double(const std::string& s);
+bool parse_bool(const std::string& s);  // true/false/1/0/yes/no/on/off
+
+/// printf-style double formatting with fixed precision, locale-free.
+std::string format_double(double v, int precision);
+
+}  // namespace fedcav

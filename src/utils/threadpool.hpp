@@ -1,0 +1,56 @@
+// Fixed-size thread pool with a deterministic parallel_for.
+//
+// Clients within a federated round train concurrently on this pool.
+// Following the HPC guides' advice on reproducible reductions, the pool
+// exposes `parallel_for`, which partitions an index range statically so
+// each index is processed exactly once and results can be written into
+// pre-sized output slots — the reduction order downstream is therefore
+// independent of thread scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fedcav {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 selects hardware_concurrency()
+  /// (minimum 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run body(i) for every i in [0, n), partitioned across the pool.
+  /// Blocks until all iterations finish. Exceptions from the body are
+  /// rethrown (the first one encountered in index order).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide shared pool used by the federated runtime when the caller
+/// does not supply one.
+ThreadPool& global_thread_pool();
+
+}  // namespace fedcav

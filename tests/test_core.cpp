@@ -1,0 +1,339 @@
+// Unit tests for src/core: contribution weighting (clip + softmax),
+// the FedCav strategy, and the anomaly detector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/contribution.hpp"
+#include "src/core/detector.hpp"
+#include "src/core/fedcav.hpp"
+#include "src/utils/error.hpp"
+#include "src/utils/rng.hpp"
+
+namespace fedcav::core {
+namespace {
+
+fl::ClientUpdate make_update(std::size_t id, std::vector<float> weights, double loss,
+                             std::size_t samples = 10) {
+  fl::ClientUpdate u;
+  u.client_id = id;
+  u.weights = std::move(weights);
+  u.inference_loss = loss;
+  u.num_samples = samples;
+  return u;
+}
+
+// ----------------------------------------------------------------- clip
+
+TEST(Clip, PolicyNamesRoundTrip) {
+  for (const char* name : {"none", "mean", "quantile"}) {
+    EXPECT_EQ(to_string(parse_clip_policy(name)), name);
+  }
+  EXPECT_THROW(parse_clip_policy("median"), Error);
+}
+
+TEST(Clip, NonePassesThrough) {
+  ContributionConfig config;
+  config.clip = ClipPolicy::kNone;
+  const std::vector<double> losses = {1.0, 5.0, 100.0};
+  EXPECT_EQ(clip_losses(losses, config), losses);
+}
+
+TEST(Clip, MeanCapsOutliers) {
+  // Algorithm 1 line 7: f_j <- min(f_j, mean(f)).
+  ContributionConfig config;  // mean is the default
+  const std::vector<double> losses = {1.0, 2.0, 9.0};  // mean = 4
+  const auto clipped = clip_losses(losses, config);
+  EXPECT_DOUBLE_EQ(clipped[0], 1.0);
+  EXPECT_DOUBLE_EQ(clipped[1], 2.0);
+  EXPECT_DOUBLE_EQ(clipped[2], 4.0);
+}
+
+TEST(Clip, MeanOfUniformLossesIsIdentity) {
+  ContributionConfig config;
+  const std::vector<double> losses = {3.0, 3.0, 3.0};
+  EXPECT_EQ(clip_losses(losses, config), losses);
+}
+
+TEST(Clip, QuantileCapsAtRequestedPercentile) {
+  ContributionConfig config;
+  config.clip = ClipPolicy::kQuantile;
+  config.quantile = 0.5;  // median
+  const std::vector<double> losses = {1.0, 2.0, 3.0, 4.0, 100.0};
+  const auto clipped = clip_losses(losses, config);
+  EXPECT_DOUBLE_EQ(clipped[4], 3.0);
+  EXPECT_DOUBLE_EQ(clipped[0], 1.0);
+}
+
+TEST(Clip, QuantileValidatesRange) {
+  ContributionConfig config;
+  config.clip = ClipPolicy::kQuantile;
+  config.quantile = 0.0;
+  EXPECT_THROW(clip_losses({1.0}, config), Error);
+}
+
+TEST(Clip, EmptyInputThrows) {
+  ContributionConfig config;
+  EXPECT_THROW(clip_losses({}, config), Error);
+}
+
+// --------------------------------------------------------- contribution
+
+TEST(Contribution, WeightsSumToOneAndArePositive) {
+  ContributionConfig config;
+  const auto w = contribution_weights({0.5, 2.0, 1.0, 7.5}, config);
+  double sum = 0.0;
+  for (double v : w) {
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Contribution, EqualLossesGiveUniformWeights) {
+  ContributionConfig config;
+  const auto w = contribution_weights({2.0, 2.0, 2.0, 2.0}, config);
+  for (double v : w) EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(Contribution, HigherLossGetsHigherWeight) {
+  ContributionConfig config;
+  config.clip = ClipPolicy::kNone;
+  const auto w = contribution_weights({1.0, 2.0, 3.0}, config);
+  EXPECT_LT(w[0], w[1]);
+  EXPECT_LT(w[1], w[2]);
+}
+
+TEST(Contribution, MeanClipReducesAdvantageOfOutlier) {
+  // Mean clipping caps the outlier at the (outlier-inflated) mean. The
+  // paper concedes this only weakens, not neutralizes, a loss-inflation
+  // attack ("even if local loss is clipped, attackers can also
+  // iteratively increase") — so assert strict improvement, not immunity.
+  ContributionConfig clipped_config;
+  ContributionConfig raw_config;
+  raw_config.clip = ClipPolicy::kNone;
+  const std::vector<double> losses = {1.0, 1.0, 1.0, 50.0};
+  const auto clipped = contribution_weights(losses, clipped_config);
+  const auto raw = contribution_weights(losses, raw_config);
+  EXPECT_GT(raw[3], 0.999999);   // unclipped: attacker owns the round
+  EXPECT_LT(clipped[3], raw[3]);  // clipped: strictly less dominant
+  EXPECT_GT(clipped[0], raw[0]);  // honest clients strictly gain
+}
+
+TEST(Contribution, MeanClipNeutralizesModerateOutlier) {
+  // For a moderate outlier the mean clip does flatten the round: with
+  // losses {1, 1, 1, 2} the mean is 1.25, so the outlier's weight is
+  // bounded by softmax spread of 0.25 nats, not 1 nat.
+  ContributionConfig config;
+  const auto w = contribution_weights({1.0, 1.0, 1.0, 2.0}, config);
+  EXPECT_LT(w[3], 0.32);
+  EXPECT_GT(w[0], 0.22);
+}
+
+TEST(Contribution, StableUnderOverflowScaleLosses) {
+  // §4.2.3 overflow note: naive softmax of e^1000 would overflow.
+  ContributionConfig config;
+  config.clip = ClipPolicy::kNone;
+  const auto w = contribution_weights({1000.0, 999.0}, config);
+  EXPECT_TRUE(std::isfinite(w[0]));
+  EXPECT_NEAR(w[0] + w[1], 1.0, 1e-12);
+  EXPECT_GT(w[0], w[1]);
+}
+
+TEST(Contribution, TemperatureSoftensWeights) {
+  ContributionConfig sharp;
+  sharp.clip = ClipPolicy::kNone;
+  ContributionConfig soft = sharp;
+  soft.temperature = 10.0;
+  const std::vector<double> losses = {1.0, 3.0};
+  const auto ws = contribution_weights(losses, sharp);
+  const auto wf = contribution_weights(losses, soft);
+  EXPECT_GT(ws[1] - ws[0], wf[1] - wf[0]);
+}
+
+TEST(Contribution, InvalidTemperatureThrows) {
+  ContributionConfig config;
+  config.temperature = 0.0;
+  EXPECT_THROW(contribution_weights({1.0}, config), Error);
+}
+
+TEST(Contribution, PermutationEquivariant) {
+  ContributionConfig config;
+  const std::vector<double> losses = {0.3, 1.7, 0.9};
+  const auto w = contribution_weights(losses, config);
+  const auto w_perm = contribution_weights({0.9, 0.3, 1.7}, config);
+  EXPECT_NEAR(w_perm[0], w[2], 1e-12);
+  EXPECT_NEAR(w_perm[1], w[0], 1e-12);
+  EXPECT_NEAR(w_perm[2], w[1], 1e-12);
+}
+
+// --------------------------------------------------------------- FedCav
+
+TEST(FedCav, EqualLossesReduceToPlainAverage) {
+  FedCavStrategy strategy;
+  std::vector<fl::ClientUpdate> updates;
+  updates.push_back(make_update(0, {0.0f, 4.0f}, 1.0));
+  updates.push_back(make_update(1, {2.0f, 0.0f}, 1.0));
+  const nn::Weights out = strategy.aggregate({0.0f, 0.0f}, updates);
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+  EXPECT_FLOAT_EQ(out[1], 2.0f);
+}
+
+TEST(FedCav, FavorsHighLossClient) {
+  FedCavStrategy strategy;
+  std::vector<fl::ClientUpdate> updates;
+  updates.push_back(make_update(0, {0.0f}, 0.5));
+  updates.push_back(make_update(1, {1.0f}, 1.5));
+  const nn::Weights out = strategy.aggregate({0.0f}, updates);
+  EXPECT_GT(out[0], 0.5f);  // pulled toward the high-loss client's model
+  EXPECT_LT(out[0], 1.0f);  // but still a convex combination
+}
+
+TEST(FedCav, OutputStaysInConvexHull) {
+  Rng rng(3);
+  FedCavStrategy strategy;
+  std::vector<fl::ClientUpdate> updates;
+  for (std::size_t i = 0; i < 5; ++i) {
+    updates.push_back(make_update(i, {rng.uniform_f(-2.0f, 2.0f)}, rng.uniform(0.0, 4.0)));
+  }
+  float lo = updates[0].weights[0];
+  float hi = lo;
+  for (const auto& u : updates) {
+    lo = std::min(lo, u.weights[0]);
+    hi = std::max(hi, u.weights[0]);
+  }
+  const nn::Weights out = strategy.aggregate({0.0f}, updates);
+  EXPECT_GE(out[0], lo - 1e-5f);
+  EXPECT_LE(out[0], hi + 1e-5f);
+}
+
+TEST(FedCav, WeightsIgnoreSampleCounts) {
+  // Unlike FedAvg, a huge client with the same loss gets the same weight.
+  FedCavStrategy strategy;
+  std::vector<fl::ClientUpdate> updates;
+  updates.push_back(make_update(0, {1.0f}, 1.0, /*samples=*/1000));
+  updates.push_back(make_update(1, {0.0f}, 1.0, /*samples=*/1));
+  const auto gamma = strategy.aggregation_weights(updates);
+  EXPECT_NEAR(gamma[0], gamma[1], 1e-12);
+}
+
+TEST(FedCav, GlobalLossIsLogSumExpOfClientLosses) {
+  std::vector<fl::ClientUpdate> updates;
+  updates.push_back(make_update(0, {0.0f}, 1.0));
+  updates.push_back(make_update(1, {0.0f}, 2.0));
+  const double expected = std::log(std::exp(1.0) + std::exp(2.0));
+  EXPECT_NEAR(FedCavStrategy::global_loss(updates), expected, 1e-12);
+}
+
+TEST(FedCav, EmptyUpdatesThrow) {
+  FedCavStrategy strategy;
+  EXPECT_THROW(strategy.aggregate({}, {}), Error);
+  EXPECT_THROW(strategy.aggregation_weights({}), Error);
+  EXPECT_THROW(FedCavStrategy::global_loss({}), Error);
+}
+
+TEST(FedCav, NameReflectsConfig) {
+  EXPECT_NE(FedCavStrategy().name().find("clip=mean"), std::string::npos);
+  ContributionConfig config;
+  config.clip = ClipPolicy::kNone;
+  EXPECT_NE(FedCavStrategy(config).name().find("clip=none"), std::string::npos);
+}
+
+// ------------------------------------------------------------- detector
+
+TEST(Detector, NormalWithoutReference) {
+  AnomalyDetector detector;
+  const DetectionResult result = detector.check({10.0, 20.0});
+  EXPECT_FALSE(result.abnormal);
+  EXPECT_FALSE(detector.has_reference());
+}
+
+TEST(Detector, FiresWhenMajorityExceedPreviousMax) {
+  AnomalyDetector detector;
+  detector.commit({0.5, 0.8, 0.6});  // reference max = 0.8
+  const DetectionResult result = detector.check({1.5, 2.0, 0.3});
+  EXPECT_TRUE(result.abnormal);
+  EXPECT_EQ(result.votes, 2u);
+  EXPECT_EQ(result.voters, 3u);
+  EXPECT_DOUBLE_EQ(result.previous_max, 0.8);
+}
+
+TEST(Detector, SilentWhenMinorityExceed) {
+  AnomalyDetector detector;
+  detector.commit({0.5, 0.8, 0.6});
+  const DetectionResult result = detector.check({1.5, 0.2, 0.3});
+  EXPECT_FALSE(result.abnormal);
+  EXPECT_EQ(result.votes, 1u);
+}
+
+TEST(Detector, SilentOnMonotoneDecreasingLosses) {
+  // Healthy training: losses shrink every round; the detector must stay
+  // quiet through the whole trajectory.
+  AnomalyDetector detector;
+  std::vector<double> losses = {3.0, 2.5, 2.8};
+  detector.commit(losses);
+  for (int round = 0; round < 20; ++round) {
+    for (double& f : losses) f *= 0.9;
+    EXPECT_FALSE(detector.check(losses).abnormal) << "round " << round;
+    detector.commit(losses);
+  }
+}
+
+TEST(Detector, VoteFractionIsConfigurable) {
+  DetectorConfig config;
+  config.vote_fraction = 0.9;
+  AnomalyDetector detector(config);
+  detector.commit({1.0, 1.0, 1.0, 1.0});
+  // 3 of 4 votes: fires at 0.5 but not at 0.9.
+  EXPECT_FALSE(detector.check({2.0, 2.0, 2.0, 0.5}).abnormal);
+  EXPECT_TRUE(detector.check({2.0, 2.0, 2.0, 2.0}).abnormal);
+}
+
+TEST(Detector, SlackRaisesThreshold) {
+  DetectorConfig config;
+  config.slack = 2.0;
+  AnomalyDetector detector(config);
+  detector.commit({1.0, 1.0});
+  EXPECT_FALSE(detector.check({1.5, 1.8}).abnormal);  // under 2×
+  EXPECT_TRUE(detector.check({2.5, 2.5}).abnormal);
+}
+
+TEST(Detector, CommitReplacesReference) {
+  AnomalyDetector detector;
+  detector.commit({5.0});
+  detector.commit({1.0});
+  EXPECT_TRUE(detector.check({1.5, 1.5}).abnormal);  // new max is 1.0
+}
+
+TEST(Detector, ResetForgetsReference) {
+  AnomalyDetector detector;
+  detector.commit({1.0});
+  detector.reset();
+  EXPECT_FALSE(detector.has_reference());
+  EXPECT_FALSE(detector.check({100.0}).abnormal);
+}
+
+TEST(Detector, ReferencePersistsAcrossChecks) {
+  // check() must not mutate state: the reverse logic relies on the
+  // pre-attack reference surviving an abnormal round.
+  AnomalyDetector detector;
+  detector.commit({1.0});
+  EXPECT_TRUE(detector.check({9.0, 9.0}).abnormal);
+  EXPECT_TRUE(detector.check({9.0, 9.0}).abnormal);
+  EXPECT_DOUBLE_EQ(detector.reference_max().value(), 1.0);
+}
+
+TEST(Detector, ValidatesConfigAndInput) {
+  DetectorConfig bad;
+  bad.vote_fraction = 0.0;
+  EXPECT_THROW(AnomalyDetector{bad}, Error);
+  bad = DetectorConfig{};
+  bad.slack = 0.5;
+  EXPECT_THROW(AnomalyDetector{bad}, Error);
+  AnomalyDetector detector;
+  EXPECT_THROW(detector.check({}), Error);
+  EXPECT_THROW(detector.commit({}), Error);
+}
+
+}  // namespace
+}  // namespace fedcav::core

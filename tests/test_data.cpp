@@ -1,0 +1,504 @@
+// Unit tests for src/data: datasets, synthetic corpora, partitioners,
+// fresh-class splitting, distribution statistics, IDX loading.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "src/data/dataset.hpp"
+#include "src/data/fresh.hpp"
+#include "src/data/mnist_idx.hpp"
+#include "src/data/partition.hpp"
+#include "src/data/stats.hpp"
+#include "src/data/synthetic.hpp"
+#include "src/utils/error.hpp"
+
+namespace fedcav::data {
+namespace {
+
+Dataset make_toy_dataset(std::size_t per_class, std::size_t classes = 4) {
+  Dataset ds(Shape::of(1, 2, 2), classes);
+  std::vector<float> px(4);
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      for (auto& v : px) v = static_cast<float>(c) + 0.01f * static_cast<float>(i);
+      ds.add_sample(px, c);
+    }
+  }
+  return ds;
+}
+
+// ------------------------------------------------------------- Dataset
+
+TEST(Dataset, AddAndAccess) {
+  Dataset ds(Shape::of(1, 2, 2), 3);
+  ds.add_sample(std::vector<float>{1, 2, 3, 4}, 2);
+  EXPECT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds.label(0), 2u);
+  EXPECT_FLOAT_EQ(ds.pixels(0)[3], 4.0f);
+}
+
+TEST(Dataset, RejectsBadSamples) {
+  Dataset ds(Shape::of(1, 2, 2), 3);
+  EXPECT_THROW(ds.add_sample(std::vector<float>{1, 2}, 0), Error);
+  EXPECT_THROW(ds.add_sample(std::vector<float>{1, 2, 3, 4}, 3), Error);
+}
+
+TEST(Dataset, RequiresChwShape) {
+  EXPECT_THROW(Dataset(Shape::of(4), 2), Error);
+  EXPECT_THROW(Dataset(Shape::of(1, 2, 2), 0), Error);
+}
+
+TEST(Dataset, ClassHistogramCounts) {
+  Dataset ds = make_toy_dataset(3);
+  const auto hist = ds.class_histogram();
+  ASSERT_EQ(hist.size(), 4u);
+  for (std::size_t c : hist) EXPECT_EQ(c, 3u);
+}
+
+TEST(Dataset, MakeBatchAssemblesSelectedSamples) {
+  Dataset ds = make_toy_dataset(2);
+  std::vector<std::size_t> idx = {1, 4};
+  std::vector<std::size_t> labels;
+  Tensor batch = ds.make_batch(idx, &labels);
+  EXPECT_EQ(batch.shape(), Shape::of(2, 1, 2, 2));
+  EXPECT_EQ(labels[0], ds.label(1));
+  EXPECT_EQ(labels[1], ds.label(4));
+  EXPECT_FLOAT_EQ(batch[0], ds.pixels(1)[0]);
+  EXPECT_FLOAT_EQ(batch[4], ds.pixels(4)[0]);
+}
+
+TEST(Dataset, MakeBatchValidatesIndices) {
+  Dataset ds = make_toy_dataset(1);
+  std::vector<std::size_t> bad = {99};
+  EXPECT_THROW(ds.make_batch(bad, nullptr), Error);
+  std::vector<std::size_t> empty;
+  EXPECT_THROW(ds.make_batch(empty, nullptr), Error);
+}
+
+TEST(Dataset, SubsetCopiesSelection) {
+  Dataset ds = make_toy_dataset(2);
+  std::vector<std::size_t> idx = {0, 7};
+  Dataset sub = ds.subset(idx);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.label(0), ds.label(0));
+  EXPECT_EQ(sub.label(1), ds.label(7));
+}
+
+TEST(Dataset, IndicesOfClassFindsAll) {
+  Dataset ds = make_toy_dataset(3);
+  const auto idx = ds.indices_of_class(2);
+  EXPECT_EQ(idx.size(), 3u);
+  for (std::size_t i : idx) EXPECT_EQ(ds.label(i), 2u);
+}
+
+TEST(Dataset, ShufflePreservesMultiset) {
+  Dataset ds = make_toy_dataset(5);
+  const auto before = ds.class_histogram();
+  Rng rng(1);
+  ds.shuffle(rng);
+  EXPECT_EQ(ds.class_histogram(), before);
+}
+
+TEST(Dataset, ShuffleKeepsPixelLabelPairing) {
+  Dataset ds = make_toy_dataset(5);
+  Rng rng(2);
+  ds.shuffle(rng);
+  // In the toy set, floor(pixel[0]) encodes the label.
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(ds.pixels(i)[0]), ds.label(i));
+  }
+}
+
+TEST(Dataset, AppendMergesAndValidates) {
+  Dataset a = make_toy_dataset(2);
+  Dataset b = make_toy_dataset(3);
+  a.append(b);
+  EXPECT_EQ(a.size(), 20u);
+  Dataset wrong(Shape::of(1, 3, 3), 4);
+  EXPECT_THROW(a.append(wrong), Error);
+}
+
+TEST(Dataset, TrainTestSplitPartitionsAll) {
+  Dataset ds = make_toy_dataset(10);
+  Rng rng(3);
+  const TrainTestSplit split = split_train_test(ds, 0.75, rng);
+  EXPECT_EQ(split.train.size(), 30u);
+  EXPECT_EQ(split.test.size(), 10u);
+  EXPECT_THROW(split_train_test(ds, 0.0, rng), Error);
+  EXPECT_THROW(split_train_test(ds, 1.0, rng), Error);
+}
+
+// ----------------------------------------------------------- synthetic
+
+TEST(Synthetic, ConfigValidation) {
+  SynthConfig c = synth_digits_config();
+  EXPECT_NO_THROW(c.validate());
+  c.class_overlap = 1.0;
+  EXPECT_THROW(c.validate(), Error);
+  c = synth_digits_config();
+  c.max_shift = c.side;
+  EXPECT_THROW(c.validate(), Error);
+}
+
+TEST(Synthetic, GeneratorIsDeterministic) {
+  const SynthGenerator gen(synth_digits_config(7));
+  Rng a(5);
+  Rng b(5);
+  Dataset da = gen.generate_balanced(3, a);
+  Dataset db = gen.generate_balanced(3, b);
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da.label(i), db.label(i));
+    EXPECT_FLOAT_EQ(da.pixels(i)[0], db.pixels(i)[0]);
+  }
+}
+
+TEST(Synthetic, BalancedGenerationHasEqualCounts) {
+  const SynthGenerator gen(synth_digits_config());
+  Rng rng(5);
+  Dataset ds = gen.generate_balanced(7, rng);
+  EXPECT_EQ(ds.size(), 70u);
+  for (std::size_t c : ds.class_histogram()) EXPECT_EQ(c, 7u);
+}
+
+TEST(Synthetic, CountsGenerationFollowsRequest) {
+  const SynthGenerator gen(synth_digits_config());
+  Rng rng(5);
+  std::vector<std::size_t> counts = {5, 0, 2, 0, 0, 0, 0, 0, 0, 1};
+  Dataset ds = gen.generate_with_counts(counts, rng);
+  EXPECT_EQ(ds.size(), 8u);
+  EXPECT_EQ(ds.class_histogram(), counts);
+}
+
+TEST(Synthetic, ClassesAreSeparated) {
+  // Same-class samples must be closer (on average) than cross-class
+  // samples, otherwise nothing is learnable.
+  const SynthGenerator gen(synth_digits_config());
+  Rng rng(6);
+  std::vector<float> a1;
+  std::vector<float> a2;
+  std::vector<float> b1;
+  gen.sample_into(0, rng, a1);
+  gen.sample_into(0, rng, a2);
+  gen.sample_into(5, rng, b1);
+  double same = 0.0;
+  double cross = 0.0;
+  for (std::size_t i = 0; i < a1.size(); ++i) {
+    const double ds = static_cast<double>(a1[i]) - static_cast<double>(a2[i]);
+    const double dc = static_cast<double>(a1[i]) - static_cast<double>(b1[i]);
+    same += ds * ds;
+    cross += dc * dc;
+  }
+  EXPECT_LT(same, cross);
+}
+
+TEST(Synthetic, CifarIsHarderThanDigits) {
+  // Hardness knobs: cifar has more overlap + noise than digits.
+  const SynthConfig digits = synth_digits_config();
+  const SynthConfig cifar = synth_cifar_config();
+  EXPECT_GT(cifar.class_overlap, digits.class_overlap);
+  EXPECT_GT(cifar.noise_stddev, digits.noise_stddev);
+  EXPECT_EQ(cifar.channels, 3u);
+}
+
+TEST(Synthetic, NameLookup) {
+  EXPECT_EQ(synth_config_by_name("digits", 1).channels, 1u);
+  EXPECT_EQ(synth_config_by_name("fashion", 1).channels, 1u);
+  EXPECT_EQ(synth_config_by_name("cifar", 1).channels, 3u);
+  EXPECT_THROW(synth_config_by_name("imagenet", 1), Error);
+}
+
+TEST(Synthetic, SampleIntoRejectsBadLabel) {
+  const SynthGenerator gen(synth_digits_config());
+  Rng rng(6);
+  std::vector<float> out;
+  EXPECT_THROW(gen.sample_into(10, rng, out), Error);
+}
+
+// ----------------------------------------------------------- partition
+
+Dataset make_partition_corpus(std::size_t per_class = 40) {
+  const SynthGenerator gen(synth_digits_config());
+  Rng rng(9);
+  return gen.generate_balanced(per_class, rng);
+}
+
+TEST(Partition, SchemeNamesRoundTrip) {
+  for (const char* name : {"iid", "noniid", "imbalanced", "dirichlet"}) {
+    EXPECT_EQ(to_string(parse_partition_scheme(name)), name);
+  }
+  EXPECT_THROW(parse_partition_scheme("random"), Error);
+}
+
+TEST(Partition, IidCoversEverySampleExactlyOnce) {
+  Dataset ds = make_partition_corpus();
+  PartitionConfig config;
+  config.scheme = PartitionScheme::kIidBalanced;
+  config.num_clients = 10;
+  const Partition part = make_partition(ds, config);
+  EXPECT_EQ(part.size(), 10u);
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  for (const auto& client : part) {
+    total += client.size();
+    seen.insert(client.begin(), client.end());
+  }
+  EXPECT_EQ(total, ds.size());
+  EXPECT_EQ(seen.size(), ds.size());
+}
+
+TEST(Partition, IidClientsSeeMostClasses) {
+  Dataset ds = make_partition_corpus();
+  PartitionConfig config;
+  config.scheme = PartitionScheme::kIidBalanced;
+  config.num_clients = 10;
+  const Partition part = make_partition(ds, config);
+  for (std::size_t classes : classes_per_client(ds, part)) EXPECT_GE(classes, 8u);
+}
+
+TEST(Partition, NonIidShardClientsSeeFewClasses) {
+  Dataset ds = make_partition_corpus();
+  PartitionConfig config;
+  config.scheme = PartitionScheme::kNonIidBalanced;
+  config.num_clients = 20;
+  config.classes_per_client = 2;
+  const Partition part = make_partition(ds, config);
+  // Shard boundaries can straddle one class edge, so allow <= 3.
+  for (std::size_t classes : classes_per_client(ds, part)) {
+    EXPECT_GE(classes, 1u);
+    EXPECT_LE(classes, 3u);
+  }
+}
+
+TEST(Partition, NonIidShardsCoverEverySample) {
+  Dataset ds = make_partition_corpus();
+  PartitionConfig config;
+  config.scheme = PartitionScheme::kNonIidBalanced;
+  config.num_clients = 20;
+  const Partition part = make_partition(ds, config);
+  std::size_t total = 0;
+  for (const auto& client : part) total += client.size();
+  EXPECT_EQ(total, ds.size());
+}
+
+TEST(Partition, ImbalancedClientsHaveExactlyTwoClasses) {
+  Dataset ds = make_partition_corpus();
+  PartitionConfig config;
+  config.scheme = PartitionScheme::kNonIidImbalanced;
+  config.num_clients = 15;
+  config.sigma = 600.0;
+  const Partition part = make_partition(ds, config);
+  for (std::size_t classes : classes_per_client(ds, part)) EXPECT_EQ(classes, 2u);
+}
+
+TEST(Partition, SigmaIncreasesWithinClientImbalance) {
+  Dataset ds = make_partition_corpus(100);
+  auto imbalance_at = [&](double sigma) {
+    PartitionConfig config;
+    config.scheme = PartitionScheme::kNonIidImbalanced;
+    config.num_clients = 20;
+    config.sigma = sigma;
+    config.seed = 11;
+    const Partition part = make_partition(ds, config);
+    const auto hists = client_class_histograms(ds, part);
+    // Mean over clients of |n_a - n_b| / (n_a + n_b).
+    double acc = 0.0;
+    for (const auto& h : hists) {
+      std::vector<std::size_t> sizes;
+      for (std::size_t c : h) {
+        if (c > 0) sizes.push_back(c);
+      }
+      const double a = static_cast<double>(sizes[0]);
+      const double b = sizes.size() > 1 ? static_cast<double>(sizes[1]) : 0.0;
+      acc += std::abs(a - b) / (a + b);
+    }
+    return acc / static_cast<double>(hists.size());
+  };
+  const double low = imbalance_at(150.0);
+  const double high = imbalance_at(900.0);
+  EXPECT_GT(high, low);
+}
+
+TEST(Partition, SigmaToCvMapping) {
+  EXPECT_DOUBLE_EQ(sigma_to_cv(300.0), 0.15);
+  EXPECT_DOUBLE_EQ(sigma_to_cv(600.0), 0.30);
+  EXPECT_DOUBLE_EQ(sigma_to_cv(900.0), 0.45);
+}
+
+TEST(Partition, DirichletProducesValidPartition) {
+  Dataset ds = make_partition_corpus();
+  PartitionConfig config;
+  config.scheme = PartitionScheme::kDirichlet;
+  config.num_clients = 12;
+  config.dirichlet_alpha = 0.3;
+  const Partition part = make_partition(ds, config);
+  EXPECT_EQ(part.size(), 12u);
+  for (const auto& client : part) {
+    EXPECT_FALSE(client.empty());
+    for (std::size_t i : client) EXPECT_LT(i, ds.size());
+  }
+}
+
+TEST(Partition, DirichletLowAlphaIsMoreConcentrated) {
+  Dataset ds = make_partition_corpus(100);
+  auto divergence_at = [&](double alpha) {
+    PartitionConfig config;
+    config.scheme = PartitionScheme::kDirichlet;
+    config.num_clients = 20;
+    config.dirichlet_alpha = alpha;
+    config.seed = 13;
+    return mean_client_divergence(ds, make_partition(ds, config));
+  };
+  EXPECT_GT(divergence_at(0.1), divergence_at(10.0));
+}
+
+TEST(Partition, ConfigValidation) {
+  Dataset ds = make_partition_corpus();
+  PartitionConfig config;
+  config.num_clients = 0;
+  EXPECT_THROW(make_partition(ds, config), Error);
+  config = PartitionConfig{};
+  config.sigma = -1.0;
+  EXPECT_THROW(make_partition(ds, config), Error);
+  config = PartitionConfig{};
+  config.num_clients = 10000;  // more clients than samples
+  EXPECT_THROW(make_partition(ds, config), Error);
+}
+
+TEST(Partition, DeterministicGivenSeed) {
+  Dataset ds = make_partition_corpus();
+  PartitionConfig config;
+  config.scheme = PartitionScheme::kNonIidImbalanced;
+  config.num_clients = 10;
+  config.seed = 21;
+  const Partition a = make_partition(ds, config);
+  const Partition b = make_partition(ds, config);
+  EXPECT_EQ(a, b);
+}
+
+// --------------------------------------------------------------- fresh
+
+TEST(Fresh, SplitsByLabel) {
+  Dataset ds = make_partition_corpus(10);
+  const FreshSplit split = split_fresh_classes(ds, 0.3);
+  EXPECT_EQ(split.fresh_classes.size(), 3u);
+  EXPECT_EQ(split.fresh_classes.front(), 7u);
+  EXPECT_EQ(split.common.size() + split.fresh.size(), ds.size());
+  for (std::size_t i = 0; i < split.common.size(); ++i) {
+    EXPECT_LT(split.common.label(i), 7u);
+  }
+  for (std::size_t i = 0; i < split.fresh.size(); ++i) {
+    EXPECT_GE(split.fresh.label(i), 7u);
+  }
+}
+
+TEST(Fresh, AlphaZeroGivesNoFresh) {
+  Dataset ds = make_partition_corpus(5);
+  const FreshSplit split = split_fresh_classes(ds, 0.0);
+  EXPECT_TRUE(split.fresh.empty());
+  EXPECT_EQ(split.common.size(), ds.size());
+}
+
+TEST(Fresh, AlphaAboveHalfRejected) {
+  Dataset ds = make_partition_corpus(5);
+  EXPECT_THROW(split_fresh_classes(ds, 0.6), Error);
+}
+
+// --------------------------------------------------------------- stats
+
+TEST(Stats, HistogramStddev) {
+  EXPECT_DOUBLE_EQ(histogram_stddev({4, 4, 4}), 0.0);
+  EXPECT_NEAR(histogram_stddev({0, 8}), 4.0, 1e-12);
+  EXPECT_THROW(histogram_stddev({}), Error);
+}
+
+TEST(Stats, DivergenceZeroForPerfectIid) {
+  // One client owning the whole dataset has exactly the global mix.
+  Dataset ds = make_partition_corpus(5);
+  Partition part(1);
+  for (std::size_t i = 0; i < ds.size(); ++i) part[0].push_back(i);
+  EXPECT_NEAR(mean_client_divergence(ds, part), 0.0, 1e-12);
+}
+
+TEST(Stats, DivergenceHighForSingleClassClients) {
+  Dataset ds = make_partition_corpus(5);
+  Partition part(10);
+  for (std::size_t i = 0; i < ds.size(); ++i) part[ds.label(i)].push_back(i);
+  // Every client holds one of 10 classes: TV distance = 0.9.
+  EXPECT_NEAR(mean_client_divergence(ds, part), 0.9, 1e-9);
+}
+
+// ----------------------------------------------------------------- idx
+
+class IdxFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    images_path_ = ::testing::TempDir() + "fedcav_test_images.idx";
+    labels_path_ = ::testing::TempDir() + "fedcav_test_labels.idx";
+    write_idx_pair(3);
+  }
+
+  void TearDown() override {
+    std::remove(images_path_.c_str());
+    std::remove(labels_path_.c_str());
+  }
+
+  static void write_be32(std::ofstream& out, std::uint32_t v) {
+    const unsigned char b[4] = {
+        static_cast<unsigned char>(v >> 24), static_cast<unsigned char>(v >> 16),
+        static_cast<unsigned char>(v >> 8), static_cast<unsigned char>(v)};
+    out.write(reinterpret_cast<const char*>(b), 4);
+  }
+
+  void write_idx_pair(std::uint32_t n) {
+    std::ofstream imgs(images_path_, std::ios::binary);
+    write_be32(imgs, 0x00000803);
+    write_be32(imgs, n);
+    write_be32(imgs, 28);
+    write_be32(imgs, 28);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::vector<unsigned char> px(28 * 28, static_cast<unsigned char>(i * 40));
+      imgs.write(reinterpret_cast<const char*>(px.data()),
+                 static_cast<std::streamsize>(px.size()));
+    }
+    std::ofstream lbls(labels_path_, std::ios::binary);
+    write_be32(lbls, 0x00000801);
+    write_be32(lbls, n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const char label = static_cast<char>(i % 10);
+      lbls.write(&label, 1);
+    }
+  }
+
+  std::string images_path_;
+  std::string labels_path_;
+};
+
+TEST_F(IdxFixture, LoadsAndPoolsImages) {
+  Dataset ds = load_mnist_idx(images_path_, labels_path_, 14);
+  EXPECT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds.sample_shape(), Shape::of(1, 14, 14));
+  EXPECT_EQ(ds.label(2), 2u);
+  // Constant image of value 80 -> pooled pixel = 80/255.
+  EXPECT_NEAR(ds.pixels(2)[0], 80.0f / 255.0f, 1e-5f);
+}
+
+TEST_F(IdxFixture, AvailabilityProbe) {
+  EXPECT_TRUE(mnist_idx_available(images_path_, labels_path_));
+  EXPECT_FALSE(mnist_idx_available(images_path_ + ".missing", labels_path_));
+  // Swapped files fail the magic check.
+  EXPECT_FALSE(mnist_idx_available(labels_path_, images_path_));
+}
+
+TEST_F(IdxFixture, RejectsSwappedFiles) {
+  EXPECT_THROW(load_mnist_idx(labels_path_, images_path_, 14), Error);
+}
+
+TEST_F(IdxFixture, RejectsIndivisibleTargetSide) {
+  EXPECT_THROW(load_mnist_idx(images_path_, labels_path_, 13), Error);
+}
+
+}  // namespace
+}  // namespace fedcav::data

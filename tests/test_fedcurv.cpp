@@ -1,0 +1,151 @@
+// Tests for FedCurv-lite: the quadratic-penalty optimizer path, the
+// client's Fisher bookkeeping, and end-to-end training.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/fl/fedcurv.hpp"
+#include "src/fl/simulation.hpp"
+#include "src/metrics/evaluation.hpp"
+#include "src/nn/optimizer.hpp"
+#include "src/nn/zoo.hpp"
+#include "src/utils/error.hpp"
+#include "src/utils/logging.hpp"
+
+namespace fedcav {
+namespace {
+
+// ---------------------------------------------------- optimizer penalty
+
+TEST(QuadraticPenalty, PullsTowardAnchorProportionallyToImportance) {
+  Rng rng(1);
+  auto model = nn::make_mlp(2, 2, 2, rng);
+  const nn::Weights before = model->get_weights();
+
+  nn::Sgd opt(nn::SgdConfig{.lr = 1.0f});
+  const std::vector<float> anchor(model->num_params(), 0.0f);
+  std::vector<float> importance(model->num_params(), 0.0f);
+  importance[0] = 0.5f;  // only parameter 0 is "important"
+  opt.set_quadratic_penalty(anchor, importance, /*lambda=*/0.2f);
+  opt.step(*model);  // zero data gradient: only the penalty acts
+
+  const nn::Weights after = model->get_weights();
+  // Parameter 0 shrinks by lr·λ·F·(w−0) = 0.1·w; the rest are untouched.
+  EXPECT_NEAR(after[0], before[0] * 0.9f, 1e-5f);
+  for (std::size_t i = 1; i < before.size(); ++i) {
+    EXPECT_FLOAT_EQ(after[i], before[i]);
+  }
+}
+
+TEST(QuadraticPenalty, ValidatesSizes) {
+  nn::Sgd opt(nn::SgdConfig{.lr = 0.1f});
+  const std::vector<float> anchor(4, 0.0f);
+  const std::vector<float> wrong(3, 0.0f);
+  EXPECT_THROW(opt.set_quadratic_penalty(anchor, wrong, 0.1f), Error);
+  EXPECT_THROW(opt.set_quadratic_penalty(anchor, anchor, -0.1f), Error);
+
+  Rng rng(2);
+  auto model = nn::make_mlp(2, 2, 2, rng);
+  opt.set_quadratic_penalty(anchor, anchor, 0.1f);  // wrong length for model
+  EXPECT_THROW(opt.step(*model), Error);
+}
+
+// -------------------------------------------------------------- client
+
+data::Dataset small_corpus() {
+  const data::SynthGenerator gen(data::synth_digits_config(9));
+  Rng rng(10);
+  return gen.generate_balanced(8, rng);
+}
+
+TEST(FedCurvClient, AccumulatesStateOnlyWhenEnabled) {
+  data::Dataset corpus = small_corpus();
+  Rng rng(3);
+  auto model = nn::model_builder("mlp")(rng);
+  const nn::Weights global = model->get_weights();
+  fl::Client client(0, corpus, std::move(model), Rng(4));
+
+  fl::LocalTrainConfig plain;
+  plain.epochs = 1;
+  client.local_update(global, plain);
+  EXPECT_FALSE(client.has_curvature_state());
+
+  fl::LocalTrainConfig curv = plain;
+  curv.curv_lambda = 0.5f;
+  client.local_update(global, curv);
+  EXPECT_TRUE(client.has_curvature_state());
+}
+
+TEST(FedCurvClient, PenaltyReducesDriftFromPreviousOptimum) {
+  data::Dataset corpus = small_corpus();
+  Rng rng_a(5);
+  Rng rng_b(5);
+  auto model_a = nn::model_builder("mlp")(rng_a);
+  auto model_b = nn::model_builder("mlp")(rng_b);
+  const nn::Weights global = model_a->get_weights();
+  fl::Client plain(0, corpus, std::move(model_a), Rng(6));
+  fl::Client curv(0, corpus, std::move(model_b), Rng(6));
+
+  fl::LocalTrainConfig config;
+  config.epochs = 3;
+  config.lr = 0.05f;
+
+  // First participation: both train identically; curv also records state.
+  const fl::ClientUpdate first = plain.local_update(global, config);
+  fl::LocalTrainConfig curv_config = config;
+  curv_config.curv_lambda = 5.0f;
+  const fl::ClientUpdate curv_first = curv.local_update(global, curv_config);
+
+  // Second participation from a perturbed global: the penalized client
+  // must land closer to its previous optimum.
+  nn::Weights shifted = global;
+  for (auto& w : shifted) w += 0.05f;
+  const fl::ClientUpdate second = plain.local_update(shifted, config);
+  const fl::ClientUpdate curv_second = curv.local_update(shifted, curv_config);
+
+  auto distance = [](const nn::Weights& a, const nn::Weights& b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+      acc += d * d;
+    }
+    return std::sqrt(acc);
+  };
+  EXPECT_LT(distance(curv_second.weights, curv_first.weights),
+            distance(second.weights, first.weights) + 1e-6);
+}
+
+// ------------------------------------------------------------ strategy
+
+TEST(FedCurvStrategy, InjectsLambdaAndAggregatesLikeFedAvg) {
+  fl::FedCurvLite strategy(0.7f);
+  fl::LocalTrainConfig config;
+  strategy.apply_local_overrides(config);
+  EXPECT_FLOAT_EQ(config.curv_lambda, 0.7f);
+  EXPECT_NE(strategy.name().find("FedCurvLite"), std::string::npos);
+  EXPECT_THROW(fl::FedCurvLite(0.0f), Error);
+}
+
+TEST(FedCurvStrategy, FactoryBuildsIt) {
+  EXPECT_NE(fl::make_strategy("fedcurv")->name().find("FedCurvLite"), std::string::npos);
+}
+
+TEST(FedCurvStrategy, EndToEndTrainingLearns) {
+  set_log_level(LogLevel::kError);
+  fl::SimulationConfig config;
+  config.dataset = "digits";
+  config.model = "mlp";
+  config.strategy = "fedcurv";
+  config.train_samples_per_class = 15;
+  config.test_samples_per_class = 10;
+  config.partition.scheme = data::PartitionScheme::kNonIidImbalanced;
+  config.partition.num_clients = 8;
+  config.server.sample_ratio = 0.5;
+  config.server.local.lr = 0.05f;
+  fl::Simulation sim = fl::build_simulation(config);
+  sim.server->run(10);
+  EXPECT_GT(sim.server->history().best_accuracy(), 0.35);
+}
+
+}  // namespace
+}  // namespace fedcav

@@ -1,0 +1,409 @@
+// Unit tests for src/fl: strategies, client local updates, the server
+// round loop, centralized baseline, and the simulation builder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/fl/centralized.hpp"
+#include "src/fl/client.hpp"
+#include "src/fl/fedavg.hpp"
+#include "src/fl/fedprox.hpp"
+#include "src/data/stats.hpp"
+#include "src/fl/simulation.hpp"
+#include "src/metrics/evaluation.hpp"
+#include "src/utils/error.hpp"
+
+namespace fedcav::fl {
+namespace {
+
+ClientUpdate make_update(std::size_t id, std::vector<float> weights,
+                         std::size_t samples, double loss = 1.0) {
+  ClientUpdate u;
+  u.client_id = id;
+  u.weights = std::move(weights);
+  u.num_samples = samples;
+  u.inference_loss = loss;
+  return u;
+}
+
+data::Dataset small_corpus(std::size_t per_class = 8, const char* name = "digits") {
+  const data::SynthGenerator gen(data::synth_config_by_name(name, 99));
+  Rng rng(4);
+  return gen.generate_balanced(per_class, rng);
+}
+
+SimulationConfig tiny_config() {
+  SimulationConfig config;
+  config.dataset = "digits";
+  config.model = "mlp";
+  config.strategy = "fedcav";
+  config.train_samples_per_class = 12;
+  config.test_samples_per_class = 6;
+  config.partition.num_clients = 6;
+  config.partition.scheme = data::PartitionScheme::kNonIidImbalanced;
+  config.server.sample_ratio = 0.5;
+  config.server.local.epochs = 2;
+  config.server.local.batch_size = 8;
+  config.server.local.lr = 0.05f;
+  config.seed = 77;
+  return config;
+}
+
+// -------------------------------------------------------------- FedAvg
+
+TEST(FedAvg, WeightsProportionalToSampleCounts) {
+  FedAvg strategy;
+  std::vector<ClientUpdate> updates;
+  updates.push_back(make_update(0, {1.0f}, 30));
+  updates.push_back(make_update(1, {1.0f}, 10));
+  const auto gamma = strategy.aggregation_weights(updates);
+  EXPECT_NEAR(gamma[0], 0.75, 1e-12);
+  EXPECT_NEAR(gamma[1], 0.25, 1e-12);
+}
+
+TEST(FedAvg, AggregateIsSampleWeightedMean) {
+  FedAvg strategy;
+  std::vector<ClientUpdate> updates;
+  updates.push_back(make_update(0, {4.0f, 0.0f}, 30));
+  updates.push_back(make_update(1, {0.0f, 4.0f}, 10));
+  const nn::Weights out = strategy.aggregate({0.0f, 0.0f}, updates);
+  EXPECT_FLOAT_EQ(out[0], 3.0f);
+  EXPECT_FLOAT_EQ(out[1], 1.0f);
+}
+
+TEST(FedAvg, IgnoresInferenceLoss) {
+  FedAvg strategy;
+  std::vector<ClientUpdate> updates;
+  updates.push_back(make_update(0, {1.0f}, 10, /*loss=*/100.0));
+  updates.push_back(make_update(1, {1.0f}, 10, /*loss=*/0.01));
+  const auto gamma = strategy.aggregation_weights(updates);
+  EXPECT_NEAR(gamma[0], gamma[1], 1e-12);
+}
+
+TEST(FedAvg, RejectsDegenerateInput) {
+  FedAvg strategy;
+  EXPECT_THROW(strategy.aggregation_weights({}), Error);
+  std::vector<ClientUpdate> zero_samples;
+  zero_samples.push_back(make_update(0, {1.0f}, 0));
+  EXPECT_THROW(strategy.aggregation_weights(zero_samples), Error);
+}
+
+TEST(WeightedAverage, ValidatesDimensions) {
+  std::vector<ClientUpdate> updates;
+  updates.push_back(make_update(0, {1.0f, 2.0f}, 1));
+  updates.push_back(make_update(1, {1.0f}, 1));
+  EXPECT_THROW(weighted_average(updates, {0.5, 0.5}), Error);
+  updates.pop_back();
+  EXPECT_THROW(weighted_average(updates, {0.5, 0.5}), Error);  // weight count
+}
+
+TEST(WeightedAverage, UsesDoubleAccumulation) {
+  // Many tiny contributions must not be lost to float rounding.
+  std::vector<ClientUpdate> updates;
+  std::vector<double> weights;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    updates.push_back(make_update(i, {1.0f}, 1));
+    weights.push_back(1.0 / 1000.0);
+  }
+  const nn::Weights out = weighted_average(updates, weights);
+  EXPECT_NEAR(out[0], 1.0f, 1e-6f);
+}
+
+// ------------------------------------------------------------- FedProx
+
+TEST(FedProx, InjectsProximalTermIntoLocalConfig) {
+  FedProx strategy(0.05f);
+  LocalTrainConfig config;
+  EXPECT_FLOAT_EQ(config.prox_mu, 0.0f);
+  strategy.apply_local_overrides(config);
+  EXPECT_FLOAT_EQ(config.prox_mu, 0.05f);
+}
+
+TEST(FedProx, AggregationMatchesFedAvg) {
+  FedProx prox(0.01f);
+  FedAvg avg;
+  std::vector<ClientUpdate> updates;
+  updates.push_back(make_update(0, {2.0f}, 5));
+  updates.push_back(make_update(1, {6.0f}, 15));
+  const nn::Weights a = prox.aggregate({0.0f}, updates);
+  const nn::Weights b = avg.aggregate({0.0f}, updates);
+  EXPECT_FLOAT_EQ(a[0], b[0]);
+}
+
+TEST(FedProx, RejectsNonPositiveMu) { EXPECT_THROW(FedProx(0.0f), Error); }
+
+// ------------------------------------------------------------ factory
+
+TEST(StrategyFactory, BuildsAllKnownStrategies) {
+  EXPECT_EQ(make_strategy("fedavg")->name(), "FedAvg");
+  EXPECT_NE(make_strategy("fedprox")->name().find("FedProx"), std::string::npos);
+  EXPECT_NE(make_strategy("fedcav")->name().find("clip=mean"), std::string::npos);
+  EXPECT_NE(make_strategy("fedcav-noclip")->name().find("clip=none"), std::string::npos);
+  EXPECT_THROW(make_strategy("fedsgd"), Error);
+}
+
+// -------------------------------------------------------------- Client
+
+TEST(Client, LocalUpdateReportsPretrainingLoss) {
+  Rng rng(5);
+  data::Dataset corpus = small_corpus();
+  auto model = nn::model_builder("mlp")(rng);
+  const nn::Weights global = model->get_weights();
+  Client client(0, corpus, std::move(model), Rng(6));
+
+  LocalTrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 16;
+  config.lr = 0.05f;
+  const ClientUpdate update = client.local_update(global, config);
+
+  // The reported loss is f_i(w_t) — of the *downloaded* model, before
+  // training. Recompute it independently.
+  Rng rng2(5);
+  auto probe = nn::model_builder("mlp")(rng2);
+  probe->set_weights(global);
+  EXPECT_NEAR(update.inference_loss, metrics::inference_loss(*probe, corpus), 1e-6);
+  EXPECT_EQ(update.num_samples, corpus.size());
+  EXPECT_EQ(update.client_id, 0u);
+}
+
+TEST(Client, TrainingChangesWeightsAndReducesLoss) {
+  Rng rng(7);
+  data::Dataset corpus = small_corpus();
+  auto model = nn::model_builder("mlp")(rng);
+  const nn::Weights global = model->get_weights();
+  Client client(1, corpus, std::move(model), Rng(8));
+
+  LocalTrainConfig config;
+  config.epochs = 5;
+  config.batch_size = 10;
+  config.lr = 0.05f;
+  const ClientUpdate update = client.local_update(global, config);
+
+  EXPECT_NE(update.weights, global);
+  // Post-training loss on local data must beat the pre-training loss.
+  Rng rng2(7);
+  auto probe = nn::model_builder("mlp")(rng2);
+  probe->set_weights(update.weights);
+  EXPECT_LT(metrics::inference_loss(*probe, corpus), update.inference_loss);
+}
+
+TEST(Client, DeterministicGivenIdenticalRngState) {
+  data::Dataset corpus = small_corpus();
+  Rng rng_a(9);
+  Rng rng_b(9);
+  auto model_a = nn::model_builder("mlp")(rng_a);
+  auto model_b = nn::model_builder("mlp")(rng_b);
+  const nn::Weights global = model_a->get_weights();
+  Client a(0, corpus, std::move(model_a), Rng(10));
+  Client b(0, corpus, std::move(model_b), Rng(10));
+  LocalTrainConfig config;
+  config.epochs = 2;
+  const ClientUpdate ua = a.local_update(global, config);
+  const ClientUpdate ub = b.local_update(global, config);
+  EXPECT_EQ(ua.weights, ub.weights);
+  EXPECT_DOUBLE_EQ(ua.inference_loss, ub.inference_loss);
+}
+
+TEST(Client, ProximalTermKeepsUpdateCloserToGlobal) {
+  data::Dataset corpus = small_corpus();
+  Rng rng_a(11);
+  Rng rng_b(11);
+  auto model_a = nn::model_builder("mlp")(rng_a);
+  auto model_b = nn::model_builder("mlp")(rng_b);
+  const nn::Weights global = model_a->get_weights();
+  Client plain(0, corpus, std::move(model_a), Rng(12));
+  Client prox(0, corpus, std::move(model_b), Rng(12));
+
+  LocalTrainConfig config;
+  config.epochs = 5;
+  config.lr = 0.05f;
+  const ClientUpdate u_plain = plain.local_update(global, config);
+  config.prox_mu = 0.5f;
+  const ClientUpdate u_prox = prox.local_update(global, config);
+
+  auto distance = [&](const nn::Weights& w) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const double d = static_cast<double>(w[i]) - static_cast<double>(global[i]);
+      acc += d * d;
+    }
+    return std::sqrt(acc);
+  };
+  EXPECT_LT(distance(u_prox.weights), distance(u_plain.weights));
+}
+
+TEST(Client, RejectsEmptyDataAndBadConfig) {
+  Rng rng(13);
+  data::Dataset corpus = small_corpus();
+  EXPECT_THROW(Client(0, data::Dataset(corpus.sample_shape(), 10),
+                      nn::model_builder("mlp")(rng), Rng(1)),
+               Error);
+  auto model = nn::model_builder("mlp")(rng);
+  const nn::Weights global = model->get_weights();
+  Client client(0, corpus, std::move(model), Rng(1));
+  LocalTrainConfig config;
+  config.epochs = 0;
+  EXPECT_THROW(client.local_update(global, config), Error);
+}
+
+TEST(Client, SetLocalDataSwapsShard) {
+  Rng rng(14);
+  data::Dataset corpus = small_corpus();
+  auto model = nn::model_builder("mlp")(rng);
+  Client client(0, corpus, std::move(model), Rng(1));
+  data::Dataset bigger = small_corpus(12);
+  client.set_local_data(bigger);
+  EXPECT_EQ(client.num_samples(), bigger.size());
+  EXPECT_THROW(client.set_local_data(data::Dataset(corpus.sample_shape(), 10)), Error);
+}
+
+// -------------------------------------------------------------- Server
+
+TEST(Server, RoundProducesHistoryRecord) {
+  Simulation sim = build_simulation(tiny_config());
+  const metrics::RoundRecord rec = sim.server->run_round();
+  EXPECT_EQ(rec.round, 1u);
+  EXPECT_EQ(rec.participants, 3u);  // 6 clients × q=0.5
+  EXPECT_GT(rec.test_accuracy, 0.0);
+  EXPECT_GT(rec.mean_inference_loss, 0.0);
+  EXPECT_GE(rec.max_inference_loss, rec.mean_inference_loss);
+  EXPECT_EQ(sim.server->history().rounds(), 1u);
+}
+
+TEST(Server, RunExecutesRequestedRounds) {
+  Simulation sim = build_simulation(tiny_config());
+  sim.server->run(3);
+  EXPECT_EQ(sim.server->history().rounds(), 3u);
+  EXPECT_EQ(sim.server->current_round(), 3u);
+}
+
+TEST(Server, DeterministicGivenSeed) {
+  Simulation a = build_simulation(tiny_config());
+  Simulation b = build_simulation(tiny_config());
+  a.server->run(2);
+  b.server->run(2);
+  EXPECT_EQ(a.server->global_weights(), b.server->global_weights());
+  EXPECT_DOUBLE_EQ(a.server->history()[1].test_accuracy,
+                   b.server->history()[1].test_accuracy);
+}
+
+TEST(Server, NetworkMetersWeightTraffic) {
+  SimulationConfig config = tiny_config();
+  config.server.use_network = true;
+  Simulation sim = build_simulation(config);
+  const metrics::RoundRecord rec = sim.server->run_round();
+  const std::size_t weight_bytes = sim.server->global_weights().size() * sizeof(float);
+  // Downlink: one global model per participant (plus framing).
+  EXPECT_GT(rec.bytes_down, rec.participants * weight_bytes);
+  // Uplink: one report per participant; at least the weights payload.
+  EXPECT_GT(rec.bytes_up, rec.participants * weight_bytes);
+  // Framing overhead is tiny compared to the weights.
+  EXPECT_LT(rec.bytes_down, rec.participants * (weight_bytes + 256));
+}
+
+TEST(Server, DisablingNetworkSkipsAccounting) {
+  SimulationConfig config = tiny_config();
+  config.server.use_network = false;
+  Simulation sim = build_simulation(config);
+  const metrics::RoundRecord rec = sim.server->run_round();
+  EXPECT_EQ(rec.bytes_down, 0u);
+  EXPECT_EQ(rec.bytes_up, 0u);
+  EXPECT_EQ(sim.server->network(), nullptr);
+}
+
+TEST(Server, NetworkAndDirectPathsAgree) {
+  // Serialization must be lossless: identical training outcome whether
+  // weights travel through the fabric or not.
+  SimulationConfig with_net = tiny_config();
+  with_net.server.use_network = true;
+  SimulationConfig without_net = tiny_config();
+  without_net.server.use_network = false;
+  Simulation a = build_simulation(with_net);
+  Simulation b = build_simulation(without_net);
+  a.server->run(2);
+  b.server->run(2);
+  EXPECT_EQ(a.server->global_weights(), b.server->global_weights());
+}
+
+TEST(Server, SetGlobalWeightsValidatesSize) {
+  Simulation sim = build_simulation(tiny_config());
+  nn::Weights wrong(sim.server->global_weights().size() + 1, 0.0f);
+  EXPECT_THROW(sim.server->set_global_weights(wrong), Error);
+}
+
+TEST(Server, RedistributeDataValidatesCount) {
+  Simulation sim = build_simulation(tiny_config());
+  std::vector<data::Dataset> wrong(2);
+  EXPECT_THROW(sim.server->redistribute_data(std::move(wrong)), Error);
+}
+
+TEST(Server, SampleRatioValidation) {
+  SimulationConfig config = tiny_config();
+  config.server.sample_ratio = 0.0;
+  EXPECT_THROW(build_simulation(config), Error);
+  config.server.sample_ratio = 1.5;
+  EXPECT_THROW(build_simulation(config), Error);
+}
+
+// --------------------------------------------------------- centralized
+
+TEST(Centralized, LossDecreasesOverRounds) {
+  SimulationConfig config = tiny_config();
+  auto trainer = build_centralized(config);
+  trainer->run(4);
+  const auto& history = trainer->history();
+  EXPECT_EQ(history.rounds(), 4u);
+  EXPECT_LT(history[3].test_loss, history[0].test_loss);
+  EXPECT_GT(history[3].test_accuracy, history[0].test_accuracy);
+}
+
+TEST(Centralized, BeatsUntrainedBaseline) {
+  SimulationConfig config = tiny_config();
+  auto trainer = build_centralized(config);
+  trainer->run(5);
+  EXPECT_GT(trainer->history().best_accuracy(), 0.5);
+}
+
+// ---------------------------------------------------------- simulation
+
+TEST(Simulation, BuilderHonorsPartitionScheme) {
+  SimulationConfig config = tiny_config();
+  config.partition.scheme = data::PartitionScheme::kIidBalanced;
+  Simulation sim = build_simulation(config);
+  EXPECT_EQ(sim.partition.size(), config.partition.num_clients);
+  // IID: every client sees most classes.
+  const auto counts = data::classes_per_client(sim.train, sim.partition);
+  for (std::size_t c : counts) EXPECT_GE(c, 5u);
+}
+
+TEST(Simulation, BuilderValidatesConfig) {
+  SimulationConfig config = tiny_config();
+  config.train_samples_per_class = 0;
+  EXPECT_THROW(build_simulation(config), Error);
+  config = tiny_config();
+  config.attack = "replacement";  // attack_rounds missing
+  EXPECT_THROW(build_simulation(config), Error);
+  config = tiny_config();
+  config.attack = "martian";
+  config.attack_rounds = {2};
+  EXPECT_THROW(build_simulation(config), Error);
+  config = tiny_config();
+  config.strategy = "unknown";
+  EXPECT_THROW(build_simulation(config), Error);
+}
+
+TEST(Simulation, TrainAndTestAreDisjointStreams) {
+  Simulation sim = build_simulation(tiny_config());
+  // Same generator, different RNG streams: no bitwise-identical images.
+  bool any_equal = false;
+  for (std::size_t i = 0; i < std::min<std::size_t>(sim.train.size(), 20); ++i) {
+    for (std::size_t j = 0; j < std::min<std::size_t>(sim.test.size(), 20); ++j) {
+      if (sim.train.pixels(i)[0] == sim.test.pixels(j)[0]) any_equal = true;
+    }
+  }
+  EXPECT_FALSE(any_equal);
+}
+
+}  // namespace
+}  // namespace fedcav::fl

@@ -1,0 +1,88 @@
+#include "tests/test_helpers.hpp"
+
+#include <algorithm>
+
+namespace fedcav::testing {
+
+namespace {
+
+double half_sum_squares(const Tensor& t) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    acc += 0.5 * static_cast<double>(t[i]) * static_cast<double>(t[i]);
+  }
+  return acc;
+}
+
+}  // namespace
+
+double gradient_check_layer(nn::Layer& layer, const Tensor& input, double eps) {
+  // Analytic pass: L = Σ out²/2, dL/dout = out.
+  Tensor mutable_input = input;
+  layer.zero_grad();
+  Tensor out = layer.forward(mutable_input, /*training=*/true);
+  Tensor grad_out = out;
+  Tensor grad_in = layer.backward(grad_out);
+
+  double max_err = 0.0;
+
+  // Input gradients (spot-check every element for small inputs, strided
+  // sample for large ones to keep runtime bounded).
+  {
+    std::vector<float> x(input.span().begin(), input.span().end());
+    const std::size_t stride = std::max<std::size_t>(1, x.size() / 64);
+    for (std::size_t i = 0; i < x.size(); i += stride) {
+      auto f = [&] {
+        Tensor probe(input.shape(), x);
+        Tensor o = layer.forward(probe, /*training=*/false);
+        return half_sum_squares(o);
+      };
+      const double num = numerical_grad(f, x, i, eps);
+      max_err = std::max(max_err, rel_error(static_cast<double>(grad_in[i]), num));
+    }
+  }
+
+  // Parameter gradients.
+  for (nn::ParamView p : layer.params()) {
+    float* data = p.value->data();
+    const std::size_t n = p.value->numel();
+    const std::size_t stride = std::max<std::size_t>(1, n / 64);
+    for (std::size_t i = 0; i < n; i += stride) {
+      const float saved = data[i];
+      auto f = [&] {
+        Tensor probe = input;
+        Tensor o = layer.forward(probe, /*training=*/false);
+        return half_sum_squares(o);
+      };
+      data[i] = saved + static_cast<float>(eps);
+      const double up = f();
+      data[i] = saved - static_cast<float>(eps);
+      const double down = f();
+      data[i] = saved;
+      const double num = (up - down) / (2.0 * eps);
+      max_err = std::max(max_err, rel_error(static_cast<double>((*p.grad)[i]), num));
+    }
+  }
+  return max_err;
+}
+
+double gradient_check_loss(nn::Loss& loss, const Tensor& logits,
+                           const std::vector<std::size_t>& labels, double eps) {
+  Tensor mutable_logits = logits;
+  (void)loss.forward(mutable_logits, labels);
+  Tensor analytic = loss.backward();
+
+  double max_err = 0.0;
+  std::vector<float> x(logits.span().begin(), logits.span().end());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    auto f = [&] {
+      Tensor probe(logits.shape(), x);
+      return static_cast<double>(loss.forward(probe, labels));
+    };
+    const double num = numerical_grad(f, x, i, eps);
+    max_err = std::max(max_err, rel_error(static_cast<double>(analytic[i]), num));
+  }
+  return max_err;
+}
+
+}  // namespace fedcav::testing

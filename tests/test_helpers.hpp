@@ -1,0 +1,42 @@
+// Shared helpers for the fedcav test suite.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/nn/layer.hpp"
+#include "src/nn/loss.hpp"
+#include "src/tensor/tensor.hpp"
+#include "src/utils/rng.hpp"
+
+namespace fedcav::testing {
+
+/// Central-difference numerical gradient of `f` w.r.t. x[i].
+template <typename F>
+double numerical_grad(F&& f, std::vector<float>& x, std::size_t i, double eps = 1e-3) {
+  const float saved = x[i];
+  x[i] = saved + static_cast<float>(eps);
+  const double up = f();
+  x[i] = saved - static_cast<float>(eps);
+  const double down = f();
+  x[i] = saved;
+  return (up - down) / (2.0 * eps);
+}
+
+/// Relative error with an absolute floor (gradients near zero).
+inline double rel_error(double analytic, double numeric) {
+  const double denom = std::max({std::abs(analytic), std::abs(numeric), 1e-4});
+  return std::abs(analytic - numeric) / denom;
+}
+
+/// Gradient-check a layer through a scalar loss L = Σ out² / 2 so
+/// dL/dout = out. Checks input gradients and all parameter gradients.
+/// Returns the max relative error observed.
+double gradient_check_layer(nn::Layer& layer, const Tensor& input, double eps = 1e-3);
+
+/// Gradient-check a loss function against integer labels.
+double gradient_check_loss(nn::Loss& loss, const Tensor& logits,
+                           const std::vector<std::size_t>& labels, double eps = 1e-3);
+
+}  // namespace fedcav::testing

@@ -1,0 +1,205 @@
+// Unit tests for src/metrics: evaluation and training history.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "src/data/synthetic.hpp"
+#include "src/metrics/evaluation.hpp"
+#include "src/metrics/history.hpp"
+#include "src/nn/zoo.hpp"
+#include "src/utils/error.hpp"
+
+namespace fedcav::metrics {
+namespace {
+
+// A two-class dataset an untrained model cannot ace, plus a hand-made
+// "oracle" dense model that classifies it perfectly.
+data::Dataset two_class_set() {
+  data::Dataset ds(Shape::of(1, 2, 2), 2);
+  // Class 0: pixel[0] = +1; class 1: pixel[0] = -1.
+  for (int i = 0; i < 10; ++i) {
+    ds.add_sample(std::vector<float>{1.0f, 0.0f, 0.0f, 0.0f}, 0);
+    ds.add_sample(std::vector<float>{-1.0f, 0.0f, 0.0f, 0.0f}, 1);
+  }
+  return ds;
+}
+
+std::unique_ptr<nn::Model> oracle_model() {
+  Rng rng(1);
+  auto model = nn::make_mlp(4, 4, 2, rng);
+  // Craft weights so logit0 = 10·x0 and logit1 = −10·x0 via the two
+  // dense layers: set layer-1 to pass x0 through two hidden units with
+  // opposite signs (ReLU splits sign), then read them out.
+  nn::Weights w(model->num_params(), 0.0f);
+  // Layout: dense1.W (4×4), dense1.b (4), dense2.W (2×4), dense2.b (2).
+  w[0 * 4 + 0] = 10.0f;   // hidden0 = relu(+10 x0)
+  w[1 * 4 + 0] = -10.0f;  // hidden1 = relu(−10 x0)
+  const std::size_t d2 = 4 * 4 + 4;
+  w[d2 + 0 * 4 + 0] = 1.0f;   // logit0 += hidden0
+  w[d2 + 0 * 4 + 1] = -1.0f;  // logit0 -= hidden1
+  w[d2 + 1 * 4 + 0] = -1.0f;
+  w[d2 + 1 * 4 + 1] = 1.0f;
+  model->set_weights(w);
+  return model;
+}
+
+TEST(Evaluate, OracleScoresPerfectly) {
+  data::Dataset ds = two_class_set();
+  auto model = oracle_model();
+  const EvalResult result = evaluate(*model, ds);
+  EXPECT_DOUBLE_EQ(result.accuracy, 1.0);
+  EXPECT_EQ(result.confusion[0][0], 10u);
+  EXPECT_EQ(result.confusion[1][1], 10u);
+  EXPECT_EQ(result.confusion[0][1], 0u);
+  for (const auto& c : result.per_class) {
+    EXPECT_DOUBLE_EQ(c.precision, 1.0);
+    EXPECT_DOUBLE_EQ(c.recall, 1.0);
+    EXPECT_DOUBLE_EQ(c.f1, 1.0);
+    EXPECT_EQ(c.support, 10u);
+  }
+  EXPECT_DOUBLE_EQ(result.macro_f1(), 1.0);
+}
+
+TEST(Evaluate, InvertedOracleScoresZero) {
+  data::Dataset ds = two_class_set();
+  auto model = oracle_model();
+  nn::Weights w = model->get_weights();
+  // Flip the output head: every prediction lands on the wrong class.
+  const std::size_t d2 = 4 * 4 + 4;
+  for (std::size_t i = d2; i < d2 + 8; ++i) w[i] = -w[i];
+  model->set_weights(w);
+  const EvalResult result = evaluate(*model, ds);
+  EXPECT_DOUBLE_EQ(result.accuracy, 0.0);
+  EXPECT_EQ(result.confusion[0][1], 10u);
+  EXPECT_DOUBLE_EQ(result.macro_f1(), 0.0);
+}
+
+TEST(Evaluate, AccuracyShortcutMatchesFullEvaluation) {
+  const data::SynthGenerator gen(data::synth_digits_config(5));
+  Rng rng(6);
+  data::Dataset ds = gen.generate_balanced(4, rng);
+  Rng model_rng(7);
+  auto model = nn::model_builder("mlp")(model_rng);
+  EXPECT_DOUBLE_EQ(accuracy(*model, ds), evaluate(*model, ds).accuracy);
+}
+
+TEST(Evaluate, BatchSizeDoesNotChangeResult) {
+  const data::SynthGenerator gen(data::synth_digits_config(5));
+  Rng rng(6);
+  data::Dataset ds = gen.generate_balanced(5, rng);
+  Rng model_rng(8);
+  auto model = nn::model_builder("mlp")(model_rng);
+  const double a = accuracy(*model, ds, 7);
+  const double b = accuracy(*model, ds, 50);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_NEAR(inference_loss(*model, ds, 7), inference_loss(*model, ds, 50), 1e-6);
+}
+
+TEST(Evaluate, InferenceLossOfUniformModelIsLogC) {
+  const data::SynthGenerator gen(data::synth_digits_config(5));
+  Rng rng(9);
+  data::Dataset ds = gen.generate_balanced(3, rng);
+  Rng model_rng(10);
+  auto model = nn::model_builder("mlp")(model_rng);
+  // Zero weights -> uniform logits -> CE = ln(10) exactly.
+  model->set_weights(nn::Weights(model->num_params(), 0.0f));
+  EXPECT_NEAR(inference_loss(*model, ds), std::log(10.0), 1e-5);
+}
+
+TEST(Evaluate, EmptyDatasetThrows) {
+  Rng rng(11);
+  auto model = nn::model_builder("mlp")(rng);
+  data::Dataset empty(Shape::of(1, 14, 14), 10);
+  EXPECT_THROW(evaluate(*model, empty), Error);
+  EXPECT_THROW(accuracy(*model, empty), Error);
+  EXPECT_THROW(inference_loss(*model, empty), Error);
+}
+
+// -------------------------------------------------------------- history
+
+RoundRecord rec(std::size_t round, double acc, bool attacked = false) {
+  RoundRecord r;
+  r.round = round;
+  r.test_accuracy = acc;
+  r.attacked = attacked;
+  return r;
+}
+
+TEST(History, BestAccuracyTracksMaximum) {
+  TrainingHistory h;
+  h.add(rec(1, 0.2));
+  h.add(rec(2, 0.8));
+  h.add(rec(3, 0.5));
+  EXPECT_DOUBLE_EQ(h.best_accuracy(), 0.8);
+}
+
+TEST(History, ConvergedAccuracyAveragesWindow) {
+  TrainingHistory h;
+  for (std::size_t r = 1; r <= 10; ++r) h.add(rec(r, 0.1 * static_cast<double>(r)));
+  EXPECT_NEAR(h.converged_accuracy(3), (0.8 + 0.9 + 1.0) / 3.0, 1e-12);
+  // Window larger than history: averages everything.
+  EXPECT_NEAR(h.converged_accuracy(100), 0.55, 1e-12);
+}
+
+TEST(History, RoundsToAccuracyFindsFirstCrossing) {
+  TrainingHistory h;
+  h.add(rec(1, 0.3));
+  h.add(rec(2, 0.6));
+  h.add(rec(3, 0.5));
+  ASSERT_TRUE(h.rounds_to_accuracy(0.55).has_value());
+  EXPECT_EQ(h.rounds_to_accuracy(0.55).value(), 2u);
+  EXPECT_FALSE(h.rounds_to_accuracy(0.99).has_value());
+}
+
+TEST(History, RecoveryRoundsMeasuresPostAttackClimb) {
+  TrainingHistory h;
+  h.add(rec(1, 0.7));
+  h.add(rec(2, 0.05, /*attacked=*/true));
+  h.add(rec(3, 0.2));
+  h.add(rec(4, 0.65));  // >= 0.9 × 0.7 = 0.63: recovered here
+  ASSERT_TRUE(h.recovery_rounds().has_value());
+  EXPECT_EQ(h.recovery_rounds().value(), 2u);
+}
+
+TEST(History, RecoveryRoundsWithoutAttackIsEmpty) {
+  TrainingHistory h;
+  h.add(rec(1, 0.7));
+  EXPECT_FALSE(h.recovery_rounds().has_value());
+}
+
+TEST(History, RecoveryRoundsUnrecoveredIsEmpty) {
+  TrainingHistory h;
+  h.add(rec(1, 0.7));
+  h.add(rec(2, 0.05, /*attacked=*/true));
+  h.add(rec(3, 0.1));
+  EXPECT_FALSE(h.recovery_rounds().has_value());
+}
+
+TEST(History, CsvHasHeaderAndOneLinePerRound) {
+  TrainingHistory h;
+  h.add(rec(1, 0.5));
+  h.add(rec(2, 0.6));
+  std::ostringstream out;
+  h.write_csv(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("round,test_accuracy"), std::string::npos);
+  std::size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3u);  // header + 2 rounds
+}
+
+TEST(History, IndexValidation) {
+  TrainingHistory h;
+  EXPECT_THROW(h[0], Error);
+  EXPECT_THROW(h.back(), Error);
+  EXPECT_THROW(h.converged_accuracy(), Error);
+  h.add(rec(1, 0.5));
+  EXPECT_NO_THROW(h[0]);
+  EXPECT_DOUBLE_EQ(h.back().test_accuracy, 0.5);
+}
+
+}  // namespace
+}  // namespace fedcav::metrics

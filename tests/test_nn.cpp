@@ -1,0 +1,584 @@
+// Unit tests for src/nn: gradient checks for every layer and loss,
+// optimizer semantics, flat weight exchange, and the model zoo.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/activation.hpp"
+#include "src/nn/conv2d.hpp"
+#include "src/nn/dense.hpp"
+#include "src/nn/flatten.hpp"
+#include "src/nn/init.hpp"
+#include "src/nn/loss.hpp"
+#include "src/nn/model.hpp"
+#include "src/nn/optimizer.hpp"
+#include "src/nn/pool2d.hpp"
+#include "src/nn/residual.hpp"
+#include "src/nn/sequential.hpp"
+#include "src/nn/zoo.hpp"
+#include "src/utils/error.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace fedcav::nn {
+namespace {
+
+using testing::gradient_check_layer;
+using testing::gradient_check_loss;
+
+constexpr double kGradTolerance = 2e-2;  // float32 forward, 1e-3 step
+
+// ----------------------------------------------------- gradient checks
+
+TEST(GradCheck, Dense) {
+  Rng rng(1);
+  Dense layer(6, 4, rng);
+  Tensor input = Tensor::uniform(Shape::of(3, 6), rng, -1.0f, 1.0f);
+  EXPECT_LT(gradient_check_layer(layer, input), kGradTolerance);
+}
+
+TEST(GradCheck, Conv2DNoPadding) {
+  Rng rng(2);
+  Conv2D layer(2, 3, 3, 1, 0, 5, 5, rng);
+  Tensor input = Tensor::uniform(Shape::of(2, 2, 5, 5), rng, -1.0f, 1.0f);
+  EXPECT_LT(gradient_check_layer(layer, input), kGradTolerance);
+}
+
+TEST(GradCheck, Conv2DWithPaddingAndStride) {
+  Rng rng(3);
+  Conv2D layer(1, 2, 3, 2, 1, 6, 6, rng);
+  Tensor input = Tensor::uniform(Shape::of(2, 1, 6, 6), rng, -1.0f, 1.0f);
+  EXPECT_LT(gradient_check_layer(layer, input), kGradTolerance);
+}
+
+TEST(GradCheck, ReLU) {
+  Rng rng(4);
+  ReLU layer;
+  // Keep values away from the kink at 0 where the numeric gradient lies.
+  Tensor input = Tensor::uniform(Shape::of(4, 7), rng, 0.2f, 1.0f);
+  for (std::size_t i = 0; i < input.numel(); i += 2) input[i] = -input[i];
+  EXPECT_LT(gradient_check_layer(layer, input), kGradTolerance);
+}
+
+TEST(GradCheck, LeakyReLU) {
+  Rng rng(5);
+  LeakyReLU layer(0.1f);
+  Tensor input = Tensor::uniform(Shape::of(4, 7), rng, 0.2f, 1.0f);
+  for (std::size_t i = 1; i < input.numel(); i += 2) input[i] = -input[i];
+  EXPECT_LT(gradient_check_layer(layer, input), kGradTolerance);
+}
+
+TEST(GradCheck, Tanh) {
+  Rng rng(6);
+  Tanh layer;
+  Tensor input = Tensor::uniform(Shape::of(3, 5), rng, -1.5f, 1.5f);
+  EXPECT_LT(gradient_check_layer(layer, input), kGradTolerance);
+}
+
+TEST(GradCheck, MaxPool) {
+  Rng rng(7);
+  MaxPool2D layer(2, 2);
+  // Distinct values avoid argmax ties that break the numeric gradient.
+  Tensor input(Shape::of(2, 2, 4, 4));
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    input[i] = static_cast<float>(i % 13) * 0.37f + static_cast<float>(i) * 0.011f;
+  }
+  EXPECT_LT(gradient_check_layer(layer, input), kGradTolerance);
+}
+
+TEST(GradCheck, AvgPool) {
+  Rng rng(8);
+  AvgPool2D layer(2, 2);
+  Tensor input = Tensor::uniform(Shape::of(2, 2, 4, 4), rng, -1.0f, 1.0f);
+  EXPECT_LT(gradient_check_layer(layer, input), kGradTolerance);
+}
+
+TEST(GradCheck, GlobalAvgPool) {
+  Rng rng(9);
+  GlobalAvgPool layer;
+  Tensor input = Tensor::uniform(Shape::of(2, 3, 4, 4), rng, -1.0f, 1.0f);
+  EXPECT_LT(gradient_check_layer(layer, input), kGradTolerance);
+}
+
+TEST(GradCheck, Flatten) {
+  Rng rng(10);
+  Flatten layer;
+  Tensor input = Tensor::uniform(Shape::of(2, 2, 3, 3), rng, -1.0f, 1.0f);
+  EXPECT_LT(gradient_check_layer(layer, input), kGradTolerance);
+}
+
+TEST(GradCheck, ResidualBlockIdentitySkip) {
+  Rng rng(11);
+  ResidualBlock layer(2, 2, 1, 5, 5, rng);
+  Tensor input = Tensor::uniform(Shape::of(1, 2, 5, 5), rng, -1.0f, 1.0f);
+  EXPECT_LT(gradient_check_layer(layer, input), 5e-2);
+}
+
+TEST(GradCheck, ResidualBlockProjectedSkip) {
+  Rng rng(12);
+  ResidualBlock layer(2, 4, 2, 6, 6, rng);
+  Tensor input = Tensor::uniform(Shape::of(1, 2, 6, 6), rng, -1.0f, 1.0f);
+  // Looser bound: two stacked in-block ReLUs put some pre-activations
+  // near the kink, where the central difference is systematically off.
+  EXPECT_LT(gradient_check_layer(layer, input), 1e-1);
+}
+
+TEST(GradCheck, SequentialComposite) {
+  Rng rng(13);
+  Sequential net;
+  net.add(std::make_unique<Dense>(5, 8, rng));
+  net.add(std::make_unique<Tanh>());
+  net.add(std::make_unique<Dense>(8, 3, rng));
+  Tensor input = Tensor::uniform(Shape::of(2, 5), rng, -1.0f, 1.0f);
+  EXPECT_LT(gradient_check_layer(net, input), kGradTolerance);
+}
+
+TEST(GradCheck, SoftmaxCrossEntropyLoss) {
+  Rng rng(14);
+  SoftmaxCrossEntropy loss;
+  Tensor logits = Tensor::uniform(Shape::of(4, 6), rng, -2.0f, 2.0f);
+  const std::vector<std::size_t> labels = {0, 3, 5, 2};
+  EXPECT_LT(gradient_check_loss(loss, logits, labels), kGradTolerance);
+}
+
+TEST(GradCheck, FocalLoss) {
+  Rng rng(15);
+  FocalLoss loss(2.0f);
+  Tensor logits = Tensor::uniform(Shape::of(3, 5), rng, -2.0f, 2.0f);
+  const std::vector<std::size_t> labels = {1, 4, 0};
+  EXPECT_LT(gradient_check_loss(loss, logits, labels), 5e-2);
+}
+
+TEST(GradCheck, MseLoss) {
+  Rng rng(16);
+  MseLoss loss;
+  Tensor logits = Tensor::uniform(Shape::of(3, 4), rng, -1.0f, 1.0f);
+  const std::vector<std::size_t> labels = {0, 2, 3};
+  EXPECT_LT(gradient_check_loss(loss, logits, labels), kGradTolerance);
+}
+
+// ---------------------------------------------------------- layer APIs
+
+TEST(Dense, ForwardShapeAndBias) {
+  Rng rng(20);
+  Dense layer(3, 2, rng);
+  // Zero the weights; output must equal the bias.
+  for (ParamView p : layer.params()) p.value->fill(0.0f);
+  layer.params()[1].value->operator()(0) = 1.5f;
+  Tensor input(Shape::of(2, 3), 1.0f);
+  Tensor out = layer.forward(input, false);
+  EXPECT_EQ(out.shape(), Shape::of(2, 2));
+  EXPECT_FLOAT_EQ(out(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(out(1, 1), 0.0f);
+}
+
+TEST(Dense, RejectsWrongInputWidth) {
+  Rng rng(21);
+  Dense layer(3, 2, rng);
+  Tensor bad(Shape::of(2, 4));
+  EXPECT_THROW(layer.forward(bad, false), Error);
+}
+
+TEST(Dense, BackwardBeforeForwardThrows) {
+  Rng rng(22);
+  Dense layer(3, 2, rng);
+  Tensor grad(Shape::of(2, 2));
+  EXPECT_THROW(layer.backward(grad), Error);
+}
+
+TEST(Conv2D, OutputGeometry) {
+  Rng rng(23);
+  Conv2D conv(1, 4, 5, 1, 2, 14, 14, rng);
+  EXPECT_EQ(conv.out_h(), 14u);
+  EXPECT_EQ(conv.out_w(), 14u);
+  Tensor input(Shape::of(2, 1, 14, 14), 0.5f);
+  Tensor out = conv.forward(input, false);
+  EXPECT_EQ(out.shape(), Shape::of(2, 4, 14, 14));
+}
+
+TEST(Conv2D, GradientsAccumulateAcrossBackwards) {
+  Rng rng(24);
+  Conv2D conv(1, 1, 3, 1, 0, 4, 4, rng);
+  Tensor input = Tensor::uniform(Shape::of(1, 1, 4, 4), rng, -1.0f, 1.0f);
+  Tensor out = conv.forward(input, true);
+  Tensor ones(out.shape(), 1.0f);
+  conv.backward(ones);
+  const float after_one = (*conv.params()[0].grad)[0];
+  conv.forward(input, true);
+  conv.backward(ones);
+  EXPECT_NEAR((*conv.params()[0].grad)[0], 2.0f * after_one, 1e-4f);
+  conv.zero_grad();
+  EXPECT_FLOAT_EQ((*conv.params()[0].grad)[0], 0.0f);
+}
+
+TEST(MaxPool, ForwardSelectsWindowMax) {
+  MaxPool2D pool(2, 2);
+  Tensor input(Shape::of(1, 1, 2, 2), std::vector<float>{1, 9, 3, 4});
+  Tensor out = pool.forward(input, true);
+  EXPECT_EQ(out.numel(), 1u);
+  EXPECT_FLOAT_EQ(out[0], 9.0f);
+  // Gradient routes only to the max position.
+  Tensor g(out.shape(), 2.0f);
+  Tensor dx = pool.backward(g);
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);
+  EXPECT_FLOAT_EQ(dx[1], 2.0f);
+}
+
+TEST(AvgPool, ForwardAveragesWindow) {
+  AvgPool2D pool(2, 2);
+  Tensor input(Shape::of(1, 1, 2, 2), std::vector<float>{1, 2, 3, 6});
+  Tensor out = pool.forward(input, false);
+  EXPECT_FLOAT_EQ(out[0], 3.0f);
+}
+
+TEST(GlobalAvgPool, ReducesToPerChannelMean) {
+  GlobalAvgPool pool;
+  Tensor input(Shape::of(1, 2, 2, 2),
+               std::vector<float>{1, 2, 3, 4, 10, 20, 30, 40});
+  Tensor out = pool.forward(input, false);
+  EXPECT_EQ(out.shape(), Shape::of(1, 2));
+  EXPECT_FLOAT_EQ(out(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(out(0, 1), 25.0f);
+}
+
+TEST(Sequential, EmptyContainerThrows) {
+  Sequential net;
+  Tensor input(Shape::of(1, 2));
+  EXPECT_THROW(net.forward(input, false), Error);
+}
+
+TEST(Sequential, CloneIsDeepAndPreservesWeights) {
+  Rng rng(25);
+  Sequential net;
+  net.add(std::make_unique<Dense>(3, 2, rng));
+  auto copy = net.clone();
+  // Same weights now...
+  Tensor input = Tensor::uniform(Shape::of(1, 3), rng, -1.0f, 1.0f);
+  Tensor out_a = net.forward(input, false);
+  Tensor out_b = copy->forward(input, false);
+  for (std::size_t i = 0; i < out_a.numel(); ++i) EXPECT_FLOAT_EQ(out_a[i], out_b[i]);
+  // ...independent storage after mutation.
+  net.params()[0].value->fill(0.0f);
+  Tensor out_c = copy->forward(input, false);
+  for (std::size_t i = 0; i < out_b.numel(); ++i) EXPECT_FLOAT_EQ(out_b[i], out_c[i]);
+}
+
+TEST(Activation, ReLUZeroesNegatives) {
+  ReLU relu;
+  Tensor input(Shape::of(1, 4), std::vector<float>{-1, 0, 2, -3});
+  Tensor out = relu.forward(input, false);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  EXPECT_FLOAT_EQ(out[2], 2.0f);
+  EXPECT_FLOAT_EQ(out[3], 0.0f);
+}
+
+// --------------------------------------------------------------- model
+
+TEST(Model, WeightRoundTrip) {
+  Rng rng(30);
+  auto model = make_mlp(4, 6, 3, rng);
+  const Weights w = model->get_weights();
+  EXPECT_EQ(w.size(), model->num_params());
+  Weights changed = w;
+  for (auto& v : changed) v += 1.0f;
+  model->set_weights(changed);
+  const Weights back = model->get_weights();
+  for (std::size_t i = 0; i < w.size(); ++i) EXPECT_FLOAT_EQ(back[i], w[i] + 1.0f);
+}
+
+TEST(Model, SetWeightsValidatesSize) {
+  Rng rng(31);
+  auto model = make_mlp(4, 6, 3, rng);
+  Weights wrong(model->num_params() + 1, 0.0f);
+  EXPECT_THROW(model->set_weights(wrong), Error);
+}
+
+TEST(Model, CloneSharesNothing) {
+  Rng rng(32);
+  auto model = make_mlp(4, 6, 3, rng);
+  auto copy = model->clone();
+  EXPECT_EQ(copy->num_params(), model->num_params());
+  Weights w = model->get_weights();
+  Weights zeros(w.size(), 0.0f);
+  model->set_weights(zeros);
+  const Weights copy_w = copy->get_weights();
+  for (std::size_t i = 0; i < w.size(); ++i) EXPECT_FLOAT_EQ(copy_w[i], w[i]);
+}
+
+TEST(Model, ForwardBackwardLeavesGradients) {
+  Rng rng(33);
+  auto model = make_mlp(4, 6, 3, rng);
+  Tensor input = Tensor::uniform(Shape::of(2, 4), rng, -1.0f, 1.0f);
+  const std::vector<std::size_t> labels = {0, 2};
+  model->forward_backward(input, labels);
+  const Weights grads = model->get_gradients();
+  double norm = 0.0;
+  for (float g : grads) norm += std::abs(static_cast<double>(g));
+  EXPECT_GT(norm, 0.0);
+  model->zero_grad();
+  const Weights zeroed = model->get_gradients();
+  for (float g : zeroed) EXPECT_FLOAT_EQ(g, 0.0f);
+}
+
+TEST(Model, ComputeLossMatchesManualEvaluation) {
+  Rng rng(34);
+  auto model = make_mlp(4, 6, 3, rng);
+  Tensor input = Tensor::uniform(Shape::of(2, 4), rng, -1.0f, 1.0f);
+  const std::vector<std::size_t> labels = {1, 1};
+  const float loss = model->compute_loss(input, labels);
+  Tensor logits = model->predict(input);
+  SoftmaxCrossEntropy ce;
+  EXPECT_NEAR(loss, ce.forward(logits, labels), 1e-6f);
+}
+
+// ------------------------------------------------------------ optimizer
+
+TEST(Sgd, VanillaStepDescendsGradient) {
+  Rng rng(40);
+  auto model = make_mlp(2, 2, 2, rng);
+  const Weights before = model->get_weights();
+  Tensor input(Shape::of(1, 2), std::vector<float>{1.0f, -1.0f});
+  model->forward_backward(input, {0});
+  const Weights grads = model->get_gradients();
+  Sgd opt(SgdConfig{.lr = 0.1f});
+  opt.step(*model);
+  const Weights after = model->get_weights();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(after[i], before[i] - 0.1f * grads[i], 1e-5f);
+  }
+}
+
+TEST(Sgd, StepZeroesGradients) {
+  Rng rng(41);
+  auto model = make_mlp(2, 2, 2, rng);
+  Tensor input(Shape::of(1, 2), std::vector<float>{1.0f, 0.5f});
+  model->forward_backward(input, {1});
+  Sgd opt(SgdConfig{.lr = 0.1f});
+  opt.step(*model);
+  for (float g : model->get_gradients()) EXPECT_FLOAT_EQ(g, 0.0f);
+}
+
+TEST(Sgd, MomentumAcceleratesRepeatedGradients) {
+  // Two identical gradient steps: with momentum the second step moves
+  // farther than the first.
+  Rng rng(42);
+  auto model_a = make_mlp(2, 2, 2, rng);
+  auto model_b = model_a->clone();
+  Tensor input(Shape::of(1, 2), std::vector<float>{1.0f, 1.0f});
+
+  Sgd plain(SgdConfig{.lr = 0.05f});
+  Sgd momentum(SgdConfig{.lr = 0.05f, .momentum = 0.9f});
+
+  model_a->forward_backward(input, {0});
+  plain.step(*model_a);
+  model_b->forward_backward(input, {0});
+  momentum.step(*model_b);
+
+  const Weights wa1 = model_a->get_weights();
+  const Weights wb1 = model_b->get_weights();
+
+  model_a->forward_backward(input, {0});
+  plain.step(*model_a);
+  model_b->forward_backward(input, {0});
+  momentum.step(*model_b);
+
+  // Compare step-2 displacements.
+  const Weights wa2 = model_a->get_weights();
+  const Weights wb2 = model_b->get_weights();
+  double disp_a = 0.0;
+  double disp_b = 0.0;
+  for (std::size_t i = 0; i < wa1.size(); ++i) {
+    disp_a += std::abs(static_cast<double>(wa2[i] - wa1[i]));
+    disp_b += std::abs(static_cast<double>(wb2[i] - wb1[i]));
+  }
+  EXPECT_GT(disp_b, disp_a);
+}
+
+TEST(Sgd, ProximalTermPullsTowardAnchor) {
+  // With zero data gradient (we never call forward_backward) and a prox
+  // anchor at zero, the step shrinks weights toward the anchor.
+  Rng rng(43);
+  auto model = make_mlp(2, 2, 2, rng);
+  const Weights before = model->get_weights();
+  Sgd opt(SgdConfig{.lr = 0.5f, .prox_mu = 0.1f});
+  const Weights anchor(model->num_params(), 0.0f);
+  opt.set_prox_anchor(anchor);
+  opt.step(*model);
+  const Weights after = model->get_weights();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(after[i], before[i] * (1.0f - 0.5f * 0.1f), 1e-5f);
+  }
+}
+
+TEST(Sgd, ProxWithoutAnchorThrows) {
+  Rng rng(44);
+  auto model = make_mlp(2, 2, 2, rng);
+  Sgd opt(SgdConfig{.lr = 0.1f, .prox_mu = 0.1f});
+  EXPECT_THROW(opt.step(*model), Error);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Rng rng(45);
+  auto model = make_mlp(2, 2, 2, rng);
+  const Weights before = model->get_weights();
+  Sgd opt(SgdConfig{.lr = 1.0f, .weight_decay = 0.01f});
+  opt.step(*model);
+  const Weights after = model->get_weights();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(after[i], before[i] * 0.99f, 1e-5f);
+  }
+}
+
+TEST(Sgd, RejectsBadConfig) {
+  EXPECT_THROW(Sgd(SgdConfig{.lr = 0.0f}), Error);
+  EXPECT_THROW(Sgd(SgdConfig{.lr = 0.1f, .momentum = 1.0f}), Error);
+  EXPECT_THROW(Sgd(SgdConfig{.lr = 0.1f, .prox_mu = -0.1f}), Error);
+}
+
+TEST(Adam, ConvergesOnToyProblem) {
+  // Minimize CE on one example; Adam should drive the loss down fast.
+  Rng rng(46);
+  auto model = make_mlp(2, 4, 2, rng);
+  Adam opt(AdamConfig{.lr = 0.05f});
+  Tensor input(Shape::of(1, 2), std::vector<float>{0.5f, -0.25f});
+  float first = 0.0f;
+  float last = 0.0f;
+  for (int i = 0; i < 50; ++i) {
+    last = model->forward_backward(input, {1});
+    if (i == 0) first = last;
+    opt.step(*model);
+  }
+  EXPECT_LT(last, first * 0.1f);
+}
+
+TEST(Adam, RejectsBadConfig) {
+  EXPECT_THROW(Adam(AdamConfig{.lr = -1.0f}), Error);
+  EXPECT_THROW(Adam(AdamConfig{.lr = 0.1f, .beta1 = 1.0f}), Error);
+}
+
+// ------------------------------------------------------------------ zoo
+
+TEST(Zoo, LeNetAcceptsGrayImages) {
+  Rng rng(50);
+  auto model = make_lenet5_lite(rng);
+  Tensor input(Shape::of(2, 1, 14, 14), 0.1f);
+  Tensor out = model->predict(input);
+  EXPECT_EQ(out.shape(), Shape::of(2, kNumClasses));
+}
+
+TEST(Zoo, Cnn9AcceptsGrayImages) {
+  Rng rng(51);
+  auto model = make_cnn9_lite(rng);
+  Tensor input(Shape::of(2, 1, 14, 14), 0.1f);
+  EXPECT_EQ(model->predict(input).shape(), Shape::of(2, kNumClasses));
+}
+
+TEST(Zoo, ResNetAcceptsColorImages) {
+  Rng rng(52);
+  auto model = make_resnet_lite(rng);
+  Tensor input(Shape::of(2, 3, 16, 16), 0.1f);
+  EXPECT_EQ(model->predict(input).shape(), Shape::of(2, kNumClasses));
+}
+
+TEST(Zoo, ParamCountsAreStable) {
+  // Architecture regression guards: aggregation weight vectors and bench
+  // byte accounting depend on these exact sizes.
+  Rng rng(53);
+  EXPECT_EQ(make_lenet5_lite(rng)->num_params(), 12502u);
+  EXPECT_GT(make_cnn9_lite(rng)->num_params(), 10000u);
+  EXPECT_GT(make_resnet_lite(rng)->num_params(), 10000u);
+}
+
+TEST(Zoo, BuilderLookupKnownAndUnknown) {
+  Rng rng(54);
+  for (const char* name : {"mlp", "lenet5", "cnn9", "resnet"}) {
+    EXPECT_NE(model_builder(name)(rng), nullptr) << name;
+  }
+  EXPECT_THROW(model_builder("vgg"), Error);
+}
+
+TEST(Zoo, BuilderProducesIndependentInstances) {
+  Rng rng_a(55);
+  Rng rng_b(55);
+  auto a = model_builder("mlp")(rng_a);
+  auto b = model_builder("mlp")(rng_b);
+  // Same seed -> same init.
+  const Weights wa = a->get_weights();
+  const Weights wb = b->get_weights();
+  for (std::size_t i = 0; i < wa.size(); ++i) EXPECT_FLOAT_EQ(wa[i], wb[i]);
+}
+
+// ------------------------------------------------------------------ init
+
+TEST(Init, XavierBoundsRespectFans) {
+  Rng rng(60);
+  Tensor w(Shape::of(64, 64));
+  xavier_uniform(w, 64, 64, rng);
+  const float bound = std::sqrt(6.0f / 128.0f);
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    EXPECT_GE(w[i], -bound);
+    EXPECT_LE(w[i], bound);
+  }
+}
+
+TEST(Init, HeNormalVarianceMatchesFanIn) {
+  Rng rng(61);
+  Tensor w(Shape::of(200, 100));
+  he_normal(w, 100, rng);
+  double sq = 0.0;
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    sq += static_cast<double>(w[i]) * static_cast<double>(w[i]);
+  }
+  EXPECT_NEAR(sq / static_cast<double>(w.numel()), 2.0 / 100.0, 2e-3);
+}
+
+// ------------------------------------------------------------------ loss
+
+TEST(Loss, CrossEntropyOfUniformLogitsIsLogC) {
+  SoftmaxCrossEntropy ce;
+  Tensor logits(Shape::of(2, 10), 0.0f);
+  const float loss = ce.forward(logits, {3, 7});
+  EXPECT_NEAR(loss, std::log(10.0f), 1e-5f);
+}
+
+TEST(Loss, CrossEntropyRejectsBadLabels) {
+  SoftmaxCrossEntropy ce;
+  Tensor logits(Shape::of(1, 3), 0.0f);
+  EXPECT_THROW(ce.forward(logits, {3}), Error);
+  EXPECT_THROW(ce.forward(logits, {0, 1}), Error);
+}
+
+TEST(Loss, FocalWithZeroGammaMatchesCrossEntropy) {
+  Rng rng(62);
+  Tensor logits = Tensor::uniform(Shape::of(3, 5), rng, -2.0f, 2.0f);
+  const std::vector<std::size_t> labels = {0, 2, 4};
+  SoftmaxCrossEntropy ce;
+  FocalLoss focal(0.0f);
+  EXPECT_NEAR(ce.forward(logits, labels), focal.forward(logits, labels), 1e-5f);
+}
+
+TEST(Loss, FocalDownweightsEasyExamples) {
+  // A confidently-correct example contributes much less under focal loss.
+  Tensor easy(Shape::of(1, 2), std::vector<float>{8.0f, -8.0f});
+  SoftmaxCrossEntropy ce;
+  FocalLoss focal(2.0f);
+  EXPECT_LT(focal.forward(easy, {0}), ce.forward(easy, {0}) + 1e-9f);
+}
+
+TEST(Loss, BackwardBeforeForwardThrows) {
+  SoftmaxCrossEntropy ce;
+  EXPECT_THROW(ce.backward(), Error);
+  FocalLoss focal;
+  EXPECT_THROW(focal.backward(), Error);
+  MseLoss mse;
+  EXPECT_THROW(mse.backward(), Error);
+}
+
+TEST(Loss, MseOfPerfectOneHotIsZero) {
+  MseLoss mse;
+  Tensor logits(Shape::of(1, 3), std::vector<float>{0.0f, 1.0f, 0.0f});
+  EXPECT_NEAR(mse.forward(logits, {1}), 0.0f, 1e-7f);
+}
+
+}  // namespace
+}  // namespace fedcav::nn

@@ -1,0 +1,521 @@
+// Unit tests for src/utils: RNG, strings, CLI, CSV, thread pool, timers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "src/utils/cli.hpp"
+#include "src/utils/csv.hpp"
+#include "src/utils/error.hpp"
+#include "src/utils/logging.hpp"
+#include "src/utils/rng.hpp"
+#include "src/utils/string_util.hpp"
+#include "src/utils/threadpool.hpp"
+#include "src/utils/timer.hpp"
+
+namespace fedcav {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.5, 2.5);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.5);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatesHalf) {
+  Rng rng(99);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversAllResidues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(std::uint64_t{7}));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIntRejectsZero) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(std::uint64_t{0}), Error);
+}
+
+TEST(Rng, SignedUniformIntInclusiveBounds) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, NormalMomentsLookGaussian) {
+  Rng rng(13);
+  const int n = 20000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithParamsShiftsAndScales) {
+  Rng rng(13);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {1.0, 3.0};
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ones += rng.categorical(weights) == 1 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalSkipsZeroWeight) {
+  Rng rng(19);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.categorical(weights), 1u);
+}
+
+TEST(Rng, CategoricalRejectsBadInput) {
+  Rng rng(19);
+  std::vector<double> empty;
+  EXPECT_THROW(rng.categorical(empty), Error);
+  std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_THROW(rng.categorical(zeros), Error);
+  std::vector<double> negative = {1.0, -0.5};
+  EXPECT_THROW(rng.categorical(negative), Error);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  std::vector<int> original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to match
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(29);
+  const auto sample = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng rng(29);
+  auto sample = rng.sample_without_replacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(29);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), Error);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // Child and parent outputs should not be identical streams.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(31);
+  Rng b(31);
+  Rng ca = a.fork();
+  Rng cb = b.fork();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+// ------------------------------------------------------------- strings
+
+TEST(StringUtil, SplitPreservesEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtil, SplitSingleToken) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(StringUtil, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(join(parts, ","), "x,y,z");
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(StringUtil, TrimStripsWhitespace) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("no-trim"), "no-trim");
+}
+
+TEST(StringUtil, ToLowerHandlesMixedCase) {
+  EXPECT_EQ(to_lower("FedCAV"), "fedcav");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+}
+
+TEST(StringUtil, ParseIntAcceptsSignedValues) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-17"), -17);
+  EXPECT_EQ(parse_int(" 7 "), 7);
+}
+
+TEST(StringUtil, ParseIntRejectsGarbage) {
+  EXPECT_THROW(parse_int("12x"), Error);
+  EXPECT_THROW(parse_int(""), Error);
+  EXPECT_THROW(parse_int("1.5"), Error);
+}
+
+TEST(StringUtil, ParseDoubleAcceptsScientific) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5e-3"), 2.5e-3);
+  EXPECT_DOUBLE_EQ(parse_double("-1.25"), -1.25);
+}
+
+TEST(StringUtil, ParseDoubleRejectsGarbage) {
+  EXPECT_THROW(parse_double("abc"), Error);
+  EXPECT_THROW(parse_double("1.2.3"), Error);
+}
+
+TEST(StringUtil, ParseBoolAllForms) {
+  EXPECT_TRUE(parse_bool("true"));
+  EXPECT_TRUE(parse_bool("YES"));
+  EXPECT_TRUE(parse_bool("1"));
+  EXPECT_TRUE(parse_bool("on"));
+  EXPECT_FALSE(parse_bool("false"));
+  EXPECT_FALSE(parse_bool("No"));
+  EXPECT_FALSE(parse_bool("0"));
+  EXPECT_FALSE(parse_bool("off"));
+  EXPECT_THROW(parse_bool("maybe"), Error);
+}
+
+TEST(StringUtil, FormatDoublePrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 4), "1.0000");
+}
+
+// ----------------------------------------------------------------- cli
+
+TEST(Cli, DefaultsApplyWithoutArgs) {
+  CliParser cli("prog", "test");
+  cli.add_int("rounds", 50, "rounds");
+  cli.add_double("lr", 0.01, "learning rate");
+  cli.add_string("name", "digits", "dataset");
+  cli.add_flag("fast", "fast mode");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("rounds"), 50);
+  EXPECT_DOUBLE_EQ(cli.get_double("lr"), 0.01);
+  EXPECT_EQ(cli.get_string("name"), "digits");
+  EXPECT_FALSE(cli.get_flag("fast"));
+}
+
+TEST(Cli, ParsesSpaceAndEqualsForms) {
+  CliParser cli("prog", "test");
+  cli.add_int("rounds", 50, "rounds");
+  cli.add_double("lr", 0.01, "lr");
+  cli.add_flag("fast", "fast");
+  const char* argv[] = {"prog", "--rounds", "10", "--lr=0.5", "--fast"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("rounds"), 10);
+  EXPECT_DOUBLE_EQ(cli.get_double("lr"), 0.5);
+  EXPECT_TRUE(cli.get_flag("fast"));
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_THROW(cli.parse(3, argv), Error);
+}
+
+TEST(Cli, RejectsMissingValue) {
+  CliParser cli("prog", "test");
+  cli.add_int("rounds", 50, "rounds");
+  const char* argv[] = {"prog", "--rounds"};
+  EXPECT_THROW(cli.parse(2, argv), Error);
+}
+
+TEST(Cli, RejectsMalformedValueAtParseTime) {
+  CliParser cli("prog", "test");
+  cli.add_int("rounds", 50, "rounds");
+  const char* argv[] = {"prog", "--rounds", "ten"};
+  EXPECT_THROW(cli.parse(3, argv), Error);
+}
+
+TEST(Cli, RejectsPositionalArgument) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(cli.parse(2, argv), Error);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli("prog", "test");
+  cli.add_int("rounds", 50, "rounds");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, RejectsDuplicateDeclaration) {
+  CliParser cli("prog", "test");
+  cli.add_int("rounds", 50, "rounds");
+  EXPECT_THROW(cli.add_double("rounds", 1.0, "dup"), Error);
+}
+
+TEST(Cli, TypeMismatchOnGetThrows) {
+  CliParser cli("prog", "test");
+  cli.add_int("rounds", 50, "rounds");
+  EXPECT_THROW(cli.get_double("rounds"), Error);
+  EXPECT_THROW(cli.get_int("missing"), Error);
+}
+
+TEST(Cli, HelpTextMentionsOptionsAndDefaults) {
+  CliParser cli("prog", "does things");
+  cli.add_int("rounds", 50, "round count");
+  const std::string help = cli.help_text();
+  EXPECT_NE(help.find("--rounds"), std::string::npos);
+  EXPECT_NE(help.find("default: 50"), std::string::npos);
+  EXPECT_NE(help.find("does things"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- csv
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  csv.row({"1", "2"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(Csv, CellBuilderFormatsTypes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"name", "value", "count"});
+  csv.cell(std::string("x")).cell(1.5, 2).cell(static_cast<long long>(7)).end_row();
+  EXPECT_EQ(out.str(), "name,value,count\nx,1.50,7\n");
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), Error);
+}
+
+TEST(Csv, DoubleHeaderThrows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a"});
+  EXPECT_THROW(csv.header({"b"}), Error);
+}
+
+TEST(MarkdownTable, RendersAlignedPipes) {
+  MarkdownTable table({"name", "acc"});
+  table.add_row({"fedcav", "0.91"});
+  table.add_row({"fedavg", "0.9"});
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("| name   |"), std::string::npos);
+  EXPECT_NE(rendered.find("| fedcav | 0.91 |"), std::string::npos);
+  // Separator row present.
+  EXPECT_NE(rendered.find("|---"), std::string::npos);
+}
+
+TEST(MarkdownTable, RejectsMismatchedRow) {
+  MarkdownTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only"}), Error);
+}
+
+// ---------------------------------------------------------- threadpool
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(10, [](std::size_t i) {
+        if (i == 3) throw Error("boom");
+      }),
+      Error);
+}
+
+TEST(ThreadPool, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  auto fut = pool.submit([&] { value.store(42); });
+  fut.get();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([] { throw Error("task failed"); });
+  EXPECT_THROW(fut.get(), Error);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&global_thread_pool(), &global_thread_pool());
+}
+
+// --------------------------------------------------------------- timer
+
+TEST(Timer, StopwatchAdvances) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GT(watch.seconds(), 0.0);
+  EXPECT_NEAR(watch.milliseconds(), watch.seconds() * 1e3, watch.seconds() * 1e3);
+}
+
+TEST(Timer, AccumulatingTimerSumsIntervals) {
+  AccumulatingTimer timer;
+  EXPECT_EQ(timer.intervals(), 0u);
+  EXPECT_DOUBLE_EQ(timer.mean_seconds(), 0.0);
+  timer.start();
+  timer.stop();
+  timer.start();
+  timer.stop();
+  EXPECT_EQ(timer.intervals(), 2u);
+  EXPECT_GE(timer.total_seconds(), 0.0);
+}
+
+TEST(Timer, StopWithoutStartIsIgnored) {
+  AccumulatingTimer timer;
+  timer.stop();
+  EXPECT_EQ(timer.intervals(), 0u);
+}
+
+// ------------------------------------------------------------- logging
+
+TEST(Logging, ParseLevelNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_THROW(parse_log_level("verbose"), Error);
+}
+
+TEST(Logging, SetAndGetLevel) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(saved);
+}
+
+// --------------------------------------------------------------- error
+
+TEST(ErrorMacro, ThrowsWithLocation) {
+  try {
+    FEDCAV_CHECK(false, "something failed");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("something failed"), std::string::npos);
+    EXPECT_NE(what.find("test_utils.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorMacro, PassesOnTrue) {
+  EXPECT_NO_THROW(FEDCAV_CHECK(true, "never"));
+}
+
+}  // namespace
+}  // namespace fedcav
