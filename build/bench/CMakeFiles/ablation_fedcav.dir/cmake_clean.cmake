@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fedcav.dir/ablation_fedcav.cpp.o"
+  "CMakeFiles/ablation_fedcav.dir/ablation_fedcav.cpp.o.d"
+  "CMakeFiles/ablation_fedcav.dir/bench_common.cpp.o"
+  "CMakeFiles/ablation_fedcav.dir/bench_common.cpp.o.d"
+  "ablation_fedcav"
+  "ablation_fedcav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fedcav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_heterogeneity.dir/bench_common.cpp.o"
+  "CMakeFiles/fig2_heterogeneity.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig2_heterogeneity.dir/fig2_heterogeneity.cpp.o"
+  "CMakeFiles/fig2_heterogeneity.dir/fig2_heterogeneity.cpp.o.d"
+  "fig2_heterogeneity"
+  "fig2_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

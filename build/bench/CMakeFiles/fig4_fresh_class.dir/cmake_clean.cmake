@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_fresh_class.dir/bench_common.cpp.o"
+  "CMakeFiles/fig4_fresh_class.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig4_fresh_class.dir/fig4_fresh_class.cpp.o"
+  "CMakeFiles/fig4_fresh_class.dir/fig4_fresh_class.cpp.o.d"
+  "fig4_fresh_class"
+  "fig4_fresh_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fresh_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_fresh_class.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_clip_ablation.dir/bench_common.cpp.o"
+  "CMakeFiles/fig5_clip_ablation.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig5_clip_ablation.dir/fig5_clip_ablation.cpp.o"
+  "CMakeFiles/fig5_clip_ablation.dir/fig5_clip_ablation.cpp.o.d"
+  "fig5_clip_ablation"
+  "fig5_clip_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_clip_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

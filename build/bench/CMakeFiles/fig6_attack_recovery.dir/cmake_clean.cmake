@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_attack_recovery.dir/bench_common.cpp.o"
+  "CMakeFiles/fig6_attack_recovery.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig6_attack_recovery.dir/fig6_attack_recovery.cpp.o"
+  "CMakeFiles/fig6_attack_recovery.dir/fig6_attack_recovery.cpp.o.d"
+  "fig6_attack_recovery"
+  "fig6_attack_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_attack_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

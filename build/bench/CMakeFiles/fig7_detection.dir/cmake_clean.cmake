@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_detection.dir/bench_common.cpp.o"
+  "CMakeFiles/fig7_detection.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig7_detection.dir/fig7_detection.cpp.o"
+  "CMakeFiles/fig7_detection.dir/fig7_detection.cpp.o.d"
+  "fig7_detection"
+  "fig7_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

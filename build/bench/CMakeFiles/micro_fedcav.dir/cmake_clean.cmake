@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fedcav.dir/micro_fedcav.cpp.o"
+  "CMakeFiles/micro_fedcav.dir/micro_fedcav.cpp.o.d"
+  "micro_fedcav"
+  "micro_fedcav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fedcav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

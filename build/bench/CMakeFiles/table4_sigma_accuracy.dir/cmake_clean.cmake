@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_sigma_accuracy.dir/bench_common.cpp.o"
+  "CMakeFiles/table4_sigma_accuracy.dir/bench_common.cpp.o.d"
+  "CMakeFiles/table4_sigma_accuracy.dir/table4_sigma_accuracy.cpp.o"
+  "CMakeFiles/table4_sigma_accuracy.dir/table4_sigma_accuracy.cpp.o.d"
+  "table4_sigma_accuracy"
+  "table4_sigma_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_sigma_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_attack_defense.dir/attack_defense.cpp.o"
+  "CMakeFiles/example_attack_defense.dir/attack_defense.cpp.o.d"
+  "example_attack_defense"
+  "example_attack_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_attack_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_strategy.dir/custom_strategy.cpp.o"
+  "CMakeFiles/example_custom_strategy.dir/custom_strategy.cpp.o.d"
+  "example_custom_strategy"
+  "example_custom_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_heterogeneity_study.dir/heterogeneity_study.cpp.o"
+  "CMakeFiles/example_heterogeneity_study.dir/heterogeneity_study.cpp.o.d"
+  "example_heterogeneity_study"
+  "example_heterogeneity_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heterogeneity_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/label_flip.cpp" "src/CMakeFiles/fedcav.dir/attack/label_flip.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/attack/label_flip.cpp.o.d"
+  "/root/repo/src/attack/loss_inflation.cpp" "src/CMakeFiles/fedcav.dir/attack/loss_inflation.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/attack/loss_inflation.cpp.o.d"
+  "/root/repo/src/attack/model_replacement.cpp" "src/CMakeFiles/fedcav.dir/attack/model_replacement.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/attack/model_replacement.cpp.o.d"
+  "/root/repo/src/comm/compression.cpp" "src/CMakeFiles/fedcav.dir/comm/compression.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/comm/compression.cpp.o.d"
+  "/root/repo/src/comm/message.cpp" "src/CMakeFiles/fedcav.dir/comm/message.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/comm/message.cpp.o.d"
+  "/root/repo/src/comm/network.cpp" "src/CMakeFiles/fedcav.dir/comm/network.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/comm/network.cpp.o.d"
+  "/root/repo/src/core/contribution.cpp" "src/CMakeFiles/fedcav.dir/core/contribution.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/core/contribution.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/CMakeFiles/fedcav.dir/core/detector.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/core/detector.cpp.o.d"
+  "/root/repo/src/core/fedcav.cpp" "src/CMakeFiles/fedcav.dir/core/fedcav.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/core/fedcav.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/fedcav.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/fresh.cpp" "src/CMakeFiles/fedcav.dir/data/fresh.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/data/fresh.cpp.o.d"
+  "/root/repo/src/data/mnist_idx.cpp" "src/CMakeFiles/fedcav.dir/data/mnist_idx.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/data/mnist_idx.cpp.o.d"
+  "/root/repo/src/data/partition.cpp" "src/CMakeFiles/fedcav.dir/data/partition.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/data/partition.cpp.o.d"
+  "/root/repo/src/data/stats.cpp" "src/CMakeFiles/fedcav.dir/data/stats.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/data/stats.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/fedcav.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/data/synthetic.cpp.o.d"
+  "/root/repo/src/fl/centralized.cpp" "src/CMakeFiles/fedcav.dir/fl/centralized.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/fl/centralized.cpp.o.d"
+  "/root/repo/src/fl/client.cpp" "src/CMakeFiles/fedcav.dir/fl/client.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/fl/client.cpp.o.d"
+  "/root/repo/src/fl/compressed.cpp" "src/CMakeFiles/fedcav.dir/fl/compressed.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/fl/compressed.cpp.o.d"
+  "/root/repo/src/fl/fedavg.cpp" "src/CMakeFiles/fedcav.dir/fl/fedavg.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/fl/fedavg.cpp.o.d"
+  "/root/repo/src/fl/fedcurv.cpp" "src/CMakeFiles/fedcav.dir/fl/fedcurv.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/fl/fedcurv.cpp.o.d"
+  "/root/repo/src/fl/fedprox.cpp" "src/CMakeFiles/fedcav.dir/fl/fedprox.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/fl/fedprox.cpp.o.d"
+  "/root/repo/src/fl/robust.cpp" "src/CMakeFiles/fedcav.dir/fl/robust.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/fl/robust.cpp.o.d"
+  "/root/repo/src/fl/sampler.cpp" "src/CMakeFiles/fedcav.dir/fl/sampler.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/fl/sampler.cpp.o.d"
+  "/root/repo/src/fl/server.cpp" "src/CMakeFiles/fedcav.dir/fl/server.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/fl/server.cpp.o.d"
+  "/root/repo/src/fl/simulation.cpp" "src/CMakeFiles/fedcav.dir/fl/simulation.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/fl/simulation.cpp.o.d"
+  "/root/repo/src/fl/strategy.cpp" "src/CMakeFiles/fedcav.dir/fl/strategy.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/fl/strategy.cpp.o.d"
+  "/root/repo/src/metrics/evaluation.cpp" "src/CMakeFiles/fedcav.dir/metrics/evaluation.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/metrics/evaluation.cpp.o.d"
+  "/root/repo/src/metrics/history.cpp" "src/CMakeFiles/fedcav.dir/metrics/history.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/metrics/history.cpp.o.d"
+  "/root/repo/src/metrics/per_class.cpp" "src/CMakeFiles/fedcav.dir/metrics/per_class.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/metrics/per_class.cpp.o.d"
+  "/root/repo/src/nn/activation.cpp" "src/CMakeFiles/fedcav.dir/nn/activation.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/nn/activation.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/CMakeFiles/fedcav.dir/nn/conv2d.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/nn/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/CMakeFiles/fedcav.dir/nn/dense.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/nn/dense.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/CMakeFiles/fedcav.dir/nn/dropout.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/nn/dropout.cpp.o.d"
+  "/root/repo/src/nn/flatten.cpp" "src/CMakeFiles/fedcav.dir/nn/flatten.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/nn/flatten.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/CMakeFiles/fedcav.dir/nn/init.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/nn/init.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/CMakeFiles/fedcav.dir/nn/layer.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/nn/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/fedcav.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/CMakeFiles/fedcav.dir/nn/model.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/nn/model.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/fedcav.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pool2d.cpp" "src/CMakeFiles/fedcav.dir/nn/pool2d.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/nn/pool2d.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/CMakeFiles/fedcav.dir/nn/residual.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/nn/residual.cpp.o.d"
+  "/root/repo/src/nn/schedule.cpp" "src/CMakeFiles/fedcav.dir/nn/schedule.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/nn/schedule.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/CMakeFiles/fedcav.dir/nn/sequential.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/nn/sequential.cpp.o.d"
+  "/root/repo/src/nn/zoo.cpp" "src/CMakeFiles/fedcav.dir/nn/zoo.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/nn/zoo.cpp.o.d"
+  "/root/repo/src/tensor/im2col.cpp" "src/CMakeFiles/fedcav.dir/tensor/im2col.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/tensor/im2col.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/fedcav.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/serialize.cpp" "src/CMakeFiles/fedcav.dir/tensor/serialize.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/tensor/serialize.cpp.o.d"
+  "/root/repo/src/tensor/shape.cpp" "src/CMakeFiles/fedcav.dir/tensor/shape.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/tensor/shape.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/fedcav.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/utils/cli.cpp" "src/CMakeFiles/fedcav.dir/utils/cli.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/utils/cli.cpp.o.d"
+  "/root/repo/src/utils/config.cpp" "src/CMakeFiles/fedcav.dir/utils/config.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/utils/config.cpp.o.d"
+  "/root/repo/src/utils/csv.cpp" "src/CMakeFiles/fedcav.dir/utils/csv.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/utils/csv.cpp.o.d"
+  "/root/repo/src/utils/error.cpp" "src/CMakeFiles/fedcav.dir/utils/error.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/utils/error.cpp.o.d"
+  "/root/repo/src/utils/logging.cpp" "src/CMakeFiles/fedcav.dir/utils/logging.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/utils/logging.cpp.o.d"
+  "/root/repo/src/utils/rng.cpp" "src/CMakeFiles/fedcav.dir/utils/rng.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/utils/rng.cpp.o.d"
+  "/root/repo/src/utils/string_util.cpp" "src/CMakeFiles/fedcav.dir/utils/string_util.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/utils/string_util.cpp.o.d"
+  "/root/repo/src/utils/threadpool.cpp" "src/CMakeFiles/fedcav.dir/utils/threadpool.cpp.o" "gcc" "src/CMakeFiles/fedcav.dir/utils/threadpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for fedcav.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcav_test_helpers.dir/test_helpers.cpp.o"
+  "CMakeFiles/fedcav_test_helpers.dir/test_helpers.cpp.o.d"
+  "libfedcav_test_helpers.a"
+  "libfedcav_test_helpers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcav_test_helpers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

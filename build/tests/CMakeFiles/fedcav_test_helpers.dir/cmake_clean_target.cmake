@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfedcav_test_helpers.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fedcurv.dir/test_fedcurv.cpp.o"
+  "CMakeFiles/test_fedcurv.dir/test_fedcurv.cpp.o.d"
+  "test_fedcurv"
+  "test_fedcurv.pdb"
+  "test_fedcurv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fedcurv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
