@@ -1,6 +1,7 @@
 #include "src/nn/conv2d.hpp"
 
 #include "src/nn/init.hpp"
+#include "src/tensor/gemm.hpp"
 #include "src/tensor/ops.hpp"
 #include "src/utils/error.hpp"
 
@@ -38,10 +39,17 @@ Tensor Conv2D::forward(const Tensor& input, bool training) {
   Tensor out(Shape::of(batch, out_channels_, oh, ow));
   Tensor cols(Shape::of(geometry_.col_rows(), geometry_.col_cols()));
   Tensor result(Shape::of(out_channels_, oh * ow));
+  // The weight matrix is invariant across the batch, so pack its GEMM
+  // panels once and reuse them for every image's im2col product.
+  const ops::PackedA packed_w = ops::pack_a(
+      ops::Trans::kNo, out_channels_, geometry_.col_rows(), weight_.data(),
+      geometry_.col_rows());
   for (std::size_t b = 0; b < batch; ++b) {
     im2col(geometry_, input.data() + b * image_size, cols);
     if (training) cached_cols_[b] = cols;
-    ops::matmul(weight_, cols, result);
+    ops::gemm_prepacked(packed_w, ops::Trans::kNo, geometry_.col_cols(),
+                        cols.data(), geometry_.col_cols(), /*beta=*/0.0f,
+                        result.data(), geometry_.col_cols());
     float* dst = out.data() + b * out_channels_ * oh * ow;
     for (std::size_t c = 0; c < out_channels_; ++c) {
       const float bc = bias_(c);
@@ -66,7 +74,11 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
   const std::size_t image_size = geometry_.in_channels * geometry_.in_h * geometry_.in_w;
   Tensor dx(cached_input_.shape());
   Tensor dcols(Shape::of(geometry_.col_rows(), geometry_.col_cols()));
-  Tensor dw(Shape::of(out_channels_, geometry_.col_rows()));
+  // W^T is the A operand of every per-image dcols GEMM; pack it once for
+  // the whole batch.
+  const ops::PackedA packed_wt = ops::pack_a(
+      ops::Trans::kYes, geometry_.col_rows(), out_channels_, weight_.data(),
+      geometry_.col_rows());
 
   for (std::size_t b = 0; b < batch; ++b) {
     // View this image's output gradient as (C_out × OH*OW).
@@ -82,12 +94,14 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
       bias_grad_(c) += static_cast<float>(acc);
     }
 
-    // dW += gmat · cols^T  ((C_out × OHOW) · (OHOW × col_rows)).
-    ops::matmul_transposed_b(gmat, cached_cols_[b], dw);
-    ops::add_inplace(weight_grad_, dw);
+    // dW += gmat · cols^T  ((C_out × OHOW) · (OHOW × col_rows)),
+    // accumulated straight into the grad buffer via beta=1.
+    ops::gemm(ops::Trans::kNo, ops::Trans::kYes, gmat, cached_cols_[b],
+              weight_grad_, /*beta=*/1.0f);
 
     // dcols = W^T · gmat  ((col_rows × C_out) · (C_out × OHOW)).
-    ops::matmul_transposed_a(weight_, gmat, dcols);
+    ops::gemm_prepacked(packed_wt, ops::Trans::kNo, oh * ow, gmat.data(),
+                        oh * ow, /*beta=*/0.0f, dcols.data(), oh * ow);
     col2im(geometry_, dcols, dx.data() + b * image_size);
   }
   return dx;

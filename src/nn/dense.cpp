@@ -1,6 +1,7 @@
 #include "src/nn/dense.hpp"
 
 #include "src/nn/init.hpp"
+#include "src/tensor/gemm.hpp"
 #include "src/tensor/ops.hpp"
 #include "src/utils/error.hpp"
 
@@ -39,10 +40,10 @@ Tensor Dense::backward(const Tensor& grad_output) {
                      grad_output.shape()[1] == out_,
                  "Dense::backward: grad_output shape mismatch");
 
-  // dW += dY^T X  (out×B · B×in), accumulated into the grad buffer.
-  Tensor dw(Shape::of(out_, in_));
-  ops::matmul_transposed_a(grad_output, cached_input_, dw);
-  ops::add_inplace(weight_grad_, dw);
+  // dW += dY^T X  (out×B · B×in), accumulated straight into the grad
+  // buffer via beta=1 — no temporary and no second pass.
+  ops::gemm(ops::Trans::kYes, ops::Trans::kNo, grad_output, cached_input_,
+            weight_grad_, /*beta=*/1.0f);
 
   // db += column sums of dY.
   for (std::size_t b = 0; b < batch; ++b) {

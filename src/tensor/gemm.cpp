@@ -1,0 +1,211 @@
+#include "src/tensor/gemm.hpp"
+
+#include <algorithm>
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::ops {
+
+namespace {
+
+constexpr std::size_t kMr = kGemmMr;
+constexpr std::size_t kNr = kGemmNr;
+
+// B-panel scratch, reused across calls on the same thread. Clients train
+// concurrently on the shared pool, so this must be thread_local rather
+// than a single static buffer.
+std::vector<float>& b_panel_scratch() {
+  thread_local std::vector<float> panel;
+  return panel;
+}
+
+/// Pack NR columns [j0, j0+nr) of op(B) into `panel` (k × kNr, k-major,
+/// zero padded on the right when nr < kNr).
+void pack_b_panel(Trans tb, std::size_t k, std::size_t n, const float* b,
+                  std::size_t ldb, std::size_t j0, float* panel) {
+  const std::size_t nr = std::min(kNr, n - j0);
+  if (tb == Trans::kNo) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* src = b + kk * ldb + j0;
+      float* dst = panel + kk * kNr;
+      for (std::size_t c = 0; c < nr; ++c) dst[c] = src[c];
+      for (std::size_t c = nr; c < kNr; ++c) dst[c] = 0.0f;
+    }
+  } else {
+    // op(B)(kk, j) = B(j, kk): columns of op(B) are rows of B.
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      float* dst = panel + kk * kNr;
+      for (std::size_t c = 0; c < nr; ++c) dst[c] = b[(j0 + c) * ldb + kk];
+      for (std::size_t c = nr; c < kNr; ++c) dst[c] = 0.0f;
+    }
+  }
+}
+
+/// The register-tiled inner kernel: C[i0:i0+mr, j0:j0+nr] gets the
+/// length-k contraction of one packed A panel with one packed B panel.
+/// The k-loop is branch-free and touches only the two panels; the MR×NR
+/// accumulator block stays in registers.
+///
+/// The hot path spells the tile out with GNU vector extensions (one
+/// kNr-wide vector per accumulator row, scalar-broadcast FMA against the
+/// B vector) because the autovectorizer picks the 4-wide row axis for
+/// the equivalent scalar loop nest. GCC lowers the 64-byte vector to
+/// whatever the target has (2×AVX2 or 1×AVX-512 op per row).
+#if defined(__GNUC__) || defined(__clang__)
+#define FEDCAV_GEMM_VECTOR_KERNEL 1
+using VecNr = float __attribute__((vector_size(kNr * sizeof(float))));
+
+VecNr load_vec(const float* p) {
+  VecNr v;
+  __builtin_memcpy(&v, p, sizeof(v));  // unaligned load
+  return v;
+}
+#endif
+
+void micro_kernel(const float* a_panel, const float* b_panel, std::size_t k,
+                  std::size_t mr, std::size_t nr, float beta, float* c,
+                  std::size_t ldc) {
+  static_assert(kMr == 4, "micro_kernel unrolls exactly kMr accumulator rows");
+  float acc[kMr][kNr];
+#ifdef FEDCAV_GEMM_VECTOR_KERNEL
+  VecNr acc0{}, acc1{}, acc2{}, acc3{};
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a_panel + kk * kMr;
+    const VecNr bv = load_vec(b_panel + kk * kNr);
+    acc0 += arow[0] * bv;
+    acc1 += arow[1] * bv;
+    acc2 += arow[2] * bv;
+    acc3 += arow[3] * bv;
+  }
+  __builtin_memcpy(acc[0], &acc0, sizeof(acc0));
+  __builtin_memcpy(acc[1], &acc1, sizeof(acc1));
+  __builtin_memcpy(acc[2], &acc2, sizeof(acc2));
+  __builtin_memcpy(acc[3], &acc3, sizeof(acc3));
+#else
+  for (std::size_t r = 0; r < kMr; ++r) {
+    for (std::size_t col = 0; col < kNr; ++col) acc[r][col] = 0.0f;
+  }
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a_panel + kk * kMr;
+    const float* brow = b_panel + kk * kNr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const float av = arow[r];
+      for (std::size_t col = 0; col < kNr; ++col) acc[r][col] += av * brow[col];
+    }
+  }
+#endif
+  if (mr == kMr && nr == kNr) {
+    if (beta == 0.0f) {
+      for (std::size_t r = 0; r < kMr; ++r) {
+        float* crow = c + r * ldc;
+        for (std::size_t col = 0; col < kNr; ++col) crow[col] = acc[r][col];
+      }
+    } else {
+      for (std::size_t r = 0; r < kMr; ++r) {
+        float* crow = c + r * ldc;
+        for (std::size_t col = 0; col < kNr; ++col) {
+          crow[col] = beta * crow[col] + acc[r][col];
+        }
+      }
+    }
+    return;
+  }
+  // Edge tile: bounds-checked scalar writeback.
+  for (std::size_t r = 0; r < mr; ++r) {
+    float* crow = c + r * ldc;
+    for (std::size_t col = 0; col < nr; ++col) {
+      crow[col] = (beta == 0.0f ? 0.0f : beta * crow[col]) + acc[r][col];
+    }
+  }
+}
+
+}  // namespace
+
+PackedA pack_a(Trans ta, std::size_t m, std::size_t k, const float* a,
+               std::size_t lda) {
+  PackedA packed;
+  packed.m = m;
+  packed.k = k;
+  const std::size_t tiles = (m + kMr - 1) / kMr;
+  packed.data.assign(tiles * k * kMr, 0.0f);
+  for (std::size_t t = 0; t < tiles; ++t) {
+    const std::size_t i0 = t * kMr;
+    const std::size_t mr = std::min(kMr, m - i0);
+    float* panel = packed.data.data() + t * k * kMr;
+    if (ta == Trans::kNo) {
+      for (std::size_t r = 0; r < mr; ++r) {
+        const float* src = a + (i0 + r) * lda;
+        for (std::size_t kk = 0; kk < k; ++kk) panel[kk * kMr + r] = src[kk];
+      }
+    } else {
+      // op(A)(i, kk) = A(kk, i): walk A row-by-row so reads stay
+      // contiguous and the strided writes hit the small packed panel.
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* src = a + kk * lda + i0;
+        float* dst = panel + kk * kMr;
+        for (std::size_t r = 0; r < mr; ++r) dst[r] = src[r];
+      }
+    }
+  }
+  return packed;
+}
+
+void gemm_prepacked(const PackedA& a, Trans tb, std::size_t n, const float* b,
+                    std::size_t ldb, float beta, float* c, std::size_t ldc) {
+  const std::size_t m = a.m;
+  const std::size_t k = a.k;
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    // Degenerate contraction: C = beta·C.
+    for (std::size_t r = 0; r < m; ++r) {
+      float* crow = c + r * ldc;
+      for (std::size_t col = 0; col < n; ++col) {
+        crow[col] = beta == 0.0f ? 0.0f : beta * crow[col];
+      }
+    }
+    return;
+  }
+  std::vector<float>& panel = b_panel_scratch();
+  panel.resize(k * kNr);
+  const std::size_t a_tiles = (m + kMr - 1) / kMr;
+  for (std::size_t j0 = 0; j0 < n; j0 += kNr) {
+    const std::size_t nr = std::min(kNr, n - j0);
+    pack_b_panel(tb, k, n, b, ldb, j0, panel.data());
+    for (std::size_t t = 0; t < a_tiles; ++t) {
+      const std::size_t i0 = t * kMr;
+      const std::size_t mr = std::min(kMr, m - i0);
+      micro_kernel(a.data.data() + t * k * kMr, panel.data(), k, mr, nr, beta,
+                   c + i0 * ldc + j0, ldc);
+    }
+  }
+}
+
+void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
+          const float* a, std::size_t lda, const float* b, std::size_t ldb,
+          float beta, float* c, std::size_t ldc) {
+  if (m == 0 || n == 0) return;
+  const PackedA packed = pack_a(ta, m, k, a, lda);
+  gemm_prepacked(packed, tb, n, b, ldb, beta, c, ldc);
+}
+
+void gemm(Trans ta, Trans tb, const Tensor& a, const Tensor& b, Tensor& c,
+          float beta) {
+  FEDCAV_REQUIRE(a.shape().rank() == 2 && b.shape().rank() == 2 &&
+                     c.shape().rank() == 2,
+                 "gemm: rank-2 tensors required");
+  const std::size_t m = ta == Trans::kNo ? a.shape()[0] : a.shape()[1];
+  const std::size_t k = ta == Trans::kNo ? a.shape()[1] : a.shape()[0];
+  const std::size_t kb = tb == Trans::kNo ? b.shape()[0] : b.shape()[1];
+  const std::size_t n = tb == Trans::kNo ? b.shape()[1] : b.shape()[0];
+  FEDCAV_REQUIRE(kb == k, "gemm: inner dimensions differ (" +
+                              a.shape().to_string() + " vs " +
+                              b.shape().to_string() + ")");
+  FEDCAV_REQUIRE(c.shape()[0] == m && c.shape()[1] == n,
+                 "gemm: output shape mismatch, want (" + std::to_string(m) +
+                     " x " + std::to_string(n) + "), got " +
+                     c.shape().to_string());
+  gemm(ta, tb, m, n, k, a.data(), a.shape()[1], b.data(), b.shape()[1], beta,
+       c.data(), c.shape()[1]);
+}
+
+}  // namespace fedcav::ops

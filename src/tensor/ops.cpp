@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/tensor/gemm.hpp"
 #include "src/utils/error.hpp"
 
 namespace fedcav::ops {
@@ -114,27 +115,8 @@ void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
   FEDCAV_REQUIRE(b.shape()[0] == k, "matmul: inner dimensions differ");
   FEDCAV_REQUIRE(c.shape().rank() == 2 && c.shape()[0] == m && c.shape()[1] == n,
                  "matmul: output shape mismatch");
-  c.fill(0.0f);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // ikj loop order: the inner j-loop streams B and C rows contiguously.
-  constexpr std::size_t kBlock = 64;
-  for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
-    const std::size_t i_end = std::min(m, i0 + kBlock);
-    for (std::size_t kk0 = 0; kk0 < k; kk0 += kBlock) {
-      const std::size_t k_end = std::min(k, kk0 + kBlock);
-      for (std::size_t i = i0; i < i_end; ++i) {
-        for (std::size_t kk = kk0; kk < k_end; ++kk) {
-          const float aik = pa[i * k + kk];
-          if (aik == 0.0f) continue;
-          const float* brow = pb + kk * n;
-          float* crow = pc + i * n;
-          for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-        }
-      }
-    }
-  }
+  gemm(Trans::kNo, Trans::kNo, m, n, k, a.data(), k, b.data(), n, 0.0f,
+       c.data(), n);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -152,20 +134,8 @@ void matmul_transposed_b(const Tensor& a, const Tensor& b, Tensor& c) {
   FEDCAV_REQUIRE(b.shape()[1] == k, "matmul_transposed_b: inner dimensions differ");
   FEDCAV_REQUIRE(c.shape().rank() == 2 && c.shape()[0] == m && c.shape()[1] == n,
                  "matmul_transposed_b: output shape mismatch");
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      double acc = 0.0;
-      const float* arow = pa + i * k;
-      const float* brow = pb + j * k;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        acc += static_cast<double>(arow[kk]) * static_cast<double>(brow[kk]);
-      }
-      pc[i * n + j] = static_cast<float>(acc);
-    }
-  }
+  gemm(Trans::kNo, Trans::kYes, m, n, k, a.data(), k, b.data(), k, 0.0f,
+       c.data(), n);
 }
 
 void matmul_transposed_a(const Tensor& a, const Tensor& b, Tensor& c) {
@@ -177,20 +147,8 @@ void matmul_transposed_a(const Tensor& a, const Tensor& b, Tensor& c) {
   FEDCAV_REQUIRE(b.shape()[0] == k, "matmul_transposed_a: inner dimensions differ");
   FEDCAV_REQUIRE(c.shape().rank() == 2 && c.shape()[0] == m && c.shape()[1] == n,
                  "matmul_transposed_a: output shape mismatch");
-  c.fill(0.0f);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
-    }
-  }
+  gemm(Trans::kYes, Trans::kNo, m, n, k, a.data(), m, b.data(), n, 0.0f,
+       c.data(), n);
 }
 
 Tensor transpose(const Tensor& a) {

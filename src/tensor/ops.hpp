@@ -1,8 +1,9 @@
-// Tensor operations: elementwise kernels, BLAS-lite GEMM, reductions and
-// the numerically-stable softmax family. All kernels are written as
-// straight loops over contiguous memory so the compiler can vectorize;
-// the blocked GEMM is the only cache-tiled kernel (it dominates training
-// time through the Dense and im2col'd Conv2D layers).
+// Tensor operations: elementwise kernels, reductions and the
+// numerically-stable softmax family. Elementwise kernels are straight
+// loops over contiguous memory so the compiler can vectorize; the three
+// matmul* entries (which dominate training time through the Dense and
+// im2col'd Conv2D layers) are thin shims over the packed register-tiled
+// kernel in src/tensor/gemm.hpp and share its fp32 accumulation policy.
 #pragma once
 
 #include <cstddef>
@@ -33,6 +34,10 @@ float l2_norm(std::span<const float> a);
 float l2_distance(std::span<const float> a, std::span<const float> b);
 
 // ---- linear algebra ----
+// All three variants dispatch to ops::gemm (src/tensor/gemm.hpp) and
+// accumulate in float32, in k-order; see that header for the error
+// bound. (Historically matmul_transposed_b accumulated in double, so
+// its results differed in precision from the other two.)
 /// C = A(m×k) * B(k×n). C must be preallocated m×n; it is overwritten.
 void matmul(const Tensor& a, const Tensor& b, Tensor& c);
 Tensor matmul(const Tensor& a, const Tensor& b);

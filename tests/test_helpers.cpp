@@ -66,6 +66,25 @@ double gradient_check_layer(nn::Layer& layer, const Tensor& input, double eps) {
   return max_err;
 }
 
+Tensor naive_matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  const std::size_t m = trans_a ? a.shape()[1] : a.shape()[0];
+  const std::size_t k = trans_a ? a.shape()[0] : a.shape()[1];
+  const std::size_t n = trans_b ? b.shape()[0] : b.shape()[1];
+  Tensor c(Shape::of(m, n));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = trans_a ? a(kk, i) : a(i, kk);
+        const float bv = trans_b ? b(j, kk) : b(kk, j);
+        acc += static_cast<double>(av) * static_cast<double>(bv);
+      }
+      c(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
 double gradient_check_loss(nn::Loss& loss, const Tensor& logits,
                            const std::vector<std::size_t>& labels, double eps) {
   Tensor mutable_logits = logits;

@@ -39,4 +39,10 @@ double gradient_check_layer(nn::Layer& layer, const Tensor& input, double eps = 
 double gradient_check_loss(nn::Loss& loss, const Tensor& logits,
                            const std::vector<std::size_t>& labels, double eps = 1e-3);
 
+/// Deliberately naive triple-loop matmul oracle: C = op(A)·op(B) with
+/// float64 accumulation. op(A) is m×k, op(B) is k×n. No tiling, no
+/// packing, no reordering — this is the trusted reference the GEMM
+/// kernel cross-checks run against (tests/test_gemm.cpp).
+Tensor naive_matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b);
+
 }  // namespace fedcav::testing

@@ -192,6 +192,41 @@ TEST_F(IntegrationTest, SigmaDegradesFedAvgAccuracy) {
   EXPECT_GT(mild, severe - 0.05);  // allow noise, but severe must not win big
 }
 
+TEST_F(IntegrationTest, RepeatedSeededRunsAreBitIdentical) {
+  // Guards two contracts at once: the threadpool's fixed-slot reduction
+  // (client results are written into pre-sized slots, so aggregation
+  // order is independent of thread scheduling) and the GEMM kernel's
+  // run-to-run determinism. Any nondeterminism in either shows up as a
+  // drifting float somewhere in the round records.
+  SimulationConfig config = base_config();
+  config.strategy = "fedcav";
+  config.server.detection_enabled = true;
+  auto run_once = [&config] {
+    Simulation sim = build_simulation(config);
+    sim.server->run(5);
+    return sim.server->history();
+  };
+  const metrics::TrainingHistory first = run_once();
+  const metrics::TrainingHistory second = run_once();
+  ASSERT_EQ(first.rounds(), second.rounds());
+  for (std::size_t r = 0; r < first.rounds(); ++r) {
+    const metrics::RoundRecord& a = first[r];
+    const metrics::RoundRecord& b = second[r];
+    EXPECT_EQ(a.round, b.round);
+    // Bit-identical floating-point trajectories, not merely "close".
+    EXPECT_EQ(a.test_accuracy, b.test_accuracy) << "round " << r;
+    EXPECT_EQ(a.test_loss, b.test_loss) << "round " << r;
+    EXPECT_EQ(a.mean_inference_loss, b.mean_inference_loss) << "round " << r;
+    EXPECT_EQ(a.max_inference_loss, b.max_inference_loss) << "round " << r;
+    EXPECT_EQ(a.participants, b.participants) << "round " << r;
+    EXPECT_EQ(a.detection_fired, b.detection_fired) << "round " << r;
+    EXPECT_EQ(a.reversed, b.reversed) << "round " << r;
+    EXPECT_EQ(a.attacked, b.attacked) << "round " << r;
+    EXPECT_EQ(a.bytes_up, b.bytes_up) << "round " << r;
+    EXPECT_EQ(a.bytes_down, b.bytes_down) << "round " << r;
+  }
+}
+
 TEST_F(IntegrationTest, HistoryCsvSerializesFullRun) {
   Simulation sim = build_simulation(base_config());
   sim.server->run(3);

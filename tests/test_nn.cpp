@@ -50,6 +50,34 @@ TEST(GradCheck, Conv2DWithPaddingAndStride) {
   EXPECT_LT(gradient_check_layer(layer, input), kGradTolerance);
 }
 
+// Post-kernel-swap guards: shapes chosen to straddle the GEMM register
+// tile (4×16) in every dimension — batch 5 (edge m-tile), out 17 (edge
+// n-panel), in 65 (k just past a vector multiple) — so a packing or
+// edge-tile bug that still produces plausible-looking activations fails
+// the finite-difference check.
+TEST(GradCheck, DenseEdgeTileShapes) {
+  Rng rng(17);
+  Dense layer(65, 17, rng);
+  Tensor input = Tensor::uniform(Shape::of(5, 65), rng, -1.0f, 1.0f);
+  EXPECT_LT(gradient_check_layer(layer, input), kGradTolerance);
+}
+
+TEST(GradCheck, DenseSingleRowAndColumn) {
+  Rng rng(18);
+  Dense layer(130, 3, rng);
+  Tensor input = Tensor::uniform(Shape::of(1, 130), rng, -1.0f, 1.0f);
+  EXPECT_LT(gradient_check_layer(layer, input), kGradTolerance);
+}
+
+TEST(GradCheck, Conv2DEdgeTileChannels) {
+  // col_rows = 3·3·3 = 27 and 5 output channels: both k and m land off
+  // the tile grid; col_cols = 36 crosses two 16-wide B panels.
+  Rng rng(19);
+  Conv2D layer(3, 5, 3, 1, 1, 6, 6, rng);
+  Tensor input = Tensor::uniform(Shape::of(2, 3, 6, 6), rng, -1.0f, 1.0f);
+  EXPECT_LT(gradient_check_layer(layer, input), kGradTolerance);
+}
+
 TEST(GradCheck, ReLU) {
   Rng rng(4);
   ReLU layer;
