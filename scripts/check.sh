@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 gate, run from anywhere: configure + build + ctest, first in the
+# default configuration and then again with FEDCAV_SANITIZE=ON
+# (ASan+UBSan), each in its own build tree so the two configurations
+# never thrash one cache.
+#
+# Usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local build_dir="$1"
+  shift
+  local cmake_flags=("$@")
+  echo "==> configure ${build_dir} ${cmake_flags[*]:-}"
+  cmake -B "${build_dir}" -S "${repo}" "${cmake_flags[@]}" >/dev/null
+  echo "==> build ${build_dir}"
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "==> ctest ${build_dir}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" "${ctest_args[@]}"
+}
+
+ctest_args=("$@")
+
+run_config "${repo}/build"
+run_config "${repo}/build-sanitize" -DFEDCAV_SANITIZE=ON
+
+echo "OK: plain and sanitized tier-1 suites passed"

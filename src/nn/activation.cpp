@@ -6,47 +6,58 @@
 
 namespace fedcav::nn {
 
-Tensor ReLU::forward(const Tensor& input, bool training) {
-  Tensor out = input;
-  if (training) mask_ = Tensor(input.shape());
-  float* po = out.data();
-  float* pm = training ? mask_.data() : nullptr;
-  for (std::size_t i = 0, n = out.numel(); i < n; ++i) {
-    const bool positive = po[i] > 0.0f;
-    if (!positive) po[i] = 0.0f;
-    if (pm != nullptr) pm[i] = positive ? 1.0f : 0.0f;
+const Tensor& ReLU::forward(const Tensor& input, bool training) {
+  Tensor& out = ws_.get(kOut, input.shape());
+  if (training) mask_.resize_uninitialized(input.shape());
+  // restrict: input, output and mask are distinct buffers — the promise
+  // lets the compare/select loops vectorize.
+  const float* __restrict__ pi = input.data();
+  float* __restrict__ po = out.data();
+  const std::size_t n = out.numel();
+  if (training) {
+    float* __restrict__ pm = mask_.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool positive = pi[i] > 0.0f;
+      po[i] = positive ? pi[i] : 0.0f;
+      pm[i] = positive ? 1.0f : 0.0f;
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) po[i] = pi[i] > 0.0f ? pi[i] : 0.0f;
   }
   return out;
 }
 
-Tensor ReLU::backward(const Tensor& grad_output) {
+const Tensor& ReLU::backward(const Tensor& grad_output) {
   FEDCAV_REQUIRE(mask_.same_shape(grad_output), "ReLU::backward: shape mismatch");
-  Tensor dx = grad_output;
-  float* pd = dx.data();
-  const float* pm = mask_.data();
-  for (std::size_t i = 0, n = dx.numel(); i < n; ++i) pd[i] *= pm[i];
+  Tensor& dx = ws_.get(kDx, grad_output.shape());
+  const float* __restrict__ pg = grad_output.data();
+  float* __restrict__ pd = dx.data();
+  const float* __restrict__ pm = mask_.data();
+  for (std::size_t i = 0, n = dx.numel(); i < n; ++i) pd[i] = pg[i] * pm[i];
   return dx;
 }
 
 std::unique_ptr<Layer> ReLU::clone() const { return std::make_unique<ReLU>(); }
 
-Tensor LeakyReLU::forward(const Tensor& input, bool training) {
+const Tensor& LeakyReLU::forward(const Tensor& input, bool training) {
   if (training) cached_input_ = input;
-  Tensor out = input;
+  Tensor& out = ws_.get(kOut, input.shape());
+  const float* pi = input.data();
   float* po = out.data();
   for (std::size_t i = 0, n = out.numel(); i < n; ++i) {
-    if (po[i] < 0.0f) po[i] *= slope_;
+    po[i] = pi[i] < 0.0f ? pi[i] * slope_ : pi[i];
   }
   return out;
 }
 
-Tensor LeakyReLU::backward(const Tensor& grad_output) {
+const Tensor& LeakyReLU::backward(const Tensor& grad_output) {
   FEDCAV_REQUIRE(cached_input_.same_shape(grad_output), "LeakyReLU::backward: shape mismatch");
-  Tensor dx = grad_output;
+  Tensor& dx = ws_.get(kDx, grad_output.shape());
+  const float* pg = grad_output.data();
   float* pd = dx.data();
   const float* pi = cached_input_.data();
   for (std::size_t i = 0, n = dx.numel(); i < n; ++i) {
-    if (pi[i] < 0.0f) pd[i] *= slope_;
+    pd[i] = pi[i] < 0.0f ? pg[i] * slope_ : pg[i];
   }
   return dx;
 }
@@ -55,20 +66,24 @@ std::unique_ptr<Layer> LeakyReLU::clone() const {
   return std::make_unique<LeakyReLU>(slope_);
 }
 
-Tensor Tanh::forward(const Tensor& input, bool training) {
-  Tensor out = input;
+const Tensor& Tanh::forward(const Tensor& input, bool training) {
+  Tensor& out = ws_.get(kOut, input.shape());
+  const float* pi = input.data();
   float* po = out.data();
-  for (std::size_t i = 0, n = out.numel(); i < n; ++i) po[i] = std::tanh(po[i]);
+  for (std::size_t i = 0, n = out.numel(); i < n; ++i) po[i] = std::tanh(pi[i]);
   if (training) cached_output_ = out;
   return out;
 }
 
-Tensor Tanh::backward(const Tensor& grad_output) {
+const Tensor& Tanh::backward(const Tensor& grad_output) {
   FEDCAV_REQUIRE(cached_output_.same_shape(grad_output), "Tanh::backward: shape mismatch");
-  Tensor dx = grad_output;
+  Tensor& dx = ws_.get(kDx, grad_output.shape());
+  const float* pg = grad_output.data();
   float* pd = dx.data();
   const float* py = cached_output_.data();
-  for (std::size_t i = 0, n = dx.numel(); i < n; ++i) pd[i] *= 1.0f - py[i] * py[i];
+  for (std::size_t i = 0, n = dx.numel(); i < n; ++i) {
+    pd[i] = pg[i] * (1.0f - py[i] * py[i]);
+  }
   return dx;
 }
 

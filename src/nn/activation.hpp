@@ -7,38 +7,44 @@ namespace fedcav::nn {
 
 class ReLU : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& input, bool training) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::string name() const override { return "ReLU"; }
   std::unique_ptr<Layer> clone() const override;
 
  private:
+  enum Slot : std::size_t { kOut = 0, kDx };
   Tensor mask_;  // 1 where input > 0
+  Workspace ws_;
 };
 
 class LeakyReLU : public Layer {
  public:
   explicit LeakyReLU(float negative_slope = 0.01f) : slope_(negative_slope) {}
 
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& input, bool training) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::string name() const override { return "LeakyReLU"; }
   std::unique_ptr<Layer> clone() const override;
 
  private:
+  enum Slot : std::size_t { kOut = 0, kDx };
   float slope_;
   Tensor cached_input_;
+  Workspace ws_;
 };
 
 class Tanh : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& input, bool training) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::string name() const override { return "Tanh"; }
   std::unique_ptr<Layer> clone() const override;
 
  private:
+  enum Slot : std::size_t { kOut = 0, kDx };
   Tensor cached_output_;
+  Workspace ws_;
 };
 
 }  // namespace fedcav::nn

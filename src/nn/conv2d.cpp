@@ -1,11 +1,239 @@
 #include "src/nn/conv2d.hpp"
 
+#include <cstring>
+
 #include "src/nn/init.hpp"
-#include "src/tensor/gemm.hpp"
 #include "src/tensor/ops.hpp"
 #include "src/utils/error.hpp"
 
 namespace fedcav::nn {
+
+namespace {
+
+// Layout crossover. A plane narrower than this cannot keep the GEMM's
+// kGemmNr-wide register tile busy per image (a 3×3 plane fills 9 of 16
+// lanes), so such layers fuse the batch into one wide matrix. At or
+// above it the per-image panel is already tile-efficient, and the fused
+// layout's strided columns + re-interleave passes only add cache
+// traffic, so each image keeps a contiguous block.
+constexpr std::size_t kFusedPlaneMax = 2 * ops::kGemmNr;
+
+// A small stride-1 convolution (kernel support C_in·K² ≤ kDirectMaxCr)
+// is overhead-bound under im2col+GEMM: the expansion duplicates the
+// image K²-fold only to be copied through tiny per-row segments, and
+// the GEMM then spends more on packing and edge tiles than on math. The
+// direct path pads the image once (no interval logic, no branches) and
+// runs fixed-length row FMAs straight off the padded planes.
+constexpr std::size_t kDirectMaxCr = 2 * ops::kGemmNr;
+// One output row must fit the 16-lane vector accumulator below.
+constexpr std::size_t kDirectMaxW = 16;
+// The row loads read a full 16-lane vector from arbitrary kw offsets, so
+// padded buffers carry this much zeroed slack past the last plane.
+constexpr std::size_t kDirectSlack = kDirectMaxW;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define FEDCAV_CONV_VECTOR_DIRECT 1
+// Same trick as the GEMM micro-kernel: a 64-byte GNU vector keeps the
+// whole output row in registers across the kernel walk, so each (kh,kw)
+// tap is one unaligned load + one FMA. GCC lowers it to 2×AVX2 or
+// 1×AVX-512 per op.
+using VecW = float __attribute__((vector_size(kDirectMaxW * sizeof(float))));
+
+inline VecW load_vecw(const float* p) {
+  VecW v;
+  __builtin_memcpy(&v, p, sizeof(v));  // unaligned load
+  return v;
+}
+
+inline void store_row(const VecW& acc, float* __restrict__ d, std::size_t ow) {
+  float buf[kDirectMaxW];
+  __builtin_memcpy(buf, &acc, sizeof(acc));
+  for (std::size_t x = 0; x < ow; ++x) d[x] = buf[x];
+}
+#endif
+
+// Copy `planes` (h × w) planes into a zeroed (h+2p × w+2p) buffer each,
+// including kDirectSlack zeroed floats of tail slack (the vector loads
+// overrun rows by up to kDirectMaxW-1 lanes; those lanes are discarded
+// at the store, but must read mapped, finite memory). Open-coded row
+// copies: rows are a handful of floats here.
+void pad_planes(const float* src, std::size_t planes, std::size_t h,
+                std::size_t w, std::size_t pad, float* dst) {
+  const std::size_t pw = w + 2 * pad;
+  const std::size_t ph = h + 2 * pad;
+  std::memset(dst, 0, (planes * ph * pw + kDirectSlack) * sizeof(float));
+  for (std::size_t pl = 0; pl < planes; ++pl) {
+    for (std::size_t y = 0; y < h; ++y) {
+      const float* __restrict__ s = src + (pl * h + y) * w;
+      float* __restrict__ d = dst + pl * ph * pw + (y + pad) * pw + pad;
+      for (std::size_t x = 0; x < w; ++x) d[x] = s[x];
+    }
+  }
+}
+
+// out[c][y][x] = bias[c] + Σ_{ci,kh,kw} W(c, ci·K²+kh·K+kw) ·
+// pin[ci][y+kh][x+kw]. The weight walk matches the im2col row order, so
+// the contraction order is the GEMM's.
+void conv_fwd_padded(const float* pin, std::size_t pplane, std::size_t pw,
+                     const float* w, const float* bias, std::size_t oc,
+                     std::size_t cin, std::size_t k, std::size_t oh,
+                     std::size_t ow, float* out) {
+  for (std::size_t c = 0; c < oc; ++c) {
+    const float* wc = w + c * cin * k * k;
+    const float bc = bias[c];
+    for (std::size_t y = 0; y < oh; ++y) {
+#ifdef FEDCAV_CONV_VECTOR_DIRECT
+      VecW acc;
+      for (std::size_t l = 0; l < kDirectMaxW; ++l) acc[l] = bc;
+      const float* wk = wc;
+      for (std::size_t ci = 0; ci < cin; ++ci) {
+        const float* pch = pin + ci * pplane;
+        for (std::size_t kh = 0; kh < k; ++kh) {
+          const float* prow = pch + (y + kh) * pw;
+          for (std::size_t kw = 0; kw < k; ++kw) {
+            acc += *wk++ * load_vecw(prow + kw);
+          }
+        }
+      }
+      store_row(acc, out + (c * oh + y) * ow, ow);
+#else
+      float acc[kDirectMaxW];
+      for (std::size_t x = 0; x < ow; ++x) acc[x] = bc;
+      const float* wk = wc;
+      for (std::size_t ci = 0; ci < cin; ++ci) {
+        const float* pch = pin + ci * pplane;
+        for (std::size_t kh = 0; kh < k; ++kh) {
+          const float* prow = pch + (y + kh) * pw;
+          for (std::size_t kw = 0; kw < k; ++kw) {
+            const float wv = *wk++;
+            const float* __restrict__ pr = prow + kw;
+            for (std::size_t x = 0; x < ow; ++x) acc[x] += wv * pr[x];
+          }
+        }
+      }
+      float* __restrict__ d = out + (c * oh + y) * ow;
+      for (std::size_t x = 0; x < ow; ++x) d[x] = acc[x];
+#endif
+    }
+  }
+}
+
+// dW(c, ci·K²+kh·K+kw) += Σ_{y,x} g[c][y][x] · pin[ci][y+kh][x+kw],
+// computed as one vector accumulator per weight tap swept down the rows,
+// with a single lane sum at the end. Reads the TRANSPOSE-padded gradient
+// so the lanes past out_w land on padding zeros and contribute nothing;
+// the caller guarantees kDirectMaxW - ow ≤ 2·tpad (or ow == kDirectMaxW)
+// so that zero run is long enough.
+void conv_dw_padded(const float* pin, std::size_t pplane, std::size_t pw,
+                    const float* pg, std::size_t pgplane, std::size_t pgw,
+                    std::size_t tpad, std::size_t oc, std::size_t cin,
+                    std::size_t k, std::size_t oh, std::size_t ow, float* dw) {
+  for (std::size_t c = 0; c < oc; ++c) {
+    const float* gplane = pg + c * pgplane;
+    for (std::size_t ci = 0; ci < cin; ++ci) {
+      const float* pch = pin + ci * pplane;
+      float* dwtap = dw + (c * cin + ci) * k * k;
+      for (std::size_t kh = 0; kh < k; ++kh) {
+        for (std::size_t kw = 0; kw < k; ++kw) {
+#ifdef FEDCAV_CONV_VECTOR_DIRECT
+          VecW acc{};
+          for (std::size_t y = 0; y < oh; ++y) {
+            const float* grow = gplane + (y + tpad) * pgw + tpad;
+            const float* prow = pch + (y + kh) * pw + kw;
+            acc += load_vecw(grow) * load_vecw(prow);
+          }
+          float buf[kDirectMaxW];
+          __builtin_memcpy(buf, &acc, sizeof(acc));
+          float s = 0.0f;
+          for (std::size_t l = 0; l < kDirectMaxW; ++l) s += buf[l];
+#else
+          float s = 0.0f;
+          for (std::size_t y = 0; y < oh; ++y) {
+            const float* __restrict__ grow = gplane + (y + tpad) * pgw + tpad;
+            const float* __restrict__ prow = pch + (y + kh) * pw + kw;
+            for (std::size_t x = 0; x < ow; ++x) s += grow[x] * prow[x];
+          }
+#endif
+          dwtap[kh * k + kw] += s;
+        }
+      }
+    }
+  }
+}
+
+// The transpose: dx[ci][y][x] = Σ_{c,kh,kw} W(c, ci·K²+kh·K+kw) ·
+// g[c][y-kh+p][x-kw+p], evaluated branch-free against the gradient
+// padded by K-1-p (the transpose-convolution padding identity).
+void conv_bwd_dx_padded(const float* pg, std::size_t pgplane, std::size_t pgw,
+                        const float* w, std::size_t oc, std::size_t cin,
+                        std::size_t k, std::size_t h, std::size_t wid,
+                        float* dx) {
+  for (std::size_t ci = 0; ci < cin; ++ci) {
+    for (std::size_t y = 0; y < h; ++y) {
+#ifdef FEDCAV_CONV_VECTOR_DIRECT
+      VecW acc{};
+      for (std::size_t c = 0; c < oc; ++c) {
+        const float* wbase = w + c * cin * k * k + ci * k * k;
+        const float* pch = pg + c * pgplane;
+        for (std::size_t kh = 0; kh < k; ++kh) {
+          const float* prow = pch + (y + kh) * pgw;
+          const float* wrow = wbase + (k - 1 - kh) * k;
+          for (std::size_t kw = 0; kw < k; ++kw) {
+            acc += wrow[k - 1 - kw] * load_vecw(prow + kw);
+          }
+        }
+      }
+      store_row(acc, dx + (ci * h + y) * wid, wid);
+#else
+      float acc[kDirectMaxW];
+      for (std::size_t x = 0; x < wid; ++x) acc[x] = 0.0f;
+      for (std::size_t c = 0; c < oc; ++c) {
+        const float* wbase = w + c * cin * k * k + ci * k * k;
+        const float* pch = pg + c * pgplane;
+        for (std::size_t kh = 0; kh < k; ++kh) {
+          const float* prow = pch + (y + kh) * pgw;
+          const float* wrow = wbase + (k - 1 - kh) * k;
+          for (std::size_t kw = 0; kw < k; ++kw) {
+            const float wv = wrow[k - 1 - kw];
+            const float* __restrict__ pr = prow + kw;
+            for (std::size_t x = 0; x < wid; ++x) acc[x] += wv * pr[x];
+          }
+        }
+      }
+      float* __restrict__ d = dx + (ci * h + y) * wid;
+      for (std::size_t x = 0; x < wid; ++x) d[x] = acc[x];
+#endif
+    }
+  }
+}
+
+// dW += g_b · cols_bᵀ for a tiny (C_out × col_rows) output, where the
+// packed GEMM is all packing and edge writeback. Each entry is a length-
+// plane dot; 16 independent partial sums keep it vectorized without
+// reassociating a single serial reduction (which -O3 alone may not).
+void conv_dw_direct(const float* g, const float* cols, std::size_t oc,
+                    std::size_t cr, std::size_t plane, float* dw) {
+  constexpr std::size_t kLanes = 16;
+  for (std::size_t c = 0; c < oc; ++c) {
+    const float* __restrict__ gc = g + c * plane;
+    for (std::size_t r = 0; r < cr; ++r) {
+      const float* __restrict__ cri = cols + r * plane;
+      float lanes[kLanes] = {0.0f};
+      std::size_t i = 0;
+      for (; i + kLanes <= plane; i += kLanes) {
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          lanes[l] += gc[i + l] * cri[i + l];
+        }
+      }
+      float s = 0.0f;
+      for (; i < plane; ++i) s += gc[i] * cri[i];
+      for (std::size_t l = 0; l < kLanes; ++l) s += lanes[l];
+      dw[c * cr + r] += s;
+    }
+  }
+}
+
+}  // namespace
 
 Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
                std::size_t stride, std::size_t pad, std::size_t in_h, std::size_t in_w,
@@ -21,88 +249,272 @@ Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t ke
   he_normal(weight_, geometry_.col_rows(), rng);
 }
 
-Tensor Conv2D::forward(const Tensor& input, bool training) {
+bool Conv2D::use_direct() const {
+  // in_w bounds the TRANSPOSE convolution's row store (dx rows), out_w
+  // the forward's; both must fit the vector accumulator.
+  return geometry_.stride == 1 && geometry_.kernel_h == geometry_.kernel_w &&
+         geometry_.pad < geometry_.kernel_h &&
+         geometry_.col_rows() <= kDirectMaxCr &&
+         geometry_.out_w() <= kDirectMaxW && geometry_.in_w <= kDirectMaxW;
+}
+
+const Tensor& Conv2D::forward(const Tensor& input, bool training) {
   const auto& s = input.shape();
   FEDCAV_REQUIRE(s.rank() == 4 && s[1] == geometry_.in_channels &&
                      s[2] == geometry_.in_h && s[3] == geometry_.in_w,
                  "Conv2D::forward: input shape mismatch, got " + s.to_string());
   const std::size_t batch = s[0];
+  if (training) {
+    in_shape_ = s;
+    has_cols_ = true;
+  }
+  ops::pack_a_into(ops::Trans::kNo, out_channels_, geometry_.col_rows(),
+                   weight_.data(), geometry_.col_rows(), packed_w_);
+  return geometry_.col_cols() < kFusedPlaneMax
+             ? forward_fused(input, batch)
+             : forward_per_image(input, batch, training);
+}
+
+// Narrow planes: one column matrix for the whole batch, image b owning
+// columns [b·plane, (b+1)·plane). Rows stride by n, so W·cols is ONE
+// GEMM; a re-interleave pass folds the bias while scattering
+// (C_out × batch·plane) back to (batch × C_out × plane).
+const Tensor& Conv2D::forward_fused(const Tensor& input, std::size_t batch) {
   const std::size_t oh = geometry_.out_h();
   const std::size_t ow = geometry_.out_w();
+  const std::size_t plane = oh * ow;
+  const std::size_t n = batch * plane;
   const std::size_t image_size = geometry_.in_channels * geometry_.in_h * geometry_.in_w;
 
-  if (training) {
-    cached_input_ = input;
-    cached_cols_.assign(batch, Tensor());
+  Tensor& cols = ws_.get(kCols, Shape::of(geometry_.col_rows(), n));
+  for (std::size_t b = 0; b < batch; ++b) {
+    im2col(geometry_, input.data() + b * image_size, cols.data() + b * plane, n);
   }
 
-  Tensor out(Shape::of(batch, out_channels_, oh, ow));
-  Tensor cols(Shape::of(geometry_.col_rows(), geometry_.col_cols()));
-  Tensor result(Shape::of(out_channels_, oh * ow));
-  // The weight matrix is invariant across the batch, so pack its GEMM
-  // panels once and reuse them for every image's im2col product.
-  const ops::PackedA packed_w = ops::pack_a(
-      ops::Trans::kNo, out_channels_, geometry_.col_rows(), weight_.data(),
-      geometry_.col_rows());
+  Tensor& gemm_out = ws_.get(kGemmOut, Shape::of(out_channels_, n));
+  ops::gemm_prepacked(packed_w_, ops::Trans::kNo, n, cols.data(), n,
+                      /*beta=*/0.0f, gemm_out.data(), n);
+
+  Tensor& out = ws_.get(kOut, Shape::of(batch, out_channels_, oh, ow));
   for (std::size_t b = 0; b < batch; ++b) {
-    im2col(geometry_, input.data() + b * image_size, cols);
-    if (training) cached_cols_[b] = cols;
-    ops::gemm_prepacked(packed_w, ops::Trans::kNo, geometry_.col_cols(),
-                        cols.data(), geometry_.col_cols(), /*beta=*/0.0f,
-                        result.data(), geometry_.col_cols());
-    float* dst = out.data() + b * out_channels_ * oh * ow;
+    float* dst_img = out.data() + b * out_channels_ * plane;
     for (std::size_t c = 0; c < out_channels_; ++c) {
       const float bc = bias_(c);
-      const float* src = result.data() + c * oh * ow;
-      float* d = dst + c * oh * ow;
-      for (std::size_t i = 0; i < oh * ow; ++i) d[i] = src[i] + bc;
+      const float* src = gemm_out.data() + c * n + b * plane;
+      float* d = dst_img + c * plane;
+      for (std::size_t i = 0; i < plane; ++i) d[i] = src[i] + bc;
     }
   }
   return out;
 }
 
-Tensor Conv2D::backward(const Tensor& grad_output) {
-  FEDCAV_REQUIRE(cached_input_.numel() > 0, "Conv2D::backward before forward(training=true)");
-  const std::size_t batch = cached_input_.shape()[0];
+// Wide planes: one (col_rows × plane) column scratch, reused image by
+// image so it stays L1-resident instead of streaming a batch-wide
+// expansion through L2; each image's GEMM writes straight into the
+// output tensor (ldc = plane) — no wide intermediate, no re-interleave.
+// The bias is added per image while its output block is still cache-hot.
+// Training caches the INPUT (k² smaller than its expansion) and backward
+// re-lowers each image, which the interval-based im2col makes cheaper
+// than re-reading a cold column matrix.
+const Tensor& Conv2D::forward_per_image(const Tensor& input, std::size_t batch,
+                                        bool training) {
+  const std::size_t oh = geometry_.out_h();
+  const std::size_t ow = geometry_.out_w();
+  const std::size_t plane = oh * ow;
+  const std::size_t cr = geometry_.col_rows();
+  const std::size_t image_size = geometry_.in_channels * geometry_.in_h * geometry_.in_w;
+
+  if (training) cached_in_ = input;  // capacity-reusing copy
+  Tensor& out = ws_.get(kOut, Shape::of(batch, out_channels_, oh, ow));
+  if (use_direct()) {
+    const std::size_t k = geometry_.kernel_h;
+    const std::size_t pad = geometry_.pad;
+    const std::size_t pw = geometry_.in_w + 2 * pad;
+    const std::size_t pplane = (geometry_.in_h + 2 * pad) * pw;
+    Tensor& pin =
+        ws_.get(kPadIn, Shape::of(geometry_.in_channels * pplane + kDirectSlack));
+    for (std::size_t b = 0; b < batch; ++b) {
+      // Copied even for pad == 0: the vector row loads overrun into the
+      // buffer's zeroed slack, which the raw input tensor doesn't have.
+      pad_planes(input.data() + b * image_size, geometry_.in_channels,
+                 geometry_.in_h, geometry_.in_w, pad, pin.data());
+      conv_fwd_padded(pin.data(), pplane, pw, weight_.data(), bias_.data(),
+                      out_channels_, geometry_.in_channels, k, oh, ow,
+                      out.data() + b * out_channels_ * plane);
+    }
+    return out;
+  }
+  Tensor& cols = ws_.get(kCols, Shape::of(cr, plane));
+  for (std::size_t b = 0; b < batch; ++b) {
+    im2col(geometry_, input.data() + b * image_size, cols.data(), plane);
+    float* ob = out.data() + b * out_channels_ * plane;
+    ops::gemm_prepacked(packed_w_, ops::Trans::kNo, plane, cols.data(), plane,
+                        /*beta=*/0.0f, ob, plane);
+    for (std::size_t c = 0; c < out_channels_; ++c) {
+      const float bc = bias_(c);
+      float* d = ob + c * plane;
+      for (std::size_t i = 0; i < plane; ++i) d[i] += bc;
+    }
+  }
+  return out;
+}
+
+const Tensor& Conv2D::backward(const Tensor& grad_output) {
+  FEDCAV_REQUIRE(has_cols_, "Conv2D::backward before forward(training=true)");
+  const std::size_t batch = in_shape_[0];
   const std::size_t oh = geometry_.out_h();
   const std::size_t ow = geometry_.out_w();
   FEDCAV_REQUIRE(grad_output.shape().rank() == 4 && grad_output.shape()[0] == batch &&
                      grad_output.shape()[1] == out_channels_ &&
                      grad_output.shape()[2] == oh && grad_output.shape()[3] == ow,
                  "Conv2D::backward: grad_output shape mismatch");
+  ops::pack_a_into(ops::Trans::kYes, geometry_.col_rows(), out_channels_,
+                   weight_.data(), geometry_.col_rows(), packed_wt_);
+  return geometry_.col_cols() < kFusedPlaneMax
+             ? backward_fused(grad_output, batch)
+             : backward_per_image(grad_output, batch);
+}
 
+const Tensor& Conv2D::backward_fused(const Tensor& grad_output, std::size_t batch) {
+  const std::size_t plane = geometry_.col_cols();
+  const std::size_t n = batch * plane;
   const std::size_t image_size = geometry_.in_channels * geometry_.in_h * geometry_.in_w;
-  Tensor dx(cached_input_.shape());
-  Tensor dcols(Shape::of(geometry_.col_rows(), geometry_.col_cols()));
-  // W^T is the A operand of every per-image dcols GEMM; pack it once for
-  // the whole batch.
-  const ops::PackedA packed_wt = ops::pack_a(
-      ops::Trans::kYes, geometry_.col_rows(), out_channels_, weight_.data(),
-      geometry_.col_rows());
+  const Tensor& cols = ws_.at(kCols);  // the training forward's expansion
+  FEDCAV_REQUIRE(cols.shape() == Shape::of(geometry_.col_rows(), n),
+                 "Conv2D::backward: stale column matrix (intervening forward?)");
 
-  for (std::size_t b = 0; b < batch; ++b) {
-    // View this image's output gradient as (C_out × OH*OW).
-    const float* gptr = grad_output.data() + b * out_channels_ * oh * ow;
-    Tensor gmat(Shape::of(out_channels_, oh * ow),
-                std::vector<float>(gptr, gptr + out_channels_ * oh * ow));
-
-    // db += row sums of gmat.
-    for (std::size_t c = 0; c < out_channels_; ++c) {
-      double acc = 0.0;
-      const float* row = gmat.data() + c * oh * ow;
-      for (std::size_t i = 0; i < oh * ow; ++i) acc += static_cast<double>(row[i]);
-      bias_grad_(c) += static_cast<float>(acc);
+  // View the batch's output gradient as one (C_out × batch·plane) matrix
+  // matching the column layout — a strided re-interleave, not a per-image
+  // heap copy — and fold the bias row-sums into the same pass.
+  Tensor& g = ws_.get(kGmat, Shape::of(out_channels_, n));
+  for (std::size_t c = 0; c < out_channels_; ++c) {
+    float* grow = g.data() + c * n;
+    double acc = 0.0;
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float* src = grad_output.data() + (b * out_channels_ + c) * plane;
+      float* dst = grow + b * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        dst[i] = src[i];
+        acc += static_cast<double>(src[i]);
+      }
     }
+    bias_grad_(c) += static_cast<float>(acc);
+  }
 
-    // dW += gmat · cols^T  ((C_out × OHOW) · (OHOW × col_rows)),
-    // accumulated straight into the grad buffer via beta=1.
-    ops::gemm(ops::Trans::kNo, ops::Trans::kYes, gmat, cached_cols_[b],
-              weight_grad_, /*beta=*/1.0f);
+  // dW += G · colsᵀ  ((C_out × batch·plane) · (batch·plane × col_rows)):
+  // one whole-batch GEMM accumulated straight into the grad buffer.
+  ops::gemm(ops::Trans::kNo, ops::Trans::kYes, out_channels_, geometry_.col_rows(), n,
+            g.data(), n, cols.data(), n, /*beta=*/1.0f, weight_grad_.data(),
+            geometry_.col_rows());
 
-    // dcols = W^T · gmat  ((col_rows × C_out) · (C_out × OHOW)).
-    ops::gemm_prepacked(packed_wt, ops::Trans::kNo, oh * ow, gmat.data(),
-                        oh * ow, /*beta=*/0.0f, dcols.data(), oh * ow);
-    col2im(geometry_, dcols, dx.data() + b * image_size);
+  // dcols = Wᵀ · G  ((col_rows × C_out) · (C_out × batch·plane)).
+  Tensor& dcols = ws_.get(kDcols, Shape::of(geometry_.col_rows(), n));
+  ops::gemm_prepacked(packed_wt_, ops::Trans::kNo, n, g.data(), n,
+                      /*beta=*/0.0f, dcols.data(), n);
+
+  Tensor& dx = ws_.zeroed(kDx, in_shape_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    col2im(geometry_, dcols.data() + b * plane, n, dx.data() + b * image_size);
+  }
+  return dx;
+}
+
+// Wide planes: the incoming gradient already IS per-image (C_out × plane)
+// matrices — no re-interleave, no copy. Each image's columns are
+// re-lowered from the cached input into a single scratch (cheaper than
+// streaming a batch-wide expansion back through L2), contributing one
+// accumulated dW panel (beta = 1) and one dcols panel scattered back
+// while still cache-hot.
+const Tensor& Conv2D::backward_per_image(const Tensor& grad_output, std::size_t batch) {
+  const std::size_t plane = geometry_.col_cols();
+  const std::size_t cr = geometry_.col_rows();
+  const std::size_t oh = geometry_.out_h();
+  const std::size_t ow = geometry_.out_w();
+  const std::size_t image_size = geometry_.in_channels * geometry_.in_h * geometry_.in_w;
+  FEDCAV_REQUIRE(cached_in_.shape() == in_shape_,
+                 "Conv2D::backward: stale cached input (intervening forward?)");
+
+  for (std::size_t c = 0; c < out_channels_; ++c) {
+    double acc = 0.0;
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float* src = grad_output.data() + (b * out_channels_ + c) * plane;
+      for (std::size_t i = 0; i < plane; ++i) acc += static_cast<double>(src[i]);
+    }
+    bias_grad_(c) += static_cast<float>(acc);
+  }
+
+  const bool direct = use_direct();
+  const std::size_t k = geometry_.kernel_h;
+  const std::size_t tpad = k - 1 - geometry_.pad;  // transpose-conv padding
+  const std::size_t pgw = ow + 2 * tpad;
+  const std::size_t pgplane = (oh + 2 * tpad) * pgw;
+  if (direct) {
+    // Direct path: dx is the transpose convolution of the padded
+    // gradient, and dW the padded correlation of gradient × input — no
+    // dcols intermediate, no col2im scatter, and (when the gradient's
+    // zero run covers the vector overrun) no im2col either. Every dx
+    // element is overwritten by the row stores, so no zero pass.
+    const std::size_t pad = geometry_.pad;
+    const std::size_t pw = geometry_.in_w + 2 * pad;
+    const std::size_t pplane = (geometry_.in_h + 2 * pad) * pw;
+    // conv_dw_padded needs the lanes past out_w of every gradient row to
+    // read zeros: tpad right-pad zeros then the next row's tpad left-pad
+    // zeros, 2·tpad in all (an exact-width row never overruns).
+    const bool padded_dw =
+        ow == kDirectMaxW || kDirectMaxW - ow <= 2 * tpad;
+    Tensor& dx = ws_.get(kDx, in_shape_);
+    Tensor& pg =
+        ws_.get(kPadG, Shape::of(out_channels_ * pgplane + kDirectSlack));
+    Tensor& pin = ws_.get(
+        kPadIn, Shape::of(geometry_.in_channels * pplane + kDirectSlack));
+    Tensor* cols = padded_dw ? nullptr : &ws_.get(kCols, Shape::of(cr, plane));
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float* gb = grad_output.data() + b * out_channels_ * plane;
+      pad_planes(gb, out_channels_, oh, ow, tpad, pg.data());
+      if (padded_dw) {
+        pad_planes(cached_in_.data() + b * image_size, geometry_.in_channels,
+                   geometry_.in_h, geometry_.in_w, pad, pin.data());
+        conv_dw_padded(pin.data(), pplane, pw, pg.data(), pgplane, pgw, tpad,
+                       out_channels_, geometry_.in_channels, k, oh, ow,
+                       weight_grad_.data());
+      } else {
+        im2col(geometry_, cached_in_.data() + b * image_size, cols->data(),
+               plane);
+        conv_dw_direct(gb, cols->data(), out_channels_, cr, plane,
+                       weight_grad_.data());
+      }
+      conv_bwd_dx_padded(pg.data(), pgplane, pgw, weight_.data(),
+                         out_channels_, geometry_.in_channels, k,
+                         geometry_.in_h, geometry_.in_w,
+                         dx.data() + b * image_size);
+    }
+    return dx;
+  }
+
+  // dW is a tiny (C_out × col_rows) panel for the layers this path
+  // serves; length-plane dots beat a packed GEMM that is all packing and
+  // edge writeback at that size.
+  const bool direct_dw = out_channels_ * cr <= 256;
+  Tensor& cols = ws_.get(kCols, Shape::of(cr, plane));
+  Tensor& dx = ws_.zeroed(kDx, in_shape_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* gb = grad_output.data() + b * out_channels_ * plane;
+    im2col(geometry_, cached_in_.data() + b * image_size, cols.data(), plane);
+    // dW += g_b · cols_bᵀ.
+    if (direct_dw) {
+      conv_dw_direct(gb, cols.data(), out_channels_, cr, plane,
+                     weight_grad_.data());
+    } else {
+      ops::pack_a_into(ops::Trans::kNo, out_channels_, plane, gb, plane,
+                       packed_g_);
+      ops::gemm_prepacked(packed_g_, ops::Trans::kYes, cr, cols.data(), plane,
+                          /*beta=*/1.0f, weight_grad_.data(), cr);
+    }
+    // dcols_b = Wᵀ · g_b, then scatter-add into the image gradient.
+    Tensor& dcols = ws_.get(kDcols, Shape::of(cr, plane));
+    ops::gemm_prepacked(packed_wt_, ops::Trans::kNo, plane, gb, plane,
+                        /*beta=*/0.0f, dcols.data(), plane);
+    col2im(geometry_, dcols.data(), plane, dx.data() + b * image_size);
   }
   return dx;
 }
@@ -122,8 +534,9 @@ std::unique_ptr<Layer> Conv2D::clone() const {
   auto copy = std::unique_ptr<Conv2D>(new Conv2D(*this));
   copy->weight_grad_.fill(0.0f);
   copy->bias_grad_.fill(0.0f);
-  copy->cached_input_ = Tensor();
-  copy->cached_cols_.clear();
+  copy->in_shape_ = Shape();
+  copy->has_cols_ = false;
+  copy->cached_in_ = Tensor();
   return copy;
 }
 

@@ -1,11 +1,20 @@
-// 2-D convolution lowered to GEMM via im2col.
+// 2-D convolution, three execution paths by geometry (DESIGN.md §8).
 //
 // Input: (batch × C_in × H × W); output: (batch × C_out × OH × OW).
-// Weights are stored as a (C_out × C_in*KH*KW) matrix so forward is a
-// single matmul per image against the column expansion.
+// Weights are stored as a (C_out × C_in*KH*KW) matrix. When one image's
+// output plane (OH·OW) is too narrow to fill the GEMM's register tile,
+// the whole batch is expanded into ONE (C_in*KH*KW × batch·OH·OW) column
+// matrix so forward is a single wide GEMM. Wide planes run per image:
+// small stride-1 kernels (support ≤ 32, rows ≤ 16 floats) skip im2col
+// entirely and convolve directly over a padded plane copy with a
+// 16-lane vector row accumulator (backward = transpose convolution);
+// the rest lower each image into one reused L1-resident column scratch
+// and GEMM straight into the output tensor. All temporaries live in a
+// persistent Workspace, so steady-state training allocates nothing.
 #pragma once
 
 #include "src/nn/layer.hpp"
+#include "src/tensor/gemm.hpp"
 #include "src/tensor/im2col.hpp"
 #include "src/utils/rng.hpp"
 
@@ -17,8 +26,8 @@ class Conv2D : public Layer {
          std::size_t stride, std::size_t pad, std::size_t in_h, std::size_t in_w,
          Rng& rng);
 
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& input, bool training) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::vector<ParamView> params() override;
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override;
@@ -30,14 +39,43 @@ class Conv2D : public Layer {
  private:
   Conv2D(const Conv2D&) = default;
 
+  // Small stride-1 kernels skip the im2col lowering entirely on the
+  // per-image path: forward and dx run as direct (transpose)
+  // convolutions over a padded plane copy. See conv2d.cpp.
+  bool use_direct() const;
+
+  const Tensor& forward_fused(const Tensor& input, std::size_t batch);
+  const Tensor& forward_per_image(const Tensor& input, std::size_t batch, bool training);
+  const Tensor& backward_fused(const Tensor& grad_output, std::size_t batch);
+  const Tensor& backward_per_image(const Tensor& grad_output, std::size_t batch);
+
+  // Workspace slots (see DESIGN.md §8). On the fused (narrow-plane) path
+  // kCols holds the batch-wide expansion and survives from forward to
+  // backward — it replaces the per-image cached_cols_ copies the
+  // pre-batched implementation made; kGemmOut/kGmat are fused-only. On
+  // the per-image (wide-plane) path kCols/kDcols are single-image
+  // scratches and training caches the raw input (cached_in_) instead —
+  // it is kernel² smaller than its expansion, and backward re-lowers
+  // each image on the fly.
+  enum Slot : std::size_t {
+    kCols = 0, kGemmOut, kOut, kGmat, kDcols, kDx,
+    kPadIn,  // direct path: zero-padded input planes for one image
+    kPadG,   // direct path: transpose-padded gradient planes for one image
+  };
+
   Conv2dGeometry geometry_;
   std::size_t out_channels_;
   Tensor weight_;       // (C_out × C_in*KH*KW)
   Tensor bias_;         // (C_out)
   Tensor weight_grad_;
   Tensor bias_grad_;
-  Tensor cached_input_;           // (B × C_in × H × W)
-  std::vector<Tensor> cached_cols_;  // per-image column matrices
+  Shape in_shape_;      // of the last training forward's input
+  bool has_cols_ = false;  // the last training forward's lowering state is live
+  Tensor cached_in_;    // per-image path: input copy for backward re-lowering
+  Workspace ws_;
+  ops::PackedA packed_w_;   // scratch for the forward weight packing
+  ops::PackedA packed_wt_;  // scratch for the backward Wᵀ packing
+  ops::PackedA packed_g_;   // scratch for the per-image dW grad packing
 };
 
 }  // namespace fedcav::nn

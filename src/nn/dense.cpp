@@ -18,13 +18,13 @@ Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
   he_normal(weight_, in_features, rng);
 }
 
-Tensor Dense::forward(const Tensor& input, bool training) {
+const Tensor& Dense::forward(const Tensor& input, bool training) {
   FEDCAV_REQUIRE(input.shape().rank() == 2 && input.shape()[1] == in_,
                  "Dense::forward: expected (batch × " + std::to_string(in_) +
                      "), got " + input.shape().to_string());
-  if (training) cached_input_ = input;
+  if (training) cached_input_ = input;  // capacity-reusing copy
   const std::size_t batch = input.shape()[0];
-  Tensor out(Shape::of(batch, out_));
+  Tensor& out = ws_.get(kOut, Shape::of(batch, out_));
   ops::matmul_transposed_b(input, weight_, out);  // (B×in)·(out×in)^T
   for (std::size_t b = 0; b < batch; ++b) {
     float* row = out.data() + b * out_;
@@ -33,7 +33,7 @@ Tensor Dense::forward(const Tensor& input, bool training) {
   return out;
 }
 
-Tensor Dense::backward(const Tensor& grad_output) {
+const Tensor& Dense::backward(const Tensor& grad_output) {
   FEDCAV_REQUIRE(cached_input_.numel() > 0, "Dense::backward before forward(training=true)");
   const std::size_t batch = cached_input_.shape()[0];
   FEDCAV_REQUIRE(grad_output.shape().rank() == 2 && grad_output.shape()[0] == batch &&
@@ -41,9 +41,10 @@ Tensor Dense::backward(const Tensor& grad_output) {
                  "Dense::backward: grad_output shape mismatch");
 
   // dW += dY^T X  (out×B · B×in), accumulated straight into the grad
-  // buffer via beta=1 — no temporary and no second pass.
-  ops::gemm(ops::Trans::kYes, ops::Trans::kNo, grad_output, cached_input_,
-            weight_grad_, /*beta=*/1.0f);
+  // buffer via beta=1 over the raw views — no temporary and no second pass.
+  ops::gemm(ops::Trans::kYes, ops::Trans::kNo, out_, in_, batch,
+            grad_output.data(), out_, cached_input_.data(), in_,
+            /*beta=*/1.0f, weight_grad_.data(), in_);
 
   // db += column sums of dY.
   for (std::size_t b = 0; b < batch; ++b) {
@@ -52,7 +53,7 @@ Tensor Dense::backward(const Tensor& grad_output) {
   }
 
   // dX = dY W  (B×out · out×in).
-  Tensor dx(Shape::of(batch, in_));
+  Tensor& dx = ws_.get(kDx, Shape::of(batch, in_));
   ops::matmul(grad_output, weight_, dx);
   return dx;
 }

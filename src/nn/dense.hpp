@@ -11,8 +11,8 @@ class Dense : public Layer {
   /// Weights W are (out × in), He-initialized; bias b is zero-initialized.
   Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
 
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& input, bool training) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::vector<ParamView> params() override;
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override;
@@ -23,6 +23,8 @@ class Dense : public Layer {
  private:
   Dense(const Dense&) = default;
 
+  enum Slot : std::size_t { kOut = 0, kDx };
+
   std::size_t in_;
   std::size_t out_;
   Tensor weight_;       // (out × in)
@@ -30,6 +32,7 @@ class Dense : public Layer {
   Tensor weight_grad_;  // (out × in)
   Tensor bias_grad_;    // (out)
   Tensor cached_input_;
+  Workspace ws_;
 };
 
 }  // namespace fedcav::nn

@@ -10,33 +10,36 @@ Dropout::Dropout(float drop_probability, std::uint64_t seed)
                  "Dropout: probability must be in [0, 1)");
 }
 
-Tensor Dropout::forward(const Tensor& input, bool training) {
+const Tensor& Dropout::forward(const Tensor& input, bool training) {
   if (!training || p_ == 0.0f) {
-    mask_ = Tensor();
-    return input;
+    active_ = false;
+    return input;  // identity: pass the caller's buffer straight through
   }
   // Inverted dropout: surviving activations scaled by 1/(1-p) so
   // inference needs no rescaling.
   const float scale = 1.0f / (1.0f - p_);
-  mask_ = Tensor(input.shape());
-  Tensor out = input;
+  mask_.resize_uninitialized(input.shape());
+  active_ = true;
+  Tensor& out = ws_.get(kOut, input.shape());
+  const float* pi = input.data();
   float* pm = mask_.data();
   float* po = out.data();
   for (std::size_t i = 0, n = out.numel(); i < n; ++i) {
     const bool keep = !rng_.bernoulli(static_cast<double>(p_));
     pm[i] = keep ? scale : 0.0f;
-    po[i] *= pm[i];
+    po[i] = pi[i] * pm[i];
   }
   return out;
 }
 
-Tensor Dropout::backward(const Tensor& grad_output) {
-  if (mask_.empty()) return grad_output;  // eval-mode or p == 0 forward
+const Tensor& Dropout::backward(const Tensor& grad_output) {
+  if (!active_) return grad_output;  // eval-mode or p == 0 forward
   FEDCAV_REQUIRE(mask_.same_shape(grad_output), "Dropout::backward: shape mismatch");
-  Tensor dx = grad_output;
+  Tensor& dx = ws_.get(kDx, grad_output.shape());
+  const float* pg = grad_output.data();
   float* pd = dx.data();
   const float* pm = mask_.data();
-  for (std::size_t i = 0, n = dx.numel(); i < n; ++i) pd[i] *= pm[i];
+  for (std::size_t i = 0, n = dx.numel(); i < n; ++i) pd[i] = pg[i] * pm[i];
   return dx;
 }
 

@@ -12,18 +12,21 @@ class Dropout : public Layer {
  public:
   explicit Dropout(float drop_probability, std::uint64_t seed = 0x0d20ff);
 
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& input, bool training) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override;
 
   float drop_probability() const { return p_; }
 
  private:
+  enum Slot : std::size_t { kOut = 0, kDx };
   float p_;
   std::uint64_t seed_;
   Rng rng_;
-  Tensor mask_;  // scaled keep mask cached for backward
+  Tensor mask_;         // scaled keep mask cached for backward
+  bool active_ = false; // last forward was a dropping (training) pass
+  Workspace ws_;
 };
 
 }  // namespace fedcav::nn

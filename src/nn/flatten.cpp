@@ -1,21 +1,27 @@
 #include "src/nn/flatten.hpp"
 
+#include <cstring>
+
 #include "src/utils/error.hpp"
 
 namespace fedcav::nn {
 
-Tensor Flatten::forward(const Tensor& input, bool training) {
+const Tensor& Flatten::forward(const Tensor& input, bool training) {
   (void)training;
   const Shape& s = input.shape();
   FEDCAV_REQUIRE(s.rank() >= 2, "Flatten: rank >= 2 input required");
   input_shape_ = s;
   const std::size_t batch = s[0];
-  return input.reshaped(Shape::of(batch, input.numel() / batch));
+  Tensor& out = ws_.get(kOut, Shape::of(batch, input.numel() / batch));
+  std::memcpy(out.data(), input.data(), input.numel() * sizeof(float));
+  return out;
 }
 
-Tensor Flatten::backward(const Tensor& grad_output) {
+const Tensor& Flatten::backward(const Tensor& grad_output) {
   FEDCAV_REQUIRE(input_shape_.rank() >= 2, "Flatten::backward before forward");
-  return grad_output.reshaped(input_shape_);
+  Tensor& dx = ws_.get(kDx, input_shape_);
+  std::memcpy(dx.data(), grad_output.data(), grad_output.numel() * sizeof(float));
+  return dx;
 }
 
 std::unique_ptr<Layer> Flatten::clone() const { return std::make_unique<Flatten>(); }

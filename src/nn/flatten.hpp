@@ -7,13 +7,15 @@ namespace fedcav::nn {
 
 class Flatten : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& input, bool training) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::string name() const override { return "Flatten"; }
   std::unique_ptr<Layer> clone() const override;
 
  private:
+  enum Slot : std::size_t { kOut = 0, kDx };
   Shape input_shape_;
+  Workspace ws_;
 };
 
 }  // namespace fedcav::nn

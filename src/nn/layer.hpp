@@ -9,6 +9,14 @@
 //  * Dense layers take rank-2 (batch × features).
 //  * Conv/pool layers take rank-4 (batch × channels × height × width).
 //  * Flatten bridges the two.
+//
+// Buffer ownership (DESIGN.md §8): forward() and backward() return a
+// reference to a buffer the layer owns (its Workspace). The reference is
+// valid until the next forward/backward call on the same layer; callers
+// that must retain the values copy (`Tensor out = layer.forward(...)`).
+// This is what makes a steady-state train step allocation-free: the
+// whole forward/backward chain is reference passing between persistent
+// per-layer buffers.
 #pragma once
 
 #include <memory>
@@ -16,6 +24,7 @@
 #include <vector>
 
 #include "src/tensor/tensor.hpp"
+#include "src/tensor/workspace.hpp"
 
 namespace fedcav::nn {
 
@@ -30,12 +39,14 @@ class Layer {
   virtual ~Layer() = default;
 
   /// Compute outputs; `training` toggles train-only behaviour. Caches
-  /// activations for backward().
-  virtual Tensor forward(const Tensor& input, bool training) = 0;
+  /// activations for backward(). The returned reference is owned by the
+  /// layer and valid until its next forward/backward call.
+  virtual const Tensor& forward(const Tensor& input, bool training) = 0;
 
   /// Given dL/d(output), accumulate dL/d(params) into grad buffers and
-  /// return dL/d(input). Must be called after a matching forward().
-  virtual Tensor backward(const Tensor& grad_output) = 0;
+  /// return dL/d(input) (layer-owned, same lifetime rule as forward()).
+  /// Must be called after a matching forward().
+  virtual const Tensor& backward(const Tensor& grad_output) = 0;
 
   /// Trainable parameters (empty for stateless layers). Views remain
   /// valid for the life of the layer.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/tensor/ops.hpp"
 #include "src/utils/error.hpp"
@@ -25,29 +26,56 @@ constexpr float kProbFloor = 1e-12f;
 float SoftmaxCrossEntropy::forward(const Tensor& logits,
                                    const std::vector<std::size_t>& labels) {
   check_batch(logits, labels, "SoftmaxCrossEntropy");
-  probs_ = ops::softmax_rows(logits);
+  logits_ = logits;  // capacity-reusing copy; backward reads it
   labels_ = labels;
   const std::size_t batch = labels.size();
   const std::size_t classes = logits.shape()[1];
+  rowmax_.resize(batch);
+  rowsum_.resize(batch);
   double total = 0.0;
   for (std::size_t b = 0; b < batch; ++b) {
-    const float p = std::max(kProbFloor, probs_.data()[b * classes + labels[b]]);
-    total -= std::log(static_cast<double>(p));
+    const float* row = logits.data() + b * classes;
+    // Online softmax: one traversal keeps a running max m and the sum of
+    // exp(x - m), rescaling the partial sum whenever the max moves.
+    float m = -std::numeric_limits<float>::infinity();
+    float s = 0.0f;
+    for (std::size_t j = 0; j < classes; ++j) {
+      const float x = row[j];
+      if (x > m) {
+        s = s * std::exp(m - x) + 1.0f;  // rescale old partials, count x itself
+        m = x;
+      } else {
+        s += std::exp(x - m);
+      }
+    }
+    rowmax_[b] = m;
+    rowsum_[b] = s;
+    const double py = std::max(
+        static_cast<double>(kProbFloor),
+        std::exp(static_cast<double>(row[labels[b]] - m)) / static_cast<double>(s));
+    total -= std::log(py);
   }
   return static_cast<float>(total / static_cast<double>(batch));
 }
 
-Tensor SoftmaxCrossEntropy::backward() {
-  FEDCAV_REQUIRE(probs_.numel() > 0, "SoftmaxCrossEntropy::backward before forward");
-  Tensor grad = probs_;
+const Tensor& SoftmaxCrossEntropy::backward() {
+  FEDCAV_REQUIRE(logits_.numel() > 0, "SoftmaxCrossEntropy::backward before forward");
   const std::size_t batch = labels_.size();
-  const std::size_t classes = grad.shape()[1];
+  const std::size_t classes = logits_.shape()[1];
   const float inv_batch = 1.0f / static_cast<float>(batch);
+  grad_.resize_uninitialized(logits_.shape());
   for (std::size_t b = 0; b < batch; ++b) {
-    grad.data()[b * classes + labels_[b]] -= 1.0f;
+    const float* row = logits_.data() + b * classes;
+    float* dst = grad_.data() + b * classes;
+    const float m = rowmax_[b];
+    const float inv_s = 1.0f / rowsum_[b];
+    const std::size_t y = labels_[b];
+    for (std::size_t j = 0; j < classes; ++j) {
+      const float p = std::exp(row[j] - m) * inv_s;
+      dst[j] = (p - (j == y ? 1.0f : 0.0f)) * inv_batch;
+    }
   }
-  ops::scale_inplace(grad, inv_batch);
-  return grad;
+  return grad_;
 }
 
 std::unique_ptr<Loss> SoftmaxCrossEntropy::clone() const {
@@ -60,31 +88,32 @@ FocalLoss::FocalLoss(float gamma) : gamma_(gamma) {
 
 float FocalLoss::forward(const Tensor& logits, const std::vector<std::size_t>& labels) {
   check_batch(logits, labels, "FocalLoss");
-  probs_ = ops::softmax_rows(logits);
+  ops::softmax_rows_into(logits, probs_);
   labels_ = labels;
   const std::size_t batch = labels.size();
   const std::size_t classes = logits.shape()[1];
   double total = 0.0;
   for (std::size_t b = 0; b < batch; ++b) {
-    const double pt = std::max(kProbFloor, probs_.data()[b * classes + labels[b]]);
+    const double pt = std::max(static_cast<double>(kProbFloor),
+                               static_cast<double>(probs_.data()[b * classes + labels[b]]));
     total -= std::pow(1.0 - pt, static_cast<double>(gamma_)) * std::log(pt);
   }
   return static_cast<float>(total / static_cast<double>(batch));
 }
 
-Tensor FocalLoss::backward() {
+const Tensor& FocalLoss::backward() {
   FEDCAV_REQUIRE(probs_.numel() > 0, "FocalLoss::backward before forward");
   const std::size_t batch = labels_.size();
   const std::size_t classes = probs_.shape()[1];
   const double g = static_cast<double>(gamma_);
-  Tensor grad(probs_.shape());
+  grad_.resize_uninitialized(probs_.shape());
   // dFL/dz_j = p_j * s - [j == y] * s_y-term, derived from
   // FL = -(1-p_y)^g log(p_y) with softmax p. Let
   //   A = g (1-p_y)^{g-1} p_y log(p_y) - (1-p_y)^g
   // then dFL/dz_j = -A * (delta_{jy} - p_j) ... expanded below.
   for (std::size_t b = 0; b < batch; ++b) {
     const float* p = probs_.data() + b * classes;
-    float* dst = grad.data() + b * classes;
+    float* dst = grad_.data() + b * classes;
     const std::size_t y = labels_[b];
     const double py = std::max(static_cast<double>(kProbFloor), static_cast<double>(p[y]));
     const double one_minus = std::max(0.0, 1.0 - py);
@@ -96,7 +125,7 @@ Tensor FocalLoss::backward() {
                                   static_cast<double>(batch));
     }
   }
-  return grad;
+  return grad_;
 }
 
 std::unique_ptr<Loss> FocalLoss::clone() const {
@@ -121,21 +150,21 @@ float MseLoss::forward(const Tensor& logits, const std::vector<std::size_t>& lab
   return static_cast<float>(total / static_cast<double>(batch * classes));
 }
 
-Tensor MseLoss::backward() {
+const Tensor& MseLoss::backward() {
   FEDCAV_REQUIRE(logits_.numel() > 0, "MseLoss::backward before forward");
   const std::size_t batch = labels_.size();
   const std::size_t classes = logits_.shape()[1];
   const float scale = 2.0f / static_cast<float>(batch * classes);
-  Tensor grad(logits_.shape());
+  grad_.resize_uninitialized(logits_.shape());
   for (std::size_t b = 0; b < batch; ++b) {
     const float* row = logits_.data() + b * classes;
-    float* dst = grad.data() + b * classes;
+    float* dst = grad_.data() + b * classes;
     for (std::size_t j = 0; j < classes; ++j) {
       const float target = (j == labels_[b]) ? 1.0f : 0.0f;
       dst[j] = scale * (row[j] - target);
     }
   }
-  return grad;
+  return grad_;
 }
 
 std::unique_ptr<Loss> MseLoss::clone() const { return std::make_unique<MseLoss>(); }

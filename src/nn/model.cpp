@@ -18,18 +18,23 @@ Model::Model(std::unique_ptr<Layer> network, std::unique_ptr<Loss> loss, std::st
   }
 }
 
-Tensor Model::predict(const Tensor& input) { return network_->forward(input, /*training=*/false); }
+Tensor Model::predict(const Tensor& input) {
+  // Copy out of the network's workspace: callers keep prediction tensors
+  // across subsequent forward passes.
+  return network_->forward(input, /*training=*/false);
+}
 
 float Model::compute_loss(const Tensor& input, const std::vector<std::size_t>& labels) {
-  Tensor logits = network_->forward(input, /*training=*/false);
+  const Tensor& logits = network_->forward(input, /*training=*/false);
   return loss_->forward(logits, labels);
 }
 
 float Model::forward_backward(const Tensor& input, const std::vector<std::size_t>& labels) {
-  Tensor logits = network_->forward(input, /*training=*/true);
+  // Whole step chains workspace-backed references: zero heap allocations
+  // once every layer's buffers have reached steady-state capacity.
+  const Tensor& logits = network_->forward(input, /*training=*/true);
   const float value = loss_->forward(logits, labels);
-  Tensor grad = loss_->backward();
-  network_->backward(grad);
+  network_->backward(loss_->backward());
   return value;
 }
 

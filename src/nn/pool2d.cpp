@@ -19,7 +19,7 @@ MaxPool2D::MaxPool2D(std::size_t window, std::size_t stride)
   FEDCAV_REQUIRE(window > 0 && stride > 0, "MaxPool2D: zero window or stride");
 }
 
-Tensor MaxPool2D::forward(const Tensor& input, bool training) {
+const Tensor& MaxPool2D::forward(const Tensor& input, bool training) {
   check_pool_input(input.shape(), window_, "MaxPool2D");
   input_shape_ = input.shape();
   const std::size_t batch = input_shape_[0];
@@ -29,24 +29,55 @@ Tensor MaxPool2D::forward(const Tensor& input, bool training) {
   const std::size_t oh = (h - window_) / stride_ + 1;
   const std::size_t ow = (w - window_) / stride_ + 1;
 
-  Tensor out(Shape::of(batch, channels, oh, ow));
-  if (training) argmax_.assign(out.numel(), 0);
+  Tensor& out = ws_.get(kOut, Shape::of(batch, channels, oh, ow));
+  // resize, not assign: every element is overwritten below, and assign's
+  // zero pass costs a full traversal per step.
+  if (training) argmax_.resize(out.numel());
 
   std::size_t oi = 0;
   for (std::size_t b = 0; b < batch; ++b) {
     for (std::size_t c = 0; c < channels; ++c) {
       const float* plane = input.data() + (b * channels + c) * h * w;
       const std::size_t plane_base = (b * channels + c) * h * w;
+      if (window_ == 2 && stride_ == 2) {
+        // The zoo's only pooling geometry: a branchless 2×2 tournament.
+        // Data-dependent if-chains mispredict on ~random activations;
+        // ternaries compile to cmov/blend. Comparison directions keep
+        // the generic loop's first-max-wins tie semantics: on a tie the
+        // earlier element (row-major order) survives every round.
+        for (std::size_t y = 0; y < oh; ++y) {
+          const std::size_t ry = 2 * y * w;
+          const float* r0 = plane + ry;
+          const float* r1 = r0 + w;
+          for (std::size_t x = 0; x < ow; ++x, ++oi) {
+            const std::size_t rx = 2 * x;
+            const float v0 = r0[rx], v1 = r0[rx + 1];
+            const float v2 = r1[rx], v3 = r1[rx + 1];
+            const bool t01 = v1 > v0;
+            const bool t23 = v3 > v2;
+            const float m01 = t01 ? v1 : v0;
+            const float m23 = t23 ? v3 : v2;
+            const bool tf = m23 > m01;
+            out[oi] = tf ? m23 : m01;
+            if (training) {
+              const std::size_t i01 = ry + rx + (t01 ? 1 : 0);
+              const std::size_t i23 = ry + w + rx + (t23 ? 1 : 0);
+              argmax_[oi] = plane_base + (tf ? i23 : i01);
+            }
+          }
+        }
+        continue;
+      }
       for (std::size_t y = 0; y < oh; ++y) {
         for (std::size_t x = 0; x < ow; ++x, ++oi) {
           float best = -std::numeric_limits<float>::infinity();
           std::size_t best_idx = 0;
           for (std::size_t dy = 0; dy < window_; ++dy) {
+            const float* row = plane + (y * stride_ + dy) * w + x * stride_;
             for (std::size_t dx = 0; dx < window_; ++dx) {
-              const std::size_t idx = (y * stride_ + dy) * w + (x * stride_ + dx);
-              if (plane[idx] > best) {
-                best = plane[idx];
-                best_idx = idx;
+              if (row[dx] > best) {
+                best = row[dx];
+                best_idx = (y * stride_ + dy) * w + x * stride_ + dx;
               }
             }
           }
@@ -59,11 +90,11 @@ Tensor MaxPool2D::forward(const Tensor& input, bool training) {
   return out;
 }
 
-Tensor MaxPool2D::backward(const Tensor& grad_output) {
+const Tensor& MaxPool2D::backward(const Tensor& grad_output) {
   FEDCAV_REQUIRE(!argmax_.empty(), "MaxPool2D::backward before forward(training=true)");
   FEDCAV_REQUIRE(grad_output.numel() == argmax_.size(),
                  "MaxPool2D::backward: grad_output size mismatch");
-  Tensor dx(input_shape_);
+  Tensor& dx = ws_.zeroed(kDx, input_shape_);
   for (std::size_t i = 0; i < argmax_.size(); ++i) dx[argmax_[i]] += grad_output[i];
   return dx;
 }
@@ -81,7 +112,7 @@ AvgPool2D::AvgPool2D(std::size_t window, std::size_t stride)
   FEDCAV_REQUIRE(window > 0 && stride > 0, "AvgPool2D: zero window or stride");
 }
 
-Tensor AvgPool2D::forward(const Tensor& input, bool training) {
+const Tensor& AvgPool2D::forward(const Tensor& input, bool training) {
   (void)training;
   check_pool_input(input.shape(), window_, "AvgPool2D");
   input_shape_ = input.shape();
@@ -93,7 +124,7 @@ Tensor AvgPool2D::forward(const Tensor& input, bool training) {
   const std::size_t ow = (w - window_) / stride_ + 1;
   const float inv = 1.0f / static_cast<float>(window_ * window_);
 
-  Tensor out(Shape::of(batch, channels, oh, ow));
+  Tensor& out = ws_.get(kOut, Shape::of(batch, channels, oh, ow));
   std::size_t oi = 0;
   for (std::size_t b = 0; b < batch; ++b) {
     for (std::size_t c = 0; c < channels; ++c) {
@@ -114,7 +145,7 @@ Tensor AvgPool2D::forward(const Tensor& input, bool training) {
   return out;
 }
 
-Tensor AvgPool2D::backward(const Tensor& grad_output) {
+const Tensor& AvgPool2D::backward(const Tensor& grad_output) {
   FEDCAV_REQUIRE(input_shape_.rank() == 4, "AvgPool2D::backward before forward");
   const std::size_t batch = input_shape_[0];
   const std::size_t channels = input_shape_[1];
@@ -124,7 +155,7 @@ Tensor AvgPool2D::backward(const Tensor& grad_output) {
   const std::size_t ow = (w - window_) / stride_ + 1;
   const float inv = 1.0f / static_cast<float>(window_ * window_);
 
-  Tensor dx(input_shape_);
+  Tensor& dx = ws_.zeroed(kDx, input_shape_);
   std::size_t oi = 0;
   for (std::size_t b = 0; b < batch; ++b) {
     for (std::size_t c = 0; c < channels; ++c) {
@@ -152,7 +183,7 @@ std::unique_ptr<Layer> AvgPool2D::clone() const {
   return std::make_unique<AvgPool2D>(window_, stride_);
 }
 
-Tensor GlobalAvgPool::forward(const Tensor& input, bool training) {
+const Tensor& GlobalAvgPool::forward(const Tensor& input, bool training) {
   (void)training;
   FEDCAV_REQUIRE(input.shape().rank() == 4, "GlobalAvgPool: rank-4 input required");
   input_shape_ = input.shape();
@@ -161,7 +192,7 @@ Tensor GlobalAvgPool::forward(const Tensor& input, bool training) {
   const std::size_t plane = input_shape_[2] * input_shape_[3];
   const float inv = 1.0f / static_cast<float>(plane);
 
-  Tensor out(Shape::of(batch, channels));
+  Tensor& out = ws_.get(kOut, Shape::of(batch, channels));
   for (std::size_t b = 0; b < batch; ++b) {
     for (std::size_t c = 0; c < channels; ++c) {
       const float* src = input.data() + (b * channels + c) * plane;
@@ -173,14 +204,14 @@ Tensor GlobalAvgPool::forward(const Tensor& input, bool training) {
   return out;
 }
 
-Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+const Tensor& GlobalAvgPool::backward(const Tensor& grad_output) {
   FEDCAV_REQUIRE(input_shape_.rank() == 4, "GlobalAvgPool::backward before forward");
   const std::size_t batch = input_shape_[0];
   const std::size_t channels = input_shape_[1];
   const std::size_t plane = input_shape_[2] * input_shape_[3];
   const float inv = 1.0f / static_cast<float>(plane);
 
-  Tensor dx(input_shape_);
+  Tensor& dx = ws_.get(kDx, input_shape_);
   for (std::size_t b = 0; b < batch; ++b) {
     for (std::size_t c = 0; c < channels; ++c) {
       const float g = grad_output(b, c) * inv;

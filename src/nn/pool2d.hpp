@@ -10,44 +10,50 @@ class MaxPool2D : public Layer {
  public:
   MaxPool2D(std::size_t window, std::size_t stride);
 
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& input, bool training) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override;
 
  private:
+  enum Slot : std::size_t { kOut = 0, kDx };
   std::size_t window_;
   std::size_t stride_;
   Shape input_shape_;
   std::vector<std::size_t> argmax_;  // flat source index per output cell
+  Workspace ws_;
 };
 
 class AvgPool2D : public Layer {
  public:
   AvgPool2D(std::size_t window, std::size_t stride);
 
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& input, bool training) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override;
 
  private:
+  enum Slot : std::size_t { kOut = 0, kDx };
   std::size_t window_;
   std::size_t stride_;
   Shape input_shape_;
+  Workspace ws_;
 };
 
 /// Global average pool: (B × C × H × W) -> (B × C). Used by ResNetLite's
 /// head in place of a large dense layer.
 class GlobalAvgPool : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& input, bool training) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::string name() const override { return "GlobalAvgPool"; }
   std::unique_ptr<Layer> clone() const override;
 
  private:
+  enum Slot : std::size_t { kOut = 0, kDx };
   Shape input_shape_;
+  Workspace ws_;
 };
 
 }  // namespace fedcav::nn

@@ -18,57 +18,72 @@ ResidualBlock::ResidualBlock(std::size_t in_channels, std::size_t out_channels,
   }
 }
 
-Tensor ResidualBlock::forward(const Tensor& input, bool training) {
-  Tensor h = conv1_->forward(input, training);
-  // In-block ReLU with a cached mask (same trick as the ReLU layer).
-  if (training) relu1_mask_ = Tensor(h.shape());
+const Tensor& ResidualBlock::forward(const Tensor& input, bool training) {
+  const Tensor& h = conv1_->forward(input, training);
+  // In-block ReLU with a cached mask (same trick as the ReLU layer); the
+  // conv output stays untouched in conv1_'s workspace, the activated copy
+  // lives in ours.
+  Tensor& a1 = ws_.get(kAct1, h.shape());
+  if (training) relu1_mask_.resize_uninitialized(h.shape());
   {
-    float* p = h.data();
+    const float* p = h.data();
+    float* q = a1.data();
     float* m = training ? relu1_mask_.data() : nullptr;
-    for (std::size_t i = 0, n = h.numel(); i < n; ++i) {
+    for (std::size_t i = 0, n = a1.numel(); i < n; ++i) {
       const bool pos = p[i] > 0.0f;
-      if (!pos) p[i] = 0.0f;
+      q[i] = pos ? p[i] : 0.0f;
       if (m != nullptr) m[i] = pos ? 1.0f : 0.0f;
     }
   }
-  Tensor f = conv2_->forward(h, training);
-  Tensor skip = projection_ ? projection_->forward(input, training) : input;
-  ops::add_inplace(f, skip);
-  if (training) relu_out_mask_ = Tensor(f.shape());
+  const Tensor& f = conv2_->forward(a1, training);
+  const Tensor& skip = projection_ ? projection_->forward(input, training) : input;
+  FEDCAV_REQUIRE(f.same_shape(skip), "ResidualBlock: branch/skip shape mismatch");
+  // Fused add + ReLU + mask in one traversal.
+  Tensor& out = ws_.get(kOut, f.shape());
+  if (training) relu_out_mask_.resize_uninitialized(f.shape());
   {
-    float* p = f.data();
+    const float* pf = f.data();
+    const float* ps = skip.data();
+    float* q = out.data();
     float* m = training ? relu_out_mask_.data() : nullptr;
-    for (std::size_t i = 0, n = f.numel(); i < n; ++i) {
-      const bool pos = p[i] > 0.0f;
-      if (!pos) p[i] = 0.0f;
+    for (std::size_t i = 0, n = out.numel(); i < n; ++i) {
+      const float v = pf[i] + ps[i];
+      const bool pos = v > 0.0f;
+      q[i] = pos ? v : 0.0f;
       if (m != nullptr) m[i] = pos ? 1.0f : 0.0f;
     }
   }
-  return f;
+  return out;
 }
 
-Tensor ResidualBlock::backward(const Tensor& grad_output) {
+const Tensor& ResidualBlock::backward(const Tensor& grad_output) {
   FEDCAV_REQUIRE(relu_out_mask_.same_shape(grad_output),
                  "ResidualBlock::backward: shape mismatch");
-  Tensor g = grad_output;
+  Tensor& g = ws_.get(kG, grad_output.shape());
   {
-    float* p = g.data();
+    const float* p = grad_output.data();
     const float* m = relu_out_mask_.data();
-    for (std::size_t i = 0, n = g.numel(); i < n; ++i) p[i] *= m[i];
+    float* q = g.data();
+    for (std::size_t i = 0, n = g.numel(); i < n; ++i) q[i] = p[i] * m[i];
   }
   // g flows to both the conv branch and the skip branch.
-  Tensor gh = conv2_->backward(g);
+  const Tensor& gh_conv = conv2_->backward(g);
+  Tensor& gh = ws_.get(kGh, gh_conv.shape());
   {
-    float* p = gh.data();
+    const float* p = gh_conv.data();
     const float* m = relu1_mask_.data();
-    for (std::size_t i = 0, n = gh.numel(); i < n; ++i) p[i] *= m[i];
+    float* q = gh.data();
+    for (std::size_t i = 0, n = gh.numel(); i < n; ++i) q[i] = p[i] * m[i];
   }
-  Tensor dx = conv1_->backward(gh);
-  if (projection_) {
-    Tensor dskip = projection_->backward(g);
-    ops::add_inplace(dx, dskip);
-  } else {
-    ops::add_inplace(dx, g);
+  const Tensor& dx1 = conv1_->backward(gh);
+  const Tensor& dskip = projection_ ? projection_->backward(g) : g;
+  FEDCAV_REQUIRE(dx1.same_shape(dskip), "ResidualBlock::backward: skip grad mismatch");
+  Tensor& dx = ws_.get(kDx, dx1.shape());
+  {
+    const float* a = dx1.data();
+    const float* b = dskip.data();
+    float* q = dx.data();
+    for (std::size_t i = 0, n = dx.numel(); i < n; ++i) q[i] = a[i] + b[i];
   }
   return dx;
 }

@@ -16,8 +16,8 @@ class ResidualBlock : public Layer {
   ResidualBlock(std::size_t in_channels, std::size_t out_channels, std::size_t stride,
                 std::size_t in_h, std::size_t in_w, Rng& rng);
 
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& input, bool training) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::vector<ParamView> params() override;
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override;
@@ -29,11 +29,14 @@ class ResidualBlock : public Layer {
  private:
   ResidualBlock() = default;
 
+  enum Slot : std::size_t { kAct1 = 0, kOut, kG, kGh, kDx };
+
   std::unique_ptr<Conv2D> conv1_;
   std::unique_ptr<Conv2D> conv2_;
   std::unique_ptr<Conv2D> projection_;  // nullptr when identity skip works
   Tensor relu1_mask_;
   Tensor relu_out_mask_;
+  Workspace ws_;
 };
 
 }  // namespace fedcav::nn

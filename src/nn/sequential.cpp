@@ -10,18 +10,18 @@ Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
   return *this;
 }
 
-Tensor Sequential::forward(const Tensor& input, bool training) {
+const Tensor& Sequential::forward(const Tensor& input, bool training) {
   FEDCAV_REQUIRE(!layers_.empty(), "Sequential::forward: empty container");
-  Tensor x = input;
-  for (auto& l : layers_) x = l->forward(x, training);
-  return x;
+  const Tensor* x = &input;
+  for (auto& l : layers_) x = &l->forward(*x, training);
+  return *x;
 }
 
-Tensor Sequential::backward(const Tensor& grad_output) {
+const Tensor& Sequential::backward(const Tensor& grad_output) {
   FEDCAV_REQUIRE(!layers_.empty(), "Sequential::backward: empty container");
-  Tensor g = grad_output;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
-  return g;
+  const Tensor* g = &grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = &(*it)->backward(*g);
+  return *g;
 }
 
 std::vector<ParamView> Sequential::params() {

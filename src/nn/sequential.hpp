@@ -1,4 +1,6 @@
 // Sequential container: runs layers in order forward, reverse backward.
+// Holds no activation buffers of its own — forward/backward chain the
+// child layers' workspace-backed references straight through.
 #pragma once
 
 #include <memory>
@@ -15,8 +17,8 @@ class Sequential : public Layer {
   /// Append a layer; returns *this for chaining.
   Sequential& add(std::unique_ptr<Layer> layer);
 
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  const Tensor& forward(const Tensor& input, bool training) override;
+  const Tensor& backward(const Tensor& grad_output) override;
   std::vector<ParamView> params() override;
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override;

@@ -19,23 +19,30 @@ std::vector<float>& b_panel_scratch() {
   return panel;
 }
 
-/// Pack NR columns [j0, j0+nr) of op(B) into `panel` (k × kNr, k-major,
-/// zero padded on the right when nr < kNr).
-void pack_b_panel(Trans tb, std::size_t k, std::size_t n, const float* b,
-                  std::size_t ldb, std::size_t j0, float* panel) {
+/// Contraction-axis block size. Panels are kc × kNr = 16 KB, so the B
+/// panel stays L1-resident while every A tile streams against it — the
+/// batch-fused conv GEMMs contract over k = batch·out_plane (thousands),
+/// and an unblocked panel would be re-streamed from L2/L3 once per A
+/// tile.
+constexpr std::size_t kKc = 256;
+
+/// Pack the k-rows [k0, k0+kc) of NR columns [j0, j0+nr) of op(B) into
+/// `panel` (kc × kNr, k-major, zero padded on the right when nr < kNr).
+void pack_b_panel(Trans tb, std::size_t n, const float* b, std::size_t ldb,
+                  std::size_t j0, std::size_t k0, std::size_t kc, float* panel) {
   const std::size_t nr = std::min(kNr, n - j0);
   if (tb == Trans::kNo) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float* src = b + kk * ldb + j0;
+    for (std::size_t kk = 0; kk < kc; ++kk) {
+      const float* src = b + (k0 + kk) * ldb + j0;
       float* dst = panel + kk * kNr;
       for (std::size_t c = 0; c < nr; ++c) dst[c] = src[c];
       for (std::size_t c = nr; c < kNr; ++c) dst[c] = 0.0f;
     }
   } else {
     // op(B)(kk, j) = B(j, kk): columns of op(B) are rows of B.
-    for (std::size_t kk = 0; kk < k; ++kk) {
+    for (std::size_t kk = 0; kk < kc; ++kk) {
       float* dst = panel + kk * kNr;
-      for (std::size_t c = 0; c < nr; ++c) dst[c] = b[(j0 + c) * ldb + kk];
+      for (std::size_t c = 0; c < nr; ++c) dst[c] = b[(j0 + c) * ldb + k0 + kk];
       for (std::size_t c = nr; c < kNr; ++c) dst[c] = 0.0f;
     }
   }
@@ -68,6 +75,27 @@ void micro_kernel(const float* a_panel, const float* b_panel, std::size_t k,
   static_assert(kMr == 4, "micro_kernel unrolls exactly kMr accumulator rows");
   float acc[kMr][kNr];
 #ifdef FEDCAV_GEMM_VECTOR_KERNEL
+  if (mr <= 2) {
+    // Short tile: an m-edge of 1–2 rows (e.g. a 6-channel conv leaves a
+    // 2-row remainder) would waste half the k-loop on zero-padded
+    // accumulator rows; this variant carries only two.
+    VecNr acc0{}, acc1{};
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* arow = a_panel + kk * kMr;
+      const VecNr bv = load_vec(b_panel + kk * kNr);
+      acc0 += arow[0] * bv;
+      acc1 += arow[1] * bv;
+    }
+    __builtin_memcpy(acc[0], &acc0, sizeof(acc0));
+    __builtin_memcpy(acc[1], &acc1, sizeof(acc1));
+    for (std::size_t r = 0; r < mr; ++r) {
+      float* crow = c + r * ldc;
+      for (std::size_t col = 0; col < nr; ++col) {
+        crow[col] = (beta == 0.0f ? 0.0f : beta * crow[col]) + acc[r][col];
+      }
+    }
+    return;
+  }
   VecNr acc0{}, acc1{}, acc2{}, acc3{};
   for (std::size_t kk = 0; kk < k; ++kk) {
     const float* arow = a_panel + kk * kMr;
@@ -124,9 +152,17 @@ void micro_kernel(const float* a_panel, const float* b_panel, std::size_t k,
 PackedA pack_a(Trans ta, std::size_t m, std::size_t k, const float* a,
                std::size_t lda) {
   PackedA packed;
+  pack_a_into(ta, m, k, a, lda, packed);
+  return packed;
+}
+
+void pack_a_into(Trans ta, std::size_t m, std::size_t k, const float* a,
+                 std::size_t lda, PackedA& packed) {
   packed.m = m;
   packed.k = k;
   const std::size_t tiles = (m + kMr - 1) / kMr;
+  // assign() reuses the vector's capacity, so repacking the same logical
+  // shape every step touches no heap.
   packed.data.assign(tiles * k * kMr, 0.0f);
   for (std::size_t t = 0; t < tiles; ++t) {
     const std::size_t i0 = t * kMr;
@@ -147,7 +183,6 @@ PackedA pack_a(Trans ta, std::size_t m, std::size_t k, const float* a,
       }
     }
   }
-  return packed;
 }
 
 void gemm_prepacked(const PackedA& a, Trans tb, std::size_t n, const float* b,
@@ -166,16 +201,22 @@ void gemm_prepacked(const PackedA& a, Trans tb, std::size_t n, const float* b,
     return;
   }
   std::vector<float>& panel = b_panel_scratch();
-  panel.resize(k * kNr);
+  panel.resize(std::min(k, kKc) * kNr);
   const std::size_t a_tiles = (m + kMr - 1) / kMr;
   for (std::size_t j0 = 0; j0 < n; j0 += kNr) {
     const std::size_t nr = std::min(kNr, n - j0);
-    pack_b_panel(tb, k, n, b, ldb, j0, panel.data());
-    for (std::size_t t = 0; t < a_tiles; ++t) {
-      const std::size_t i0 = t * kMr;
-      const std::size_t mr = std::min(kMr, m - i0);
-      micro_kernel(a.data.data() + t * k * kMr, panel.data(), k, mr, nr, beta,
-                   c + i0 * ldc + j0, ldc);
+    for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
+      const std::size_t kc = std::min(kKc, k - k0);
+      pack_b_panel(tb, n, b, ldb, j0, k0, kc, panel.data());
+      // The first k-block applies the caller's beta; later blocks
+      // accumulate onto the partial C tile.
+      const float blk_beta = k0 == 0 ? beta : 1.0f;
+      for (std::size_t t = 0; t < a_tiles; ++t) {
+        const std::size_t i0 = t * kMr;
+        const std::size_t mr = std::min(kMr, m - i0);
+        micro_kernel(a.data.data() + t * k * kMr + k0 * kMr, panel.data(), kc,
+                     mr, nr, blk_beta, c + i0 * ldc + j0, ldc);
+      }
     }
   }
 }

@@ -54,6 +54,13 @@ struct PackedA {
 /// matrix with leading dimension `lda`.
 PackedA pack_a(Trans ta, std::size_t m, std::size_t k, const float* a, std::size_t lda);
 
+/// Same, packing into an existing PackedA whose buffer is reused when
+/// large enough — the allocation-free path for per-step repacking (the
+/// weight matrix changes every optimizer step, but its packed footprint
+/// does not).
+void pack_a_into(Trans ta, std::size_t m, std::size_t k, const float* a,
+                 std::size_t lda, PackedA& out);
+
 /// C = op(A)·op(B) + beta·C over raw row-major buffers.
 /// op(A) is m×k, op(B) is k×n, C is m×n with leading dimension `ldc`.
 /// beta is either 0 (overwrite C) or an arbitrary scale on the existing

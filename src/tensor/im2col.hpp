@@ -33,8 +33,17 @@ struct Conv2dGeometry {
 /// `cols` (col_rows × col_cols, preallocated). Zero padding.
 void im2col(const Conv2dGeometry& g, const float* image, Tensor& cols);
 
+/// Raw-pointer, strided variant for batch-fused convolution: row r of
+/// the expansion lands at cols + r*ld (ld >= col_cols()). A whole batch
+/// shares one (col_rows × batch·col_cols) matrix by passing, for image
+/// b, `cols = base + b*col_cols()` with `ld = batch*col_cols()`.
+void im2col(const Conv2dGeometry& g, const float* image, float* cols, std::size_t ld);
+
 /// Scatter-add the column-matrix gradient back into an image gradient
 /// (`grad_image` has numel C*H*W and is accumulated into, not zeroed).
 void col2im(const Conv2dGeometry& g, const Tensor& cols, float* grad_image);
+
+/// Strided raw-pointer variant mirroring the strided im2col above.
+void col2im(const Conv2dGeometry& g, const float* cols, std::size_t ld, float* grad_image);
 
 }  // namespace fedcav

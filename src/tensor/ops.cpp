@@ -190,10 +190,16 @@ std::size_t argmax(std::span<const float> v) {
 }
 
 Tensor softmax_rows(const Tensor& logits) {
+  Tensor out;
+  softmax_rows_into(logits, out);
+  return out;
+}
+
+void softmax_rows_into(const Tensor& logits, Tensor& out) {
   FEDCAV_REQUIRE(logits.shape().rank() == 2, "softmax_rows: rank-2 input required");
   const std::size_t rows = logits.shape()[0];
   const std::size_t cols = logits.shape()[1];
-  Tensor out(logits.shape());
+  out.resize_uninitialized(logits.shape());
   for (std::size_t r = 0; r < rows; ++r) {
     const float* in = logits.data() + r * cols;
     float* o = out.data() + r * cols;
@@ -208,7 +214,6 @@ Tensor softmax_rows(const Tensor& logits) {
     const float inv = static_cast<float>(1.0 / denom);
     for (std::size_t c = 0; c < cols; ++c) o[c] *= inv;
   }
-  return out;
 }
 
 std::vector<double> stable_softmax(const std::vector<double>& x) {

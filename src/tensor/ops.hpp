@@ -56,6 +56,9 @@ std::size_t argmax(std::span<const float> v);
 // ---- softmax family ----
 /// Row-wise stable softmax of a 2-D tensor (batch × classes).
 Tensor softmax_rows(const Tensor& logits);
+/// Same, writing into `out` (resized in place; allocation-free once
+/// out's capacity covers the batch — the hot-path entry for losses).
+void softmax_rows_into(const Tensor& logits, Tensor& out);
 /// Stable softmax of a plain vector (used for FedCav aggregation
 /// weights; subtracts the max per the paper's overflow note §4.2.3).
 std::vector<double> stable_softmax(const std::vector<double>& x);

@@ -1,52 +1,167 @@
 #include "src/tensor/tensor.hpp"
 
+#include <atomic>
+#include <cstring>
+#include <new>
+
 #include "src/utils/error.hpp"
 #include "src/utils/rng.hpp"
 
 namespace fedcav {
 
-Tensor::Tensor(Shape shape, float fill_value)
-    : shape_(shape), data_(shape.numel(), fill_value) {}
+namespace {
+
+// 64-byte alignment keeps buffers cache-line- and AVX-512-aligned for the
+// GEMM kernel's unaligned-but-contiguous loads.
+constexpr std::size_t kTensorAlign = 64;
+
+#ifdef FEDCAV_ALLOC_STATS
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+#endif
+
+float* allocate_buffer(std::size_t n) {
+  if (n == 0) return nullptr;
+#ifdef FEDCAV_ALLOC_STATS
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n * sizeof(float), std::memory_order_relaxed);
+#endif
+  return static_cast<float*>(
+      ::operator new(n * sizeof(float), std::align_val_t{kTensorAlign}));
+}
+
+void free_buffer(float* p) {
+  if (p != nullptr) ::operator delete(p, std::align_val_t{kTensorAlign});
+}
+
+}  // namespace
+
+TensorAllocStats Tensor::alloc_stats() {
+  TensorAllocStats s;
+#ifdef FEDCAV_ALLOC_STATS
+  s.allocations = g_alloc_count.load(std::memory_order_relaxed);
+  s.bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+#endif
+  return s;
+}
+
+void Tensor::reset_alloc_stats() {
+#ifdef FEDCAV_ALLOC_STATS
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_alloc_bytes.store(0, std::memory_order_relaxed);
+#endif
+}
+
+void Tensor::ensure_capacity(std::size_t n) {
+  if (n <= capacity_) return;
+  free_buffer(data_);
+  data_ = allocate_buffer(n);
+  capacity_ = n;
+}
+
+Tensor::Tensor(Shape shape, float fill_value) : shape_(shape), numel_(shape.numel()) {
+  ensure_capacity(numel_);
+  fill(fill_value);
+}
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
-    : shape_(shape), data_(std::move(data)) {
-  FEDCAV_REQUIRE(data_.size() == shape_.numel(),
+    : shape_(shape), numel_(shape.numel()) {
+  FEDCAV_REQUIRE(data.size() == numel_,
                  "Tensor: data size does not match shape " + shape_.to_string());
+  ensure_capacity(numel_);
+  std::memcpy(data_, data.data(), numel_ * sizeof(float));
+}
+
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_), numel_(other.numel_) {
+  ensure_capacity(numel_);
+  if (numel_ > 0) std::memcpy(data_, other.data_, numel_ * sizeof(float));
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  ensure_capacity(other.numel_);
+  shape_ = other.shape_;
+  numel_ = other.numel_;
+  if (numel_ > 0) std::memcpy(data_, other.data_, numel_ * sizeof(float));
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(other.shape_),
+      numel_(other.numel_),
+      capacity_(other.capacity_),
+      data_(other.data_) {
+  other.shape_ = Shape();
+  other.numel_ = 0;
+  other.capacity_ = 0;
+  other.data_ = nullptr;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  free_buffer(data_);
+  shape_ = other.shape_;
+  numel_ = other.numel_;
+  capacity_ = other.capacity_;
+  data_ = other.data_;
+  other.shape_ = Shape();
+  other.numel_ = 0;
+  other.capacity_ = 0;
+  other.data_ = nullptr;
+  return *this;
+}
+
+Tensor::~Tensor() { free_buffer(data_); }
+
+Tensor Tensor::uninitialized(Shape shape) {
+  Tensor t;
+  t.resize_uninitialized(shape);
+  return t;
+}
+
+void Tensor::resize_uninitialized(const Shape& shape) {
+  const std::size_t n = shape.numel();
+  ensure_capacity(n);
+  shape_ = shape;
+  numel_ = n;
 }
 
 Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
-  Tensor t(shape);
-  for (auto& v : t.data_) v = rng.uniform_f(lo, hi);
+  Tensor t = Tensor::uninitialized(shape);
+  for (std::size_t i = 0; i < t.numel_; ++i) t.data_[i] = rng.uniform_f(lo, hi);
   return t;
 }
 
 Tensor Tensor::normal(Shape shape, Rng& rng, float mean, float stddev) {
-  Tensor t(shape);
-  for (auto& v : t.data_) {
-    v = static_cast<float>(rng.normal(static_cast<double>(mean), static_cast<double>(stddev)));
+  Tensor t = Tensor::uninitialized(shape);
+  for (std::size_t i = 0; i < t.numel_; ++i) {
+    t.data_[i] =
+        static_cast<float>(rng.normal(static_cast<double>(mean), static_cast<double>(stddev)));
   }
   return t;
 }
 
 float& Tensor::at(std::size_t i) {
-  FEDCAV_REQUIRE(i < data_.size(), "Tensor::at: index out of range");
+  FEDCAV_REQUIRE(i < numel_, "Tensor::at: index out of range");
   return data_[i];
 }
 
 float Tensor::at(std::size_t i) const {
-  FEDCAV_REQUIRE(i < data_.size(), "Tensor::at: index out of range");
+  FEDCAV_REQUIRE(i < numel_, "Tensor::at: index out of range");
   return data_[i];
 }
 
 void Tensor::fill(float value) {
-  for (auto& v : data_) v = value;
+  for (std::size_t i = 0; i < numel_; ++i) data_[i] = value;
 }
 
 Tensor Tensor::reshaped(Shape new_shape) const {
-  FEDCAV_REQUIRE(new_shape.numel() == numel(),
+  FEDCAV_REQUIRE(new_shape.numel() == numel_,
                  "Tensor::reshaped: numel mismatch " + shape_.to_string() + " -> " +
                      new_shape.to_string());
-  return Tensor(new_shape, data_);
+  Tensor t = Tensor::uninitialized(new_shape);
+  if (numel_ > 0) std::memcpy(t.data_, data_, numel_ * sizeof(float));
+  return t;
 }
 
 }  // namespace fedcav

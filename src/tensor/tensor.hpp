@@ -5,11 +5,17 @@
 //    traffic versus double on the aggregation path.
 //  * Value semantics with cheap moves; explicit `zeros_like` etc. rather
 //    than implicit broadcasting, so every allocation is visible.
+//  * Storage is a grow-only, 64-byte-aligned buffer with an explicit
+//    capacity: copy-assignment and resize_uninitialized() reuse the
+//    existing allocation whenever it is large enough, which is what lets
+//    the training hot path reach zero heap allocations in steady state
+//    (see src/tensor/workspace.hpp and DESIGN.md §8).
 //  * Element access goes through Shape::offset, which bounds-checks the
 //    rank; per-element bounds checks are debug-only via at().
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -19,27 +25,55 @@ namespace fedcav {
 
 class Rng;
 
+/// Snapshot of the process-wide tensor-buffer heap counters (enabled by
+/// the FEDCAV_ALLOC_STATS build option, on by default). Only genuine
+/// buffer allocations count — capacity reuse is free — so a steady-state
+/// train step can *prove* it allocates nothing (tests/test_alloc_stats).
+struct TensorAllocStats {
+  std::uint64_t allocations = 0;  ///< number of heap buffer allocations
+  std::uint64_t bytes = 0;        ///< total bytes of those allocations
+};
+
 class Tensor {
  public:
   Tensor() = default;
   explicit Tensor(Shape shape, float fill = 0.0f);
   Tensor(Shape shape, std::vector<float> data);
 
+  Tensor(const Tensor& other);
+  /// Capacity-reusing: keeps the existing buffer when it is big enough.
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor();
+
   static Tensor zeros(Shape shape) { return Tensor(shape, 0.0f); }
   static Tensor full(Shape shape, float value) { return Tensor(shape, value); }
+  /// Storage with *indeterminate contents*: skips the zero-fill memset of
+  /// Tensor(shape). For hot-path temporaries that are fully overwritten
+  /// before being read (conv/dense/pool/loss outputs).
+  static Tensor uninitialized(Shape shape);
   /// iid U(lo, hi) entries.
   static Tensor uniform(Shape shape, Rng& rng, float lo, float hi);
   /// iid N(mean, stddev) entries.
   static Tensor normal(Shape shape, Rng& rng, float mean, float stddev);
 
-  const Shape& shape() const { return shape_; }
-  std::size_t numel() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  /// Re-shape in place, contents indeterminate afterwards. Grow-only:
+  /// reuses the current buffer when capacity allows and never shrinks,
+  /// so after one warm-up pass repeated calls with the same (or smaller)
+  /// shapes perform no heap work.
+  void resize_uninitialized(const Shape& shape);
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  std::span<float> span() { return {data_.data(), data_.size()}; }
-  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+  const Shape& shape() const { return shape_; }
+  std::size_t numel() const { return numel_; }
+  /// Buffer capacity in elements (>= numel; grow-only).
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return numel_ == 0; }
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  std::span<float> span() { return {data_, numel_}; }
+  std::span<const float> span() const { return {data_, numel_}; }
 
   float& operator[](std::size_t i) { return data_[i]; }
   float operator[](std::size_t i) const { return data_[i]; }
@@ -67,14 +101,35 @@ class Tensor {
 
   void fill(float value);
 
-  /// Reinterpret storage with a new shape of identical numel.
+  /// Reinterpret storage with a new shape of identical numel (copies).
   Tensor reshaped(Shape new_shape) const;
 
   bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
 
+  /// Whether the library was built with allocation telemetry
+  /// (FEDCAV_ALLOC_STATS CMake option). When false the counters below
+  /// read as all-zero.
+  static constexpr bool alloc_stats_enabled() {
+#ifdef FEDCAV_ALLOC_STATS
+    return true;
+#else
+    return false;
+#endif
+  }
+  /// Process-wide counters of tensor buffer allocations since the last
+  /// reset (thread-safe).
+  static TensorAllocStats alloc_stats();
+  static void reset_alloc_stats();
+
  private:
+  /// Make capacity_ >= n, discarding contents on reallocation. The only
+  /// place that touches the heap.
+  void ensure_capacity(std::size_t n);
+
   Shape shape_;
-  std::vector<float> data_;
+  std::size_t numel_ = 0;
+  std::size_t capacity_ = 0;
+  float* data_ = nullptr;
 };
 
 }  // namespace fedcav

@@ -1,0 +1,92 @@
+// Allocation regression test: after one warm-up batch, a train step must
+// perform ZERO Tensor heap allocations. This is the enforcement side of
+// the workspace policy (DESIGN.md §8): every layer draws hot-path buffers
+// from persistent grow-only slots, the loss caches through capacity-
+// reusing assignment, and the optimizer updates in place.
+//
+// Counting happens inside Tensor's single allocation choke point, gated
+// by the FEDCAV_ALLOC_STATS compile option (ON by default); under a build
+// with the option off the tests skip.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "src/nn/optimizer.hpp"
+#include "src/nn/zoo.hpp"
+#include "src/tensor/tensor.hpp"
+#include "src/utils/rng.hpp"
+
+namespace fedcav {
+namespace {
+
+std::vector<std::size_t> cycling_labels(std::size_t batch) {
+  std::vector<std::size_t> labels(batch);
+  for (std::size_t i = 0; i < batch; ++i) labels[i] = i % nn::kNumClasses;
+  return labels;
+}
+
+void expect_steady_state_alloc_free(const char* builder_name, const Shape& input_shape) {
+  Rng rng(0x57a7);
+  auto model = nn::model_builder(builder_name)(rng);
+  nn::Sgd opt(nn::SgdConfig{/*lr=*/0.01f, /*momentum=*/0.9f});
+  const Tensor input = Tensor::uniform(input_shape, rng, -1.0f, 1.0f);
+  const std::vector<std::size_t> labels = cycling_labels(input_shape[0]);
+
+  // Warm-up batch: grows every workspace slot, cache, packed panel and
+  // optimizer velocity buffer to steady-state capacity.
+  model->forward_backward(input, labels);
+  opt.step(*model);
+
+  Tensor::reset_alloc_stats();
+  for (int step = 0; step < 3; ++step) {
+    model->forward_backward(input, labels);
+    opt.step(*model);
+  }
+  const TensorAllocStats stats = Tensor::alloc_stats();
+  EXPECT_EQ(stats.allocations, 0u)
+      << builder_name << ": " << stats.allocations << " tensor allocations ("
+      << stats.bytes << " bytes) in 3 steady-state train steps";
+}
+
+TEST(AllocStats, LeNetTrainStepIsAllocationFreeAfterWarmup) {
+  if (!Tensor::alloc_stats_enabled()) GTEST_SKIP() << "built without FEDCAV_ALLOC_STATS";
+  expect_steady_state_alloc_free(
+      "lenet5", Shape::of(10, nn::kGrayChannels, nn::kGraySide, nn::kGraySide));
+}
+
+TEST(AllocStats, Cnn9TrainStepIsAllocationFreeAfterWarmup) {
+  if (!Tensor::alloc_stats_enabled()) GTEST_SKIP() << "built without FEDCAV_ALLOC_STATS";
+  expect_steady_state_alloc_free(
+      "cnn9", Shape::of(10, nn::kGrayChannels, nn::kGraySide, nn::kGraySide));
+}
+
+TEST(AllocStats, ResNetTrainStepIsAllocationFreeAfterWarmup) {
+  if (!Tensor::alloc_stats_enabled()) GTEST_SKIP() << "built without FEDCAV_ALLOC_STATS";
+  expect_steady_state_alloc_free(
+      "resnet", Shape::of(10, nn::kColorChannels, nn::kColorSide, nn::kColorSide));
+}
+
+TEST(AllocStats, MlpTrainStepIsAllocationFreeAfterWarmup) {
+  if (!Tensor::alloc_stats_enabled()) GTEST_SKIP() << "built without FEDCAV_ALLOC_STATS";
+  expect_steady_state_alloc_free("mlp",
+                                 Shape::of(10, nn::kGraySide * nn::kGraySide));
+}
+
+// The counter itself: constructing a Tensor allocates once, capacity
+// reuse allocates zero times.
+TEST(AllocStats, CounterSeesAllocationsAndCapacityReuse) {
+  if (!Tensor::alloc_stats_enabled()) GTEST_SKIP() << "built without FEDCAV_ALLOC_STATS";
+  Tensor::reset_alloc_stats();
+  Tensor t(Shape::of(8, 8));
+  EXPECT_EQ(Tensor::alloc_stats().allocations, 1u);
+  t.resize_uninitialized(Shape::of(4, 4));  // shrinking reuses the buffer
+  EXPECT_EQ(Tensor::alloc_stats().allocations, 1u);
+  t.resize_uninitialized(Shape::of(8, 8));  // back within capacity
+  EXPECT_EQ(Tensor::alloc_stats().allocations, 1u);
+  t.resize_uninitialized(Shape::of(16, 16));  // genuine growth
+  EXPECT_EQ(Tensor::alloc_stats().allocations, 2u);
+}
+
+}  // namespace
+}  // namespace fedcav

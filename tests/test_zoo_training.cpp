@@ -94,7 +94,7 @@ INSTANTIATE_TEST_SUITE_P(Architectures, ZooTraining,
                                            ZooCase{"cnn9", "fashion", 0.9, 5},
                                            // ResNet spends the first epochs on
                                            // a plateau before the loss drops.
-                                           ZooCase{"resnet", "cifar", 0.9, 12}));
+                                           ZooCase{"resnet", "cifar", 0.9, 18}));
 
 // ----------------------------------- determinism across thread counts
 
