@@ -5,6 +5,7 @@
 //   ./example_quickstart [--rounds 15] [--strategy fedcav] [--clients 20]
 //   ./example_quickstart --config configs/paper_digits.cfg
 #include <cstdio>
+#include <string>
 
 #include "src/fl/simulation.hpp"
 #include "src/utils/cli.hpp"
@@ -21,6 +22,8 @@ int main(int argc, char** argv) {
   cli.add_string("dataset", "digits", "digits | fashion | cifar");
   cli.add_string("model", "lenet5", "mlp | lenet5 | cnn9 | resnet");
   cli.add_string("config", "", "key=value experiment file overriding the flags");
+  cli.add_string("trace", "", "enable telemetry; write chrome://tracing JSON here");
+  cli.add_string("metrics", "", "enable telemetry; write metrics summary JSON here");
   if (!cli.parse(argc, argv)) return 0;
 
   set_log_level(LogLevel::kWarn);
@@ -63,6 +66,10 @@ int main(int argc, char** argv) {
         file.get_int("rounds", static_cast<long long>(rounds)));
   }
 
+  const std::string trace_path = cli.get_string("trace");
+  const std::string metrics_path = cli.get_string("metrics");
+  config.server.telemetry = !trace_path.empty() || !metrics_path.empty();
+
   fl::Simulation sim = fl::build_simulation(config);
   std::printf("dataset=%s model=%s strategy=%s clients=%zu params=%zu\n",
               config.dataset.c_str(), config.model.c_str(), config.strategy.c_str(),
@@ -75,5 +82,19 @@ int main(int argc, char** argv) {
                 rec.test_loss, rec.mean_inference_loss);
   }
   std::printf("best accuracy: %.4f\n", sim.server->history().best_accuracy());
+
+  if (config.server.telemetry) {
+    sim.server->write_telemetry(trace_path, metrics_path);
+    double phase_sum = 0.0;
+    double wall = 0.0;
+    for (const auto& rec : sim.server->history().records()) {
+      phase_sum += rec.phases.sum();
+      wall += rec.wall_seconds;
+    }
+    std::printf("telemetry: %.3fs across phases of %.3fs round wall time (%.1f%%)\n",
+                phase_sum, wall, wall > 0.0 ? 100.0 * phase_sum / wall : 0.0);
+    if (!trace_path.empty()) std::printf("trace written to %s\n", trace_path.c_str());
+    if (!metrics_path.empty()) std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
   return 0;
 }

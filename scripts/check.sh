@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate, run from anywhere: configure + build + ctest, first in the
-# default configuration and then again with FEDCAV_SANITIZE=ON
-# (ASan+UBSan), each in its own build tree so the two configurations
-# never thrash one cache.
+# default configuration, then with FEDCAV_SANITIZE=ON (ASan+UBSan), and
+# finally with FEDCAV_SANITIZE=thread (TSan) over the concurrency-heavy
+# suites (thread pool, obs tracer/registry, server rounds). Each
+# configuration gets its own build tree so they never thrash one cache.
 #
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
@@ -12,19 +13,26 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 run_config() {
   local build_dir="$1"
-  shift
+  local filter="$2"
+  shift 2
   local cmake_flags=("$@")
   echo "==> configure ${build_dir} ${cmake_flags[*]:-}"
   cmake -B "${build_dir}" -S "${repo}" "${cmake_flags[@]}" >/dev/null
   echo "==> build ${build_dir}"
   cmake --build "${build_dir}" -j "${jobs}"
   echo "==> ctest ${build_dir}"
-  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" "${ctest_args[@]}"
+  local filter_args=()
+  [[ -n "${filter}" ]] && filter_args=(-R "${filter}")
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
+    "${filter_args[@]}" "${ctest_args[@]}"
 }
 
 ctest_args=("$@")
 
-run_config "${repo}/build"
-run_config "${repo}/build-sanitize" -DFEDCAV_SANITIZE=ON
+run_config "${repo}/build" ""
+run_config "${repo}/build-sanitize" "" -DFEDCAV_SANITIZE=ON
+run_config "${repo}/build-tsan" \
+  "ThreadPool|Obs|CheckpointResume|Server|Integration" \
+  -DFEDCAV_SANITIZE=thread
 
-echo "OK: plain and sanitized tier-1 suites passed"
+echo "OK: plain, sanitized, and thread-sanitized tier-1 suites passed"

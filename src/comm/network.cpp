@@ -1,5 +1,7 @@
 #include "src/comm/network.hpp"
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/utils/error.hpp"
 
 namespace fedcav::comm {
@@ -78,6 +80,16 @@ TrafficStats InMemoryNetwork::total_stats() const {
 void InMemoryNetwork::reset_stats() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& s : stats_) s = TrafficStats{};
+}
+
+void InMemoryNetwork::publish_metrics() const {
+  if (!obs::enabled()) return;
+  const TrafficStats total = total_stats();
+  auto& reg = obs::registry();
+  reg.gauge("comm.bytes_sent").set(static_cast<double>(total.bytes_sent));
+  reg.gauge("comm.messages_sent").set(static_cast<double>(total.messages_sent));
+  reg.gauge("comm.simulated_seconds").set(total.simulated_seconds);
+  reg.gauge("comm.pending_messages").set(static_cast<double>(pending_messages()));
 }
 
 std::size_t InMemoryNetwork::pending_messages() const {

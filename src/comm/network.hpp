@@ -61,6 +61,11 @@ class InMemoryNetwork {
   /// Number of undelivered messages in the whole fabric.
   std::size_t pending_messages() const;
 
+  /// Mirror the fabric-wide totals into the obs metrics registry
+  /// (comm.bytes_sent / comm.messages_sent / comm.simulated_seconds /
+  /// comm.pending_messages gauges). No-op while telemetry is disabled.
+  void publish_metrics() const;
+
   double model_transfer_seconds(std::size_t bytes) const;
 
  private:

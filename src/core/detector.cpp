@@ -36,4 +36,8 @@ void AnomalyDetector::commit(const std::vector<double>& losses) {
 
 void AnomalyDetector::reset() { reference_max_.reset(); }
 
+void AnomalyDetector::restore_reference(std::optional<double> reference_max) {
+  reference_max_ = reference_max;
+}
+
 }  // namespace fedcav::core

@@ -46,6 +46,10 @@ class AnomalyDetector {
   std::optional<double> reference_max() const { return reference_max_; }
   void reset();
 
+  /// Restore a previously captured reference (checkpoint resume). A
+  /// nullopt restores the pre-first-commit "nothing to compare" state.
+  void restore_reference(std::optional<double> reference_max);
+
  private:
   DetectorConfig config_;
   std::optional<double> reference_max_;

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "src/metrics/evaluation.hpp"
+#include "src/obs/trace.hpp"
 #include "src/utils/error.hpp"
 
 namespace fedcav::fl {
@@ -25,9 +26,16 @@ ClientUpdate Client::local_update(const nn::Weights& global, const LocalTrainCon
   FEDCAV_REQUIRE(config.batch_size > 0, "Client: zero batch size");
 
   // Phase ①: inference loss of the downloaded (pre-training) model.
-  model_->set_weights(global);
-  const double f_i = metrics::inference_loss(*model_, data_);
+  double f_i = 0.0;
+  {
+    obs::Span span("inference_loss", "client");
+    span.arg("client", static_cast<double>(id_));
+    model_->set_weights(global);
+    f_i = metrics::inference_loss(*model_, data_);
+  }
 
+  obs::Span train_span("local_epochs", "client");
+  train_span.arg("client", static_cast<double>(id_));
   // Phase ②: E epochs of mini-batch SGD from the global weights.
   nn::SgdConfig sgd_config;
   sgd_config.lr = config.lr;
@@ -90,6 +98,24 @@ std::vector<float> Client::estimate_fisher() {
   const float inv = 1.0f / static_cast<float>(std::max<std::size_t>(1, batches));
   for (float& f : fisher) f *= inv;
   return fisher;
+}
+
+void Client::save_state(ByteBuffer& buf) const {
+  write_rng_state(buf, rng_.state());
+  write_f32_span(buf, curv_anchor_);
+  write_f32_span(buf, curv_importance_);
+}
+
+void Client::load_state(ByteReader& reader) {
+  rng_.set_state(read_rng_state(reader));
+  std::vector<float> anchor = reader.read_f32_vector();
+  std::vector<float> importance = reader.read_f32_vector();
+  FEDCAV_REQUIRE(anchor.empty() || anchor.size() == model_->num_params(),
+                 "Client::load_state: curvature anchor size mismatch");
+  FEDCAV_REQUIRE(importance.size() == anchor.size(),
+                 "Client::load_state: curvature importance size mismatch");
+  curv_anchor_ = std::move(anchor);
+  curv_importance_ = std::move(importance);
 }
 
 void Client::set_local_data(data::Dataset new_data) {

@@ -16,6 +16,7 @@
 #include "src/data/dataset.hpp"
 #include "src/fl/types.hpp"
 #include "src/nn/optimizer.hpp"
+#include "src/tensor/serialize.hpp"
 #include "src/utils/rng.hpp"
 
 namespace fedcav::fl {
@@ -42,6 +43,14 @@ class Client {
 
   /// True once a curv_lambda run has stored a previous-optimum anchor.
   bool has_curvature_state() const { return !curv_anchor_.empty(); }
+
+  /// Serialize / restore the client's round-to-round mutable state: the
+  /// batch-shuffle RNG stream and the FedCurv anchor/importance vectors.
+  /// (Model weights are not included — every participation overwrites
+  /// them with the downloaded global model.) load_state throws
+  /// fedcav::Error on anchor size mismatch with this client's model.
+  void save_state(ByteBuffer& buf) const;
+  void load_state(ByteReader& reader);
 
  private:
   /// Diagonal Fisher estimate of the current model on the local data

@@ -80,6 +80,28 @@ std::vector<std::size_t> ParticipantSampler::sample() {
   return picked;
 }
 
+void ParticipantSampler::save_state(ByteBuffer& buf) const {
+  write_rng_state(buf, rng_.state());
+  write_u64(buf, cursor_);
+  write_u64(buf, num_clients_);
+  for (std::size_t i = 0; i < num_clients_; ++i) {
+    write_f64(buf, last_loss_[i]);
+    write_u8(buf, has_loss_[i] ? 1 : 0);
+  }
+}
+
+void ParticipantSampler::load_state(ByteReader& reader) {
+  rng_.set_state(read_rng_state(reader));
+  cursor_ = reader.read_u64();
+  const std::uint64_t n = reader.read_u64();
+  FEDCAV_REQUIRE(n == num_clients_,
+                 "ParticipantSampler::load_state: client count mismatch");
+  for (std::size_t i = 0; i < num_clients_; ++i) {
+    last_loss_[i] = reader.read_f64();
+    has_loss_[i] = reader.read_u8() != 0;
+  }
+}
+
 void ParticipantSampler::observe_losses(const std::vector<std::size_t>& participants,
                                         const std::vector<double>& losses) {
   FEDCAV_REQUIRE(participants.size() == losses.size(),

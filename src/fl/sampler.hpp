@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/tensor/serialize.hpp"
 #include "src/utils/rng.hpp"
 
 namespace fedcav::fl {
@@ -44,6 +45,13 @@ class ParticipantSampler {
 
   SamplerPolicy policy() const { return policy_; }
   std::size_t cohort_size() const { return cohort_; }
+
+  /// Serialize / restore the full mutable state (RNG stream, rotation
+  /// cursor, per-client loss memory). Policy and cohort geometry come
+  /// from the constructor, not the snapshot; load_state throws
+  /// fedcav::Error when the snapshot's client count differs.
+  void save_state(ByteBuffer& buf) const;
+  void load_state(ByteReader& reader);
 
  private:
   SamplerPolicy policy_;

@@ -6,6 +6,8 @@
 #include <iterator>
 
 #include "src/metrics/evaluation.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/utils/error.hpp"
 #include "src/utils/logging.hpp"
 #include "src/utils/timer.hpp"
@@ -13,8 +15,35 @@
 namespace fedcav::fl {
 
 namespace {
+
 constexpr std::size_t kServerRank = 0;
-}
+
+// Checkpoint formats. v1 (PR 2) carried only the round counter and the
+// global weights; v2 adds everything needed for bit-identical resume.
+constexpr std::uint64_t kCheckpointMagicV1 = 0xfedca5c4ec9017ULL;
+constexpr std::uint64_t kCheckpointMagicV2 = 0xfedca5c4ec9018ULL;
+
+/// Attributes a scope's wall time to one RoundPhases field and mirrors
+/// it as a "round.phase" trace span. The Stopwatch is unconditional
+/// (two steady-clock reads); the span is inert unless telemetry is on.
+class PhaseTimer {
+ public:
+  PhaseTimer(const char* name, std::size_t round, double& out)
+      : span_(name, "round.phase"), out_(out) {
+    span_.arg("round", static_cast<double>(round));
+  }
+  ~PhaseTimer() { out_ += watch_.seconds(); }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  obs::Span span_;
+  Stopwatch watch_;
+  double& out_;
+};
+
+}  // namespace
 
 void ServerConfig::validate(std::size_t num_clients) const {
   FEDCAV_REQUIRE(sample_ratio > 0.0 && sample_ratio <= 1.0,
@@ -44,6 +73,7 @@ Server::Server(std::unique_ptr<nn::Model> global_model,
   FEDCAV_REQUIRE(!test_set_.empty(), "Server: empty test set");
   config_.validate(clients_.size());
   strategy_->apply_local_overrides(effective_local_);
+  if (config_.telemetry) obs::set_enabled(true);
 
   global_weights_ = global_model_->get_weights();
   cached_weights_ = global_weights_;
@@ -81,17 +111,14 @@ void Server::redistribute_data(std::vector<data::Dataset> per_client) {
 }
 
 ClientUpdate Server::run_participant(std::size_t client_index) {
+  obs::Span span("participant", "client");
+  span.arg("client", static_cast<double>(client_index));
   Client& client = *clients_[client_index];
   if (network_ != nullptr) {
-    // Weights travel through the fabric both ways so byte counters see
+    // The downlink payload was queued by run_round's broadcast phase;
+    // weights travel through the fabric both ways so byte counters see
     // the genuine serialized payloads (Fig. 3 phases ① and ②).
     const std::size_t rank = client_index + 1;
-    comm::GlobalModelMsg down;
-    down.round = round_;
-    down.weights = global_weights_;
-    network_->send(kServerRank, rank,
-                   comm::Envelope{comm::MessageType::kGlobalModel, down.encode()});
-
     auto envelope = network_->try_recv(rank, kServerRank);
     FEDCAV_CHECK(envelope.has_value(), "Server: lost global-model message");
     ByteReader reader(envelope->payload);
@@ -125,9 +152,20 @@ void Server::set_lr_schedule(std::unique_ptr<nn::LrSchedule> schedule) {
 
 void Server::save_checkpoint(const std::string& path) const {
   ByteBuffer buf;
-  write_u64(buf, 0xfedca5c4ec9017ULL);  // magic
+  write_u64(buf, kCheckpointMagicV2);
   write_u64(buf, round_);
   write_f32_span(buf, global_weights_);
+  // The reverse target w_{t-1}: without it a resumed run that trips the
+  // detector would "reverse" to whatever the loader improvised.
+  write_f32_span(buf, cached_weights_);
+  const std::optional<double> reference = detector_.reference_max();
+  write_u8(buf, reference.has_value() ? 1 : 0);
+  write_f64(buf, reference.value_or(0.0));
+  sampler_.save_state(buf);
+  write_rng_state(buf, straggler_rng_.state());
+  write_u64(buf, clients_.size());
+  for (const auto& client : clients_) client->save_state(buf);
+
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   FEDCAV_REQUIRE(out.good(), "save_checkpoint: cannot open " + path);
   out.write(reinterpret_cast<const char*>(buf.data()),
@@ -140,14 +178,54 @@ void Server::load_checkpoint(const std::string& path) {
   FEDCAV_REQUIRE(in.good(), "load_checkpoint: cannot open " + path);
   ByteBuffer buf((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
   ByteReader reader(buf);
-  FEDCAV_REQUIRE(reader.read_u64() == 0xfedca5c4ec9017ULL,
-                 "load_checkpoint: bad magic in " + path);
+  const std::uint64_t magic = reader.read_u64();
+
+  if (magic == kCheckpointMagicV1) {
+    // Legacy file: weights + round only. The best available reverse
+    // target is the restored model itself, and the detector has to
+    // re-learn its reference.
+    const std::uint64_t saved_round = reader.read_u64();
+    std::vector<float> weights = reader.read_f32_vector();
+    FEDCAV_REQUIRE(weights.size() == global_weights_.size(),
+                   "load_checkpoint: weight count mismatch in " + path);
+    round_ = saved_round;
+    set_global_weights(std::move(weights));
+    cached_weights_ = global_weights_;
+    detector_.reset();
+    return;
+  }
+
+  FEDCAV_REQUIRE(magic == kCheckpointMagicV2, "load_checkpoint: bad magic in " + path);
   const std::uint64_t saved_round = reader.read_u64();
   std::vector<float> weights = reader.read_f32_vector();
   FEDCAV_REQUIRE(weights.size() == global_weights_.size(),
                  "load_checkpoint: weight count mismatch in " + path);
+  std::vector<float> cached = reader.read_f32_vector();
+  FEDCAV_REQUIRE(cached.size() == global_weights_.size(),
+                 "load_checkpoint: cached weight count mismatch in " + path);
+  const bool has_reference = reader.read_u8() != 0;
+  const double reference = reader.read_f64();
+  sampler_.load_state(reader);
+  straggler_rng_.set_state(read_rng_state(reader));
+  const std::uint64_t num_clients = reader.read_u64();
+  FEDCAV_REQUIRE(num_clients == clients_.size(),
+                 "load_checkpoint: client count mismatch in " + path);
+  for (auto& client : clients_) client->load_state(reader);
+  FEDCAV_REQUIRE(reader.exhausted(), "load_checkpoint: trailing bytes in " + path);
+
   round_ = saved_round;
   set_global_weights(std::move(weights));
+  cached_weights_ = std::move(cached);
+  detector_.restore_reference(has_reference ? std::optional<double>(reference)
+                                            : std::nullopt);
+}
+
+void Server::write_telemetry(const std::string& trace_path,
+                             const std::string& metrics_path) const {
+  if (!obs::enabled()) return;
+  if (network_ != nullptr) network_->publish_metrics();
+  if (!trace_path.empty()) obs::Tracer::instance().write_chrome_trace_file(trace_path);
+  if (!metrics_path.empty()) obs::registry().write_summary_file(metrics_path);
 }
 
 metrics::RoundRecord Server::run_round() {
@@ -156,6 +234,8 @@ metrics::RoundRecord Server::run_round() {
   Stopwatch watch;
   metrics::RoundRecord record;
   record.round = round_;
+  obs::Span round_span("round", "round");
+  round_span.arg("round", static_cast<double>(round_));
 
   const std::uint64_t bytes_down_before =
       network_ ? network_->stats(kServerRank).bytes_sent : 0;
@@ -166,20 +246,41 @@ metrics::RoundRecord Server::run_round() {
     }
   }
 
-  const std::vector<std::size_t> participants = sampler_.sample();
+  std::vector<std::size_t> participants;
+  {
+    PhaseTimer phase("sample", round_, record.phases.sample);
+    participants = sampler_.sample();
+  }
   record.participants = participants.size();
+
+  // Downlink broadcast: the global model is serialized once and queued
+  // to every participant before any of them starts training.
+  if (network_ != nullptr) {
+    PhaseTimer phase("broadcast", round_, record.phases.broadcast);
+    comm::GlobalModelMsg down;
+    down.round = round_;
+    down.weights = global_weights_;
+    const comm::Envelope envelope{comm::MessageType::kGlobalModel, down.encode()};
+    for (std::size_t client_index : participants) {
+      network_->send(kServerRank, client_index + 1, envelope);
+    }
+  }
 
   // Phase ①+②ᶜˡⁱᵉⁿᵗ: parallel local work; results land in fixed slots so
   // aggregation order is deterministic (HPC-guide reduction idiom).
   std::vector<ClientUpdate> updates(participants.size());
-  global_thread_pool().parallel_for(participants.size(), [&](std::size_t i) {
-    updates[i] = run_participant(participants[i]);
-  });
+  {
+    PhaseTimer phase("local_update", round_, record.phases.local_update);
+    global_thread_pool().parallel_for(participants.size(), [&](std::size_t i) {
+      updates[i] = run_participant(participants[i]);
+    });
+  }
 
   // Stragglers: each report is lost independently with the configured
   // probability; the round proceeds with whoever got through.
   std::vector<std::size_t> surviving = participants;
   if (config_.straggler_drop_prob > 0.0) {
+    PhaseTimer phase("straggler_filter", round_, record.phases.straggler_filter);
     std::vector<ClientUpdate> kept_updates;
     std::vector<std::size_t> kept_participants;
     for (std::size_t i = 0; i < updates.size(); ++i) {
@@ -198,55 +299,68 @@ metrics::RoundRecord Server::run_round() {
     record.participants = updates.size();
   }
 
-  // Adversary hijacks the first sampled participant on attack rounds.
+  // Adversary hijacks the first surviving participant on attack rounds.
   const bool attack_now = adversary_ != nullptr && attack_rounds_.count(round_) > 0;
   if (attack_now) {
+    PhaseTimer phase("attack", round_, record.phases.attack);
     attack::AttackContext ctx;
     ctx.global = &global_weights_;
     ctx.round = round_;
-    ctx.participants = participants.size();
+    // The cohort the adversary scales against is the one that reaches
+    // aggregation: after straggler filtering, participants.size() counts
+    // reports the server never received, while estimated_gamma below is
+    // already computed over the surviving updates.
+    ctx.participants = updates.size();
     const std::vector<double> honest_gamma = strategy_->aggregation_weights(updates);
     ctx.estimated_gamma = honest_gamma.front();
     updates.front() = adversary_->corrupt(std::move(updates.front()), ctx);
     record.attacked = true;
   }
 
-  std::vector<double> losses(updates.size());
-  for (std::size_t i = 0; i < updates.size(); ++i) losses[i] = updates[i].inference_loss;
-  sampler_.observe_losses(surviving, losses);
-  record.mean_inference_loss = 0.0;
-  for (double f : losses) record.mean_inference_loss += f;
-  record.mean_inference_loss /= static_cast<double>(losses.size());
-  record.max_inference_loss = *std::max_element(losses.begin(), losses.end());
-
   // Phase ②ˢᵉʳᵛᵉʳ: detection on the fresh inference losses (they were
   // measured on w_t, i.e. on the *previous* round's aggregation result).
   bool reversed = false;
-  if (config_.detection_enabled) {
-    const core::DetectionResult detection = detector_.check(losses);
-    record.detection_fired = detection.abnormal;
-    if (detection.abnormal) {
-      // Reverse: discard this round's updates, restore the cached model.
-      FEDCAV_LOG_INFO << "round " << round_ << ": detector fired (" << detection.votes
-                      << "/" << detection.voters << " votes), reversing global model";
-      global_weights_ = cached_weights_;
-      reversed = true;
+  std::vector<double> losses(updates.size());
+  {
+    PhaseTimer phase("detect", round_, record.phases.detect);
+    for (std::size_t i = 0; i < updates.size(); ++i) losses[i] = updates[i].inference_loss;
+    sampler_.observe_losses(surviving, losses);
+    record.mean_inference_loss = 0.0;
+    for (double f : losses) record.mean_inference_loss += f;
+    record.mean_inference_loss /= static_cast<double>(losses.size());
+    record.max_inference_loss = *std::max_element(losses.begin(), losses.end());
+
+    if (config_.detection_enabled) {
+      const core::DetectionResult detection = detector_.check(losses);
+      record.detection_fired = detection.abnormal;
+      if (detection.abnormal) {
+        // Reverse: discard this round's updates, restore the cached model.
+        FEDCAV_LOG_INFO << "round " << round_ << ": detector fired (" << detection.votes
+                        << "/" << detection.voters << " votes), reversing global model";
+        global_weights_ = cached_weights_;
+        reversed = true;
+      }
     }
+    record.reversed = reversed;
   }
-  record.reversed = reversed;
 
   // Phase ③: aggregate (normal rounds only).
   if (!reversed) {
+    PhaseTimer phase("aggregate", round_, record.phases.aggregate);
     cached_weights_ = global_weights_;
     if (config_.detection_enabled) detector_.commit(losses);
     global_weights_ = strategy_->aggregate(global_weights_, updates);
   }
 
-  global_model_->set_weights(global_weights_);
-  const metrics::EvalResult eval =
-      metrics::evaluate(*global_model_, test_set_, config_.eval_batch_size);
-  record.test_accuracy = eval.accuracy;
-  record.test_loss = eval.mean_loss;
+  {
+    PhaseTimer phase("eval", round_, record.phases.eval);
+    global_model_->set_weights(global_weights_);
+    const metrics::EvalResult eval =
+        metrics::evaluate(*global_model_, test_set_, config_.eval_batch_size);
+    record.test_accuracy = eval.accuracy;
+    record.test_loss = eval.mean_loss;
+  }
+
   record.wall_seconds = watch.seconds();
   if (network_ != nullptr) {
     record.bytes_down = network_->stats(kServerRank).bytes_sent - bytes_down_before;
@@ -255,6 +369,12 @@ metrics::RoundRecord Server::run_round() {
       bytes_up_after += network_->stats(i).bytes_sent;
     }
     record.bytes_up = bytes_up_after - bytes_up_before;
+    if (obs::enabled()) network_->publish_metrics();
+  }
+  if (obs::enabled()) {
+    auto& reg = obs::registry();
+    reg.counter("server.rounds").add(1);
+    reg.histogram("server.round_seconds").observe(record.wall_seconds);
   }
 
   history_.add(record);

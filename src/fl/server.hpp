@@ -41,6 +41,10 @@ struct ServerConfig {
   /// saves two serialization passes per participant per round.
   bool use_network = true;
   comm::NetworkConfig network;
+  /// Turn on the obs subsystem (span tracing + metrics registry) for
+  /// this process. Off leaves every probe behind a single relaxed
+  /// atomic load — see DESIGN.md §9 for the overhead policy.
+  bool telemetry = false;
 
   void validate(std::size_t num_clients) const;
 };
@@ -81,12 +85,26 @@ class Server {
   /// set to schedule->lr(round). nullptr restores the fixed configured η.
   void set_lr_schedule(std::unique_ptr<nn::LrSchedule> schedule);
 
-  /// Serialize the current global weights to `path` (binary; includes a
-  /// magic, the round counter, and the flat weight vector).
+  /// Serialize the full resumable server state to `path` (binary, v2
+  /// format): round counter, global + cached (reverse-target) weights,
+  /// detector reference, sampler state (RNG stream, round-robin cursor,
+  /// per-client loss memory), straggler RNG, and per-client state (batch
+  /// RNG + FedCurv anchors). A run resumed from the file is bit-identical
+  /// to one that never stopped.
   void save_checkpoint(const std::string& path) const;
-  /// Restore weights (and round counter) from save_checkpoint output.
-  /// Throws fedcav::Error on malformed files or size mismatch.
+  /// Restore state from save_checkpoint output. v1 files (weights +
+  /// round only) still load: the cached weights fall back to the global
+  /// weights and the detector reference resets. Throws fedcav::Error on
+  /// malformed files or size/client-count mismatch; the server state is
+  /// unspecified after a throw partway through a v2 payload.
   void load_checkpoint(const std::string& path);
+
+  /// Flush collected telemetry: a chrome://tracing JSON to `trace_path`
+  /// and the metrics-registry summary JSON to `metrics_path` (either may
+  /// be empty to skip that file). Bridges the comm fabric's traffic
+  /// totals into gauges first. No-op when telemetry is disabled.
+  void write_telemetry(const std::string& trace_path,
+                       const std::string& metrics_path) const;
 
   AggregationStrategy& strategy() { return *strategy_; }
   const core::AnomalyDetector& detector() const { return detector_; }

@@ -68,7 +68,9 @@ void TrainingHistory::write_csv(std::ostream& out) const {
   CsvWriter csv(out);
   csv.header({"round", "test_accuracy", "test_loss", "mean_inference_loss",
               "max_inference_loss", "participants", "detection_fired", "reversed",
-              "attacked", "wall_seconds", "bytes_up", "bytes_down"});
+              "attacked", "wall_seconds", "bytes_up", "bytes_down", "t_sample",
+              "t_broadcast", "t_local_update", "t_straggler_filter", "t_attack",
+              "t_detect", "t_aggregate", "t_eval"});
   for (const auto& r : records_) {
     csv.cell(static_cast<long long>(r.round))
         .cell(r.test_accuracy, 6)
@@ -81,7 +83,15 @@ void TrainingHistory::write_csv(std::ostream& out) const {
         .cell(std::string(r.attacked ? "1" : "0"))
         .cell(r.wall_seconds, 4)
         .cell(static_cast<long long>(r.bytes_up))
-        .cell(static_cast<long long>(r.bytes_down));
+        .cell(static_cast<long long>(r.bytes_down))
+        .cell(r.phases.sample, 6)
+        .cell(r.phases.broadcast, 6)
+        .cell(r.phases.local_update, 6)
+        .cell(r.phases.straggler_filter, 6)
+        .cell(r.phases.attack, 6)
+        .cell(r.phases.detect, 6)
+        .cell(r.phases.aggregate, 6)
+        .cell(r.phases.eval, 6);
     csv.end_row();
   }
 }

@@ -11,6 +11,27 @@
 
 namespace fedcav::metrics {
 
+/// Wall-time attribution of one round across the Fig. 3 workflow
+/// phases. Always measured (a handful of steady-clock reads per round);
+/// the obs tracing layer mirrors these as chrome://tracing spans when
+/// telemetry is enabled. The phases partition run_round, so sum() tracks
+/// RoundRecord::wall_seconds to within the unmeasured glue (< a few µs).
+struct RoundPhases {
+  double sample = 0.0;            // participant selection
+  double broadcast = 0.0;         // global model serialization + downlink
+  double local_update = 0.0;      // parallel client training + uplink
+  double straggler_filter = 0.0;  // drop simulation + cohort compaction
+  double attack = 0.0;            // adversary corruption (attack rounds)
+  double detect = 0.0;            // loss bookkeeping + Eq. 13 + reversal
+  double aggregate = 0.0;         // strategy aggregation + model cache
+  double eval = 0.0;              // held-out evaluation
+
+  double sum() const {
+    return sample + broadcast + local_update + straggler_filter + attack +
+           detect + aggregate + eval;
+  }
+};
+
 struct RoundRecord {
   std::size_t round = 0;
   double test_accuracy = 0.0;
@@ -27,6 +48,7 @@ struct RoundRecord {
   double wall_seconds = 0.0;      // host time spent on the round
   std::uint64_t bytes_up = 0;     // client -> server traffic
   std::uint64_t bytes_down = 0;   // server -> client traffic
+  RoundPhases phases;             // wall_seconds attributed per phase
 };
 
 class TrainingHistory {

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/obs/trace.hpp"
 #include "src/utils/error.hpp"
 
 namespace fedcav::nn {
@@ -32,9 +33,20 @@ float Model::compute_loss(const Tensor& input, const std::vector<std::size_t>& l
 float Model::forward_backward(const Tensor& input, const std::vector<std::size_t>& labels) {
   // Whole step chains workspace-backed references: zero heap allocations
   // once every layer's buffers have reached steady-state capacity.
-  const Tensor& logits = network_->forward(input, /*training=*/true);
-  const float value = loss_->forward(logits, labels);
-  network_->backward(loss_->backward());
+  const Tensor* logits = nullptr;
+  {
+    obs::Span span("forward", "nn");
+    logits = &network_->forward(input, /*training=*/true);
+  }
+  float value = 0.0f;
+  {
+    obs::Span span("loss", "nn");
+    value = loss_->forward(*logits, labels);
+  }
+  {
+    obs::Span span("backward", "nn");
+    network_->backward(loss_->backward());
+  }
   return value;
 }
 

@@ -1,5 +1,6 @@
 #include "src/nn/sequential.hpp"
 
+#include "src/obs/trace.hpp"
 #include "src/utils/error.hpp"
 
 namespace fedcav::nn {
@@ -10,9 +11,29 @@ Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
   return *this;
 }
 
+const char* Sequential::layer_label(std::size_t i) {
+  // Built once per container so the traced path hands Span a stable
+  // C string instead of formatting per call.
+  if (labels_.size() != layers_.size()) {
+    labels_.clear();
+    labels_.reserve(layers_.size());
+    for (std::size_t j = 0; j < layers_.size(); ++j) {
+      labels_.push_back(std::to_string(j) + ":" + layers_[j]->name());
+    }
+  }
+  return labels_[i].c_str();
+}
+
 const Tensor& Sequential::forward(const Tensor& input, bool training) {
   FEDCAV_REQUIRE(!layers_.empty(), "Sequential::forward: empty container");
   const Tensor* x = &input;
+  if (obs::enabled()) {
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      obs::Span span(layer_label(i), "nn.forward");
+      x = &layers_[i]->forward(*x, training);
+    }
+    return *x;
+  }
   for (auto& l : layers_) x = &l->forward(*x, training);
   return *x;
 }
@@ -20,6 +41,13 @@ const Tensor& Sequential::forward(const Tensor& input, bool training) {
 const Tensor& Sequential::backward(const Tensor& grad_output) {
   FEDCAV_REQUIRE(!layers_.empty(), "Sequential::backward: empty container");
   const Tensor* g = &grad_output;
+  if (obs::enabled()) {
+    for (std::size_t i = layers_.size(); i-- > 0;) {
+      obs::Span span(layer_label(i), "nn.backward");
+      g = &layers_[i]->backward(*g);
+    }
+    return *g;
+  }
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = &(*it)->backward(*g);
   return *g;
 }

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/nn/layer.hpp"
@@ -27,7 +28,12 @@ class Sequential : public Layer {
   Layer& layer(std::size_t i);
 
  private:
+  /// Stable "index:LayerName" label for per-layer trace spans (built
+  /// lazily, only on traced passes).
+  const char* layer_label(std::size_t i);
+
   std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<std::string> labels_;  // trace labels, parallel to layers_
 };
 
 }  // namespace fedcav::nn

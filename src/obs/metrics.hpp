@@ -1,0 +1,117 @@
+// Process-wide metrics registry: counters, gauges, and log-bucketed
+// histograms, all safe for concurrent update from pool threads.
+//
+// Instruments follow the cached-reference idiom:
+//
+//   if (obs::enabled()) {
+//     static obs::Counter& calls = obs::registry().counter("gemm.calls");
+//     calls.add(1);
+//   }
+//
+// The registry lookup (map + mutex) happens once per call site; updates
+// after that are single relaxed atomic RMWs. The registry owns every
+// instrument for the process lifetime, so cached references never
+// dangle. Names are namespaced per instrument kind (a counter and a
+// gauge may share a name; within a kind the name returns the same
+// instrument).
+//
+// The whole layer is passive: instruments are only bumped behind
+// `obs::enabled()` checks, so a disabled run pays one relaxed load per
+// probe and allocates nothing.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "src/obs/trace.hpp"  // obs::enabled()
+
+namespace fedcav::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Lock-free histogram over base-2 log-spaced buckets covering
+/// [2^-32, 2^32) — enough range for nanoseconds-to-kiloseconds
+/// durations, byte counts, or FLOP tallies. Quantiles are bucket
+/// midpoints (geometric), so they carry at most a factor-of-2 error;
+/// count/sum/min/max are exact.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 66;  // underflow + 64 octaves + overflow
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  double min() const;  // +inf when empty
+  double max() const;  // -inf when empty
+  /// Approximate quantile, q in [0, 1].
+  double quantile(double q) const;
+  void reset();
+
+ private:
+  static std::size_t bucket_index(double v);
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid only when count_ > 0
+  std::atomic<double> max_{0.0};
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Find-or-create; the returned reference lives for the process.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Zero every registered instrument (registrations survive).
+  void reset();
+
+  /// JSON summary: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, mean, min, max, p50, p90, p99}}}.
+  void write_summary(std::ostream& out) const;
+  std::string summary_json() const;
+  void write_summary_file(const std::string& path) const;
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+inline Registry& registry() { return Registry::instance(); }
+
+}  // namespace fedcav::obs

@@ -1,0 +1,148 @@
+// Scoped-span tracing with a chrome://tracing-compatible JSON exporter.
+//
+// The runtime switch (`obs::set_enabled`) gates every probe in the
+// library: a disabled Span constructor is one relaxed atomic load and no
+// clock read, so instrumented hot paths (per-layer forward/backward,
+// GEMM, the thread pool) cost nothing measurable when telemetry is off.
+// Defining FEDCAV_DISABLE_OBS removes even that load at compile time —
+// `enabled()` becomes `constexpr false` and every `if (enabled())` body
+// is dead code.
+//
+// Threading model: spans may start and end on any thread. Each thread
+// owns a buffer (registered with the singleton Tracer on first use) and
+// appends under that buffer's own mutex, so recording threads never
+// contend with each other — only with a concurrent snapshot/flush, which
+// happens between rounds or at process end.
+//
+// Export: Tracer::write_chrome_trace emits the Trace Event Format
+// ("traceEvents" array of ph:"X" complete events, microsecond units)
+// that chrome://tracing and https://ui.perfetto.dev load directly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fedcav::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+#if defined(FEDCAV_DISABLE_OBS)
+constexpr bool enabled() { return false; }
+#else
+/// True when telemetry (tracing + metrics) is collecting.
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+#endif
+
+/// Flip telemetry collection on or off (process-wide).
+void set_enabled(bool on);
+
+/// One completed span. Times are nanoseconds since the Tracer's epoch
+/// (construction of the singleton, i.e. first instrumented call).
+struct TraceEvent {
+  std::string name;
+  const char* cat = "";         // static-lifetime category string
+  std::uint64_t ts_ns = 0;      // start time
+  std::uint64_t dur_ns = 0;     // duration
+  std::uint32_t tid = 0;        // registration-order thread id
+  const char* arg_key = nullptr;  // optional single numeric argument
+  double arg_value = 0.0;
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Nanoseconds since the tracer epoch (steady clock).
+  std::uint64_t now_ns() const;
+
+  /// Append a finished event to the calling thread's buffer.
+  void record(TraceEvent ev);
+
+  /// Merged copy of every thread's events (unsorted across threads).
+  std::vector<TraceEvent> events() const;
+
+  /// Number of recorded events across all threads.
+  std::size_t event_count() const;
+
+  /// Drop all recorded events (buffers stay registered).
+  void clear();
+
+  /// Emit the Trace Event Format JSON for every recorded event.
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// Same, to a file. Throws fedcav::Error when the file cannot be
+  /// written.
+  void write_chrome_trace_file(const std::string& path) const;
+
+ private:
+  struct Buffer {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;
+  };
+
+  Tracer();
+  Buffer& thread_buffer();
+
+  mutable std::mutex registry_mutex_;
+  std::vector<std::shared_ptr<Buffer>> buffers_;
+  std::uint64_t epoch_ns_;  // steady-clock ns at construction
+
+  friend class Span;
+};
+
+/// RAII scoped span: records one complete event from construction to
+/// destruction. Inert (no clock reads, nothing recorded) when telemetry
+/// is disabled at construction or when `name` is null.
+class Span {
+ public:
+  Span(const char* name, const char* cat) {
+    if (enabled() && name != nullptr) start(name, cat);
+  }
+  Span(std::string name, const char* cat) {
+    if (enabled()) start(std::move(name), cat);
+  }
+  ~Span() {
+    if (active_) finish();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach one numeric argument (`key` must have static lifetime).
+  void arg(const char* key, double value) {
+    if (active_) {
+      arg_key_ = key;
+      arg_value_ = value;
+    }
+  }
+
+  bool active() const { return active_; }
+
+ private:
+  void start(std::string name, const char* cat);
+  void finish();
+
+  std::string name_;
+  const char* cat_ = "";
+  const char* arg_key_ = nullptr;
+  double arg_value_ = 0.0;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+#define FEDCAV_OBS_CONCAT_IMPL(a, b) a##b
+#define FEDCAV_OBS_CONCAT(a, b) FEDCAV_OBS_CONCAT_IMPL(a, b)
+/// Scoped span covering the rest of the enclosing block.
+#define FEDCAV_SPAN(name, cat) \
+  ::fedcav::obs::Span FEDCAV_OBS_CONCAT(fedcav_span_, __LINE__)(name, cat)
+
+}  // namespace fedcav::obs

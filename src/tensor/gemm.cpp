@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/utils/error.hpp"
 
 namespace fedcav::ops {
@@ -190,6 +192,14 @@ void gemm_prepacked(const PackedA& a, Trans tb, std::size_t n, const float* b,
   const std::size_t m = a.m;
   const std::size_t k = a.k;
   if (m == 0 || n == 0) return;
+  if (obs::enabled()) {
+    // Every GEMM entry point funnels through here, so one pair of
+    // counters covers the whole library's matrix-multiply volume.
+    static obs::Counter& calls = obs::registry().counter("gemm.calls");
+    static obs::Counter& flops = obs::registry().counter("gemm.flops");
+    calls.add(1);
+    flops.add(static_cast<std::uint64_t>(2) * m * n * k);
+  }
   if (k == 0) {
     // Degenerate contraction: C = beta·C.
     for (std::size_t r = 0; r < m; ++r) {

@@ -6,6 +6,8 @@
 
 namespace fedcav {
 
+void write_u8(ByteBuffer& buf, std::uint8_t v) { buf.push_back(v); }
+
 void write_u64(ByteBuffer& buf, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
 }
@@ -93,6 +95,20 @@ Tensor read_tensor(ByteReader& reader) {
   }
   std::vector<float> data = reader.read_f32_vector();
   return Tensor(shape, std::move(data));
+}
+
+void write_rng_state(ByteBuffer& buf, const RngState& state) {
+  for (std::size_t i = 0; i < 4; ++i) write_u64(buf, state.s[i]);
+  write_u8(buf, state.has_cached_normal ? 1 : 0);
+  write_f64(buf, state.cached_normal);
+}
+
+RngState read_rng_state(ByteReader& reader) {
+  RngState state;
+  for (std::size_t i = 0; i < 4; ++i) state.s[i] = reader.read_u64();
+  state.has_cached_normal = reader.read_u8() != 0;
+  state.cached_normal = reader.read_f64();
+  return state;
 }
 
 }  // namespace fedcav

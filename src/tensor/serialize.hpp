@@ -11,12 +11,14 @@
 #include <vector>
 
 #include "src/tensor/tensor.hpp"
+#include "src/utils/rng.hpp"
 
 namespace fedcav {
 
 using ByteBuffer = std::vector<std::uint8_t>;
 
 /// Append primitives to a buffer.
+void write_u8(ByteBuffer& buf, std::uint8_t v);
 void write_u64(ByteBuffer& buf, std::uint64_t v);
 void write_f32(ByteBuffer& buf, float v);
 void write_f64(ByteBuffer& buf, double v);
@@ -45,5 +47,10 @@ class ByteReader {
 /// Tensor framing: shape rank + dims + payload.
 void write_tensor(ByteBuffer& buf, const Tensor& t);
 Tensor read_tensor(ByteReader& reader);
+
+/// RNG state framing (4×u64 xoshiro words + Box-Muller cache) — the
+/// checkpoint format uses this to resume every random stream exactly.
+void write_rng_state(ByteBuffer& buf, const RngState& state);
+RngState read_rng_state(ByteReader& reader);
 
 }  // namespace fedcav

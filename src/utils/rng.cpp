@@ -127,4 +127,20 @@ Rng Rng::fork() {
   return Rng(a ^ rotl(b, 29));
 }
 
+RngState Rng::state() const {
+  RngState state;
+  for (std::size_t i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::set_state(const RngState& state) {
+  FEDCAV_REQUIRE((state.s[0] | state.s[1] | state.s[2] | state.s[3]) != 0,
+                 "Rng::set_state: all-zero xoshiro state");
+  for (std::size_t i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace fedcav

@@ -18,6 +18,16 @@ namespace fedcav {
 /// state and to derive independent child seeds.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Complete serializable snapshot of an Rng. Restoring a state resumes
+/// the exact output stream — the checkpoint/resume path depends on this
+/// for bit-identical continuation of sampling, straggler draws, and
+/// client batch shuffles.
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// Deterministic, portable PRNG (xoshiro256**) with the distribution
 /// helpers the library needs. Copyable; copies advance independently.
 class Rng {
@@ -74,6 +84,10 @@ class Rng {
   /// Derive an independent child generator; the child stream does not
   /// overlap this one for any practical horizon.
   Rng fork();
+
+  /// Snapshot / restore the full generator state (see RngState).
+  RngState state() const;
+  void set_state(const RngState& state);
 
  private:
   std::uint64_t s_[4];

@@ -3,9 +3,17 @@
 #include <algorithm>
 #include <exception>
 
+#include "src/obs/metrics.hpp"
 #include "src/utils/error.hpp"
+#include "src/utils/timer.hpp"
 
 namespace fedcav {
+
+namespace {
+// Which pool (if any) the current thread belongs to. Set once per worker
+// at thread start; parallel_for consults it to detect nested calls.
+thread_local const ThreadPool* t_owner_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -28,20 +36,42 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+bool ThreadPool::in_worker_thread() const { return t_owner_pool == this; }
+
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> pt(std::move(task));
   std::future<void> fut = pt.get_future();
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     FEDCAV_CHECK(!stop_, "ThreadPool::submit after shutdown");
     tasks_.push(std::move(pt));
+    depth = tasks_.size();
   }
   cv_.notify_one();
+  if (obs::enabled()) {
+    static obs::Counter& submitted = obs::registry().counter("pool.tasks_submitted");
+    static obs::Gauge& queue_depth = obs::registry().gauge("pool.queue_depth");
+    submitted.add(1);
+    queue_depth.set(static_cast<double>(depth));
+  }
   return fut;
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  if (in_worker_thread()) {
+    // Nested call from inside the pool: running the chunks inline keeps
+    // this worker productive instead of parking it in f.get() while the
+    // queued chunks wait for workers that may all be parked the same way
+    // (the classic nested-fork-join deadlock).
+    if (obs::enabled()) {
+      static obs::Counter& nested = obs::registry().counter("pool.nested_parallel_for");
+      nested.add(1);
+    }
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
   // Static block partition: chunk c covers [c*step, min(n, (c+1)*step)).
   const std::size_t chunks = std::min(n, workers_.size());
   const std::size_t step = (n + chunks - 1) / chunks;
@@ -67,6 +97,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
 }
 
 void ThreadPool::worker_loop() {
+  t_owner_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -76,7 +107,19 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();  // packaged_task captures exceptions into the future
+    if (obs::enabled()) {
+      static obs::Counter& completed = obs::registry().counter("pool.tasks_completed");
+      static obs::Counter& busy_ns = obs::registry().counter("pool.busy_ns");
+      static obs::Histogram& task_s = obs::registry().histogram("pool.task_seconds");
+      Stopwatch watch;
+      task();  // packaged_task captures exceptions into the future
+      const double seconds = watch.seconds();
+      completed.add(1);
+      busy_ns.add(static_cast<std::uint64_t>(seconds * 1e9));
+      task_s.observe(seconds);
+    } else {
+      task();
+    }
   }
 }
 

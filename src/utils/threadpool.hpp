@@ -37,7 +37,15 @@ class ThreadPool {
   /// Run body(i) for every i in [0, n), partitioned across the pool.
   /// Blocks until all iterations finish. Exceptions from the body are
   /// rethrown (the first one encountered in index order).
+  ///
+  /// Re-entrancy: when called from one of this pool's own worker threads
+  /// (nested parallelism) the iterations run inline on the caller —
+  /// queueing them and blocking in get() could leave every worker
+  /// waiting on tasks only the blocked workers would execute.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool in_worker_thread() const;
 
  private:
   void worker_loop();

@@ -1,0 +1,179 @@
+// Checkpoint v2 resume semantics: a run restored into a *fresh* server
+// must continue bit-identically to one that never stopped — including
+// sampler streams, straggler draws, per-client shuffle RNGs, the cached
+// reverse-target weights, and the detector reference. Also covers the
+// v1 compatibility path and malformed-file rejection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/fl/simulation.hpp"
+#include "src/tensor/serialize.hpp"
+#include "src/utils/error.hpp"
+#include "src/utils/logging.hpp"
+
+namespace fedcav {
+namespace {
+
+fl::SimulationConfig small_config() {
+  fl::SimulationConfig config;
+  config.dataset = "digits";
+  config.model = "mlp";
+  config.train_samples_per_class = 12;
+  config.test_samples_per_class = 8;
+  config.partition.num_clients = 6;
+  config.server.sample_ratio = 0.5;
+  config.server.local.epochs = 2;
+  config.server.local.batch_size = 8;
+  return config;
+}
+
+std::string temp_path(const std::string& name) { return ::testing::TempDir() + name; }
+
+/// Everything in a RoundRecord except wall-clock timings must match
+/// exactly between an uninterrupted run and a resumed one.
+void expect_records_identical(const metrics::RoundRecord& a,
+                              const metrics::RoundRecord& b) {
+  EXPECT_EQ(a.round, b.round);
+  EXPECT_EQ(a.test_accuracy, b.test_accuracy);
+  EXPECT_EQ(a.test_loss, b.test_loss);
+  EXPECT_EQ(a.mean_inference_loss, b.mean_inference_loss);
+  EXPECT_EQ(a.max_inference_loss, b.max_inference_loss);
+  EXPECT_EQ(a.participants, b.participants);
+  EXPECT_EQ(a.detection_fired, b.detection_fired);
+  EXPECT_EQ(a.reversed, b.reversed);
+  EXPECT_EQ(a.attacked, b.attacked);
+  EXPECT_EQ(a.bytes_up, b.bytes_up);
+  EXPECT_EQ(a.bytes_down, b.bytes_down);
+}
+
+TEST(CheckpointResume, FreshServerContinuesBitIdentically) {
+  set_log_level(LogLevel::kError);
+  // Loss-biased sampling + stragglers exercise every serialized stream:
+  // the sampler's RNG and loss memory, and the straggler RNG.
+  fl::SimulationConfig config = small_config();
+  config.server.sampler = fl::SamplerPolicy::kLossBiased;
+  config.server.straggler_drop_prob = 0.2;
+
+  fl::Simulation continuous = fl::build_simulation(config);
+  continuous.server->run(4);
+
+  fl::Simulation first_half = fl::build_simulation(config);
+  first_half.server->run(2);
+  const std::string path = temp_path("fedcav_resume_ckpt.bin");
+  first_half.server->save_checkpoint(path);
+
+  fl::Simulation resumed = fl::build_simulation(config);
+  resumed.server->load_checkpoint(path);
+  EXPECT_EQ(resumed.server->current_round(), 2u);
+  resumed.server->run(2);
+
+  EXPECT_EQ(resumed.server->global_weights(), continuous.server->global_weights());
+  ASSERT_EQ(resumed.server->history().rounds(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    expect_records_identical(continuous.server->history()[2 + i],
+                             resumed.server->history()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, DetectorReversesFromRestoredCache) {
+  set_log_level(LogLevel::kError);
+  // A replacement attack at round 3 drives round 4's inference losses
+  // past the detector's reference, so round 4 reverses onto the cached
+  // weights — state that only survives a save/load through the v2
+  // format (a v1 resume would improvise both and diverge).
+  fl::SimulationConfig config = small_config();
+  config.server.detection_enabled = true;
+  config.attack = "replacement";
+  config.attack_rounds = {3};
+
+  fl::Simulation continuous = fl::build_simulation(config);
+  continuous.server->run(5);
+  ASSERT_TRUE(continuous.server->history()[2].attacked);
+  ASSERT_TRUE(continuous.server->history()[3].detection_fired)
+      << "attack was not strong enough to trip the detector";
+  ASSERT_TRUE(continuous.server->history()[3].reversed);
+
+  fl::Simulation first_half = fl::build_simulation(config);
+  first_half.server->run(3);  // attack included; detection still pending
+  const std::string path = temp_path("fedcav_detect_ckpt.bin");
+  first_half.server->save_checkpoint(path);
+
+  fl::Simulation resumed = fl::build_simulation(config);
+  resumed.server->load_checkpoint(path);
+  resumed.server->run(2);
+
+  ASSERT_EQ(resumed.server->history().rounds(), 2u);
+  EXPECT_TRUE(resumed.server->history()[0].reversed);
+  for (std::size_t i = 0; i < 2; ++i) {
+    expect_records_identical(continuous.server->history()[3 + i],
+                             resumed.server->history()[i]);
+  }
+  EXPECT_EQ(resumed.server->global_weights(), continuous.server->global_weights());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, LoadsLegacyV1Files) {
+  set_log_level(LogLevel::kError);
+  fl::SimulationConfig config = small_config();
+  fl::Simulation sim = fl::build_simulation(config);
+  sim.server->run(1);
+  const nn::Weights weights = sim.server->global_weights();
+
+  // Hand-written v1 payload: magic, round, weights — nothing else.
+  ByteBuffer buf;
+  write_u64(buf, 0xfedca5c4ec9017ULL);
+  write_u64(buf, 7);
+  write_f32_span(buf, weights);
+  const std::string path = temp_path("fedcav_v1_ckpt.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+  }
+
+  fl::Simulation fresh = fl::build_simulation(config);
+  fresh.server->load_checkpoint(path);
+  EXPECT_EQ(fresh.server->current_round(), 7u);
+  EXPECT_EQ(fresh.server->global_weights(), weights);
+  EXPECT_FALSE(fresh.server->detector().has_reference());
+  fresh.server->run_round();  // resumable, just not bit-identical
+  EXPECT_EQ(fresh.server->current_round(), 8u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, RejectsClientCountMismatch) {
+  set_log_level(LogLevel::kError);
+  fl::SimulationConfig config = small_config();
+  fl::Simulation sim = fl::build_simulation(config);
+  sim.server->run(1);
+  const std::string path = temp_path("fedcav_mismatch_ckpt.bin");
+  sim.server->save_checkpoint(path);
+
+  fl::SimulationConfig other = small_config();
+  other.partition.num_clients = 5;
+  fl::Simulation smaller = fl::build_simulation(other);
+  EXPECT_THROW(smaller.server->load_checkpoint(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, RejectsTrailingBytes) {
+  set_log_level(LogLevel::kError);
+  fl::SimulationConfig config = small_config();
+  fl::Simulation sim = fl::build_simulation(config);
+  sim.server->run(1);
+  const std::string path = temp_path("fedcav_trailing_ckpt.bin");
+  sim.server->save_checkpoint(path);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.put('\0');
+  }
+  fl::Simulation fresh = fl::build_simulation(config);
+  EXPECT_THROW(fresh.server->load_checkpoint(path), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fedcav

@@ -454,6 +454,49 @@ TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&global_thread_pool(), &global_thread_pool());
 }
 
+TEST(ThreadPool, NestedParallelForCompletesAndCoversEveryIndex) {
+  // A worker calling back into its own pool must not block on the queue
+  // (the classic fork-join deadlock); the inner loop runs inline.
+  ThreadPool pool(2);
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 8;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.parallel_for(kOuter, [&](std::size_t i) {
+    pool.parallel_for(kInner, [&](std::size_t j) {
+      hits[i * kInner + j].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesInnerExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4,
+                        [&](std::size_t) {
+                          pool.parallel_for(4, [](std::size_t j) {
+                            if (j == 2) throw Error("inner failure");
+                          });
+                        }),
+      Error);
+}
+
+TEST(ThreadPool, InWorkerThreadDistinguishesCallers) {
+  ThreadPool pool(2);
+  ThreadPool other(1);
+  EXPECT_FALSE(pool.in_worker_thread());
+  std::atomic<bool> inside{false};
+  std::atomic<bool> foreign{false};
+  pool.submit([&] {
+      inside.store(pool.in_worker_thread());
+      foreign.store(other.in_worker_thread());
+    }).get();
+  EXPECT_TRUE(inside.load());
+  // A different pool's worker is not "inside" this pool: its
+  // parallel_for calls from there still go through the queue.
+  EXPECT_FALSE(foreign.load());
+}
+
 // --------------------------------------------------------------- timer
 
 TEST(Timer, StopwatchAdvances) {
