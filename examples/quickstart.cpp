@@ -24,6 +24,18 @@ int main(int argc, char** argv) {
   cli.add_string("config", "", "key=value experiment file overriding the flags");
   cli.add_string("trace", "", "enable telemetry; write chrome://tracing JSON here");
   cli.add_string("metrics", "", "enable telemetry; write metrics summary JSON here");
+  // Fault injection (see DESIGN.md §10): all probabilities per message.
+  cli.add_double("fault-drop", 0.0, "per-message drop probability");
+  cli.add_double("fault-dup", 0.0, "per-message duplication probability");
+  cli.add_double("fault-reorder", 0.0, "per-message reorder probability");
+  cli.add_double("fault-corrupt", 0.0, "per-message bit-flip probability");
+  cli.add_double("fault-truncate", 0.0, "per-message truncation probability");
+  cli.add_double("fault-jitter", 0.0, "max extra latency per message (simulated s)");
+  cli.add_int("fault-seed", 0, "seed of the per-link fault streams");
+  cli.add_string("crash", "", "crash schedule rank:first-last[,...] (client i = rank i+1)");
+  cli.add_int("quorum", 1, "min surviving updates to aggregate; below it the round skips");
+  cli.add_int("max-retries", 3, "retransmissions per lost/corrupt message");
+  cli.add_double("uplink-deadline", 0.0, "simulated-s budget per report (0 = off)");
   if (!cli.parse(argc, argv)) return 0;
 
   set_log_level(LogLevel::kWarn);
@@ -70,6 +82,19 @@ int main(int argc, char** argv) {
   const std::string metrics_path = cli.get_string("metrics");
   config.server.telemetry = !trace_path.empty() || !metrics_path.empty();
 
+  comm::FaultPlan& faults = config.server.network.faults;
+  faults.drop_prob = cli.get_double("fault-drop");
+  faults.duplicate_prob = cli.get_double("fault-dup");
+  faults.reorder_prob = cli.get_double("fault-reorder");
+  faults.corrupt_prob = cli.get_double("fault-corrupt");
+  faults.truncate_prob = cli.get_double("fault-truncate");
+  faults.jitter_s = cli.get_double("fault-jitter");
+  faults.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed"));
+  faults.crashes = comm::parse_crash_spec(cli.get_string("crash"));
+  config.server.min_aggregate_clients = static_cast<std::size_t>(cli.get_int("quorum"));
+  config.server.max_retries = static_cast<std::size_t>(cli.get_int("max-retries"));
+  config.server.uplink_deadline_s = cli.get_double("uplink-deadline");
+
   fl::Simulation sim = fl::build_simulation(config);
   std::printf("dataset=%s model=%s strategy=%s clients=%zu params=%zu\n",
               config.dataset.c_str(), config.model.c_str(), config.strategy.c_str(),
@@ -82,6 +107,31 @@ int main(int argc, char** argv) {
                 rec.test_loss, rec.mean_inference_loss);
   }
   std::printf("best accuracy: %.4f\n", sim.server->history().best_accuracy());
+
+  if (faults.enabled() && sim.server->network() != nullptr) {
+    const comm::FaultStats f = sim.server->network()->fault_stats();
+    std::uint64_t retries = 0;
+    std::uint64_t crc_failures = 0;
+    std::size_t skipped = 0;
+    for (const auto& rec : sim.server->history().records()) {
+      retries += rec.retries;
+      crc_failures += rec.crc_failures;
+      if (rec.skipped) ++skipped;
+    }
+    std::printf(
+        "faults: dropped=%llu crash_dropped=%llu dup=%llu reorder=%llu "
+        "corrupt=%llu truncate=%llu delivered=%llu jitter=%.3fs\n",
+        static_cast<unsigned long long>(f.dropped),
+        static_cast<unsigned long long>(f.crash_dropped),
+        static_cast<unsigned long long>(f.duplicated),
+        static_cast<unsigned long long>(f.reordered),
+        static_cast<unsigned long long>(f.corrupted),
+        static_cast<unsigned long long>(f.truncated),
+        static_cast<unsigned long long>(f.delivered), f.jitter_seconds);
+    std::printf("recovery: retries=%llu crc_failures=%llu rounds_skipped=%zu\n",
+                static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(crc_failures), skipped);
+  }
 
   if (config.server.telemetry) {
     sim.server->write_telemetry(trace_path, metrics_path);

@@ -2,8 +2,10 @@
 # Tier-1 gate, run from anywhere: configure + build + ctest, first in the
 # default configuration, then with FEDCAV_SANITIZE=ON (ASan+UBSan), and
 # finally with FEDCAV_SANITIZE=thread (TSan) over the concurrency-heavy
-# suites (thread pool, obs tracer/registry, server rounds). Each
-# configuration gets its own build tree so they never thrash one cache.
+# suites (thread pool, obs tracer/registry, server rounds, and the
+# fault-injection chaos/golden suites — the retry protocol runs on pool
+# threads, so TSan coverage there is mandatory). Each configuration gets
+# its own build tree so they never thrash one cache.
 #
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
@@ -32,7 +34,7 @@ ctest_args=("$@")
 run_config "${repo}/build" ""
 run_config "${repo}/build-sanitize" "" -DFEDCAV_SANITIZE=ON
 run_config "${repo}/build-tsan" \
-  "ThreadPool|Obs|CheckpointResume|Server|Integration" \
+  "ThreadPool|Obs|CheckpointResume|Server|Integration|Chaos|Faults|GoldenRun" \
   -DFEDCAV_SANITIZE=thread
 
 echo "OK: plain, sanitized, and thread-sanitized tier-1 suites passed"

@@ -1,0 +1,32 @@
+#include "src/comm/crc32.hpp"
+
+#include <array>
+
+namespace fedcav::comm {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_crc_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, std::span<const std::uint8_t> data) {
+  for (std::uint8_t byte : data) {
+    crc = kTable[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+}  // namespace fedcav::comm

@@ -1,0 +1,57 @@
+#include "src/comm/faults.hpp"
+
+#include "src/utils/error.hpp"
+#include "src/utils/string_util.hpp"
+
+namespace fedcav::comm {
+
+bool FaultPlan::enabled() const {
+  return drop_prob > 0.0 || duplicate_prob > 0.0 || reorder_prob > 0.0 ||
+         corrupt_prob > 0.0 || truncate_prob > 0.0 || jitter_s > 0.0 ||
+         !crashes.empty();
+}
+
+bool FaultPlan::offline(std::size_t rank, std::size_t round) const {
+  for (const CrashWindow& w : crashes) {
+    if (w.rank == rank && round >= w.first_round && round <= w.last_round) return true;
+  }
+  return false;
+}
+
+void FaultPlan::validate(std::size_t num_endpoints) const {
+  const double probs[] = {drop_prob, duplicate_prob, reorder_prob, corrupt_prob,
+                          truncate_prob};
+  for (double p : probs) {
+    FEDCAV_REQUIRE(p >= 0.0 && p <= 1.0, "FaultPlan: probability outside [0, 1]");
+  }
+  FEDCAV_REQUIRE(jitter_s >= 0.0, "FaultPlan: negative jitter");
+  for (const CrashWindow& w : crashes) {
+    FEDCAV_REQUIRE(w.rank < num_endpoints, "FaultPlan: crash rank out of range");
+    FEDCAV_REQUIRE(w.first_round >= 1 && w.first_round <= w.last_round,
+                   "FaultPlan: malformed crash window (need 1 <= first <= last)");
+  }
+}
+
+std::vector<CrashWindow> parse_crash_spec(const std::string& spec) {
+  std::vector<CrashWindow> windows;
+  if (spec.empty()) return windows;
+  for (const std::string& entry : split(spec, ',')) {
+    const auto colon = entry.find(':');
+    const auto dash = entry.find('-', colon == std::string::npos ? 0 : colon + 1);
+    FEDCAV_REQUIRE(colon != std::string::npos && dash != std::string::npos,
+                   "parse_crash_spec: expected rank:first-last, got '" + entry + "'");
+    try {
+      CrashWindow w;
+      w.rank = static_cast<std::size_t>(std::stoull(entry.substr(0, colon)));
+      w.first_round =
+          static_cast<std::size_t>(std::stoull(entry.substr(colon + 1, dash - colon - 1)));
+      w.last_round = static_cast<std::size_t>(std::stoull(entry.substr(dash + 1)));
+      windows.push_back(w);
+    } catch (const std::exception&) {
+      throw Error("parse_crash_spec: bad number in '" + entry + "'");
+    }
+  }
+  return windows;
+}
+
+}  // namespace fedcav::comm

@@ -1,0 +1,90 @@
+// Deterministic fault injection for the in-memory comm fabric.
+//
+// A FaultPlan describes how an unreliable edge network misbehaves:
+// per-message drop / duplicate / reorder probabilities, payload
+// corruption and truncation, extra latency jitter, and per-round client
+// crash windows (a crashed endpoint neither sends nor receives). Every
+// decision is drawn from a *per-link* RNG stream seeded from
+// (plan seed, src, dst), so the injected fault sequence depends only on
+// each link's own message order — never on how pool threads interleave
+// across links. That is what makes a chaos run bit-reproducible with
+// any thread-pool size.
+//
+// A default-constructed plan is inert: `enabled()` is false and the
+// fabric skips the fault path entirely, byte-for-byte reproducing
+// fault-free traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fedcav::comm {
+
+/// One endpoint's outage: the endpoint with fabric rank `rank` (server
+/// is rank 0, client i is rank i+1) is offline for every round in
+/// [first_round, last_round], inclusive, 1-based — it rejoins on round
+/// last_round + 1. Messages to or from an offline endpoint are dropped
+/// at send time and counted as crash drops.
+struct CrashWindow {
+  std::size_t rank = 0;
+  std::size_t first_round = 1;
+  std::size_t last_round = 1;
+};
+
+struct FaultPlan {
+  /// Root seed for the per-link decision streams.
+  std::uint64_t seed = 0;
+  /// Probability a message is silently lost in flight.
+  double drop_prob = 0.0;
+  /// Probability a message is delivered twice (a stale second copy the
+  /// receiver must recognize and discard).
+  double duplicate_prob = 0.0;
+  /// Probability a message overtakes the previously queued message on
+  /// the same link.
+  double reorder_prob = 0.0;
+  /// Probability one bit of the wire image is flipped in flight.
+  double corrupt_prob = 0.0;
+  /// Probability the wire image is cut to a strict prefix.
+  double truncate_prob = 0.0;
+  /// Extra per-message latency, drawn uniformly from [0, jitter_s]
+  /// seconds of simulated time.
+  double jitter_s = 0.0;
+  /// Scheduled outages (see CrashWindow).
+  std::vector<CrashWindow> crashes;
+
+  /// True when any fault can actually fire. The fabric bypasses the
+  /// whole injection path (including RNG draws) when this is false.
+  bool enabled() const;
+
+  /// True when `rank` is inside a crash window at `round`.
+  bool offline(std::size_t rank, std::size_t round) const;
+
+  /// Throws fedcav::Error when a probability is outside [0, 1], the
+  /// jitter is negative, or a crash window is malformed or names a rank
+  /// outside [0, num_endpoints).
+  void validate(std::size_t num_endpoints) const;
+};
+
+/// Cumulative fabric-wide fault accounting. Conservation invariant the
+/// chaos suite pins: for every fabric,
+///   messages_sent + duplicated ==
+///       delivered + dropped + crash_dropped + pending_messages().
+struct FaultStats {
+  std::uint64_t dropped = 0;        // lost to drop_prob
+  std::uint64_t crash_dropped = 0;  // lost to a crash window
+  std::uint64_t duplicated = 0;     // extra copies enqueued
+  std::uint64_t reordered = 0;      // messages that overtook a neighbor
+  std::uint64_t corrupted = 0;      // wire images with a flipped bit
+  std::uint64_t truncated = 0;      // wire images cut short
+  std::uint64_t delivered = 0;      // messages popped by a receiver
+  /// Total injected extra latency (simulated seconds).
+  double jitter_seconds = 0.0;
+};
+
+/// Parse a crash schedule of the form "rank:first-last[,rank:first-last...]"
+/// (e.g. "3:2-5,7:1-1"). Ranks are fabric ranks (client id + 1 when the
+/// schedule targets clients). Throws fedcav::Error on malformed specs.
+std::vector<CrashWindow> parse_crash_spec(const std::string& spec);
+
+}  // namespace fedcav::comm

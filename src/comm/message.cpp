@@ -1,5 +1,6 @@
 #include "src/comm/message.hpp"
 
+#include "src/comm/crc32.hpp"
 #include "src/utils/error.hpp"
 
 namespace fedcav::comm {
@@ -54,21 +55,56 @@ ControlMsg ControlMsg::decode(ByteReader& reader) {
   return msg;
 }
 
+ByteBuffer NackMsg::encode() const {
+  ByteBuffer buf;
+  write_u64(buf, round);
+  write_u64(buf, static_cast<std::uint64_t>(expected));
+  return buf;
+}
+
+NackMsg NackMsg::decode(ByteReader& reader) {
+  NackMsg msg;
+  msg.round = reader.read_u64();
+  const std::uint64_t t = reader.read_u64();
+  FEDCAV_REQUIRE(t >= 1 && t <= 4, "NackMsg: unknown expected type");
+  msg.expected = static_cast<MessageType>(t);
+  return msg;
+}
+
+namespace {
+constexpr std::size_t kEnvelopeFraming = sizeof(std::uint64_t) + sizeof(std::uint32_t);
+}
+
 ByteBuffer Envelope::encode() const {
   ByteBuffer buf;
   write_u64(buf, static_cast<std::uint64_t>(type));
   buf.insert(buf.end(), payload.begin(), payload.end());
+  write_u32(buf, crc32({buf.data(), buf.size()}));
   return buf;
 }
 
-Envelope Envelope::decode(const ByteBuffer& wire) {
-  ByteReader reader(wire);
-  const std::uint64_t t = reader.read_u64();
-  FEDCAV_REQUIRE(t >= 1 && t <= 3, "Envelope: unknown message type");
+std::optional<Envelope> Envelope::try_decode(const ByteBuffer& wire) {
+  if (wire.size() < kEnvelopeFraming) return std::nullopt;
+  const std::size_t body = wire.size() - sizeof(std::uint32_t);
+  const std::uint32_t expected = crc32({wire.data(), body});
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(wire[body + i]) << (8 * i);
+  }
+  if (stored != expected) return std::nullopt;
+  std::uint64_t t = 0;
+  for (int i = 0; i < 8; ++i) t |= static_cast<std::uint64_t>(wire[i]) << (8 * i);
+  if (t < 1 || t > 4) return std::nullopt;
   Envelope env;
   env.type = static_cast<MessageType>(t);
-  env.payload.assign(wire.begin() + sizeof(std::uint64_t), wire.end());
+  env.payload.assign(wire.begin() + sizeof(std::uint64_t), wire.begin() + body);
   return env;
+}
+
+Envelope Envelope::decode(const ByteBuffer& wire) {
+  std::optional<Envelope> env = try_decode(wire);
+  FEDCAV_REQUIRE(env.has_value(), "Envelope: truncated, corrupt, or unknown-type wire");
+  return std::move(*env);
 }
 
 }  // namespace fedcav::comm

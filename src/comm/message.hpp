@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,10 @@ enum class MessageType : std::uint64_t {
   kGlobalModel = 1,
   kClientReport = 2,
   kControl = 3,
+  /// Receiver-side "resend" request: the expected message was missing,
+  /// failed its CRC, or arrived truncated. Part of the fault-tolerant
+  /// retry protocol (see DESIGN.md §10).
+  kNack = 4,
 };
 
 struct GlobalModelMsg {
@@ -61,14 +66,35 @@ struct ControlMsg {
   static ControlMsg decode(ByteReader& reader);
 };
 
-/// Envelope: type tag + payload, as transmitted.
+/// NACK body: which round and message type the receiver was waiting
+/// for. Purely diagnostic in the simulated fabric (the retry loop runs
+/// both endpoints), but metered like any real control message.
+struct NackMsg {
+  std::uint64_t round = 0;
+  MessageType expected = MessageType::kGlobalModel;
+
+  ByteBuffer encode() const;
+  static NackMsg decode(ByteReader& reader);
+};
+
+/// Envelope: type tag + payload + CRC-32 of (tag || payload), as
+/// transmitted. The trailing checksum lets receivers reject in-flight
+/// corruption or truncation before any structural decode runs.
 struct Envelope {
   MessageType type;
   ByteBuffer payload;
 
   ByteBuffer encode() const;
+  /// Strict decode for trusted fabrics: throws fedcav::Error on a short
+  /// buffer, CRC mismatch, or unknown type tag.
   static Envelope decode(const ByteBuffer& wire);
-  std::size_t wire_size() const { return payload.size() + sizeof(std::uint64_t); }
+  /// Fault-aware decode: nullopt on the same conditions instead of
+  /// throwing. A payload is only handed to Message decode after the CRC
+  /// proves it arrived intact.
+  static std::optional<Envelope> try_decode(const ByteBuffer& wire);
+  std::size_t wire_size() const {
+    return payload.size() + sizeof(std::uint64_t) + sizeof(std::uint32_t);
+  }
 };
 
 }  // namespace fedcav::comm

@@ -19,9 +19,12 @@ namespace {
 constexpr std::size_t kServerRank = 0;
 
 // Checkpoint formats. v1 (PR 2) carried only the round counter and the
-// global weights; v2 adds everything needed for bit-identical resume.
+// global weights; v2 adds everything needed for bit-identical resume;
+// v3 appends the comm fabric's fault-RNG streams and in-flight
+// messages so chaos runs also resume bit-identically.
 constexpr std::uint64_t kCheckpointMagicV1 = 0xfedca5c4ec9017ULL;
 constexpr std::uint64_t kCheckpointMagicV2 = 0xfedca5c4ec9018ULL;
+constexpr std::uint64_t kCheckpointMagicV3 = 0xfedca5c4ec9019ULL;
 
 /// Attributes a scope's wall time to one RoundPhases field and mirrors
 /// it as a "round.phase" trace span. The Stopwatch is unconditional
@@ -52,6 +55,14 @@ void ServerConfig::validate(std::size_t num_clients) const {
   FEDCAV_REQUIRE(eval_batch_size > 0, "ServerConfig: zero eval batch size");
   FEDCAV_REQUIRE(straggler_drop_prob >= 0.0 && straggler_drop_prob < 1.0,
                  "ServerConfig: straggler_drop_prob must be in [0, 1)");
+  FEDCAV_REQUIRE(min_aggregate_clients >= 1,
+                 "ServerConfig: min_aggregate_clients must be >= 1");
+  FEDCAV_REQUIRE(min_aggregate_clients <= num_clients,
+                 "ServerConfig: min_aggregate_clients exceeds the client count");
+  FEDCAV_REQUIRE(max_retries <= 16,
+                 "ServerConfig: max_retries > 16 (exponential backoff overflows)");
+  FEDCAV_REQUIRE(retry_backoff_s >= 0.0, "ServerConfig: negative retry_backoff_s");
+  FEDCAV_REQUIRE(uplink_deadline_s >= 0.0, "ServerConfig: negative uplink_deadline_s");
 }
 
 Server::Server(std::unique_ptr<nn::Model> global_model,
@@ -110,49 +121,135 @@ void Server::redistribute_data(std::vector<data::Dataset> per_client) {
   }
 }
 
-ClientUpdate Server::run_participant(std::size_t client_index) {
+ThreadPool& Server::pool() const {
+  return pool_ != nullptr ? *pool_ : global_thread_pool();
+}
+
+ParticipantOutcome Server::run_participant(std::size_t client_index) {
   obs::Span span("participant", "client");
   span.arg("client", static_cast<double>(client_index));
+  ParticipantOutcome out;
   Client& client = *clients_[client_index];
-  if (network_ != nullptr) {
-    // The downlink payload was queued by run_round's broadcast phase;
-    // weights travel through the fabric both ways so byte counters see
-    // the genuine serialized payloads (Fig. 3 phases ① and ②).
-    const std::size_t rank = client_index + 1;
-    auto envelope = network_->try_recv(rank, kServerRank);
-    FEDCAV_CHECK(envelope.has_value(), "Server: lost global-model message");
-    ByteReader reader(envelope->payload);
-    comm::GlobalModelMsg received = comm::GlobalModelMsg::decode(reader);
-
-    ClientUpdate update = client.local_update(received.weights, effective_local_);
-
-    comm::ClientReportMsg up;
-    up.round = round_;
-    up.client_id = client.id();
-    up.num_samples = update.num_samples;
-    up.inference_loss = update.inference_loss;
-    up.weights = update.weights;
-    network_->send(rank, kServerRank,
-                   comm::Envelope{comm::MessageType::kClientReport, up.encode()});
-
-    auto report = network_->try_recv(kServerRank, rank);
-    FEDCAV_CHECK(report.has_value(), "Server: lost client report");
-    ByteReader report_reader(report->payload);
-    comm::ClientReportMsg decoded = comm::ClientReportMsg::decode(report_reader);
-    update.weights = std::move(decoded.weights);
-    update.inference_loss = decoded.inference_loss;
-    return update;
+  if (network_ == nullptr) {
+    out.update = client.local_update(global_weights_, effective_local_);
+    return out;
   }
-  return client.local_update(global_weights_, effective_local_);
+  // Weights travel through the fabric both ways so byte counters see
+  // the genuine serialized payloads (Fig. 3 phases ① and ②). The
+  // simulation plays both endpoints of each link on this thread, which
+  // lets the NACK-and-retry protocol run synchronously: drain the link
+  // until a CRC-clean message for this round appears, otherwise NACK
+  // and retransmit with exponential simulated-time backoff, up to
+  // max_retries. Every control and retransmitted message is metered
+  // and fault-injected like any other traffic.
+  const std::size_t rank = client_index + 1;
+
+  // Phase ① downlink: the broadcast phase queued this round's global
+  // model (and possibly faults mangled it in flight).
+  std::optional<comm::GlobalModelMsg> down;
+  for (std::size_t attempt = 0; attempt <= config_.max_retries && !down; ++attempt) {
+    while (auto wire = network_->try_recv_wire(rank, kServerRank)) {
+      auto env = comm::Envelope::try_decode(*wire);
+      if (!env.has_value()) {
+        out.crc_failures += 1;  // corrupted or truncated in flight
+        continue;
+      }
+      if (env->type != comm::MessageType::kGlobalModel) {
+        out.stale_discards += 1;  // e.g. a NACK left over from a past round
+        continue;
+      }
+      ByteReader reader(env->payload);
+      comm::GlobalModelMsg msg = comm::GlobalModelMsg::decode(reader);
+      if (msg.round != round_) {
+        out.stale_discards += 1;  // duplicate from an earlier round
+        continue;
+      }
+      down = std::move(msg);
+      break;
+    }
+    if (down.has_value() || attempt == config_.max_retries) break;
+    comm::NackMsg nack;
+    nack.round = round_;
+    nack.expected = comm::MessageType::kGlobalModel;
+    network_->send(rank, kServerRank,
+                   comm::Envelope{comm::MessageType::kNack, nack.encode()});
+    network_->add_link_delay(
+        kServerRank, rank,
+        config_.retry_backoff_s * static_cast<double>(1ULL << attempt));
+    network_->send(kServerRank, rank, downlink_env_);
+    out.retries += 1;
+  }
+  if (!down.has_value()) return out;  // unreachable client: dropout
+
+  ClientUpdate update = client.local_update(down->weights, effective_local_);
+
+  comm::ClientReportMsg up;
+  up.round = round_;
+  up.client_id = client.id();
+  up.num_samples = update.num_samples;
+  up.inference_loss = update.inference_loss;
+  up.weights = update.weights;
+  const comm::Envelope report_env{comm::MessageType::kClientReport, up.encode()};
+
+  // Phase ② uplink: same protocol in the other direction, plus an
+  // optional simulated-time deadline that turns a slow (heavily
+  // retried) report into a straggler-equivalent dropout.
+  double elapsed_s = 0.0;
+  std::optional<comm::ClientReportMsg> report;
+  for (std::size_t attempt = 0; attempt <= config_.max_retries && !report; ++attempt) {
+    network_->send(rank, kServerRank, report_env);
+    elapsed_s += network_->model_transfer_seconds(report_env.wire_size());
+    while (auto wire = network_->try_recv_wire(kServerRank, rank)) {
+      auto env = comm::Envelope::try_decode(*wire);
+      if (!env.has_value()) {
+        out.crc_failures += 1;
+        continue;
+      }
+      if (env->type != comm::MessageType::kClientReport) {
+        out.stale_discards += 1;
+        continue;
+      }
+      ByteReader reader(env->payload);
+      comm::ClientReportMsg msg = comm::ClientReportMsg::decode(reader);
+      if (msg.round != round_) {
+        out.stale_discards += 1;
+        continue;
+      }
+      report = std::move(msg);
+      break;
+    }
+    if (report.has_value() || attempt == config_.max_retries) break;
+    comm::NackMsg nack;
+    nack.round = round_;
+    nack.expected = comm::MessageType::kClientReport;
+    network_->send(kServerRank, rank,
+                   comm::Envelope{comm::MessageType::kNack, nack.encode()});
+    const double backoff =
+        config_.retry_backoff_s * static_cast<double>(1ULL << attempt);
+    network_->add_link_delay(rank, kServerRank, backoff);
+    elapsed_s += backoff;
+    out.retries += 1;
+  }
+  if (!report.has_value()) return out;  // uplink exhausted: dropout
+  if (config_.uplink_deadline_s > 0.0 && elapsed_s > config_.uplink_deadline_s) {
+    out.deadline_missed = true;
+    return out;
+  }
+  update.weights = std::move(report->weights);
+  update.inference_loss = report->inference_loss;
+  out.update = std::move(update);
+  return out;
 }
 
 void Server::set_lr_schedule(std::unique_ptr<nn::LrSchedule> schedule) {
   lr_schedule_ = std::move(schedule);
 }
 
-void Server::save_checkpoint(const std::string& path) const {
+void Server::save_checkpoint(const std::string& path, int version) const {
+  FEDCAV_REQUIRE(version == 2 || version == 3,
+                 "save_checkpoint: unsupported version requested");
   ByteBuffer buf;
-  write_u64(buf, kCheckpointMagicV2);
+  write_u64(buf, version == 3 ? kCheckpointMagicV3 : kCheckpointMagicV2);
   write_u64(buf, round_);
   write_f32_span(buf, global_weights_);
   // The reverse target w_{t-1}: without it a resumed run that trips the
@@ -165,6 +262,12 @@ void Server::save_checkpoint(const std::string& path) const {
   write_rng_state(buf, straggler_rng_.state());
   write_u64(buf, clients_.size());
   for (const auto& client : clients_) client->save_state(buf);
+  if (version == 3) {
+    // Fabric state: fault-RNG streams + in-flight wire images, so a
+    // resumed chaos run replays the exact same fault sequence.
+    write_u8(buf, network_ != nullptr ? 1 : 0);
+    if (network_ != nullptr) network_->save_state(buf);
+  }
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   FEDCAV_REQUIRE(out.good(), "save_checkpoint: cannot open " + path);
@@ -195,7 +298,8 @@ void Server::load_checkpoint(const std::string& path) {
     return;
   }
 
-  FEDCAV_REQUIRE(magic == kCheckpointMagicV2, "load_checkpoint: bad magic in " + path);
+  FEDCAV_REQUIRE(magic == kCheckpointMagicV2 || magic == kCheckpointMagicV3,
+                 "load_checkpoint: bad magic in " + path);
   const std::uint64_t saved_round = reader.read_u64();
   std::vector<float> weights = reader.read_f32_vector();
   FEDCAV_REQUIRE(weights.size() == global_weights_.size(),
@@ -211,6 +315,13 @@ void Server::load_checkpoint(const std::string& path) {
   FEDCAV_REQUIRE(num_clients == clients_.size(),
                  "load_checkpoint: client count mismatch in " + path);
   for (auto& client : clients_) client->load_state(reader);
+  if (magic == kCheckpointMagicV3) {
+    const bool has_network = reader.read_u8() != 0;
+    FEDCAV_REQUIRE(has_network == (network_ != nullptr),
+                   "load_checkpoint: network presence mismatch in " + path);
+    if (has_network) network_->load_state(reader);
+  }
+  // v2 files load with the fabric left in its freshly-seeded state.
   FEDCAV_REQUIRE(reader.exhausted(), "load_checkpoint: trailing bytes in " + path);
 
   round_ = saved_round;
@@ -231,6 +342,7 @@ void Server::write_telemetry(const std::string& trace_path,
 metrics::RoundRecord Server::run_round() {
   ++round_;
   if (lr_schedule_ != nullptr) effective_local_.lr = lr_schedule_->lr(round_);
+  if (network_ != nullptr) network_->begin_round(round_);
   Stopwatch watch;
   metrics::RoundRecord record;
   record.round = round_;
@@ -254,53 +366,84 @@ metrics::RoundRecord Server::run_round() {
   record.participants = participants.size();
 
   // Downlink broadcast: the global model is serialized once and queued
-  // to every participant before any of them starts training.
+  // to every participant before any of them starts training. The
+  // encoded envelope is kept for NACK retransmissions.
   if (network_ != nullptr) {
     PhaseTimer phase("broadcast", round_, record.phases.broadcast);
     comm::GlobalModelMsg down;
     down.round = round_;
     down.weights = global_weights_;
-    const comm::Envelope envelope{comm::MessageType::kGlobalModel, down.encode()};
+    downlink_env_ = comm::Envelope{comm::MessageType::kGlobalModel, down.encode()};
     for (std::size_t client_index : participants) {
-      network_->send(kServerRank, client_index + 1, envelope);
+      network_->send(kServerRank, client_index + 1, downlink_env_);
     }
   }
 
   // Phase ①+②ᶜˡⁱᵉⁿᵗ: parallel local work; results land in fixed slots so
   // aggregation order is deterministic (HPC-guide reduction idiom).
-  std::vector<ClientUpdate> updates(participants.size());
+  std::vector<ParticipantOutcome> outcomes(participants.size());
   {
     PhaseTimer phase("local_update", round_, record.phases.local_update);
-    global_thread_pool().parallel_for(participants.size(), [&](std::size_t i) {
-      updates[i] = run_participant(participants[i]);
+    pool().parallel_for(participants.size(), [&](std::size_t i) {
+      outcomes[i] = run_participant(participants[i]);
     });
   }
 
-  // Stragglers: each report is lost independently with the configured
-  // probability; the round proceeds with whoever got through.
-  std::vector<std::size_t> surviving = participants;
-  if (config_.straggler_drop_prob > 0.0) {
+  // Collect, in fixed participant order: sampled clients whose exchange
+  // failed (crash, retry exhaustion, deadline) become dropouts — the
+  // fault-fabric analogue of a straggler.
+  std::vector<ClientUpdate> updates;
+  std::vector<std::size_t> surviving;
+  updates.reserve(outcomes.size());
+  surviving.reserve(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    record.retries += outcomes[i].retries;
+    record.crc_failures += outcomes[i].crc_failures;
+    if (outcomes[i].update.has_value()) {
+      updates.push_back(std::move(*outcomes[i].update));
+      surviving.push_back(participants[i]);
+    } else {
+      record.dropouts += 1;
+    }
+  }
+  record.participants = updates.size();
+
+  // Stragglers: each received report is additionally lost independently
+  // with the configured probability; the round proceeds with whoever
+  // got through.
+  if (config_.straggler_drop_prob > 0.0 && !updates.empty()) {
     PhaseTimer phase("straggler_filter", round_, record.phases.straggler_filter);
     std::vector<ClientUpdate> kept_updates;
     std::vector<std::size_t> kept_participants;
     for (std::size_t i = 0; i < updates.size(); ++i) {
       if (!straggler_rng_.bernoulli(config_.straggler_drop_prob)) {
         kept_updates.push_back(std::move(updates[i]));
-        kept_participants.push_back(participants[i]);
+        kept_participants.push_back(surviving[i]);
       }
     }
-    if (kept_updates.empty()) {
-      // Everyone dropped: keep the first report so the round is defined.
+    if (kept_updates.empty() && config_.min_aggregate_clients <= 1) {
+      // Everyone dropped: keep the first report so the round is defined
+      // (legacy guarantee; a quorum > 1 skips the round instead).
       kept_updates.push_back(std::move(updates.front()));
-      kept_participants.push_back(participants.front());
+      kept_participants.push_back(surviving.front());
     }
     updates = std::move(kept_updates);
     surviving = std::move(kept_participants);
     record.participants = updates.size();
   }
 
+  // Quorum: with fewer surviving updates than min_aggregate_clients the
+  // round is skipped outright — no attack, no detection, no
+  // aggregation; the global model carries forward unchanged.
+  record.skipped = updates.size() < config_.min_aggregate_clients;
+  if (record.skipped) {
+    FEDCAV_LOG_INFO << "round " << round_ << ": quorum not met (" << updates.size()
+                    << " < " << config_.min_aggregate_clients << "), skipping round";
+  }
+
   // Adversary hijacks the first surviving participant on attack rounds.
-  const bool attack_now = adversary_ != nullptr && attack_rounds_.count(round_) > 0;
+  const bool attack_now = !record.skipped && adversary_ != nullptr &&
+                          attack_rounds_.count(round_) > 0 && !updates.empty();
   if (attack_now) {
     PhaseTimer phase("attack", round_, record.phases.attack);
     attack::AttackContext ctx;
@@ -321,7 +464,7 @@ metrics::RoundRecord Server::run_round() {
   // measured on w_t, i.e. on the *previous* round's aggregation result).
   bool reversed = false;
   std::vector<double> losses(updates.size());
-  {
+  if (!record.skipped) {
     PhaseTimer phase("detect", round_, record.phases.detect);
     for (std::size_t i = 0; i < updates.size(); ++i) losses[i] = updates[i].inference_loss;
     sampler_.observe_losses(surviving, losses);
@@ -345,7 +488,7 @@ metrics::RoundRecord Server::run_round() {
   }
 
   // Phase ③: aggregate (normal rounds only).
-  if (!reversed) {
+  if (!record.skipped && !reversed) {
     PhaseTimer phase("aggregate", round_, record.phases.aggregate);
     cached_weights_ = global_weights_;
     if (config_.detection_enabled) detector_.commit(losses);
@@ -375,6 +518,14 @@ metrics::RoundRecord Server::run_round() {
     auto& reg = obs::registry();
     reg.counter("server.rounds").add(1);
     reg.histogram("server.round_seconds").observe(record.wall_seconds);
+    if (record.skipped) reg.counter("server.rounds_skipped").add(1);
+    if (record.dropouts > 0) {
+      reg.counter("server.dropouts").add(static_cast<std::uint64_t>(record.dropouts));
+    }
+    if (record.retries > 0) reg.counter("comm.retries").add(record.retries);
+    if (record.crc_failures > 0) {
+      reg.counter("comm.crc_failures").add(record.crc_failures);
+    }
   }
 
   history_.add(record);

@@ -28,10 +28,26 @@ struct ServerConfig {
   SamplerPolicy sampler = SamplerPolicy::kUniform;
   LocalTrainConfig local;
   /// Probability a sampled participant fails to report (straggler /
-  /// connection loss). At least one update always survives. The paper's
-  /// dynamic view ("clients dynamically participating ... at any time",
-  /// §3.1) motivates exercising aggregation under partial cohorts.
+  /// connection loss). With the default quorum of 1, at least one
+  /// update always survives (legacy behavior); a quorum > 1 lets every
+  /// report drop and the round skip instead. The paper's dynamic view
+  /// ("clients dynamically participating ... at any time", §3.1)
+  /// motivates exercising aggregation under partial cohorts.
   double straggler_drop_prob = 0.0;
+  /// Minimum surviving updates required to aggregate. Below this the
+  /// round is skipped: the global model is carried forward unchanged
+  /// and the record is marked `skipped`.
+  std::size_t min_aggregate_clients = 1;
+  /// Bounded NACK-and-retry for lost/corrupt messages on a faulty
+  /// fabric: per message, up to max_retries retransmissions, each
+  /// preceded by retry_backoff_s * 2^attempt seconds of simulated
+  /// backoff charged to the retransmitting link.
+  std::size_t max_retries = 3;
+  double retry_backoff_s = 0.05;
+  /// Simulated-time budget for a client's report to get through
+  /// (transfer + backoff summed across attempts). A report exceeding it
+  /// is discarded as a straggler-equivalent dropout. 0 disables.
+  double uplink_deadline_s = 0.0;
   /// Enable the §4.4 detector + model reverse.
   bool detection_enabled = false;
   core::DetectorConfig detector;
@@ -85,18 +101,27 @@ class Server {
   /// set to schedule->lr(round). nullptr restores the fixed configured η.
   void set_lr_schedule(std::unique_ptr<nn::LrSchedule> schedule);
 
-  /// Serialize the full resumable server state to `path` (binary, v2
-  /// format): round counter, global + cached (reverse-target) weights,
-  /// detector reference, sampler state (RNG stream, round-robin cursor,
-  /// per-client loss memory), straggler RNG, and per-client state (batch
-  /// RNG + FedCurv anchors). A run resumed from the file is bit-identical
-  /// to one that never stopped.
-  void save_checkpoint(const std::string& path) const;
-  /// Restore state from save_checkpoint output. v1 files (weights +
-  /// round only) still load: the cached weights fall back to the global
-  /// weights and the detector reference resets. Throws fedcav::Error on
+  /// Run rounds on `pool` instead of the process-wide pool (non-owning;
+  /// nullptr restores the global pool). The chaos determinism suite uses
+  /// this to prove 1-worker and N-worker runs are bit-identical.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Serialize the full resumable server state to `path` (binary, v3
+  /// format by default): round counter, global + cached (reverse-target)
+  /// weights, detector reference, sampler state (RNG stream, round-robin
+  /// cursor, per-client loss memory), straggler RNG, per-client state
+  /// (batch RNG + FedCurv anchors), and — new in v3 — the comm fabric's
+  /// fault-RNG streams and in-flight messages, so a resumed chaos run
+  /// replays the exact fault sequence. A run resumed from the file is
+  /// bit-identical to one that never stopped. `version` may be 2 to emit
+  /// the legacy fabric-free format (compat testing).
+  void save_checkpoint(const std::string& path, int version = 3) const;
+  /// Restore state from save_checkpoint output. v2 files load with the
+  /// fabric reset to its freshly-seeded state; v1 files (weights + round
+  /// only) also load, with the cached weights falling back to the global
+  /// weights and the detector reference reset. Throws fedcav::Error on
   /// malformed files or size/client-count mismatch; the server state is
-  /// unspecified after a throw partway through a v2 payload.
+  /// unspecified after a throw partway through a payload.
   void load_checkpoint(const std::string& path);
 
   /// Flush collected telemetry: a chrome://tracing JSON to `trace_path`
@@ -111,7 +136,8 @@ class Server {
   const comm::InMemoryNetwork* network() const { return network_.get(); }
 
  private:
-  ClientUpdate run_participant(std::size_t client_index);
+  ParticipantOutcome run_participant(std::size_t client_index);
+  ThreadPool& pool() const;
 
   std::unique_ptr<nn::Model> global_model_;
   std::unique_ptr<AggregationStrategy> strategy_;
@@ -132,6 +158,10 @@ class Server {
   std::shared_ptr<attack::Adversary> adversary_;
   std::set<std::size_t> attack_rounds_;
   std::unique_ptr<nn::LrSchedule> lr_schedule_;
+  ThreadPool* pool_ = nullptr;  // non-owning override, see set_thread_pool
+  /// This round's encoded downlink (global model) — kept for NACK
+  /// retransmissions so retries don't re-serialize the weights.
+  comm::Envelope downlink_env_;
 };
 
 }  // namespace fedcav::fl

@@ -18,6 +18,9 @@ void SimulationConfig::validate() const {
   }
   FEDCAV_REQUIRE(attack_poison_fraction >= 0.0 && attack_poison_fraction <= 1.0,
                  "SimulationConfig: poison fraction out of range");
+  // Fault plans are validated against the fabric size (clients + server)
+  // here so a bad --crash rank fails before any data is generated.
+  server.network.faults.validate(partition.num_clients + 1);
 }
 
 namespace {

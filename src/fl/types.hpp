@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "src/nn/model.hpp"
@@ -19,6 +21,20 @@ struct ClientUpdate {
   /// Ground-truth experiment flag (the server never reads it; benches
   /// use it to label attacked rounds in reports).
   bool malicious = false;
+};
+
+/// Result of one participant's round over the (possibly faulty) comm
+/// fabric. `update` is empty when the exchange failed — the client was
+/// crashed, the downlink or uplink exhausted its retries, or the report
+/// landed past the uplink deadline — which the server treats as a
+/// straggler-equivalent dropout. The counters feed RoundRecord and are
+/// summed in fixed participant order so totals stay deterministic.
+struct ParticipantOutcome {
+  std::optional<ClientUpdate> update;
+  std::uint64_t retries = 0;       // retransmissions on this client's links
+  std::uint64_t crc_failures = 0;  // wire images the CRC rejected
+  std::uint64_t stale_discards = 0;  // wrong-round / wrong-type messages drained
+  bool deadline_missed = false;    // report arrived after uplink_deadline_s
 };
 
 /// Local-training hyperparameters (Algorithm 2's E, B, η plus optimizer

@@ -64,13 +64,23 @@ std::optional<std::size_t> TrainingHistory::recovery_rounds(double fraction) con
   return std::nullopt;
 }
 
-void TrainingHistory::write_csv(std::ostream& out) const {
+void TrainingHistory::write_csv(std::ostream& out, bool include_timings) const {
   CsvWriter csv(out);
-  csv.header({"round", "test_accuracy", "test_loss", "mean_inference_loss",
-              "max_inference_loss", "participants", "detection_fired", "reversed",
-              "attacked", "wall_seconds", "bytes_up", "bytes_down", "t_sample",
-              "t_broadcast", "t_local_update", "t_straggler_filter", "t_attack",
-              "t_detect", "t_aggregate", "t_eval"});
+  std::vector<std::string> header = {
+      "round", "test_accuracy", "test_loss", "mean_inference_loss",
+      "max_inference_loss", "participants", "dropouts", "retries", "crc_failures",
+      "detection_fired", "reversed", "attacked", "skipped"};
+  if (include_timings) header.push_back("wall_seconds");
+  header.push_back("bytes_up");
+  header.push_back("bytes_down");
+  if (include_timings) {
+    for (const char* t : {"t_sample", "t_broadcast", "t_local_update",
+                          "t_straggler_filter", "t_attack", "t_detect",
+                          "t_aggregate", "t_eval"}) {
+      header.push_back(t);
+    }
+  }
+  csv.header(header);
   for (const auto& r : records_) {
     csv.cell(static_cast<long long>(r.round))
         .cell(r.test_accuracy, 6)
@@ -78,20 +88,26 @@ void TrainingHistory::write_csv(std::ostream& out) const {
         .cell(r.mean_inference_loss, 6)
         .cell(r.max_inference_loss, 6)
         .cell(static_cast<long long>(r.participants))
+        .cell(static_cast<long long>(r.dropouts))
+        .cell(static_cast<long long>(r.retries))
+        .cell(static_cast<long long>(r.crc_failures))
         .cell(std::string(r.detection_fired ? "1" : "0"))
         .cell(std::string(r.reversed ? "1" : "0"))
         .cell(std::string(r.attacked ? "1" : "0"))
-        .cell(r.wall_seconds, 4)
-        .cell(static_cast<long long>(r.bytes_up))
-        .cell(static_cast<long long>(r.bytes_down))
-        .cell(r.phases.sample, 6)
-        .cell(r.phases.broadcast, 6)
-        .cell(r.phases.local_update, 6)
-        .cell(r.phases.straggler_filter, 6)
-        .cell(r.phases.attack, 6)
-        .cell(r.phases.detect, 6)
-        .cell(r.phases.aggregate, 6)
-        .cell(r.phases.eval, 6);
+        .cell(std::string(r.skipped ? "1" : "0"));
+    if (include_timings) csv.cell(r.wall_seconds, 4);
+    csv.cell(static_cast<long long>(r.bytes_up))
+        .cell(static_cast<long long>(r.bytes_down));
+    if (include_timings) {
+      csv.cell(r.phases.sample, 6)
+          .cell(r.phases.broadcast, 6)
+          .cell(r.phases.local_update, 6)
+          .cell(r.phases.straggler_filter, 6)
+          .cell(r.phases.attack, 6)
+          .cell(r.phases.detect, 6)
+          .cell(r.phases.aggregate, 6)
+          .cell(r.phases.eval, 6);
+    }
     csv.end_row();
   }
 }

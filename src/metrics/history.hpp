@@ -42,9 +42,21 @@ struct RoundRecord {
   /// detector's reference value, Eq. 13).
   double max_inference_loss = 0.0;
   std::size_t participants = 0;
+  /// Sampled participants whose update never reached the server this
+  /// round: crashed clients, retry-exhausted links, and deadline misses
+  /// (straggler drops are counted separately via `participants`).
+  std::size_t dropouts = 0;
+  /// Total retransmissions (downlink + uplink) the retry protocol
+  /// performed this round.
+  std::uint64_t retries = 0;
+  /// Wire images rejected by the Envelope CRC this round.
+  std::uint64_t crc_failures = 0;
   bool detection_fired = false;   // detector voted "abnormal" this round
   bool reversed = false;          // global model rolled back this round
   bool attacked = false;          // an adversary corrupted this round
+  /// True when fewer than min_aggregate_clients updates survived and
+  /// the round was skipped (global model carried forward unchanged).
+  bool skipped = false;
   double wall_seconds = 0.0;      // host time spent on the round
   std::uint64_t bytes_up = 0;     // client -> server traffic
   std::uint64_t bytes_down = 0;   // server -> client traffic
@@ -73,8 +85,11 @@ class TrainingHistory {
   /// completed.
   std::optional<std::size_t> recovery_rounds(double fraction = 0.9) const;
 
-  /// CSV with a header; one line per round.
-  void write_csv(std::ostream& out) const;
+  /// CSV with a header; one line per round. `include_timings = false`
+  /// drops the wall-clock columns (wall_seconds and every t_*), leaving
+  /// only deterministic fields — the chaos determinism tests compare
+  /// this form byte-for-byte across thread-pool sizes.
+  void write_csv(std::ostream& out, bool include_timings = true) const;
 
  private:
   std::vector<RoundRecord> records_;

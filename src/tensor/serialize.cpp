@@ -8,6 +8,10 @@ namespace fedcav {
 
 void write_u8(ByteBuffer& buf, std::uint8_t v) { buf.push_back(v); }
 
+void write_u32(ByteBuffer& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
 void write_u64(ByteBuffer& buf, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
 }
@@ -40,6 +44,14 @@ std::uint64_t ByteReader::read_u64() {
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
   pos_ += 8;
+  return v;
+}
+
+std::uint32_t ByteReader::read_u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
   return v;
 }
 

@@ -19,6 +19,7 @@ using ByteBuffer = std::vector<std::uint8_t>;
 
 /// Append primitives to a buffer.
 void write_u8(ByteBuffer& buf, std::uint8_t v);
+void write_u32(ByteBuffer& buf, std::uint32_t v);
 void write_u64(ByteBuffer& buf, std::uint64_t v);
 void write_f32(ByteBuffer& buf, float v);
 void write_f64(ByteBuffer& buf, double v);
@@ -30,6 +31,7 @@ class ByteReader {
   explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
 
   std::uint64_t read_u64();
+  std::uint32_t read_u32();
   std::uint8_t read_u8();
   float read_f32();
   double read_f64();

@@ -1,8 +1,10 @@
-// Checkpoint v2 resume semantics: a run restored into a *fresh* server
+// Checkpoint resume semantics: a run restored into a *fresh* server
 // must continue bit-identically to one that never stopped — including
 // sampler streams, straggler draws, per-client shuffle RNGs, the cached
-// reverse-target weights, and the detector reference. Also covers the
-// v1 compatibility path and malformed-file rejection.
+// reverse-target weights, and the detector reference. v3 adds the comm
+// fabric's fault-RNG streams and in-flight messages, so that holds for
+// chaos runs too. Also covers the v1/v2 compatibility paths and
+// malformed-file rejection.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -41,9 +43,13 @@ void expect_records_identical(const metrics::RoundRecord& a,
   EXPECT_EQ(a.mean_inference_loss, b.mean_inference_loss);
   EXPECT_EQ(a.max_inference_loss, b.max_inference_loss);
   EXPECT_EQ(a.participants, b.participants);
+  EXPECT_EQ(a.dropouts, b.dropouts);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.crc_failures, b.crc_failures);
   EXPECT_EQ(a.detection_fired, b.detection_fired);
   EXPECT_EQ(a.reversed, b.reversed);
   EXPECT_EQ(a.attacked, b.attacked);
+  EXPECT_EQ(a.skipped, b.skipped);
   EXPECT_EQ(a.bytes_up, b.bytes_up);
   EXPECT_EQ(a.bytes_down, b.bytes_down);
 }
@@ -113,6 +119,70 @@ TEST(CheckpointResume, DetectorReversesFromRestoredCache) {
   }
   EXPECT_EQ(resumed.server->global_weights(), continuous.server->global_weights());
   std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, FaultedRunResumesBitIdentically) {
+  set_log_level(LogLevel::kError);
+  // The hard case for v3: an active fault plan means the resumed run
+  // must replay the exact same per-link fault draws AND see the same
+  // stale duplicates still sitting in the fabric's queues.
+  fl::SimulationConfig config = small_config();
+  comm::FaultPlan& faults = config.server.network.faults;
+  faults.seed = 31;
+  faults.drop_prob = 0.25;
+  faults.duplicate_prob = 0.15;
+  faults.corrupt_prob = 0.1;
+  config.server.min_aggregate_clients = 2;
+  config.server.max_retries = 2;
+
+  fl::Simulation continuous = fl::build_simulation(config);
+  continuous.server->run(4);
+
+  fl::Simulation first_half = fl::build_simulation(config);
+  first_half.server->run(2);
+  const std::string path = temp_path("fedcav_fault_ckpt.bin");
+  first_half.server->save_checkpoint(path);
+
+  fl::Simulation resumed = fl::build_simulation(config);
+  resumed.server->load_checkpoint(path);
+  resumed.server->run(2);
+
+  EXPECT_EQ(resumed.server->global_weights(), continuous.server->global_weights());
+  ASSERT_EQ(resumed.server->history().rounds(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    expect_records_identical(continuous.server->history()[2 + i],
+                             resumed.server->history()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, WritesLoadableV2Files) {
+  set_log_level(LogLevel::kError);
+  // The legacy fabric-free format is still writable (version = 2) and
+  // loadable; on a fault-free fabric the resume stays bit-identical
+  // because a fresh fabric and a quiescent one behave the same.
+  fl::SimulationConfig config = small_config();
+  fl::Simulation continuous = fl::build_simulation(config);
+  continuous.server->run(3);
+
+  fl::Simulation first_half = fl::build_simulation(config);
+  first_half.server->run(1);
+  const std::string path = temp_path("fedcav_v2_ckpt.bin");
+  first_half.server->save_checkpoint(path, /*version=*/2);
+
+  fl::Simulation resumed = fl::build_simulation(config);
+  resumed.server->load_checkpoint(path);
+  EXPECT_EQ(resumed.server->current_round(), 1u);
+  resumed.server->run(2);
+  EXPECT_EQ(resumed.server->global_weights(), continuous.server->global_weights());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, RejectsUnsupportedSaveVersion) {
+  set_log_level(LogLevel::kError);
+  fl::Simulation sim = fl::build_simulation(small_config());
+  EXPECT_THROW(sim.server->save_checkpoint(temp_path("never_written.bin"), 1), Error);
+  EXPECT_THROW(sim.server->save_checkpoint(temp_path("never_written.bin"), 4), Error);
 }
 
 TEST(CheckpointResume, LoadsLegacyV1Files) {

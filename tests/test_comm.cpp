@@ -1,7 +1,12 @@
-// Unit tests for src/comm: message encoding, envelopes, and the
-// in-memory network fabric with its traffic accounting.
+// Unit tests for src/comm: message encoding, CRC-framed envelopes, the
+// in-memory network fabric with its traffic accounting, and the
+// deterministic fault-injection layer.
 #include <gtest/gtest.h>
 
+#include <numeric>
+
+#include "src/comm/compression.hpp"
+#include "src/comm/crc32.hpp"
 #include "src/comm/message.hpp"
 #include "src/comm/network.hpp"
 #include "src/utils/error.hpp"
@@ -87,9 +92,86 @@ TEST(Envelope, RejectsUnknownType) {
   EXPECT_THROW(Envelope::decode(wire), Error);
 }
 
-TEST(Envelope, WireSizeIncludesTypeTag) {
+TEST(Envelope, WireSizeIncludesTypeTagAndCrc) {
   Envelope env{MessageType::kControl, ByteBuffer(10, 0)};
-  EXPECT_EQ(env.wire_size(), 18u);
+  EXPECT_EQ(env.wire_size(), 22u);  // 8 tag + 10 payload + 4 CRC
+  EXPECT_EQ(env.encode().size(), env.wire_size());
+}
+
+TEST(Message, NackRoundTrip) {
+  NackMsg msg;
+  msg.round = 12;
+  msg.expected = MessageType::kClientReport;
+  const ByteBuffer wire = msg.encode();
+  ByteReader reader(wire);
+  const NackMsg back = NackMsg::decode(reader);
+  EXPECT_EQ(back.round, 12u);
+  EXPECT_EQ(back.expected, MessageType::kClientReport);
+}
+
+// --------------------------------------------------------- CRC framing
+
+TEST(Crc32, MatchesIeee8023Vector) {
+  // The canonical check value for the reflected 0xEDB88320 polynomial.
+  const char* s = "123456789";
+  const ByteBuffer data(s, s + 9);
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  ByteBuffer data(57);
+  std::iota(data.begin(), data.end(), std::uint8_t{0});
+  std::uint32_t crc = kCrc32Init;
+  crc = crc32_update(crc, std::span<const std::uint8_t>(data.data(), 20));
+  crc = crc32_update(crc, std::span<const std::uint8_t>(data.data() + 20, 37));
+  EXPECT_EQ(crc32_finish(crc), crc32(data));
+}
+
+TEST(Envelope, CorruptedWireFailsCrcBeforeMessageDecode) {
+  GlobalModelMsg msg;
+  msg.round = 5;
+  msg.weights = {1.0f, 2.0f, 3.0f};
+  ByteBuffer wire = Envelope{MessageType::kGlobalModel, msg.encode()}.encode();
+  // Flip one bit in every position in turn: the CRC must catch each.
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    ByteBuffer damaged = wire;
+    damaged[i] ^= 0x10;
+    EXPECT_FALSE(Envelope::try_decode(damaged).has_value()) << "byte " << i;
+    EXPECT_THROW(Envelope::decode(damaged), Error);
+  }
+  // The pristine image still decodes.
+  EXPECT_TRUE(Envelope::try_decode(wire).has_value());
+}
+
+TEST(Envelope, TruncatedWireNeverReachesMessageDecode) {
+  ControlMsg msg;
+  msg.round = 2;
+  const ByteBuffer wire = Envelope{MessageType::kControl, msg.encode()}.encode();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const ByteBuffer cut(wire.begin(), wire.begin() + static_cast<long>(len));
+    EXPECT_FALSE(Envelope::try_decode(cut).has_value()) << "length " << len;
+    EXPECT_THROW(Envelope::decode(cut), Error);
+  }
+}
+
+TEST(Envelope, CompressedPayloadIsCrcProtectedToo) {
+  // Sparsified updates ride the same framing: a corrupted compressed
+  // payload must be rejected by the CRC, never handed to SparseDelta
+  // decode (whose length fields would otherwise be attacker-controlled).
+  std::vector<float> dense(64, 0.0f);
+  dense[3] = 5.0f;
+  dense[41] = -2.0f;
+  const SparseDelta delta = topk_compress(dense, 0.1);
+  ByteBuffer wire = Envelope{MessageType::kClientReport, delta.encode()}.encode();
+  {
+    const Envelope back = Envelope::decode(wire);
+    ByteReader reader(back.payload);
+    const SparseDelta got = SparseDelta::decode(reader);
+    EXPECT_EQ(got.indices, delta.indices);
+    EXPECT_EQ(got.values, delta.values);
+  }
+  wire[10] ^= 0x01;  // flip a bit inside the length-bearing header
+  EXPECT_FALSE(Envelope::try_decode(wire).has_value());
 }
 
 // ------------------------------------------------------------- network
@@ -204,6 +286,308 @@ TEST(Network, PendingMessagesTracksQueue) {
   EXPECT_EQ(net.pending_messages(), 2u);
   net.try_recv(1, 0);
   EXPECT_EQ(net.pending_messages(), 1u);
+}
+
+// ------------------------------------------------------ fault fabric
+
+NetworkConfig faulty_config(FaultPlan plan, std::size_t endpoints = 2) {
+  NetworkConfig config;
+  config.num_endpoints = endpoints;
+  config.faults = plan;
+  return config;
+}
+
+void expect_conservation(const InMemoryNetwork& net) {
+  const FaultStats f = net.fault_stats();
+  EXPECT_EQ(net.total_stats().messages_sent + f.duplicated,
+            f.delivered + f.dropped + f.crash_dropped + net.pending_messages());
+}
+
+TEST(Faults, DefaultPlanIsDisabled) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  plan.seed = 42;  // a seed alone arms nothing
+  EXPECT_FALSE(plan.enabled());
+  plan.drop_prob = 0.1;
+  EXPECT_TRUE(plan.enabled());
+}
+
+TEST(Faults, DropAllDeliversNothing) {
+  FaultPlan plan;
+  plan.drop_prob = 1.0;
+  InMemoryNetwork net(faulty_config(plan));
+  for (int i = 0; i < 5; ++i) net.send(0, 1, tiny_envelope());
+  EXPECT_FALSE(net.try_recv_wire(1, 0).has_value());
+  EXPECT_EQ(net.fault_stats().dropped, 5u);
+  // The sender was still metered for every transmission.
+  EXPECT_EQ(net.stats(0).messages_sent, 5u);
+  expect_conservation(net);
+}
+
+TEST(Faults, DuplicateAllDeliversTwice) {
+  FaultPlan plan;
+  plan.duplicate_prob = 1.0;
+  InMemoryNetwork net(faulty_config(plan));
+  net.send(0, 1, tiny_envelope());
+  EXPECT_EQ(net.pending_messages(), 2u);
+  const auto first = net.try_recv_wire(1, 0);
+  const auto second = net.try_recv_wire(1, 0);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*first, *second);  // the stale copy is byte-identical
+  EXPECT_EQ(net.fault_stats().duplicated, 1u);
+  expect_conservation(net);
+}
+
+TEST(Faults, CorruptedDeliveryFailsCrc) {
+  FaultPlan plan;
+  plan.corrupt_prob = 1.0;
+  InMemoryNetwork net(faulty_config(plan));
+  net.send(0, 1, tiny_envelope());
+  const auto wire = net.try_recv_wire(1, 0);
+  ASSERT_TRUE(wire.has_value());
+  EXPECT_EQ(wire->size(), tiny_envelope().wire_size());  // same length, one bit off
+  EXPECT_FALSE(Envelope::try_decode(*wire).has_value());
+  EXPECT_EQ(net.fault_stats().corrupted, 1u);
+  expect_conservation(net);
+}
+
+TEST(Faults, TruncatedDeliveryFailsCrc) {
+  FaultPlan plan;
+  plan.truncate_prob = 1.0;
+  InMemoryNetwork net(faulty_config(plan));
+  net.send(0, 1, tiny_envelope());
+  const auto wire = net.try_recv_wire(1, 0);
+  ASSERT_TRUE(wire.has_value());
+  EXPECT_LT(wire->size(), tiny_envelope().wire_size());  // strict prefix
+  EXPECT_FALSE(Envelope::try_decode(*wire).has_value());
+  EXPECT_EQ(net.fault_stats().truncated, 1u);
+  expect_conservation(net);
+}
+
+TEST(Faults, ReorderLetsLaterMessageOvertake) {
+  FaultPlan plan;
+  plan.reorder_prob = 1.0;
+  InMemoryNetwork net(faulty_config(plan));
+  ControlMsg first;
+  first.round = 1;
+  ControlMsg second;
+  second.round = 2;
+  net.send(0, 1, Envelope{MessageType::kControl, first.encode()});
+  net.send(0, 1, Envelope{MessageType::kControl, second.encode()});
+  auto env = Envelope::try_decode(*net.try_recv_wire(1, 0));
+  ASSERT_TRUE(env.has_value());
+  ByteReader reader(env->payload);
+  EXPECT_EQ(ControlMsg::decode(reader).round, 2u);  // overtook its elder
+  EXPECT_EQ(net.fault_stats().reordered, 1u);
+  expect_conservation(net);
+}
+
+TEST(Faults, CrashWindowBlackHolesBothDirections) {
+  FaultPlan plan;
+  plan.crashes = {CrashWindow{/*rank=*/1, /*first_round=*/2, /*last_round=*/3}};
+  InMemoryNetwork net(faulty_config(plan, 3));
+  net.begin_round(2);
+  net.send(0, 1, tiny_envelope());  // to the crashed endpoint
+  net.send(1, 0, tiny_envelope());  // from the crashed endpoint
+  net.send(0, 2, tiny_envelope());  // unrelated link is unaffected
+  EXPECT_EQ(net.fault_stats().crash_dropped, 2u);
+  EXPECT_FALSE(net.try_recv_wire(1, 0).has_value());
+  EXPECT_FALSE(net.try_recv_wire(0, 1).has_value());
+  EXPECT_TRUE(net.try_recv_wire(2, 0).has_value());
+  // Rejoin: the window closed, traffic flows again.
+  net.begin_round(4);
+  net.send(0, 1, tiny_envelope());
+  EXPECT_TRUE(net.try_recv_wire(1, 0).has_value());
+  expect_conservation(net);
+}
+
+TEST(Faults, JitterChargesSimulatedTime) {
+  FaultPlan plan;
+  plan.jitter_s = 0.5;
+  InMemoryNetwork net(faulty_config(plan));
+  const double clean = net.model_transfer_seconds(tiny_envelope().wire_size());
+  for (int i = 0; i < 20; ++i) net.send(0, 1, tiny_envelope());
+  const double jitter = net.fault_stats().jitter_seconds;
+  EXPECT_GT(jitter, 0.0);
+  EXPECT_LE(jitter, 20 * 0.5);
+  EXPECT_NEAR(net.stats(0).simulated_seconds, 20 * clean + jitter, 1e-9);
+}
+
+TEST(Faults, ZeroedPlanIsByteIdenticalToDefaultFabric) {
+  // Acceptance gate: an explicitly zeroed FaultPlan (even with a seed
+  // set) must reproduce the default fabric's traffic exactly — the
+  // fault layer is provably inert when disabled.
+  FaultPlan zeroed;
+  zeroed.seed = 1234;
+  InMemoryNetwork with_plan(faulty_config(zeroed, 3));
+  InMemoryNetwork plain(NetworkConfig{.num_endpoints = 3});
+  for (auto* net : {&with_plan, &plain}) {
+    net->begin_round(1);
+    net->send(0, 1, tiny_envelope());
+    net->send(0, 2, tiny_envelope());
+    net->send(1, 0, tiny_envelope());
+  }
+  for (std::size_t e = 0; e < 3; ++e) {
+    EXPECT_EQ(with_plan.stats(e).messages_sent, plain.stats(e).messages_sent);
+    EXPECT_EQ(with_plan.stats(e).bytes_sent, plain.stats(e).bytes_sent);
+    EXPECT_DOUBLE_EQ(with_plan.stats(e).simulated_seconds,
+                     plain.stats(e).simulated_seconds);
+  }
+  const auto a = with_plan.try_recv_wire(1, 0);
+  const auto b = plain.try_recv_wire(1, 0);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_EQ(*a, *b);
+  const FaultStats f = with_plan.fault_stats();
+  EXPECT_EQ(f.dropped + f.crash_dropped + f.duplicated + f.reordered + f.corrupted +
+                f.truncated,
+            0u);
+  EXPECT_DOUBLE_EQ(f.jitter_seconds, 0.0);
+}
+
+TEST(Faults, MixedPlanConservesEveryMessage) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_prob = 0.3;
+  plan.duplicate_prob = 0.2;
+  plan.reorder_prob = 0.2;
+  plan.corrupt_prob = 0.1;
+  plan.truncate_prob = 0.1;
+  plan.jitter_s = 0.05;
+  InMemoryNetwork net(faulty_config(plan, 4));
+  net.begin_round(1);
+  for (int i = 0; i < 100; ++i) {
+    net.send(0, 1 + static_cast<std::size_t>(i % 3), tiny_envelope());
+    net.send(1 + static_cast<std::size_t>(i % 3), 0, tiny_envelope());
+  }
+  // Drain roughly half, leaving the rest pending.
+  for (int i = 0; i < 40; ++i) {
+    net.try_recv_wire(1, 0);
+    net.try_recv_wire(0, 2);
+  }
+  expect_conservation(net);
+}
+
+TEST(Faults, IdenticalSeedsReplayIdenticalFaultSequences) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.drop_prob = 0.4;
+  plan.corrupt_prob = 0.2;
+  InMemoryNetwork a(faulty_config(plan, 3));
+  InMemoryNetwork b(faulty_config(plan, 3));
+  for (auto* net : {&a, &b}) {
+    net->begin_round(1);
+    for (int i = 0; i < 50; ++i) {
+      net->send(0, 1, tiny_envelope());
+      net->send(0, 2, tiny_envelope());
+      net->send(1, 0, tiny_envelope());
+    }
+  }
+  const FaultStats fa = a.fault_stats();
+  const FaultStats fb = b.fault_stats();
+  EXPECT_EQ(fa.dropped, fb.dropped);
+  EXPECT_EQ(fa.corrupted, fb.corrupted);
+  while (true) {
+    const auto wa = a.try_recv_wire(1, 0);
+    const auto wb = b.try_recv_wire(1, 0);
+    EXPECT_EQ(wa.has_value(), wb.has_value());
+    if (!wa.has_value() || !wb.has_value()) break;
+    EXPECT_EQ(*wa, *wb);
+  }
+}
+
+TEST(Faults, SaveLoadStateRestoresQueuesAndStreams) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.drop_prob = 0.5;
+  plan.corrupt_prob = 0.3;
+  InMemoryNetwork a(faulty_config(plan, 3));
+  a.begin_round(3);
+  for (int i = 0; i < 10; ++i) a.send(0, 1, tiny_envelope());
+
+  ByteBuffer buf;
+  a.save_state(buf);
+  InMemoryNetwork b(faulty_config(plan, 3));
+  ByteReader reader(buf);
+  b.load_state(reader);
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_EQ(b.pending_messages(), a.pending_messages());
+
+  // Both fabrics now continue with identical fault streams and queues.
+  for (auto* net : {&a, &b}) {
+    for (int i = 0; i < 10; ++i) net->send(0, 1, tiny_envelope());
+  }
+  while (true) {
+    const auto wa = a.try_recv_wire(1, 0);
+    const auto wb = b.try_recv_wire(1, 0);
+    EXPECT_EQ(wa.has_value(), wb.has_value());
+    if (!wa.has_value() || !wb.has_value()) break;
+    EXPECT_EQ(*wa, *wb);
+  }
+}
+
+TEST(Faults, LoadStateRejectsMismatchedFabric) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.drop_prob = 0.5;
+  InMemoryNetwork a(faulty_config(plan, 3));
+  ByteBuffer buf;
+  a.save_state(buf);
+  {
+    InMemoryNetwork wrong_size(faulty_config(plan, 4));
+    ByteReader reader(buf);
+    EXPECT_THROW(wrong_size.load_state(reader), Error);
+  }
+  {
+    InMemoryNetwork no_faults(NetworkConfig{.num_endpoints = 3});
+    ByteReader reader(buf);
+    EXPECT_THROW(no_faults.load_state(reader), Error);
+  }
+}
+
+TEST(Faults, ValidateRejectsBadPlans) {
+  const std::size_t n = 3;
+  {
+    FaultPlan plan;
+    plan.drop_prob = 1.5;
+    EXPECT_THROW(plan.validate(n), Error);
+  }
+  {
+    FaultPlan plan;
+    plan.jitter_s = -0.1;
+    EXPECT_THROW(plan.validate(n), Error);
+  }
+  {
+    FaultPlan plan;
+    plan.crashes = {CrashWindow{/*rank=*/3, 1, 2}};  // rank out of range
+    EXPECT_THROW(plan.validate(n), Error);
+  }
+  {
+    FaultPlan plan;
+    plan.crashes = {CrashWindow{1, /*first_round=*/4, /*last_round=*/2}};
+    EXPECT_THROW(plan.validate(n), Error);
+  }
+  {
+    FaultPlan plan;
+    plan.crashes = {CrashWindow{1, /*first_round=*/0, /*last_round=*/2}};
+    EXPECT_THROW(plan.validate(n), Error);  // rounds are 1-based
+  }
+}
+
+TEST(Faults, ParseCrashSpec) {
+  const auto windows = parse_crash_spec("3:2-5,7:1-1");
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].rank, 3u);
+  EXPECT_EQ(windows[0].first_round, 2u);
+  EXPECT_EQ(windows[0].last_round, 5u);
+  EXPECT_EQ(windows[1].rank, 7u);
+  EXPECT_EQ(windows[1].first_round, 1u);
+  EXPECT_EQ(windows[1].last_round, 1u);
+  EXPECT_TRUE(parse_crash_spec("").empty());
+  EXPECT_THROW(parse_crash_spec("3"), Error);
+  EXPECT_THROW(parse_crash_spec("3:2"), Error);
+  EXPECT_THROW(parse_crash_spec("a:1-2"), Error);
+  EXPECT_THROW(parse_crash_spec("1:x-2"), Error);
 }
 
 }  // namespace

@@ -1,0 +1,253 @@
+// Chaos suite for the fault-injecting fabric + quorum-tolerant round
+// loop. Properties pinned here:
+//   * every run over a seeded fault-plan grid terminates (no deadlock,
+//     no livelock in the retry protocol) — the suite finishing is the
+//     assertion;
+//   * message conservation: every transmitted message is accounted for
+//     as delivered, dropped, crash-dropped, or still pending;
+//   * determinism: identical seed + plan produce bit-identical history
+//     and final weights with 1 and 4 pool workers;
+//   * a zeroed FaultPlan is provably inert (byte-identical traffic and
+//     history vs the default fabric);
+//   * quorum: when no update survives, the round is skipped and the
+//     global model carried forward unchanged.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "src/fl/simulation.hpp"
+#include "src/utils/logging.hpp"
+#include "src/utils/threadpool.hpp"
+
+namespace fedcav {
+namespace {
+
+fl::SimulationConfig chaos_config() {
+  fl::SimulationConfig config;
+  config.dataset = "digits";
+  config.model = "mlp";
+  config.train_samples_per_class = 12;
+  config.test_samples_per_class = 8;
+  config.partition.num_clients = 6;
+  config.server.sample_ratio = 0.5;
+  config.server.local.epochs = 2;
+  config.server.local.batch_size = 8;
+  config.server.min_aggregate_clients = 1;
+  config.server.max_retries = 3;
+  config.server.retry_backoff_s = 0.05;
+  return config;
+}
+
+void expect_conservation(const fl::Server& server) {
+  const comm::InMemoryNetwork* net = server.network();
+  ASSERT_NE(net, nullptr);
+  const comm::FaultStats f = net->fault_stats();
+  EXPECT_EQ(net->total_stats().messages_sent + f.duplicated,
+            f.delivered + f.dropped + f.crash_dropped + net->pending_messages())
+      << "a message leaked from the fabric's accounting";
+}
+
+std::string deterministic_csv(const fl::Server& server) {
+  std::ostringstream out;
+  server.history().write_csv(out, /*include_timings=*/false);
+  return out.str();
+}
+
+TEST(Chaos, GridOfFaultPlansTerminatesAndConservesMessages) {
+  set_log_level(LogLevel::kError);
+  // Fault-free reference for the accuracy band.
+  fl::SimulationConfig clean = chaos_config();
+  fl::Simulation reference = fl::build_simulation(clean);
+  reference.server->run(3);
+  const double clean_best = reference.server->history().best_accuracy();
+
+  const double drop_grid[] = {0.0, 0.1, 0.3};
+  const double corrupt_grid[] = {0.0, 0.05};
+  const std::vector<std::vector<comm::CrashWindow>> crash_grid = {
+      {},
+      {comm::CrashWindow{/*rank=*/2, /*first_round=*/2, /*last_round=*/2}},
+      {comm::CrashWindow{1, 1, 1}, comm::CrashWindow{4, 2, 3}},
+  };
+
+  for (double drop : drop_grid) {
+    for (double corrupt : corrupt_grid) {
+      for (std::size_t c = 0; c < crash_grid.size(); ++c) {
+        fl::SimulationConfig config = chaos_config();
+        comm::FaultPlan& faults = config.server.network.faults;
+        faults.seed = 1000 + static_cast<std::uint64_t>(100 * drop) + c;
+        faults.drop_prob = drop;
+        faults.corrupt_prob = corrupt;
+        faults.duplicate_prob = 0.1;
+        faults.reorder_prob = 0.1;
+        faults.jitter_s = 0.02;
+        faults.crashes = crash_grid[c];
+
+        SCOPED_TRACE("drop=" + std::to_string(drop) +
+                     " corrupt=" + std::to_string(corrupt) +
+                     " crashes=" + std::to_string(c));
+        fl::Simulation sim = fl::build_simulation(config);
+        sim.server->run(3);  // terminating at all is the liveness assertion
+        ASSERT_EQ(sim.server->history().rounds(), 3u);
+        expect_conservation(*sim.server);
+
+        // Retries keep most exchanges alive, so accuracy stays within a
+        // (deliberately loose) band of the fault-free run at this scale.
+        std::size_t aggregated_rounds = 0;
+        for (const auto& rec : sim.server->history().records()) {
+          if (!rec.skipped) ++aggregated_rounds;
+        }
+        if (aggregated_rounds == 3) {
+          EXPECT_GT(sim.server->history().best_accuracy(), clean_best - 0.35);
+        }
+        // Fault work must be visible in the observability columns when
+        // the plan actually bites.
+        if (drop >= 0.3) {
+          std::uint64_t retries = 0;
+          for (const auto& rec : sim.server->history().records()) {
+            retries += rec.retries;
+          }
+          EXPECT_GT(retries, 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(Chaos, SameSeedIsBitIdenticalAcrossPoolSizes) {
+  set_log_level(LogLevel::kError);
+  fl::SimulationConfig config = chaos_config();
+  comm::FaultPlan& faults = config.server.network.faults;
+  faults.seed = 77;
+  faults.drop_prob = 0.3;
+  faults.duplicate_prob = 0.15;
+  faults.reorder_prob = 0.15;
+  faults.corrupt_prob = 0.1;
+  faults.truncate_prob = 0.05;
+  faults.jitter_s = 0.05;
+  faults.crashes = {comm::CrashWindow{3, 2, 2}};
+  config.server.min_aggregate_clients = 1;
+
+  auto run_with_pool = [&config](std::size_t workers, std::string* csv,
+                                 nn::Weights* weights) {
+    ThreadPool pool(workers);
+    fl::Simulation sim = fl::build_simulation(config);
+    sim.server->set_thread_pool(&pool);
+    sim.server->run(4);
+    *csv = deterministic_csv(*sim.server);
+    *weights = sim.server->global_weights();
+    expect_conservation(*sim.server);
+  };
+
+  std::string csv1;
+  std::string csv4;
+  nn::Weights w1;
+  nn::Weights w4;
+  run_with_pool(1, &csv1, &w1);
+  run_with_pool(4, &csv4, &w4);
+  EXPECT_EQ(csv1, csv4) << "per-link fault streams leaked thread-order dependence";
+  EXPECT_EQ(w1, w4);
+}
+
+TEST(Chaos, ZeroedFaultPlanIsInert) {
+  set_log_level(LogLevel::kError);
+  // Acceptance gate: a FaultPlan with every knob at zero (seed set or
+  // not) reproduces the default fabric's run byte-for-byte — history,
+  // weights, and traffic stats.
+  fl::SimulationConfig plain = chaos_config();
+  fl::SimulationConfig zeroed = chaos_config();
+  zeroed.server.network.faults.seed = 424242;  // armed seed, zero probabilities
+
+  fl::Simulation a = fl::build_simulation(plain);
+  fl::Simulation b = fl::build_simulation(zeroed);
+  a.server->run(3);
+  b.server->run(3);
+
+  EXPECT_EQ(deterministic_csv(*a.server), deterministic_csv(*b.server));
+  EXPECT_EQ(a.server->global_weights(), b.server->global_weights());
+  for (std::size_t e = 0; e < a.server->num_clients() + 1; ++e) {
+    EXPECT_EQ(a.server->network()->stats(e).messages_sent,
+              b.server->network()->stats(e).messages_sent);
+    EXPECT_EQ(a.server->network()->stats(e).bytes_sent,
+              b.server->network()->stats(e).bytes_sent);
+    EXPECT_DOUBLE_EQ(a.server->network()->stats(e).simulated_seconds,
+                     b.server->network()->stats(e).simulated_seconds);
+  }
+  const comm::FaultStats f = b.server->network()->fault_stats();
+  EXPECT_EQ(f.dropped + f.crash_dropped + f.duplicated + f.reordered + f.corrupted +
+                f.truncated,
+            0u);
+}
+
+TEST(Chaos, QuorumSkipsRoundAndCarriesModelForward) {
+  set_log_level(LogLevel::kError);
+  // drop_prob = 1 starves every exchange past the retry budget; with a
+  // quorum of 2 every round must be skipped, counted, and side-effect
+  // free on the global model.
+  fl::SimulationConfig config = chaos_config();
+  config.server.network.faults.seed = 5;
+  config.server.network.faults.drop_prob = 1.0;
+  config.server.min_aggregate_clients = 2;
+  config.server.max_retries = 1;
+
+  fl::Simulation sim = fl::build_simulation(config);
+  const nn::Weights before = sim.server->global_weights();
+  sim.server->run(2);
+  for (const auto& rec : sim.server->history().records()) {
+    EXPECT_TRUE(rec.skipped);
+    EXPECT_EQ(rec.participants, 0u);
+    EXPECT_GT(rec.dropouts, 0u);
+    EXPECT_GT(rec.retries, 0u);
+    EXPECT_EQ(rec.mean_inference_loss, 0.0);
+  }
+  EXPECT_EQ(sim.server->global_weights(), before);
+  expect_conservation(*sim.server);
+}
+
+TEST(Chaos, UplinkDeadlineTurnsSlowReportsIntoDropouts) {
+  set_log_level(LogLevel::kError);
+  // A deadline tighter than one transfer time converts every report
+  // into a deadline miss — with quorum 2 the rounds all skip.
+  fl::SimulationConfig config = chaos_config();
+  config.server.network.faults.seed = 6;
+  config.server.network.faults.jitter_s = 1e-9;  // arm the fault layer only
+  config.server.uplink_deadline_s = 1e-6;        // < latency_s of one send
+  config.server.min_aggregate_clients = 2;
+
+  fl::Simulation sim = fl::build_simulation(config);
+  const nn::Weights before = sim.server->global_weights();
+  sim.server->run(2);
+  for (const auto& rec : sim.server->history().records()) {
+    EXPECT_TRUE(rec.skipped);
+    EXPECT_GT(rec.dropouts, 0u);
+  }
+  EXPECT_EQ(sim.server->global_weights(), before);
+  expect_conservation(*sim.server);
+}
+
+TEST(Chaos, CrashedClientsRejoinAndTrainingRecovers) {
+  set_log_level(LogLevel::kError);
+  // Crash every client for round 1: the round skips outright; after the
+  // windows close training proceeds normally.
+  fl::SimulationConfig config = chaos_config();
+  auto& faults = config.server.network.faults;
+  faults.seed = 8;
+  for (std::size_t rank = 1; rank <= 6; ++rank) {
+    faults.crashes.push_back(comm::CrashWindow{rank, 1, 1});
+  }
+  config.server.min_aggregate_clients = 2;
+  config.server.max_retries = 0;
+
+  fl::Simulation sim = fl::build_simulation(config);
+  sim.server->run(3);
+  const auto& records = sim.server->history().records();
+  EXPECT_TRUE(records[0].skipped);
+  EXPECT_FALSE(records[1].skipped);
+  EXPECT_FALSE(records[2].skipped);
+  EXPECT_GT(sim.server->network()->fault_stats().crash_dropped, 0u);
+  expect_conservation(*sim.server);
+}
+
+}  // namespace
+}  // namespace fedcav

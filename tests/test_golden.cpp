@@ -1,0 +1,57 @@
+// Golden-run regression pins: the fault-free tier-1 configuration
+// (digits / lenet5 / fedcav) must land on the committed final-round
+// accuracy and loss. The run is deterministic — fixed seeds, static
+// parallel_for partitioning, fixed-order reductions — so drift here
+// means a behavior change somewhere in the data/model/aggregation
+// stack, not noise. Tolerances are tight (1e-6 on accuracy, 1e-4 on
+// loss): float math is bit-stable on a given toolchain; the slack only
+// absorbs FMA/contract differences across compilers.
+#include <gtest/gtest.h>
+
+#include "src/fl/simulation.hpp"
+#include "src/utils/logging.hpp"
+
+namespace fedcav {
+namespace {
+
+fl::SimulationConfig golden_config() {
+  fl::SimulationConfig config;
+  config.dataset = "digits";
+  config.model = "lenet5";
+  config.strategy = "fedcav";
+  config.train_samples_per_class = 20;
+  config.test_samples_per_class = 10;
+  config.partition.num_clients = 8;
+  config.partition.sigma = 600.0;
+  config.server.sample_ratio = 0.5;
+  config.server.local.epochs = 3;
+  config.server.local.batch_size = 10;
+  config.server.local.lr = 0.05f;
+  config.seed = 2021;
+  return config;
+}
+
+TEST(GoldenRun, DigitsLenet5FedcavFinalRoundIsPinned) {
+  set_log_level(LogLevel::kError);
+  fl::Simulation sim = fl::build_simulation(golden_config());
+  sim.server->run(8);
+  const metrics::RoundRecord& last = sim.server->history().back();
+
+  // Committed goldens — recalibrate ONLY for an intentional behavior
+  // change, and say so in the commit message.
+  EXPECT_NEAR(last.test_accuracy, 0.29, 1e-6);
+  EXPECT_NEAR(last.test_loss, 2.34066034317016, 1e-4);
+  EXPECT_NEAR(sim.server->history().best_accuracy(), 0.29, 1e-6);
+
+  // Structural invariants of a fault-free run: nothing dropped, nothing
+  // retried, nothing skipped.
+  for (const auto& rec : sim.server->history().records()) {
+    EXPECT_EQ(rec.dropouts, 0u);
+    EXPECT_EQ(rec.retries, 0u);
+    EXPECT_EQ(rec.crc_failures, 0u);
+    EXPECT_FALSE(rec.skipped);
+  }
+}
+
+}  // namespace
+}  // namespace fedcav

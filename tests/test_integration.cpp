@@ -167,12 +167,12 @@ TEST_F(IntegrationTest, ByteAccountingMatchesModelSize) {
   Simulation sim = build_simulation(config);
   const metrics::RoundRecord rec = sim.server->run_round();
   const std::size_t n_params = sim.server->global_weights().size();
-  // GlobalModelMsg: 8 (type) + 8 (round) + 8 (len) + 4·params.
-  const std::size_t down_each = 24 + 4 * n_params;
+  // GlobalModelMsg: 8 (type) + 8 (round) + 8 (len) + 4·params + 4 (CRC).
+  const std::size_t down_each = 24 + 4 * n_params + 4;
   EXPECT_EQ(rec.bytes_down, rec.participants * down_each);
   // ClientReportMsg: 8 (type) + 8·3 (round/client/samples) + 8 (loss)
-  // + 8 (len) + 4·params.
-  const std::size_t up_each = 8 + 24 + 8 + 8 + 4 * n_params;
+  // + 8 (len) + 4·params + 4 (CRC).
+  const std::size_t up_each = 8 + 24 + 8 + 8 + 4 * n_params + 4;
   EXPECT_EQ(rec.bytes_up, rec.participants * up_each);
 }
 
