@@ -38,9 +38,9 @@ int main(int argc, char** argv) {
     const nn::ModelBuilder builder = nn::model_builder(config.model);
     std::vector<std::unique_ptr<fl::Client>> clients;
     for (std::size_t k = 0; k < sim.partition.size(); ++k) {
-      Rng model_rng = rng.fork();
+      (void)rng.fork();  // legacy model-init fork, kept for RNG-stream parity
       clients.push_back(std::make_unique<fl::Client>(
-          k, sim.train.subset(sim.partition[k]), builder(model_rng), rng.fork()));
+          k, sim.train.subset(sim.partition[k]), rng.fork()));
     }
     auto compressed =
         std::make_unique<fl::CompressedStrategy>(fl::make_strategy("fedcav"), ratio);

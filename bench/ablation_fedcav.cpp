@@ -36,9 +36,9 @@ Outcome run(const Scale& scale, std::uint64_t seed,
   const nn::ModelBuilder builder = nn::model_builder(config.model);
   std::vector<std::unique_ptr<fl::Client>> clients;
   for (std::size_t k = 0; k < sim.partition.size(); ++k) {
-    Rng model_rng = rng.fork();
+    (void)rng.fork();  // legacy model-init fork, kept for RNG-stream parity
     clients.push_back(std::make_unique<fl::Client>(
-        k, sim.train.subset(sim.partition[k]), builder(model_rng), rng.fork()));
+        k, sim.train.subset(sim.partition[k]), rng.fork()));
   }
   Rng global_rng(config.seed ^ 0xabcdef12345ULL);
   fl::Server server(builder(global_rng), std::move(strategy), std::move(clients),

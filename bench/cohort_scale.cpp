@@ -1,0 +1,196 @@
+// Cohort-scaling benchmark: proves a round's peak memory is bounded by
+// the replica pool (O(K × model), K ≈ thread-pool size) and NOT by the
+// cohort size — the PR-5 tentpole guarantee (DESIGN.md §11).
+//
+// For each cohort size it builds a full-participation simulation on a
+// tiny model, runs one warm-up round plus one measured round, and
+// records:
+//   * peak live tensor bytes over the measured round (FEDCAV_ALLOC_STATS
+//     high-water mark, reset at round start),
+//   * wall time for the round and per-participant time,
+//   * replicas actually materialized by the pool,
+//   * the obs gauges the round exports (pool.occupancy, agg.peak_bytes).
+//
+// Canonical producer of BENCH_cohort.json at the repo root. Two gates:
+//   memory — peak live bytes of the largest cohort must stay within 1.5x
+//            of the smallest (per-client replicas would blow this up by
+//            the cohort ratio);
+//   time   — per-participant round time of the largest cohort must stay
+//            within 4x of the smallest (rounds scale ~linearly in
+//            participants, never quadratically).
+//
+// Usage: cohort_scale [--smoke] [--out <path>]
+//   --smoke  CI-sized cohorts (32/128) instead of 64/256/1024
+//   --out    override the JSON destination (default <repo>/BENCH_cohort.json)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/fl/simulation.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/tensor/tensor.hpp"
+#include "src/utils/threadpool.hpp"
+
+namespace {
+
+using namespace fedcav;
+
+struct CohortResult {
+  std::size_t clients = 0;
+  std::size_t participants = 0;
+  std::uint64_t peak_live_bytes = 0;
+  double round_ms = 0.0;
+  double per_client_ms = 0.0;
+  std::size_t pool_replicas = 0;
+  std::size_t pool_max = 0;
+  double gauge_pool_occupancy = 0.0;
+  double gauge_agg_peak_bytes = 0.0;
+};
+
+CohortResult run_cohort(std::size_t clients, std::size_t workers) {
+  fl::SimulationConfig config;
+  config.dataset = "digits";
+  config.model = "mlp";
+  config.strategy = "fedcav";
+  // 10 classes x 128 = 1280 samples: at least one per client up to the
+  // 1024-client cohort, so the partition stays valid at every size.
+  config.train_samples_per_class = 128;
+  config.test_samples_per_class = 4;
+  config.partition.scheme = data::PartitionScheme::kIidBalanced;
+  config.partition.num_clients = clients;
+  config.server.sample_ratio = 1.0;  // whole cohort participates
+  config.server.local.epochs = 1;
+  config.server.local.batch_size = 4;
+  config.server.use_network = false;
+  config.server.telemetry = true;  // export pool.occupancy / agg.peak_bytes
+
+  fl::Simulation sim = fl::build_simulation(config);
+  ThreadPool pool(workers);
+  sim.server->set_thread_pool(&pool);
+
+  // Warm-up round: clones the K replicas and grows every workspace, so
+  // the measured round sees steady state (the regime a long run lives in).
+  sim.server->run_round();
+
+  obs::registry().reset();
+  Tensor::reset_alloc_stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  const metrics::RoundRecord rec = sim.server->run_round();
+  const double round_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  CohortResult r;
+  r.clients = clients;
+  r.participants = rec.participants;
+  r.peak_live_bytes = Tensor::alloc_stats().peak_live_bytes;
+  r.round_ms = round_ms;
+  r.per_client_ms = round_ms / static_cast<double>(clients);
+  if (const nn::ReplicaPool* rp = sim.server->replica_pool()) {
+    r.pool_replicas = rp->created();
+    r.pool_max = rp->max_replicas();
+  }
+  r.gauge_pool_occupancy = obs::registry().gauge("pool.occupancy").value();
+  r.gauge_agg_peak_bytes = obs::registry().gauge("agg.peak_bytes").value();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+#ifdef FEDCAV_REPO_ROOT
+  std::string out_path = std::string(FEDCAV_REPO_ROOT) + "/BENCH_cohort.json";
+#else
+  std::string out_path = "BENCH_cohort.json";
+#endif
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<std::size_t> cohorts =
+      smoke ? std::vector<std::size_t>{32, 128}
+            : std::vector<std::size_t>{64, 256, 1024};
+  const std::size_t workers = 4;
+
+  std::printf("%8s %13s %14s %10s %14s %9s\n", "clients", "participants",
+              "peak MiB", "round ms", "per-client ms", "replicas");
+  std::vector<CohortResult> results;
+  for (std::size_t clients : cohorts) {
+    const CohortResult r = run_cohort(clients, workers);
+    std::printf("%8zu %13zu %14.3f %10.1f %14.3f %6zu/%zu\n", r.clients,
+                r.participants, static_cast<double>(r.peak_live_bytes) / (1024.0 * 1024.0),
+                r.round_ms, r.per_client_ms, r.pool_replicas, r.pool_max);
+    results.push_back(r);
+  }
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::fprintf(stderr, "cohort_scale: cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  json << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CohortResult& r = results[i];
+    json << "  {\"clients\": " << r.clients << ", \"participants\": " << r.participants
+         << ", \"peak_live_bytes\": " << r.peak_live_bytes
+         << ", \"round_ms\": " << r.round_ms << ", \"per_client_ms\": " << r.per_client_ms
+         << ", \"pool_replicas\": " << r.pool_replicas << ", \"pool_max\": " << r.pool_max
+         << ", \"pool_occupancy\": " << r.gauge_pool_occupancy
+         << ", \"agg_peak_bytes\": " << r.gauge_agg_peak_bytes << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "]\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  const CohortResult& small = results.front();
+  const CohortResult& large = results.back();
+
+  bool ok = true;
+  // Replica gate: the pool must never materialize more than workers + 1
+  // models regardless of cohort size.
+  for (const CohortResult& r : results) {
+    if (r.pool_replicas > workers + 1) {
+      std::fprintf(stderr, "FAIL: %zu-client round materialized %zu replicas (> %zu)\n",
+                   r.clients, r.pool_replicas, workers + 1);
+      ok = false;
+    }
+  }
+  // Memory gate: only meaningful when the alloc-stats choke point is
+  // compiled in; without it peak_live_bytes reads zero.
+  if (Tensor::alloc_stats_enabled()) {
+    const double mem_ratio = static_cast<double>(large.peak_live_bytes) /
+                             static_cast<double>(small.peak_live_bytes);
+    std::printf("peak-bytes ratio %zu/%zu clients: %.2fx (gate <= 1.5x)\n",
+                large.clients, small.clients, mem_ratio);
+    if (mem_ratio > 1.5) {
+      std::fprintf(stderr,
+                   "FAIL: peak live bytes grew %.2fx from %zu to %zu clients — "
+                   "memory is scaling with the cohort\n",
+                   mem_ratio, small.clients, large.clients);
+      ok = false;
+    }
+  } else {
+    std::printf("built without FEDCAV_ALLOC_STATS: memory gate skipped\n");
+  }
+  // Time gate: per-participant cost must not degrade super-linearly.
+  const double time_ratio = large.per_client_ms / small.per_client_ms;
+  std::printf("per-client time ratio %zu/%zu clients: %.2fx (gate <= 4x)\n",
+              large.clients, small.clients, time_ratio);
+  if (time_ratio > 4.0) {
+    std::fprintf(stderr, "FAIL: per-client round time grew %.2fx — rounds are not "
+                 "scaling linearly in cohort size\n", time_ratio);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -32,7 +32,17 @@ run_config() {
 ctest_args=("$@")
 
 run_config "${repo}/build" ""
+# Cohort-scaling memory gate (replica-pool bound, DESIGN.md §11): a smoke
+# run of the bench enforces that peak round memory does not scale with
+# the cohort, in both the plain and sanitized builds.
+echo "==> cohort_scale smoke (plain)"
+"${repo}/build/bench/cohort_scale" --smoke --out "${repo}/build/BENCH_cohort_smoke.json"
+
 run_config "${repo}/build-sanitize" "" -DFEDCAV_SANITIZE=ON
+echo "==> cohort_scale smoke (sanitize)"
+"${repo}/build-sanitize/bench/cohort_scale" --smoke \
+  --out "${repo}/build-sanitize/BENCH_cohort_smoke.json"
+
 run_config "${repo}/build-tsan" \
   "ThreadPool|Obs|CheckpointResume|Server|Integration|Chaos|Faults|GoldenRun" \
   -DFEDCAV_SANITIZE=thread

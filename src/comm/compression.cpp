@@ -55,9 +55,16 @@ SparseDelta topk_compress(std::span<const float> dense, double ratio) {
 
   std::vector<std::uint32_t> order(dense.size());
   std::iota(order.begin(), order.end(), 0u);
+  // Strict weak ordering with an index tie-break: equal-magnitude entries
+  // otherwise make the selected set implementation-defined (nth_element may
+  // keep either side of the pivot), which breaks cross-run determinism of
+  // the sparsified wire image. Lower index wins ties.
   std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k - 1),
                    order.end(), [&](std::uint32_t a, std::uint32_t b) {
-                     return std::abs(dense[a]) > std::abs(dense[b]);
+                     const float ma = std::abs(dense[a]);
+                     const float mb = std::abs(dense[b]);
+                     if (ma != mb) return ma > mb;
+                     return a < b;
                    });
   order.resize(k);
   std::sort(order.begin(), order.end());

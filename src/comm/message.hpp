@@ -27,6 +27,12 @@ enum class MessageType : std::uint64_t {
   /// failed its CRC, or arrived truncated. Part of the fault-tolerant
   /// retry protocol (see DESIGN.md §10).
   kNack = 4,
+  /// Scalar-only client report (sample count + inference loss, no
+  /// weights) sent in the metadata phase of a round. The server computes
+  /// aggregation weights γ from these before any full report is
+  /// materialized, which is what makes streaming aggregation possible
+  /// (see DESIGN.md §11).
+  kMetadataReport = 5,
 };
 
 struct GlobalModelMsg {
@@ -49,6 +55,21 @@ struct ClientReportMsg {
 
   ByteBuffer encode() const;
   static ClientReportMsg decode(ByteReader& reader);
+};
+
+/// Phase-① report: the scalars of ClientReportMsg without the weight
+/// vector. 32 payload bytes regardless of model size, so the metadata
+/// phase's traffic is O(cohort), not O(cohort × model).
+struct MetadataMsg {
+  std::uint64_t round = 0;
+  std::uint64_t client_id = 0;
+  std::uint64_t num_samples = 0;
+  /// Inference loss f_i(w_t) of the global model on local data (the
+  /// FedCav contribution signal, Algorithm 2 line 2).
+  double inference_loss = 0.0;
+
+  ByteBuffer encode() const;
+  static MetadataMsg decode(ByteReader& reader);
 };
 
 enum class ControlAction : std::uint64_t {

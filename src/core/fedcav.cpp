@@ -22,6 +22,15 @@ nn::Weights FedCavStrategy::aggregate(const nn::Weights& global,
   return fl::weighted_average(updates, aggregation_weights(updates));
 }
 
+void FedCavStrategy::begin_aggregation(const nn::Weights& global,
+                                       const std::vector<fl::ClientUpdate>& metadata) {
+  acc_.begin(global.size(), aggregation_weights(metadata));
+}
+
+void FedCavStrategy::accumulate(fl::ClientUpdate update) { acc_.fold(update); }
+
+nn::Weights FedCavStrategy::finish_aggregation() { return acc_.finish(); }
+
 std::string FedCavStrategy::name() const {
   std::string s = "FedCav(clip=" + to_string(config_.clip);
   if (config_.temperature != 1.0) s += ", tau=" + std::to_string(config_.temperature);

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "src/core/contribution.hpp"
+#include "src/fl/fedavg.hpp"
 #include "src/fl/strategy.hpp"
 
 namespace fedcav::core {
@@ -26,8 +27,17 @@ class FedCavStrategy : public fl::AggregationStrategy {
   /// round's reported losses — exposed so tests can check it decreases.
   static double global_loss(const std::vector<fl::ClientUpdate>& updates);
 
+  // Streaming path: γ = softmax(clip(f)/τ) needs only the cohort's
+  // inference losses, which the metadata phase carries in full.
+  void begin_aggregation(const nn::Weights& global,
+                         const std::vector<fl::ClientUpdate>& metadata) override;
+  void accumulate(fl::ClientUpdate update) override;
+  nn::Weights finish_aggregation() override;
+  bool streaming_aggregation() const override { return true; }
+
  private:
   ContributionConfig config_;
+  fl::WeightedAccumulator acc_;
 };
 
 }  // namespace fedcav::core

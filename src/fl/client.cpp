@@ -4,39 +4,42 @@
 #include <numeric>
 
 #include "src/metrics/evaluation.hpp"
+#include "src/nn/optimizer.hpp"
 #include "src/obs/trace.hpp"
 #include "src/utils/error.hpp"
 
 namespace fedcav::fl {
 
-Client::Client(std::size_t id, data::Dataset local_data, std::unique_ptr<nn::Model> model,
-               Rng rng)
-    : id_(id), data_(std::move(local_data)), model_(std::move(model)), rng_(rng) {
-  FEDCAV_REQUIRE(model_ != nullptr, "Client: null model");
+Client::Client(std::size_t id, data::Dataset local_data, Rng rng)
+    : id_(id), data_(std::move(local_data)), rng_(rng) {
   FEDCAV_REQUIRE(!data_.empty(), "Client: empty local dataset");
 }
 
-double Client::compute_inference_loss(const nn::Weights& global) {
-  model_->set_weights(global);
-  return metrics::inference_loss(*model_, data_);
+double Client::compute_inference_loss(nn::Model& model, const nn::Weights& global) {
+  obs::Span span("inference_loss", "client");
+  span.arg("client", static_cast<double>(id_));
+  model.set_weights(global);
+  return metrics::inference_loss(model, data_);
 }
 
-ClientUpdate Client::local_update(const nn::Weights& global, const LocalTrainConfig& config) {
+ClientUpdate Client::local_update(nn::Model& model, const nn::Weights& global,
+                                  const LocalTrainConfig& config) {
+  FEDCAV_REQUIRE(config.epochs > 0, "Client: zero local epochs");
+  FEDCAV_REQUIRE(config.batch_size > 0, "Client: zero batch size");
+  const double f_i = compute_inference_loss(model, global);
+  return train_update(model, global, config, f_i);
+}
+
+ClientUpdate Client::train_update(nn::Model& model, const nn::Weights& global,
+                                  const LocalTrainConfig& config, double inference_loss) {
   FEDCAV_REQUIRE(config.epochs > 0, "Client: zero local epochs");
   FEDCAV_REQUIRE(config.batch_size > 0, "Client: zero batch size");
 
-  // Phase ①: inference loss of the downloaded (pre-training) model.
-  double f_i = 0.0;
-  {
-    obs::Span span("inference_loss", "client");
-    span.arg("client", static_cast<double>(id_));
-    model_->set_weights(global);
-    f_i = metrics::inference_loss(*model_, data_);
-  }
-
   obs::Span train_span("local_epochs", "client");
   train_span.arg("client", static_cast<double>(id_));
-  // Phase ②: E epochs of mini-batch SGD from the global weights.
+  // E epochs of mini-batch SGD from the global weights. The replica may
+  // have been used by another client since phase ①, so always reload.
+  model.set_weights(global);
   nn::SgdConfig sgd_config;
   sgd_config.lr = config.lr;
   sgd_config.momentum = config.momentum;
@@ -57,29 +60,29 @@ ClientUpdate Client::local_update(const nn::Weights& global, const LocalTrainCon
       const std::size_t end = std::min(order.size(), begin + config.batch_size);
       Tensor batch = data_.make_batch(
           std::span(order.data() + begin, end - begin), &labels);
-      model_->forward_backward(batch, labels);
-      optimizer.step(*model_);
+      model.forward_backward(batch, labels);
+      optimizer.step(model);
     }
   }
 
   ClientUpdate update;
   update.client_id = id_;
-  update.weights = model_->get_weights();
-  update.inference_loss = f_i;
+  update.weights = model.get_weights();
+  update.inference_loss = inference_loss;
   update.num_samples = data_.size();
 
   if (config.curv_lambda > 0.0f) {
     // Remember this participation's optimum and parameter importances
     // for the EWC-style penalty next time this client is sampled.
-    curv_importance_ = estimate_fisher();
+    curv_importance_ = estimate_fisher(model);
     curv_anchor_ = update.weights;
   }
   return update;
 }
 
-std::vector<float> Client::estimate_fisher() {
-  model_->zero_grad();
-  std::vector<float> fisher(model_->num_params(), 0.0f);
+std::vector<float> Client::estimate_fisher(nn::Model& model) {
+  model.zero_grad();
+  std::vector<float> fisher(model.num_params(), 0.0f);
   std::vector<std::size_t> labels;
   std::size_t batches = 0;
   constexpr std::size_t kFisherBatch = 16;
@@ -89,10 +92,10 @@ std::vector<float> Client::estimate_fisher() {
     indices.resize(end - begin);
     for (std::size_t i = begin; i < end; ++i) indices[i - begin] = i;
     Tensor batch = data_.make_batch(indices, &labels);
-    model_->forward_backward(batch, labels);
-    const nn::Weights grads = model_->get_gradients();
+    model.forward_backward(batch, labels);
+    const nn::Weights grads = model.get_gradients();
     for (std::size_t i = 0; i < grads.size(); ++i) fisher[i] += grads[i] * grads[i];
-    model_->zero_grad();
+    model.zero_grad();
     ++batches;
   }
   const float inv = 1.0f / static_cast<float>(std::max<std::size_t>(1, batches));
@@ -106,11 +109,11 @@ void Client::save_state(ByteBuffer& buf) const {
   write_f32_span(buf, curv_importance_);
 }
 
-void Client::load_state(ByteReader& reader) {
+void Client::load_state(ByteReader& reader, std::size_t expected_params) {
   rng_.set_state(read_rng_state(reader));
   std::vector<float> anchor = reader.read_f32_vector();
   std::vector<float> importance = reader.read_f32_vector();
-  FEDCAV_REQUIRE(anchor.empty() || anchor.size() == model_->num_params(),
+  FEDCAV_REQUIRE(anchor.empty() || anchor.size() == expected_params,
                  "Client::load_state: curvature anchor size mismatch");
   FEDCAV_REQUIRE(importance.size() == anchor.size(),
                  "Client::load_state: curvature importance size mismatch");

@@ -1,21 +1,25 @@
-// Federated client: owns a private data shard and a model replica and
-// implements Algorithm 2 (LocalUpdate).
+// Federated client: owns a private data shard and implements Algorithm 2
+// (LocalUpdate) against a *borrowed* model replica.
 //
-// Per round the client (1) loads the downloaded global weights,
-// (2) computes the inference loss f_i(w_t) of that *untrained* model on
-// its local data, (3) runs E epochs of mini-batch SGD (optionally with
-// FedProx's proximal pull toward the global weights), and (4) returns
-// the trained weights, the inference loss, and its sample count.
+// Per round the client (1) loads the downloaded global weights into the
+// leased replica, (2) computes the inference loss f_i(w_t) of that
+// untrained model on its local data, (3) runs E epochs of mini-batch SGD
+// (optionally with FedProx's proximal pull toward the global weights),
+// and (4) returns the trained weights, the inference loss, and its
+// sample count.
 //
-// Each client owns an independent model replica, so a round's clients
-// can train concurrently on the thread pool without sharing buffers.
+// Clients do NOT own model replicas (PR 5): identity is the data shard,
+// the batch-shuffle RNG stream, and FedCurv anchor state. Models come
+// from the server's bounded nn::ReplicaPool, so simulation memory is
+// O(K × model) with K ≈ thread-pool size instead of O(N_clients × model)
+// (DESIGN.md §11). Any replica is equivalent: every entry point below
+// starts from set_weights(global) and training state (optimizer, grads)
+// never persists inside a pooled model between leases.
 #pragma once
-
-#include <memory>
 
 #include "src/data/dataset.hpp"
 #include "src/fl/types.hpp"
-#include "src/nn/optimizer.hpp"
+#include "src/nn/model.hpp"
 #include "src/tensor/serialize.hpp"
 #include "src/utils/rng.hpp"
 
@@ -23,19 +27,27 @@ namespace fedcav::fl {
 
 class Client {
  public:
-  Client(std::size_t id, data::Dataset local_data, std::unique_ptr<nn::Model> model,
-         Rng rng);
+  Client(std::size_t id, data::Dataset local_data, Rng rng);
 
   std::size_t id() const { return id_; }
   const data::Dataset& local_data() const { return data_; }
   std::size_t num_samples() const { return data_.size(); }
 
-  /// Algorithm 2. `config` carries E, B, η and (for FedProx) μ.
-  ClientUpdate local_update(const nn::Weights& global, const LocalTrainConfig& config);
+  /// Algorithm 2 in full: inference loss then E epochs of SGD, on the
+  /// borrowed `model`. `config` carries E, B, η and (for FedProx) μ.
+  ClientUpdate local_update(nn::Model& model, const nn::Weights& global,
+                            const LocalTrainConfig& config);
 
-  /// The inference loss alone (phase ① of Fig. 3) — also used by the
-  /// server-side overhead accounting bench.
-  double compute_inference_loss(const nn::Weights& global);
+  /// The inference loss alone (phase ① of the round) — loads `global`
+  /// into `model` first.
+  double compute_inference_loss(nn::Model& model, const nn::Weights& global);
+
+  /// Phase ②: training only, with the inference loss already measured in
+  /// phase ① passed through into the returned update. Starts from
+  /// set_weights(global), so it does not matter which replica computed
+  /// the loss.
+  ClientUpdate train_update(nn::Model& model, const nn::Weights& global,
+                            const LocalTrainConfig& config, double inference_loss);
 
   /// Replace this client's data (dynamic-environment experiments inject
   /// fresh-class samples between phases).
@@ -48,18 +60,18 @@ class Client {
   /// batch-shuffle RNG stream and the FedCurv anchor/importance vectors.
   /// (Model weights are not included — every participation overwrites
   /// them with the downloaded global model.) load_state throws
-  /// fedcav::Error on anchor size mismatch with this client's model.
+  /// fedcav::Error when a non-empty anchor does not match
+  /// `expected_params` (the global model's parameter count).
   void save_state(ByteBuffer& buf) const;
-  void load_state(ByteReader& reader);
+  void load_state(ByteReader& reader, std::size_t expected_params);
 
  private:
-  /// Diagonal Fisher estimate of the current model on the local data
-  /// (mean squared gradient over one pass).
-  std::vector<float> estimate_fisher();
+  /// Diagonal Fisher estimate of `model` on the local data (mean squared
+  /// gradient over one pass).
+  std::vector<float> estimate_fisher(nn::Model& model);
 
   std::size_t id_;
   data::Dataset data_;
-  std::unique_ptr<nn::Model> model_;
   Rng rng_;
   // FedCurv-lite state: the client's previous local optimum and its
   // parameter importances, kept across participations.

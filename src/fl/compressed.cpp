@@ -13,23 +13,42 @@ CompressedStrategy::CompressedStrategy(std::unique_ptr<AggregationStrategy> inne
                  "CompressedStrategy: ratio must be in (0, 1]");
 }
 
+void CompressedStrategy::lossy_reconstruct(ClientUpdate& update,
+                                           const nn::Weights& global) {
+  FEDCAV_REQUIRE(update.weights.size() == global.size(),
+                 "CompressedStrategy: weight size mismatch");
+  std::vector<float> delta(global.size());
+  for (std::size_t i = 0; i < global.size(); ++i) {
+    delta[i] = update.weights[i] - global[i];
+  }
+  const comm::SparseDelta sparse = comm::topk_compress(delta, ratio_);
+  sparse_bytes_ += sparse.wire_size();
+  dense_bytes_ += global.size() * sizeof(float);
+  update.weights = global;
+  comm::add_sparse(update.weights, sparse);
+}
+
 nn::Weights CompressedStrategy::aggregate(const nn::Weights& global,
                                           const std::vector<ClientUpdate>& updates) {
   std::vector<ClientUpdate> lossy = updates;
-  std::vector<float> delta(global.size());
-  for (ClientUpdate& update : lossy) {
-    FEDCAV_REQUIRE(update.weights.size() == global.size(),
-                   "CompressedStrategy: weight size mismatch");
-    for (std::size_t i = 0; i < global.size(); ++i) {
-      delta[i] = update.weights[i] - global[i];
-    }
-    const comm::SparseDelta sparse = comm::topk_compress(delta, ratio_);
-    sparse_bytes_ += sparse.wire_size();
-    dense_bytes_ += global.size() * sizeof(float);
-    update.weights = global;
-    comm::add_sparse(update.weights, sparse);
-  }
+  for (ClientUpdate& update : lossy) lossy_reconstruct(update, global);
   return inner_->aggregate(global, lossy);
+}
+
+void CompressedStrategy::begin_aggregation(const nn::Weights& global,
+                                           const std::vector<ClientUpdate>& metadata) {
+  stream_global_ = global;
+  inner_->begin_aggregation(global, metadata);
+}
+
+void CompressedStrategy::accumulate(ClientUpdate update) {
+  lossy_reconstruct(update, stream_global_);
+  inner_->accumulate(std::move(update));
+}
+
+nn::Weights CompressedStrategy::finish_aggregation() {
+  nn::Weights().swap(stream_global_);
+  return inner_->finish_aggregation();
 }
 
 std::vector<double> CompressedStrategy::aggregation_weights(

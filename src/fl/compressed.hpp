@@ -31,11 +31,27 @@ class CompressedStrategy : public AggregationStrategy {
   std::uint64_t sparse_bytes() const { return sparse_bytes_; }
   std::uint64_t dense_bytes() const { return dense_bytes_; }
 
+  // Streaming: the lossy reconstruction is a per-update transform, so
+  // each update is compressed and forwarded to the inner strategy as it
+  // arrives. Streams iff the inner strategy streams.
+  void begin_aggregation(const nn::Weights& global,
+                         const std::vector<ClientUpdate>& metadata) override;
+  void accumulate(ClientUpdate update) override;
+  nn::Weights finish_aggregation() override;
+  bool streaming_aggregation() const override {
+    return inner_->streaming_aggregation();
+  }
+
  private:
+  /// In-place top-k sparsify + reconstruct vs `stream_global_`, tallying
+  /// the byte ledger.
+  void lossy_reconstruct(ClientUpdate& update, const nn::Weights& global);
+
   std::unique_ptr<AggregationStrategy> inner_;
   double ratio_;
   std::uint64_t sparse_bytes_ = 0;
   std::uint64_t dense_bytes_ = 0;
+  nn::Weights stream_global_;
 };
 
 }  // namespace fedcav::fl

@@ -43,4 +43,41 @@ nn::Weights FedAvg::aggregate(const nn::Weights& global,
   return weighted_average(updates, aggregation_weights(updates));
 }
 
+void WeightedAccumulator::begin(std::size_t dim, std::vector<double> gammas) {
+  FEDCAV_REQUIRE(!gammas.empty(), "WeightedAccumulator: no participants");
+  acc_.assign(dim, 0.0);
+  gammas_ = std::move(gammas);
+  next_ = 0;
+}
+
+void WeightedAccumulator::fold(const ClientUpdate& update) {
+  FEDCAV_REQUIRE(next_ < gammas_.size(), "WeightedAccumulator: too many folds");
+  FEDCAV_REQUIRE(update.weights.size() == acc_.size(),
+                 "WeightedAccumulator: weight dimension mismatch");
+  const double w = gammas_[next_++];
+  const float* src = update.weights.data();
+  for (std::size_t i = 0; i < acc_.size(); ++i) acc_[i] += w * static_cast<double>(src[i]);
+}
+
+nn::Weights WeightedAccumulator::finish() {
+  FEDCAV_REQUIRE(!gammas_.empty(), "WeightedAccumulator: finish without begin");
+  FEDCAV_REQUIRE(next_ == gammas_.size(),
+                 "WeightedAccumulator: finish before all folds arrived");
+  nn::Weights out(acc_.size());
+  for (std::size_t i = 0; i < acc_.size(); ++i) out[i] = static_cast<float>(acc_[i]);
+  std::vector<double>().swap(acc_);
+  std::vector<double>().swap(gammas_);
+  next_ = 0;
+  return out;
+}
+
+void FedAvg::begin_aggregation(const nn::Weights& global,
+                               const std::vector<ClientUpdate>& metadata) {
+  acc_.begin(global.size(), aggregation_weights(metadata));
+}
+
+void FedAvg::accumulate(ClientUpdate update) { acc_.fold(update); }
+
+nn::Weights FedAvg::finish_aggregation() { return acc_.finish(); }
+
 }  // namespace fedcav::fl

@@ -6,6 +6,28 @@
 
 namespace fedcav::fl {
 
+/// Streaming Σ γ_j · w_j in double precision. Folding update j adds
+/// `gamma[j] * (double)w_j[i]` into acc[i] for each coordinate — the
+/// exact floating-point operation sequence of weighted_average()'s
+/// u-then-i loop nest — so a fold in fixed participant order is
+/// bit-identical to materializing every update first. One O(model)
+/// double buffer lives at a time, regardless of cohort size.
+class WeightedAccumulator {
+ public:
+  /// Arm for a round: `gammas[j]` is the weight of the j-th fold() call.
+  void begin(std::size_t dim, std::vector<double> gammas);
+  void fold(const ClientUpdate& update);
+  /// Cast the double accumulator to float and release it.
+  nn::Weights finish();
+  std::size_t folded() const { return next_; }
+  std::size_t expected() const { return gammas_.size(); }
+
+ private:
+  std::vector<double> acc_;
+  std::vector<double> gammas_;
+  std::size_t next_ = 0;
+};
+
 class FedAvg : public AggregationStrategy {
  public:
   nn::Weights aggregate(const nn::Weights& global,
@@ -13,6 +35,18 @@ class FedAvg : public AggregationStrategy {
   std::vector<double> aggregation_weights(
       const std::vector<ClientUpdate>& updates) const override;
   std::string name() const override { return "FedAvg"; }
+
+  // Streaming path: γ needs only num_samples, which the metadata phase
+  // already carries. FedProx/FedCurvLite inherit this unchanged (their
+  // aggregation is identical; they differ in local overrides only).
+  void begin_aggregation(const nn::Weights& global,
+                         const std::vector<ClientUpdate>& metadata) override;
+  void accumulate(ClientUpdate update) override;
+  nn::Weights finish_aggregation() override;
+  bool streaming_aggregation() const override { return true; }
+
+ private:
+  WeightedAccumulator acc_;
 };
 
 /// Shared helper: convex combination Σ γ_i · w_i with Σ γ_i = 1.

@@ -125,27 +125,47 @@ ThreadPool& Server::pool() const {
   return pool_ != nullptr ? *pool_ : global_thread_pool();
 }
 
-ParticipantOutcome Server::run_participant(std::size_t client_index) {
+void Server::ensure_replica_pool() {
+  // Workers plus the caller (parallel_for may run a chunk inline), so
+  // acquire() can never starve a thread that holds no lease yet.
+  const std::size_t max_replicas = pool().size() + 1;
+  if (replica_pool_ == nullptr || replica_pool_->max_replicas() != max_replicas) {
+    replica_pool_ = std::make_unique<nn::ReplicaPool>(*global_model_, max_replicas);
+  }
+}
+
+ParticipantOutcome Server::run_participant_metadata(std::size_t client_index) {
   obs::Span span("participant", "client");
   span.arg("client", static_cast<double>(client_index));
   ParticipantOutcome out;
   Client& client = *clients_[client_index];
   if (network_ == nullptr) {
-    out.update = client.local_update(global_weights_, effective_local_);
+    nn::ReplicaPool::Lease replica = replica_pool_->acquire();
+    ClientUpdate meta;
+    meta.client_id = client.id();
+    meta.num_samples = client.num_samples();
+    meta.inference_loss = client.compute_inference_loss(replica.model(), global_weights_);
+    out.metadata = std::move(meta);
     return out;
   }
   // Weights travel through the fabric both ways so byte counters see
-  // the genuine serialized payloads (Fig. 3 phases ① and ②). The
-  // simulation plays both endpoints of each link on this thread, which
-  // lets the NACK-and-retry protocol run synchronously: drain the link
-  // until a CRC-clean message for this round appears, otherwise NACK
-  // and retransmit with exponential simulated-time backoff, up to
-  // max_retries. Every control and retransmitted message is metered
-  // and fault-injected like any other traffic.
+  // the genuine serialized payloads. The simulation plays both endpoints
+  // of each link on this thread, which lets the NACK-and-retry protocol
+  // run synchronously: drain the link until a CRC-clean message for this
+  // round appears, otherwise NACK and retransmit with exponential
+  // simulated-time backoff, up to max_retries. Every control and
+  // retransmitted message is metered and fault-injected like any other
+  // traffic, and every transfer/backoff is charged to `elapsed_s` so
+  // the deadline covers the whole exchange, not just the last uplink.
   const std::size_t rank = client_index + 1;
 
-  // Phase ① downlink: the broadcast phase queued this round's global
-  // model (and possibly faults mangled it in flight).
+  // Downlink: queue this participant's copy of the pre-encoded broadcast,
+  // then play the client endpoint's receive + NACK protocol. Sending here
+  // (not in the broadcast phase) keeps O(workers) wire images of the
+  // model alive in the fabric instead of O(cohort); per-link fault RNG
+  // streams make the fault outcomes identical either way.
+  network_->send(kServerRank, rank, downlink_env_);
+  out.elapsed_s += network_->model_transfer_seconds(downlink_env_.wire_size());
   std::optional<comm::GlobalModelMsg> down;
   for (std::size_t attempt = 0; attempt <= config_.max_retries && !down; ++attempt) {
     while (auto wire = network_->try_recv_wire(rank, kServerRank)) {
@@ -171,18 +191,101 @@ ParticipantOutcome Server::run_participant(std::size_t client_index) {
     comm::NackMsg nack;
     nack.round = round_;
     nack.expected = comm::MessageType::kGlobalModel;
-    network_->send(rank, kServerRank,
-                   comm::Envelope{comm::MessageType::kNack, nack.encode()});
-    network_->add_link_delay(
-        kServerRank, rank,
-        config_.retry_backoff_s * static_cast<double>(1ULL << attempt));
+    const comm::Envelope nack_env{comm::MessageType::kNack, nack.encode()};
+    network_->send(rank, kServerRank, nack_env);
+    out.elapsed_s += network_->model_transfer_seconds(nack_env.wire_size());
+    const double backoff =
+        config_.retry_backoff_s * static_cast<double>(1ULL << attempt);
+    network_->add_link_delay(kServerRank, rank, backoff);
+    out.elapsed_s += backoff;
     network_->send(kServerRank, rank, downlink_env_);
+    out.elapsed_s += network_->model_transfer_seconds(downlink_env_.wire_size());
     out.retries += 1;
   }
   if (!down.has_value()) return out;  // unreachable client: dropout
 
-  ClientUpdate update = client.local_update(down->weights, effective_local_);
+  // Inference loss of the verified downlink weights on a pooled replica.
+  // The decoded copy dies at scope end: phase ② re-loads the server's
+  // own global_weights_, which the f32 wire round-trip keeps bit-equal,
+  // so the server never holds O(cohort) decoded models.
+  double f_i = 0.0;
+  {
+    nn::ReplicaPool::Lease replica = replica_pool_->acquire();
+    f_i = client.compute_inference_loss(replica.model(), down->weights);
+    down.reset();
+  }
 
+  // Metadata uplink: 32 payload bytes of scalars, same NACK protocol.
+  comm::MetadataMsg meta;
+  meta.round = round_;
+  meta.client_id = client.id();
+  meta.num_samples = client.num_samples();
+  meta.inference_loss = f_i;
+  const comm::Envelope meta_env{comm::MessageType::kMetadataReport, meta.encode()};
+  std::optional<comm::MetadataMsg> received;
+  for (std::size_t attempt = 0; attempt <= config_.max_retries && !received; ++attempt) {
+    network_->send(rank, kServerRank, meta_env);
+    out.elapsed_s += network_->model_transfer_seconds(meta_env.wire_size());
+    while (auto wire = network_->try_recv_wire(kServerRank, rank)) {
+      auto env = comm::Envelope::try_decode(*wire);
+      if (!env.has_value()) {
+        out.crc_failures += 1;
+        continue;
+      }
+      if (env->type != comm::MessageType::kMetadataReport) {
+        out.stale_discards += 1;
+        continue;
+      }
+      ByteReader reader(env->payload);
+      comm::MetadataMsg msg = comm::MetadataMsg::decode(reader);
+      if (msg.round != round_) {
+        out.stale_discards += 1;
+        continue;
+      }
+      received = msg;
+      break;
+    }
+    if (received.has_value() || attempt == config_.max_retries) break;
+    comm::NackMsg nack;
+    nack.round = round_;
+    nack.expected = comm::MessageType::kMetadataReport;
+    const comm::Envelope nack_env{comm::MessageType::kNack, nack.encode()};
+    network_->send(kServerRank, rank, nack_env);
+    out.elapsed_s += network_->model_transfer_seconds(nack_env.wire_size());
+    const double backoff =
+        config_.retry_backoff_s * static_cast<double>(1ULL << attempt);
+    network_->add_link_delay(rank, kServerRank, backoff);
+    out.elapsed_s += backoff;
+    out.retries += 1;
+  }
+  if (!received.has_value()) return out;  // metadata lost: dropout
+  if (config_.uplink_deadline_s > 0.0 && out.elapsed_s > config_.uplink_deadline_s) {
+    out.deadline_missed = true;  // budget burned before training: dropout
+    return out;
+  }
+  ClientUpdate md;
+  md.client_id = received->client_id;
+  md.num_samples = received->num_samples;
+  md.inference_loss = received->inference_loss;
+  out.metadata = std::move(md);
+  return out;
+}
+
+std::optional<ClientUpdate> Server::run_participant_train(std::size_t client_index,
+                                                          double inference_loss,
+                                                          ParticipantOutcome& counters) {
+  obs::Span span("participant", "client");
+  span.arg("client", static_cast<double>(client_index));
+  Client& client = *clients_[client_index];
+  ClientUpdate update;
+  {
+    nn::ReplicaPool::Lease replica = replica_pool_->acquire();
+    update = client.train_update(replica.model(), global_weights_, effective_local_,
+                                 inference_loss);
+  }
+  if (network_ == nullptr) return update;
+
+  const std::size_t rank = client_index + 1;
   comm::ClientReportMsg up;
   up.round = round_;
   up.client_id = client.id();
@@ -191,28 +294,26 @@ ParticipantOutcome Server::run_participant(std::size_t client_index) {
   up.weights = update.weights;
   const comm::Envelope report_env{comm::MessageType::kClientReport, up.encode()};
 
-  // Phase ② uplink: same protocol in the other direction, plus an
-  // optional simulated-time deadline that turns a slow (heavily
-  // retried) report into a straggler-equivalent dropout.
-  double elapsed_s = 0.0;
+  // Report uplink: same protocol; `counters.elapsed_s` arrives holding
+  // the phase-① time, so the deadline spans the full round trip.
   std::optional<comm::ClientReportMsg> report;
   for (std::size_t attempt = 0; attempt <= config_.max_retries && !report; ++attempt) {
     network_->send(rank, kServerRank, report_env);
-    elapsed_s += network_->model_transfer_seconds(report_env.wire_size());
+    counters.elapsed_s += network_->model_transfer_seconds(report_env.wire_size());
     while (auto wire = network_->try_recv_wire(kServerRank, rank)) {
       auto env = comm::Envelope::try_decode(*wire);
       if (!env.has_value()) {
-        out.crc_failures += 1;
+        counters.crc_failures += 1;
         continue;
       }
       if (env->type != comm::MessageType::kClientReport) {
-        out.stale_discards += 1;
+        counters.stale_discards += 1;
         continue;
       }
       ByteReader reader(env->payload);
       comm::ClientReportMsg msg = comm::ClientReportMsg::decode(reader);
       if (msg.round != round_) {
-        out.stale_discards += 1;
+        counters.stale_discards += 1;
         continue;
       }
       report = std::move(msg);
@@ -222,23 +323,24 @@ ParticipantOutcome Server::run_participant(std::size_t client_index) {
     comm::NackMsg nack;
     nack.round = round_;
     nack.expected = comm::MessageType::kClientReport;
-    network_->send(kServerRank, rank,
-                   comm::Envelope{comm::MessageType::kNack, nack.encode()});
+    const comm::Envelope nack_env{comm::MessageType::kNack, nack.encode()};
+    network_->send(kServerRank, rank, nack_env);
+    counters.elapsed_s += network_->model_transfer_seconds(nack_env.wire_size());
     const double backoff =
         config_.retry_backoff_s * static_cast<double>(1ULL << attempt);
     network_->add_link_delay(rank, kServerRank, backoff);
-    elapsed_s += backoff;
-    out.retries += 1;
+    counters.elapsed_s += backoff;
+    counters.retries += 1;
   }
-  if (!report.has_value()) return out;  // uplink exhausted: dropout
-  if (config_.uplink_deadline_s > 0.0 && elapsed_s > config_.uplink_deadline_s) {
-    out.deadline_missed = true;
-    return out;
+  if (!report.has_value()) return std::nullopt;  // uplink exhausted
+  if (config_.uplink_deadline_s > 0.0 &&
+      counters.elapsed_s > config_.uplink_deadline_s) {
+    counters.deadline_missed = true;
+    return std::nullopt;
   }
   update.weights = std::move(report->weights);
   update.inference_loss = report->inference_loss;
-  out.update = std::move(update);
-  return out;
+  return update;
 }
 
 void Server::set_lr_schedule(std::unique_ptr<nn::LrSchedule> schedule) {
@@ -314,7 +416,9 @@ void Server::load_checkpoint(const std::string& path) {
   const std::uint64_t num_clients = reader.read_u64();
   FEDCAV_REQUIRE(num_clients == clients_.size(),
                  "load_checkpoint: client count mismatch in " + path);
-  for (auto& client : clients_) client->load_state(reader);
+  for (auto& client : clients_) {
+    client->load_state(reader, global_weights_.size());
+  }
   if (magic == kCheckpointMagicV3) {
     const bool has_network = reader.read_u8() != 0;
     FEDCAV_REQUIRE(has_network == (network_ != nullptr),
@@ -343,6 +447,7 @@ metrics::RoundRecord Server::run_round() {
   ++round_;
   if (lr_schedule_ != nullptr) effective_local_.lr = lr_schedule_->lr(round_);
   if (network_ != nullptr) network_->begin_round(round_);
+  ensure_replica_pool();
   Stopwatch watch;
   metrics::RoundRecord record;
   record.round = round_;
@@ -363,136 +468,324 @@ metrics::RoundRecord Server::run_round() {
     PhaseTimer phase("sample", round_, record.phases.sample);
     participants = sampler_.sample();
   }
-  record.participants = participants.size();
+  record.sampled = participants.size();
 
-  // Downlink broadcast: the global model is serialized once and queued
-  // to every participant before any of them starts training. The
-  // encoded envelope is kept for NACK retransmissions.
+  // Downlink broadcast: the global model is serialized once; the encoded
+  // envelope is kept for the per-participant sends inside phase ① and
+  // for NACK retransmissions. Queueing per-participant copies here would
+  // put O(cohort × model) wire images in the fabric at once; sending
+  // from the participant's own exchange bounds that at O(workers).
   if (network_ != nullptr) {
     PhaseTimer phase("broadcast", round_, record.phases.broadcast);
     comm::GlobalModelMsg down;
     down.round = round_;
     down.weights = global_weights_;
     downlink_env_ = comm::Envelope{comm::MessageType::kGlobalModel, down.encode()};
-    for (std::size_t client_index : participants) {
-      network_->send(kServerRank, client_index + 1, downlink_env_);
-    }
   }
 
-  // Phase ①+②ᶜˡⁱᵉⁿᵗ: parallel local work; results land in fixed slots so
-  // aggregation order is deterministic (HPC-guide reduction idiom).
+  // Phase ①: parallel metadata exchange (downlink + inference loss +
+  // scalar report). Results land in fixed slots so every later loop is
+  // deterministic (HPC-guide reduction idiom). No model-sized state per
+  // participant survives this phase.
   std::vector<ParticipantOutcome> outcomes(participants.size());
   {
-    PhaseTimer phase("local_update", round_, record.phases.local_update);
+    PhaseTimer phase("metadata", round_, record.phases.metadata);
     pool().parallel_for(participants.size(), [&](std::size_t i) {
-      outcomes[i] = run_participant(participants[i]);
+      outcomes[i] = run_participant_metadata(participants[i]);
     });
   }
 
   // Collect, in fixed participant order: sampled clients whose exchange
   // failed (crash, retry exhaustion, deadline) become dropouts — the
   // fault-fabric analogue of a straggler.
-  std::vector<ClientUpdate> updates;
+  std::vector<ClientUpdate> metadata;    // scalars only; weights stay empty
   std::vector<std::size_t> surviving;
-  updates.reserve(outcomes.size());
+  std::vector<double> survivor_elapsed;  // phase-① simulated time, carried into ②
+  metadata.reserve(outcomes.size());
   surviving.reserve(outcomes.size());
+  survivor_elapsed.reserve(outcomes.size());
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     record.retries += outcomes[i].retries;
     record.crc_failures += outcomes[i].crc_failures;
-    if (outcomes[i].update.has_value()) {
-      updates.push_back(std::move(*outcomes[i].update));
+    record.stale_discards += outcomes[i].stale_discards;
+    if (outcomes[i].deadline_missed) record.deadline_misses += 1;
+    if (outcomes[i].metadata.has_value()) {
+      metadata.push_back(std::move(*outcomes[i].metadata));
       surviving.push_back(participants[i]);
+      survivor_elapsed.push_back(outcomes[i].elapsed_s);
     } else {
       record.dropouts += 1;
     }
   }
-  record.participants = updates.size();
+  outcomes.clear();
 
   // Stragglers: each received report is additionally lost independently
   // with the configured probability; the round proceeds with whoever
   // got through.
-  if (config_.straggler_drop_prob > 0.0 && !updates.empty()) {
+  if (config_.straggler_drop_prob > 0.0 && !metadata.empty()) {
     PhaseTimer phase("straggler_filter", round_, record.phases.straggler_filter);
-    std::vector<ClientUpdate> kept_updates;
+    std::vector<ClientUpdate> kept_meta;
     std::vector<std::size_t> kept_participants;
-    for (std::size_t i = 0; i < updates.size(); ++i) {
+    std::vector<double> kept_elapsed;
+    for (std::size_t i = 0; i < metadata.size(); ++i) {
       if (!straggler_rng_.bernoulli(config_.straggler_drop_prob)) {
-        kept_updates.push_back(std::move(updates[i]));
+        kept_meta.push_back(std::move(metadata[i]));
         kept_participants.push_back(surviving[i]);
+        kept_elapsed.push_back(survivor_elapsed[i]);
       }
     }
-    if (kept_updates.empty() && config_.min_aggregate_clients <= 1) {
+    if (kept_meta.empty() && config_.min_aggregate_clients <= 1) {
       // Everyone dropped: keep the first report so the round is defined
       // (legacy guarantee; a quorum > 1 skips the round instead).
-      kept_updates.push_back(std::move(updates.front()));
+      kept_meta.push_back(std::move(metadata.front()));
       kept_participants.push_back(surviving.front());
+      kept_elapsed.push_back(survivor_elapsed.front());
     }
-    updates = std::move(kept_updates);
+    record.straggler_drops = metadata.size() - kept_meta.size();
+    metadata = std::move(kept_meta);
     surviving = std::move(kept_participants);
-    record.participants = updates.size();
+    survivor_elapsed = std::move(kept_elapsed);
   }
+  record.participants = metadata.size();
+  FEDCAV_REQUIRE(record.sampled ==
+                     record.participants + record.dropouts + record.straggler_drops,
+                 "Server: round accounting invariant violated");
 
-  // Quorum: with fewer surviving updates than min_aggregate_clients the
-  // round is skipped outright — no attack, no detection, no
+  // Quorum: with fewer survivors than min_aggregate_clients the round is
+  // skipped outright — no training, no attack, no detection, no
   // aggregation; the global model carries forward unchanged.
-  record.skipped = updates.size() < config_.min_aggregate_clients;
+  record.skipped = metadata.size() < config_.min_aggregate_clients;
   if (record.skipped) {
-    FEDCAV_LOG_INFO << "round " << round_ << ": quorum not met (" << updates.size()
+    FEDCAV_LOG_INFO << "round " << round_ << ": quorum not met (" << metadata.size()
                     << " < " << config_.min_aggregate_clients << "), skipping round";
   }
 
-  // Adversary hijacks the first surviving participant on attack rounds.
   const bool attack_now = !record.skipped && adversary_ != nullptr &&
-                          attack_rounds_.count(round_) > 0 && !updates.empty();
-  if (attack_now) {
-    PhaseTimer phase("attack", round_, record.phases.attack);
-    attack::AttackContext ctx;
-    ctx.global = &global_weights_;
-    ctx.round = round_;
-    // The cohort the adversary scales against is the one that reaches
-    // aggregation: after straggler filtering, participants.size() counts
-    // reports the server never received, while estimated_gamma below is
-    // already computed over the surviving updates.
-    ctx.participants = updates.size();
-    const std::vector<double> honest_gamma = strategy_->aggregation_weights(updates);
-    ctx.estimated_gamma = honest_gamma.front();
-    updates.front() = adversary_->corrupt(std::move(updates.front()), ctx);
-    record.attacked = true;
-  }
+                          attack_rounds_.count(round_) > 0 && !metadata.empty();
+  const bool streaming = strategy_->streaming_aggregation();
+  // Wave width: how many participants train (and thus how many full
+  // updates are materialized) at once in phase ②.
+  const std::size_t wave = std::max<std::size_t>(std::size_t{1}, pool().size());
 
-  // Phase ②ˢᵉʳᵛᵉʳ: detection on the fresh inference losses (they were
-  // measured on w_t, i.e. on the *previous* round's aggregation result).
-  bool reversed = false;
-  std::vector<double> losses(updates.size());
-  if (!record.skipped) {
-    PhaseTimer phase("detect", round_, record.phases.detect);
-    for (std::size_t i = 0; i < updates.size(); ++i) losses[i] = updates[i].inference_loss;
-    sampler_.observe_losses(surviving, losses);
-    record.mean_inference_loss = 0.0;
-    for (double f : losses) record.mean_inference_loss += f;
-    record.mean_inference_loss /= static_cast<double>(losses.size());
-    record.max_inference_loss = *std::max_element(losses.begin(), losses.end());
-
-    if (config_.detection_enabled) {
-      const core::DetectionResult detection = detector_.check(losses);
-      record.detection_fired = detection.abnormal;
-      if (detection.abnormal) {
-        // Reverse: discard this round's updates, restore the cached model.
-        FEDCAV_LOG_INFO << "round " << round_ << ": detector fired (" << detection.votes
-                        << "/" << detection.voters << " votes), reversing global model";
-        global_weights_ = cached_weights_;
-        reversed = true;
+  // Phase ② driver: train survivors [first_slot, end) in waves of `wave`,
+  // then hand each slot's update (or nullopt on upload failure) to `sink`
+  // in slot order, so the downstream fold is independent of the worker
+  // count. Fresh per-slot counters avoid double-counting the phase-①
+  // tallies already folded into the record.
+  auto run_waves = [&](std::size_t first_slot, auto&& sink) {
+    std::vector<std::optional<ClientUpdate>> slot_updates;
+    std::vector<ParticipantOutcome> slot_counters;
+    for (std::size_t start = first_slot; start < surviving.size(); start += wave) {
+      const std::size_t count = std::min(wave, surviving.size() - start);
+      slot_updates.assign(count, std::nullopt);
+      slot_counters.assign(count, ParticipantOutcome{});
+      {
+        PhaseTimer phase("local_update", round_, record.phases.local_update);
+        pool().parallel_for(count, [&](std::size_t i) {
+          slot_counters[i].elapsed_s = survivor_elapsed[start + i];
+          slot_updates[i] =
+              run_participant_train(surviving[start + i],
+                                    metadata[start + i].inference_loss,
+                                    slot_counters[i]);
+        });
+      }
+      PhaseTimer phase("aggregate", round_, record.phases.aggregate);
+      for (std::size_t i = 0; i < count; ++i) {
+        record.retries += slot_counters[i].retries;
+        record.crc_failures += slot_counters[i].crc_failures;
+        record.stale_discards += slot_counters[i].stale_discards;
+        if (slot_counters[i].deadline_missed) record.deadline_misses += 1;
+        sink(start + i, std::move(slot_updates[i]));
       }
     }
-    record.reversed = reversed;
+  };
+
+  // A phase-② upload failure after a successful metadata phase: the
+  // client's γ mass was already committed, so fold the unchanged global
+  // weights in its place — the weighted average then carries γ_j of w_t
+  // forward instead of silently renormalizing over the survivors.
+  auto make_synthetic = [&](std::size_t slot) {
+    ClientUpdate synthetic;
+    synthetic.client_id = metadata[slot].client_id;
+    synthetic.num_samples = metadata[slot].num_samples;
+    synthetic.inference_loss = metadata[slot].inference_loss;
+    synthetic.weights = global_weights_;
+    record.upload_failures += 1;
+    return synthetic;
+  };
+
+  bool reversed = false;
+  std::vector<double> losses(metadata.size());
+
+  if (!record.skipped && streaming) {
+    // Streaming path: γ is a pure function of the metadata scalars, so
+    // detection and aggregation weights are decided before any full
+    // update is materialized, and each report is folded into the
+    // accumulator and freed — peak model memory stays O(wave × model).
+    for (std::size_t i = 0; i < metadata.size(); ++i) {
+      losses[i] = metadata[i].inference_loss;
+    }
+
+    // Attack rounds: train the victim (first survivor) up front so the
+    // adversary has a real update to corrupt. The corrupted report is
+    // what the server "received": its loss drives detection and its
+    // scalars drive γ, exactly as in the materializing path.
+    std::optional<ClientUpdate> victim_update;
+    bool victim_trained = false;
+    if (attack_now) {
+      ParticipantOutcome victim_counters;
+      {
+        PhaseTimer phase("local_update", round_, record.phases.local_update);
+        victim_counters.elapsed_s = survivor_elapsed[0];
+        victim_update = run_participant_train(surviving[0], metadata[0].inference_loss,
+                                              victim_counters);
+      }
+      victim_trained = true;
+      record.retries += victim_counters.retries;
+      record.crc_failures += victim_counters.crc_failures;
+      record.stale_discards += victim_counters.stale_discards;
+      if (victim_counters.deadline_missed) record.deadline_misses += 1;
+      if (victim_update.has_value()) {
+        PhaseTimer phase("attack", round_, record.phases.attack);
+        attack::AttackContext ctx;
+        ctx.global = &global_weights_;
+        ctx.round = round_;
+        // The cohort the adversary scales against is the one that
+        // reaches aggregation, and the honest γ estimate needs only the
+        // metadata scalars for a streaming strategy.
+        ctx.participants = metadata.size();
+        ctx.estimated_gamma = strategy_->aggregation_weights(metadata).front();
+        *victim_update = adversary_->corrupt(std::move(*victim_update), ctx);
+        metadata[0].inference_loss = victim_update->inference_loss;
+        metadata[0].num_samples = victim_update->num_samples;
+        losses[0] = victim_update->inference_loss;
+        record.attacked = true;
+      }
+      // Victim upload failure: nothing reached the server to corrupt;
+      // the round proceeds un-attacked and slot 0 folds as carried mass.
+    }
+
+    {
+      PhaseTimer phase("detect", round_, record.phases.detect);
+      sampler_.observe_losses(surviving, losses);
+      record.mean_inference_loss = 0.0;
+      for (double f : losses) record.mean_inference_loss += f;
+      record.mean_inference_loss /= static_cast<double>(losses.size());
+      record.max_inference_loss = *std::max_element(losses.begin(), losses.end());
+      if (config_.detection_enabled) {
+        const core::DetectionResult detection = detector_.check(losses);
+        record.detection_fired = detection.abnormal;
+        if (detection.abnormal) {
+          FEDCAV_LOG_INFO << "round " << round_ << ": detector fired ("
+                          << detection.votes << "/" << detection.voters
+                          << " votes), reversing global model";
+          global_weights_ = cached_weights_;
+          reversed = true;
+        }
+      }
+      record.reversed = reversed;
+    }
+
+    if (!reversed) {
+      {
+        PhaseTimer phase("aggregate", round_, record.phases.aggregate);
+        cached_weights_ = global_weights_;
+        if (config_.detection_enabled) detector_.commit(losses);
+        strategy_->begin_aggregation(global_weights_, metadata);
+        if (victim_trained) {
+          if (victim_update.has_value()) {
+            strategy_->accumulate(std::move(*victim_update));
+          } else {
+            strategy_->accumulate(make_synthetic(0));
+          }
+          victim_update.reset();
+        }
+      }
+      run_waves(victim_trained ? 1 : 0,
+                [&](std::size_t slot, std::optional<ClientUpdate> u) {
+                  if (u.has_value()) {
+                    strategy_->accumulate(std::move(*u));
+                  } else {
+                    strategy_->accumulate(make_synthetic(slot));
+                  }
+                });
+      PhaseTimer phase("aggregate", round_, record.phases.aggregate);
+      global_weights_ = strategy_->finish_aggregation();
+    }
+    // Reversed rounds skip phase ② for the remaining survivors entirely:
+    // their full updates would be discarded anyway (DESIGN.md §11 — a
+    // deliberate behavioral change from the materializing flow, which
+    // trained everyone before detection could reject the round).
+  } else if (!record.skipped) {
+    // Materializing fallback for strategies that need every update at
+    // once (order statistics like the robust rules, or user strategies
+    // that don't opt into streaming). Exact pre-streaming semantics at
+    // the old O(cohort × model) cost: train everyone, corrupt the first
+    // survivor in place, detect on the post-corruption losses, then run
+    // the classic one-shot aggregate().
+    std::vector<ClientUpdate> updates(metadata.size());
+    run_waves(0, [&](std::size_t slot, std::optional<ClientUpdate> u) {
+      updates[slot] = u.has_value() ? std::move(*u) : make_synthetic(slot);
+    });
+
+    if (attack_now) {
+      PhaseTimer phase("attack", round_, record.phases.attack);
+      attack::AttackContext ctx;
+      ctx.global = &global_weights_;
+      ctx.round = round_;
+      ctx.participants = updates.size();
+      const std::vector<double> honest_gamma = strategy_->aggregation_weights(updates);
+      ctx.estimated_gamma = honest_gamma.front();
+      updates.front() = adversary_->corrupt(std::move(updates.front()), ctx);
+      record.attacked = true;
+    }
+
+    {
+      PhaseTimer phase("detect", round_, record.phases.detect);
+      for (std::size_t i = 0; i < updates.size(); ++i) {
+        losses[i] = updates[i].inference_loss;
+      }
+      sampler_.observe_losses(surviving, losses);
+      record.mean_inference_loss = 0.0;
+      for (double f : losses) record.mean_inference_loss += f;
+      record.mean_inference_loss /= static_cast<double>(losses.size());
+      record.max_inference_loss = *std::max_element(losses.begin(), losses.end());
+      if (config_.detection_enabled) {
+        const core::DetectionResult detection = detector_.check(losses);
+        record.detection_fired = detection.abnormal;
+        if (detection.abnormal) {
+          FEDCAV_LOG_INFO << "round " << round_ << ": detector fired ("
+                          << detection.votes << "/" << detection.voters
+                          << " votes), reversing global model";
+          global_weights_ = cached_weights_;
+          reversed = true;
+        }
+      }
+      record.reversed = reversed;
+    }
+
+    if (!reversed) {
+      PhaseTimer phase("aggregate", round_, record.phases.aggregate);
+      cached_weights_ = global_weights_;
+      if (config_.detection_enabled) detector_.commit(losses);
+      global_weights_ = strategy_->aggregate(global_weights_, updates);
+    }
   }
 
-  // Phase ③: aggregate (normal rounds only).
-  if (!record.skipped && !reversed) {
-    PhaseTimer phase("aggregate", round_, record.phases.aggregate);
-    cached_weights_ = global_weights_;
-    if (config_.detection_enabled) detector_.commit(losses);
-    global_weights_ = strategy_->aggregate(global_weights_, updates);
+  if (!record.skipped && obs::enabled()) {
+    // Analytic peak of aggregation-owned tensor bytes: the streaming
+    // path holds one f64 accumulator plus at most `wave` materialized f32
+    // updates; the buffered path holds every survivor's update.
+    const double dim = static_cast<double>(global_weights_.size());
+    static obs::Gauge& peak_gauge = obs::registry().gauge("agg.peak_bytes");
+    const double peak =
+        streaming
+            ? dim * (static_cast<double>(sizeof(double)) +
+                     static_cast<double>(std::min(wave, metadata.size())) *
+                         static_cast<double>(sizeof(float)))
+            : dim * static_cast<double>(metadata.size()) *
+                  static_cast<double>(sizeof(float));
+    peak_gauge.set(peak);
   }
 
   {
@@ -525,6 +818,17 @@ metrics::RoundRecord Server::run_round() {
     if (record.retries > 0) reg.counter("comm.retries").add(record.retries);
     if (record.crc_failures > 0) {
       reg.counter("comm.crc_failures").add(record.crc_failures);
+    }
+    if (record.stale_discards > 0) {
+      reg.counter("comm.stale_discards").add(record.stale_discards);
+    }
+    if (record.deadline_misses > 0) {
+      reg.counter("comm.deadline_misses")
+          .add(static_cast<std::uint64_t>(record.deadline_misses));
+    }
+    if (record.upload_failures > 0) {
+      reg.counter("server.upload_failures")
+          .add(static_cast<std::uint64_t>(record.upload_failures));
     }
   }
 

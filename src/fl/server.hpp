@@ -15,6 +15,7 @@
 #include "src/fl/client.hpp"
 #include "src/fl/sampler.hpp"
 #include "src/fl/strategy.hpp"
+#include "src/nn/replica_pool.hpp"
 #include "src/nn/schedule.hpp"
 #include "src/metrics/history.hpp"
 #include "src/utils/threadpool.hpp"
@@ -44,9 +45,12 @@ struct ServerConfig {
   /// backoff charged to the retransmitting link.
   std::size_t max_retries = 3;
   double retry_backoff_s = 0.05;
-  /// Simulated-time budget for a client's report to get through
-  /// (transfer + backoff summed across attempts). A report exceeding it
-  /// is discarded as a straggler-equivalent dropout. 0 disables.
+  /// Simulated-time budget for a client's FULL exchange: downlink
+  /// attempts, NACK wire time, backoffs, metadata uplink, and the phase-②
+  /// report are all charged against it. A participant exceeding it during
+  /// phase ① becomes a dropout; during phase ② its report is discarded
+  /// as an upload failure (γ mass carried by the unchanged global
+  /// weights). 0 disables.
   double uplink_deadline_s = 0.0;
   /// Enable the §4.4 detector + model reverse.
   bool detection_enabled = false;
@@ -103,8 +107,17 @@ class Server {
 
   /// Run rounds on `pool` instead of the process-wide pool (non-owning;
   /// nullptr restores the global pool). The chaos determinism suite uses
-  /// this to prove 1-worker and N-worker runs are bit-identical.
-  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  /// this to prove 1-worker and N-worker runs are bit-identical. Resets
+  /// the replica pool: its size is derived from the thread pool's.
+  void set_thread_pool(ThreadPool* pool) {
+    pool_ = pool;
+    replica_pool_.reset();
+  }
+
+  /// The bounded model-replica pool backing client training (created on
+  /// the first round; null before that). Exposed for memory tests and
+  /// the cohort-scale bench.
+  const nn::ReplicaPool* replica_pool() const { return replica_pool_.get(); }
 
   /// Serialize the full resumable server state to `path` (binary, v3
   /// format by default): round counter, global + cached (reverse-target)
@@ -136,7 +149,19 @@ class Server {
   const comm::InMemoryNetwork* network() const { return network_.get(); }
 
  private:
-  ParticipantOutcome run_participant(std::size_t client_index);
+  /// Phase ①: downlink protocol + inference loss on a pooled replica +
+  /// scalar metadata uplink. Fills the outcome's counters and the full
+  /// simulated elapsed time of the exchange so far.
+  ParticipantOutcome run_participant_metadata(std::size_t client_index);
+  /// Phase ②: local training on a pooled replica + full-report uplink.
+  /// `counters.elapsed_s` must carry the phase-① time in (deadline spans
+  /// the whole exchange); retry/CRC/stale/deadline counters accumulate
+  /// into `counters`. Returns nullopt on upload failure.
+  std::optional<ClientUpdate> run_participant_train(std::size_t client_index,
+                                                    double inference_loss,
+                                                    ParticipantOutcome& counters);
+  /// (Re)build the replica pool sized to the active thread pool.
+  void ensure_replica_pool();
   ThreadPool& pool() const;
 
   std::unique_ptr<nn::Model> global_model_;
@@ -159,6 +184,10 @@ class Server {
   std::set<std::size_t> attack_rounds_;
   std::unique_ptr<nn::LrSchedule> lr_schedule_;
   ThreadPool* pool_ = nullptr;  // non-owning override, see set_thread_pool
+  /// Bounded pool of model replicas leased to participants; sized to the
+  /// thread pool (+1 for the inline caller), so a round's model memory
+  /// is O(K × model) independent of cohort size (DESIGN.md §11).
+  std::unique_ptr<nn::ReplicaPool> replica_pool_;
   /// This round's encoded downlink (global model) — kept for NACK
   /// retransmissions so retries don't re-serialize the weights.
   comm::Envelope downlink_env_;

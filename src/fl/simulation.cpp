@@ -109,9 +109,13 @@ Simulation build_simulation(const SimulationConfig& config) {
   std::vector<std::unique_ptr<Client>> clients;
   clients.reserve(sim.partition.size());
   for (std::size_t k = 0; k < sim.partition.size(); ++k) {
-    Rng model_rng = rng.fork();
-    clients.push_back(std::make_unique<Client>(
-        k, sim.train.subset(sim.partition[k]), builder(model_rng), rng.fork()));
+    // Clients no longer own model replicas (they lease from the server's
+    // bounded pool), but the fork that used to seed each client's model
+    // init is still drawn so every downstream RNG stream — and therefore
+    // every golden pin — stays bit-identical to pre-pool runs.
+    (void)rng.fork();
+    clients.push_back(
+        std::make_unique<Client>(k, sim.train.subset(sim.partition[k]), rng.fork()));
   }
 
   Rng global_rng(config.seed ^ 0xabcdef12345ULL);

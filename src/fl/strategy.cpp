@@ -9,6 +9,28 @@
 
 namespace fedcav::fl {
 
+void AggregationStrategy::begin_aggregation(const nn::Weights& global,
+                                            const std::vector<ClientUpdate>& metadata) {
+  buffered_global_ = global;
+  buffered_updates_.clear();
+  buffered_updates_.reserve(metadata.size());
+}
+
+void AggregationStrategy::accumulate(ClientUpdate update) {
+  buffered_updates_.push_back(std::move(update));
+}
+
+nn::Weights AggregationStrategy::finish_aggregation() {
+  FEDCAV_REQUIRE(!buffered_updates_.empty(),
+                 "AggregationStrategy: finish_aggregation without updates");
+  nn::Weights out = aggregate(buffered_global_, buffered_updates_);
+  // Release the round's buffers eagerly — this path is O(n × model) by
+  // design, but it should not stay that way between rounds.
+  std::vector<ClientUpdate>().swap(buffered_updates_);
+  nn::Weights().swap(buffered_global_);
+  return out;
+}
+
 std::unique_ptr<AggregationStrategy> make_strategy(const std::string& name) {
   if (name == "fedavg") return std::make_unique<FedAvg>();
   if (name == "fedprox") return std::make_unique<FedProx>();

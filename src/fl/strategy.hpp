@@ -32,6 +32,40 @@ class AggregationStrategy {
   virtual void apply_local_overrides(LocalTrainConfig& config) const { (void)config; }
 
   virtual std::string name() const = 0;
+
+  // --- Incremental aggregation -------------------------------------
+  // The server drives one round as
+  //   begin_aggregation(global, metadata) → accumulate(u_0) …
+  //   accumulate(u_{n-1}) → finish_aggregation()
+  // where `metadata` holds every participant's scalars (client_id,
+  // num_samples, inference_loss; weight vectors EMPTY) in exactly the
+  // order accumulate() will later deliver the full updates. Strategies
+  // whose γ depends only on those scalars can fold each update into a
+  // running accumulator and report streaming_aggregation() == true, so
+  // the server frees each update immediately and a round's peak memory
+  // is independent of cohort size (DESIGN.md §11).
+  //
+  // The defaults below buffer every update and delegate to aggregate(),
+  // which keeps order-statistic strategies (median/trimmed-mean/Krum)
+  // and user-defined subclasses bit-exact with the pre-streaming
+  // behavior — at the old O(n × model) cost.
+
+  /// Start a round. `metadata` must have one entry per future
+  /// accumulate() call, same order.
+  virtual void begin_aggregation(const nn::Weights& global,
+                                 const std::vector<ClientUpdate>& metadata);
+  /// Fold the next participant's full update (called serially, in the
+  /// order fixed by begin_aggregation's metadata).
+  virtual void accumulate(ClientUpdate update);
+  /// Produce w_{t+1} and release any per-round state.
+  virtual nn::Weights finish_aggregation();
+  /// True when accumulate() folds immediately instead of buffering.
+  virtual bool streaming_aggregation() const { return false; }
+
+ private:
+  // Buffered state for the default (non-streaming) incremental path.
+  nn::Weights buffered_global_;
+  std::vector<ClientUpdate> buffered_updates_;
 };
 
 /// Build "fedavg" | "fedprox" | "fedcav" | "fedcav-noclip" with default

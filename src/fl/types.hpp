@@ -23,18 +23,23 @@ struct ClientUpdate {
   bool malicious = false;
 };
 
-/// Result of one participant's round over the (possibly faulty) comm
-/// fabric. `update` is empty when the exchange failed — the client was
-/// crashed, the downlink or uplink exhausted its retries, or the report
-/// landed past the uplink deadline — which the server treats as a
-/// straggler-equivalent dropout. The counters feed RoundRecord and are
-/// summed in fixed participant order so totals stay deterministic.
+/// Result of one participant's phase-① exchange (downlink + inference
+/// loss + metadata uplink) over the (possibly faulty) comm fabric.
+/// `metadata` is empty when the exchange failed — the client was
+/// crashed, a link exhausted its retries, or the simulated exchange ran
+/// past the uplink deadline — which the server counts as a dropout. The
+/// counters feed RoundRecord and are summed in fixed participant order
+/// so totals stay deterministic. `elapsed_s` accumulates the FULL
+/// simulated exchange (downlink attempts, NACK wire time, backoffs,
+/// uplinks) and keeps charging through phase ②, so the deadline covers
+/// the whole round-trip, not just the last uplink.
 struct ParticipantOutcome {
-  std::optional<ClientUpdate> update;
+  std::optional<ClientUpdate> metadata;  // scalars only; weights empty
   std::uint64_t retries = 0;       // retransmissions on this client's links
   std::uint64_t crc_failures = 0;  // wire images the CRC rejected
   std::uint64_t stale_discards = 0;  // wrong-round / wrong-type messages drained
-  bool deadline_missed = false;    // report arrived after uplink_deadline_s
+  bool deadline_missed = false;    // exchange ran past uplink_deadline_s
+  double elapsed_s = 0.0;          // simulated time spent on this exchange
 };
 
 /// Local-training hyperparameters (Algorithm 2's E, B, η plus optimizer

@@ -68,15 +68,17 @@ void TrainingHistory::write_csv(std::ostream& out, bool include_timings) const {
   CsvWriter csv(out);
   std::vector<std::string> header = {
       "round", "test_accuracy", "test_loss", "mean_inference_loss",
-      "max_inference_loss", "participants", "dropouts", "retries", "crc_failures",
+      "max_inference_loss", "sampled", "participants", "dropouts",
+      "straggler_drops", "upload_failures", "retries", "crc_failures",
+      "stale_discards", "deadline_misses",
       "detection_fired", "reversed", "attacked", "skipped"};
   if (include_timings) header.push_back("wall_seconds");
   header.push_back("bytes_up");
   header.push_back("bytes_down");
   if (include_timings) {
-    for (const char* t : {"t_sample", "t_broadcast", "t_local_update",
-                          "t_straggler_filter", "t_attack", "t_detect",
-                          "t_aggregate", "t_eval"}) {
+    for (const char* t : {"t_sample", "t_broadcast", "t_metadata",
+                          "t_local_update", "t_straggler_filter", "t_attack",
+                          "t_detect", "t_aggregate", "t_eval"}) {
       header.push_back(t);
     }
   }
@@ -87,10 +89,15 @@ void TrainingHistory::write_csv(std::ostream& out, bool include_timings) const {
         .cell(r.test_loss, 6)
         .cell(r.mean_inference_loss, 6)
         .cell(r.max_inference_loss, 6)
+        .cell(static_cast<long long>(r.sampled))
         .cell(static_cast<long long>(r.participants))
         .cell(static_cast<long long>(r.dropouts))
+        .cell(static_cast<long long>(r.straggler_drops))
+        .cell(static_cast<long long>(r.upload_failures))
         .cell(static_cast<long long>(r.retries))
         .cell(static_cast<long long>(r.crc_failures))
+        .cell(static_cast<long long>(r.stale_discards))
+        .cell(static_cast<long long>(r.deadline_misses))
         .cell(std::string(r.detection_fired ? "1" : "0"))
         .cell(std::string(r.reversed ? "1" : "0"))
         .cell(std::string(r.attacked ? "1" : "0"))
@@ -101,6 +108,7 @@ void TrainingHistory::write_csv(std::ostream& out, bool include_timings) const {
     if (include_timings) {
       csv.cell(r.phases.sample, 6)
           .cell(r.phases.broadcast, 6)
+          .cell(r.phases.metadata, 6)
           .cell(r.phases.local_update, 6)
           .cell(r.phases.straggler_filter, 6)
           .cell(r.phases.attack, 6)

@@ -19,6 +19,7 @@ namespace fedcav::metrics {
 struct RoundPhases {
   double sample = 0.0;            // participant selection
   double broadcast = 0.0;         // global model serialization + downlink
+  double metadata = 0.0;          // phase ①: downlink + inference losses
   double local_update = 0.0;      // parallel client training + uplink
   double straggler_filter = 0.0;  // drop simulation + cohort compaction
   double attack = 0.0;            // adversary corruption (attack rounds)
@@ -27,8 +28,8 @@ struct RoundPhases {
   double eval = 0.0;              // held-out evaluation
 
   double sum() const {
-    return sample + broadcast + local_update + straggler_filter + attack +
-           detect + aggregate + eval;
+    return sample + broadcast + metadata + local_update + straggler_filter +
+           attack + detect + aggregate + eval;
   }
 };
 
@@ -41,16 +42,35 @@ struct RoundRecord {
   /// Max of the participating clients' reported inference losses (the
   /// detector's reference value, Eq. 13).
   double max_inference_loss = 0.0;
+  /// Cohort size drawn by the sampler this round, before any failure or
+  /// straggler filtering. Invariant:
+  ///   sampled == participants + dropouts + straggler_drops.
+  std::size_t sampled = 0;
+  /// Participants whose metadata survived to the aggregation phase
+  /// (post-dropout, post-straggler). On skipped rounds this is the
+  /// survivor count that failed to meet quorum.
   std::size_t participants = 0;
-  /// Sampled participants whose update never reached the server this
-  /// round: crashed clients, retry-exhausted links, and deadline misses
-  /// (straggler drops are counted separately via `participants`).
+  /// Sampled participants whose metadata never reached the server this
+  /// round: crashed clients, retry-exhausted links, and deadline misses.
   std::size_t dropouts = 0;
+  /// Participants removed by the straggler simulation after a successful
+  /// metadata exchange.
+  std::size_t straggler_drops = 0;
+  /// Participants whose phase-② full report failed after a successful
+  /// metadata phase; their γ mass is carried by the unchanged global
+  /// weights (see DESIGN.md §11).
+  std::size_t upload_failures = 0;
   /// Total retransmissions (downlink + uplink) the retry protocol
   /// performed this round.
   std::uint64_t retries = 0;
   /// Wire images rejected by the Envelope CRC this round.
   std::uint64_t crc_failures = 0;
+  /// Well-formed but wrong-round/wrong-type messages drained and
+  /// discarded by the retry protocol this round.
+  std::uint64_t stale_discards = 0;
+  /// Participants dropped because their simulated exchange time exceeded
+  /// uplink_deadline_s (a subset of `dropouts`).
+  std::size_t deadline_misses = 0;
   bool detection_fired = false;   // detector voted "abnormal" this round
   bool reversed = false;          // global model rolled back this round
   bool attacked = false;          // an adversary corrupted this round

@@ -1,0 +1,72 @@
+#include "src/nn/replica_pool.hpp"
+
+#include "src/obs/metrics.hpp"
+#include "src/utils/error.hpp"
+
+namespace fedcav::nn {
+
+ReplicaPool::ReplicaPool(const Model& prototype, std::size_t max_replicas)
+    : prototype_(prototype), max_replicas_(max_replicas) {
+  FEDCAV_REQUIRE(max_replicas_ > 0, "ReplicaPool: max_replicas must be > 0");
+}
+
+ReplicaPool::Lease ReplicaPool::acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!idle_.empty()) {
+      std::unique_ptr<Model> model = std::move(idle_.back());
+      idle_.pop_back();
+      ++in_use_;
+      if (obs::enabled()) {
+        static obs::Gauge& occupancy = obs::registry().gauge("pool.occupancy");
+        occupancy.set(static_cast<double>(in_use_));
+      }
+      return Lease(this, std::move(model));
+    }
+    if (created_ < max_replicas_) {
+      ++created_;
+      ++in_use_;
+      const std::size_t in_use_now = in_use_;
+      // Clone outside the lock: a deep model copy is the expensive part
+      // and other threads may want idle replicas meanwhile.
+      lock.unlock();
+      if (obs::enabled()) {
+        static obs::Gauge& occupancy = obs::registry().gauge("pool.occupancy");
+        occupancy.set(static_cast<double>(in_use_now));
+        static obs::Counter& clones = obs::registry().counter("pool.replica_clones");
+        clones.add(1);
+      }
+      return Lease(this, prototype_.clone());
+    }
+    available_.wait(lock);
+  }
+}
+
+std::size_t ReplicaPool::created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return created_;
+}
+
+std::size_t ReplicaPool::in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_use_;
+}
+
+void ReplicaPool::put_back(std::unique_ptr<Model> model) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_.push_back(std::move(model));
+    --in_use_;
+  }
+  available_.notify_one();
+}
+
+void ReplicaPool::Lease::release() {
+  if (pool_ != nullptr && model_ != nullptr) {
+    pool_->put_back(std::move(model_));
+  }
+  pool_ = nullptr;
+  model_.reset();
+}
+
+}  // namespace fedcav::nn

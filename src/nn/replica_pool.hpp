@@ -1,0 +1,95 @@
+// Bounded pool of model replicas for cohort-size-independent rounds.
+//
+// Before PR 5 every fl::Client owned a full model replica, making a
+// simulation's memory O(N_clients × model). The pool inverts that: it
+// lazily clones at most `max_replicas` models from a prototype and leases
+// them to participants for the duration of one local-update call. With
+// K ≈ thread-pool size, peak model memory is O(K × model) no matter how
+// many clients the cohort has (DESIGN.md §11).
+//
+// Replicas are interchangeable by construction: Client::local_update
+// always starts from set_weights(global) and builds a fresh Sgd optimizer,
+// so no training state survives inside a pooled model between leases.
+// Workspaces and grow-only tensor capacity DO survive, which is exactly
+// the point — steady-state rounds reuse K warmed-up replicas with zero
+// tensor heap allocations.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/nn/model.hpp"
+
+namespace fedcav::nn {
+
+class ReplicaPool {
+ public:
+  /// RAII lease: returns the model to the pool on destruction. Movable,
+  /// not copyable.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(ReplicaPool* pool, std::unique_ptr<Model> model)
+        : pool_(pool), model_(std::move(model)) {}
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), model_(std::move(other.model_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = other.pool_;
+        model_ = std::move(other.model_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    Model& model() { return *model_; }
+    Model* operator->() { return model_.get(); }
+    explicit operator bool() const { return model_ != nullptr; }
+
+   private:
+    void release();
+
+    ReplicaPool* pool_ = nullptr;
+    std::unique_ptr<Model> model_;
+  };
+
+  /// `prototype` must outlive the pool; replicas are deep clones of it.
+  /// `max_replicas` must be >= the number of threads that may hold a
+  /// lease concurrently or acquire() deadlocks (the server sizes it as
+  /// pool-size + 1: workers plus the possibly-inline caller).
+  ReplicaPool(const Model& prototype, std::size_t max_replicas);
+
+  /// Check a replica out, cloning lazily up to max_replicas, then
+  /// blocking until one is returned.
+  Lease acquire();
+
+  std::size_t max_replicas() const { return max_replicas_; }
+  /// Replicas materialized so far (monotone, <= max_replicas). This is
+  /// the K of the O(K × model) bound.
+  std::size_t created() const;
+  /// Leases currently outstanding.
+  std::size_t in_use() const;
+
+ private:
+  friend class Lease;
+  void put_back(std::unique_ptr<Model> model);
+
+  const Model& prototype_;
+  const std::size_t max_replicas_;
+  mutable std::mutex mu_;
+  std::condition_variable available_;
+  std::vector<std::unique_ptr<Model>> idle_;
+  std::size_t created_ = 0;
+  std::size_t in_use_ = 0;
+};
+
+}  // namespace fedcav::nn

@@ -18,6 +18,18 @@ constexpr std::size_t kTensorAlign = 64;
 #ifdef FEDCAV_ALLOC_STATS
 std::atomic<std::uint64_t> g_alloc_count{0};
 std::atomic<std::uint64_t> g_alloc_bytes{0};
+std::atomic<std::uint64_t> g_live_bytes{0};
+std::atomic<std::uint64_t> g_peak_live_bytes{0};
+
+// CAS-loop max: the peak is monotone between resets, so racing updaters
+// converge; relaxed ordering suffices (the counters are diagnostics, the
+// buffer pointer itself carries the synchronization that matters).
+void raise_peak(std::uint64_t live) {
+  std::uint64_t peak = g_peak_live_bytes.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !g_peak_live_bytes.compare_exchange_weak(peak, live, std::memory_order_relaxed)) {
+  }
+}
 #endif
 
 float* allocate_buffer(std::size_t n) {
@@ -25,13 +37,23 @@ float* allocate_buffer(std::size_t n) {
 #ifdef FEDCAV_ALLOC_STATS
   g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   g_alloc_bytes.fetch_add(n * sizeof(float), std::memory_order_relaxed);
+  const std::uint64_t live =
+      g_live_bytes.fetch_add(n * sizeof(float), std::memory_order_relaxed) +
+      n * sizeof(float);
+  raise_peak(live);
 #endif
   return static_cast<float*>(
       ::operator new(n * sizeof(float), std::align_val_t{kTensorAlign}));
 }
 
-void free_buffer(float* p) {
-  if (p != nullptr) ::operator delete(p, std::align_val_t{kTensorAlign});
+// `n` is the element capacity originally requested from allocate_buffer —
+// needed to keep the live-bytes gauge balanced (operator delete has no size).
+void free_buffer(float* p, [[maybe_unused]] std::size_t n) {
+  if (p == nullptr) return;
+#ifdef FEDCAV_ALLOC_STATS
+  g_live_bytes.fetch_sub(n * sizeof(float), std::memory_order_relaxed);
+#endif
+  ::operator delete(p, std::align_val_t{kTensorAlign});
 }
 
 }  // namespace
@@ -41,6 +63,8 @@ TensorAllocStats Tensor::alloc_stats() {
 #ifdef FEDCAV_ALLOC_STATS
   s.allocations = g_alloc_count.load(std::memory_order_relaxed);
   s.bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  s.live_bytes = g_live_bytes.load(std::memory_order_relaxed);
+  s.peak_live_bytes = g_peak_live_bytes.load(std::memory_order_relaxed);
 #endif
   return s;
 }
@@ -49,12 +73,17 @@ void Tensor::reset_alloc_stats() {
 #ifdef FEDCAV_ALLOC_STATS
   g_alloc_count.store(0, std::memory_order_relaxed);
   g_alloc_bytes.store(0, std::memory_order_relaxed);
+  // live_bytes is ground truth and survives; the peak re-arms at the
+  // current live level so a post-reset measurement window reports the
+  // high-water mark of *that window* only.
+  g_peak_live_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
 #endif
 }
 
 void Tensor::ensure_capacity(std::size_t n) {
   if (n <= capacity_) return;
-  free_buffer(data_);
+  free_buffer(data_, capacity_);
   data_ = allocate_buffer(n);
   capacity_ = n;
 }
@@ -99,7 +128,7 @@ Tensor::Tensor(Tensor&& other) noexcept
 
 Tensor& Tensor::operator=(Tensor&& other) noexcept {
   if (this == &other) return *this;
-  free_buffer(data_);
+  free_buffer(data_, capacity_);
   shape_ = other.shape_;
   numel_ = other.numel_;
   capacity_ = other.capacity_;
@@ -111,7 +140,7 @@ Tensor& Tensor::operator=(Tensor&& other) noexcept {
   return *this;
 }
 
-Tensor::~Tensor() { free_buffer(data_); }
+Tensor::~Tensor() { free_buffer(data_, capacity_); }
 
 Tensor Tensor::uninitialized(Shape shape) {
   Tensor t;

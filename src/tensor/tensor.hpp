@@ -32,6 +32,15 @@ class Rng;
 struct TensorAllocStats {
   std::uint64_t allocations = 0;  ///< number of heap buffer allocations
   std::uint64_t bytes = 0;        ///< total bytes of those allocations
+  /// Bytes of tensor buffers currently alive (allocated, not yet freed).
+  /// Unlike `allocations`/`bytes` this is not affected by reset — it is
+  /// the ground truth of the process's tensor heap footprint.
+  std::uint64_t live_bytes = 0;
+  /// High-water mark of live_bytes since the last reset_alloc_stats()
+  /// (a reset re-arms the peak at the current live_bytes). This is what
+  /// the cohort-scaling memory gate measures: a round's peak must track
+  /// the replica-pool size, not the cohort size.
+  std::uint64_t peak_live_bytes = 0;
 };
 
 class Tensor {

@@ -10,12 +10,15 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "src/fl/simulation.hpp"
 #include "src/nn/optimizer.hpp"
 #include "src/nn/zoo.hpp"
 #include "src/tensor/tensor.hpp"
 #include "src/utils/rng.hpp"
+#include "src/utils/threadpool.hpp"
 
 namespace fedcav {
 namespace {
@@ -86,6 +89,61 @@ TEST(AllocStats, CounterSeesAllocationsAndCapacityReuse) {
   EXPECT_EQ(Tensor::alloc_stats().allocations, 1u);
   t.resize_uninitialized(Shape::of(16, 16));  // genuine growth
   EXPECT_EQ(Tensor::alloc_stats().allocations, 2u);
+}
+
+// live_bytes follows tensor lifetimes, peak_live_bytes is a high-water
+// mark, and reset re-arms the peak at the current live level rather than
+// zero (so long-lived buffers stay visible to the next measurement).
+TEST(AllocStats, LiveAndPeakTrackTensorLifetimes) {
+  if (!Tensor::alloc_stats_enabled()) GTEST_SKIP() << "built without FEDCAV_ALLOC_STATS";
+  const std::uint64_t base_live = Tensor::alloc_stats().live_bytes;
+  constexpr std::uint64_t kBytes = 16ull * 16ull * sizeof(float);
+  {
+    Tensor t(Shape::of(16, 16));
+    const TensorAllocStats during = Tensor::alloc_stats();
+    EXPECT_EQ(during.live_bytes, base_live + kBytes);
+    EXPECT_GE(during.peak_live_bytes, during.live_bytes);
+  }
+  EXPECT_EQ(Tensor::alloc_stats().live_bytes, base_live);
+
+  Tensor::reset_alloc_stats();
+  const TensorAllocStats armed = Tensor::alloc_stats();
+  EXPECT_EQ(armed.peak_live_bytes, armed.live_bytes)
+      << "reset must re-arm the peak at the current live level";
+}
+
+// The tentpole guarantee: a round's peak live tensor bytes is bounded by
+// the replica pool (K ~ thread-pool size), NOT the cohort size. 512
+// clients must not peak meaningfully above 128 clients on the same pool.
+TEST(AllocStats, RoundPeakLiveBytesIndependentOfCohortSize) {
+  if (!Tensor::alloc_stats_enabled()) GTEST_SKIP() << "built without FEDCAV_ALLOC_STATS";
+
+  const auto peak_for = [](std::size_t clients) -> std::uint64_t {
+    fl::SimulationConfig cfg;
+    cfg.dataset = "digits";
+    cfg.model = "mlp";
+    cfg.strategy = "fedcav";
+    cfg.train_samples_per_class = 64;  // 640 samples >= 512 clients
+    cfg.test_samples_per_class = 4;
+    cfg.partition.scheme = data::PartitionScheme::kIidBalanced;
+    cfg.partition.num_clients = clients;
+    cfg.server.sample_ratio = 1.0;  // whole cohort participates
+    cfg.server.local.epochs = 1;
+    cfg.server.local.batch_size = 4;
+    cfg.server.use_network = false;
+    fl::Simulation sim = fl::build_simulation(cfg);
+    ThreadPool pool(2);
+    sim.server->set_thread_pool(&pool);
+    Tensor::reset_alloc_stats();
+    sim.server->run_round();
+    return Tensor::alloc_stats().peak_live_bytes;
+  };
+
+  const std::uint64_t small = peak_for(128);
+  const std::uint64_t large = peak_for(512);
+  EXPECT_LT(large, small + small / 2)
+      << "4x the cohort grew peak live bytes from " << small << " to " << large
+      << " — per-client replicas leaked back in";
 }
 
 }  // namespace

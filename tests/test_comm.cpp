@@ -109,6 +109,38 @@ TEST(Message, NackRoundTrip) {
   EXPECT_EQ(back.expected, MessageType::kClientReport);
 }
 
+TEST(Message, MetadataReportRoundTrip) {
+  MetadataMsg msg;
+  msg.round = 9;
+  msg.client_id = 42;
+  msg.num_samples = 311;
+  msg.inference_loss = 2.71828182845904523;
+  const ByteBuffer wire = msg.encode();
+  // Scalar metadata is model-size independent: 3×u64 + 1×f64.
+  EXPECT_EQ(wire.size(), 32u);
+  ByteReader reader(wire);
+  const MetadataMsg back = MetadataMsg::decode(reader);
+  EXPECT_EQ(back.round, 9u);
+  EXPECT_EQ(back.client_id, 42u);
+  EXPECT_EQ(back.num_samples, 311u);
+  EXPECT_EQ(back.inference_loss, msg.inference_loss);  // bit-exact f64
+}
+
+TEST(Message, MetadataReportSurvivesEnvelopeFraming) {
+  MetadataMsg msg;
+  msg.round = 3;
+  msg.client_id = 7;
+  msg.num_samples = 64;
+  msg.inference_loss = 0.125;
+  const Envelope env{MessageType::kMetadataReport, msg.encode()};
+  EXPECT_EQ(env.wire_size(), 44u);  // 8 tag + 32 payload + 4 CRC
+  const auto back = Envelope::try_decode(env.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->type, MessageType::kMetadataReport);
+  ByteReader reader(back->payload);
+  EXPECT_EQ(MetadataMsg::decode(reader).num_samples, 64u);
+}
+
 // --------------------------------------------------------- CRC framing
 
 TEST(Crc32, MatchesIeee8023Vector) {

@@ -167,6 +167,56 @@ TEST(Contribution, PermutationEquivariant) {
   EXPECT_NEAR(w_perm[2], w[1], 1e-12);
 }
 
+TEST(Clip, QuantileOneIsIdentity) {
+  // q = 1.0 interpolates to the maximum, so nothing is capped — the
+  // upper edge of the valid range degrades gracefully to "no clip".
+  ContributionConfig config;
+  config.clip = ClipPolicy::kQuantile;
+  config.quantile = 1.0;
+  const std::vector<double> losses = {1.0, 2.0, 3.0, 100.0};
+  EXPECT_EQ(clip_losses(losses, config), losses);
+}
+
+TEST(Contribution, SingleClientCohortGetsFullWeight) {
+  // A quorum-1 round can aggregate exactly one survivor; its γ must be
+  // exactly 1 under every clip policy (softmax of a singleton).
+  for (ClipPolicy policy :
+       {ClipPolicy::kNone, ClipPolicy::kMean, ClipPolicy::kQuantile}) {
+    ContributionConfig config;
+    config.clip = policy;
+    const auto w = contribution_weights({3.7}, config);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_DOUBLE_EQ(w[0], 1.0);
+  }
+}
+
+TEST(Contribution, TwoClientCohortOrdersAndNormalizes) {
+  // Smallest non-degenerate cohort: the mean clip caps the higher loss
+  // at the midpoint, so the spread is (mean - low) nats, never more.
+  ContributionConfig config;
+  const auto w = contribution_weights({1.0, 3.0}, config);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_GT(w[1], w[0]);
+  EXPECT_NEAR(w[0] + w[1], 1.0, 1e-12);
+  // Clipped losses are {1, 2} → weight ratio is exactly e^(2-1).
+  EXPECT_NEAR(w[1] / w[0], std::exp(1.0), 1e-9);
+  // Equal losses must split exactly evenly.
+  const auto even = contribution_weights({2.5, 2.5}, config);
+  EXPECT_DOUBLE_EQ(even[0], even[1]);
+  EXPECT_NEAR(even[0], 0.5, 1e-12);
+}
+
+TEST(Contribution, ClipAppliesBeforeTemperature) {
+  // Pin the §4.2/§4.3 composition softmax(clip(f)/τ): with losses
+  // {1, 3}, mean clip gives {1, 2}; at τ = 2 the weight ratio must be
+  // e^((2−1)/2) = e^0.5. Applying τ to the *unclipped* losses and a
+  // non-homogeneous clip would break this pin.
+  ContributionConfig config;
+  config.temperature = 2.0;
+  const auto w = contribution_weights({1.0, 3.0}, config);
+  EXPECT_NEAR(w[1] / w[0], std::exp(0.5), 1e-9);
+}
+
 // --------------------------------------------------------------- FedCav
 
 TEST(FedCav, EqualLossesReduceToPlainAverage) {

@@ -234,6 +234,36 @@ TEST(Compression, EncodeDecodeRoundTrip) {
   EXPECT_EQ(back.values, sparse.values);
 }
 
+TEST(Compression, DuplicateMagnitudesSelectDeterministically) {
+  // Every entry ties in |value|: the k survivors must be the k lowest
+  // indices (the documented tie-break), and the selection must be
+  // identical across repeated calls and input copies. Without the
+  // tie-break, nth_element's pivot choices make the kept set
+  // implementation-defined, which desynchronizes the sparsified wire
+  // image between otherwise deterministic runs.
+  std::vector<float> dense(64);
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    dense[i] = (i % 2 == 0) ? 0.5f : -0.5f;  // equal magnitude, mixed sign
+  }
+  const comm::SparseDelta first = comm::topk_compress(dense, 0.25);  // k = 16
+  ASSERT_EQ(first.indices.size(), 16u);
+  for (std::size_t i = 0; i < first.indices.size(); ++i) {
+    EXPECT_EQ(first.indices[i], static_cast<std::uint32_t>(i));
+  }
+  const std::vector<float> copy = dense;
+  const comm::SparseDelta second = comm::topk_compress(copy, 0.25);
+  EXPECT_EQ(first.indices, second.indices);
+  EXPECT_EQ(first.values, second.values);
+
+  // Ties straddling the k-boundary: with [3, 1, 1, 1] and k = 2 the
+  // kept set must be {0, 1} — the tied 1.0s resolve by index.
+  const std::vector<float> boundary = {3.0f, 1.0f, 1.0f, 1.0f};
+  const comm::SparseDelta picked = comm::topk_compress(boundary, 0.5);
+  ASSERT_EQ(picked.indices.size(), 2u);
+  EXPECT_EQ(picked.indices[0], 0u);
+  EXPECT_EQ(picked.indices[1], 1u);
+}
+
 TEST(Compression, WireSizeBeatsDenseForSmallRatios) {
   std::vector<float> dense(10000, 1.0f);
   const comm::SparseDelta sparse = comm::topk_compress(dense, 0.1);

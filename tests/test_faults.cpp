@@ -208,7 +208,9 @@ TEST(Chaos, QuorumSkipsRoundAndCarriesModelForward) {
 TEST(Chaos, UplinkDeadlineTurnsSlowReportsIntoDropouts) {
   set_log_level(LogLevel::kError);
   // A deadline tighter than one transfer time converts every report
-  // into a deadline miss — with quorum 2 the rounds all skip.
+  // into a deadline miss — with quorum 2 the rounds all skip. The
+  // misses must surface in the round record, not just vanish into the
+  // dropout count.
   fl::SimulationConfig config = chaos_config();
   config.server.network.faults.seed = 6;
   config.server.network.faults.jitter_s = 1e-9;  // arm the fault layer only
@@ -221,8 +223,95 @@ TEST(Chaos, UplinkDeadlineTurnsSlowReportsIntoDropouts) {
   for (const auto& rec : sim.server->history().records()) {
     EXPECT_TRUE(rec.skipped);
     EXPECT_GT(rec.dropouts, 0u);
+    EXPECT_GT(rec.deadline_misses, 0u);
+    EXPECT_LE(rec.deadline_misses, rec.dropouts);
   }
   EXPECT_EQ(sim.server->global_weights(), before);
+  expect_conservation(*sim.server);
+}
+
+TEST(Chaos, DeadlineChargesFullExchangeNotJustLastUplink) {
+  set_log_level(LogLevel::kError);
+  // Budget sized so phase ① (downlink + metadata, ~2 transfers) fits
+  // but the phase-② report (3rd model-sized transfer) overruns. The old
+  // accounting — which only charged the final uplink — would have let
+  // every report through. The overruns must land as upload failures
+  // (carried γ mass), not dropouts: metadata already reached the server.
+  fl::SimulationConfig config = chaos_config();
+  config.server.network.latency_s = 1.0;
+  config.server.uplink_deadline_s = 2.5;
+  config.server.min_aggregate_clients = 1;
+
+  fl::Simulation sim = fl::build_simulation(config);
+  sim.server->run(2);
+  for (const auto& rec : sim.server->history().records()) {
+    EXPECT_FALSE(rec.skipped);
+    EXPECT_GT(rec.participants, 0u);
+    EXPECT_EQ(rec.dropouts, 0u);
+    EXPECT_EQ(rec.upload_failures, rec.participants);
+    EXPECT_EQ(rec.deadline_misses, rec.participants);
+  }
+  expect_conservation(*sim.server);
+}
+
+TEST(Chaos, RoundAccountingInvariantHoldsUnderFaultsAndStragglers) {
+  set_log_level(LogLevel::kError);
+  // sampled must equal participants + dropouts + straggler_drops in
+  // every round (the seed code overwrote `participants` three times and
+  // never recorded the sampled cohort or the straggler losses).
+  fl::SimulationConfig config = chaos_config();
+  config.server.network.faults.seed = 31;
+  // Aggressive drops with a single retry so retry exhaustion (and hence
+  // real dropouts) actually happens; 0.2 with 3 retries would lose a
+  // message only once per ~600 exchanges.
+  config.server.network.faults.drop_prob = 0.5;
+  config.server.max_retries = 1;
+  config.server.straggler_drop_prob = 0.5;
+  config.server.min_aggregate_clients = 1;
+
+  fl::Simulation sim = fl::build_simulation(config);
+  sim.server->run(6);
+  std::size_t total_straggler_drops = 0;
+  std::size_t total_dropouts = 0;
+  for (const auto& rec : sim.server->history().records()) {
+    EXPECT_GT(rec.sampled, 0u);
+    EXPECT_EQ(rec.sampled, rec.participants + rec.dropouts + rec.straggler_drops);
+    total_straggler_drops += rec.straggler_drops;
+    total_dropouts += rec.dropouts;
+  }
+  // With these rates both loss mechanisms must actually fire, so the
+  // invariant above was exercised with every term nonzero somewhere.
+  EXPECT_GT(total_straggler_drops, 0u);
+  EXPECT_GT(total_dropouts, 0u);
+  expect_conservation(*sim.server);
+}
+
+TEST(Chaos, StaleDiscardsSurfaceInHistory) {
+  set_log_level(LogLevel::kError);
+  // Duplicated messages left in a link are drained (and counted) by the
+  // next round's protocol as wrong-round leftovers. The seed code
+  // counted them per participant and then dropped them on the floor at
+  // the collect loop.
+  fl::SimulationConfig config = chaos_config();
+  config.server.network.faults.seed = 91;
+  config.server.network.faults.duplicate_prob = 0.5;
+  config.server.min_aggregate_clients = 1;
+
+  fl::Simulation sim = fl::build_simulation(config);
+  sim.server->run(4);
+  std::uint64_t total_stale = 0;
+  for (const auto& rec : sim.server->history().records()) {
+    total_stale += rec.stale_discards;
+  }
+  EXPECT_GT(total_stale, 0u);
+
+  // And the deterministic CSV must carry the new accounting columns.
+  const std::string csv = deterministic_csv(*sim.server);
+  EXPECT_NE(csv.find("stale_discards"), std::string::npos);
+  EXPECT_NE(csv.find("deadline_misses"), std::string::npos);
+  EXPECT_NE(csv.find("sampled"), std::string::npos);
+  EXPECT_NE(csv.find("straggler_drops"), std::string::npos);
+  EXPECT_NE(csv.find("upload_failures"), std::string::npos);
   expect_conservation(*sim.server);
 }
 

@@ -63,16 +63,16 @@ TEST(FedCurvClient, AccumulatesStateOnlyWhenEnabled) {
   Rng rng(3);
   auto model = nn::model_builder("mlp")(rng);
   const nn::Weights global = model->get_weights();
-  fl::Client client(0, corpus, std::move(model), Rng(4));
+  fl::Client client(0, corpus, Rng(4));
 
   fl::LocalTrainConfig plain;
   plain.epochs = 1;
-  client.local_update(global, plain);
+  client.local_update(*model, global, plain);
   EXPECT_FALSE(client.has_curvature_state());
 
   fl::LocalTrainConfig curv = plain;
   curv.curv_lambda = 0.5f;
-  client.local_update(global, curv);
+  client.local_update(*model, global, curv);
   EXPECT_TRUE(client.has_curvature_state());
 }
 
@@ -83,25 +83,25 @@ TEST(FedCurvClient, PenaltyReducesDriftFromPreviousOptimum) {
   auto model_a = nn::model_builder("mlp")(rng_a);
   auto model_b = nn::model_builder("mlp")(rng_b);
   const nn::Weights global = model_a->get_weights();
-  fl::Client plain(0, corpus, std::move(model_a), Rng(6));
-  fl::Client curv(0, corpus, std::move(model_b), Rng(6));
+  fl::Client plain(0, corpus, Rng(6));
+  fl::Client curv(0, corpus, Rng(6));
 
   fl::LocalTrainConfig config;
   config.epochs = 3;
   config.lr = 0.05f;
 
   // First participation: both train identically; curv also records state.
-  const fl::ClientUpdate first = plain.local_update(global, config);
+  const fl::ClientUpdate first = plain.local_update(*model_a, global, config);
   fl::LocalTrainConfig curv_config = config;
   curv_config.curv_lambda = 5.0f;
-  const fl::ClientUpdate curv_first = curv.local_update(global, curv_config);
+  const fl::ClientUpdate curv_first = curv.local_update(*model_b, global, curv_config);
 
   // Second participation from a perturbed global: the penalized client
   // must land closer to its previous optimum.
   nn::Weights shifted = global;
   for (auto& w : shifted) w += 0.05f;
-  const fl::ClientUpdate second = plain.local_update(shifted, config);
-  const fl::ClientUpdate curv_second = curv.local_update(shifted, curv_config);
+  const fl::ClientUpdate second = plain.local_update(*model_a, shifted, config);
+  const fl::ClientUpdate curv_second = curv.local_update(*model_b, shifted, curv_config);
 
   auto distance = [](const nn::Weights& a, const nn::Weights& b) {
     double acc = 0.0;

@@ -109,6 +109,83 @@ TEST(WeightedAverage, UsesDoubleAccumulation) {
   EXPECT_NEAR(out[0], 1.0f, 1e-6f);
 }
 
+// -------------------------------------------- incremental aggregation
+
+std::vector<ClientUpdate> random_cohort(std::size_t n, std::size_t dim,
+                                        Rng& rng) {
+  std::vector<ClientUpdate> updates;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<float> w(dim);
+    for (auto& v : w) v = rng.uniform_f(-2.0f, 2.0f);
+    updates.push_back(make_update(i, std::move(w), 5 + i * 3,
+                                  0.1 + 0.4 * static_cast<double>(i)));
+  }
+  return updates;
+}
+
+std::vector<ClientUpdate> scalars_only(const std::vector<ClientUpdate>& updates) {
+  std::vector<ClientUpdate> meta = updates;
+  for (auto& m : meta) m.weights.clear();
+  return meta;
+}
+
+// The acceptance bar for the streaming path: folding updates one at a
+// time must reproduce the one-shot weighted_average BIT-exactly — same
+// doubles, same float casts, same order — or golden runs would shift.
+void expect_incremental_matches_one_shot(AggregationStrategy& one_shot,
+                                         AggregationStrategy& incremental,
+                                         bool expect_streaming) {
+  Rng rng(0xabc);
+  const std::size_t dim = 257;
+  std::vector<float> global(dim);
+  for (auto& v : global) v = rng.uniform_f(-1.0f, 1.0f);
+  const std::vector<ClientUpdate> updates = random_cohort(7, dim, rng);
+
+  const nn::Weights direct = one_shot.aggregate(global, updates);
+
+  EXPECT_EQ(incremental.streaming_aggregation(), expect_streaming);
+  incremental.begin_aggregation(global, scalars_only(updates));
+  for (const auto& u : updates) incremental.accumulate(u);
+  const nn::Weights streamed = incremental.finish_aggregation();
+
+  ASSERT_EQ(streamed.size(), direct.size());
+  for (std::size_t i = 0; i < dim; ++i) {
+    EXPECT_EQ(streamed[i], direct[i]) << "component " << i << " diverged";
+  }
+}
+
+TEST(Streaming, FedAvgIncrementalIsBitIdenticalToOneShot) {
+  FedAvg a;
+  FedAvg b;
+  expect_incremental_matches_one_shot(a, b, /*expect_streaming=*/true);
+}
+
+TEST(Streaming, FedCavIncrementalIsBitIdenticalToOneShot) {
+  auto a = make_strategy("fedcav");
+  auto b = make_strategy("fedcav");
+  expect_incremental_matches_one_shot(*a, *b, /*expect_streaming=*/true);
+}
+
+TEST(Streaming, BufferedDefaultMatchesAggregateForNonStreamingStrategies) {
+  // Robust rules can't stream (order statistics need every update); the
+  // base-class incremental path must buffer and reproduce aggregate().
+  auto a = make_strategy("median");
+  auto b = make_strategy("median");
+  expect_incremental_matches_one_shot(*a, *b, /*expect_streaming=*/false);
+}
+
+TEST(Streaming, AccumulateValidatesProtocol) {
+  FedAvg strategy;
+  // finish before begin / fold-count mismatch must throw, not UB.
+  EXPECT_THROW(strategy.finish_aggregation(), Error);
+  std::vector<ClientUpdate> meta;
+  meta.push_back(make_update(0, {}, 10));
+  meta.push_back(make_update(1, {}, 10));
+  strategy.begin_aggregation({1.0f, 2.0f}, meta);
+  strategy.accumulate(make_update(0, {1.0f, 1.0f}, 10));
+  EXPECT_THROW(strategy.finish_aggregation(), Error);  // one fold missing
+}
+
 // ------------------------------------------------------------- FedProx
 
 TEST(FedProx, InjectsProximalTermIntoLocalConfig) {
@@ -149,13 +226,13 @@ TEST(Client, LocalUpdateReportsPretrainingLoss) {
   data::Dataset corpus = small_corpus();
   auto model = nn::model_builder("mlp")(rng);
   const nn::Weights global = model->get_weights();
-  Client client(0, corpus, std::move(model), Rng(6));
+  Client client(0, corpus, Rng(6));
 
   LocalTrainConfig config;
   config.epochs = 1;
   config.batch_size = 16;
   config.lr = 0.05f;
-  const ClientUpdate update = client.local_update(global, config);
+  const ClientUpdate update = client.local_update(*model, global, config);
 
   // The reported loss is f_i(w_t) — of the *downloaded* model, before
   // training. Recompute it independently.
@@ -172,13 +249,13 @@ TEST(Client, TrainingChangesWeightsAndReducesLoss) {
   data::Dataset corpus = small_corpus();
   auto model = nn::model_builder("mlp")(rng);
   const nn::Weights global = model->get_weights();
-  Client client(1, corpus, std::move(model), Rng(8));
+  Client client(1, corpus, Rng(8));
 
   LocalTrainConfig config;
   config.epochs = 5;
   config.batch_size = 10;
   config.lr = 0.05f;
-  const ClientUpdate update = client.local_update(global, config);
+  const ClientUpdate update = client.local_update(*model, global, config);
 
   EXPECT_NE(update.weights, global);
   // Post-training loss on local data must beat the pre-training loss.
@@ -192,15 +269,18 @@ TEST(Client, DeterministicGivenIdenticalRngState) {
   data::Dataset corpus = small_corpus();
   Rng rng_a(9);
   Rng rng_b(9);
+  // Replicas are interchangeable: two different model instances (even
+  // differently initialized) must produce bit-identical updates, because
+  // local work always starts from set_weights(global).
   auto model_a = nn::model_builder("mlp")(rng_a);
   auto model_b = nn::model_builder("mlp")(rng_b);
   const nn::Weights global = model_a->get_weights();
-  Client a(0, corpus, std::move(model_a), Rng(10));
-  Client b(0, corpus, std::move(model_b), Rng(10));
+  Client a(0, corpus, Rng(10));
+  Client b(0, corpus, Rng(10));
   LocalTrainConfig config;
   config.epochs = 2;
-  const ClientUpdate ua = a.local_update(global, config);
-  const ClientUpdate ub = b.local_update(global, config);
+  const ClientUpdate ua = a.local_update(*model_a, global, config);
+  const ClientUpdate ub = b.local_update(*model_b, global, config);
   EXPECT_EQ(ua.weights, ub.weights);
   EXPECT_DOUBLE_EQ(ua.inference_loss, ub.inference_loss);
 }
@@ -212,15 +292,15 @@ TEST(Client, ProximalTermKeepsUpdateCloserToGlobal) {
   auto model_a = nn::model_builder("mlp")(rng_a);
   auto model_b = nn::model_builder("mlp")(rng_b);
   const nn::Weights global = model_a->get_weights();
-  Client plain(0, corpus, std::move(model_a), Rng(12));
-  Client prox(0, corpus, std::move(model_b), Rng(12));
+  Client plain(0, corpus, Rng(12));
+  Client prox(0, corpus, Rng(12));
 
   LocalTrainConfig config;
   config.epochs = 5;
   config.lr = 0.05f;
-  const ClientUpdate u_plain = plain.local_update(global, config);
+  const ClientUpdate u_plain = plain.local_update(*model_a, global, config);
   config.prox_mu = 0.5f;
-  const ClientUpdate u_prox = prox.local_update(global, config);
+  const ClientUpdate u_prox = prox.local_update(*model_b, global, config);
 
   auto distance = [&](const nn::Weights& w) {
     double acc = 0.0;
@@ -236,22 +316,18 @@ TEST(Client, ProximalTermKeepsUpdateCloserToGlobal) {
 TEST(Client, RejectsEmptyDataAndBadConfig) {
   Rng rng(13);
   data::Dataset corpus = small_corpus();
-  EXPECT_THROW(Client(0, data::Dataset(corpus.sample_shape(), 10),
-                      nn::model_builder("mlp")(rng), Rng(1)),
-               Error);
+  EXPECT_THROW(Client(0, data::Dataset(corpus.sample_shape(), 10), Rng(1)), Error);
   auto model = nn::model_builder("mlp")(rng);
   const nn::Weights global = model->get_weights();
-  Client client(0, corpus, std::move(model), Rng(1));
+  Client client(0, corpus, Rng(1));
   LocalTrainConfig config;
   config.epochs = 0;
-  EXPECT_THROW(client.local_update(global, config), Error);
+  EXPECT_THROW(client.local_update(*model, global, config), Error);
 }
 
 TEST(Client, SetLocalDataSwapsShard) {
-  Rng rng(14);
   data::Dataset corpus = small_corpus();
-  auto model = nn::model_builder("mlp")(rng);
-  Client client(0, corpus, std::move(model), Rng(1));
+  Client client(0, corpus, Rng(1));
   data::Dataset bigger = small_corpus(12);
   client.set_local_data(bigger);
   EXPECT_EQ(client.num_samples(), bigger.size());

@@ -170,10 +170,13 @@ TEST_F(IntegrationTest, ByteAccountingMatchesModelSize) {
   // GlobalModelMsg: 8 (type) + 8 (round) + 8 (len) + 4·params + 4 (CRC).
   const std::size_t down_each = 24 + 4 * n_params + 4;
   EXPECT_EQ(rec.bytes_down, rec.participants * down_each);
-  // ClientReportMsg: 8 (type) + 8·3 (round/client/samples) + 8 (loss)
-  // + 8 (len) + 4·params + 4 (CRC).
-  const std::size_t up_each = 8 + 24 + 8 + 8 + 4 * n_params + 4;
-  EXPECT_EQ(rec.bytes_up, rec.participants * up_each);
+  // MetadataMsg (phase ①): 8 (type) + 8·3 (round/client/samples) +
+  // 8 (loss) + 4 (CRC) — cohort-size-many scalar reports, no weights.
+  const std::size_t meta_each = 8 + 24 + 8 + 4;
+  // ClientReportMsg (phase ②): 8 (type) + 8·3 (round/client/samples)
+  // + 8 (loss) + 8 (len) + 4·params + 4 (CRC).
+  const std::size_t report_each = 8 + 24 + 8 + 8 + 4 * n_params + 4;
+  EXPECT_EQ(rec.bytes_up, rec.participants * (meta_each + report_each));
 }
 
 TEST_F(IntegrationTest, SigmaDegradesFedAvgAccuracy) {
