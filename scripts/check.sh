@@ -37,11 +37,19 @@ run_config "${repo}/build" ""
 # the cohort, in both the plain and sanitized builds.
 echo "==> cohort_scale smoke (plain)"
 "${repo}/build/bench/cohort_scale" --smoke --out "${repo}/build/BENCH_cohort_smoke.json"
+# Time-boxed chaos-search smoke (DESIGN.md §12): a short adaptive search
+# over the fault-plan space must find zero invariant violations. The
+# budget keeps this inside a few seconds; the full regression corpus is
+# replayed by ctest (label: chaos).
+echo "==> chaos_search smoke (plain)"
+timeout 300 "${repo}/build/tools/chaos_search" --budget 25 --seed 1
 
 run_config "${repo}/build-sanitize" "" -DFEDCAV_SANITIZE=ON
 echo "==> cohort_scale smoke (sanitize)"
 "${repo}/build-sanitize/bench/cohort_scale" --smoke \
   --out "${repo}/build-sanitize/BENCH_cohort_smoke.json"
+echo "==> chaos_search smoke (sanitize)"
+timeout 600 "${repo}/build-sanitize/tools/chaos_search" --budget 10 --seed 1
 
 run_config "${repo}/build-tsan" \
   "ThreadPool|Obs|CheckpointResume|Server|Integration|Chaos|Faults|GoldenRun" \

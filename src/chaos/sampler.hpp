@@ -1,0 +1,87 @@
+// Samplers over the chaos parameter space.
+//
+// The space is a cross product of small per-axis level sets (drop
+// probability, duplicate probability, ..., quorum, retry budget); a
+// sampler emits one level index per axis. Two implementations:
+//
+//   * random  — uniform over every axis; the coverage baseline.
+//   * learning — per-axis epsilon-greedy bandit (the k-race idiom):
+//     each axis tracks trials and fault-trigger counts per level, and
+//     exploitation picks the level with the best observed trigger rate
+//     (untried levels first, lowest index on ties). With epsilon
+//     exploration the sampler still covers the whole space, but its
+//     mass concentrates on fault-triggering regions as evidence
+//     accumulates — more trials land where invariants are stressed.
+//
+// Both are deterministic given their seed, and both are driven
+// sequentially by the search loop, so a chaos search is reproducible
+// regardless of thread-pool size.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chaos/plan.hpp"
+
+namespace fedcav::chaos {
+
+/// One searchable dimension: a name (stable, used in reports) and the
+/// discrete levels the sampler may pick for it.
+struct Axis {
+  std::string name;
+  std::vector<double> levels;
+};
+
+/// The cross-product space. A `choice` is one level index per axis
+/// (choice.size() == axes.size(), choice[i] < axes[i].levels.size()).
+struct ParamSpace {
+  std::vector<Axis> axes;
+
+  /// The protocol search space used by the chaos_search tool: fault
+  /// axes (drop/duplicate/reorder/corrupt/truncate/jitter/crash count)
+  /// plus the protocol knobs they interact with (straggler probability,
+  /// quorum, retry budget, uplink deadline).
+  static ParamSpace protocol_space();
+
+  /// Turn a choice into a runnable plan. `fault_seed` becomes
+  /// plan.faults.seed so every trial replays its own fault stream.
+  /// Throws fedcav::Error on a malformed choice or unknown axis name.
+  ChaosPlan materialize(const std::vector<std::size_t>& choice,
+                        std::uint64_t fault_seed) const;
+
+  std::size_t num_axes() const { return axes.size(); }
+};
+
+/// Per-axis trial/trigger tallies a sampler accumulates; exposed so the
+/// search report can show where the sampler concentrated.
+struct AxisTally {
+  std::vector<std::uint64_t> trials;    // one per level
+  std::vector<std::uint64_t> triggers;  // trials that triggered faults
+};
+
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  /// Emit the next choice (one level index per axis).
+  virtual std::vector<std::size_t> next() = 0;
+
+  /// Feed back whether the trial at `choice` triggered fault activity
+  /// (dropouts, retries, CRC failures, skips, nonzero FaultStats, ...).
+  virtual void report(const std::vector<std::size_t>& choice, bool triggered) = 0;
+
+  /// Per-axis tallies (same order as the space's axes).
+  virtual const std::vector<AxisTally>& tallies() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+std::unique_ptr<Sampler> make_random_sampler(const ParamSpace& space,
+                                             std::uint64_t seed);
+std::unique_ptr<Sampler> make_learning_sampler(const ParamSpace& space,
+                                               std::uint64_t seed,
+                                               double epsilon = 0.25);
+
+}  // namespace fedcav::chaos

@@ -1,0 +1,81 @@
+#include "src/chaos/search.hpp"
+
+#include <sstream>
+
+#include "src/utils/logging.hpp"
+#include "src/utils/rng.hpp"
+#include "src/utils/string_util.hpp"
+
+namespace fedcav::chaos {
+
+std::string SearchReport::to_string() const {
+  std::ostringstream out;
+  out << "chaos search: sampler=" << sampler_name << " seed=" << seed
+      << " explored=" << explored << " triggered=" << triggered << " failures="
+      << failures.size() << '\n';
+  out << "axis concentration (level: trials/triggers):\n";
+  for (std::size_t i = 0; i < space.axes.size() && i < tallies.size(); ++i) {
+    out << "  " << space.axes[i].name << ':';
+    for (std::size_t level = 0; level < space.axes[i].levels.size(); ++level) {
+      out << ' ' << format_double(space.axes[i].levels[level], 3) << ": "
+          << tallies[i].trials[level] << '/' << tallies[i].triggers[level];
+    }
+    out << '\n';
+  }
+  for (const SearchFailure& f : failures) {
+    out << "FAILURE trial=" << f.trial << " invariant=" << f.result.invariant
+        << " detail=" << f.result.detail << '\n';
+    out << "  sampled plan:   " << f.plan.describe() << '\n';
+    out << "  minimized plan: " << f.minimized.describe() << " (after "
+        << f.shrink_trials << " shrink trials)\n";
+  }
+  return out.str();
+}
+
+SearchReport run_search(const SearchConfig& config) {
+  const ParamSpace space = ParamSpace::protocol_space();
+  std::unique_ptr<Sampler> sampler =
+      config.learning ? make_learning_sampler(space, config.seed)
+                      : make_random_sampler(space, config.seed);
+
+  SearchReport report;
+  report.sampler_name = sampler->name();
+  report.seed = config.seed;
+  report.space = space;
+
+  // Per-trial fault seeds: an independent splitmix64 stream off the
+  // search seed, so trial i's fault pattern never depends on sampler
+  // internals (random and learning runs explore the same seed sequence).
+  std::uint64_t seed_state = config.seed ^ 0xc4a05e71ULL;
+
+  for (std::size_t trial = 1; trial <= config.budget; ++trial) {
+    const std::vector<std::size_t> choice = sampler->next();
+    const std::uint64_t fault_seed = splitmix64(seed_state);
+    const ChaosPlan plan = space.materialize(choice, fault_seed);
+    const OracleResult verdict = run_oracle(plan, config.oracle);
+    sampler->report(choice, verdict.triggered);
+    ++report.explored;
+    if (verdict.triggered) ++report.triggered;
+    if (!verdict.passed) {
+      FEDCAV_LOG_WARN << "chaos trial " << trial << " violated '"
+                      << verdict.invariant << "': " << plan.describe();
+      SearchFailure failure;
+      failure.plan = plan;
+      failure.minimized = plan;
+      failure.result = verdict;
+      failure.trial = trial;
+      if (config.minimize) {
+        const ShrinkResult shrunk = shrink_plan(plan, config.oracle);
+        failure.minimized = shrunk.plan;
+        failure.result = shrunk.failure;
+        failure.shrink_trials = shrunk.trials;
+      }
+      report.failures.push_back(std::move(failure));
+    }
+  }
+
+  report.tallies = sampler->tallies();
+  return report;
+}
+
+}  // namespace fedcav::chaos

@@ -1,0 +1,61 @@
+// Chaos-search driver: sampler → materialize → oracle → feedback loop.
+//
+// Each trial draws a choice from the sampler, materializes it into a
+// ChaosPlan (with a per-trial fault seed derived from the search seed
+// via splitmix64), runs the invariant oracle, and feeds the trigger
+// signal back. Failing plans are (optionally) shrunk to locally-minimal
+// reproducers. The driver is strictly sequential and every RNG it owns
+// is seeded from the search seed, so a search report is byte-identical
+// for a given (sampler, seed, budget) regardless of thread-pool size —
+// the deflake guarantee the determinism suite pins.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/chaos/oracle.hpp"
+#include "src/chaos/sampler.hpp"
+#include "src/chaos/shrink.hpp"
+
+namespace fedcav::chaos {
+
+struct SearchConfig {
+  std::size_t budget = 200;   // number of plans to explore
+  std::uint64_t seed = 1;     // sampler + fault-seed derivation root
+  bool learning = true;       // epsilon-greedy sampler (else uniform random)
+  bool minimize = true;       // shrink failing plans
+  OracleOptions oracle;
+};
+
+struct SearchFailure {
+  ChaosPlan plan;            // as sampled
+  ChaosPlan minimized;       // after shrinking (== plan when not minimized)
+  OracleResult result;       // verdict on `minimized`
+  std::size_t trial = 0;     // 1-based trial index that found it
+  std::size_t shrink_trials = 0;
+};
+
+struct SearchReport {
+  std::size_t explored = 0;
+  std::size_t triggered = 0;  // trials with observable fault activity
+  std::vector<SearchFailure> failures;
+  std::string sampler_name;
+  std::uint64_t seed = 0;
+  /// Per-axis (trials, triggers) histograms copied from the sampler —
+  /// shows where the learning sampler concentrated.
+  ParamSpace space;
+  std::vector<AxisTally> tallies;
+
+  bool ok() const { return failures.empty(); }
+  /// Full human-readable report (also the determinism suite's
+  /// byte-comparison artifact — no timestamps, no pointers).
+  std::string to_string() const;
+};
+
+/// Run the search. Deterministic given `config` (modulo the oracle's
+/// thread pool, which the fabric's per-link RNG design makes
+/// irrelevant to results).
+SearchReport run_search(const SearchConfig& config);
+
+}  // namespace fedcav::chaos

@@ -1,0 +1,130 @@
+#include "src/chaos/shrink.hpp"
+
+#include <vector>
+
+#include "src/utils/error.hpp"
+
+namespace fedcav::chaos {
+namespace {
+
+constexpr double kProbFloor = 1e-3;  // below this, just zero the axis
+
+/// All single-step simplifications of `plan`, most aggressive first
+/// (zeroing before halving) so the greedy pass takes big steps when it
+/// can. Order is fixed — shrinking is deterministic.
+std::vector<ChaosPlan> candidates(const ChaosPlan& plan) {
+  std::vector<ChaosPlan> out;
+  const auto with = [&out, &plan](auto&& mutate) {
+    ChaosPlan candidate = plan;
+    mutate(candidate);
+    if (!(candidate == plan)) out.push_back(std::move(candidate));
+  };
+  // Fault probability axes: zero, then halve (with a floor).
+  const auto prob_axis = [&with](auto&& set, double value) {
+    if (value == 0.0) return;
+    with([&set](ChaosPlan& p) { set(p, 0.0); });
+    if (value > kProbFloor) {
+      with([&set, value](ChaosPlan& p) { set(p, value / 2.0); });
+    }
+  };
+  prob_axis([](ChaosPlan& p, double v) { p.faults.drop_prob = v; },
+            plan.faults.drop_prob);
+  prob_axis([](ChaosPlan& p, double v) { p.faults.duplicate_prob = v; },
+            plan.faults.duplicate_prob);
+  prob_axis([](ChaosPlan& p, double v) { p.faults.reorder_prob = v; },
+            plan.faults.reorder_prob);
+  prob_axis([](ChaosPlan& p, double v) { p.faults.corrupt_prob = v; },
+            plan.faults.corrupt_prob);
+  prob_axis([](ChaosPlan& p, double v) { p.faults.truncate_prob = v; },
+            plan.faults.truncate_prob);
+  prob_axis([](ChaosPlan& p, double v) { p.faults.jitter_s = v; },
+            plan.faults.jitter_s);
+  prob_axis([](ChaosPlan& p, double v) { p.straggler_drop_prob = v; },
+            plan.straggler_drop_prob);
+
+  // Deadline: remove it (0 disables), then double it (a looser deadline
+  // is the simpler configuration — fewer misses).
+  if (plan.uplink_deadline_s > 0.0) {
+    with([](ChaosPlan& p) { p.uplink_deadline_s = 0.0; });
+    with([](ChaosPlan& p) { p.uplink_deadline_s *= 2.0; });
+  }
+
+  // Crash windows: drop each one, then narrow multi-round windows.
+  for (std::size_t i = 0; i < plan.faults.crashes.size(); ++i) {
+    with([i](ChaosPlan& p) {
+      p.faults.crashes.erase(p.faults.crashes.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+    });
+    if (plan.faults.crashes[i].last_round > plan.faults.crashes[i].first_round) {
+      with([i](ChaosPlan& p) { p.faults.crashes[i].last_round -= 1; });
+    }
+  }
+
+  // Protocol knobs toward their inert defaults.
+  if (plan.min_aggregate_clients > 1) {
+    with([](ChaosPlan& p) { p.min_aggregate_clients = 1; });
+    if (plan.min_aggregate_clients > 2) {
+      with([](ChaosPlan& p) { p.min_aggregate_clients -= 1; });
+    }
+  }
+  if (plan.max_retries > 0) {
+    with([](ChaosPlan& p) { p.max_retries -= 1; });
+  }
+
+  // Run shape: fewer rounds (keep the checkpoint split valid), fewer
+  // clients (quorum must stay satisfiable).
+  if (plan.rounds > 2 && plan.checkpoint_round < plan.rounds - 1) {
+    with([](ChaosPlan& p) { p.rounds -= 1; });
+  }
+  if (plan.num_clients > 2 && plan.num_clients > plan.min_aggregate_clients) {
+    with([&plan](ChaosPlan& p) {
+      p.num_clients -= 1;
+      // Drop crash windows that named the removed client's rank.
+      std::vector<comm::CrashWindow> kept;
+      for (const comm::CrashWindow& w : p.faults.crashes) {
+        if (w.rank <= p.num_clients) kept.push_back(w);
+      }
+      p.faults.crashes = std::move(kept);
+      (void)plan;
+    });
+  }
+
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_plan(const ChaosPlan& plan, const OracleFn& oracle) {
+  ShrinkResult result;
+  result.plan = plan;
+  result.failure = oracle(plan);
+  ++result.trials;
+  FEDCAV_REQUIRE(!result.failure.passed,
+                 "shrink_plan: plan passes the oracle; nothing to shrink");
+  const std::string invariant = result.failure.invariant;
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (const ChaosPlan& candidate : candidates(result.plan)) {
+      OracleResult verdict = oracle(candidate);
+      ++result.trials;
+      if (!verdict.passed && verdict.invariant == invariant) {
+        result.plan = candidate;
+        result.failure = verdict;
+        ++result.steps;
+        progressed = true;
+        break;  // restart candidate generation from the smaller plan
+      }
+    }
+  }
+  return result;
+}
+
+ShrinkResult shrink_plan(const ChaosPlan& plan, const OracleOptions& options) {
+  return shrink_plan(plan, [&options](const ChaosPlan& candidate) {
+    return run_oracle(candidate, options);
+  });
+}
+
+}  // namespace fedcav::chaos

@@ -1,0 +1,39 @@
+// Greedy plan minimizer: given a plan the oracle rejects, repeatedly
+// try simpler candidate plans (zero an axis, halve a probability, drop
+// a crash window, shrink the run) and keep any candidate that still
+// fails with the SAME invariant. Runs to a fixed point, so the result
+// is locally minimal: no single simplification step preserves the
+// failure. Deterministic — candidates are generated and tested in a
+// fixed order — so a minimized reproducer is stable across machines.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "src/chaos/oracle.hpp"
+#include "src/chaos/plan.hpp"
+
+namespace fedcav::chaos {
+
+struct ShrinkResult {
+  ChaosPlan plan;          // the minimized plan (== input if nothing shrank)
+  OracleResult failure;    // the oracle's verdict on `plan`
+  std::size_t steps = 0;   // accepted simplification steps
+  std::size_t trials = 0;  // oracle runs spent shrinking
+};
+
+/// Any plan → verdict function; the search uses run_oracle, tests plug
+/// in synthetic predicates to pin the minimizer's behavior.
+using OracleFn = std::function<OracleResult(const ChaosPlan&)>;
+
+/// Minimize `plan`, which must fail `oracle` (throws fedcav::Error if
+/// it passes — there is nothing to shrink). Keeps only candidates
+/// failing with the same invariant name, so the reproducer still
+/// witnesses the original bug, not a different one uncovered on the
+/// way down.
+ShrinkResult shrink_plan(const ChaosPlan& plan, const OracleFn& oracle);
+
+/// Convenience overload over run_oracle(plan, options).
+ShrinkResult shrink_plan(const ChaosPlan& plan, const OracleOptions& options = {});
+
+}  // namespace fedcav::chaos

@@ -32,24 +32,41 @@ void FaultPlan::validate(std::size_t num_endpoints) const {
   }
 }
 
+namespace {
+
+/// Whole-field non-negative integer parse. std::stoull would silently
+/// accept trailing junk ("5x" -> 5) and wrap negatives into huge ranks;
+/// parse_int consumes the full string and keeps the sign visible.
+std::size_t parse_crash_field(const std::string& field, const std::string& entry) {
+  try {
+    const long long v = parse_int(trim(field));
+    FEDCAV_REQUIRE(v >= 0, "parse_crash_spec: negative value in '" + entry + "'");
+    return static_cast<std::size_t>(v);
+  } catch (const Error&) {
+    throw Error("parse_crash_spec: bad number in '" + entry + "'");
+  }
+}
+
+}  // namespace
+
 std::vector<CrashWindow> parse_crash_spec(const std::string& spec) {
   std::vector<CrashWindow> windows;
-  if (spec.empty()) return windows;
+  if (trim(spec).empty()) return windows;
   for (const std::string& entry : split(spec, ',')) {
-    const auto colon = entry.find(':');
-    const auto dash = entry.find('-', colon == std::string::npos ? 0 : colon + 1);
-    FEDCAV_REQUIRE(colon != std::string::npos && dash != std::string::npos,
+    const std::vector<std::string> rank_rounds = split(entry, ':');
+    FEDCAV_REQUIRE(rank_rounds.size() == 2,
                    "parse_crash_spec: expected rank:first-last, got '" + entry + "'");
-    try {
-      CrashWindow w;
-      w.rank = static_cast<std::size_t>(std::stoull(entry.substr(0, colon)));
-      w.first_round =
-          static_cast<std::size_t>(std::stoull(entry.substr(colon + 1, dash - colon - 1)));
-      w.last_round = static_cast<std::size_t>(std::stoull(entry.substr(dash + 1)));
-      windows.push_back(w);
-    } catch (const std::exception&) {
-      throw Error("parse_crash_spec: bad number in '" + entry + "'");
-    }
+    const std::vector<std::string> rounds = split(rank_rounds[1], '-');
+    FEDCAV_REQUIRE(rounds.size() == 2,
+                   "parse_crash_spec: expected rank:first-last, got '" + entry + "'");
+    CrashWindow w;
+    w.rank = parse_crash_field(rank_rounds[0], entry);
+    w.first_round = parse_crash_field(rounds[0], entry);
+    w.last_round = parse_crash_field(rounds[1], entry);
+    FEDCAV_REQUIRE(w.first_round >= 1 && w.first_round <= w.last_round,
+                   "parse_crash_spec: malformed window in '" + entry +
+                       "' (need 1 <= first <= last)");
+    windows.push_back(w);
   }
   return windows;
 }

@@ -30,6 +30,8 @@ struct CrashWindow {
   std::size_t rank = 0;
   std::size_t first_round = 1;
   std::size_t last_round = 1;
+
+  bool operator==(const CrashWindow&) const = default;
 };
 
 struct FaultPlan {
@@ -64,6 +66,8 @@ struct FaultPlan {
   /// jitter is negative, or a crash window is malformed or names a rank
   /// outside [0, num_endpoints).
   void validate(std::size_t num_endpoints) const;
+
+  bool operator==(const FaultPlan&) const = default;
 };
 
 /// Cumulative fabric-wide fault accounting. Conservation invariant the

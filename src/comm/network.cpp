@@ -235,7 +235,7 @@ std::size_t InMemoryNetwork::pending_messages() const {
   return n;
 }
 
-void InMemoryNetwork::save_state(ByteBuffer& buf) const {
+void InMemoryNetwork::save_state(ByteBuffer& buf, bool with_stats) const {
   std::lock_guard<std::mutex> lock(mutex_);
   write_u64(buf, current_round_);
   write_u64(buf, config_.num_endpoints);
@@ -249,9 +249,28 @@ void InMemoryNetwork::save_state(ByteBuffer& buf) const {
       buf.insert(buf.end(), q.wire.begin(), q.wire.end());
     }
   }
+  if (!with_stats) return;  // legacy v3 layout stops here
+  // v4: the accounting travels with the queues it describes. Without it
+  // a resumed fabric reports pending messages that were never "sent",
+  // violating sent + duplicated == delivered + dropped + crash_dropped
+  // + pending for the rest of the run.
+  write_u64(buf, link_stats_.size());
+  for (const TrafficStats& s : link_stats_) {
+    write_u64(buf, s.messages_sent);
+    write_u64(buf, s.bytes_sent);
+    write_f64(buf, s.simulated_seconds);
+  }
+  write_u64(buf, fault_stats_.dropped);
+  write_u64(buf, fault_stats_.crash_dropped);
+  write_u64(buf, fault_stats_.duplicated);
+  write_u64(buf, fault_stats_.reordered);
+  write_u64(buf, fault_stats_.corrupted);
+  write_u64(buf, fault_stats_.truncated);
+  write_u64(buf, fault_stats_.delivered);
+  write_f64(buf, fault_stats_.jitter_seconds);
 }
 
-void InMemoryNetwork::load_state(ByteReader& reader) {
+void InMemoryNetwork::load_state(ByteReader& reader, bool with_stats) {
   std::lock_guard<std::mutex> lock(mutex_);
   current_round_ = reader.read_u64();
   const std::uint64_t endpoints = reader.read_u64();
@@ -276,6 +295,23 @@ void InMemoryNetwork::load_state(ByteReader& reader) {
       inbox.push_back(std::move(q));
     }
   }
+  if (!with_stats) return;  // v3 file: accounting starts over from zero
+  const std::uint64_t links = reader.read_u64();
+  FEDCAV_REQUIRE(links == link_stats_.size(),
+                 "InMemoryNetwork::load_state: link stats count mismatch");
+  for (TrafficStats& s : link_stats_) {
+    s.messages_sent = reader.read_u64();
+    s.bytes_sent = reader.read_u64();
+    s.simulated_seconds = reader.read_f64();
+  }
+  fault_stats_.dropped = reader.read_u64();
+  fault_stats_.crash_dropped = reader.read_u64();
+  fault_stats_.duplicated = reader.read_u64();
+  fault_stats_.reordered = reader.read_u64();
+  fault_stats_.corrupted = reader.read_u64();
+  fault_stats_.truncated = reader.read_u64();
+  fault_stats_.delivered = reader.read_u64();
+  fault_stats_.jitter_seconds = reader.read_f64();
 }
 
 }  // namespace fedcav::comm

@@ -21,10 +21,22 @@ constexpr std::size_t kServerRank = 0;
 // Checkpoint formats. v1 (PR 2) carried only the round counter and the
 // global weights; v2 adds everything needed for bit-identical resume;
 // v3 appends the comm fabric's fault-RNG streams and in-flight
-// messages so chaos runs also resume bit-identically.
+// messages so chaos runs also resume bit-identically; v4 additionally
+// embeds the fabric's traffic/fault accounting so the conservation
+// invariant survives a resume (v3 zeroed it, which the chaos search
+// caught — see tests/chaos_seeds/resume_stats_conservation.plan).
 constexpr std::uint64_t kCheckpointMagicV1 = 0xfedca5c4ec9017ULL;
 constexpr std::uint64_t kCheckpointMagicV2 = 0xfedca5c4ec9018ULL;
 constexpr std::uint64_t kCheckpointMagicV3 = 0xfedca5c4ec9019ULL;
+constexpr std::uint64_t kCheckpointMagicV4 = 0xfedca5c4ec901aULL;
+
+std::uint64_t checkpoint_magic(int version) {
+  switch (version) {
+    case 2: return kCheckpointMagicV2;
+    case 3: return kCheckpointMagicV3;
+    default: return kCheckpointMagicV4;
+  }
+}
 
 /// Attributes a scope's wall time to one RoundPhases field and mirrors
 /// it as a "round.phase" trace span. The Stopwatch is unconditional
@@ -99,6 +111,13 @@ void Server::set_adversary(std::shared_ptr<attack::Adversary> adversary,
                            std::set<std::size_t> attack_rounds) {
   adversary_ = std::move(adversary);
   attack_rounds_ = std::move(attack_rounds);
+}
+
+void Server::set_strategy(std::unique_ptr<AggregationStrategy> strategy) {
+  FEDCAV_REQUIRE(strategy != nullptr, "Server::set_strategy: null strategy");
+  strategy_ = std::move(strategy);
+  effective_local_ = config_.local;
+  strategy_->apply_local_overrides(effective_local_);
 }
 
 void Server::set_global_weights(nn::Weights weights) {
@@ -348,10 +367,10 @@ void Server::set_lr_schedule(std::unique_ptr<nn::LrSchedule> schedule) {
 }
 
 void Server::save_checkpoint(const std::string& path, int version) const {
-  FEDCAV_REQUIRE(version == 2 || version == 3,
+  FEDCAV_REQUIRE(version >= 2 && version <= 4,
                  "save_checkpoint: unsupported version requested");
   ByteBuffer buf;
-  write_u64(buf, version == 3 ? kCheckpointMagicV3 : kCheckpointMagicV2);
+  write_u64(buf, checkpoint_magic(version));
   write_u64(buf, round_);
   write_f32_span(buf, global_weights_);
   // The reverse target w_{t-1}: without it a resumed run that trips the
@@ -364,11 +383,13 @@ void Server::save_checkpoint(const std::string& path, int version) const {
   write_rng_state(buf, straggler_rng_.state());
   write_u64(buf, clients_.size());
   for (const auto& client : clients_) client->save_state(buf);
-  if (version == 3) {
-    // Fabric state: fault-RNG streams + in-flight wire images, so a
-    // resumed chaos run replays the exact same fault sequence.
+  if (version >= 3) {
+    // Fabric state: fault-RNG streams + in-flight wire images (and,
+    // from v4, the traffic/fault accounting), so a resumed chaos run
+    // replays the exact same fault sequence with its conservation
+    // invariant intact.
     write_u8(buf, network_ != nullptr ? 1 : 0);
-    if (network_ != nullptr) network_->save_state(buf);
+    if (network_ != nullptr) network_->save_state(buf, /*with_stats=*/version >= 4);
   }
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -400,7 +421,8 @@ void Server::load_checkpoint(const std::string& path) {
     return;
   }
 
-  FEDCAV_REQUIRE(magic == kCheckpointMagicV2 || magic == kCheckpointMagicV3,
+  FEDCAV_REQUIRE(magic == kCheckpointMagicV2 || magic == kCheckpointMagicV3 ||
+                     magic == kCheckpointMagicV4,
                  "load_checkpoint: bad magic in " + path);
   const std::uint64_t saved_round = reader.read_u64();
   std::vector<float> weights = reader.read_f32_vector();
@@ -419,13 +441,17 @@ void Server::load_checkpoint(const std::string& path) {
   for (auto& client : clients_) {
     client->load_state(reader, global_weights_.size());
   }
-  if (magic == kCheckpointMagicV3) {
+  if (magic == kCheckpointMagicV3 || magic == kCheckpointMagicV4) {
     const bool has_network = reader.read_u8() != 0;
     FEDCAV_REQUIRE(has_network == (network_ != nullptr),
                    "load_checkpoint: network presence mismatch in " + path);
-    if (has_network) network_->load_state(reader);
+    if (has_network) {
+      network_->load_state(reader, /*with_stats=*/magic == kCheckpointMagicV4);
+    }
   }
-  // v2 files load with the fabric left in its freshly-seeded state.
+  // v2 files load with the fabric left in its freshly-seeded state; v3
+  // files restore the queues but restart the traffic/fault accounting
+  // from zero (their layout never carried it).
   FEDCAV_REQUIRE(reader.exhausted(), "load_checkpoint: trailing bytes in " + path);
 
   round_ = saved_round;

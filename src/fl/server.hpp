@@ -119,22 +119,26 @@ class Server {
   /// the cohort-scale bench.
   const nn::ReplicaPool* replica_pool() const { return replica_pool_.get(); }
 
-  /// Serialize the full resumable server state to `path` (binary, v3
+  /// Serialize the full resumable server state to `path` (binary, v4
   /// format by default): round counter, global + cached (reverse-target)
   /// weights, detector reference, sampler state (RNG stream, round-robin
   /// cursor, per-client loss memory), straggler RNG, per-client state
-  /// (batch RNG + FedCurv anchors), and — new in v3 — the comm fabric's
-  /// fault-RNG streams and in-flight messages, so a resumed chaos run
-  /// replays the exact fault sequence. A run resumed from the file is
-  /// bit-identical to one that never stopped. `version` may be 2 to emit
-  /// the legacy fabric-free format (compat testing).
-  void save_checkpoint(const std::string& path, int version = 3) const;
-  /// Restore state from save_checkpoint output. v2 files load with the
-  /// fabric reset to its freshly-seeded state; v1 files (weights + round
-  /// only) also load, with the cached weights falling back to the global
-  /// weights and the detector reference reset. Throws fedcav::Error on
-  /// malformed files or size/client-count mismatch; the server state is
-  /// unspecified after a throw partway through a payload.
+  /// (batch RNG + FedCurv anchors), the comm fabric's fault-RNG streams
+  /// and in-flight messages (v3), and — new in v4 — the fabric's
+  /// traffic/fault accounting, so a resumed chaos run replays the exact
+  /// fault sequence AND keeps the FaultStats conservation invariant. A
+  /// run resumed from the file is bit-identical to one that never
+  /// stopped. `version` may be 2 or 3 to emit the legacy formats
+  /// (compat testing).
+  void save_checkpoint(const std::string& path, int version = 4) const;
+  /// Restore state from save_checkpoint output. v3 files load with the
+  /// fabric's accounting restarted from zero (their layout never carried
+  /// it); v2 files load with the fabric reset to its freshly-seeded
+  /// state; v1 files (weights + round only) also load, with the cached
+  /// weights falling back to the global weights and the detector
+  /// reference reset. Throws fedcav::Error on malformed files or
+  /// size/client-count mismatch; the server state is unspecified after a
+  /// throw partway through a payload.
   void load_checkpoint(const std::string& path);
 
   /// Flush collected telemetry: a chrome://tracing JSON to `trace_path`
@@ -143,6 +147,12 @@ class Server {
   /// totals into gauges first. No-op when telemetry is disabled.
   void write_telemetry(const std::string& trace_path,
                        const std::string& metrics_path) const;
+
+  /// Replace the aggregation strategy (non-null) and re-derive its
+  /// local-training overrides. The chaos oracle uses this to wrap the
+  /// configured strategy in a forced-buffered delegate and prove the
+  /// streaming path bit-identical; call it before the first round.
+  void set_strategy(std::unique_ptr<AggregationStrategy> strategy);
 
   AggregationStrategy& strategy() { return *strategy_; }
   const core::AnomalyDetector& detector() const { return detector_; }

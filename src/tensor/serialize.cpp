@@ -30,6 +30,7 @@ void write_f64(ByteBuffer& buf, double v) {
 
 void write_f32_span(ByteBuffer& buf, std::span<const float> data) {
   write_u64(buf, data.size());
+  if (data.empty()) return;  // memcpy from a null span is UB even at size 0
   const std::size_t offset = buf.size();
   buf.resize(offset + data.size() * sizeof(float));
   std::memcpy(buf.data() + offset, data.data(), data.size() * sizeof(float));
@@ -79,8 +80,11 @@ double ByteReader::read_f64() {
 
 std::vector<float> ByteReader::read_f32_vector() {
   const std::uint64_t n = read_u64();
-  require(n * sizeof(float));
+  // Divide instead of multiplying: a hostile length prefix near 2^64
+  // would wrap n * sizeof(float) back into range and sail past require().
+  FEDCAV_REQUIRE(n <= remaining() / sizeof(float), "ByteReader: truncated message");
   std::vector<float> out(n);
+  if (n == 0) return out;  // out.data() may be null; memcpy(null, ..) is UB
   std::memcpy(out.data(), data_.data() + pos_, n * sizeof(float));
   pos_ += n * sizeof(float);
   return out;

@@ -1,0 +1,97 @@
+// Lightweight property-test harness over fedcav::Rng (the RapidCheck
+// idiom without the dependency): run a property body against many
+// generated cases, derive every case's seed deterministically, and on
+// failure report the exact environment variables that replay just the
+// failing case.
+//
+//   FEDCAV_PROP_CASES=5000  — override the per-property case count
+//   FEDCAV_PROP_SEED=12345  — pin the root seed (failure replay)
+//
+// Usage:
+//   FEDCAV_PROPERTY("envelope round-trip", 1000, [&](Rng& rng) {
+//     const auto env = gen_envelope(rng);
+//     EXPECT_EQ(decode(encode(env)), env);
+//   });
+//
+// The body runs once per case with an Rng seeded splitmix64(root + i).
+// Any gtest failure inside the body aborts the sweep and appends a
+// one-line replay recipe, so a red CI log always names the seed.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "src/utils/rng.hpp"
+
+namespace fedcav::proptest {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+/// Per-property case count: the property's own default unless
+/// FEDCAV_PROP_CASES overrides it globally.
+inline std::uint64_t property_cases(std::uint64_t default_cases) {
+  return env_u64("FEDCAV_PROP_CASES", default_cases);
+}
+
+/// Root seed for the sweep; case i uses splitmix64(root + i).
+inline std::uint64_t property_seed() {
+  return env_u64("FEDCAV_PROP_SEED", 0x5eedf00dULL);
+}
+
+template <typename Body>
+void check_property(const char* name, std::uint64_t default_cases, Body&& body) {
+  const std::uint64_t cases = property_cases(default_cases);
+  const std::uint64_t root = property_seed();
+  for (std::uint64_t i = 0; i < cases; ++i) {
+    std::uint64_t derive = root + i;
+    Rng rng(splitmix64(derive));
+    body(rng);
+    if (::testing::Test::HasFailure()) {
+      GTEST_FAIL() << "property '" << name << "' failed on case " << i << "/"
+                   << cases << "; replay with FEDCAV_PROP_SEED=" << (root + i)
+                   << " FEDCAV_PROP_CASES=1";
+      return;
+    }
+  }
+}
+
+// --- small generator combinators ------------------------------------
+
+/// Length-biased byte buffer: usually short, occasionally near `max`.
+inline std::vector<std::uint8_t> gen_bytes(Rng& rng, std::size_t max) {
+  const std::size_t n = rng.bernoulli(0.1)
+                            ? max - static_cast<std::size_t>(rng.uniform_int(
+                                        std::uint64_t{1} + max / 8))
+                            : static_cast<std::size_t>(rng.uniform_int(max + 1));
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+  return out;
+}
+
+/// Float vector with magnitudes spanning subnormal to large, plus
+/// exact zeros (aggregation algebra must hold across the range).
+inline std::vector<float> gen_floats(Rng& rng, std::size_t max_len) {
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(max_len + 1));
+  std::vector<float> out(n);
+  for (auto& v : out) {
+    switch (rng.uniform_int(std::uint64_t{4})) {
+      case 0: v = 0.0f; break;
+      case 1: v = rng.uniform_f(-1.0f, 1.0f); break;
+      case 2: v = rng.uniform_f(-1e6f, 1e6f); break;
+      default: v = rng.uniform_f(-1e-6f, 1e-6f); break;
+    }
+  }
+  return out;
+}
+
+}  // namespace fedcav::proptest
+
+/// Sugar: FEDCAV_PROPERTY("name", cases, [&](Rng& rng) { ... });
+#define FEDCAV_PROPERTY(name, default_cases, ...) \
+  ::fedcav::proptest::check_property((name), (default_cases), __VA_ARGS__)

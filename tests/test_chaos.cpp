@@ -1,0 +1,279 @@
+// Unit + determinism tests for the chaos-search subsystem (src/chaos):
+// plan text IO, sampler behavior (determinism + concentration on
+// fault-triggering regions), shrinker minimization, oracle verdicts,
+// and the deflake guarantee: a search report is byte-identical for a
+// given (sampler, seed, budget) regardless of thread-pool size.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/chaos/oracle.hpp"
+#include "src/chaos/plan.hpp"
+#include "src/chaos/sampler.hpp"
+#include "src/chaos/search.hpp"
+#include "src/chaos/shrink.hpp"
+#include "src/utils/error.hpp"
+#include "src/utils/logging.hpp"
+#include "src/utils/threadpool.hpp"
+
+namespace fedcav::chaos {
+namespace {
+
+// ------------------------------------------------------------- plan IO
+
+TEST(ChaosPlan, TextRoundTripIsExact) {
+  ChaosPlan plan;
+  plan.faults.seed = 12345;
+  plan.faults.drop_prob = 0.125;
+  plan.faults.duplicate_prob = 0.1;  // not exactly representable; the
+                                     // %.17g format must still round-trip it
+  plan.faults.jitter_s = 0.0375;
+  plan.faults.crashes = {comm::CrashWindow{1, 1, 2}, comm::CrashWindow{3, 2, 2}};
+  plan.num_clients = 7;
+  plan.rounds = 3;
+  plan.sample_ratio = 0.7;
+  plan.checkpoint_round = 2;
+  plan.min_aggregate_clients = 2;
+  plan.max_retries = 5;
+  plan.retry_backoff_s = 0.015;
+  plan.uplink_deadline_s = 2.5;
+  plan.straggler_drop_prob = 1.0 / 3.0;
+
+  const ChaosPlan parsed = ChaosPlan::parse(plan.to_text());
+  EXPECT_EQ(parsed, plan);
+}
+
+TEST(ChaosPlan, ParseToleratesCommentsAndPartialFiles) {
+  const ChaosPlan plan = ChaosPlan::parse(
+      "# a comment\n"
+      "\n"
+      "  seed = 9\n"
+      "duplicate_prob=0.5\n");
+  EXPECT_EQ(plan.faults.seed, 9u);
+  EXPECT_EQ(plan.faults.duplicate_prob, 0.5);
+  EXPECT_EQ(plan.num_clients, ChaosPlan{}.num_clients);  // defaults kept
+}
+
+TEST(ChaosPlan, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)ChaosPlan::parse("no equals sign"), Error);
+  EXPECT_THROW((void)ChaosPlan::parse("unknown_key=1"), Error);
+  EXPECT_THROW((void)ChaosPlan::parse("seed=1\nseed=2"), Error);  // duplicate
+  EXPECT_THROW((void)ChaosPlan::parse("drop_prob=nope"), Error);
+  EXPECT_THROW((void)ChaosPlan::parse("drop_prob=1.5"), Error);   // validate()
+  EXPECT_THROW((void)ChaosPlan::parse("crashes=1:2-3x"), Error);
+  EXPECT_THROW((void)ChaosPlan::parse("num_clients=0"), Error);
+  EXPECT_THROW((void)ChaosPlan::parse("sample_ratio=0"), Error);
+}
+
+TEST(ChaosPlan, FileRoundTrip) {
+  ChaosPlan plan;
+  plan.faults.seed = 4;
+  plan.faults.truncate_prob = 0.25;
+  const std::string path = ::testing::TempDir() + "chaos_plan_roundtrip.plan";
+  save_plan_file(plan, path);
+  EXPECT_EQ(load_plan_file(path), plan);
+  EXPECT_THROW((void)load_plan_file(path + ".missing"), Error);
+}
+
+// ------------------------------------------------------------ sampler
+
+TEST(ChaosSampler, MaterializeCoversEveryAxis) {
+  const ParamSpace space = ParamSpace::protocol_space();
+  // Max levels everywhere: every axis must land in the plan.
+  std::vector<std::size_t> choice;
+  for (const Axis& axis : space.axes) choice.push_back(axis.levels.size() - 1);
+  const ChaosPlan plan = space.materialize(choice, /*fault_seed=*/99);
+  EXPECT_EQ(plan.faults.seed, 99u);
+  EXPECT_GT(plan.faults.drop_prob, 0.0);
+  EXPECT_GT(plan.faults.duplicate_prob, 0.0);
+  EXPECT_GT(plan.faults.reorder_prob, 0.0);
+  EXPECT_GT(plan.faults.corrupt_prob, 0.0);
+  EXPECT_GT(plan.faults.truncate_prob, 0.0);
+  EXPECT_GT(plan.faults.jitter_s, 0.0);
+  EXPECT_EQ(plan.faults.crashes.size(), 2u);
+  EXPECT_GT(plan.straggler_drop_prob, 0.0);
+  EXPECT_GT(plan.min_aggregate_clients, 1u);
+  EXPECT_GT(plan.max_retries, 0u);
+  EXPECT_GT(plan.uplink_deadline_s, 0.0);
+
+  // Malformed choices are rejected, not truncated.
+  EXPECT_THROW((void)space.materialize({}, 1), Error);
+  choice.back() = 1000;
+  EXPECT_THROW((void)space.materialize(choice, 1), Error);
+}
+
+TEST(ChaosSampler, SameSeedSameSequence) {
+  const ParamSpace space = ParamSpace::protocol_space();
+  for (const bool learning : {false, true}) {
+    auto a = learning ? make_learning_sampler(space, 5)
+                      : make_random_sampler(space, 5);
+    auto b = learning ? make_learning_sampler(space, 5)
+                      : make_random_sampler(space, 5);
+    for (int i = 0; i < 50; ++i) {
+      const auto choice = a->next();
+      EXPECT_EQ(choice, b->next());
+      // Identical feedback keeps the learners in lockstep.
+      a->report(choice, i % 3 == 0);
+      b->report(choice, i % 3 == 0);
+    }
+  }
+}
+
+TEST(ChaosSampler, LearningSamplerConcentratesOnTriggeringRegion) {
+  // Synthetic trigger predicate: only drop_prob's last level triggers.
+  // The epsilon-greedy sampler must spend most of its drop_prob trials
+  // there; the random sampler stays near uniform (1/4 of trials).
+  const ParamSpace space = ParamSpace::protocol_space();
+  const std::size_t kTrials = 400;
+  const std::size_t drop_axis = 0;
+  ASSERT_EQ(space.axes[drop_axis].name, "drop_prob");
+  const std::size_t hot_level = space.axes[drop_axis].levels.size() - 1;
+
+  const auto run = [&](std::unique_ptr<Sampler> sampler) {
+    for (std::size_t i = 0; i < kTrials; ++i) {
+      const auto choice = sampler->next();
+      sampler->report(choice, choice[drop_axis] == hot_level);
+    }
+    return sampler->tallies()[drop_axis].trials[hot_level];
+  };
+
+  const std::uint64_t learned = run(make_learning_sampler(space, 7));
+  const std::uint64_t random = run(make_random_sampler(space, 7));
+  EXPECT_GT(learned, kTrials / 2);
+  EXPECT_LT(random, kTrials / 2);
+}
+
+// ------------------------------------------------------------- oracle
+
+TEST(ChaosOracle, CleanPlanPassesWithoutTriggering) {
+  set_log_level(LogLevel::kError);
+  ChaosPlan plan;  // inert faults, permissive protocol
+  plan.faults.seed = 1;
+  const OracleResult result = run_oracle(plan);
+  EXPECT_TRUE(result.passed) << result.invariant << ": " << result.detail;
+  EXPECT_FALSE(result.triggered);
+}
+
+TEST(ChaosOracle, FaultyPlanPassesAndTriggers) {
+  set_log_level(LogLevel::kError);
+  ChaosPlan plan;
+  plan.faults.seed = 31;
+  plan.faults.drop_prob = 0.3;
+  plan.faults.duplicate_prob = 0.3;
+  const OracleResult result = run_oracle(plan);
+  EXPECT_TRUE(result.passed) << result.invariant << ": " << result.detail;
+  EXPECT_TRUE(result.triggered);
+}
+
+// ------------------------------------------------------------ shrinker
+
+TEST(ChaosShrink, RefusesPassingPlans) {
+  const OracleFn always_pass = [](const ChaosPlan&) { return OracleResult{}; };
+  ChaosPlan plan;
+  plan.faults.seed = 1;
+  EXPECT_THROW((void)shrink_plan(plan, always_pass), Error);
+}
+
+TEST(ChaosShrink, MinimizesToTheFailurePreservingCore) {
+  // Synthetic bug: any plan with drop_prob > 0 fails invariant "synth".
+  // Starting from a kitchen-sink plan, the minimizer must strip every
+  // other axis and keep only a (halved-down) drop probability.
+  const OracleFn synthetic = [](const ChaosPlan& p) {
+    OracleResult r;
+    if (p.faults.drop_prob > 0.0) {
+      r.passed = false;
+      r.triggered = true;
+      r.invariant = "synth";
+    }
+    return r;
+  };
+
+  ChaosPlan plan;
+  plan.faults.seed = 13;
+  plan.faults.drop_prob = 0.5;
+  plan.faults.duplicate_prob = 0.5;
+  plan.faults.reorder_prob = 0.5;
+  plan.faults.corrupt_prob = 0.2;
+  plan.faults.truncate_prob = 0.2;
+  plan.faults.jitter_s = 0.1;
+  plan.faults.crashes = {comm::CrashWindow{1, 1, 1}, comm::CrashWindow{2, 1, 2}};
+  plan.straggler_drop_prob = 0.7;
+  plan.min_aggregate_clients = 3;
+  plan.max_retries = 3;
+  plan.uplink_deadline_s = 5.0;
+  plan.rounds = 4;
+
+  const ShrinkResult result = shrink_plan(plan, synthetic);
+  EXPECT_FALSE(result.failure.passed);
+  EXPECT_EQ(result.failure.invariant, "synth");
+  EXPECT_GT(result.steps, 0u);
+  // Everything irrelevant is gone...
+  EXPECT_EQ(result.plan.faults.duplicate_prob, 0.0);
+  EXPECT_EQ(result.plan.faults.reorder_prob, 0.0);
+  EXPECT_EQ(result.plan.faults.corrupt_prob, 0.0);
+  EXPECT_EQ(result.plan.faults.truncate_prob, 0.0);
+  EXPECT_EQ(result.plan.faults.jitter_s, 0.0);
+  EXPECT_TRUE(result.plan.faults.crashes.empty());
+  EXPECT_EQ(result.plan.straggler_drop_prob, 0.0);
+  EXPECT_EQ(result.plan.min_aggregate_clients, 1u);
+  EXPECT_EQ(result.plan.max_retries, 0u);
+  EXPECT_EQ(result.plan.uplink_deadline_s, 0.0);
+  // ...while the failing axis survives, pushed to the halving floor.
+  EXPECT_GT(result.plan.faults.drop_prob, 0.0);
+  EXPECT_LE(result.plan.faults.drop_prob, 2e-3);
+  // Local minimality: no single candidate step still fails.
+  for (const double drop : {0.0}) {
+    ChaosPlan zeroed = result.plan;
+    zeroed.faults.drop_prob = drop;
+    EXPECT_TRUE(synthetic(zeroed).passed);
+  }
+  // The minimized plan is a committable reproducer.
+  EXPECT_EQ(ChaosPlan::parse(result.plan.to_text()), result.plan);
+}
+
+// ------------------------------------------------------- search driver
+
+TEST(ChaosSearch, ReportIsBitReproducibleAcrossThreadPoolSizes) {
+  set_log_level(LogLevel::kError);
+  // The deflake guarantee: (sampler seed, budget) fully determines the
+  // search, with any pool size driving the federated rounds.
+  SearchConfig config;
+  config.budget = 6;
+  config.seed = 3;
+  config.minimize = false;
+  config.oracle.check_streaming_parity = false;
+
+  ThreadPool one(1);
+  ThreadPool four(4);
+  config.oracle.pool = &one;
+  const std::string report1 = run_search(config).to_string();
+  config.oracle.pool = &four;
+  const std::string report4 = run_search(config).to_string();
+  EXPECT_EQ(report1, report4) << "chaos search leaked thread-order dependence";
+}
+
+TEST(ChaosSearch, RandomAndLearningSamplersBothExploreTheBudget) {
+  set_log_level(LogLevel::kError);
+  for (const bool learning : {false, true}) {
+    SearchConfig config;
+    config.budget = 5;
+    config.seed = 11;
+    config.learning = learning;
+    config.minimize = false;
+    config.oracle.check_streaming_parity = false;
+    config.oracle.check_resume = false;
+    const SearchReport report = run_search(config);
+    EXPECT_EQ(report.explored, 5u);
+    EXPECT_TRUE(report.ok())
+        << "unexpected invariant violation:\n" << report.to_string();
+    // Tallies account for every trial on every axis.
+    for (const AxisTally& tally : report.tallies) {
+      std::uint64_t total = 0;
+      for (const std::uint64_t t : tally.trials) total += t;
+      EXPECT_EQ(total, 5u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedcav::chaos

@@ -13,11 +13,14 @@
 //     global model carried forward unchanged.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 #include <sstream>
 #include <vector>
 
 #include "src/fl/simulation.hpp"
+#include "src/utils/error.hpp"
 #include "src/utils/logging.hpp"
 #include "src/utils/threadpool.hpp"
 
@@ -336,6 +339,219 @@ TEST(Chaos, CrashedClientsRejoinAndTrainingRecovers) {
   EXPECT_FALSE(records[2].skipped);
   EXPECT_GT(sim.server->network()->fault_stats().crash_dropped, 0u);
   expect_conservation(*sim.server);
+}
+
+// ------------------------------------------------- FaultPlan edge values
+// Each fault axis at exactly 0.0 and exactly 1.0, straight against the
+// fabric (no server loop), so the per-axis semantics are pinned at the
+// boundaries the chaos sampler's grid touches.
+
+void expect_fabric_conservation(const comm::InMemoryNetwork& net) {
+  const comm::FaultStats f = net.fault_stats();
+  EXPECT_EQ(net.total_stats().messages_sent + f.duplicated,
+            f.delivered + f.dropped + f.crash_dropped + net.pending_messages());
+}
+
+std::unique_ptr<comm::InMemoryNetwork> edge_fabric(const comm::FaultPlan& faults,
+                                                   std::size_t endpoints = 2) {
+  comm::NetworkConfig config;
+  config.num_endpoints = endpoints;
+  config.faults = faults;
+  auto net = std::make_unique<comm::InMemoryNetwork>(config);
+  net->begin_round(1);
+  return net;
+}
+
+comm::Envelope edge_envelope(std::uint8_t fill = 0x5a) {
+  comm::Envelope env;
+  env.type = comm::MessageType::kControl;
+  env.payload.assign(24, fill);
+  return env;
+}
+
+TEST(FaultEdges, DropProbOneLosesEveryMessage) {
+  comm::FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_prob = 1.0;
+  const auto net = edge_fabric(plan);
+  for (int i = 0; i < 10; ++i) net->send(0, 1, edge_envelope());
+  EXPECT_FALSE(net->try_recv_wire(1, 0).has_value());
+  EXPECT_EQ(net->fault_stats().dropped, 10u);
+  EXPECT_EQ(net->pending_messages(), 0u);
+  expect_fabric_conservation(*net);
+}
+
+TEST(FaultEdges, DropProbZeroWithOtherAxesActiveLosesNothing) {
+  comm::FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_prob = 0.0;
+  plan.duplicate_prob = 1.0;  // keeps the fault path armed
+  const auto net = edge_fabric(plan);
+  for (int i = 0; i < 10; ++i) net->send(0, 1, edge_envelope());
+  EXPECT_EQ(net->fault_stats().dropped, 0u);
+  EXPECT_EQ(net->fault_stats().duplicated, 10u);
+  EXPECT_EQ(net->pending_messages(), 20u);
+  expect_fabric_conservation(*net);
+}
+
+TEST(FaultEdges, DuplicateProbOneDeliversEveryMessageTwice) {
+  comm::FaultPlan plan;
+  plan.seed = 3;
+  plan.duplicate_prob = 1.0;
+  const auto net = edge_fabric(plan);
+  const comm::Envelope env = edge_envelope();
+  net->send(0, 1, env);
+  const auto first = net->try_recv_wire(1, 0);
+  const auto second = net->try_recv_wire(1, 0);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*first, *second);  // the duplicate is a byte-exact stale copy
+  EXPECT_EQ(*first, env.encode());
+  EXPECT_FALSE(net->try_recv_wire(1, 0).has_value());
+  expect_fabric_conservation(*net);
+}
+
+TEST(FaultEdges, CorruptProbOneDamagesEveryFrameDetectably) {
+  comm::FaultPlan plan;
+  plan.seed = 11;
+  plan.corrupt_prob = 1.0;
+  const auto net = edge_fabric(plan);
+  const ByteBuffer clean = edge_envelope().encode();
+  for (int i = 0; i < 10; ++i) {
+    net->send(0, 1, edge_envelope());
+    const auto wire = net->try_recv_wire(1, 0);
+    ASSERT_TRUE(wire.has_value());
+    EXPECT_NE(*wire, clean);
+    // One flipped bit is a burst shorter than the CRC width: always caught.
+    EXPECT_FALSE(comm::Envelope::try_decode(*wire).has_value());
+  }
+  EXPECT_EQ(net->fault_stats().corrupted, 10u);
+}
+
+TEST(FaultEdges, TruncateProbOneCutsEveryFrameToAStrictPrefix) {
+  comm::FaultPlan plan;
+  plan.seed = 13;
+  plan.truncate_prob = 1.0;
+  const auto net = edge_fabric(plan);
+  const ByteBuffer clean = edge_envelope().encode();
+  for (int i = 0; i < 10; ++i) {
+    net->send(0, 1, edge_envelope());
+    const auto wire = net->try_recv_wire(1, 0);
+    ASSERT_TRUE(wire.has_value());
+    ASSERT_LT(wire->size(), clean.size());
+    EXPECT_TRUE(std::equal(wire->begin(), wire->end(), clean.begin()));
+    EXPECT_FALSE(comm::Envelope::try_decode(*wire).has_value());
+  }
+  EXPECT_EQ(net->fault_stats().truncated, 10u);
+}
+
+TEST(FaultEdges, ReorderProbOneLetsEachMessageOvertakeItsPredecessor) {
+  comm::FaultPlan plan;
+  plan.seed = 17;
+  plan.reorder_prob = 1.0;
+  const auto net = edge_fabric(plan);
+  net->send(0, 1, edge_envelope(0x01));
+  net->send(0, 1, edge_envelope(0x02));
+  const auto first = net->try_recv_wire(1, 0);
+  const auto second = net->try_recv_wire(1, 0);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*first, edge_envelope(0x02).encode());
+  EXPECT_EQ(*second, edge_envelope(0x01).encode());
+  EXPECT_EQ(net->fault_stats().reordered, 1u);
+}
+
+TEST(FaultEdges, ZeroJitterAddsNoSimulatedTime) {
+  comm::FaultPlan plan;
+  plan.seed = 19;
+  plan.jitter_s = 0.0;
+  plan.duplicate_prob = 1.0;  // arm the fault path without jitter
+  comm::NetworkConfig config;
+  config.num_endpoints = 2;
+  config.faults = plan;
+  comm::InMemoryNetwork net(config);
+  net.begin_round(1);
+  const comm::Envelope env = edge_envelope();
+  net.send(0, 1, env);
+  EXPECT_EQ(net.fault_stats().jitter_seconds, 0.0);
+  // Exactly the latency + bytes/bandwidth model, nothing extra.
+  const double expected =
+      config.latency_s + static_cast<double>(env.encode().size()) /
+                             config.bandwidth_bytes_per_s;
+  EXPECT_DOUBLE_EQ(net.stats(0).simulated_seconds, expected);
+}
+
+TEST(FaultEdges, EmptyCrashSpecAndWindowsAreInert) {
+  EXPECT_TRUE(comm::parse_crash_spec("").empty());
+  EXPECT_TRUE(comm::parse_crash_spec("   ").empty());
+  comm::FaultPlan plan;
+  plan.seed = 23;
+  plan.crashes = {};
+  EXPECT_FALSE(plan.enabled());  // no crashes, all probs zero: inert
+  for (std::size_t rank = 0; rank < 4; ++rank) {
+    EXPECT_FALSE(plan.offline(rank, 1));
+  }
+}
+
+TEST(FaultEdges, ParseCrashSpecAcceptsWellFormedSchedules) {
+  const auto windows = comm::parse_crash_spec("3:2-5, 7:1-1");
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].rank, 3u);
+  EXPECT_EQ(windows[0].first_round, 2u);
+  EXPECT_EQ(windows[0].last_round, 5u);
+  EXPECT_EQ(windows[1].rank, 7u);
+  EXPECT_EQ(windows[1].first_round, 1u);
+  EXPECT_EQ(windows[1].last_round, 1u);
+}
+
+TEST(FaultEdges, ParseCrashSpecRejectsMalformedInput) {
+  const char* malformed[] = {
+      "1",           // no rounds at all
+      "1:2",         // no last round
+      "1:2-",        // empty last round
+      ":2-3",        // empty rank
+      "x:2-3",       // non-numeric rank
+      "1:2-3x",      // trailing junk after a number
+      "1:2-3-4",     // too many round separators
+      "1:2:3-4",     // too many rank separators
+      "1:3-2",       // first > last
+      "1:0-2",       // rounds are 1-based
+      "-1:1-2",      // negative rank
+      "1:2-3,,4:5-6" // empty entry in a list
+  };
+  for (const char* spec : malformed) {
+    EXPECT_THROW((void)comm::parse_crash_spec(spec), Error) << "spec: " << spec;
+  }
+}
+
+TEST(FaultEdges, ValidateRejectsOutOfRangePlans) {
+  const auto expect_invalid = [](auto&& mutate) {
+    comm::FaultPlan plan;
+    plan.seed = 1;
+    mutate(plan);
+    EXPECT_THROW(plan.validate(4), Error);
+  };
+  expect_invalid([](comm::FaultPlan& p) { p.drop_prob = -0.1; });
+  expect_invalid([](comm::FaultPlan& p) { p.drop_prob = 1.1; });
+  expect_invalid([](comm::FaultPlan& p) { p.duplicate_prob = 2.0; });
+  expect_invalid([](comm::FaultPlan& p) { p.jitter_s = -1.0; });
+  expect_invalid([](comm::FaultPlan& p) {
+    p.crashes = {comm::CrashWindow{/*rank=*/4, 1, 1}};  // rank out of range
+  });
+  expect_invalid([](comm::FaultPlan& p) {
+    p.crashes = {comm::CrashWindow{1, /*first=*/3, /*last=*/2}};
+  });
+
+  // The boundaries themselves are legal.
+  comm::FaultPlan boundary;
+  boundary.seed = 1;
+  boundary.drop_prob = 1.0;
+  boundary.duplicate_prob = 0.0;
+  boundary.corrupt_prob = 1.0;
+  boundary.truncate_prob = 0.0;
+  boundary.reorder_prob = 1.0;
+  boundary.jitter_s = 0.0;
+  EXPECT_NO_THROW(boundary.validate(2));
 }
 
 }  // namespace

@@ -1,0 +1,227 @@
+// Property suite for aggregation algebra, top-k sparsification, and the
+// fabric's state serialization. Mass-generated cases (tests/property.hpp;
+// FEDCAV_PROP_CASES / FEDCAV_PROP_SEED) pin:
+//   * streaming (incremental) aggregation is bit-identical to one-shot
+//     aggregate() for every strategy and every random cohort;
+//   * aggregation weights form a convex combination and are invariant
+//     to uniform sample-count scaling;
+//   * top-k compression round-trips, ties break deterministically to
+//     the lowest index, and add_sparse matches dense reconstruction;
+//   * InMemoryNetwork::save_state/load_state round-trips in-flight
+//     traffic AND the traffic/fault accounting (the checkpoint-v4
+//     regression surface).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "src/comm/compression.hpp"
+#include "src/comm/network.hpp"
+#include "src/fl/strategy.hpp"
+#include "property.hpp"
+
+namespace fedcav {
+namespace {
+
+using proptest::gen_floats;
+
+const char* kStrategies[] = {"fedavg", "fedprox", "fedcav", "fedcav-noclip",
+                             "median"};
+
+fl::ClientUpdate gen_update(Rng& rng, std::size_t id, std::size_t dim) {
+  fl::ClientUpdate u;
+  u.client_id = id;
+  u.num_samples = 1 + static_cast<std::size_t>(rng.uniform_int(std::uint64_t{200}));
+  u.inference_loss = rng.uniform(0.01, 10.0);
+  u.weights.resize(dim);
+  for (auto& w : u.weights) w = rng.uniform_f(-2.0f, 2.0f);
+  return u;
+}
+
+std::vector<fl::ClientUpdate> gen_cohort(Rng& rng, std::size_t n, std::size_t dim) {
+  std::vector<fl::ClientUpdate> cohort;
+  cohort.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) cohort.push_back(gen_update(rng, i, dim));
+  return cohort;
+}
+
+std::vector<fl::ClientUpdate> scalars_only(const std::vector<fl::ClientUpdate>& updates) {
+  std::vector<fl::ClientUpdate> meta = updates;
+  for (auto& m : meta) m.weights.clear();
+  return meta;
+}
+
+bool bits_equal(const nn::Weights& a, const nn::Weights& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+TEST(PropertyAgg, IncrementalMatchesOneShotBitwise) {
+  FEDCAV_PROPERTY("incremental == one-shot", 1000, [](Rng& rng) {
+    const std::size_t dim = 1 + static_cast<std::size_t>(rng.uniform_int(std::uint64_t{24}));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(std::uint64_t{6}));
+    const char* name = kStrategies[rng.uniform_int(std::uint64_t{5})];
+    std::vector<float> global(dim);
+    for (auto& v : global) v = rng.uniform_f(-1.0f, 1.0f);
+    const std::vector<fl::ClientUpdate> updates = gen_cohort(rng, n, dim);
+
+    auto one_shot = fl::make_strategy(name);
+    auto incremental = fl::make_strategy(name);
+    const nn::Weights direct = one_shot->aggregate(global, updates);
+    incremental->begin_aggregation(global, scalars_only(updates));
+    for (const auto& u : updates) incremental->accumulate(u);
+    const nn::Weights streamed = incremental->finish_aggregation();
+    EXPECT_TRUE(bits_equal(direct, streamed)) << "strategy " << name;
+  });
+}
+
+TEST(PropertyAgg, AggregationWeightsAreConvexAndScaleInvariant) {
+  FEDCAV_PROPERTY("gamma convex + scale-invariant", 1000, [](Rng& rng) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(std::uint64_t{6}));
+    // FedProx/median delegate to sample-count weights too; FedCav's γ
+    // mixes in the inference losses. All must be a convex combination.
+    const char* name = kStrategies[rng.uniform_int(std::uint64_t{5})];
+    const std::vector<fl::ClientUpdate> updates = gen_cohort(rng, n, 4);
+    const auto strategy = fl::make_strategy(name);
+    const std::vector<double> gamma = strategy->aggregation_weights(updates);
+    ASSERT_EQ(gamma.size(), updates.size());
+    double sum = 0.0;
+    for (double g : gamma) {
+      EXPECT_GE(g, 0.0);
+      sum += g;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+
+    // Scaling every sample count by the same factor must not move γ.
+    std::vector<fl::ClientUpdate> scaled = updates;
+    const std::size_t factor = 2 + static_cast<std::size_t>(rng.uniform_int(std::uint64_t{8}));
+    for (auto& u : scaled) u.num_samples *= factor;
+    const std::vector<double> gamma2 = strategy->aggregation_weights(scaled);
+    for (std::size_t i = 0; i < gamma.size(); ++i) {
+      EXPECT_NEAR(gamma[i], gamma2[i], 1e-9) << "strategy " << name;
+    }
+  });
+}
+
+TEST(PropertyAgg, TopKRoundTripAndDeterministicTieBreak) {
+  FEDCAV_PROPERTY("top-k compress", 1000, [](Rng& rng) {
+    const std::size_t dim = 1 + static_cast<std::size_t>(rng.uniform_int(std::uint64_t{63}));
+    // Draw magnitudes from a tiny value set so ties are the common
+    // case, not a corner case.
+    std::vector<float> dense(dim);
+    const float mags[] = {0.0f, 0.25f, 0.25f, 1.0f, 2.0f};
+    for (auto& v : dense) {
+      v = mags[rng.uniform_int(std::uint64_t{5})] * (rng.bernoulli(0.5) ? 1.0f : -1.0f);
+    }
+    const double ratio = rng.uniform(0.01, 1.0);
+    const comm::SparseDelta sparse = comm::topk_compress(dense, ratio);
+
+    // Reference selection: stable order by (|v| desc, index asc).
+    std::vector<std::uint32_t> order(dim);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      const float ma = std::abs(dense[a]);
+      const float mb = std::abs(dense[b]);
+      if (ma != mb) return ma > mb;
+      return a < b;
+    });
+    order.resize(sparse.indices.size());
+    std::sort(order.begin(), order.end());
+    ASSERT_EQ(sparse.indices, order) << "tie-break must pick the lowest index";
+
+    for (std::size_t i = 0; i < sparse.indices.size(); ++i) {
+      EXPECT_EQ(sparse.values[i], dense[sparse.indices[i]]);
+    }
+
+    // Wire round-trip, exact size, and dense/add_sparse agreement.
+    const ByteBuffer wire = sparse.encode();
+    EXPECT_EQ(wire.size(), sparse.wire_size());
+    ByteReader reader(wire);
+    const comm::SparseDelta decoded = comm::SparseDelta::decode(reader);
+    EXPECT_EQ(decoded.dim, sparse.dim);
+    EXPECT_EQ(decoded.indices, sparse.indices);
+    EXPECT_EQ(decoded.values, sparse.values);
+
+    const std::vector<float> dense_out = comm::decompress(sparse);
+    std::vector<float> accum(dim, 0.0f);
+    comm::add_sparse(accum, sparse);
+    EXPECT_EQ(dense_out, accum);
+    if (ratio == 1.0) EXPECT_EQ(dense_out, dense);
+  });
+}
+
+TEST(PropertyAgg, FullRatioCompressionIsLossless) {
+  FEDCAV_PROPERTY("ratio-1 lossless", 1000, [](Rng& rng) {
+    std::vector<float> dense = gen_floats(rng, 48);
+    if (dense.empty()) dense.push_back(rng.uniform_f(-1.0f, 1.0f));
+    EXPECT_EQ(comm::decompress(comm::topk_compress(dense, 1.0)), dense);
+  });
+}
+
+TEST(PropertyAgg, NetworkStateRoundTripPreservesTrafficAndFaultAccounting) {
+  FEDCAV_PROPERTY("fabric state round-trip", 300, [](Rng& rng) {
+    comm::NetworkConfig config;
+    config.num_endpoints = 2 + static_cast<std::size_t>(rng.uniform_int(std::uint64_t{3}));
+    config.faults.seed = rng.next_u64();
+    config.faults.drop_prob = rng.uniform(0.0, 0.5);
+    config.faults.duplicate_prob = rng.uniform(0.0, 0.5);
+    config.faults.corrupt_prob = rng.uniform(0.0, 0.3);
+    config.faults.jitter_s = rng.uniform(0.0, 0.05);
+    comm::InMemoryNetwork net(config);
+    net.begin_round(1);
+
+    // Random traffic, partially drained, so in-flight messages and
+    // nonzero counters both survive into the snapshot.
+    const std::size_t sends = 1 + static_cast<std::size_t>(rng.uniform_int(std::uint64_t{20}));
+    for (std::size_t i = 0; i < sends; ++i) {
+      const auto src = static_cast<std::size_t>(rng.uniform_int(config.num_endpoints));
+      auto dst = static_cast<std::size_t>(rng.uniform_int(config.num_endpoints));
+      if (dst == src) dst = (dst + 1) % config.num_endpoints;
+      comm::Envelope env;
+      env.type = comm::MessageType::kControl;
+      env.payload = proptest::gen_bytes(rng, 32);
+      net.send(src, dst, env);
+      if (rng.bernoulli(0.4)) (void)net.try_recv_wire(dst, src);
+    }
+
+    ByteBuffer snapshot;
+    net.save_state(snapshot);
+    comm::InMemoryNetwork restored(config);
+    ByteReader reader(snapshot);
+    restored.load_state(reader);
+    EXPECT_TRUE(reader.exhausted());
+
+    EXPECT_EQ(restored.pending_messages(), net.pending_messages());
+    const comm::TrafficStats a = net.total_stats();
+    const comm::TrafficStats b = restored.total_stats();
+    EXPECT_EQ(a.messages_sent, b.messages_sent);
+    EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+    EXPECT_EQ(a.simulated_seconds, b.simulated_seconds);
+    const comm::FaultStats fa = net.fault_stats();
+    const comm::FaultStats fb = restored.fault_stats();
+    EXPECT_EQ(fa.dropped, fb.dropped);
+    EXPECT_EQ(fa.duplicated, fb.duplicated);
+    EXPECT_EQ(fa.corrupted, fb.corrupted);
+    EXPECT_EQ(fa.delivered, fb.delivered);
+    EXPECT_EQ(fa.jitter_seconds, fb.jitter_seconds);
+
+    // The restored fabric must drain byte-identically to the original.
+    for (std::size_t dst = 0; dst < config.num_endpoints; ++dst) {
+      for (std::size_t src = 0; src < config.num_endpoints; ++src) {
+        while (true) {
+          const auto expect = net.try_recv_wire(dst, src);
+          const auto got = restored.try_recv_wire(dst, src);
+          ASSERT_EQ(expect.has_value(), got.has_value());
+          if (!expect.has_value()) break;
+          EXPECT_EQ(*expect, *got);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace fedcav

@@ -1,0 +1,87 @@
+// chaos_search: adaptive search over the fault/protocol parameter space.
+//
+//   chaos_search --budget 200 --seed 1              # learning sampler
+//   chaos_search --sampler random --no-minimize     # uniform baseline
+//   chaos_search --replay tests/chaos_seeds/x.plan  # re-run one plan
+//
+// Explores `budget` ChaosPlans with the chosen sampler, runs each
+// through the invariant oracle, minimizes any failure, and prints the
+// search report (axis concentration + minimized reproducers). A failing
+// plan is written next to the report as chaos_failure_<n>.plan so it
+// can be committed to tests/chaos_seeds/. Exit code: 0 when every plan
+// passed, 1 otherwise.
+#include <cstdio>
+#include <iostream>
+
+#include "src/chaos/search.hpp"
+#include "src/utils/cli.hpp"
+#include "src/utils/logging.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fedcav;
+  CliParser cli("chaos_search",
+                "search the fault/protocol space for invariant violations");
+  cli.add_int("budget", 200, "number of plans to explore");
+  cli.add_int("seed", 1, "search seed (sampler + per-trial fault seeds)");
+  cli.add_string("sampler", "greedy", "sampler: greedy | random");
+  cli.add_flag("minimize", "shrink failing plans to minimal reproducers");
+  cli.add_flag("no-minimize", "keep failing plans as sampled");
+  cli.add_string("replay", "", "replay one .plan file instead of searching");
+  cli.add_flag("no-streaming-check", "skip the streaming-parity invariant");
+  cli.add_flag("no-resume-check", "skip the checkpoint-resume invariant");
+  cli.add_int("threads", 0, "thread-pool workers (0 = process default)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  set_log_level(LogLevel::kWarn);
+
+  chaos::OracleOptions oracle;
+  oracle.check_streaming_parity = !cli.get_flag("no-streaming-check");
+  oracle.check_resume = !cli.get_flag("no-resume-check");
+  std::unique_ptr<ThreadPool> pool;
+  if (cli.get_int("threads") > 0) {
+    pool = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(cli.get_int("threads")));
+    oracle.pool = pool.get();
+  }
+
+  const std::string replay = cli.get_string("replay");
+  if (!replay.empty()) {
+    const chaos::ChaosPlan plan = chaos::load_plan_file(replay);
+    const chaos::OracleResult verdict = chaos::run_oracle(plan, oracle);
+    if (verdict.passed) {
+      std::cout << "PASS " << replay << ": " << plan.describe() << '\n';
+      return 0;
+    }
+    std::cout << "FAIL " << replay << ": invariant=" << verdict.invariant
+              << " detail=" << verdict.detail << '\n'
+              << "  plan: " << plan.describe() << '\n';
+    return 1;
+  }
+
+  chaos::SearchConfig config;
+  config.budget = static_cast<std::size_t>(cli.get_int("budget"));
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const std::string sampler = cli.get_string("sampler");
+  if (sampler == "greedy") {
+    config.learning = true;
+  } else if (sampler == "random") {
+    config.learning = false;
+  } else {
+    std::cerr << "unknown --sampler '" << sampler << "' (greedy | random)\n";
+    return 2;
+  }
+  // --minimize is the default; --no-minimize wins when both are given.
+  config.minimize = !cli.get_flag("no-minimize");
+  config.oracle = oracle;
+
+  const chaos::SearchReport report = chaos::run_search(config);
+  std::cout << report.to_string();
+
+  for (std::size_t i = 0; i < report.failures.size(); ++i) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "chaos_failure_%zu.plan", i);
+    chaos::save_plan_file(report.failures[i].minimized, name);
+    std::cout << "wrote " << name << '\n';
+  }
+  return report.ok() ? 0 : 1;
+}
