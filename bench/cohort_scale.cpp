@@ -50,7 +50,8 @@ struct CohortResult {
   double gauge_agg_peak_bytes = 0.0;
 };
 
-CohortResult run_cohort(std::size_t clients, std::size_t workers) {
+CohortResult run_cohort(std::size_t clients, std::size_t workers,
+                        bool quant_uplink = false) {
   fl::SimulationConfig config;
   config.dataset = "digits";
   config.model = "mlp";
@@ -66,6 +67,13 @@ CohortResult run_cohort(std::size_t clients, std::size_t workers) {
   config.server.local.batch_size = 4;
   config.server.use_network = false;
   config.server.telemetry = true;  // export pool.occupancy / agg.peak_bytes
+  if (quant_uplink) {
+    // Quantized uplink (DESIGN.md §13): the int8 + top-k codec and its
+    // per-client error-feedback residual must not break the O(K × model)
+    // bound — residuals are client state, not round-scoped tensors.
+    config.server.quant = comm::QuantMode::kInt8;
+    config.server.quant_keep = 0.25;
+  }
 
   fl::Simulation sim = fl::build_simulation(config);
   ThreadPool pool(workers);
@@ -123,16 +131,25 @@ int main(int argc, char** argv) {
             : std::vector<std::size_t>{64, 256, 1024};
   const std::size_t workers = 4;
 
-  std::printf("%8s %13s %14s %10s %14s %9s\n", "clients", "participants",
-              "peak MiB", "round ms", "per-client ms", "replicas");
+  std::printf("%8s %13s %14s %10s %14s %9s %7s\n", "clients", "participants",
+              "peak MiB", "round ms", "per-client ms", "replicas", "quant");
   std::vector<CohortResult> results;
   for (std::size_t clients : cohorts) {
     const CohortResult r = run_cohort(clients, workers);
-    std::printf("%8zu %13zu %14.3f %10.1f %14.3f %6zu/%zu\n", r.clients,
+    std::printf("%8zu %13zu %14.3f %10.1f %14.3f %6zu/%zu %7s\n", r.clients,
                 r.participants, static_cast<double>(r.peak_live_bytes) / (1024.0 * 1024.0),
-                r.round_ms, r.per_client_ms, r.pool_replicas, r.pool_max);
+                r.round_ms, r.per_client_ms, r.pool_replicas, r.pool_max, "no");
     results.push_back(r);
   }
+  // One quantized-uplink cohort at the largest size: same bounded-memory
+  // guarantee with the int8 + top-k codec in the aggregation loop.
+  const CohortResult quant_r =
+      run_cohort(cohorts.back(), workers, /*quant_uplink=*/true);
+  std::printf("%8zu %13zu %14.3f %10.1f %14.3f %6zu/%zu %7s\n", quant_r.clients,
+              quant_r.participants,
+              static_cast<double>(quant_r.peak_live_bytes) / (1024.0 * 1024.0),
+              quant_r.round_ms, quant_r.per_client_ms, quant_r.pool_replicas,
+              quant_r.pool_max, "int8");
 
   std::ofstream json(out_path);
   if (!json) {
@@ -140,15 +157,18 @@ int main(int argc, char** argv) {
     return 1;
   }
   json << "[\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const CohortResult& r = results[i];
+  std::vector<CohortResult> all = results;
+  all.push_back(quant_r);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const CohortResult& r = all[i];
     json << "  {\"clients\": " << r.clients << ", \"participants\": " << r.participants
          << ", \"peak_live_bytes\": " << r.peak_live_bytes
          << ", \"round_ms\": " << r.round_ms << ", \"per_client_ms\": " << r.per_client_ms
          << ", \"pool_replicas\": " << r.pool_replicas << ", \"pool_max\": " << r.pool_max
          << ", \"pool_occupancy\": " << r.gauge_pool_occupancy
-         << ", \"agg_peak_bytes\": " << r.gauge_agg_peak_bytes << "}"
-         << (i + 1 < results.size() ? "," : "") << "\n";
+         << ", \"agg_peak_bytes\": " << r.gauge_agg_peak_bytes
+         << ", \"quant_uplink\": " << (i + 1 == all.size() ? "true" : "false") << "}"
+         << (i + 1 < all.size() ? "," : "") << "\n";
   }
   json << "]\n";
   std::printf("wrote %s\n", out_path.c_str());
@@ -158,11 +178,27 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   // Replica gate: the pool must never materialize more than workers + 1
-  // models regardless of cohort size.
-  for (const CohortResult& r : results) {
+  // models regardless of cohort size (quantized uplink included).
+  for (const CohortResult& r : all) {
     if (r.pool_replicas > workers + 1) {
       std::fprintf(stderr, "FAIL: %zu-client round materialized %zu replicas (> %zu)\n",
                    r.clients, r.pool_replicas, workers + 1);
+      ok = false;
+    }
+  }
+  // Quantized-memory gate: the codec must stay streaming — folding int8
+  // reports may not inflate the round's peak tensor bytes beyond 1.5x of
+  // the dense run at the same cohort size.
+  if (Tensor::alloc_stats_enabled()) {
+    const double quant_ratio = static_cast<double>(quant_r.peak_live_bytes) /
+                               static_cast<double>(results.back().peak_live_bytes);
+    std::printf("quantized/dense peak-bytes ratio at %zu clients: %.2fx (gate <= 1.5x)\n",
+                quant_r.clients, quant_ratio);
+    if (quant_ratio > 1.5) {
+      std::fprintf(stderr,
+                   "FAIL: quantized uplink grew peak live bytes %.2fx over the "
+                   "dense round\n",
+                   quant_ratio);
       ok = false;
     }
   }

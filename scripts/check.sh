@@ -4,8 +4,11 @@
 # finally with FEDCAV_SANITIZE=thread (TSan) over the concurrency-heavy
 # suites (thread pool, obs tracer/registry, server rounds, and the
 # fault-injection chaos/golden suites — the retry protocol runs on pool
-# threads, so TSan coverage there is mandatory). Each configuration gets
-# its own build tree so they never thrash one cache.
+# threads, so TSan coverage there is mandatory). The plain build also
+# replays the kernel + golden suites under FEDCAV_TEST_THREADS=1 and =4
+# (parallel-kernel determinism gate, DESIGN.md §13), and the TSan build
+# replays them with a 4-worker kernel pool attached. Each configuration
+# gets its own build tree so they never thrash one cache.
 #
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
@@ -32,6 +35,16 @@ run_config() {
 ctest_args=("$@")
 
 run_config "${repo}/build" ""
+# Parallel-kernel determinism gate (DESIGN.md §13): replay the kernel +
+# golden suites with the FEDCAV_TEST_THREADS hook attaching a 1-worker
+# and a 4-worker kernel pool. The goldens pin exact accuracy/loss, so a
+# pass here proves the kernels are bit-identical at every fan-out.
+kernel_filter="Gemm|GemmCrossCheck|Conv2D|ConvBatched|Activation|MaxPool|AvgPool|GlobalAvgPool|Loss|GradCheck|Evaluate|ZooTraining|GoldenRun"
+for threads in 1 4; do
+  echo "==> ctest kernel suites, FEDCAV_TEST_THREADS=${threads} (plain)"
+  FEDCAV_TEST_THREADS="${threads}" ctest --test-dir "${repo}/build" \
+    --output-on-failure -j "${jobs}" -R "${kernel_filter}" "${ctest_args[@]}"
+done
 # Cohort-scaling memory gate (replica-pool bound, DESIGN.md §11): a smoke
 # run of the bench enforces that peak round memory does not scale with
 # the cohort, in both the plain and sanitized builds.
@@ -54,5 +67,11 @@ timeout 600 "${repo}/build-sanitize/tools/chaos_search" --budget 10 --seed 1
 run_config "${repo}/build-tsan" \
   "ThreadPool|Obs|CheckpointResume|Server|Integration|Chaos|Faults|GoldenRun" \
   -DFEDCAV_SANITIZE=thread
+# Race-check the parallel kernels themselves: the same kernel suites the
+# plain build replays, but under TSan with a 4-worker kernel pool
+# attached via the FEDCAV_TEST_THREADS hook.
+echo "==> ctest kernel suites, FEDCAV_TEST_THREADS=4 (tsan)"
+FEDCAV_TEST_THREADS=4 ctest --test-dir "${repo}/build-tsan" \
+  --output-on-failure -j "${jobs}" -R "${kernel_filter}" "${ctest_args[@]}"
 
 echo "OK: plain, sanitized, and thread-sanitized tier-1 suites passed"

@@ -1,12 +1,36 @@
 #include "src/comm/compression.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
 #include "src/utils/error.hpp"
 
 namespace fedcav::comm {
+
+namespace {
+
+/// The k largest-|v| coordinates of `dense`, ascending, with the same
+/// lower-index-wins tie-break topk_compress uses (cross-run determinism
+/// of the wire image).
+std::vector<std::uint32_t> topk_indices(std::span<const float> dense, std::size_t k) {
+  std::vector<std::uint32_t> order(dense.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   order.end(), [&](std::uint32_t a, std::uint32_t b) {
+                     const float ma = std::abs(dense[a]);
+                     const float mb = std::abs(dense[b]);
+                     if (ma != mb) return ma > mb;
+                     return a < b;
+                   });
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
 
 std::size_t SparseDelta::wire_size() const {
   return 8 /*dim*/ + 8 /*count*/ + indices.size() * (sizeof(std::uint32_t) + sizeof(float));
@@ -90,6 +114,275 @@ void add_sparse(std::span<float> y, const SparseDelta& sparse) {
   for (std::size_t i = 0; i < sparse.indices.size(); ++i) {
     y[sparse.indices[i]] += sparse.values[i];
   }
+}
+
+// ---- Quantized wire format -----------------------------------------
+
+QuantMode quant_mode_from_string(const std::string& name) {
+  if (name == "none") return QuantMode::kNone;
+  if (name == "fp16") return QuantMode::kFp16;
+  if (name == "int8") return QuantMode::kInt8;
+  FEDCAV_REQUIRE(false, "quant_mode_from_string: unknown mode '" + name + "'");
+  return QuantMode::kNone;  // unreachable
+}
+
+std::string to_string(QuantMode mode) {
+  switch (mode) {
+    case QuantMode::kNone: return "none";
+    case QuantMode::kFp16: return "fp16";
+    case QuantMode::kInt8: return "int8";
+  }
+  return "none";
+}
+
+std::uint16_t f32_to_f16(float value) {
+  std::uint32_t x = 0;
+  std::memcpy(&x, &value, sizeof(x));
+  const std::uint16_t sign = static_cast<std::uint16_t>((x >> 16) & 0x8000u);
+  const std::uint32_t exp32 = (x >> 23) & 0xffu;
+  std::uint32_t mant = x & 0x7fffffu;
+  if (exp32 == 0xffu) {  // inf / NaN: keep the class, force a quiet payload
+    return static_cast<std::uint16_t>(sign | 0x7c00u | (mant != 0 ? 0x200u : 0u));
+  }
+  const std::int32_t exp = static_cast<std::int32_t>(exp32) - 127 + 15;
+  if (exp >= 0x1f) return static_cast<std::uint16_t>(sign | 0x7c00u);  // overflow
+  if (exp <= 0) {
+    if (exp < -10) return sign;  // rounds to ±0
+    mant |= 0x800000u;           // implicit bit of the f32 significand
+    const std::uint32_t shift = static_cast<std::uint32_t>(14 - exp);  // 14..24
+    std::uint32_t half = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half & 1u))) ++half;
+    return static_cast<std::uint16_t>(sign | half);
+  }
+  std::uint32_t half = (static_cast<std::uint32_t>(exp) << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1fffu;
+  // Rounding may carry through the significand into the exponent (and,
+  // at the top, into infinity) — the bit layout makes that carry exact.
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;
+  return static_cast<std::uint16_t>(sign | half);
+}
+
+float f16_to_f32(std::uint16_t half) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(half & 0x8000u) << 16;
+  const std::uint32_t exp = (half >> 10) & 0x1fu;
+  std::uint32_t mant = half & 0x3ffu;
+  std::uint32_t x;
+  if (exp == 0) {
+    if (mant == 0) {
+      x = sign;  // ±0
+    } else {
+      // Subnormal half: normalize into the f32 field.
+      std::uint32_t shift = 0;
+      while ((mant & 0x400u) == 0) {
+        mant <<= 1;
+        ++shift;
+      }
+      mant &= 0x3ffu;
+      // Subnormal value = 0.mant · 2^-14; after normalizing (shift
+      // places), the biased f32 exponent is 127 - 14 - shift.
+      x = sign | ((127u - 14u - shift) << 23) | (mant << 13);
+    }
+  } else if (exp == 0x1fu) {
+    x = sign | 0x7f800000u | (mant << 13);
+  } else {
+    x = sign | ((exp - 15u + 127u) << 23) | (mant << 13);
+  }
+  float out = 0.0f;
+  std::memcpy(&out, &x, sizeof(out));
+  return out;
+}
+
+std::size_t QuantizedDelta::count() const {
+  if (mask.empty()) return dim;
+  std::size_t kept = 0;
+  for (std::uint8_t byte : mask) {
+    kept += static_cast<std::size_t>(std::popcount(byte));
+  }
+  return kept;
+}
+
+std::size_t QuantizedDelta::wire_size() const {
+  return 1 /*mode*/ + 8 /*dim*/ + 8 /*mask bytes*/ + mask.size() +
+         8 /*blocks*/ + scales.size() * 2 * sizeof(float) +
+         8 /*data bytes*/ + data.size();
+}
+
+ByteBuffer QuantizedDelta::encode() const {
+  ByteBuffer buf;
+  buf.reserve(wire_size());
+  write_u8(buf, static_cast<std::uint8_t>(mode));
+  write_u64(buf, dim);
+  write_u64(buf, mask.size());
+  buf.insert(buf.end(), mask.begin(), mask.end());
+  write_u64(buf, scales.size());
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    write_f32(buf, scales[i]);
+    write_f32(buf, zero_points[i]);
+  }
+  write_u64(buf, data.size());
+  buf.insert(buf.end(), data.begin(), data.end());
+  return buf;
+}
+
+QuantizedDelta QuantizedDelta::decode(ByteReader& reader) {
+  QuantizedDelta out;
+  const std::uint8_t mode_tag = reader.read_u8();
+  FEDCAV_REQUIRE(mode_tag == static_cast<std::uint8_t>(QuantMode::kFp16) ||
+                     mode_tag == static_cast<std::uint8_t>(QuantMode::kInt8),
+                 "QuantizedDelta: bad mode tag");
+  out.mode = static_cast<QuantMode>(mode_tag);
+  out.dim = reader.read_u64();
+  const std::uint64_t mask_bytes = reader.read_u64();
+  FEDCAV_REQUIRE(mask_bytes == 0 || mask_bytes == (out.dim - 1) / 8 + 1,
+                 "QuantizedDelta: mask size mismatch");
+  // Every resize below is bounded by remaining() first, so a hostile
+  // length prefix throws instead of attempting a huge allocation.
+  FEDCAV_REQUIRE(mask_bytes <= reader.remaining(),
+                 "QuantizedDelta: mask larger than buffer");
+  out.mask.resize(mask_bytes);
+  for (std::uint64_t i = 0; i < mask_bytes; ++i) out.mask[i] = reader.read_u8();
+  if (mask_bytes > 0 && out.dim % 8 != 0) {
+    FEDCAV_REQUIRE((out.mask.back() >> (out.dim % 8)) == 0,
+                   "QuantizedDelta: mask bits past dim");
+  }
+  const std::size_t kept = out.count();
+  const std::uint64_t blocks = reader.read_u64();
+  FEDCAV_REQUIRE(blocks <= reader.remaining() / 8,
+                 "QuantizedDelta: block table larger than buffer");
+  out.scales.resize(blocks);
+  out.zero_points.resize(blocks);
+  for (std::uint64_t i = 0; i < blocks; ++i) {
+    out.scales[i] = reader.read_f32();
+    out.zero_points[i] = reader.read_f32();
+    FEDCAV_REQUIRE(std::isfinite(out.scales[i]) && std::isfinite(out.zero_points[i]),
+                   "QuantizedDelta: non-finite block parameters");
+  }
+  const std::uint64_t data_bytes = reader.read_u64();
+  if (out.mode == QuantMode::kFp16) {
+    FEDCAV_REQUIRE(blocks == 0, "QuantizedDelta: fp16 carries no blocks");
+    // Divide, don't multiply: 2·kept could wrap for a hostile dim.
+    FEDCAV_REQUIRE(data_bytes % 2 == 0 && data_bytes / 2 == kept,
+                   "QuantizedDelta: fp16 payload size mismatch");
+  } else {
+    FEDCAV_REQUIRE(blocks == (kept + kQuantBlock - 1) / kQuantBlock,
+                   "QuantizedDelta: block count mismatch");
+    FEDCAV_REQUIRE(data_bytes == kept, "QuantizedDelta: int8 payload size mismatch");
+  }
+  FEDCAV_REQUIRE(data_bytes <= reader.remaining(),
+                 "QuantizedDelta: payload larger than buffer");
+  out.data.resize(data_bytes);
+  for (std::uint64_t i = 0; i < data_bytes; ++i) out.data[i] = reader.read_u8();
+  return out;
+}
+
+QuantizedDelta quantize(std::span<const float> dense, QuantMode mode,
+                        double keep_ratio) {
+  FEDCAV_REQUIRE(mode != QuantMode::kNone, "quantize: mode is none");
+  FEDCAV_REQUIRE(!dense.empty(), "quantize: empty input");
+  FEDCAV_REQUIRE(keep_ratio > 0.0 && keep_ratio <= 1.0,
+                 "quantize: keep_ratio must be in (0, 1]");
+  QuantizedDelta out;
+  out.mode = mode;
+  out.dim = dense.size();
+
+  // Gather the kept values in ascending-coordinate order; the dense case
+  // reads straight through.
+  std::vector<float> kept_values;
+  const float* values = dense.data();
+  std::size_t kept = dense.size();
+  if (keep_ratio < 1.0) {
+    const std::size_t k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(keep_ratio * static_cast<double>(dense.size()))));
+    const std::vector<std::uint32_t> indices = topk_indices(dense, k);
+    out.mask.assign((dense.size() + 7) / 8, 0);
+    kept_values.reserve(k);
+    for (std::uint32_t idx : indices) {
+      out.mask[idx / 8] |= static_cast<std::uint8_t>(1u << (idx % 8));
+      kept_values.push_back(dense[idx]);
+    }
+    values = kept_values.data();
+    kept = k;
+  }
+
+  if (mode == QuantMode::kFp16) {
+    out.data.resize(2 * kept);
+    for (std::size_t i = 0; i < kept; ++i) {
+      const std::uint16_t h = f32_to_f16(values[i]);
+      out.data[2 * i] = static_cast<std::uint8_t>(h & 0xffu);
+      out.data[2 * i + 1] = static_cast<std::uint8_t>(h >> 8);
+    }
+    return out;
+  }
+
+  // int8: per-block affine code. zero_point = block min, scale spans the
+  // block's range over 255 steps; a constant block (scale 0) reproduces
+  // its value exactly through the zero_point.
+  const std::size_t blocks = (kept + kQuantBlock - 1) / kQuantBlock;
+  out.scales.resize(blocks);
+  out.zero_points.resize(blocks);
+  out.data.resize(kept);
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    const std::size_t lo = blk * kQuantBlock;
+    const std::size_t hi = std::min(kept, lo + kQuantBlock);
+    float mn = values[lo];
+    float mx = values[lo];
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+      mn = std::min(mn, values[i]);
+      mx = std::max(mx, values[i]);
+    }
+    FEDCAV_REQUIRE(std::isfinite(mn) && std::isfinite(mx),
+                   "quantize: non-finite input");
+    const float scale = (mx - mn) / 255.0f;
+    out.scales[blk] = scale;
+    out.zero_points[blk] = mn;
+    if (scale <= 0.0f) {
+      for (std::size_t i = lo; i < hi; ++i) out.data[i] = 0;
+      continue;
+    }
+    const float inv = 1.0f / scale;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const float q = std::nearbyint((values[i] - mn) * inv);
+      out.data[i] = static_cast<std::uint8_t>(
+          std::clamp(q, 0.0f, 255.0f));
+    }
+  }
+  return out;
+}
+
+void dequantize_add(std::span<float> y, const QuantizedDelta& q) {
+  FEDCAV_REQUIRE(y.size() == q.dim, "dequantize_add: dimension mismatch");
+  const std::size_t kept = q.count();
+  // Decode the kept values in order, then scatter (dense: straight add).
+  auto value_at = [&](std::size_t i) -> float {
+    if (q.mode == QuantMode::kFp16) {
+      const std::uint16_t h = static_cast<std::uint16_t>(
+          q.data[2 * i] | (static_cast<std::uint16_t>(q.data[2 * i + 1]) << 8));
+      return f16_to_f32(h);
+    }
+    const std::size_t blk = i / kQuantBlock;
+    return q.zero_points[blk] + q.scales[blk] * static_cast<float>(q.data[i]);
+  };
+  if (q.mask.empty()) {
+    for (std::size_t i = 0; i < kept; ++i) y[i] += value_at(i);
+    return;
+  }
+  std::size_t next = 0;
+  for (std::size_t idx = 0; idx < q.dim; ++idx) {
+    if ((q.mask[idx / 8] >> (idx % 8)) & 1u) {
+      y[idx] += value_at(next);
+      ++next;
+    }
+  }
+  FEDCAV_REQUIRE(next == kept, "dequantize_add: mask/payload mismatch");
+}
+
+std::vector<float> dequantize(const QuantizedDelta& q) {
+  std::vector<float> dense(q.dim, 0.0f);
+  dequantize_add(dense, q);
+  return dense;
 }
 
 }  // namespace fedcav::comm

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/tensor/serialize.hpp"
@@ -35,5 +36,69 @@ std::vector<float> decompress(const SparseDelta& sparse);
 
 /// y += decompress(sparse) without materializing the dense vector.
 void add_sparse(std::span<float> y, const SparseDelta& sparse);
+
+// ---- Quantized wire format (PR 7) ----------------------------------
+//
+// Lossy scalar quantization of a dense float vector, optionally
+// composed with top-k selection. fp16 stores IEEE 754 half-precision
+// codes (round-to-nearest-even, 2 bytes/value); int8 stores per-block
+// affine codes v ≈ zero_point + scale·q with q ∈ [0, 255] and one
+// (scale, zero_point) pair per kQuantBlock consecutive kept values
+// (1 byte/value + 8 bytes/block). A keep_ratio < 1 selects the
+// largest-|v| coordinates first (same deterministic tie-break as
+// topk_compress) and records them in a dim-bit presence bitmap — 1/8
+// byte per coordinate instead of SparseDelta's 4-byte indices, which is
+// what keeps int8 + top-k under 1 byte/coordinate on the wire.
+
+enum class QuantMode : std::uint8_t { kNone = 0, kFp16 = 1, kInt8 = 2 };
+
+/// "none" | "fp16" | "int8"; throws fedcav::Error on anything else.
+QuantMode quant_mode_from_string(const std::string& name);
+std::string to_string(QuantMode mode);
+
+/// Values per (scale, zero_point) block of the int8 code.
+constexpr std::size_t kQuantBlock = 256;
+
+struct QuantizedDelta {
+  QuantMode mode = QuantMode::kFp16;
+  std::uint64_t dim = 0;
+  /// Presence bitmap, ⌈dim/8⌉ bytes, bit i = coordinate i kept (LSB
+  /// first within each byte). Empty means dense (all kept).
+  std::vector<std::uint8_t> mask;
+  /// int8 only: one affine pair per kQuantBlock kept values, in kept
+  /// (ascending-coordinate) order.
+  std::vector<float> scales;
+  std::vector<float> zero_points;
+  /// fp16: 2 little-endian bytes per kept value; int8: 1 byte per value.
+  std::vector<std::uint8_t> data;
+
+  /// Number of kept coordinates (dim when dense).
+  std::size_t count() const;
+  /// Exact wire size of encode()'s output.
+  std::size_t wire_size() const;
+
+  ByteBuffer encode() const;
+  /// Throws fedcav::Error on any structural inconsistency (sizes, mode
+  /// tag, mask popcount vs payload), so a CRC-evading bit flip cannot
+  /// produce an out-of-bounds decode.
+  static QuantizedDelta decode(ByteReader& reader);
+};
+
+/// Quantize `dense`, keeping the ⌈keep_ratio·dim⌉ largest-|v|
+/// coordinates (keep_ratio = 1 keeps everything and omits the bitmap).
+/// mode must not be kNone.
+QuantizedDelta quantize(std::span<const float> dense, QuantMode mode,
+                        double keep_ratio = 1.0);
+
+/// y += scatter(dequantized values); y.size() must equal q.dim.
+void dequantize_add(std::span<float> y, const QuantizedDelta& q);
+
+/// Dense reconstruction (zeros at dropped coordinates).
+std::vector<float> dequantize(const QuantizedDelta& q);
+
+/// Portable IEEE 754 binary16 conversions (round-to-nearest-even;
+/// overflow saturates to ±inf). Exposed for the property tests.
+std::uint16_t f32_to_f16(float value);
+float f16_to_f32(std::uint16_t half);
 
 }  // namespace fedcav::comm

@@ -73,6 +73,42 @@ ControlMsg ControlMsg::decode(ByteReader& reader) {
   return msg;
 }
 
+ByteBuffer QuantGlobalModelMsg::encode() const {
+  ByteBuffer buf;
+  write_u64(buf, round);
+  const ByteBuffer body = model.encode();
+  buf.insert(buf.end(), body.begin(), body.end());
+  return buf;
+}
+
+QuantGlobalModelMsg QuantGlobalModelMsg::decode(ByteReader& reader) {
+  QuantGlobalModelMsg msg;
+  msg.round = reader.read_u64();
+  msg.model = QuantizedDelta::decode(reader);
+  return msg;
+}
+
+ByteBuffer QuantReportMsg::encode() const {
+  ByteBuffer buf;
+  write_u64(buf, round);
+  write_u64(buf, client_id);
+  write_u64(buf, num_samples);
+  write_f64(buf, inference_loss);
+  const ByteBuffer body = delta.encode();
+  buf.insert(buf.end(), body.begin(), body.end());
+  return buf;
+}
+
+QuantReportMsg QuantReportMsg::decode(ByteReader& reader) {
+  QuantReportMsg msg;
+  msg.round = reader.read_u64();
+  msg.client_id = reader.read_u64();
+  msg.num_samples = reader.read_u64();
+  msg.inference_loss = reader.read_f64();
+  msg.delta = QuantizedDelta::decode(reader);
+  return msg;
+}
+
 ByteBuffer NackMsg::encode() const {
   ByteBuffer buf;
   write_u64(buf, round);
@@ -84,7 +120,7 @@ NackMsg NackMsg::decode(ByteReader& reader) {
   NackMsg msg;
   msg.round = reader.read_u64();
   const std::uint64_t t = reader.read_u64();
-  FEDCAV_REQUIRE(t >= 1 && t <= 5, "NackMsg: unknown expected type");
+  FEDCAV_REQUIRE(t >= 1 && t <= 7, "NackMsg: unknown expected type");
   msg.expected = static_cast<MessageType>(t);
   return msg;
 }
@@ -112,7 +148,7 @@ std::optional<Envelope> Envelope::try_decode(const ByteBuffer& wire) {
   if (stored != expected) return std::nullopt;
   std::uint64_t t = 0;
   for (int i = 0; i < 8; ++i) t |= static_cast<std::uint64_t>(wire[i]) << (8 * i);
-  if (t < 1 || t > 5) return std::nullopt;
+  if (t < 1 || t > 7) return std::nullopt;
   Envelope env;
   env.type = static_cast<MessageType>(t);
   env.payload.assign(wire.begin() + sizeof(std::uint64_t), wire.begin() + body);

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/comm/compression.hpp"
 #include "src/tensor/serialize.hpp"
 
 namespace fedcav::comm {
@@ -33,6 +34,14 @@ enum class MessageType : std::uint64_t {
   /// materialized, which is what makes streaming aggregation possible
   /// (see DESIGN.md §11).
   kMetadataReport = 5,
+  /// Quantized downlink: the full global model as a QuantizedDelta
+  /// against zero (see src/comm/compression.hpp). Replaces kGlobalModel
+  /// when the server runs with quant != none.
+  kQuantGlobalModel = 6,
+  /// Quantized uplink: the client's weight *delta* against the
+  /// dequantized broadcast, with error feedback accumulating what the
+  /// code dropped into the next round's delta.
+  kQuantReport = 7,
 };
 
 struct GlobalModelMsg {
@@ -85,6 +94,31 @@ struct ControlMsg {
 
   ByteBuffer encode() const;
   static ControlMsg decode(ByteReader& reader);
+};
+
+/// Quantized broadcast: w̃_t = dequantize(model) IS the round-t
+/// reference — the server dequantizes its own broadcast in place so
+/// both ends train and diff against the identical float image.
+struct QuantGlobalModelMsg {
+  std::uint64_t round = 0;
+  QuantizedDelta model;
+
+  ByteBuffer encode() const;
+  static QuantGlobalModelMsg decode(ByteReader& reader);
+};
+
+/// Quantized phase-② report: carries delta = w_i − w̃_t (+ carried
+/// error-feedback residual) instead of the dense weight vector. The
+/// scalars mirror ClientReportMsg so the metadata phase is unchanged.
+struct QuantReportMsg {
+  std::uint64_t round = 0;
+  std::uint64_t client_id = 0;
+  std::uint64_t num_samples = 0;
+  double inference_loss = 0.0;
+  QuantizedDelta delta;
+
+  ByteBuffer encode() const;
+  static QuantReportMsg decode(ByteReader& reader);
 };
 
 /// NACK body: which round and message type the receiver was waiting

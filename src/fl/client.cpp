@@ -1,10 +1,12 @@
 #include "src/fl/client.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "src/metrics/evaluation.hpp"
 #include "src/nn/optimizer.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/utils/error.hpp"
 
@@ -103,13 +105,53 @@ std::vector<float> Client::estimate_fisher(nn::Model& model) {
   return fisher;
 }
 
-void Client::save_state(ByteBuffer& buf) const {
+comm::QuantizedDelta Client::encode_quantized_update(const nn::Weights& trained,
+                                                     const nn::Weights& reference,
+                                                     comm::QuantMode mode,
+                                                     double keep_ratio) {
+  FEDCAV_REQUIRE(trained.size() == reference.size(),
+                 "Client::encode_quantized_update: weight size mismatch");
+  FEDCAV_REQUIRE(quant_residual_.empty() || quant_residual_.size() == trained.size(),
+                 "Client::encode_quantized_update: residual size mismatch");
+  if (quant_residual_.size() != trained.size()) {
+    quant_residual_.assign(trained.size(), 0.0f);
+  }
+  std::vector<float> delta(trained.size());
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    delta[i] = trained[i] - reference[i] + quant_residual_[i];
+  }
+  comm::QuantizedDelta coded = comm::quantize(delta, mode, keep_ratio);
+  // residual ← delta − decode(coded): the quantization error on kept
+  // coordinates plus the untouched value on dropped ones.
+  const std::vector<float> decoded = comm::dequantize(coded);
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    quant_residual_[i] = delta[i] - decoded[i];
+  }
+  if (obs::enabled()) {
+    static obs::Histogram& norm_hist =
+        obs::registry().histogram("quant.residual_norm");
+    norm_hist.observe(quant_residual_norm());
+  }
+  return coded;
+}
+
+double Client::quant_residual_norm() const {
+  double sq = 0.0;
+  for (float r : quant_residual_) {
+    sq += static_cast<double>(r) * static_cast<double>(r);
+  }
+  return std::sqrt(sq);
+}
+
+void Client::save_state(ByteBuffer& buf, bool with_quant_residual) const {
   write_rng_state(buf, rng_.state());
   write_f32_span(buf, curv_anchor_);
   write_f32_span(buf, curv_importance_);
+  if (with_quant_residual) write_f32_span(buf, quant_residual_);
 }
 
-void Client::load_state(ByteReader& reader, std::size_t expected_params) {
+void Client::load_state(ByteReader& reader, std::size_t expected_params,
+                        bool with_quant_residual) {
   rng_.set_state(read_rng_state(reader));
   std::vector<float> anchor = reader.read_f32_vector();
   std::vector<float> importance = reader.read_f32_vector();
@@ -119,6 +161,14 @@ void Client::load_state(ByteReader& reader, std::size_t expected_params) {
                  "Client::load_state: curvature importance size mismatch");
   curv_anchor_ = std::move(anchor);
   curv_importance_ = std::move(importance);
+  if (with_quant_residual) {
+    std::vector<float> residual = reader.read_f32_vector();
+    FEDCAV_REQUIRE(residual.empty() || residual.size() == expected_params,
+                   "Client::load_state: quant residual size mismatch");
+    quant_residual_ = std::move(residual);
+  } else {
+    quant_residual_.clear();  // pre-v5 file: no pending residual
+  }
 }
 
 void Client::set_local_data(data::Dataset new_data) {

@@ -17,6 +17,7 @@
 // never persists inside a pooled model between leases.
 #pragma once
 
+#include "src/comm/compression.hpp"
 #include "src/data/dataset.hpp"
 #include "src/fl/types.hpp"
 #include "src/nn/model.hpp"
@@ -56,14 +57,35 @@ class Client {
   /// True once a curv_lambda run has stored a previous-optimum anchor.
   bool has_curvature_state() const { return !curv_anchor_.empty(); }
 
+  /// Quantized-uplink codec with error feedback (Algorithm 2's report
+  /// step under ServerConfig::quant): codes delta = trained − reference
+  /// + residual, where the residual carries everything previous codes
+  /// dropped (quantization error plus coordinates a keep_ratio < 1 left
+  /// out), then stores the new round's coding error back into the
+  /// residual. The residual updates at encode time — if the report is
+  /// later lost in flight, that round's delta is gone (matching the
+  /// dense protocol, where a lost report also folds as carried mass).
+  comm::QuantizedDelta encode_quantized_update(const nn::Weights& trained,
+                                               const nn::Weights& reference,
+                                               comm::QuantMode mode,
+                                               double keep_ratio);
+
+  /// L2 norm of the pending error-feedback residual (0 before the first
+  /// quantized participation).
+  double quant_residual_norm() const;
+
   /// Serialize / restore the client's round-to-round mutable state: the
-  /// batch-shuffle RNG stream and the FedCurv anchor/importance vectors.
-  /// (Model weights are not included — every participation overwrites
-  /// them with the downloaded global model.) load_state throws
-  /// fedcav::Error when a non-empty anchor does not match
-  /// `expected_params` (the global model's parameter count).
-  void save_state(ByteBuffer& buf) const;
-  void load_state(ByteReader& reader, std::size_t expected_params);
+  /// batch-shuffle RNG stream and the FedCurv anchor/importance vectors
+  /// (and, when `with_quant_residual`, the pending error-feedback
+  /// residual — checkpoint v5+; older formats never carried it, so
+  /// loading them leaves the residual empty). Model weights are not
+  /// included — every participation overwrites them with the downloaded
+  /// global model. load_state throws fedcav::Error when a non-empty
+  /// anchor or residual does not match `expected_params` (the global
+  /// model's parameter count).
+  void save_state(ByteBuffer& buf, bool with_quant_residual = false) const;
+  void load_state(ByteReader& reader, std::size_t expected_params,
+                  bool with_quant_residual = false);
 
  private:
   /// Diagonal Fisher estimate of `model` on the local data (mean squared
@@ -77,6 +99,10 @@ class Client {
   // parameter importances, kept across participations.
   std::vector<float> curv_anchor_;
   std::vector<float> curv_importance_;
+  // Error-feedback residual of the quantized uplink: what earlier codes
+  // dropped, to be folded into the next delta (empty until the first
+  // quantized participation).
+  std::vector<float> quant_residual_;
 };
 
 }  // namespace fedcav::fl

@@ -29,13 +29,25 @@ constexpr std::uint64_t kCheckpointMagicV1 = 0xfedca5c4ec9017ULL;
 constexpr std::uint64_t kCheckpointMagicV2 = 0xfedca5c4ec9018ULL;
 constexpr std::uint64_t kCheckpointMagicV3 = 0xfedca5c4ec9019ULL;
 constexpr std::uint64_t kCheckpointMagicV4 = 0xfedca5c4ec901aULL;
+// v5 appends each client's quantization error-feedback residual, so a
+// quantized run resumed mid-stream sends the exact deltas the
+// uninterrupted run would have.
+constexpr std::uint64_t kCheckpointMagicV5 = 0xfedca5c4ec901bULL;
 
 std::uint64_t checkpoint_magic(int version) {
   switch (version) {
     case 2: return kCheckpointMagicV2;
     case 3: return kCheckpointMagicV3;
-    default: return kCheckpointMagicV4;
+    case 4: return kCheckpointMagicV4;
+    default: return kCheckpointMagicV5;
   }
+}
+
+/// Payload bytes the dense f32 protocol would have used for a message
+/// carrying `dim` weights plus `scalar_bytes` of header scalars (the
+/// write_f32_span framing is 8 bytes of length). Feeds comm.bytes_saved.
+std::size_t dense_payload_bytes(std::size_t dim, std::size_t scalar_bytes) {
+  return scalar_bytes + 8 + 4 * dim;
 }
 
 /// Attributes a scope's wall time to one RoundPhases field and mirrors
@@ -75,6 +87,8 @@ void ServerConfig::validate(std::size_t num_clients) const {
                  "ServerConfig: max_retries > 16 (exponential backoff overflows)");
   FEDCAV_REQUIRE(retry_backoff_s >= 0.0, "ServerConfig: negative retry_backoff_s");
   FEDCAV_REQUIRE(uplink_deadline_s >= 0.0, "ServerConfig: negative uplink_deadline_s");
+  FEDCAV_REQUIRE(quant_keep > 0.0 && quant_keep <= 1.0,
+                 "ServerConfig: quant_keep must be in (0, 1]");
 }
 
 Server::Server(std::unique_ptr<nn::Model> global_model,
@@ -185,7 +199,14 @@ ParticipantOutcome Server::run_participant_metadata(std::size_t client_index) {
   // streams make the fault outcomes identical either way.
   network_->send(kServerRank, rank, downlink_env_);
   out.elapsed_s += network_->model_transfer_seconds(downlink_env_.wire_size());
-  std::optional<comm::GlobalModelMsg> down;
+  // Dense runs expect kGlobalModel, quantized runs kQuantGlobalModel; a
+  // quantized downlink is decoded to the dense weights here (which equal
+  // the server's in-place-dequantized global_weights_ bit-exactly — the
+  // codec is deterministic and the CRC already proved the wire intact).
+  const comm::MessageType down_type = config_.quant != comm::QuantMode::kNone
+                                          ? comm::MessageType::kQuantGlobalModel
+                                          : comm::MessageType::kGlobalModel;
+  std::optional<std::vector<float>> down;
   for (std::size_t attempt = 0; attempt <= config_.max_retries && !down; ++attempt) {
     while (auto wire = network_->try_recv_wire(rank, kServerRank)) {
       auto env = comm::Envelope::try_decode(*wire);
@@ -193,23 +214,32 @@ ParticipantOutcome Server::run_participant_metadata(std::size_t client_index) {
         out.crc_failures += 1;  // corrupted or truncated in flight
         continue;
       }
-      if (env->type != comm::MessageType::kGlobalModel) {
+      if (env->type != down_type) {
         out.stale_discards += 1;  // e.g. a NACK left over from a past round
         continue;
       }
       ByteReader reader(env->payload);
-      comm::GlobalModelMsg msg = comm::GlobalModelMsg::decode(reader);
-      if (msg.round != round_) {
-        out.stale_discards += 1;  // duplicate from an earlier round
-        continue;
+      if (down_type == comm::MessageType::kQuantGlobalModel) {
+        comm::QuantGlobalModelMsg msg = comm::QuantGlobalModelMsg::decode(reader);
+        if (msg.round != round_) {
+          out.stale_discards += 1;
+          continue;
+        }
+        down = comm::dequantize(msg.model);
+      } else {
+        comm::GlobalModelMsg msg = comm::GlobalModelMsg::decode(reader);
+        if (msg.round != round_) {
+          out.stale_discards += 1;  // duplicate from an earlier round
+          continue;
+        }
+        down = std::move(msg.weights);
       }
-      down = std::move(msg);
       break;
     }
     if (down.has_value() || attempt == config_.max_retries) break;
     comm::NackMsg nack;
     nack.round = round_;
-    nack.expected = comm::MessageType::kGlobalModel;
+    nack.expected = down_type;
     const comm::Envelope nack_env{comm::MessageType::kNack, nack.encode()};
     network_->send(rank, kServerRank, nack_env);
     out.elapsed_s += network_->model_transfer_seconds(nack_env.wire_size());
@@ -230,7 +260,7 @@ ParticipantOutcome Server::run_participant_metadata(std::size_t client_index) {
   double f_i = 0.0;
   {
     nn::ReplicaPool::Lease replica = replica_pool_->acquire();
-    f_i = client.compute_inference_loss(replica.model(), down->weights);
+    f_i = client.compute_inference_loss(replica.model(), *down);
     down.reset();
   }
 
@@ -302,20 +332,60 @@ std::optional<ClientUpdate> Server::run_participant_train(std::size_t client_ind
     update = client.train_update(replica.model(), global_weights_, effective_local_,
                                  inference_loss);
   }
-  if (network_ == nullptr) return update;
+  const bool quant_on = config_.quant != comm::QuantMode::kNone;
+  if (network_ == nullptr) {
+    if (quant_on) {
+      // Unmetered path: run the identical codec transform locally —
+      // delta code with error feedback, then reconstruction against the
+      // round's reference — so quantization's accuracy effect does not
+      // depend on whether the fabric is in the loop.
+      comm::QuantizedDelta coded = client.encode_quantized_update(
+          update.weights, global_weights_, config_.quant, config_.quant_keep);
+      update.weights = global_weights_;
+      comm::dequantize_add(update.weights, coded);
+    }
+    return update;
+  }
 
   const std::size_t rank = client_index + 1;
-  comm::ClientReportMsg up;
-  up.round = round_;
-  up.client_id = client.id();
-  up.num_samples = update.num_samples;
-  up.inference_loss = update.inference_loss;
-  up.weights = update.weights;
-  const comm::Envelope report_env{comm::MessageType::kClientReport, up.encode()};
+  const comm::MessageType report_type = quant_on
+                                            ? comm::MessageType::kQuantReport
+                                            : comm::MessageType::kClientReport;
+  comm::Envelope report_env;
+  if (quant_on) {
+    comm::QuantReportMsg up;
+    up.round = round_;
+    up.client_id = client.id();
+    up.num_samples = update.num_samples;
+    up.inference_loss = update.inference_loss;
+    // Encoded once, before the retry loop: retransmissions resend the
+    // same wire image, so the error-feedback residual advances exactly
+    // once per participation regardless of fabric faults.
+    up.delta = client.encode_quantized_update(update.weights, global_weights_,
+                                              config_.quant, config_.quant_keep);
+    if (obs::enabled()) {
+      static obs::Counter& saved = obs::registry().counter("comm.bytes_saved");
+      const std::size_t dense = dense_payload_bytes(global_weights_.size(), 32);
+      const std::size_t actual = 32 + up.delta.wire_size();
+      if (dense > actual) saved.add(dense - actual);
+    }
+    report_env = comm::Envelope{report_type, up.encode()};
+  } else {
+    comm::ClientReportMsg up;
+    up.round = round_;
+    up.client_id = client.id();
+    up.num_samples = update.num_samples;
+    up.inference_loss = update.inference_loss;
+    up.weights = update.weights;
+    report_env = comm::Envelope{report_type, up.encode()};
+  }
 
   // Report uplink: same protocol; `counters.elapsed_s` arrives holding
-  // the phase-① time, so the deadline spans the full round trip.
-  std::optional<comm::ClientReportMsg> report;
+  // the phase-① time, so the deadline spans the full round trip. A
+  // received quantized delta is reconstructed against global_weights_
+  // (= w̃_t) right here, per slot, so the downstream fold sees dense
+  // weights either way and stays independent of the worker count.
+  std::optional<std::pair<std::vector<float>, double>> report;  // weights, f_i
   for (std::size_t attempt = 0; attempt <= config_.max_retries && !report; ++attempt) {
     network_->send(rank, kServerRank, report_env);
     counters.elapsed_s += network_->model_transfer_seconds(report_env.wire_size());
@@ -325,23 +395,34 @@ std::optional<ClientUpdate> Server::run_participant_train(std::size_t client_ind
         counters.crc_failures += 1;
         continue;
       }
-      if (env->type != comm::MessageType::kClientReport) {
+      if (env->type != report_type) {
         counters.stale_discards += 1;
         continue;
       }
       ByteReader reader(env->payload);
-      comm::ClientReportMsg msg = comm::ClientReportMsg::decode(reader);
-      if (msg.round != round_) {
-        counters.stale_discards += 1;
-        continue;
+      if (quant_on) {
+        comm::QuantReportMsg msg = comm::QuantReportMsg::decode(reader);
+        if (msg.round != round_) {
+          counters.stale_discards += 1;
+          continue;
+        }
+        std::vector<float> weights = global_weights_;
+        comm::dequantize_add(weights, msg.delta);
+        report.emplace(std::move(weights), msg.inference_loss);
+      } else {
+        comm::ClientReportMsg msg = comm::ClientReportMsg::decode(reader);
+        if (msg.round != round_) {
+          counters.stale_discards += 1;
+          continue;
+        }
+        report.emplace(std::move(msg.weights), msg.inference_loss);
       }
-      report = std::move(msg);
       break;
     }
     if (report.has_value() || attempt == config_.max_retries) break;
     comm::NackMsg nack;
     nack.round = round_;
-    nack.expected = comm::MessageType::kClientReport;
+    nack.expected = report_type;
     const comm::Envelope nack_env{comm::MessageType::kNack, nack.encode()};
     network_->send(kServerRank, rank, nack_env);
     counters.elapsed_s += network_->model_transfer_seconds(nack_env.wire_size());
@@ -357,8 +438,8 @@ std::optional<ClientUpdate> Server::run_participant_train(std::size_t client_ind
     counters.deadline_missed = true;
     return std::nullopt;
   }
-  update.weights = std::move(report->weights);
-  update.inference_loss = report->inference_loss;
+  update.weights = std::move(report->first);
+  update.inference_loss = report->second;
   return update;
 }
 
@@ -367,7 +448,7 @@ void Server::set_lr_schedule(std::unique_ptr<nn::LrSchedule> schedule) {
 }
 
 void Server::save_checkpoint(const std::string& path, int version) const {
-  FEDCAV_REQUIRE(version >= 2 && version <= 4,
+  FEDCAV_REQUIRE(version >= 2 && version <= 5,
                  "save_checkpoint: unsupported version requested");
   ByteBuffer buf;
   write_u64(buf, checkpoint_magic(version));
@@ -382,7 +463,9 @@ void Server::save_checkpoint(const std::string& path, int version) const {
   sampler_.save_state(buf);
   write_rng_state(buf, straggler_rng_.state());
   write_u64(buf, clients_.size());
-  for (const auto& client : clients_) client->save_state(buf);
+  for (const auto& client : clients_) {
+    client->save_state(buf, /*with_quant_residual=*/version >= 5);
+  }
   if (version >= 3) {
     // Fabric state: fault-RNG streams + in-flight wire images (and,
     // from v4, the traffic/fault accounting), so a resumed chaos run
@@ -422,7 +505,7 @@ void Server::load_checkpoint(const std::string& path) {
   }
 
   FEDCAV_REQUIRE(magic == kCheckpointMagicV2 || magic == kCheckpointMagicV3 ||
-                     magic == kCheckpointMagicV4,
+                     magic == kCheckpointMagicV4 || magic == kCheckpointMagicV5,
                  "load_checkpoint: bad magic in " + path);
   const std::uint64_t saved_round = reader.read_u64();
   std::vector<float> weights = reader.read_f32_vector();
@@ -439,14 +522,15 @@ void Server::load_checkpoint(const std::string& path) {
   FEDCAV_REQUIRE(num_clients == clients_.size(),
                  "load_checkpoint: client count mismatch in " + path);
   for (auto& client : clients_) {
-    client->load_state(reader, global_weights_.size());
+    client->load_state(reader, global_weights_.size(),
+                       /*with_quant_residual=*/magic == kCheckpointMagicV5);
   }
-  if (magic == kCheckpointMagicV3 || magic == kCheckpointMagicV4) {
+  if (magic != kCheckpointMagicV2) {
     const bool has_network = reader.read_u8() != 0;
     FEDCAV_REQUIRE(has_network == (network_ != nullptr),
                    "load_checkpoint: network presence mismatch in " + path);
     if (has_network) {
-      network_->load_state(reader, /*with_stats=*/magic == kCheckpointMagicV4);
+      network_->load_state(reader, /*with_stats=*/magic != kCheckpointMagicV3);
     }
   }
   // v2 files load with the fabric left in its freshly-seeded state; v3
@@ -501,7 +585,33 @@ metrics::RoundRecord Server::run_round() {
   // for NACK retransmissions. Queueing per-participant copies here would
   // put O(cohort × model) wire images in the fabric at once; sending
   // from the participant's own exchange bounds that at O(workers).
-  if (network_ != nullptr) {
+  //
+  // Quantized runs code the broadcast here and ADOPT THE DECODED IMAGE as
+  // the round's reference w̃_t: every later use of global_weights_ (the
+  // clients' training start, the synthetic carried-mass update, the
+  // strategy's base, the uplink-delta reconstruction) then agrees
+  // bit-exactly with what a client decodes from the wire. fp16 makes the
+  // round trip a no-op from round 2 on (requantizing an fp16 image is
+  // exact); int8's per-round coding error is absorbed by the clients'
+  // error-feedback residuals.
+  if (config_.quant != comm::QuantMode::kNone) {
+    PhaseTimer phase("broadcast", round_, record.phases.broadcast);
+    comm::QuantizedDelta coded = comm::quantize(global_weights_, config_.quant);
+    global_weights_ = comm::dequantize(coded);
+    if (obs::enabled()) {
+      static obs::Counter& saved = obs::registry().counter("comm.bytes_saved");
+      const std::size_t dense = dense_payload_bytes(global_weights_.size(), 8);
+      const std::size_t actual = 8 + coded.wire_size();
+      if (dense > actual) saved.add(dense - actual);
+    }
+    if (network_ != nullptr) {
+      comm::QuantGlobalModelMsg down;
+      down.round = round_;
+      down.model = std::move(coded);
+      downlink_env_ =
+          comm::Envelope{comm::MessageType::kQuantGlobalModel, down.encode()};
+    }
+  } else if (network_ != nullptr) {
     PhaseTimer phase("broadcast", round_, record.phases.broadcast);
     comm::GlobalModelMsg down;
     down.round = round_;
@@ -817,8 +927,12 @@ metrics::RoundRecord Server::run_round() {
   {
     PhaseTimer phase("eval", round_, record.phases.eval);
     global_model_->set_weights(global_weights_);
+    // Sharded over the round's thread pool + replica leases; the t_eval
+    // CSV column reflects the fan-out. Per-batch fixed slots keep the
+    // result bit-identical to the serial path at any pool size.
     const metrics::EvalResult eval =
-        metrics::evaluate(*global_model_, test_set_, config_.eval_batch_size);
+        metrics::evaluate(*replica_pool_, global_weights_, test_set_, pool(),
+                          config_.eval_batch_size);
     record.test_accuracy = eval.accuracy;
     record.test_loss = eval.mean_loss;
   }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/attack/adversary.hpp"
+#include "src/comm/compression.hpp"
 #include "src/comm/network.hpp"
 #include "src/core/detector.hpp"
 #include "src/data/dataset.hpp"
@@ -61,6 +62,22 @@ struct ServerConfig {
   /// saves two serialization passes per participant per round.
   bool use_network = true;
   comm::NetworkConfig network;
+  /// Lossy wire codec for model traffic (DESIGN.md §13). kNone keeps the
+  /// dense f32 protocol. fp16/int8 quantize the broadcast once per round
+  /// — the server adopts its own dequantized broadcast as the round's
+  /// reference w̃_t, so both endpoints train and diff against the
+  /// identical float image — and carry the uplink as a quantized weight
+  /// *delta* with per-client error feedback (the residual each code drops
+  /// is added into the client's next delta). Applied identically with
+  /// use_network = false, so accuracy effects are measurable without the
+  /// fabric; only the byte metering needs the network.
+  comm::QuantMode quant = comm::QuantMode::kNone;
+  /// Uplink top-k composition: quantize only this fraction of the
+  /// delta's largest-|v| coordinates (bitmap-coded presence, see
+  /// compression.hpp). 1 keeps every coordinate. Ignored when quant is
+  /// kNone; the downlink is always dense (a sparse broadcast would
+  /// silently zero most of the model).
+  double quant_keep = 1.0;
   /// Turn on the obs subsystem (span tracing + metrics registry) for
   /// this process. Off leaves every probe behind a single relaxed
   /// atomic load — see DESIGN.md §9 for the overhead policy.
@@ -119,18 +136,18 @@ class Server {
   /// the cohort-scale bench.
   const nn::ReplicaPool* replica_pool() const { return replica_pool_.get(); }
 
-  /// Serialize the full resumable server state to `path` (binary, v4
+  /// Serialize the full resumable server state to `path` (binary, v5
   /// format by default): round counter, global + cached (reverse-target)
   /// weights, detector reference, sampler state (RNG stream, round-robin
   /// cursor, per-client loss memory), straggler RNG, per-client state
   /// (batch RNG + FedCurv anchors), the comm fabric's fault-RNG streams
-  /// and in-flight messages (v3), and — new in v4 — the fabric's
-  /// traffic/fault accounting, so a resumed chaos run replays the exact
-  /// fault sequence AND keeps the FaultStats conservation invariant. A
-  /// run resumed from the file is bit-identical to one that never
-  /// stopped. `version` may be 2 or 3 to emit the legacy formats
-  /// (compat testing).
-  void save_checkpoint(const std::string& path, int version = 4) const;
+  /// and in-flight messages (v3), the fabric's traffic/fault accounting
+  /// (v4), and — new in v5 — each client's quantization error-feedback
+  /// residual, so a quantized run resumed mid-stream reproduces the
+  /// exact deltas the uninterrupted run would have sent. A run resumed
+  /// from the file is bit-identical to one that never stopped. `version`
+  /// may be 2–4 to emit the legacy formats (compat testing).
+  void save_checkpoint(const std::string& path, int version = 5) const;
   /// Restore state from save_checkpoint output. v3 files load with the
   /// fabric's accounting restarted from zero (their layout never carried
   /// it); v2 files load with the fabric reset to its freshly-seeded

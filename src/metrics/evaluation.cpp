@@ -7,6 +7,34 @@
 
 namespace fedcav::metrics {
 
+namespace {
+// Derive precision/recall/F1 per class from the filled confusion matrix
+// — the shared tail of the serial and sharded evaluate paths.
+void finalize_per_class(EvalResult& result, std::size_t classes) {
+  result.per_class.resize(classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    std::size_t tp = result.confusion[c][c];
+    std::size_t fn = 0;
+    std::size_t fp = 0;
+    for (std::size_t j = 0; j < classes; ++j) {
+      if (j != c) {
+        fn += result.confusion[c][j];
+        fp += result.confusion[j][c];
+      }
+    }
+    ClassMetrics& m = result.per_class[c];
+    m.support = tp + fn;
+    m.precision =
+        (tp + fp) == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
+    m.recall =
+        (tp + fn) == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fn);
+    m.f1 = (m.precision + m.recall) == 0.0
+               ? 0.0
+               : 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+}
+}  // namespace
+
 double EvalResult::macro_f1() const {
   if (per_class.empty()) return 0.0;
   double acc = 0.0;
@@ -44,26 +72,69 @@ EvalResult evaluate(nn::Model& model, const data::Dataset& test, std::size_t bat
   }
   result.accuracy = static_cast<double>(correct) / static_cast<double>(test.size());
   result.mean_loss = loss_sum / static_cast<double>(test.size());
+  finalize_per_class(result, classes);
+  return result;
+}
 
-  result.per_class.resize(classes);
-  for (std::size_t c = 0; c < classes; ++c) {
-    std::size_t tp = result.confusion[c][c];
-    std::size_t fn = 0;
-    std::size_t fp = 0;
-    for (std::size_t j = 0; j < classes; ++j) {
-      if (j != c) {
-        fn += result.confusion[c][j];
-        fp += result.confusion[j][c];
+EvalResult evaluate(nn::ReplicaPool& replicas, const nn::Weights& weights,
+                    const data::Dataset& test, ThreadPool& pool,
+                    std::size_t batch_size) {
+  FEDCAV_REQUIRE(!test.empty(), "evaluate: empty test set");
+  FEDCAV_REQUIRE(batch_size > 0, "evaluate: zero batch size");
+  const std::size_t classes = test.num_classes();
+  const std::size_t num_batches = (test.size() + batch_size - 1) / batch_size;
+
+  // One slot per batch. The shard boundaries below depend on the worker
+  // count, but since every batch writes only its own slot and the fold
+  // walks the slots in batch order, the result does not.
+  struct BatchSlot {
+    double loss_sum = 0.0;
+    std::vector<std::size_t> labels;
+    std::vector<std::size_t> preds;
+  };
+  std::vector<BatchSlot> slots(num_batches);
+
+  const std::size_t shards = std::min(num_batches, pool.size());
+  const std::size_t per_shard = (num_batches + shards - 1) / shards;
+  pool.parallel_for(shards, [&](std::size_t shard) {
+    const std::size_t b_begin = shard * per_shard;
+    const std::size_t b_end = std::min(num_batches, b_begin + per_shard);
+    if (b_begin >= b_end) return;
+    nn::ReplicaPool::Lease lease = replicas.acquire();
+    lease->set_weights(weights);
+    std::vector<std::size_t> indices;
+    for (std::size_t bi = b_begin; bi < b_end; ++bi) {
+      const std::size_t begin = bi * batch_size;
+      const std::size_t end = std::min(test.size(), begin + batch_size);
+      indices.resize(end - begin);
+      for (std::size_t i = begin; i < end; ++i) indices[i - begin] = i;
+      BatchSlot& slot = slots[bi];
+      Tensor batch = test.make_batch(indices, &slot.labels);
+      Tensor logits = lease->predict(batch);
+      slot.loss_sum = static_cast<double>(lease->loss().forward(logits, slot.labels)) *
+                      static_cast<double>(slot.labels.size());
+      const std::size_t cols = logits.shape()[1];
+      slot.preds.resize(slot.labels.size());
+      for (std::size_t b = 0; b < slot.labels.size(); ++b) {
+        slot.preds[b] = ops::argmax(std::span(logits.data() + b * cols, cols));
       }
     }
-    ClassMetrics& m = result.per_class[c];
-    m.support = tp + fn;
-    m.precision = (tp + fp) == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
-    m.recall = (tp + fn) == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fn);
-    m.f1 = (m.precision + m.recall) == 0.0
-               ? 0.0
-               : 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  });
+
+  EvalResult result;
+  result.confusion.assign(classes, std::vector<std::size_t>(classes, 0));
+  std::size_t correct = 0;
+  double loss_sum = 0.0;
+  for (const BatchSlot& slot : slots) {
+    loss_sum += slot.loss_sum;
+    for (std::size_t b = 0; b < slot.labels.size(); ++b) {
+      result.confusion[slot.labels[b]][slot.preds[b]] += 1;
+      if (slot.preds[b] == slot.labels[b]) ++correct;
+    }
   }
+  result.accuracy = static_cast<double>(correct) / static_cast<double>(test.size());
+  result.mean_loss = loss_sum / static_cast<double>(test.size());
+  finalize_per_class(result, classes);
   return result;
 }
 

@@ -8,6 +8,8 @@
 
 #include "src/data/dataset.hpp"
 #include "src/nn/model.hpp"
+#include "src/nn/replica_pool.hpp"
+#include "src/utils/threadpool.hpp"
 
 namespace fedcav::metrics {
 
@@ -29,6 +31,16 @@ struct EvalResult {
 
 /// Evaluate in mini-batches of `batch_size` to bound peak memory.
 EvalResult evaluate(nn::Model& model, const data::Dataset& test,
+                    std::size_t batch_size = 64);
+
+/// Parallel evaluation over leased model replicas. The test batches are
+/// fixed slots: batch i's per-example predictions and loss land in slot
+/// i no matter which worker computed them, and the slots fold in
+/// ascending batch order — bit-identical to evaluate() at any pool
+/// size (DESIGN.md §13 fixed-slot contract). `weights` is loaded into
+/// every leased replica before it predicts.
+EvalResult evaluate(nn::ReplicaPool& replicas, const nn::Weights& weights,
+                    const data::Dataset& test, ThreadPool& pool,
                     std::size_t batch_size = 64);
 
 /// Accuracy only (cheaper; skips the confusion matrix bookkeeping).

@@ -1,9 +1,11 @@
 #include "src/nn/conv2d.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/nn/init.hpp"
 #include "src/tensor/ops.hpp"
+#include "src/tensor/parallel.hpp"
 #include "src/utils/error.hpp"
 
 namespace fedcav::nn {
@@ -18,50 +20,204 @@ namespace {
 // traffic, so each image keeps a contiguous block.
 constexpr std::size_t kFusedPlaneMax = 2 * ops::kGemmNr;
 
-// A small stride-1 convolution (kernel support C_in·K² ≤ kDirectMaxCr)
-// is overhead-bound under im2col+GEMM: the expansion duplicates the
-// image K²-fold only to be copied through tiny per-row segments, and
-// the GEMM then spends more on packing and edge tiles than on math. The
+// Upper plane bound for choosing the fused layout on layers the direct
+// kernels can't take (strided convs, stride-2 1×1 projections). Their
+// per-image GEMMs are packing-bound at these sizes; one whole-batch GEMM
+// over n = batch·plane columns is not. Per-element contraction order of
+// a GEMM is independent of its n extent, so the layout switch does not
+// change forward results (dW's accumulation order does change — those
+// layers are tolerance-tested, not pinned).
+constexpr std::size_t kFusedWideMax = 64;
+
+// A stride-1 convolution whose rows fit the vector accumulators below is
+// overhead-bound under im2col+GEMM: the expansion duplicates the image
+// K²-fold only to be copied through tiny per-row segments, and the GEMM
+// then spends more on lowering, packing and edge tiles than on math. The
 // direct path pads the image once (no interval logic, no branches) and
-// runs fixed-length row FMAs straight off the padded planes.
-constexpr std::size_t kDirectMaxCr = 2 * ops::kGemmNr;
-// One output row must fit the 16-lane vector accumulator below.
+// runs fixed-length row FMAs straight off the padded planes. The support
+// bound exists only to keep the weight walk of one output row inside L1;
+// every conv in the model zoo is far below it.
+constexpr std::size_t kDirectMaxCr = 512;
+// One output row must fit the widest vector accumulator below.
 constexpr std::size_t kDirectMaxW = 16;
-// The row loads read a full 16-lane vector from arbitrary kw offsets, so
-// padded buffers carry this much zeroed slack past the last plane.
+// The row loads read a full vector from arbitrary kw offsets, so padded
+// buffers carry this much zeroed slack past the last plane.
 constexpr std::size_t kDirectSlack = kDirectMaxW;
+
+// Intra-op fan-out thresholds. Below kConvParallelMinFlops a layer call
+// stays on the single-thread path — the LeNet/MLP shapes lose more to
+// fork/join than they gain (and the golden digits/lenet5 run must keep
+// its exact serial schedule). The dW slice decomposition additionally
+// requires kDwSliceMinFlops, because slicing changes the fold order of
+// the per-image contributions (see backward_per_image).
+constexpr std::size_t kConvParallelMinFlops = std::size_t{1} << 21;
+constexpr std::size_t kDwSliceMinFlops = std::size_t{1} << 22;
+// Images per dW slice. The slice boundaries are a pure function of the
+// batch size — never of the worker count — so the slice-partial fold is
+// bit-identical at any thread count (DESIGN.md §13).
+constexpr std::size_t kDwSliceImages = 8;
 
 #if defined(__GNUC__) || defined(__clang__)
 #define FEDCAV_CONV_VECTOR_DIRECT 1
-// Same trick as the GEMM micro-kernel: a 64-byte GNU vector keeps the
-// whole output row in registers across the kernel walk, so each (kh,kw)
-// tap is one unaligned load + one FMA. GCC lowers it to 2×AVX2 or
-// 1×AVX-512 per op.
-using VecW = float __attribute__((vector_size(kDirectMaxW * sizeof(float))));
+#endif
 
-inline VecW load_vecw(const float* p) {
-  VecW v;
+// Same trick as the GEMM micro-kernel: a GNU vector keeps a whole output
+// row in registers across the kernel walk, so each (kh,kw) tap is one
+// unaligned load + one FMA. The kernels are compiled at two lane widths:
+// W = 16 (one AVX-512 op per row) for planes up to 16 wide, and W = 8
+// (one AVX2 op) for planes no wider than 8, where the wide vector would
+// waste over half its lanes. Per-lane float semantics are identical, so
+// the width choice never changes results — only occupancy.
+template <std::size_t W>
+struct VecOf {
+#ifdef FEDCAV_CONV_VECTOR_DIRECT
+  typedef float type __attribute__((vector_size(W * sizeof(float))));
+#else
+  struct type {  // portable fallback: a plain lane array
+    float l[W];
+    type operator+(const type&) const = delete;  // unused; kernels below
+  };
+#endif
+};
+
+#ifdef FEDCAV_CONV_VECTOR_DIRECT
+
+template <std::size_t W>
+inline typename VecOf<W>::type load_vecw(const float* p) {
+  typename VecOf<W>::type v;
   __builtin_memcpy(&v, p, sizeof(v));  // unaligned load
   return v;
 }
 
-inline void store_row(const VecW& acc, float* __restrict__ d, std::size_t ow) {
-  float buf[kDirectMaxW];
+template <std::size_t W>
+inline void store_row(const typename VecOf<W>::type& acc, float* __restrict__ d,
+                      std::size_t ow) {
+  float buf[W];
   __builtin_memcpy(buf, &acc, sizeof(acc));
   for (std::size_t x = 0; x < ow; ++x) d[x] = buf[x];
 }
+
+template <std::size_t W>
+inline float lane_sum(const typename VecOf<W>::type& acc) {
+  float buf[W];
+  __builtin_memcpy(buf, &acc, sizeof(acc));
+  float s = 0.0f;
+  for (std::size_t l = 0; l < W; ++l) s += buf[l];
+  return s;
+}
+
+// Pairwise tree fold: log₂(W) rounds of independent adds instead of one
+// W-long dependency chain (~4× lower latency at W=16). Used by the k==3
+// dW specialization, whose layers are tolerance-tested; the generic dW
+// walk keeps the ascending lane_sum above, whose order the golden
+// lenet5 run pins. Both orders are worker-count independent.
+template <std::size_t W>
+inline float lane_sum_tree(const typename VecOf<W>::type& acc) {
+  float buf[W];
+  __builtin_memcpy(buf, &acc, sizeof(acc));
+  for (std::size_t h = W / 2; h > 0; h /= 2) {
+    for (std::size_t i = 0; i < h; ++i) buf[i] += buf[i + h];
+  }
+  return buf[0];
+}
+
 #endif
 
-// Copy `planes` (h × w) planes into a zeroed (h+2p × w+2p) buffer each,
-// including kDirectSlack zeroed floats of tail slack (the vector loads
-// overrun rows by up to kDirectMaxW-1 lanes; those lanes are discarded
-// at the store, but must read mapped, finite memory). Open-coded row
-// copies: rows are a handful of floats here.
-void pad_planes(const float* src, std::size_t planes, std::size_t h,
-                std::size_t w, std::size_t pad, float* dst) {
-  const std::size_t pw = w + 2 * pad;
+// Sum `rows` rows of `row_len` floats (rows `row_stride` apart) into one
+// double. The serial variant is ONE dependency chain in historical
+// (ascending) order — the order the golden lenet5 run pins. The striped
+// variant runs kBiasStripes independent chains (vectorizable: ~8× the
+// throughput of the serial chain) and folds them in ascending stripe
+// order, then the tail — deterministic and worker-count independent,
+// but a DIFFERENT order, so it is gated on the BATCH size (a pure
+// function of the input shape): batches below kBiasStripeBatch keep the
+// serial chain, which the golden configurations (batch 10) sit below.
+constexpr std::size_t kBiasStripes = 16;
+constexpr std::size_t kBiasStripeBatch = 16;
+
+double sum_rows_serial(const float* base, std::size_t rows,
+                       std::size_t row_len, std::size_t row_stride) {
+  double acc = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* __restrict__ p = base + r * row_stride;
+    for (std::size_t i = 0; i < row_len; ++i) acc += static_cast<double>(p[i]);
+  }
+  return acc;
+}
+
+double sum_rows_striped(const float* base, std::size_t rows,
+                        std::size_t row_len, std::size_t row_stride) {
+  double stripe[kBiasStripes] = {0.0};
+  double tail = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* __restrict__ p = base + r * row_stride;
+    std::size_t i = 0;
+    for (; i + kBiasStripes <= row_len; i += kBiasStripes) {
+      for (std::size_t j = 0; j < kBiasStripes; ++j) {
+        stripe[j] += static_cast<double>(p[i + j]);
+      }
+    }
+    for (; i < row_len; ++i) tail += static_cast<double>(p[i]);
+  }
+  double acc = 0.0;
+  for (std::size_t j = 0; j < kBiasStripes; ++j) acc += stripe[j];
+  return acc + tail;
+}
+
+double sum_rows(const float* base, std::size_t rows, std::size_t row_len,
+                std::size_t row_stride, std::size_t batch) {
+  return batch >= kBiasStripeBatch
+             ? sum_rows_striped(base, rows, row_len, row_stride)
+             : sum_rows_serial(base, rows, row_len, row_stride);
+}
+
+// Copy `planes` (h × w) planes into a PRE-ZEROED buffer of (h+2p) rows
+// of (w + 2p + extra_right) floats each, plus kDirectSlack floats of
+// tail slack (the vector loads overrun rows by up to kDirectMaxW-1
+// lanes; those lanes are discarded at the store or multiplied by zero,
+// but must read mapped, finite memory). extra_right widens the zero run
+// after each row's data so conv_dw_padded's full-lane reductions only
+// ever sum zeros past out_w. Only the data rows are written: the buffer
+// comes from Workspace::zeroed_once (shape Shape::of(planes·ph·pw +
+// kDirectSlack)), every image rewrites the same data extents, and the
+// kernels never write the buffer — so the pad lanes stay zero for the
+// layer's lifetime and the per-image memset is gone.
+void pad_planes(const float* src, std::size_t src_readable, std::size_t planes,
+                std::size_t h, std::size_t w, std::size_t pad,
+                std::size_t extra_right, float* dst) {
+  const std::size_t pw = w + 2 * pad + extra_right;
   const std::size_t ph = h + 2 * pad;
-  std::memset(dst, 0, (planes * ph * pw + kDirectSlack) * sizeof(float));
+#ifdef FEDCAV_CONV_VECTOR_DIRECT
+  if (w <= 16) {
+    // Masked vector copy: one 16-lane store per row, lanes ≥ w forced to
+    // zero. The zero lanes re-zero every pad lane the store covers, so
+    // the zeroed_once invariant holds even though the store may spill
+    // past the row (only zeros land there, and ascending y/plane order
+    // rewrites any spilled-over data lanes afterwards; the buffer's
+    // kDirectSlack absorbs the final row's spill). The vector LOAD reads
+    // 16 floats from the row start; rows within 16 floats of the
+    // caller's readable extent (src_readable — the distance to the END
+    // of the underlying tensor, not of this image) take the scalar walk
+    // so the load never crosses the allocation.
+    using V = typename VecOf<16>::type;
+    V mask{};
+    for (std::size_t l = 0; l < 16; ++l) mask[l] = l < w ? 1.0f : 0.0f;
+    for (std::size_t pl = 0; pl < planes; ++pl) {
+      for (std::size_t y = 0; y < h; ++y) {
+        const std::size_t row_off = (pl * h + y) * w;
+        const float* s = src + row_off;
+        float* d = dst + pl * ph * pw + (y + pad) * pw + pad;
+        if (row_off + 16 > src_readable) {
+          for (std::size_t x = 0; x < w; ++x) d[x] = s[x];
+        } else {
+          const V v = load_vecw<16>(s) * mask;
+          __builtin_memcpy(d, &v, sizeof(v));
+        }
+      }
+    }
+    return;
+  }
+#endif
   for (std::size_t pl = 0; pl < planes; ++pl) {
     for (std::size_t y = 0; y < h; ++y) {
       const float* __restrict__ s = src + (pl * h + y) * w;
@@ -71,32 +227,123 @@ void pad_planes(const float* src, std::size_t planes, std::size_t h,
   }
 }
 
+// Pair-interleaved padding: images A and B share each 16-lane row, each
+// owning an 8-lane segment laid out [pad zeros][row data][zeros]. Every
+// data row is written FULL-width (pads re-zeroed each time), so only the
+// all-zero top/bottom pad rows rely on the zeroed_once invariant. A null
+// srcB (odd batch tail) zero-fills the B lanes. See the pair-path note
+// above Conv2D::use_pair() for why the segment borrowing is sound.
+void pad_planes_pair(const float* srcA, const float* srcB, std::size_t planes,
+                     std::size_t h, std::size_t w, std::size_t pad,
+                     float* dst) {
+  const std::size_t ph = h + 2 * pad;
+  for (std::size_t pl = 0; pl < planes; ++pl) {
+    for (std::size_t y = 0; y < h; ++y) {
+      float buf[16] = {0.0f};
+      const float* __restrict__ sa = srcA + (pl * h + y) * w;
+      for (std::size_t x = 0; x < w; ++x) buf[pad + x] = sa[x];
+      if (srcB != nullptr) {
+        const float* __restrict__ sb = srcB + (pl * h + y) * w;
+        for (std::size_t x = 0; x < w; ++x) buf[8 + pad + x] = sb[x];
+      }
+      __builtin_memcpy(dst + (pl * ph + y + pad) * 16, buf, sizeof(buf));
+    }
+  }
+}
+
 // out[c][y][x] = bias[c] + Σ_{ci,kh,kw} W(c, ci·K²+kh·K+kw) ·
 // pin[ci][y+kh][x+kw]. The weight walk matches the im2col row order, so
-// the contraction order is the GEMM's.
+// the contraction order is the GEMM's. Rows are processed four at a time
+// — one weight broadcast feeds four row FMAs, lifting the FMA:load ratio
+// from 1:2 to 4:5 — which regroups work ACROSS output elements only;
+// each element's tap order is untouched, so the blocking is bit-identical
+// to the single-row loop (which handles the oh % 4 remainder).
+#ifdef FEDCAV_CONV_VECTOR_DIRECT
+
+// One (C output channels × R output rows) register block of the forward
+// convolution: the C·R accumulators share every input-row load (R rows ×
+// one load per kw) against C weight broadcasts, which is what moves the
+// kernel from load-bound (1 FMA per 1.25 loads at C=1,R=4) to FMA-bound
+// (8 FMAs per 6 loads at C=2,R=4). Each output element still owns one
+// accumulator fed in ci→kh→kw tap order, so any (C,R) tiling is
+// bit-identical to the C=1,R=1 loop.
+template <std::size_t W, std::size_t R, std::size_t C>
+inline void conv_fwd_block(const float* pin, std::size_t pplane,
+                           std::size_t pw, const float* w, std::size_t c0,
+                           const float* bias, std::size_t cin, std::size_t k,
+                           std::size_t y, std::size_t oh, std::size_t ow,
+                           float* out) {
+  using V = typename VecOf<W>::type;
+  V acc[C][R];
+  const float* wk[C];
+  for (std::size_t cc = 0; cc < C; ++cc) {
+    V b;
+    for (std::size_t l = 0; l < W; ++l) b[l] = bias[c0 + cc];
+    for (std::size_t r = 0; r < R; ++r) acc[cc][r] = b;
+    wk[cc] = w + (c0 + cc) * cin * k * k;
+  }
+  for (std::size_t ci = 0; ci < cin; ++ci) {
+    const float* pch = pin + ci * pplane;
+    for (std::size_t kh = 0; kh < k; ++kh) {
+      const float* row0 = pch + (y + kh) * pw;
+      for (std::size_t kw = 0; kw < k; ++kw) {
+        V rv[R];
+        for (std::size_t r = 0; r < R; ++r) {
+          rv[r] = load_vecw<W>(row0 + r * pw + kw);
+        }
+        for (std::size_t cc = 0; cc < C; ++cc) {
+          const float wv = *wk[cc]++;
+          for (std::size_t r = 0; r < R; ++r) acc[cc][r] += wv * rv[r];
+        }
+      }
+    }
+  }
+  for (std::size_t cc = 0; cc < C; ++cc) {
+    float* orow = out + ((c0 + cc) * oh + y) * ow;
+    for (std::size_t r = 0; r < R; ++r) {
+      store_row<W>(acc[cc][r], orow + r * ow, ow);
+    }
+  }
+}
+
+template <std::size_t W, std::size_t C>
+inline void conv_fwd_rows(const float* pin, std::size_t pplane, std::size_t pw,
+                          const float* w, std::size_t c0, const float* bias,
+                          std::size_t cin, std::size_t k, std::size_t oh,
+                          std::size_t ow, float* out) {
+  std::size_t y = 0;
+  for (; y + 4 <= oh; y += 4) {
+    conv_fwd_block<W, 4, C>(pin, pplane, pw, w, c0, bias, cin, k, y, oh, ow, out);
+  }
+  if (y + 2 <= oh) {
+    conv_fwd_block<W, 2, C>(pin, pplane, pw, w, c0, bias, cin, k, y, oh, ow, out);
+    y += 2;
+  }
+  if (y < oh) {
+    conv_fwd_block<W, 1, C>(pin, pplane, pw, w, c0, bias, cin, k, y, oh, ow, out);
+  }
+}
+
+#endif
+
+template <std::size_t W>
 void conv_fwd_padded(const float* pin, std::size_t pplane, std::size_t pw,
                      const float* w, const float* bias, std::size_t oc,
                      std::size_t cin, std::size_t k, std::size_t oh,
                      std::size_t ow, float* out) {
+#ifdef FEDCAV_CONV_VECTOR_DIRECT
+  std::size_t c = 0;
+  for (; c + 2 <= oc; c += 2) {
+    conv_fwd_rows<W, 2>(pin, pplane, pw, w, c, bias, cin, k, oh, ow, out);
+  }
+  if (c < oc) {
+    conv_fwd_rows<W, 1>(pin, pplane, pw, w, c, bias, cin, k, oh, ow, out);
+  }
+#else
   for (std::size_t c = 0; c < oc; ++c) {
     const float* wc = w + c * cin * k * k;
     const float bc = bias[c];
     for (std::size_t y = 0; y < oh; ++y) {
-#ifdef FEDCAV_CONV_VECTOR_DIRECT
-      VecW acc;
-      for (std::size_t l = 0; l < kDirectMaxW; ++l) acc[l] = bc;
-      const float* wk = wc;
-      for (std::size_t ci = 0; ci < cin; ++ci) {
-        const float* pch = pin + ci * pplane;
-        for (std::size_t kh = 0; kh < k; ++kh) {
-          const float* prow = pch + (y + kh) * pw;
-          for (std::size_t kw = 0; kw < k; ++kw) {
-            acc += *wk++ * load_vecw(prow + kw);
-          }
-        }
-      }
-      store_row(acc, out + (c * oh + y) * ow, ow);
-#else
       float acc[kDirectMaxW];
       for (std::size_t x = 0; x < ow; ++x) acc[x] = bc;
       const float* wk = wc;
@@ -113,78 +360,237 @@ void conv_fwd_padded(const float* pin, std::size_t pplane, std::size_t pw,
       }
       float* __restrict__ d = out + (c * oh + y) * ow;
       for (std::size_t x = 0; x < ow; ++x) d[x] = acc[x];
-#endif
     }
   }
+#endif
 }
 
 // dW(c, ci·K²+kh·K+kw) += Σ_{y,x} g[c][y][x] · pin[ci][y+kh][x+kw],
 // computed as one vector accumulator per weight tap swept down the rows,
 // with a single lane sum at the end. Reads the TRANSPOSE-padded gradient
-// so the lanes past out_w land on padding zeros and contribute nothing;
-// the caller guarantees kDirectMaxW - ow ≤ 2·tpad (or ow == kDirectMaxW)
-// so that zero run is long enough.
-void conv_dw_padded(const float* pin, std::size_t pplane, std::size_t pw,
-                    const float* pg, std::size_t pgplane, std::size_t pgw,
-                    std::size_t tpad, std::size_t oc, std::size_t cin,
-                    std::size_t k, std::size_t oh, std::size_t ow, float* dw) {
-  for (std::size_t c = 0; c < oc; ++c) {
-    const float* gplane = pg + c * pgplane;
-    for (std::size_t ci = 0; ci < cin; ++ci) {
-      const float* pch = pin + ci * pplane;
-      float* dwtap = dw + (c * cin + ci) * k * k;
+// whose rows pad_planes() right-extended, so the lanes past out_w land
+// on padding zeros and contribute nothing. C output channels are swept
+// together so the input-row loads are shared (the k==3 specialization
+// additionally shares each gradient-row load across the three kw taps);
+// every tap keeps its own accumulator fed in ascending y with the same
+// ascending lane sum, so the (C, kw) grouping never changes results.
+#ifdef FEDCAV_CONV_VECTOR_DIRECT
+
+// `nimg` padded images (pin/pg strides apart) are swept per call. The
+// k==3 specialization accumulates each tap's vector across ALL images
+// before its one horizontal fold — at 7-row planes the fold is ~half the
+// kernel's work when done per image, and the image count per call is a
+// pure function of the batch size (the dW slice), never of the worker
+// count. The generic-k walk folds PER IMAGE in ascending image order,
+// which is exactly the historical per-image call sequence the golden
+// lenet5 run pins (each dw scalar receives the same per-image partials
+// in the same order).
+template <std::size_t W, std::size_t C>
+inline void conv_dw_chans(const float* pin, std::size_t pin_stride,
+                          std::size_t pplane, std::size_t pw, const float* pg,
+                          std::size_t pg_stride, std::size_t pgplane,
+                          std::size_t pgw, std::size_t nimg, std::size_t tpad,
+                          std::size_t c0, std::size_t cin, std::size_t k,
+                          std::size_t oh, float* dw) {
+  using V = typename VecOf<W>::type;
+  for (std::size_t ci = 0; ci < cin; ++ci) {
+    float* dwtap[C];
+    for (std::size_t cc = 0; cc < C; ++cc) {
+      dwtap[cc] = dw + ((c0 + cc) * cin + ci) * k * k;
+    }
+    if (k == 3) {
+      for (std::size_t kh = 0; kh < 3; ++kh) {
+        V q[C][3];
+        for (std::size_t cc = 0; cc < C; ++cc) {
+          for (std::size_t j = 0; j < 3; ++j) q[cc][j] = V{};
+        }
+        for (std::size_t img = 0; img < nimg; ++img) {
+          const float* pch = pin + img * pin_stride + ci * pplane;
+          const float* gplane[C];
+          for (std::size_t cc = 0; cc < C; ++cc) {
+            gplane[cc] = pg + img * pg_stride + (c0 + cc) * pgplane +
+                         tpad * pgw + tpad;
+          }
+          for (std::size_t y = 0; y < oh; ++y) {
+            const float* prow = pch + (y + kh) * pw;
+            const V p0 = load_vecw<W>(prow);
+            const V p1 = load_vecw<W>(prow + 1);
+            const V p2 = load_vecw<W>(prow + 2);
+            for (std::size_t cc = 0; cc < C; ++cc) {
+              const V gv = load_vecw<W>(gplane[cc] + y * pgw);
+              q[cc][0] += gv * p0;
+              q[cc][1] += gv * p1;
+              q[cc][2] += gv * p2;
+            }
+          }
+        }
+        for (std::size_t cc = 0; cc < C; ++cc) {
+          for (std::size_t j = 0; j < 3; ++j) {
+            dwtap[cc][kh * 3 + j] += lane_sum_tree<W>(q[cc][j]);
+          }
+        }
+      }
+      continue;
+    }
+    for (std::size_t img = 0; img < nimg; ++img) {
+      const float* pch = pin + img * pin_stride + ci * pplane;
+      const float* gplane[C];
+      for (std::size_t cc = 0; cc < C; ++cc) {
+        gplane[cc] =
+            pg + img * pg_stride + (c0 + cc) * pgplane + tpad * pgw + tpad;
+      }
       for (std::size_t kh = 0; kh < k; ++kh) {
         for (std::size_t kw = 0; kw < k; ++kw) {
-#ifdef FEDCAV_CONV_VECTOR_DIRECT
-          VecW acc{};
+          V acc[C];
+          for (std::size_t cc = 0; cc < C; ++cc) acc[cc] = V{};
           for (std::size_t y = 0; y < oh; ++y) {
-            const float* grow = gplane + (y + tpad) * pgw + tpad;
-            const float* prow = pch + (y + kh) * pw + kw;
-            acc += load_vecw(grow) * load_vecw(prow);
+            const V pv = load_vecw<W>(pch + (y + kh) * pw + kw);
+            for (std::size_t cc = 0; cc < C; ++cc) {
+              acc[cc] += load_vecw<W>(gplane[cc] + y * pgw) * pv;
+            }
           }
-          float buf[kDirectMaxW];
-          __builtin_memcpy(buf, &acc, sizeof(acc));
-          float s = 0.0f;
-          for (std::size_t l = 0; l < kDirectMaxW; ++l) s += buf[l];
-#else
-          float s = 0.0f;
-          for (std::size_t y = 0; y < oh; ++y) {
-            const float* __restrict__ grow = gplane + (y + tpad) * pgw + tpad;
-            const float* __restrict__ prow = pch + (y + kh) * pw + kw;
-            for (std::size_t x = 0; x < ow; ++x) s += grow[x] * prow[x];
+          for (std::size_t cc = 0; cc < C; ++cc) {
+            dwtap[cc][kh * k + kw] += lane_sum<W>(acc[cc]);
           }
-#endif
-          dwtap[kh * k + kw] += s;
         }
       }
     }
   }
 }
 
+#endif
+
+template <std::size_t W>
+void conv_dw_padded(const float* pin, std::size_t pin_stride,
+                    std::size_t pplane, std::size_t pw, const float* pg,
+                    std::size_t pg_stride, std::size_t pgplane,
+                    std::size_t pgw, std::size_t nimg, std::size_t tpad,
+                    std::size_t oc, std::size_t cin, std::size_t k,
+                    std::size_t oh, std::size_t ow, float* dw) {
+  (void)ow;
+#ifdef FEDCAV_CONV_VECTOR_DIRECT
+  std::size_t c = 0;
+  if (W == 16) {
+    // 32 vector registers at this width: a 4-channel group (12 tap
+    // accumulators + 4 gradient rows + shared input rows) still fits.
+    for (; c + 4 <= oc; c += 4) {
+      conv_dw_chans<W, 4>(pin, pin_stride, pplane, pw, pg, pg_stride, pgplane,
+                          pgw, nimg, tpad, c, cin, k, oh, dw);
+    }
+  }
+  for (; c + 2 <= oc; c += 2) {
+    conv_dw_chans<W, 2>(pin, pin_stride, pplane, pw, pg, pg_stride, pgplane,
+                        pgw, nimg, tpad, c, cin, k, oh, dw);
+  }
+  if (c < oc) {
+    conv_dw_chans<W, 1>(pin, pin_stride, pplane, pw, pg, pg_stride, pgplane,
+                        pgw, nimg, tpad, c, cin, k, oh, dw);
+  }
+#else
+  for (std::size_t img = 0; img < nimg; ++img) {
+    for (std::size_t c = 0; c < oc; ++c) {
+      const float* gplane = pg + img * pg_stride + c * pgplane;
+      for (std::size_t ci = 0; ci < cin; ++ci) {
+        const float* pch = pin + img * pin_stride + ci * pplane;
+        float* dwtap = dw + (c * cin + ci) * k * k;
+        for (std::size_t kh = 0; kh < k; ++kh) {
+          for (std::size_t kw = 0; kw < k; ++kw) {
+            float s = 0.0f;
+            for (std::size_t y = 0; y < oh; ++y) {
+              const float* __restrict__ grow = gplane + (y + tpad) * pgw + tpad;
+              const float* __restrict__ prow = pch + (y + kh) * pw + kw;
+              for (std::size_t x = 0; x < ow; ++x) s += grow[x] * prow[x];
+            }
+            dwtap[kh * k + kw] += s;
+          }
+        }
+      }
+    }
+  }
+#endif
+}
+
 // The transpose: dx[ci][y][x] = Σ_{c,kh,kw} W(c, ci·K²+kh·K+kw) ·
 // g[c][y-kh+p][x-kw+p], evaluated branch-free against the gradient
-// padded by K-1-p (the transpose-convolution padding identity).
+// padded by K-1-p (the transpose-convolution padding identity), with the
+// same (C input channels × R rows) register blocking as the forward —
+// here the C accumulator groups share the gradient-row loads against C
+// weight broadcasts. Per-element tap order (c→kh→kw) is unchanged by
+// either grouping.
+#ifdef FEDCAV_CONV_VECTOR_DIRECT
+
+template <std::size_t W, std::size_t R, std::size_t C>
+inline void conv_dx_block(const float* pg, std::size_t pgplane,
+                          std::size_t pgw, const float* w, std::size_t ci0,
+                          std::size_t oc, std::size_t cin, std::size_t k,
+                          std::size_t y, std::size_t h, std::size_t wid,
+                          float* dx) {
+  using V = typename VecOf<W>::type;
+  V acc[C][R];
+  for (std::size_t cc = 0; cc < C; ++cc) {
+    for (std::size_t r = 0; r < R; ++r) acc[cc][r] = V{};
+  }
+  for (std::size_t c = 0; c < oc; ++c) {
+    const float* pch = pg + c * pgplane;
+    const float* wci = w + c * cin * k * k + ci0 * k * k;
+    for (std::size_t kh = 0; kh < k; ++kh) {
+      const float* row0 = pch + (y + kh) * pgw;
+      for (std::size_t kw = 0; kw < k; ++kw) {
+        V rv[R];
+        for (std::size_t r = 0; r < R; ++r) {
+          rv[r] = load_vecw<W>(row0 + r * pgw + kw);
+        }
+        for (std::size_t cc = 0; cc < C; ++cc) {
+          const float wv = wci[cc * k * k + (k - 1 - kh) * k + (k - 1 - kw)];
+          for (std::size_t r = 0; r < R; ++r) acc[cc][r] += wv * rv[r];
+        }
+      }
+    }
+  }
+  for (std::size_t cc = 0; cc < C; ++cc) {
+    float* drow = dx + ((ci0 + cc) * h + y) * wid;
+    for (std::size_t r = 0; r < R; ++r) {
+      store_row<W>(acc[cc][r], drow + r * wid, wid);
+    }
+  }
+}
+
+template <std::size_t W, std::size_t C>
+inline void conv_dx_rows(const float* pg, std::size_t pgplane, std::size_t pgw,
+                         const float* w, std::size_t ci0, std::size_t oc,
+                         std::size_t cin, std::size_t k, std::size_t h,
+                         std::size_t wid, float* dx) {
+  std::size_t y = 0;
+  for (; y + 4 <= h; y += 4) {
+    conv_dx_block<W, 4, C>(pg, pgplane, pgw, w, ci0, oc, cin, k, y, h, wid, dx);
+  }
+  if (y + 2 <= h) {
+    conv_dx_block<W, 2, C>(pg, pgplane, pgw, w, ci0, oc, cin, k, y, h, wid, dx);
+    y += 2;
+  }
+  if (y < h) {
+    conv_dx_block<W, 1, C>(pg, pgplane, pgw, w, ci0, oc, cin, k, y, h, wid, dx);
+  }
+}
+
+#endif
+
+template <std::size_t W>
 void conv_bwd_dx_padded(const float* pg, std::size_t pgplane, std::size_t pgw,
                         const float* w, std::size_t oc, std::size_t cin,
                         std::size_t k, std::size_t h, std::size_t wid,
                         float* dx) {
+#ifdef FEDCAV_CONV_VECTOR_DIRECT
+  std::size_t ci = 0;
+  for (; ci + 2 <= cin; ci += 2) {
+    conv_dx_rows<W, 2>(pg, pgplane, pgw, w, ci, oc, cin, k, h, wid, dx);
+  }
+  if (ci < cin) {
+    conv_dx_rows<W, 1>(pg, pgplane, pgw, w, ci, oc, cin, k, h, wid, dx);
+  }
+#else
   for (std::size_t ci = 0; ci < cin; ++ci) {
     for (std::size_t y = 0; y < h; ++y) {
-#ifdef FEDCAV_CONV_VECTOR_DIRECT
-      VecW acc{};
-      for (std::size_t c = 0; c < oc; ++c) {
-        const float* wbase = w + c * cin * k * k + ci * k * k;
-        const float* pch = pg + c * pgplane;
-        for (std::size_t kh = 0; kh < k; ++kh) {
-          const float* prow = pch + (y + kh) * pgw;
-          const float* wrow = wbase + (k - 1 - kh) * k;
-          for (std::size_t kw = 0; kw < k; ++kw) {
-            acc += wrow[k - 1 - kw] * load_vecw(prow + kw);
-          }
-        }
-      }
-      store_row(acc, dx + (ci * h + y) * wid, wid);
-#else
       float acc[kDirectMaxW];
       for (std::size_t x = 0; x < wid; ++x) acc[x] = 0.0f;
       for (std::size_t c = 0; c < oc; ++c) {
@@ -202,9 +608,9 @@ void conv_bwd_dx_padded(const float* pg, std::size_t pgplane, std::size_t pgw,
       }
       float* __restrict__ d = dx + (ci * h + y) * wid;
       for (std::size_t x = 0; x < wid; ++x) d[x] = acc[x];
-#endif
     }
   }
+#endif
 }
 
 // dW += g_b · cols_bᵀ for a tiny (C_out × col_rows) output, where the
@@ -233,6 +639,15 @@ void conv_dw_direct(const float* g, const float* cols, std::size_t oc,
   }
 }
 
+/// Fan-out width for disjoint-output batch work: 1 (serial) unless a
+/// kernel pool is attached, the work is divisible, and the layer is big
+/// enough to amortize the fork/join.
+std::size_t batch_fanout(std::size_t items, std::size_t total_flops) {
+  const std::size_t ways = ops::kernel_ways();
+  if (ways <= 1 || items < 2 || total_flops < kConvParallelMinFlops) return 1;
+  return std::min(ways, items);
+}
+
 }  // namespace
 
 Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
@@ -251,11 +666,43 @@ Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t ke
 
 bool Conv2D::use_direct() const {
   // in_w bounds the TRANSPOSE convolution's row store (dx rows), out_w
-  // the forward's; both must fit the vector accumulator.
+  // the forward's; both must fit the vector accumulator. 2·pad < kernel
+  // keeps the transpose-padded gradient tall enough for the dx row walk
+  // (every "valid"/"same" conv satisfies it).
   return geometry_.stride == 1 && geometry_.kernel_h == geometry_.kernel_w &&
-         geometry_.pad < geometry_.kernel_h &&
+         2 * geometry_.pad < geometry_.kernel_h &&
          geometry_.col_rows() <= kDirectMaxCr &&
          geometry_.out_w() <= kDirectMaxW && geometry_.in_w <= kDirectMaxW;
+}
+
+std::size_t Conv2D::direct_width() const {
+  // Planes no wider than 8 run the 8-lane kernels — the 16-lane vector
+  // would waste over half its lanes there. Width never changes per-lane
+  // math, only occupancy.
+  return std::max(geometry_.out_w(), geometry_.in_w) <= 8 ? 8 : 16;
+}
+
+// Pair-interleaved direct path: for "same"-padded geometries (2p+1 = k,
+// so out_w = in_w and the transpose pad equals p) whose padded rows fit
+// 8 lanes (in_w + p ≤ 8), images A and B share each 16-lane vector row —
+// A in lanes 0..7, B in lanes 8..15, each segment [p zeros][data][zeros].
+// The construction is self-padding: A's rightmost taps read B's leading
+// zeros, B's rightmost taps read the NEXT row's leading zeros (row
+// stride is 16, so the vector load's trailing lanes wrap into it), and
+// lanes holding wrapped data are either discarded at the store (forward
+// / dx write a full 16-wide scratch that the caller de-interleaves) or
+// multiplied by a zero gradient lane (dW). The W = 16 kernels run on the
+// pair buffers UNMODIFIED with pw = 16: per-lane tap order is identical
+// to the per-image walk, so forward and dx are bit-identical to it; only
+// dW's full-lane reduction changes (A's and B's contribution fold in one
+// lane_sum instead of image order), which no golden-pinned geometry
+// observes — lenet5's convs are either wider than 8 (conv1) or fused
+// (conv2), so pair eligibility covers tolerance-tested layers only
+// (cnn9's 7×7-plane convs). Pairing is a pure function of the batch
+// index (b, b+1), never of the worker count.
+bool Conv2D::use_pair() const {
+  return use_direct() && 2 * geometry_.pad + 1 == geometry_.kernel_h &&
+         geometry_.in_w + geometry_.pad <= 8;
 }
 
 const Tensor& Conv2D::forward(const Tensor& input, bool training) {
@@ -270,52 +717,87 @@ const Tensor& Conv2D::forward(const Tensor& input, bool training) {
   }
   ops::pack_a_into(ops::Trans::kNo, out_channels_, geometry_.col_rows(),
                    weight_.data(), geometry_.col_rows(), packed_w_);
-  return geometry_.col_cols() < kFusedPlaneMax
-             ? forward_fused(input, batch)
-             : forward_per_image(input, batch, training);
+  return use_fused() ? forward_fused(input, batch)
+                     : forward_per_image(input, batch, training);
+}
+
+bool Conv2D::use_fused() const {
+  // Planes below kFusedPlaneMax cannot fill the GEMM tile per image.
+  // Between that and kFusedWideMax, fused is chosen only when the direct
+  // kernels don't apply (strided convs, 1×1 projections at stride 2):
+  // there the per-image GEMMs are packing-bound, and batching the images
+  // into one wide GEMM amortizes it. The order matters: a layer that
+  // qualifies for BOTH direct and mid-fused (e.g. a 7×7 stride-1 conv)
+  // must keep the direct path, and small planes must stay fused even
+  // when use_direct() would accept them (lenet5's conv2 — pinned by the
+  // golden run).
+  const std::size_t plane = geometry_.col_cols();
+  if (plane < kFusedPlaneMax) return true;
+  return !use_direct() && plane <= kFusedWideMax;
 }
 
 // Narrow planes: one column matrix for the whole batch, image b owning
 // columns [b·plane, (b+1)·plane). Rows stride by n, so W·cols is ONE
 // GEMM; a re-interleave pass folds the bias while scattering
-// (C_out × batch·plane) back to (batch × C_out × plane).
+// (C_out × batch·plane) back to (batch × C_out × plane). The im2col and
+// re-interleave loops fan out over images (disjoint column blocks /
+// output blocks); the GEMM parallelizes internally over its j-tiles.
 const Tensor& Conv2D::forward_fused(const Tensor& input, std::size_t batch) {
   const std::size_t oh = geometry_.out_h();
   const std::size_t ow = geometry_.out_w();
   const std::size_t plane = oh * ow;
   const std::size_t n = batch * plane;
   const std::size_t image_size = geometry_.in_channels * geometry_.in_h * geometry_.in_w;
+  const std::size_t flops = 2 * out_channels_ * n * geometry_.col_rows();
+  const std::size_t fan = batch_fanout(batch, flops);
 
+  // Pad each image once into per-chunk scratch, then lower with the
+  // branch-free padded walk — same values as the bounds-checked im2col,
+  // a fraction of its cost on the small planes this path owns.
+  const std::size_t ppw = geometry_.in_w + 2 * geometry_.pad;
+  const std::size_t pplane = (geometry_.in_h + 2 * geometry_.pad) * ppw;
   Tensor& cols = ws_.get(kCols, Shape::of(geometry_.col_rows(), n));
-  for (std::size_t b = 0; b < batch; ++b) {
-    im2col(geometry_, input.data() + b * image_size, cols.data() + b * plane, n);
-  }
+  arena_.reserve(fan);
+  ops::parallel_chunks(batch, fan, [&](std::size_t b0, std::size_t b1,
+                                       std::size_t chunk) {
+    Tensor& pin = arena_.slot(chunk).zeroed_once(
+        kPadIn, Shape::of(geometry_.in_channels * pplane + kDirectSlack));
+    for (std::size_t b = b0; b < b1; ++b) {
+      pad_planes(input.data() + b * image_size, input.numel() - b * image_size,
+                 geometry_.in_channels, geometry_.in_h, geometry_.in_w,
+                 geometry_.pad, /*extra_right=*/0, pin.data());
+      im2col_padded(geometry_, pin.data(), cols.data() + b * plane, n);
+    }
+  });
 
   Tensor& gemm_out = ws_.get(kGemmOut, Shape::of(out_channels_, n));
   ops::gemm_prepacked(packed_w_, ops::Trans::kNo, n, cols.data(), n,
                       /*beta=*/0.0f, gemm_out.data(), n);
 
   Tensor& out = ws_.get(kOut, Shape::of(batch, out_channels_, oh, ow));
-  for (std::size_t b = 0; b < batch; ++b) {
-    float* dst_img = out.data() + b * out_channels_ * plane;
-    for (std::size_t c = 0; c < out_channels_; ++c) {
-      const float bc = bias_(c);
-      const float* src = gemm_out.data() + c * n + b * plane;
-      float* d = dst_img + c * plane;
-      for (std::size_t i = 0; i < plane; ++i) d[i] = src[i] + bc;
+  ops::parallel_chunks(batch, fan, [&](std::size_t b0, std::size_t b1,
+                                       std::size_t) {
+    for (std::size_t b = b0; b < b1; ++b) {
+      float* dst_img = out.data() + b * out_channels_ * plane;
+      for (std::size_t c = 0; c < out_channels_; ++c) {
+        const float bc = bias_(c);
+        const float* src = gemm_out.data() + c * n + b * plane;
+        float* d = dst_img + c * plane;
+        for (std::size_t i = 0; i < plane; ++i) d[i] = src[i] + bc;
+      }
     }
-  }
+  });
   return out;
 }
 
-// Wide planes: one (col_rows × plane) column scratch, reused image by
-// image so it stays L1-resident instead of streaming a batch-wide
-// expansion through L2; each image's GEMM writes straight into the
-// output tensor (ldc = plane) — no wide intermediate, no re-interleave.
-// The bias is added per image while its output block is still cache-hot.
-// Training caches the INPUT (k² smaller than its expansion) and backward
-// re-lowers each image, which the interval-based im2col makes cheaper
-// than re-reading a cold column matrix.
+// Wide planes, per image. Small stride-1 kernels run the direct padded
+// kernels (no lowering at all); the rest lower one image at a time into
+// an L1-resident column scratch and GEMM straight into the output tensor
+// (ldc = plane) — no wide intermediate, no re-interleave. The batch
+// fans out over the kernel pool; each chunk pads/lowers into its own
+// arena workspace and writes only its own images' output block, so any
+// chunk count is bit-identical. Training caches the INPUT (k² smaller
+// than its expansion); backward re-lowers or re-pads per image.
 const Tensor& Conv2D::forward_per_image(const Tensor& input, std::size_t batch,
                                         bool training) {
   const std::size_t oh = geometry_.out_h();
@@ -323,6 +805,8 @@ const Tensor& Conv2D::forward_per_image(const Tensor& input, std::size_t batch,
   const std::size_t plane = oh * ow;
   const std::size_t cr = geometry_.col_rows();
   const std::size_t image_size = geometry_.in_channels * geometry_.in_h * geometry_.in_w;
+  const std::size_t flops = 2 * out_channels_ * plane * cr * batch;
+  const std::size_t fan = batch_fanout(batch, flops);
 
   if (training) cached_in_ = input;  // capacity-reusing copy
   Tensor& out = ws_.get(kOut, Shape::of(batch, out_channels_, oh, ow));
@@ -331,31 +815,92 @@ const Tensor& Conv2D::forward_per_image(const Tensor& input, std::size_t batch,
     const std::size_t pad = geometry_.pad;
     const std::size_t pw = geometry_.in_w + 2 * pad;
     const std::size_t pplane = (geometry_.in_h + 2 * pad) * pw;
-    Tensor& pin =
-        ws_.get(kPadIn, Shape::of(geometry_.in_channels * pplane + kDirectSlack));
-    for (std::size_t b = 0; b < batch; ++b) {
-      // Copied even for pad == 0: the vector row loads overrun into the
-      // buffer's zeroed slack, which the raw input tensor doesn't have.
-      pad_planes(input.data() + b * image_size, geometry_.in_channels,
-                 geometry_.in_h, geometry_.in_w, pad, pin.data());
-      conv_fwd_padded(pin.data(), pplane, pw, weight_.data(), bias_.data(),
-                      out_channels_, geometry_.in_channels, k, oh, ow,
-                      out.data() + b * out_channels_ * plane);
+    const std::size_t width = direct_width();
+    if (use_pair()) {
+      // Two images per kernel invocation (see use_pair()): pad both into
+      // one 16-lane-row buffer, run the W = 16 forward on it with a
+      // full-width store into the pair scratch, then de-interleave the
+      // two images' rows. Per-lane math matches the 8-lane per-image
+      // walk exactly, so this is bit-identical to it at any fan-out.
+      const std::size_t ph = geometry_.in_h + 2 * pad;
+      const std::size_t pairs = (batch + 1) / 2;
+      const std::size_t pfan = batch_fanout(pairs, flops);
+      arena_.reserve(pfan);
+      ops::parallel_chunks(pairs, pfan, [&](std::size_t p0, std::size_t p1,
+                                            std::size_t chunk) {
+        Workspace& pws = arena_.slot(chunk);
+        Tensor& pin = pws.zeroed_once(
+            kPadIn, Shape::of(geometry_.in_channels * ph * 16 + kDirectSlack));
+        Tensor& sc = pws.get(kPairOut, Shape::of(out_channels_ * oh * 16));
+        for (std::size_t p = p0; p < p1; ++p) {
+          const std::size_t bA = 2 * p;
+          const bool has_b = bA + 1 < batch;
+          pad_planes_pair(input.data() + bA * image_size,
+                          has_b ? input.data() + (bA + 1) * image_size : nullptr,
+                          geometry_.in_channels, geometry_.in_h,
+                          geometry_.in_w, pad, pin.data());
+          conv_fwd_padded<16>(pin.data(), ph * 16, 16, weight_.data(),
+                              bias_.data(), out_channels_,
+                              geometry_.in_channels, k, oh, /*ow=*/16,
+                              sc.data());
+          for (std::size_t c = 0; c < out_channels_; ++c) {
+            for (std::size_t y = 0; y < oh; ++y) {
+              const float* __restrict__ srow = sc.data() + (c * oh + y) * 16;
+              float* __restrict__ da =
+                  out.data() + ((bA * out_channels_ + c) * oh + y) * ow;
+              for (std::size_t x = 0; x < ow; ++x) da[x] = srow[x];
+              if (has_b) {
+                float* __restrict__ db =
+                    out.data() + (((bA + 1) * out_channels_ + c) * oh + y) * ow;
+                for (std::size_t x = 0; x < ow; ++x) db[x] = srow[8 + x];
+              }
+            }
+          }
+        }
+      });
+      return out;
     }
+    arena_.reserve(fan);
+    ops::parallel_chunks(batch, fan, [&](std::size_t b0, std::size_t b1,
+                                         std::size_t chunk) {
+      Tensor& pin = arena_.slot(chunk).zeroed_once(
+          kPadIn, Shape::of(geometry_.in_channels * pplane + kDirectSlack));
+      for (std::size_t b = b0; b < b1; ++b) {
+        // Copied even for pad == 0: the vector row loads overrun into the
+        // buffer's zeroed slack, which the raw input tensor doesn't have.
+        pad_planes(input.data() + b * image_size, input.numel() - b * image_size,
+                   geometry_.in_channels, geometry_.in_h, geometry_.in_w, pad,
+                   /*extra_right=*/0, pin.data());
+        float* ob = out.data() + b * out_channels_ * plane;
+        if (width == 8) {
+          conv_fwd_padded<8>(pin.data(), pplane, pw, weight_.data(),
+                             bias_.data(), out_channels_, geometry_.in_channels,
+                             k, oh, ow, ob);
+        } else {
+          conv_fwd_padded<16>(pin.data(), pplane, pw, weight_.data(),
+                              bias_.data(), out_channels_,
+                              geometry_.in_channels, k, oh, ow, ob);
+        }
+      }
+    });
     return out;
   }
-  Tensor& cols = ws_.get(kCols, Shape::of(cr, plane));
-  for (std::size_t b = 0; b < batch; ++b) {
-    im2col(geometry_, input.data() + b * image_size, cols.data(), plane);
-    float* ob = out.data() + b * out_channels_ * plane;
-    ops::gemm_prepacked(packed_w_, ops::Trans::kNo, plane, cols.data(), plane,
-                        /*beta=*/0.0f, ob, plane);
-    for (std::size_t c = 0; c < out_channels_; ++c) {
-      const float bc = bias_(c);
-      float* d = ob + c * plane;
-      for (std::size_t i = 0; i < plane; ++i) d[i] += bc;
+  arena_.reserve(fan);
+  ops::parallel_chunks(batch, fan, [&](std::size_t b0, std::size_t b1,
+                                       std::size_t chunk) {
+    Tensor& cols = arena_.slot(chunk).get(kCols, Shape::of(cr, plane));
+    for (std::size_t b = b0; b < b1; ++b) {
+      im2col(geometry_, input.data() + b * image_size, cols.data(), plane);
+      float* ob = out.data() + b * out_channels_ * plane;
+      ops::gemm_prepacked(packed_w_, ops::Trans::kNo, plane, cols.data(), plane,
+                          /*beta=*/0.0f, ob, plane);
+      for (std::size_t c = 0; c < out_channels_; ++c) {
+        const float bc = bias_(c);
+        float* d = ob + c * plane;
+        for (std::size_t i = 0; i < plane; ++i) d[i] += bc;
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -370,9 +915,8 @@ const Tensor& Conv2D::backward(const Tensor& grad_output) {
                  "Conv2D::backward: grad_output shape mismatch");
   ops::pack_a_into(ops::Trans::kYes, geometry_.col_rows(), out_channels_,
                    weight_.data(), geometry_.col_rows(), packed_wt_);
-  return geometry_.col_cols() < kFusedPlaneMax
-             ? backward_fused(grad_output, batch)
-             : backward_per_image(grad_output, batch);
+  return use_fused() ? backward_fused(grad_output, batch)
+                     : backward_per_image(grad_output, batch);
 }
 
 const Tensor& Conv2D::backward_fused(const Tensor& grad_output, std::size_t batch) {
@@ -382,24 +926,32 @@ const Tensor& Conv2D::backward_fused(const Tensor& grad_output, std::size_t batc
   const Tensor& cols = ws_.at(kCols);  // the training forward's expansion
   FEDCAV_REQUIRE(cols.shape() == Shape::of(geometry_.col_rows(), n),
                  "Conv2D::backward: stale column matrix (intervening forward?)");
+  const std::size_t flops = 2 * out_channels_ * n * geometry_.col_rows();
+  const std::size_t fan = batch_fanout(batch, flops);
 
   // View the batch's output gradient as one (C_out × batch·plane) matrix
   // matching the column layout — a strided re-interleave, not a per-image
-  // heap copy — and fold the bias row-sums into the same pass.
+  // heap copy — and fold the bias row-sums into the same pass. Fans out
+  // over CHANNELS: each chunk owns whole rows of g and whole bias_grad_
+  // entries, and the per-channel batch-order sum is untouched, so any
+  // chunk count is bit-identical.
   Tensor& g = ws_.get(kGmat, Shape::of(out_channels_, n));
-  for (std::size_t c = 0; c < out_channels_; ++c) {
-    float* grow = g.data() + c * n;
-    double acc = 0.0;
-    for (std::size_t b = 0; b < batch; ++b) {
-      const float* src = grad_output.data() + (b * out_channels_ + c) * plane;
-      float* dst = grow + b * plane;
-      for (std::size_t i = 0; i < plane; ++i) {
-        dst[i] = src[i];
-        acc += static_cast<double>(src[i]);
-      }
-    }
-    bias_grad_(c) += static_cast<float>(acc);
-  }
+  ops::parallel_chunks(
+      out_channels_, std::min(batch_fanout(out_channels_, flops), out_channels_),
+      [&](std::size_t c0, std::size_t c1, std::size_t) {
+        for (std::size_t c = c0; c < c1; ++c) {
+          float* grow = g.data() + c * n;
+          for (std::size_t b = 0; b < batch; ++b) {
+            const float* __restrict__ src =
+                grad_output.data() + (b * out_channels_ + c) * plane;
+            float* __restrict__ dst = grow + b * plane;
+            for (std::size_t i = 0; i < plane; ++i) dst[i] = src[i];
+          }
+          // Summed over the re-interleaved row, which is the same
+          // ascending (b, i) order the interleaved fold used.
+          bias_grad_(c) += static_cast<float>(sum_rows(grow, 1, n, 0, batch));
+        }
+      });
 
   // dW += G · colsᵀ  ((C_out × batch·plane) · (batch·plane × col_rows)):
   // one whole-batch GEMM accumulated straight into the grad buffer.
@@ -412,19 +964,48 @@ const Tensor& Conv2D::backward_fused(const Tensor& grad_output, std::size_t batc
   ops::gemm_prepacked(packed_wt_, ops::Trans::kNo, n, g.data(), n,
                       /*beta=*/0.0f, dcols.data(), n);
 
-  Tensor& dx = ws_.zeroed(kDx, in_shape_);
-  for (std::size_t b = 0; b < batch; ++b) {
-    col2im(geometry_, dcols.data() + b * plane, n, dx.data() + b * image_size);
-  }
+  // Scatter-add each image's column gradient into a zeroed padded
+  // scratch (branch-free), then unpad into dx. Per-pixel accumulation
+  // order matches the plain col2im's (kh, kw) walk and dx blocks start
+  // from zero, so the result is bit-identical to the bounds-checked
+  // scatter at any fan-out.
+  const std::size_t ppw = geometry_.in_w + 2 * geometry_.pad;
+  const std::size_t pplane = (geometry_.in_h + 2 * geometry_.pad) * ppw;
+  const std::size_t pbytes =
+      geometry_.in_channels * pplane * sizeof(float);
+  Tensor& dx = ws_.get(kDx, in_shape_);
+  arena_.reserve(fan);
+  ops::parallel_chunks(batch, fan, [&](std::size_t b0, std::size_t b1,
+                                       std::size_t chunk) {
+    Tensor& pg = arena_.slot(chunk).get(
+        kPadG, Shape::of(geometry_.in_channels * pplane));
+    for (std::size_t b = b0; b < b1; ++b) {
+      std::memset(pg.data(), 0, pbytes);
+      col2im_padded(geometry_, dcols.data() + b * plane, n, pg.data());
+      float* __restrict__ dimg = dx.data() + b * image_size;
+      for (std::size_t c = 0; c < geometry_.in_channels; ++c) {
+        for (std::size_t y = 0; y < geometry_.in_h; ++y) {
+          const float* __restrict__ s = pg.data() + c * pplane +
+                                        (y + geometry_.pad) * ppw +
+                                        geometry_.pad;
+          float* __restrict__ d = dimg + (c * geometry_.in_h + y) * geometry_.in_w;
+          for (std::size_t x = 0; x < geometry_.in_w; ++x) d[x] = s[x];
+        }
+      }
+    }
+  });
   return dx;
 }
 
 // Wide planes: the incoming gradient already IS per-image (C_out × plane)
-// matrices — no re-interleave, no copy. Each image's columns are
-// re-lowered from the cached input into a single scratch (cheaper than
-// streaming a batch-wide expansion back through L2), contributing one
-// accumulated dW panel (beta = 1) and one dcols panel scattered back
-// while still cache-hot.
+// matrices — no re-interleave, no copy. The batch is decomposed into
+// FIXED slices of kDwSliceImages images (a pure function of the batch
+// size): each slice accumulates its dW contribution into its own panel
+// (slice 0 directly into weight_grad_), and the slice partials are then
+// folded in ascending slice order — bit-identical at any worker count.
+// Small layers keep one slice, i.e. exactly the historical serial fold.
+// dx output blocks are per-image and therefore disjoint regardless of
+// slicing.
 const Tensor& Conv2D::backward_per_image(const Tensor& grad_output, std::size_t batch) {
   const std::size_t plane = geometry_.col_cols();
   const std::size_t cr = geometry_.col_rows();
@@ -433,88 +1014,205 @@ const Tensor& Conv2D::backward_per_image(const Tensor& grad_output, std::size_t 
   const std::size_t image_size = geometry_.in_channels * geometry_.in_h * geometry_.in_w;
   FEDCAV_REQUIRE(cached_in_.shape() == in_shape_,
                  "Conv2D::backward: stale cached input (intervening forward?)");
+  const std::size_t dw_flops = 2 * out_channels_ * plane * cr * batch;
 
-  for (std::size_t c = 0; c < out_channels_; ++c) {
-    double acc = 0.0;
-    for (std::size_t b = 0; b < batch; ++b) {
-      const float* src = grad_output.data() + (b * out_channels_ + c) * plane;
-      for (std::size_t i = 0; i < plane; ++i) acc += static_cast<double>(src[i]);
-    }
-    bias_grad_(c) += static_cast<float>(acc);
-  }
+  ops::parallel_chunks(
+      out_channels_,
+      std::min(batch_fanout(out_channels_, dw_flops), out_channels_),
+      [&](std::size_t c0, std::size_t c1, std::size_t) {
+        for (std::size_t c = c0; c < c1; ++c) {
+          bias_grad_(c) += static_cast<float>(
+              sum_rows(grad_output.data() + c * plane, batch, plane,
+                       out_channels_ * plane, batch));
+        }
+      });
+
+  // Shape-derived slice decomposition (never worker-derived): slicing
+  // changes the dW fold order versus the one-slice serial walk, so it is
+  // gated on layer size — the golden lenet5/digits configuration stays
+  // below the gate and keeps its historical numerics exactly.
+  const bool sliced = batch > kDwSliceImages && dw_flops >= kDwSliceMinFlops;
+  const std::size_t n_slices =
+      sliced ? (batch + kDwSliceImages - 1) / kDwSliceImages : 1;
+  const std::size_t slice_step = sliced ? kDwSliceImages : batch;
+  arena_.reserve(n_slices);
 
   const bool direct = use_direct();
   const std::size_t k = geometry_.kernel_h;
   const std::size_t tpad = k - 1 - geometry_.pad;  // transpose-conv padding
-  const std::size_t pgw = ow + 2 * tpad;
+  const std::size_t width = direct ? direct_width() : 0;
+  // conv_dw_padded sums FULL vectors of each gradient row, so every row
+  // must be followed by at least (width - ow) zeros before the next
+  // row's data; pad_planes right-extends the rows to guarantee it.
+  const std::size_t extra_right = direct && width > ow ? width - ow : 0;
+  const std::size_t pgw = ow + 2 * tpad + extra_right;
   const std::size_t pgplane = (oh + 2 * tpad) * pgw;
-  if (direct) {
-    // Direct path: dx is the transpose convolution of the padded
-    // gradient, and dW the padded correlation of gradient × input — no
-    // dcols intermediate, no col2im scatter, and (when the gradient's
-    // zero run covers the vector overrun) no im2col either. Every dx
-    // element is overwritten by the row stores, so no zero pass.
-    const std::size_t pad = geometry_.pad;
-    const std::size_t pw = geometry_.in_w + 2 * pad;
-    const std::size_t pplane = (geometry_.in_h + 2 * pad) * pw;
-    // conv_dw_padded needs the lanes past out_w of every gradient row to
-    // read zeros: tpad right-pad zeros then the next row's tpad left-pad
-    // zeros, 2·tpad in all (an exact-width row never overruns).
-    const bool padded_dw =
-        ow == kDirectMaxW || kDirectMaxW - ow <= 2 * tpad;
-    Tensor& dx = ws_.get(kDx, in_shape_);
-    Tensor& pg =
-        ws_.get(kPadG, Shape::of(out_channels_ * pgplane + kDirectSlack));
-    Tensor& pin = ws_.get(
-        kPadIn, Shape::of(geometry_.in_channels * pplane + kDirectSlack));
-    Tensor* cols = padded_dw ? nullptr : &ws_.get(kCols, Shape::of(cr, plane));
-    for (std::size_t b = 0; b < batch; ++b) {
-      const float* gb = grad_output.data() + b * out_channels_ * plane;
-      pad_planes(gb, out_channels_, oh, ow, tpad, pg.data());
-      if (padded_dw) {
-        pad_planes(cached_in_.data() + b * image_size, geometry_.in_channels,
-                   geometry_.in_h, geometry_.in_w, pad, pin.data());
-        conv_dw_padded(pin.data(), pplane, pw, pg.data(), pgplane, pgw, tpad,
-                       out_channels_, geometry_.in_channels, k, oh, ow,
-                       weight_grad_.data());
-      } else {
-        im2col(geometry_, cached_in_.data() + b * image_size, cols->data(),
-               plane);
-        conv_dw_direct(gb, cols->data(), out_channels_, cr, plane,
-                       weight_grad_.data());
-      }
-      conv_bwd_dx_padded(pg.data(), pgplane, pgw, weight_.data(),
-                         out_channels_, geometry_.in_channels, k,
-                         geometry_.in_h, geometry_.in_w,
-                         dx.data() + b * image_size);
-    }
-    return dx;
-  }
-
-  // dW is a tiny (C_out × col_rows) panel for the layers this path
-  // serves; length-plane dots beat a packed GEMM that is all packing and
-  // edge writeback at that size.
+  const std::size_t pad = geometry_.pad;
+  const std::size_t pw = geometry_.in_w + 2 * pad;
+  const std::size_t pplane = (geometry_.in_h + 2 * pad) * pw;
+  // dW via plain dots when the panel is tiny (non-direct path only).
   const bool direct_dw = out_channels_ * cr <= 256;
-  Tensor& cols = ws_.get(kCols, Shape::of(cr, plane));
-  Tensor& dx = ws_.zeroed(kDx, in_shape_);
-  for (std::size_t b = 0; b < batch; ++b) {
-    const float* gb = grad_output.data() + b * out_channels_ * plane;
-    im2col(geometry_, cached_in_.data() + b * image_size, cols.data(), plane);
-    // dW += g_b · cols_bᵀ.
-    if (direct_dw) {
-      conv_dw_direct(gb, cols.data(), out_channels_, cr, plane,
-                     weight_grad_.data());
-    } else {
-      ops::pack_a_into(ops::Trans::kNo, out_channels_, plane, gb, plane,
-                       packed_g_);
-      ops::gemm_prepacked(packed_g_, ops::Trans::kYes, cr, cols.data(), plane,
-                          /*beta=*/1.0f, weight_grad_.data(), cr);
+
+  Tensor& dx = direct ? ws_.get(kDx, in_shape_) : ws_.zeroed(kDx, in_shape_);
+  ops::parallel_chunks(n_slices, n_slices, [&](std::size_t s0, std::size_t s1,
+                                               std::size_t) {
+    for (std::size_t s = s0; s < s1; ++s) {
+      const std::size_t b_begin = s * slice_step;
+      const std::size_t b_end = std::min(batch, b_begin + slice_step);
+      Workspace& ws = arena_.slot(s);
+      // Slice 0 folds straight into weight_grad_ (the historical target);
+      // later slices accumulate into a zeroed partial panel.
+      float* dw_target = weight_grad_.data();
+      if (s != 0) {
+        dw_target =
+            ws.zeroed(kGmat, Shape::of(out_channels_, cr)).data();
+      }
+      if (direct && use_pair()) {
+        // Pair-interleaved backward (see use_pair()): pad the slice's
+        // gradient and input pairs into 16-lane rows, run ONE dW sweep
+        // over all of them (the k==3 kernel folds each tap once per
+        // slice), then the dx kernel per pair into a 16-wide scratch
+        // de-interleaved below. tpad == pad for these "same" geometries,
+        // so one pair layout serves all three roles.
+        const std::size_t ph = geometry_.in_h + 2 * pad;
+        const std::size_t pgh = oh + 2 * tpad;
+        const std::size_t nbuf = (b_end - b_begin + 1) / 2;
+        const std::size_t pin_stride = geometry_.in_channels * ph * 16;
+        const std::size_t pg_stride = out_channels_ * pgh * 16;
+        Tensor& pg =
+            ws.zeroed_once(kPadG, Shape::of(nbuf * pg_stride + kDirectSlack));
+        Tensor& pin =
+            ws.zeroed_once(kPadIn, Shape::of(nbuf * pin_stride + kDirectSlack));
+        Tensor& sc = ws.get(
+            kPairOut, Shape::of(geometry_.in_channels * geometry_.in_h * 16));
+        for (std::size_t i = 0; i < nbuf; ++i) {
+          const std::size_t b = b_begin + 2 * i;
+          const bool has_b = b + 1 < b_end;
+          const float* gb = grad_output.data() + b * out_channels_ * plane;
+          pad_planes_pair(gb, has_b ? gb + out_channels_ * plane : nullptr,
+                          out_channels_, oh, ow, tpad,
+                          pg.data() + i * pg_stride);
+          const float* ib = cached_in_.data() + b * image_size;
+          pad_planes_pair(ib, has_b ? ib + image_size : nullptr,
+                          geometry_.in_channels, geometry_.in_h,
+                          geometry_.in_w, pad, pin.data() + i * pin_stride);
+        }
+        conv_dw_padded<16>(pin.data(), pin_stride, ph * 16, 16, pg.data(),
+                           pg_stride, pgh * 16, 16, nbuf, tpad, out_channels_,
+                           geometry_.in_channels, k, oh, ow, dw_target);
+        for (std::size_t i = 0; i < nbuf; ++i) {
+          const std::size_t b = b_begin + 2 * i;
+          const bool has_b = b + 1 < b_end;
+          conv_bwd_dx_padded<16>(pg.data() + i * pg_stride, pgh * 16, 16,
+                                 weight_.data(), out_channels_,
+                                 geometry_.in_channels, k, geometry_.in_h,
+                                 /*wid=*/16, sc.data());
+          for (std::size_t ci = 0; ci < geometry_.in_channels; ++ci) {
+            for (std::size_t y = 0; y < geometry_.in_h; ++y) {
+              const float* __restrict__ srow =
+                  sc.data() + (ci * geometry_.in_h + y) * 16;
+              float* __restrict__ da =
+                  dx.data() + b * image_size +
+                  (ci * geometry_.in_h + y) * geometry_.in_w;
+              for (std::size_t x = 0; x < geometry_.in_w; ++x) da[x] = srow[x];
+              if (has_b) {
+                float* __restrict__ db = da + image_size;
+                for (std::size_t x = 0; x < geometry_.in_w; ++x) {
+                  db[x] = srow[8 + x];
+                }
+              }
+            }
+          }
+        }
+        continue;
+      }
+      if (direct) {
+        // Pad the whole slice before the kernels: one dW sweep over the
+        // slice's images amortizes each tap's horizontal fold across
+        // them (k==3 layers) or walks them in the pinned per-image
+        // order (generic k) — see conv_dw_chans.
+        const std::size_t nimg = b_end - b_begin;
+        const std::size_t pin_stride = geometry_.in_channels * pplane;
+        const std::size_t pg_stride = out_channels_ * pgplane;
+        Tensor& pg =
+            ws.zeroed_once(kPadG, Shape::of(nimg * pg_stride + kDirectSlack));
+        Tensor& pin =
+            ws.zeroed_once(kPadIn, Shape::of(nimg * pin_stride + kDirectSlack));
+        for (std::size_t i = 0; i < nimg; ++i) {
+          const std::size_t b = b_begin + i;
+          pad_planes(grad_output.data() + b * out_channels_ * plane,
+                     grad_output.numel() - b * out_channels_ * plane,
+                     out_channels_, oh, ow, tpad, extra_right,
+                     pg.data() + i * pg_stride);
+          pad_planes(cached_in_.data() + b * image_size,
+                     cached_in_.numel() - b * image_size, geometry_.in_channels,
+                     geometry_.in_h, geometry_.in_w, pad, /*extra_right=*/0,
+                     pin.data() + i * pin_stride);
+        }
+        if (width == 8) {
+          conv_dw_padded<8>(pin.data(), pin_stride, pplane, pw, pg.data(),
+                            pg_stride, pgplane, pgw, nimg, tpad, out_channels_,
+                            geometry_.in_channels, k, oh, ow, dw_target);
+          for (std::size_t i = 0; i < nimg; ++i) {
+            conv_bwd_dx_padded<8>(pg.data() + i * pg_stride, pgplane, pgw,
+                                  weight_.data(), out_channels_,
+                                  geometry_.in_channels, k, geometry_.in_h,
+                                  geometry_.in_w,
+                                  dx.data() + (b_begin + i) * image_size);
+          }
+        } else {
+          conv_dw_padded<16>(pin.data(), pin_stride, pplane, pw, pg.data(),
+                             pg_stride, pgplane, pgw, nimg, tpad,
+                             out_channels_, geometry_.in_channels, k, oh, ow,
+                             dw_target);
+          for (std::size_t i = 0; i < nimg; ++i) {
+            conv_bwd_dx_padded<16>(pg.data() + i * pg_stride, pgplane, pgw,
+                                   weight_.data(), out_channels_,
+                                   geometry_.in_channels, k, geometry_.in_h,
+                                   geometry_.in_w,
+                                   dx.data() + (b_begin + i) * image_size);
+          }
+        }
+        continue;
+      }
+      Tensor& cols = ws.get(kCols, Shape::of(cr, plane));
+      Tensor& dcols = ws.get(kDcols, Shape::of(cr, plane));
+      // Per-worker packing scratch for the dW GEMM variant: the member
+      // PackedA would race across slices.
+      thread_local ops::PackedA tl_packed_g;
+      for (std::size_t b = b_begin; b < b_end; ++b) {
+        const float* gb = grad_output.data() + b * out_channels_ * plane;
+        im2col(geometry_, cached_in_.data() + b * image_size, cols.data(),
+               plane);
+        // dW += g_b · cols_bᵀ.
+        if (direct_dw) {
+          conv_dw_direct(gb, cols.data(), out_channels_, cr, plane, dw_target);
+        } else {
+          ops::pack_a_into(ops::Trans::kNo, out_channels_, plane, gb, plane,
+                           tl_packed_g);
+          ops::gemm_prepacked(tl_packed_g, ops::Trans::kYes, cr, cols.data(),
+                              plane, /*beta=*/1.0f, dw_target, cr);
+        }
+        // dcols_b = Wᵀ · g_b, then scatter-add into the image gradient
+        // (zeroed before the fan-out; each image's block is disjoint).
+        ops::gemm_prepacked(packed_wt_, ops::Trans::kNo, plane, gb, plane,
+                            /*beta=*/0.0f, dcols.data(), plane);
+        col2im(geometry_, dcols.data(), plane, dx.data() + b * image_size);
+      }
     }
-    // dcols_b = Wᵀ · g_b, then scatter-add into the image gradient.
-    Tensor& dcols = ws_.get(kDcols, Shape::of(cr, plane));
-    ops::gemm_prepacked(packed_wt_, ops::Trans::kNo, plane, gb, plane,
-                        /*beta=*/0.0f, dcols.data(), plane);
-    col2im(geometry_, dcols.data(), plane, dx.data() + b * image_size);
+  });
+  // Fold the slice partials in ascending slice order — the fixed-slot
+  // reduction that makes the decomposition worker-count independent.
+  for (std::size_t s = 1; s < n_slices; ++s) {
+    const Tensor& partial = arena_.slot(s).at(kGmat);
+    float* __restrict__ dst = weight_grad_.data();
+    const float* __restrict__ src = partial.data();
+    const std::size_t count = out_channels_ * cr;
+    for (std::size_t i = 0; i < count; ++i) dst[i] += src[i];
+  }
+  if (direct) {
+    // The direct dx kernels overwrite every element (no scatter-add), so
+    // dx needed no zero pass; nothing else to do.
   }
   return dx;
 }

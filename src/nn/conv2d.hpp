@@ -43,6 +43,16 @@ class Conv2D : public Layer {
   // per-image path: forward and dx run as direct (transpose)
   // convolutions over a padded plane copy. See conv2d.cpp.
   bool use_direct() const;
+  // Whether this geometry runs the fused (whole-batch column matrix)
+  // layout; see conv2d.cpp for the plane-size crossover rules.
+  bool use_fused() const;
+  // Narrow "same"-padded direct geometries (rows ≤ 8 lanes incl. pad)
+  // interleave TWO images per 16-lane vector row, doubling lane
+  // occupancy over the 8-lane kernels; see conv2d.cpp.
+  bool use_pair() const;
+  // Vector lane width (8 or 16) the direct kernels run at for this
+  // geometry; per-lane math is identical, so it never changes results.
+  std::size_t direct_width() const;
 
   const Tensor& forward_fused(const Tensor& input, std::size_t batch);
   const Tensor& forward_per_image(const Tensor& input, std::size_t batch, bool training);
@@ -61,6 +71,7 @@ class Conv2D : public Layer {
     kCols = 0, kGemmOut, kOut, kGmat, kDcols, kDx,
     kPadIn,  // direct path: zero-padded input planes for one image
     kPadG,   // direct path: transpose-padded gradient planes for one image
+    kPairOut,  // pair path: 16-wide kernel output before de-interleaving
   };
 
   Conv2dGeometry geometry_;
@@ -73,9 +84,12 @@ class Conv2D : public Layer {
   bool has_cols_ = false;  // the last training forward's lowering state is live
   Tensor cached_in_;    // per-image path: input copy for backward re-lowering
   Workspace ws_;
+  // Per-chunk scratch for the batch fan-outs (padded planes, per-image
+  // column matrices, dW slice partials); slot 0 doubles as the serial
+  // path's scratch, so single-thread runs pay nothing extra.
+  WorkspaceArena arena_;
   ops::PackedA packed_w_;   // scratch for the forward weight packing
   ops::PackedA packed_wt_;  // scratch for the backward Wᵀ packing
-  ops::PackedA packed_g_;   // scratch for the per-image dW grad packing
 };
 
 }  // namespace fedcav::nn

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "src/tensor/parallel.hpp"
 #include "src/utils/error.hpp"
 
 namespace fedcav::nn {
@@ -11,6 +12,18 @@ void check_pool_input(const Shape& s, std::size_t window, const char* who) {
   FEDCAV_REQUIRE(s.rank() == 4, std::string(who) + ": rank-4 input required");
   FEDCAV_REQUIRE(s[2] >= window && s[3] >= window,
                  std::string(who) + ": window larger than input");
+}
+
+// Fan-out width over (batch × channel) planes. Every pooling loop below
+// reads and writes only within one plane — an output element's window
+// and (for max-pool backward) its argmax both live in the element's own
+// plane — so chunking by plane is the disjoint-output case of the
+// DESIGN.md §13 determinism contract.
+constexpr std::size_t kPoolParallelMinOps = std::size_t{1} << 16;
+std::size_t plane_fanout(std::size_t planes, std::size_t total_ops) {
+  const std::size_t ways = ops::kernel_ways();
+  if (ways <= 1 || planes < 2 || total_ops < kPoolParallelMinOps) return 1;
+  return std::min(ways, planes);
 }
 }  // namespace
 
@@ -34,11 +47,16 @@ const Tensor& MaxPool2D::forward(const Tensor& input, bool training) {
   // zero pass costs a full traversal per step.
   if (training) argmax_.resize(out.numel());
 
-  std::size_t oi = 0;
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t c = 0; c < channels; ++c) {
-      const float* plane = input.data() + (b * channels + c) * h * w;
-      const std::size_t plane_base = (b * channels + c) * h * w;
+  const std::size_t planes = batch * channels;
+  const std::size_t out_plane = oh * ow;
+  const std::size_t fan =
+      plane_fanout(planes, planes * out_plane * window_ * window_);
+  ops::parallel_chunks(planes, fan, [&](std::size_t p0, std::size_t p1,
+                                        std::size_t) {
+    for (std::size_t p = p0; p < p1; ++p) {
+      const float* plane = input.data() + p * h * w;
+      const std::size_t plane_base = p * h * w;
+      std::size_t oi = p * out_plane;
       if (window_ == 2 && stride_ == 2) {
         // The zoo's only pooling geometry: a branchless 2×2 tournament.
         // Data-dependent if-chains mispredict on ~random activations;
@@ -86,7 +104,7 @@ const Tensor& MaxPool2D::forward(const Tensor& input, bool training) {
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -95,7 +113,15 @@ const Tensor& MaxPool2D::backward(const Tensor& grad_output) {
   FEDCAV_REQUIRE(grad_output.numel() == argmax_.size(),
                  "MaxPool2D::backward: grad_output size mismatch");
   Tensor& dx = ws_.zeroed(kDx, input_shape_);
-  for (std::size_t i = 0; i < argmax_.size(); ++i) dx[argmax_[i]] += grad_output[i];
+  const std::size_t planes = input_shape_[0] * input_shape_[1];
+  const std::size_t out_plane = argmax_.size() / planes;
+  ops::parallel_chunks(planes, plane_fanout(planes, argmax_.size()),
+                       [&](std::size_t p0, std::size_t p1, std::size_t) {
+                         for (std::size_t i = p0 * out_plane, e = p1 * out_plane;
+                              i < e; ++i) {
+                           dx[argmax_[i]] += grad_output[i];
+                         }
+                       });
   return dx;
 }
 
@@ -125,10 +151,15 @@ const Tensor& AvgPool2D::forward(const Tensor& input, bool training) {
   const float inv = 1.0f / static_cast<float>(window_ * window_);
 
   Tensor& out = ws_.get(kOut, Shape::of(batch, channels, oh, ow));
-  std::size_t oi = 0;
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t c = 0; c < channels; ++c) {
-      const float* plane = input.data() + (b * channels + c) * h * w;
+  const std::size_t planes = batch * channels;
+  const std::size_t out_plane = oh * ow;
+  const std::size_t fan =
+      plane_fanout(planes, planes * out_plane * window_ * window_);
+  ops::parallel_chunks(planes, fan, [&](std::size_t p0, std::size_t p1,
+                                        std::size_t) {
+    for (std::size_t p = p0; p < p1; ++p) {
+      const float* plane = input.data() + p * h * w;
+      std::size_t oi = p * out_plane;
       for (std::size_t y = 0; y < oh; ++y) {
         for (std::size_t x = 0; x < ow; ++x, ++oi) {
           float acc = 0.0f;
@@ -141,7 +172,7 @@ const Tensor& AvgPool2D::forward(const Tensor& input, bool training) {
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -156,10 +187,15 @@ const Tensor& AvgPool2D::backward(const Tensor& grad_output) {
   const float inv = 1.0f / static_cast<float>(window_ * window_);
 
   Tensor& dx = ws_.zeroed(kDx, input_shape_);
-  std::size_t oi = 0;
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t c = 0; c < channels; ++c) {
-      float* plane = dx.data() + (b * channels + c) * h * w;
+  const std::size_t planes = batch * channels;
+  const std::size_t out_plane = oh * ow;
+  const std::size_t fan =
+      plane_fanout(planes, planes * out_plane * window_ * window_);
+  ops::parallel_chunks(planes, fan, [&](std::size_t p0, std::size_t p1,
+                                        std::size_t) {
+    for (std::size_t p = p0; p < p1; ++p) {
+      float* plane = dx.data() + p * h * w;
+      std::size_t oi = p * out_plane;
       for (std::size_t y = 0; y < oh; ++y) {
         for (std::size_t x = 0; x < ow; ++x, ++oi) {
           const float g = grad_output[oi] * inv;
@@ -171,7 +207,7 @@ const Tensor& AvgPool2D::backward(const Tensor& grad_output) {
         }
       }
     }
-  }
+  });
   return dx;
 }
 
@@ -193,14 +229,18 @@ const Tensor& GlobalAvgPool::forward(const Tensor& input, bool training) {
   const float inv = 1.0f / static_cast<float>(plane);
 
   Tensor& out = ws_.get(kOut, Shape::of(batch, channels));
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t c = 0; c < channels; ++c) {
-      const float* src = input.data() + (b * channels + c) * plane;
-      double acc = 0.0;
-      for (std::size_t i = 0; i < plane; ++i) acc += static_cast<double>(src[i]);
-      out(b, c) = static_cast<float>(acc) * inv;
-    }
-  }
+  const std::size_t planes = batch * channels;
+  ops::parallel_chunks(planes, plane_fanout(planes, planes * plane),
+                       [&](std::size_t p0, std::size_t p1, std::size_t) {
+                         for (std::size_t p = p0; p < p1; ++p) {
+                           const float* src = input.data() + p * plane;
+                           double acc = 0.0;
+                           for (std::size_t i = 0; i < plane; ++i) {
+                             acc += static_cast<double>(src[i]);
+                           }
+                           out[p] = static_cast<float>(acc) * inv;
+                         }
+                       });
   return out;
 }
 
@@ -212,13 +252,15 @@ const Tensor& GlobalAvgPool::backward(const Tensor& grad_output) {
   const float inv = 1.0f / static_cast<float>(plane);
 
   Tensor& dx = ws_.get(kDx, input_shape_);
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t c = 0; c < channels; ++c) {
-      const float g = grad_output(b, c) * inv;
-      float* dst = dx.data() + (b * channels + c) * plane;
-      for (std::size_t i = 0; i < plane; ++i) dst[i] = g;
-    }
-  }
+  const std::size_t planes = batch * channels;
+  ops::parallel_chunks(planes, plane_fanout(planes, planes * plane),
+                       [&](std::size_t p0, std::size_t p1, std::size_t) {
+                         for (std::size_t p = p0; p < p1; ++p) {
+                           const float g = grad_output[p] * inv;
+                           float* dst = dx.data() + p * plane;
+                           for (std::size_t i = 0; i < plane; ++i) dst[i] = g;
+                         }
+                       });
   return dx;
 }
 

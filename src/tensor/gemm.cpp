@@ -1,9 +1,13 @@
 #include "src/tensor/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
+#include "src/tensor/parallel.hpp"
 #include "src/utils/error.hpp"
 
 namespace fedcav::ops {
@@ -14,8 +18,9 @@ constexpr std::size_t kMr = kGemmMr;
 constexpr std::size_t kNr = kGemmNr;
 
 // B-panel scratch, reused across calls on the same thread. Clients train
-// concurrently on the shared pool, so this must be thread_local rather
-// than a single static buffer.
+// concurrently on the shared pool, and the parallel j-tile path below
+// packs panels from several kernel-pool workers at once, so this must be
+// thread_local rather than a single static buffer.
 std::vector<float>& b_panel_scratch() {
   thread_local std::vector<float> panel;
   return panel;
@@ -27,6 +32,11 @@ std::vector<float>& b_panel_scratch() {
 /// and an unblocked panel would be re-streamed from L2/L3 once per A
 /// tile.
 constexpr std::size_t kKc = 256;
+
+/// Below this many flops (2·m·n·k) a GEMM stays on the single-thread
+/// path: the fork/join of even one parallel_for costs more than the
+/// whole multiply for the LeNet/MLP shapes.
+constexpr std::size_t kGemmParallelMinFlops = std::size_t{1} << 21;
 
 /// Pack the k-rows [k0, k0+kc) of NR columns [j0, j0+nr) of op(B) into
 /// `panel` (kc × kNr, k-major, zero padded on the right when nr < kNr).
@@ -55,41 +65,54 @@ void pack_b_panel(Trans tb, std::size_t n, const float* b, std::size_t ldb,
 /// The k-loop is branch-free and touches only the two panels; the MR×NR
 /// accumulator block stays in registers.
 ///
-/// The hot path spells the tile out with GNU vector extensions (one
-/// kNr-wide vector per accumulator row, scalar-broadcast FMA against the
-/// B vector) because the autovectorizer picks the 4-wide row axis for
-/// the equivalent scalar loop nest. GCC lowers the 64-byte vector to
-/// whatever the target has (2×AVX2 or 1×AVX-512 op per row).
+/// The hot path spells the tile out with GNU vector extensions
+/// (scalar-broadcast FMA against the B vectors) because the
+/// autovectorizer picks the 4-wide row axis for the equivalent scalar
+/// loop nest. The kernel is compiled at two hardware lane widths —
+/// L = 16 (one 64-byte vector per accumulator row, 1×AVX-512 op) and
+/// L = 8 (two 32-byte vectors per row, 2×AVX2 ops) — and one of them is
+/// selected exactly once at startup (see select_micro_kernel). Per-lane
+/// float semantics are identical, so the two variants are bit-identical;
+/// the width only decides which vector ISA the loop occupies.
 #if defined(__GNUC__) || defined(__clang__)
 #define FEDCAV_GEMM_VECTOR_KERNEL 1
-using VecNr = float __attribute__((vector_size(kNr * sizeof(float))));
 
-VecNr load_vec(const float* p) {
-  VecNr v;
+template <std::size_t L>
+struct VecOf {
+  typedef float type __attribute__((vector_size(L * sizeof(float))));
+};
+
+template <std::size_t L>
+inline typename VecOf<L>::type load_lanes(const float* p) {
+  typename VecOf<L>::type v;
   __builtin_memcpy(&v, p, sizeof(v));  // unaligned load
   return v;
 }
-#endif
 
-void micro_kernel(const float* a_panel, const float* b_panel, std::size_t k,
-                  std::size_t mr, std::size_t nr, float beta, float* c,
-                  std::size_t ldc) {
+template <std::size_t L>
+void micro_kernel_t(const float* a_panel, const float* b_panel, std::size_t k,
+                    std::size_t mr, std::size_t nr, float beta, float* c,
+                    std::size_t ldc) {
   static_assert(kMr == 4, "micro_kernel unrolls exactly kMr accumulator rows");
+  static_assert(kNr % L == 0, "lane width must divide the register tile");
+  using V = typename VecOf<L>::type;
+  constexpr std::size_t NV = kNr / L;  // hardware vectors per C row
   float acc[kMr][kNr];
-#ifdef FEDCAV_GEMM_VECTOR_KERNEL
   if (mr <= 2) {
     // Short tile: an m-edge of 1–2 rows (e.g. a 6-channel conv leaves a
     // 2-row remainder) would waste half the k-loop on zero-padded
     // accumulator rows; this variant carries only two.
-    VecNr acc0{}, acc1{};
+    V a0[NV] = {}, a1[NV] = {};
     for (std::size_t kk = 0; kk < k; ++kk) {
       const float* arow = a_panel + kk * kMr;
-      const VecNr bv = load_vec(b_panel + kk * kNr);
-      acc0 += arow[0] * bv;
-      acc1 += arow[1] * bv;
+      for (std::size_t v = 0; v < NV; ++v) {
+        const V bv = load_lanes<L>(b_panel + kk * kNr + v * L);
+        a0[v] += arow[0] * bv;
+        a1[v] += arow[1] * bv;
+      }
     }
-    __builtin_memcpy(acc[0], &acc0, sizeof(acc0));
-    __builtin_memcpy(acc[1], &acc1, sizeof(acc1));
+    __builtin_memcpy(acc[0], a0, sizeof(a0));
+    __builtin_memcpy(acc[1], a1, sizeof(a1));
     for (std::size_t r = 0; r < mr; ++r) {
       float* crow = c + r * ldc;
       for (std::size_t col = 0; col < nr; ++col) {
@@ -98,32 +121,21 @@ void micro_kernel(const float* a_panel, const float* b_panel, std::size_t k,
     }
     return;
   }
-  VecNr acc0{}, acc1{}, acc2{}, acc3{};
+  V a0[NV] = {}, a1[NV] = {}, a2[NV] = {}, a3[NV] = {};
   for (std::size_t kk = 0; kk < k; ++kk) {
     const float* arow = a_panel + kk * kMr;
-    const VecNr bv = load_vec(b_panel + kk * kNr);
-    acc0 += arow[0] * bv;
-    acc1 += arow[1] * bv;
-    acc2 += arow[2] * bv;
-    acc3 += arow[3] * bv;
-  }
-  __builtin_memcpy(acc[0], &acc0, sizeof(acc0));
-  __builtin_memcpy(acc[1], &acc1, sizeof(acc1));
-  __builtin_memcpy(acc[2], &acc2, sizeof(acc2));
-  __builtin_memcpy(acc[3], &acc3, sizeof(acc3));
-#else
-  for (std::size_t r = 0; r < kMr; ++r) {
-    for (std::size_t col = 0; col < kNr; ++col) acc[r][col] = 0.0f;
-  }
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* arow = a_panel + kk * kMr;
-    const float* brow = b_panel + kk * kNr;
-    for (std::size_t r = 0; r < kMr; ++r) {
-      const float av = arow[r];
-      for (std::size_t col = 0; col < kNr; ++col) acc[r][col] += av * brow[col];
+    for (std::size_t v = 0; v < NV; ++v) {
+      const V bv = load_lanes<L>(b_panel + kk * kNr + v * L);
+      a0[v] += arow[0] * bv;
+      a1[v] += arow[1] * bv;
+      a2[v] += arow[2] * bv;
+      a3[v] += arow[3] * bv;
     }
   }
-#endif
+  __builtin_memcpy(acc[0], a0, sizeof(a0));
+  __builtin_memcpy(acc[1], a1, sizeof(a1));
+  __builtin_memcpy(acc[2], a2, sizeof(a2));
+  __builtin_memcpy(acc[3], a3, sizeof(a3));
   if (mr == kMr && nr == kNr) {
     if (beta == 0.0f) {
       for (std::size_t r = 0; r < kMr; ++r) {
@@ -149,7 +161,92 @@ void micro_kernel(const float* a_panel, const float* b_panel, std::size_t k,
   }
 }
 
+#else  // portable scalar fallback
+
+void micro_kernel_scalar(const float* a_panel, const float* b_panel,
+                         std::size_t k, std::size_t mr, std::size_t nr,
+                         float beta, float* c, std::size_t ldc) {
+  float acc[kMr][kNr];
+  for (std::size_t r = 0; r < kMr; ++r) {
+    for (std::size_t col = 0; col < kNr; ++col) acc[r][col] = 0.0f;
+  }
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a_panel + kk * kMr;
+    const float* brow = b_panel + kk * kNr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const float av = arow[r];
+      for (std::size_t col = 0; col < kNr; ++col) acc[r][col] += av * brow[col];
+    }
+  }
+  for (std::size_t r = 0; r < mr; ++r) {
+    float* crow = c + r * ldc;
+    for (std::size_t col = 0; col < nr; ++col) {
+      crow[col] = (beta == 0.0f ? 0.0f : beta * crow[col]) + acc[r][col];
+    }
+  }
+}
+
+#endif
+
+using MicroKernelFn = void (*)(const float*, const float*, std::size_t,
+                               std::size_t, std::size_t, float, float*,
+                               std::size_t);
+
+/// 0 = use the startup selection; 8/16 = forced by force_simd_width().
+std::atomic<std::size_t> g_forced_lanes{0};
+
+/// Startup selection: prefer the 16-lane build when the CPU has 512-bit
+/// vectors, else the 8-lane one (which GCC lowers to AVX2/NEON-width
+/// ops). FEDCAV_SIMD=8|16 overrides for A/B testing. Evaluated once.
+std::size_t detect_lanes() {
+#ifdef FEDCAV_GEMM_VECTOR_KERNEL
+  if (const char* env = std::getenv("FEDCAV_SIMD")) {
+    if (std::strcmp(env, "8") == 0) return 8;
+    if (std::strcmp(env, "16") == 0) return 16;
+  }
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f") ? 16 : 8;
+#else
+  return 16;  // one wide GNU vector; the compiler splits it as needed
+#endif
+#else
+  return 0;  // scalar fallback build
+#endif
+}
+
+std::size_t startup_lanes() {
+  static const std::size_t lanes = detect_lanes();
+  return lanes;
+}
+
+MicroKernelFn micro_kernel_for(std::size_t lanes) {
+#ifdef FEDCAV_GEMM_VECTOR_KERNEL
+  return lanes == 8 ? &micro_kernel_t<8> : &micro_kernel_t<16>;
+#else
+  (void)lanes;
+  return &micro_kernel_scalar;
+#endif
+}
+
+MicroKernelFn active_micro_kernel() {
+  const std::size_t forced = g_forced_lanes.load(std::memory_order_relaxed);
+  return micro_kernel_for(forced != 0 ? forced : startup_lanes());
+}
+
 }  // namespace
+
+std::size_t simd_width() {
+  const std::size_t forced = g_forced_lanes.load(std::memory_order_relaxed);
+  if (forced != 0) return forced;
+  const std::size_t lanes = startup_lanes();
+  return lanes == 0 ? 1 : lanes;
+}
+
+void force_simd_width(std::size_t lanes) {
+  FEDCAV_REQUIRE(lanes == 0 || lanes == 8 || lanes == 16,
+                 "force_simd_width: lanes must be 0, 8, or 16");
+  g_forced_lanes.store(lanes, std::memory_order_relaxed);
+}
 
 PackedA pack_a(Trans ta, std::size_t m, std::size_t k, const float* a,
                std::size_t lda) {
@@ -210,24 +307,50 @@ void gemm_prepacked(const PackedA& a, Trans tb, std::size_t n, const float* b,
     }
     return;
   }
-  std::vector<float>& panel = b_panel_scratch();
-  panel.resize(std::min(k, kKc) * kNr);
+  const MicroKernelFn kernel = active_micro_kernel();
   const std::size_t a_tiles = (m + kMr - 1) / kMr;
-  for (std::size_t j0 = 0; j0 < n; j0 += kNr) {
-    const std::size_t nr = std::min(kNr, n - j0);
-    for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
-      const std::size_t kc = std::min(kKc, k - k0);
-      pack_b_panel(tb, n, b, ldb, j0, k0, kc, panel.data());
-      // The first k-block applies the caller's beta; later blocks
-      // accumulate onto the partial C tile.
-      const float blk_beta = k0 == 0 ? beta : 1.0f;
-      for (std::size_t t = 0; t < a_tiles; ++t) {
-        const std::size_t i0 = t * kMr;
-        const std::size_t mr = std::min(kMr, m - i0);
-        micro_kernel(a.data.data() + t * k * kMr + k0 * kMr, panel.data(), kc,
-                     mr, nr, blk_beta, c + i0 * ldc + j0, ldc);
+  const std::size_t j_tiles = (n + kNr - 1) / kNr;
+  // One j-tile (kNr C columns, full m and k) is the unit of parallel
+  // work: its C columns are written by no other tile, so any partition
+  // of the tile range is bit-identical to the serial loop (the k-order
+  // per C element never changes). Each worker packs B panels into its
+  // own thread_local scratch.
+  auto run_tiles = [&](std::size_t jt_begin, std::size_t jt_end) {
+    std::vector<float>& panel = b_panel_scratch();
+    panel.resize(std::min(k, kKc) * kNr);
+    for (std::size_t jt = jt_begin; jt < jt_end; ++jt) {
+      const std::size_t j0 = jt * kNr;
+      const std::size_t nr = std::min(kNr, n - j0);
+      (void)nr;
+      for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
+        const std::size_t kc = std::min(kKc, k - k0);
+        pack_b_panel(tb, n, b, ldb, j0, k0, kc, panel.data());
+        // The first k-block applies the caller's beta; later blocks
+        // accumulate onto the partial C tile.
+        const float blk_beta = k0 == 0 ? beta : 1.0f;
+        for (std::size_t t = 0; t < a_tiles; ++t) {
+          const std::size_t i0 = t * kMr;
+          const std::size_t mr = std::min(kMr, m - i0);
+          kernel(a.data.data() + t * k * kMr + k0 * kMr, panel.data(), kc, mr,
+                 std::min(kNr, n - j0), blk_beta, c + i0 * ldc + j0, ldc);
+        }
       }
     }
+  };
+  const std::size_t ways = kernel_ways();
+  const std::size_t flops = 2 * m * n * k;
+  if (ways > 1 && j_tiles > 1 && flops >= kGemmParallelMinFlops) {
+    if (obs::enabled()) {
+      static obs::Counter& par_tiles =
+          obs::registry().counter("gemm.parallel_tiles");
+      par_tiles.add(j_tiles);
+    }
+    parallel_chunks(j_tiles, ways,
+                    [&](std::size_t b0, std::size_t e0, std::size_t) {
+                      run_tiles(b0, e0);
+                    });
+  } else {
+    run_tiles(0, j_tiles);
   }
 }
 

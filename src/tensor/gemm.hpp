@@ -73,6 +73,17 @@ void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
 void gemm_prepacked(const PackedA& a, Trans tb, std::size_t n, const float* b,
                     std::size_t ldb, float beta, float* c, std::size_t ldc);
 
+/// Hardware lane width the micro-kernel currently runs at: 16 (one
+/// 64-byte vector per accumulator row) or 8 (two 32-byte vectors), both
+/// bit-identical per lane; 1 on the portable scalar fallback. Selected
+/// once at startup from CPU capability (FEDCAV_SIMD=8|16 overrides).
+std::size_t simd_width();
+
+/// Test hook: force the micro-kernel lane width (8 or 16); 0 restores
+/// the startup selection. test_parallel_kernels asserts the two widths
+/// produce bit-identical results.
+void force_simd_width(std::size_t lanes);
+
 /// Tensor-level entry with shape validation: C = op(A)·op(B) + beta·C.
 /// Shapes: op(A) m×k, op(B) k×n, C preallocated m×n.
 void gemm(Trans ta, Trans tb, const Tensor& a, const Tensor& b, Tensor& c,

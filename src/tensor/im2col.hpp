@@ -46,4 +46,22 @@ void col2im(const Conv2dGeometry& g, const Tensor& cols, float* grad_image);
 /// Strided raw-pointer variant mirroring the strided im2col above.
 void col2im(const Conv2dGeometry& g, const float* cols, std::size_t ld, float* grad_image);
 
+/// Fast lowering from a PRE-PADDED image: `padded` holds C planes of
+/// (in_h+2·pad) rows × (in_w+2·pad) floats with the pad lanes zero.
+/// Because every source coordinate is in bounds by construction, the
+/// per-element bounds logic of the plain im2col disappears and each
+/// expansion row is a branch-free strided copy — the plain variant's
+/// range bookkeeping costs more than the GEMMs on sub-8×8 planes.
+/// Writes exactly the same values as im2col(g, image, cols, ld).
+void im2col_padded(const Conv2dGeometry& g, const float* padded, float* cols,
+                   std::size_t ld);
+
+/// Scatter-add the column gradient into a PRE-ZEROED padded image buffer
+/// (same layout as im2col_padded's input; the caller unpads afterwards,
+/// dropping the gradient the pad ring absorbed). Accumulation order per
+/// destination pixel is the (kh, kw) ascending walk of the plain col2im,
+/// so unpadding into a zeroed image gradient reproduces it bit-exactly.
+void col2im_padded(const Conv2dGeometry& g, const float* cols, std::size_t ld,
+                   float* padded);
+
 }  // namespace fedcav

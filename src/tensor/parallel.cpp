@@ -1,0 +1,51 @@
+#include "src/tensor/parallel.hpp"
+
+#include <atomic>
+
+namespace fedcav::ops {
+
+namespace {
+std::atomic<ThreadPool*> g_kernel_pool{nullptr};
+}  // namespace
+
+void set_kernel_pool(ThreadPool* pool) {
+  g_kernel_pool.store(pool, std::memory_order_release);
+}
+
+ThreadPool* kernel_pool() {
+  return g_kernel_pool.load(std::memory_order_acquire);
+}
+
+std::size_t kernel_ways() {
+  ThreadPool* pool = kernel_pool();
+  if (pool == nullptr || pool->size() <= 1) return 1;
+  // A kernel invoked from one of the pool's own workers (a federated
+  // client training inside the round's fan-out) must not re-enter the
+  // pool; parallel_for would run it inline anyway, so report 1 and let
+  // the caller keep its cheaper serial path.
+  if (pool->in_worker_thread()) return 1;
+  return pool->size();
+}
+
+void parallel_chunks(std::size_t n, std::size_t chunks,
+                     const std::function<void(std::size_t, std::size_t,
+                                              std::size_t)>& body) {
+  if (n == 0) return;
+  if (chunks == 0) chunks = 1;
+  const std::size_t step = (n + chunks - 1) / chunks;
+  const std::size_t actual = (n + step - 1) / step;
+  ThreadPool* pool = kernel_pool();
+  if (actual == 1 || pool == nullptr || pool->in_worker_thread()) {
+    for (std::size_t c = 0; c < actual; ++c) {
+      const std::size_t begin = c * step;
+      body(begin, std::min(n, begin + step), c);
+    }
+    return;
+  }
+  pool->parallel_for(actual, [&](std::size_t c) {
+    const std::size_t begin = c * step;
+    body(begin, std::min(n, begin + step), c);
+  });
+}
+
+}  // namespace fedcav::ops

@@ -22,6 +22,30 @@ Tensor& Workspace::zeroed(std::size_t slot, const Shape& shape) {
   return t;
 }
 
-void Workspace::release() { slots_.clear(); }
+Tensor& Workspace::zeroed_once(std::size_t slot, const Shape& shape) {
+  Tensor& t = get(slot, shape);
+  if (slot >= zeroed_shapes_.size()) zeroed_shapes_.resize(slot + 1);
+  if (zeroed_shapes_[slot] != shape) {
+    t.fill(0.0f);
+    zeroed_shapes_[slot] = shape;
+  }
+  return t;
+}
+
+void Workspace::release() {
+  slots_.clear();
+  zeroed_shapes_.clear();
+}
+
+void WorkspaceArena::reserve(std::size_t chunks) {
+  while (slots_.size() < chunks) slots_.emplace_back();
+}
+
+Workspace& WorkspaceArena::slot(std::size_t c) {
+  if (c >= slots_.size()) reserve(c + 1);  // serial-path convenience
+  return slots_[c];
+}
+
+void WorkspaceArena::release() { slots_.clear(); }
 
 }  // namespace fedcav

@@ -39,6 +39,13 @@ class Workspace {
   /// Same, but zero-filled (for accumulation targets like col2im's dx).
   Tensor& zeroed(std::size_t slot, const Shape& shape);
 
+  /// Zero-filled on the FIRST pass through a shape only; later passes
+  /// return the buffer as-is. For buffers whose zero regions are
+  /// invariant across uses (Conv2D's padded planes: the pad lanes stay
+  /// zero forever, only the data rows are rewritten per image), this
+  /// drops the per-use memset from the hot path.
+  Tensor& zeroed_once(std::size_t slot, const Shape& shape);
+
   /// An existing slot, contents preserved (throws if never populated).
   /// Used by backward passes to read buffers their forward pass filled.
   const Tensor& at(std::size_t slot) const;
@@ -51,6 +58,35 @@ class Workspace {
   // Tensors — layers hold references into earlier slots while later
   // slots are created (e.g. Conv2D's cols across gemm_out/out).
   std::deque<Tensor> slots_;
+  // Per-slot shape of the last zeroed_once() fill (empty = never).
+  std::deque<Shape> zeroed_shapes_;
+};
+
+/// Per-chunk workspaces for parallel kernels: chunk c of a
+/// parallel_chunks fan-out draws its scratch from slot(c), so concurrent
+/// chunks never share a buffer. Same grow-only, copy-cold semantics as
+/// Workspace. Usage contract: the coordinating (serial) thread calls
+/// reserve(chunks) before fanning out; workers then call slot(c) for
+/// distinct c only, which touches no shared state.
+class WorkspaceArena {
+ public:
+  WorkspaceArena() = default;
+  WorkspaceArena(const WorkspaceArena&) {}  // clones start cold
+  WorkspaceArena& operator=(const WorkspaceArena&) { return *this; }
+  WorkspaceArena(WorkspaceArena&&) noexcept = default;
+  WorkspaceArena& operator=(WorkspaceArena&&) noexcept = default;
+
+  /// Grow to at least `chunks` workspaces (serial phase only).
+  void reserve(std::size_t chunks);
+
+  /// Workspace for chunk `c`; must be < the reserved count when called
+  /// from a worker. deque-backed, so growth never moves earlier slots.
+  Workspace& slot(std::size_t c);
+
+  void release();
+
+ private:
+  std::deque<Workspace> slots_;
 };
 
 }  // namespace fedcav

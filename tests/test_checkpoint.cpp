@@ -167,6 +167,49 @@ TEST(CheckpointResume, FaultedRunResumesBitIdentically) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointResume, QuantizedRunWithPendingResidualResumesBitIdentically) {
+  set_log_level(LogLevel::kError);
+  // The v5 payload under test: after two int8 + top-k rounds every
+  // participant holds a nonzero error-feedback residual, and the next
+  // round's uplink delta depends on it. A resume that dropped the
+  // residual would code different deltas and diverge immediately.
+  fl::SimulationConfig config = small_config();
+  config.server.quant = comm::QuantMode::kInt8;
+  config.server.quant_keep = 0.5;
+
+  fl::Simulation continuous = fl::build_simulation(config);
+  continuous.server->run(4);
+
+  fl::Simulation first_half = fl::build_simulation(config);
+  first_half.server->run(2);
+  const std::string path = temp_path("fedcav_quant_ckpt.bin");
+  first_half.server->save_checkpoint(path);  // v5 by default
+
+  fl::Simulation resumed = fl::build_simulation(config);
+  resumed.server->load_checkpoint(path);
+  EXPECT_EQ(resumed.server->current_round(), 2u);
+  resumed.server->run(2);
+
+  EXPECT_EQ(resumed.server->global_weights(), continuous.server->global_weights());
+  ASSERT_EQ(resumed.server->history().rounds(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    expect_records_identical(continuous.server->history()[2 + i],
+                             resumed.server->history()[i]);
+  }
+
+  // Prior formats still round-trip for the same run — a v4 file simply
+  // never carried the residual, so it loads with the residuals cleared
+  // (resumable, not bit-identical).
+  const std::string v4_path = temp_path("fedcav_quant_v4_ckpt.bin");
+  first_half.server->save_checkpoint(v4_path, /*version=*/4);
+  fl::Simulation legacy = fl::build_simulation(config);
+  legacy.server->load_checkpoint(v4_path);
+  EXPECT_EQ(legacy.server->current_round(), 2u);
+  legacy.server->run_round();  // must run cleanly from the cleared state
+  std::remove(path.c_str());
+  std::remove(v4_path.c_str());
+}
+
 TEST(CheckpointResume, WritesLoadableV2Files) {
   set_log_level(LogLevel::kError);
   // The legacy fabric-free format is still writable (version = 2) and
@@ -193,7 +236,7 @@ TEST(CheckpointResume, RejectsUnsupportedSaveVersion) {
   set_log_level(LogLevel::kError);
   fl::Simulation sim = fl::build_simulation(small_config());
   EXPECT_THROW(sim.server->save_checkpoint(temp_path("never_written.bin"), 1), Error);
-  EXPECT_THROW(sim.server->save_checkpoint(temp_path("never_written.bin"), 5), Error);
+  EXPECT_THROW(sim.server->save_checkpoint(temp_path("never_written.bin"), 6), Error);
 }
 
 TEST(CheckpointResume, LoadsLegacyV1Files) {

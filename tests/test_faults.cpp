@@ -153,6 +153,43 @@ TEST(Chaos, SameSeedIsBitIdenticalAcrossPoolSizes) {
   EXPECT_EQ(w1, w4);
 }
 
+TEST(Chaos, QuantizedRunIsBitIdenticalAcrossPoolSizes) {
+  set_log_level(LogLevel::kError);
+  // The quantized wire composes with both determinism contracts: the
+  // fixed-slot streaming reduction (uplink deltas land in sampled-order
+  // slots regardless of arrival order) and the fixed tile ownership of
+  // the parallel kernels. 1 worker and 4 workers must agree bit-for-bit
+  // even with the int8 + top-k codec and error feedback in the loop.
+  fl::SimulationConfig config = chaos_config();
+  config.server.quant = comm::QuantMode::kInt8;
+  config.server.quant_keep = 0.5;
+  comm::FaultPlan& faults = config.server.network.faults;
+  faults.seed = 91;
+  faults.drop_prob = 0.2;
+  faults.reorder_prob = 0.2;
+  config.server.min_aggregate_clients = 1;
+
+  auto run_with_pool = [&config](std::size_t workers, std::string* csv,
+                                 nn::Weights* weights) {
+    ThreadPool pool(workers);
+    fl::Simulation sim = fl::build_simulation(config);
+    sim.server->set_thread_pool(&pool);
+    sim.server->run(4);
+    *csv = deterministic_csv(*sim.server);
+    *weights = sim.server->global_weights();
+    expect_conservation(*sim.server);
+  };
+
+  std::string csv1;
+  std::string csv4;
+  nn::Weights w1;
+  nn::Weights w4;
+  run_with_pool(1, &csv1, &w1);
+  run_with_pool(4, &csv4, &w4);
+  EXPECT_EQ(csv1, csv4) << "quantized uplink leaked thread-order dependence";
+  EXPECT_EQ(w1, w4);
+}
+
 TEST(Chaos, ZeroedFaultPlanIsInert) {
   set_log_level(LogLevel::kError);
   // Acceptance gate: a FaultPlan with every knob at zero (seed set or

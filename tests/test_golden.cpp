@@ -53,5 +53,51 @@ TEST(GoldenRun, DigitsLenet5FedcavFinalRoundIsPinned) {
   }
 }
 
+// The quantized wire (DESIGN.md §13) must not cost meaningful accuracy
+// on the golden configuration: error-feedback folds the codec error
+// back into the next participation, so the run stays inside a ±0.05
+// band around the fp32 golden. The exact values are pinned too — the
+// quantized path is as deterministic as the dense one — but only in
+// the plain build: sanitizer instrumentation shifts float codegen a
+// few ulps and the quantizer's rounding buckets amplify that past the
+// exact tolerances (the fp32 golden above is insensitive to it).
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr bool kExactQuantPins = false;
+#else
+constexpr bool kExactQuantPins = true;
+#endif
+TEST(GoldenRun, Int8ErrorFeedbackStaysInsideGoldenBand) {
+  set_log_level(LogLevel::kError);
+  fl::SimulationConfig config = golden_config();
+  config.server.quant = comm::QuantMode::kInt8;
+  config.server.quant_keep = 0.25;
+  fl::Simulation sim = fl::build_simulation(config);
+  sim.server->run(8);
+  const metrics::RoundRecord& last = sim.server->history().back();
+
+  EXPECT_NEAR(last.test_accuracy, 0.29, 0.05)
+      << "int8 + top-k + error feedback drifted out of the golden band";
+  if (kExactQuantPins) {
+    EXPECT_NEAR(last.test_accuracy, 0.28, 1e-6);
+    EXPECT_NEAR(last.test_loss, 2.33236902236938, 1e-4);
+  }
+}
+
+TEST(GoldenRun, Fp16WireStaysInsideGoldenBand) {
+  set_log_level(LogLevel::kError);
+  fl::SimulationConfig config = golden_config();
+  config.server.quant = comm::QuantMode::kFp16;
+  fl::Simulation sim = fl::build_simulation(config);
+  sim.server->run(8);
+  const metrics::RoundRecord& last = sim.server->history().back();
+
+  EXPECT_NEAR(last.test_accuracy, 0.29, 0.05)
+      << "fp16 wire drifted out of the golden band";
+  if (kExactQuantPins) {
+    EXPECT_NEAR(last.test_accuracy, 0.31, 1e-6);
+    EXPECT_NEAR(last.test_loss, 2.34580681800842, 1e-4);
+  }
+}
+
 }  // namespace
 }  // namespace fedcav
