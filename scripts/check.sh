@@ -56,6 +56,11 @@ echo "==> cohort_scale smoke (plain)"
 # replayed by ctest (label: chaos).
 echo "==> chaos_search smoke (plain)"
 timeout 300 "${repo}/build/tools/chaos_search" --budget 25 --seed 1
+# Multi-process federation smoke (DESIGN.md §14): daemon + workers over
+# a real Unix socket; the watchdog timeout turns a protocol hang into a
+# gate failure instead of a wedged CI job.
+echo "==> multiproc smoke (plain)"
+timeout 300 "${repo}/scripts/multiproc_smoke.sh" "${repo}/build"
 
 run_config "${repo}/build-sanitize" "" -DFEDCAV_SANITIZE=ON
 echo "==> cohort_scale smoke (sanitize)"
@@ -63,6 +68,8 @@ echo "==> cohort_scale smoke (sanitize)"
   --out "${repo}/build-sanitize/BENCH_cohort_smoke.json"
 echo "==> chaos_search smoke (sanitize)"
 timeout 600 "${repo}/build-sanitize/tools/chaos_search" --budget 10 --seed 1
+echo "==> multiproc smoke (sanitize)"
+timeout 600 "${repo}/scripts/multiproc_smoke.sh" "${repo}/build-sanitize" 2 2
 
 run_config "${repo}/build-tsan" \
   "ThreadPool|Obs|CheckpointResume|Server|Integration|Chaos|Faults|GoldenRun" \

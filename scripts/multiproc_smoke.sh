@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Multi-process federation smoke (DESIGN.md §14): launch fedcav_daemon +
+# N fedcav_worker processes from the given build tree over a Unix socket
+# in a throwaway temp dir, and require every process to exit 0 and the
+# daemon to have written one CSV row per round. check.sh runs this under
+# `timeout` for both the plain and ASan trees, so a protocol hang fails
+# the gate instead of wedging it.
+#
+# Usage: scripts/multiproc_smoke.sh <build-dir> [clients] [rounds]
+set -euo pipefail
+
+build_dir="${1:?usage: multiproc_smoke.sh <build-dir> [clients] [rounds]}"
+clients="${2:-4}"
+rounds="${3:-2}"
+
+daemon="${build_dir}/tools/fedcav_daemon"
+worker="${build_dir}/tools/fedcav_worker"
+[[ -x "${daemon}" && -x "${worker}" ]] || {
+  echo "multiproc_smoke: tools not built in ${build_dir}" >&2
+  exit 1
+}
+
+tmp="$(mktemp -d /tmp/fedcav-smoke.XXXXXX)"
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    kill -9 "${pid}" 2>/dev/null || true
+  done
+  rm -rf "${tmp}"
+}
+trap cleanup EXIT
+
+sock="${tmp}/fed.sock"
+csv="${tmp}/history.csv"
+
+"${daemon}" --socket "${sock}" --clients "${clients}" --rounds "${rounds}" \
+  --csv "${csv}" &
+pids+=("$!")
+for ((w = 1; w <= clients; ++w)); do
+  "${worker}" --socket "${sock}" --clients "${clients}" --rank "${w}" &
+  pids+=("$!")
+done
+
+status=0
+for pid in "${pids[@]}"; do
+  wait "${pid}" || status=$?
+done
+pids=()
+[[ "${status}" -eq 0 ]] || {
+  echo "multiproc_smoke: a federation process exited ${status}" >&2
+  exit "${status}"
+}
+
+row_count="$(grep -c '^[0-9]' "${csv}")"
+[[ "${row_count}" -eq "${rounds}" ]] || {
+  echo "multiproc_smoke: expected ${rounds} CSV rounds, got ${row_count}" >&2
+  exit 1
+}
+echo "multiproc_smoke: ${clients} workers x ${rounds} rounds OK"

@@ -1,0 +1,178 @@
+#include "src/comm/frame.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/utils/error.hpp"
+#include "src/utils/timer.hpp"
+
+namespace fedcav::comm {
+
+namespace {
+
+void write_u64_at(ByteBuffer& buf, std::uint64_t v) { write_u64(buf, v); }
+
+std::uint64_t read_u64_le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+ByteBuffer HelloMsg::encode() const {
+  ByteBuffer buf;
+  write_u64_at(buf, kHelloMagic);
+  write_u64_at(buf, (static_cast<std::uint64_t>(proto_max) << 32) |
+                        static_cast<std::uint64_t>(proto_min));
+  write_u64_at(buf, requested_rank);
+  write_u64_at(buf, 0);  // reserved
+  return buf;
+}
+
+std::optional<HelloMsg> HelloMsg::decode(const ByteBuffer& wire) {
+  if (wire.size() != kHandshakeBytes) return std::nullopt;
+  if (read_u64_le(wire.data()) != kHelloMagic) return std::nullopt;
+  const std::uint64_t versions = read_u64_le(wire.data() + 8);
+  HelloMsg msg;
+  msg.proto_min = static_cast<std::uint32_t>(versions & 0xffffffffULL);
+  msg.proto_max = static_cast<std::uint32_t>(versions >> 32);
+  msg.requested_rank = read_u64_le(wire.data() + 16);
+  if (msg.proto_min > msg.proto_max) return std::nullopt;
+  return msg;
+}
+
+ByteBuffer AcceptMsg::encode() const {
+  ByteBuffer buf;
+  write_u64_at(buf, kAcceptMagic);
+  write_u64_at(buf, (static_cast<std::uint64_t>(proto) << 32) |
+                        static_cast<std::uint64_t>(status));
+  write_u64_at(buf, rank);
+  write_u64_at(buf, num_endpoints);
+  return buf;
+}
+
+std::optional<AcceptMsg> AcceptMsg::decode(const ByteBuffer& wire) {
+  if (wire.size() != kHandshakeBytes) return std::nullopt;
+  if (read_u64_le(wire.data()) != kAcceptMagic) return std::nullopt;
+  const std::uint64_t word = read_u64_le(wire.data() + 8);
+  const std::uint64_t status = word & 0xffffffffULL;
+  if (status > static_cast<std::uint64_t>(HandshakeStatus::kMalformedHello)) {
+    return std::nullopt;
+  }
+  AcceptMsg msg;
+  msg.status = static_cast<HandshakeStatus>(status);
+  msg.proto = static_cast<std::uint32_t>(word >> 32);
+  msg.rank = read_u64_le(wire.data() + 16);
+  msg.num_endpoints = read_u64_le(wire.data() + 24);
+  return msg;
+}
+
+void append_frame(ByteBuffer& out, const ByteBuffer& wire) {
+  FEDCAV_REQUIRE(!wire.empty(), "append_frame: empty wire image");
+  FEDCAV_REQUIRE(wire.size() <= 0xffffffffULL, "append_frame: frame too large");
+  write_u32(out, static_cast<std::uint32_t>(wire.size()));
+  out.insert(out.end(), wire.begin(), wire.end());
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {
+  FEDCAV_REQUIRE(max_frame_bytes_ >= 1, "FrameDecoder: zero max_frame_bytes");
+}
+
+bool FrameDecoder::push(const std::uint8_t* data, std::size_t len) {
+  if (failed_) return false;
+  std::size_t pos = 0;
+  while (pos < len) {
+    if (current_need_ == 0) {
+      // Collecting the 4-byte length prefix (may straddle reads).
+      const std::size_t take = std::min(len - pos, std::size_t{4} - header_filled_);
+      std::memcpy(header_ + header_filled_, data + pos, take);
+      header_filled_ += take;
+      pos += take;
+      if (header_filled_ < 4) break;
+      std::uint32_t announced = 0;
+      for (int i = 0; i < 4; ++i) {
+        announced |= static_cast<std::uint32_t>(header_[i]) << (8 * i);
+      }
+      header_filled_ = 0;
+      // The hostile-prefix gate: validated before current_ is sized, so
+      // an adversarial 0xffffffff costs nothing but this branch.
+      if (announced == 0 || announced > max_frame_bytes_) {
+        failed_ = true;
+        error_ = "frame length " + std::to_string(announced) +
+                 " outside (0, " + std::to_string(max_frame_bytes_) + "]";
+        current_.clear();
+        return false;
+      }
+      current_need_ = announced;
+      current_.clear();
+      current_.reserve(current_need_);
+      continue;
+    }
+    const std::size_t take = std::min(len - pos, current_need_ - current_.size());
+    current_.insert(current_.end(), data + pos, data + pos + take);
+    pos += take;
+    if (current_.size() == current_need_) {
+      frames_.push_back(std::move(current_));
+      current_ = ByteBuffer{};
+      current_need_ = 0;
+    }
+  }
+  return true;
+}
+
+std::optional<ByteBuffer> FrameDecoder::next_frame() {
+  if (frames_.empty()) return std::nullopt;
+  ByteBuffer frame = std::move(frames_.front());
+  frames_.pop_front();
+  return frame;
+}
+
+IoStatus write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a dead peer must come back as EPIPE, never SIGPIPE.
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) return IoStatus::kClosed;
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus read_exact(int fd, std::uint8_t* data, std::size_t len, double timeout_s) {
+  std::size_t got = 0;
+  Stopwatch watch;
+  while (got < len) {
+    const double remaining = timeout_s - watch.seconds();
+    if (remaining <= 0.0) return IoStatus::kError;
+    struct pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining * 1000.0) + 1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::kError;
+    }
+    if (ready == 0) continue;  // re-check the deadline
+    const ssize_t n = ::read(fd, data + got, len - got);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) return IoStatus::kClosed;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    if (errno == ECONNRESET) return IoStatus::kClosed;
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+}  // namespace fedcav::comm

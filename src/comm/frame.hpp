@@ -1,0 +1,127 @@
+// Length-prefixed framing + versioned handshake for the socket
+// transport (DESIGN.md §14).
+//
+// Stream layout after the handshake: each message is a little-endian
+// u32 byte count followed by exactly that many bytes — the encoded
+// comm::Envelope wire image (type tag + payload + CRC-32). The length
+// prefix only delimits; all integrity checking stays in the Envelope
+// CRC, so the framing layer never needs to understand payloads.
+//
+// Hostile-input rule (the read_f32_vector overflow fix from PR 6,
+// applied to the stream): a length prefix is validated against
+// max_frame_bytes BEFORE any payload allocation. A peer announcing a
+// 4 GiB frame costs the receiver 4 bytes of header scratch, not 4 GiB
+// of memory — the decoder just enters a terminal failed state and the
+// connection is dropped.
+//
+// The handshake is a fixed-size raw exchange (it happens before any
+// protocol version is agreed, so it cannot ride the versioned frame
+// stream — the Nix daemon/worker split does the same):
+//   worker -> daemon : HELLO  { magic, proto_min, proto_max, rank }
+//   daemon -> worker : ACCEPT { magic, status, proto, rank, endpoints }
+// The daemon picks min(its max, the worker's max) as the session
+// protocol version, rejecting when the ranges do not overlap. A
+// requested rank of kAnyRank lets the daemon assign the lowest free
+// worker rank.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "src/tensor/serialize.hpp"
+
+namespace fedcav::comm {
+
+/// Protocol versions this build speaks, inclusive.
+constexpr std::uint32_t kProtocolVersionMin = 1;
+constexpr std::uint32_t kProtocolVersion = 1;
+
+constexpr std::uint64_t kHelloMagic = 0xfedca7da30c7e110ULL;
+constexpr std::uint64_t kAcceptMagic = 0xfedca7da30acce97ULL;
+constexpr std::uint64_t kAnyRank = ~std::uint64_t{0};
+
+/// Fixed 32-byte handshake images (4 little-endian u64 slots each).
+constexpr std::size_t kHandshakeBytes = 32;
+
+struct HelloMsg {
+  std::uint32_t proto_min = kProtocolVersionMin;
+  std::uint32_t proto_max = kProtocolVersion;
+  /// Worker rank to join as (1-based; 0 is the daemon), or kAnyRank to
+  /// let the daemon pick.
+  std::uint64_t requested_rank = kAnyRank;
+
+  ByteBuffer encode() const;
+  /// nullopt on bad magic or short buffer.
+  static std::optional<HelloMsg> decode(const ByteBuffer& wire);
+};
+
+enum class HandshakeStatus : std::uint32_t {
+  kOk = 0,
+  kVersionMismatch = 1,
+  kRankUnavailable = 2,
+  kFederationFull = 3,
+  kMalformedHello = 4,
+};
+
+struct AcceptMsg {
+  HandshakeStatus status = HandshakeStatus::kOk;
+  /// Negotiated protocol version (meaningful when status == kOk).
+  std::uint32_t proto = kProtocolVersion;
+  std::uint64_t rank = 0;
+  std::uint64_t num_endpoints = 0;
+
+  ByteBuffer encode() const;
+  static std::optional<AcceptMsg> decode(const ByteBuffer& wire);
+};
+
+/// Append the length-prefixed frame carrying `wire` to `out`.
+void append_frame(ByteBuffer& out, const ByteBuffer& wire);
+
+/// Incremental parser for one peer's byte stream. Feed whatever read()
+/// returned; pop completed frames. Enters a terminal failed state on a
+/// hostile length prefix (zero, or above the configured cap) — checked
+/// against the raw header before the payload buffer is sized, so no
+/// allocation is ever driven by an unvalidated length.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes);
+
+  /// Ingest `len` stream bytes. Returns false once the decoder has
+  /// failed (the current and all future input is discarded).
+  bool push(const std::uint8_t* data, std::size_t len);
+
+  /// Pop the oldest completed frame, if any.
+  std::optional<ByteBuffer> next_frame();
+
+  bool has_frame() const { return !frames_.empty(); }
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+  std::size_t max_frame_bytes() const { return max_frame_bytes_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::uint8_t header_[4] = {0, 0, 0, 0};
+  std::size_t header_filled_ = 0;
+  ByteBuffer current_;         // payload in progress (sized post-validation)
+  std::size_t current_need_ = 0;  // 0 = waiting on the header
+  std::deque<ByteBuffer> frames_;
+  bool failed_ = false;
+  std::string error_;
+};
+
+/// Status of a blocking fd transfer.
+enum class IoStatus { kOk, kClosed, kError };
+
+/// write(2) the whole buffer, absorbing EINTR and short writes; uses
+/// send(MSG_NOSIGNAL) on sockets so a half-closed peer surfaces as
+/// kClosed (EPIPE/ECONNRESET) instead of a process-killing SIGPIPE.
+IoStatus write_all(int fd, const std::uint8_t* data, std::size_t len);
+
+/// read(2) exactly `len` bytes, absorbing EINTR and partial reads,
+/// waiting up to `timeout_s` (across the whole transfer) for data.
+/// kClosed on EOF, kError on a hard error or timeout.
+IoStatus read_exact(int fd, std::uint8_t* data, std::size_t len, double timeout_s);
+
+}  // namespace fedcav::comm

@@ -147,16 +147,32 @@ std::optional<Envelope> InMemoryNetwork::try_recv(std::size_t dst, std::size_t s
   return Envelope::decode(*wire);
 }
 
-std::optional<Envelope> InMemoryNetwork::try_recv_any(std::size_t dst, std::size_t* src_out) {
-  FEDCAV_REQUIRE(dst < config_.num_endpoints, "InMemoryNetwork::try_recv_any: bad endpoint");
+std::optional<ByteBuffer> InMemoryNetwork::try_recv_any_wire(std::size_t dst,
+                                                             std::size_t* src_out) {
+  FEDCAV_REQUIRE(dst < config_.num_endpoints,
+                 "InMemoryNetwork::try_recv_any_wire: bad endpoint");
   std::lock_guard<std::mutex> lock(mutex_);
+  // Fairness contract (transport.hpp): drain the lowest source rank
+  // first, never the inbox's arrival interleaving — otherwise a refactor
+  // of the queue container (or, on a real transport, OS scheduling)
+  // could silently reorder the protocol's view of its peers.
   auto& inbox = inboxes_[dst];
-  if (inbox.empty()) return std::nullopt;
-  Queued q = std::move(inbox.front());
-  inbox.pop_front();
+  auto best = inbox.end();
+  for (auto it = inbox.begin(); it != inbox.end(); ++it) {
+    if (best == inbox.end() || it->src < best->src) best = it;
+  }
+  if (best == inbox.end()) return std::nullopt;
+  ByteBuffer wire = std::move(best->wire);
+  if (src_out != nullptr) *src_out = best->src;
+  inbox.erase(best);
   fault_stats_.delivered += 1;
-  if (src_out != nullptr) *src_out = q.src;
-  return Envelope::decode(q.wire);
+  return wire;
+}
+
+std::optional<Envelope> InMemoryNetwork::try_recv_any(std::size_t dst, std::size_t* src_out) {
+  std::optional<ByteBuffer> wire = try_recv_any_wire(dst, src_out);
+  if (!wire.has_value()) return std::nullopt;
+  return Envelope::decode(*wire);
 }
 
 void InMemoryNetwork::broadcast(std::size_t src, const Envelope& env) {

@@ -25,6 +25,7 @@
 
 #include "src/comm/faults.hpp"
 #include "src/comm/message.hpp"
+#include "src/comm/transport.hpp"
 #include "src/utils/rng.hpp"
 
 namespace fedcav::comm {
@@ -39,39 +40,38 @@ struct NetworkConfig {
   FaultPlan faults;
 };
 
-struct TrafficStats {
-  std::uint64_t messages_sent = 0;
-  std::uint64_t bytes_sent = 0;
-  /// Accumulated simulated transfer time (latency + bytes/bandwidth
-  /// + injected jitter + retry backoff).
-  double simulated_seconds = 0.0;
-};
-
-class InMemoryNetwork {
+class InMemoryNetwork final : public Transport {
  public:
   explicit InMemoryNetwork(NetworkConfig config);
 
-  std::size_t num_endpoints() const { return config_.num_endpoints; }
+  std::size_t num_endpoints() const override { return config_.num_endpoints; }
 
   /// Tell the fabric which communication round is in progress (1-based);
   /// crash windows are evaluated against this value.
-  void begin_round(std::size_t round);
+  void begin_round(std::size_t round) override;
 
   /// Deliver `env` from `src` to `dst` (enqueued immediately; the
   /// simulated clock advances by the modeled transfer time). The sender
   /// is metered even when the fault layer then loses the message.
-  void send(std::size_t src, std::size_t dst, const Envelope& env);
+  void send(std::size_t src, std::size_t dst, const Envelope& env) override;
 
   /// Pop the oldest message queued for `dst` from `src`, if any, as raw
   /// wire bytes (possibly corrupted or truncated in flight).
-  std::optional<ByteBuffer> try_recv_wire(std::size_t dst, std::size_t src);
+  std::optional<ByteBuffer> try_recv_wire(std::size_t dst, std::size_t src) override;
+
+  /// Pop the oldest message queued for `dst` from the lowest-ranked
+  /// source that has one (the Transport fairness contract — never the
+  /// inbox's arrival interleaving); the source rank is written to
+  /// `src_out`.
+  std::optional<ByteBuffer> try_recv_any_wire(std::size_t dst,
+                                              std::size_t* src_out) override;
 
   /// Strict-decode convenience over try_recv_wire: throws fedcav::Error
   /// if the popped image is damaged. Use only on fault-free fabrics.
   std::optional<Envelope> try_recv(std::size_t dst, std::size_t src);
 
-  /// Pop the oldest message queued for `dst` from any source; the source
-  /// rank is written to `src_out`. Strict decode, like try_recv.
+  /// Strict-decode convenience over try_recv_any_wire (same ascending
+  /// source-rank order). Throws fedcav::Error on a damaged image.
   std::optional<Envelope> try_recv_any(std::size_t dst, std::size_t* src_out);
 
   /// Send to every endpoint except `src` (server broadcast).
@@ -79,27 +79,27 @@ class InMemoryNetwork {
 
   /// Charge `seconds` of extra simulated time to the (src, dst) link —
   /// the retry protocol's exponential backoff goes through this.
-  void add_link_delay(std::size_t src, std::size_t dst, double seconds);
+  void add_link_delay(std::size_t src, std::size_t dst, double seconds) override;
 
   /// Per-endpoint outbound traffic accounting (sum over its links, in
   /// fixed link order, so even the float total is deterministic).
-  TrafficStats stats(std::size_t endpoint) const;
-  TrafficStats total_stats() const;
+  TrafficStats stats(std::size_t endpoint) const override;
+  TrafficStats total_stats() const override;
   void reset_stats();
 
   /// Fabric-wide fault accounting (all zero when the plan is inert).
-  FaultStats fault_stats() const;
+  FaultStats fault_stats() const override;
 
   /// Number of undelivered messages in the whole fabric.
-  std::size_t pending_messages() const;
+  std::size_t pending_messages() const override;
 
   /// Mirror the fabric-wide totals into the obs metrics registry
   /// (comm.bytes_sent / comm.messages_sent / comm.simulated_seconds /
   /// comm.pending_messages gauges, plus comm.fault.* gauges when a
   /// fault plan is active). No-op while telemetry is disabled.
-  void publish_metrics() const;
+  void publish_metrics() const override;
 
-  double model_transfer_seconds(std::size_t bytes) const;
+  double model_transfer_seconds(std::size_t bytes) const override;
 
   /// Serialize / restore the fabric's mutable state: the current round,
   /// every per-link fault RNG stream, all in-flight wire images, and —

@@ -118,7 +118,21 @@ Server::Server(std::unique_ptr<nn::Model> global_model,
     comm::NetworkConfig net = config_.network;
     net.num_endpoints = clients_.size() + 1;
     network_ = std::make_unique<comm::InMemoryNetwork>(net);
+    transport_ = network_.get();
   }
+}
+
+void Server::set_transport(comm::Transport* transport, bool remote) {
+  if (transport == nullptr) {
+    transport_ = network_.get();
+    remote_ = false;
+    return;
+  }
+  FEDCAV_REQUIRE(transport->num_endpoints() == clients_.size() + 1,
+                 "Server::set_transport: transport endpoint count must be "
+                 "num_clients + 1");
+  transport_ = transport;
+  remote_ = remote;
 }
 
 void Server::set_adversary(std::shared_ptr<attack::Adversary> adversary,
@@ -168,11 +182,12 @@ void Server::ensure_replica_pool() {
 }
 
 ParticipantOutcome Server::run_participant_metadata(std::size_t client_index) {
+  if (remote_) return remote_participant_metadata(client_index);
   obs::Span span("participant", "client");
   span.arg("client", static_cast<double>(client_index));
   ParticipantOutcome out;
   Client& client = *clients_[client_index];
-  if (network_ == nullptr) {
+  if (transport_ == nullptr) {
     nn::ReplicaPool::Lease replica = replica_pool_->acquire();
     ClientUpdate meta;
     meta.client_id = client.id();
@@ -197,8 +212,8 @@ ParticipantOutcome Server::run_participant_metadata(std::size_t client_index) {
   // (not in the broadcast phase) keeps O(workers) wire images of the
   // model alive in the fabric instead of O(cohort); per-link fault RNG
   // streams make the fault outcomes identical either way.
-  network_->send(kServerRank, rank, downlink_env_);
-  out.elapsed_s += network_->model_transfer_seconds(downlink_env_.wire_size());
+  transport_->send(kServerRank, rank, downlink_env_);
+  out.elapsed_s += transport_->model_transfer_seconds(downlink_env_.wire_size());
   // Dense runs expect kGlobalModel, quantized runs kQuantGlobalModel; a
   // quantized downlink is decoded to the dense weights here (which equal
   // the server's in-place-dequantized global_weights_ bit-exactly — the
@@ -208,7 +223,7 @@ ParticipantOutcome Server::run_participant_metadata(std::size_t client_index) {
                                           : comm::MessageType::kGlobalModel;
   std::optional<std::vector<float>> down;
   for (std::size_t attempt = 0; attempt <= config_.max_retries && !down; ++attempt) {
-    while (auto wire = network_->try_recv_wire(rank, kServerRank)) {
+    while (auto wire = transport_->try_recv_wire(rank, kServerRank)) {
       auto env = comm::Envelope::try_decode(*wire);
       if (!env.has_value()) {
         out.crc_failures += 1;  // corrupted or truncated in flight
@@ -241,14 +256,14 @@ ParticipantOutcome Server::run_participant_metadata(std::size_t client_index) {
     nack.round = round_;
     nack.expected = down_type;
     const comm::Envelope nack_env{comm::MessageType::kNack, nack.encode()};
-    network_->send(rank, kServerRank, nack_env);
-    out.elapsed_s += network_->model_transfer_seconds(nack_env.wire_size());
+    transport_->send(rank, kServerRank, nack_env);
+    out.elapsed_s += transport_->model_transfer_seconds(nack_env.wire_size());
     const double backoff =
         config_.retry_backoff_s * static_cast<double>(1ULL << attempt);
-    network_->add_link_delay(kServerRank, rank, backoff);
+    transport_->add_link_delay(kServerRank, rank, backoff);
     out.elapsed_s += backoff;
-    network_->send(kServerRank, rank, downlink_env_);
-    out.elapsed_s += network_->model_transfer_seconds(downlink_env_.wire_size());
+    transport_->send(kServerRank, rank, downlink_env_);
+    out.elapsed_s += transport_->model_transfer_seconds(downlink_env_.wire_size());
     out.retries += 1;
   }
   if (!down.has_value()) return out;  // unreachable client: dropout
@@ -273,9 +288,9 @@ ParticipantOutcome Server::run_participant_metadata(std::size_t client_index) {
   const comm::Envelope meta_env{comm::MessageType::kMetadataReport, meta.encode()};
   std::optional<comm::MetadataMsg> received;
   for (std::size_t attempt = 0; attempt <= config_.max_retries && !received; ++attempt) {
-    network_->send(rank, kServerRank, meta_env);
-    out.elapsed_s += network_->model_transfer_seconds(meta_env.wire_size());
-    while (auto wire = network_->try_recv_wire(kServerRank, rank)) {
+    transport_->send(rank, kServerRank, meta_env);
+    out.elapsed_s += transport_->model_transfer_seconds(meta_env.wire_size());
+    while (auto wire = transport_->try_recv_wire(kServerRank, rank)) {
       auto env = comm::Envelope::try_decode(*wire);
       if (!env.has_value()) {
         out.crc_failures += 1;
@@ -299,11 +314,11 @@ ParticipantOutcome Server::run_participant_metadata(std::size_t client_index) {
     nack.round = round_;
     nack.expected = comm::MessageType::kMetadataReport;
     const comm::Envelope nack_env{comm::MessageType::kNack, nack.encode()};
-    network_->send(kServerRank, rank, nack_env);
-    out.elapsed_s += network_->model_transfer_seconds(nack_env.wire_size());
+    transport_->send(kServerRank, rank, nack_env);
+    out.elapsed_s += transport_->model_transfer_seconds(nack_env.wire_size());
     const double backoff =
         config_.retry_backoff_s * static_cast<double>(1ULL << attempt);
-    network_->add_link_delay(rank, kServerRank, backoff);
+    transport_->add_link_delay(rank, kServerRank, backoff);
     out.elapsed_s += backoff;
     out.retries += 1;
   }
@@ -323,6 +338,7 @@ ParticipantOutcome Server::run_participant_metadata(std::size_t client_index) {
 std::optional<ClientUpdate> Server::run_participant_train(std::size_t client_index,
                                                           double inference_loss,
                                                           ParticipantOutcome& counters) {
+  if (remote_) return remote_participant_train(client_index, counters);
   obs::Span span("participant", "client");
   span.arg("client", static_cast<double>(client_index));
   Client& client = *clients_[client_index];
@@ -333,7 +349,7 @@ std::optional<ClientUpdate> Server::run_participant_train(std::size_t client_ind
                                  inference_loss);
   }
   const bool quant_on = config_.quant != comm::QuantMode::kNone;
-  if (network_ == nullptr) {
+  if (transport_ == nullptr) {
     if (quant_on) {
       // Unmetered path: run the identical codec transform locally —
       // delta code with error feedback, then reconstruction against the
@@ -387,9 +403,9 @@ std::optional<ClientUpdate> Server::run_participant_train(std::size_t client_ind
   // weights either way and stays independent of the worker count.
   std::optional<std::pair<std::vector<float>, double>> report;  // weights, f_i
   for (std::size_t attempt = 0; attempt <= config_.max_retries && !report; ++attempt) {
-    network_->send(rank, kServerRank, report_env);
-    counters.elapsed_s += network_->model_transfer_seconds(report_env.wire_size());
-    while (auto wire = network_->try_recv_wire(kServerRank, rank)) {
+    transport_->send(rank, kServerRank, report_env);
+    counters.elapsed_s += transport_->model_transfer_seconds(report_env.wire_size());
+    while (auto wire = transport_->try_recv_wire(kServerRank, rank)) {
       auto env = comm::Envelope::try_decode(*wire);
       if (!env.has_value()) {
         counters.crc_failures += 1;
@@ -424,11 +440,11 @@ std::optional<ClientUpdate> Server::run_participant_train(std::size_t client_ind
     nack.round = round_;
     nack.expected = report_type;
     const comm::Envelope nack_env{comm::MessageType::kNack, nack.encode()};
-    network_->send(kServerRank, rank, nack_env);
-    counters.elapsed_s += network_->model_transfer_seconds(nack_env.wire_size());
+    transport_->send(kServerRank, rank, nack_env);
+    counters.elapsed_s += transport_->model_transfer_seconds(nack_env.wire_size());
     const double backoff =
         config_.retry_backoff_s * static_cast<double>(1ULL << attempt);
-    network_->add_link_delay(rank, kServerRank, backoff);
+    transport_->add_link_delay(rank, kServerRank, backoff);
     counters.elapsed_s += backoff;
     counters.retries += 1;
   }
@@ -441,6 +457,151 @@ std::optional<ClientUpdate> Server::run_participant_train(std::size_t client_ind
   update.weights = std::move(report->first);
   update.inference_loss = report->second;
   return update;
+}
+
+ParticipantOutcome Server::remote_participant_metadata(std::size_t client_index) {
+  ParticipantOutcome out;
+  const std::size_t rank = client_index + 1;
+  // Downlink transfer time: the broadcast send happened in run_round,
+  // its simulated cost is still charged to this participant's exchange.
+  out.elapsed_s += transport_->model_transfer_seconds(downlink_env_.wire_size());
+  Stopwatch wall;
+  for (;;) {
+    while (auto wire = transport_->try_recv_wire(kServerRank, rank)) {
+      auto env = comm::Envelope::try_decode(*wire);
+      if (!env.has_value()) {
+        out.crc_failures += 1;
+        if (out.retries < config_.max_retries) {
+          comm::NackMsg nack;
+          nack.round = round_;
+          nack.expected = comm::MessageType::kMetadataReport;
+          transport_->send(kServerRank, rank,
+                           comm::Envelope{comm::MessageType::kNack, nack.encode()});
+          out.retries += 1;
+        }
+        continue;
+      }
+      if (env->type == comm::MessageType::kNack) {
+        // The worker lost or rejected the downlink: retransmit, bounded.
+        if (out.retries < config_.max_retries) {
+          transport_->send(kServerRank, rank, downlink_env_);
+          out.retries += 1;
+        }
+        continue;
+      }
+      if (env->type != comm::MessageType::kMetadataReport) {
+        out.stale_discards += 1;  // e.g. last round's report still queued
+        continue;
+      }
+      try {
+        ByteReader reader(env->payload);
+        const comm::MetadataMsg msg = comm::MetadataMsg::decode(reader);
+        if (msg.round != round_) {
+          out.stale_discards += 1;
+          continue;
+        }
+        out.elapsed_s += transport_->model_transfer_seconds(wire->size());
+        if (config_.uplink_deadline_s > 0.0 &&
+            out.elapsed_s > config_.uplink_deadline_s) {
+          out.deadline_missed = true;
+          return out;
+        }
+        ClientUpdate md;
+        md.client_id = msg.client_id;
+        md.num_samples = msg.num_samples;
+        md.inference_loss = msg.inference_loss;
+        out.metadata = std::move(md);
+        return out;
+      } catch (const Error&) {
+        out.stale_discards += 1;  // CRC-valid but structurally malformed
+      }
+    }
+    // Nothing queued: a closed peer can never answer (dropout); a live
+    // one gets remote_recv_timeout_s of wall clock before we give up.
+    if (transport_->peer_closed(rank)) return out;
+    if (wall.seconds() > config_.remote_recv_timeout_s) return out;
+    transport_->poll(0.05);
+  }
+}
+
+std::optional<ClientUpdate> Server::remote_participant_train(
+    std::size_t client_index, ParticipantOutcome& counters) {
+  const std::size_t rank = client_index + 1;
+  const bool quant_on = config_.quant != comm::QuantMode::kNone;
+  const comm::MessageType report_type = quant_on
+                                            ? comm::MessageType::kQuantReport
+                                            : comm::MessageType::kClientReport;
+  Stopwatch wall;
+  for (;;) {
+    while (auto wire = transport_->try_recv_wire(kServerRank, rank)) {
+      auto env = comm::Envelope::try_decode(*wire);
+      if (!env.has_value()) {
+        counters.crc_failures += 1;
+        if (counters.retries < config_.max_retries) {
+          comm::NackMsg nack;
+          nack.round = round_;
+          nack.expected = report_type;
+          transport_->send(kServerRank, rank,
+                           comm::Envelope{comm::MessageType::kNack, nack.encode()});
+          counters.retries += 1;
+        }
+        continue;
+      }
+      if (env->type == comm::MessageType::kNack) {
+        if (counters.retries < config_.max_retries) {
+          transport_->send(kServerRank, rank, downlink_env_);
+          counters.retries += 1;
+        }
+        continue;
+      }
+      if (env->type != report_type) {
+        counters.stale_discards += 1;
+        continue;
+      }
+      try {
+        ByteReader reader(env->payload);
+        ClientUpdate update;
+        if (quant_on) {
+          comm::QuantReportMsg msg = comm::QuantReportMsg::decode(reader);
+          if (msg.round != round_) {
+            counters.stale_discards += 1;
+            continue;
+          }
+          update.client_id = msg.client_id;
+          update.num_samples = msg.num_samples;
+          update.inference_loss = msg.inference_loss;
+          update.weights = global_weights_;
+          comm::dequantize_add(update.weights, msg.delta);
+        } else {
+          comm::ClientReportMsg msg = comm::ClientReportMsg::decode(reader);
+          if (msg.round != round_) {
+            counters.stale_discards += 1;
+            continue;
+          }
+          if (msg.weights.size() != global_weights_.size()) {
+            counters.stale_discards += 1;  // wrong model: never aggregated
+            continue;
+          }
+          update.client_id = msg.client_id;
+          update.num_samples = msg.num_samples;
+          update.inference_loss = msg.inference_loss;
+          update.weights = std::move(msg.weights);
+        }
+        counters.elapsed_s += transport_->model_transfer_seconds(wire->size());
+        if (config_.uplink_deadline_s > 0.0 &&
+            counters.elapsed_s > config_.uplink_deadline_s) {
+          counters.deadline_missed = true;
+          return std::nullopt;
+        }
+        return update;
+      } catch (const Error&) {
+        counters.stale_discards += 1;
+      }
+    }
+    if (transport_->peer_closed(rank)) return std::nullopt;  // upload failure
+    if (wall.seconds() > config_.remote_recv_timeout_s) return std::nullopt;
+    transport_->poll(0.05);
+  }
 }
 
 void Server::set_lr_schedule(std::unique_ptr<nn::LrSchedule> schedule) {
@@ -548,7 +709,7 @@ void Server::load_checkpoint(const std::string& path) {
 void Server::write_telemetry(const std::string& trace_path,
                              const std::string& metrics_path) const {
   if (!obs::enabled()) return;
-  if (network_ != nullptr) network_->publish_metrics();
+  if (transport_ != nullptr) transport_->publish_metrics();
   if (!trace_path.empty()) obs::Tracer::instance().write_chrome_trace_file(trace_path);
   if (!metrics_path.empty()) obs::registry().write_summary_file(metrics_path);
 }
@@ -556,7 +717,7 @@ void Server::write_telemetry(const std::string& trace_path,
 metrics::RoundRecord Server::run_round() {
   ++round_;
   if (lr_schedule_ != nullptr) effective_local_.lr = lr_schedule_->lr(round_);
-  if (network_ != nullptr) network_->begin_round(round_);
+  if (transport_ != nullptr) transport_->begin_round(round_);
   ensure_replica_pool();
   Stopwatch watch;
   metrics::RoundRecord record;
@@ -565,11 +726,11 @@ metrics::RoundRecord Server::run_round() {
   round_span.arg("round", static_cast<double>(round_));
 
   const std::uint64_t bytes_down_before =
-      network_ ? network_->stats(kServerRank).bytes_sent : 0;
+      transport_ ? transport_->stats(kServerRank).bytes_sent : 0;
   std::uint64_t bytes_up_before = 0;
-  if (network_ != nullptr) {
+  if (transport_ != nullptr) {
     for (std::size_t i = 1; i <= clients_.size(); ++i) {
-      bytes_up_before += network_->stats(i).bytes_sent;
+      bytes_up_before += transport_->stats(i).bytes_sent;
     }
   }
 
@@ -604,14 +765,14 @@ metrics::RoundRecord Server::run_round() {
       const std::size_t actual = 8 + coded.wire_size();
       if (dense > actual) saved.add(dense - actual);
     }
-    if (network_ != nullptr) {
+    if (transport_ != nullptr) {
       comm::QuantGlobalModelMsg down;
       down.round = round_;
       down.model = std::move(coded);
       downlink_env_ =
           comm::Envelope{comm::MessageType::kQuantGlobalModel, down.encode()};
     }
-  } else if (network_ != nullptr) {
+  } else if (transport_ != nullptr) {
     PhaseTimer phase("broadcast", round_, record.phases.broadcast);
     comm::GlobalModelMsg down;
     down.round = round_;
@@ -626,9 +787,21 @@ metrics::RoundRecord Server::run_round() {
   std::vector<ParticipantOutcome> outcomes(participants.size());
   {
     PhaseTimer phase("metadata", round_, record.phases.metadata);
-    pool().parallel_for(participants.size(), [&](std::size_t i) {
-      outcomes[i] = run_participant_metadata(participants[i]);
-    });
+    if (remote_) {
+      // Broadcast to every participant before collecting anything, so
+      // all workers train concurrently; then collect serially in fixed
+      // participant order (a SocketTransport is single-threaded).
+      for (std::size_t i = 0; i < participants.size(); ++i) {
+        transport_->send(kServerRank, participants[i] + 1, downlink_env_);
+      }
+      for (std::size_t i = 0; i < participants.size(); ++i) {
+        outcomes[i] = run_participant_metadata(participants[i]);
+      }
+    } else {
+      pool().parallel_for(participants.size(), [&](std::size_t i) {
+        outcomes[i] = run_participant_metadata(participants[i]);
+      });
+    }
   }
 
   // Collect, in fixed participant order: sampled clients whose exchange
@@ -717,13 +890,18 @@ metrics::RoundRecord Server::run_round() {
       slot_counters.assign(count, ParticipantOutcome{});
       {
         PhaseTimer phase("local_update", round_, record.phases.local_update);
-        pool().parallel_for(count, [&](std::size_t i) {
+        auto train_slot = [&](std::size_t i) {
           slot_counters[i].elapsed_s = survivor_elapsed[start + i];
           slot_updates[i] =
               run_participant_train(surviving[start + i],
                                     metadata[start + i].inference_loss,
                                     slot_counters[i]);
-        });
+        };
+        if (remote_) {
+          for (std::size_t i = 0; i < count; ++i) train_slot(i);
+        } else {
+          pool().parallel_for(count, train_slot);
+        }
       }
       PhaseTimer phase("aggregate", round_, record.phases.aggregate);
       for (std::size_t i = 0; i < count; ++i) {
@@ -938,14 +1116,14 @@ metrics::RoundRecord Server::run_round() {
   }
 
   record.wall_seconds = watch.seconds();
-  if (network_ != nullptr) {
-    record.bytes_down = network_->stats(kServerRank).bytes_sent - bytes_down_before;
+  if (transport_ != nullptr) {
+    record.bytes_down = transport_->stats(kServerRank).bytes_sent - bytes_down_before;
     std::uint64_t bytes_up_after = 0;
     for (std::size_t i = 1; i <= clients_.size(); ++i) {
-      bytes_up_after += network_->stats(i).bytes_sent;
+      bytes_up_after += transport_->stats(i).bytes_sent;
     }
     record.bytes_up = bytes_up_after - bytes_up_before;
-    if (obs::enabled()) network_->publish_metrics();
+    if (obs::enabled()) transport_->publish_metrics();
   }
   if (obs::enabled()) {
     auto& reg = obs::registry();

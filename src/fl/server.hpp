@@ -19,6 +19,7 @@
 #include "src/nn/replica_pool.hpp"
 #include "src/nn/schedule.hpp"
 #include "src/metrics/history.hpp"
+#include "src/utils/error.hpp"
 #include "src/utils/threadpool.hpp"
 
 namespace fedcav::fl {
@@ -62,6 +63,12 @@ struct ServerConfig {
   /// saves two serialization passes per participant per round.
   bool use_network = true;
   comm::NetworkConfig network;
+  /// Remote mode only (set_transport with remote = true): wall-clock
+  /// budget to hear back from a live worker before the server gives up
+  /// on it (dropout in phase ①, upload failure in phase ②). A worker
+  /// whose connection dies is detected immediately via peer_closed();
+  /// this timeout only catches workers that hang without disconnecting.
+  double remote_recv_timeout_s = 30.0;
   /// Lossy wire codec for model traffic (DESIGN.md §13). kNone keeps the
   /// dense f32 protocol. fp16/int8 quantize the broadcast once per round
   /// — the server adopts its own dequantized broadcast as the round's
@@ -174,6 +181,28 @@ class Server {
   AggregationStrategy& strategy() { return *strategy_; }
   const core::AnomalyDetector& detector() const { return detector_; }
   const comm::InMemoryNetwork* network() const { return network_.get(); }
+  comm::InMemoryNetwork* network() { return network_.get(); }
+
+  /// Run the round protocol over `transport` instead of the owned
+  /// in-memory fabric. With `remote = false` the transport is a drop-in
+  /// fabric (both endpoints of every link still played in-process — the
+  /// shim the chaos suite uses to prove Transport-neutrality); with
+  /// `remote = true` the server is rank 0 of a real federation: phase ①
+  /// broadcasts to every participant up front, then both phases collect
+  /// uplinks from worker processes in fixed participant order, turning a
+  /// closed peer into a dropout / upload failure. Remote mode requires
+  /// one worker rank per client (num_endpoints == num_clients + 1).
+  /// nullptr restores the owned fabric. Non-owning; call before run().
+  void set_transport(comm::Transport* transport, bool remote);
+
+  /// The daemon/worker tools address clients by worker rank - 1.
+  Client& client_at(std::size_t index) {
+    FEDCAV_REQUIRE(index < clients_.size(), "Server::client_at: bad index");
+    return *clients_[index];
+  }
+  /// Local-training config with strategy overrides applied — what a
+  /// worker process must train with to match the in-process run.
+  const LocalTrainConfig& effective_local() const { return effective_local_; }
 
  private:
   /// Phase ①: downlink protocol + inference loss on a pooled replica +
@@ -187,6 +216,17 @@ class Server {
   std::optional<ClientUpdate> run_participant_train(std::size_t client_index,
                                                     double inference_loss,
                                                     ParticipantOutcome& counters);
+  /// Remote-mode phase ①: the downlink was already broadcast by
+  /// run_round; await this participant's metadata uplink, answering
+  /// worker NACKs with downlink retransmissions. No metadata in the
+  /// returned outcome = dropout (peer closed, hang timeout, or
+  /// deadline).
+  ParticipantOutcome remote_participant_metadata(std::size_t client_index);
+  /// Remote-mode phase ②: await the participant's full report (the
+  /// worker trains unprompted after the downlink). nullopt = upload
+  /// failure.
+  std::optional<ClientUpdate> remote_participant_train(std::size_t client_index,
+                                                       ParticipantOutcome& counters);
   /// (Re)build the replica pool sized to the active thread pool.
   void ensure_replica_pool();
   ThreadPool& pool() const;
@@ -203,6 +243,12 @@ class Server {
   core::AnomalyDetector detector_;
   metrics::TrainingHistory history_;
   std::unique_ptr<comm::InMemoryNetwork> network_;
+  /// The fabric the round protocol actually runs over: network_.get()
+  /// by default, or whatever set_transport installed (non-owning).
+  /// Checkpoints always serialize the owned network_ — a remote
+  /// transport has no savable state.
+  comm::Transport* transport_ = nullptr;
+  bool remote_ = false;
   ParticipantSampler sampler_;
   Rng straggler_rng_;
   std::size_t round_ = 0;

@@ -242,6 +242,36 @@ TEST(Network, RecvAnyReturnsFifoWithSource) {
   EXPECT_FALSE(net.try_recv_any(0, &src).has_value());
 }
 
+// Regression (PR 8): try_recv_any must drain the lowest source rank
+// first regardless of arrival interleaving — the documented Transport
+// fairness contract. The old implementation popped the inbox in pure
+// arrival order, so a fast high-rank sender could starve rank 1.
+TEST(Network, RecvAnyDrainsLowestRankFirst) {
+  InMemoryNetwork net(NetworkConfig{.num_endpoints = 4});
+  auto round_envelope = [](std::uint64_t round) {
+    ControlMsg msg;
+    msg.round = round;
+    return Envelope{MessageType::kControl, msg.encode()};
+  };
+  // Arrival order 3, 2, 2, 1 — drain order must be 1, 2, 2, 3, with
+  // per-source FIFO preserved (rank 2's round-10 before its round-11).
+  net.send(3, 0, round_envelope(30));
+  net.send(2, 0, round_envelope(10));
+  net.send(2, 0, round_envelope(11));
+  net.send(1, 0, round_envelope(20));
+  const std::pair<std::size_t, std::uint64_t> expected[] = {
+      {1, 20}, {2, 10}, {2, 11}, {3, 30}};
+  for (const auto& [want_src, want_round] : expected) {
+    std::size_t src = 99;
+    const std::optional<Envelope> env = net.try_recv_any(0, &src);
+    ASSERT_TRUE(env.has_value());
+    EXPECT_EQ(src, want_src);
+    ByteReader reader(env->payload);
+    EXPECT_EQ(ControlMsg::decode(reader).round, want_round);
+  }
+  EXPECT_FALSE(net.try_recv_any(0, nullptr).has_value());
+}
+
 TEST(Network, BroadcastReachesAllOthers) {
   InMemoryNetwork net(NetworkConfig{.num_endpoints = 4});
   net.broadcast(0, tiny_envelope());

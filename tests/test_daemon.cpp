@@ -1,0 +1,238 @@
+// Multi-process integration tests for the daemon/worker split
+// (DESIGN.md §14): fork+exec the real fedcav_daemon / fedcav_worker
+// binaries over a Unix socket in a temp dir and assert against the
+// in-process simulation.
+//
+//   * BitIdenticalToInProcessRun — the acceptance gate of PR 8: one
+//     daemon + N workers must produce byte-identical final weights and
+//     round CSV (timings excluded) vs the single-process run with the
+//     same seed.
+//   * KilledWorkerBecomesDropout / ...UploadFailure — satellite 3: a
+//     worker that vanishes mid-protocol books into RoundRecord's
+//     dropout / upload-failure counters instead of hanging the daemon.
+//
+// Every child is watched by a kill-after-deadline reaper so a protocol
+// hang fails the test instead of wedging ctest.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+#include <stdlib.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "src/fl/simulation.hpp"
+#include "src/metrics/history.hpp"
+#include "src/utils/cli.hpp"
+#include "tools/federation_common.hpp"
+
+#ifndef FEDCAV_TOOL_BIN_DIR
+#error "FEDCAV_TOOL_BIN_DIR must point at the built tools directory"
+#endif
+
+namespace fedcav {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Spawn `argv` (NULL-terminated convention handled here). Returns pid.
+pid_t spawn(const std::vector<std::string>& argv) {
+  std::vector<char*> raw;
+  raw.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) raw.push_back(const_cast<char*>(arg.c_str()));
+  raw.push_back(nullptr);
+  const pid_t pid = ::fork();
+  EXPECT_GE(pid, 0);
+  if (pid == 0) {
+    ::execv(raw[0], raw.data());
+    std::perror("execv");
+    ::_exit(127);
+  }
+  return pid;
+}
+
+/// Wait for every pid, SIGKILLing stragglers after `deadline_s`.
+/// Returns the children's exit codes (-1 = killed / abnormal).
+std::vector<int> reap_all(std::vector<pid_t> pids, double deadline_s) {
+  std::vector<int> codes(pids.size(), -1);
+  const int ticks = static_cast<int>(deadline_s * 20.0);
+  for (int tick = 0; tick < ticks; ++tick) {
+    bool all_done = true;
+    for (std::size_t i = 0; i < pids.size(); ++i) {
+      if (pids[i] == 0) continue;
+      int status = 0;
+      const pid_t got = ::waitpid(pids[i], &status, WNOHANG);
+      if (got == pids[i]) {
+        codes[i] = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+        pids[i] = 0;
+      } else if (got == 0) {
+        all_done = false;
+      } else {
+        pids[i] = 0;  // ECHILD etc — treat as abnormal
+      }
+    }
+    if (all_done) return codes;
+    ::usleep(50000);
+  }
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    if (pids[i] != 0) {
+      ::kill(pids[i], SIGKILL);
+      ::waitpid(pids[i], nullptr, 0);
+      ADD_FAILURE() << "child " << i << " hung past " << deadline_s
+                    << "s and was SIGKILLed";
+    }
+  }
+  return codes;
+}
+
+struct FederationRun {
+  std::string dir;
+  std::string csv;
+  std::string weights;
+  std::vector<int> exit_codes;  // [0] = daemon, [1..] = workers
+};
+
+/// Launch 1 daemon + `clients` workers over a socket in a fresh temp
+/// dir; `worker_extra[i]` appends per-worker flags (failure injection).
+FederationRun run_federation(
+    std::size_t clients, std::size_t rounds,
+    const std::vector<std::vector<std::string>>& worker_extra = {}) {
+  char tmpl[] = "/tmp/fedcavXXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  FederationRun run;
+  run.dir = dir;
+  run.csv = run.dir + "/history.csv";
+  run.weights = run.dir + "/final.bin";
+  const std::string socket_path = run.dir + "/fed.sock";
+  const std::string bin = FEDCAV_TOOL_BIN_DIR;
+  const std::string clients_s = std::to_string(clients);
+
+  std::vector<pid_t> pids;
+  pids.push_back(spawn({bin + "/fedcav_daemon", "--socket", socket_path,
+                        "--clients", clients_s, "--rounds",
+                        std::to_string(rounds), "--csv", run.csv, "--weights",
+                        run.weights}));
+  for (std::size_t w = 0; w < clients; ++w) {
+    std::vector<std::string> argv = {bin + "/fedcav_worker", "--socket",
+                                     socket_path, "--clients", clients_s,
+                                     "--rank", std::to_string(w + 1)};
+    if (w < worker_extra.size()) {
+      argv.insert(argv.end(), worker_extra[w].begin(), worker_extra[w].end());
+    }
+    pids.push_back(spawn(argv));
+  }
+  run.exit_codes = reap_all(std::move(pids), /*deadline_s=*/120.0);
+  return run;
+}
+
+/// The in-process equivalent of the tools' default federation flags:
+/// parse an empty command line through the same CliParser/flag set the
+/// daemon and workers use, so config drift between the two paths is
+/// structurally impossible.
+fl::SimulationConfig default_federation_config() {
+  CliParser cli("test_daemon", "in-process reference run");
+  tools::add_federation_flags(cli);
+  const char* argv[] = {"test_daemon"};
+  EXPECT_TRUE(cli.parse(1, argv));
+  return tools::federation_config(cli);
+}
+
+TEST(Daemon, BitIdenticalToInProcessRun) {
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kRounds = 3;
+  const FederationRun run = run_federation(kClients, kRounds);
+  for (std::size_t i = 0; i < run.exit_codes.size(); ++i) {
+    EXPECT_EQ(run.exit_codes[i], 0) << (i == 0 ? "daemon" : "worker") << " #" << i;
+  }
+
+  // Reference: same config, same seed, in-process fabric.
+  fl::Simulation sim = fl::build_simulation(default_federation_config());
+  sim.server->run(kRounds);
+  std::ostringstream ref_csv;
+  sim.server->history().write_csv(ref_csv, /*include_timings=*/false);
+  const std::string ref_weights_path = run.dir + "/ref.bin";
+  tools::write_weights_file(ref_weights_path, sim.server->global_weights());
+
+  EXPECT_EQ(read_file(run.csv), ref_csv.str())
+      << "multi-process round history diverged from the in-process run";
+  const std::string remote_weights = read_file(run.weights);
+  // write_f32_span = u64 element count + 4 bytes per float.
+  EXPECT_EQ(remote_weights.size(), 8 + sim.server->global_weights().size() * 4);
+  EXPECT_EQ(remote_weights, read_file(ref_weights_path))
+      << "final global weights are not bit-identical";
+}
+
+/// Parse `csv` back into RoundRecord-shaped tuples via the header row.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cells;
+    std::istringstream cols(line);
+    std::string cell;
+    while (std::getline(cols, cell, ',')) cells.push_back(cell);
+    rows.push_back(std::move(cells));
+  }
+  return rows;
+}
+
+std::size_t column_index(const std::vector<std::string>& header,
+                         const std::string& name) {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  ADD_FAILURE() << "no CSV column named " << name;
+  return 0;
+}
+
+TEST(Daemon, KilledWorkerBecomesDropoutNotHang) {
+  // Worker 1 exits the instant it sees round 2's downlink: no metadata
+  // ever arrives, the daemon must observe the EOF and book a phase-①
+  // dropout — within the watchdog deadline, i.e. without waiting out
+  // the 30 s receive timeout per remaining round.
+  const FederationRun run = run_federation(
+      2, 3, {{"--exit-before-round", "2"}});
+  EXPECT_EQ(run.exit_codes[0], 0) << "daemon";
+
+  const auto rows = parse_csv(read_file(run.csv));
+  ASSERT_EQ(rows.size(), 4u);  // header + 3 rounds
+  const std::size_t dropouts = column_index(rows[0], "dropouts");
+  const std::size_t participants = column_index(rows[0], "participants");
+  EXPECT_EQ(rows[1][dropouts], "0");
+  EXPECT_EQ(rows[2][dropouts], "1");  // the killed worker
+  EXPECT_EQ(rows[3][dropouts], "1");  // still gone in round 3
+  EXPECT_EQ(rows[2][participants], "1");
+}
+
+TEST(Daemon, KilledWorkerMidUplinkBecomesUploadFailure) {
+  // Worker 1 uplinks round 2's metadata and then dies before the
+  // report: phase ① succeeds, phase ② must book an upload failure.
+  const FederationRun run = run_federation(
+      2, 2, {{"--exit-after-metadata", "2"}});
+  EXPECT_EQ(run.exit_codes[0], 0) << "daemon";
+
+  const auto rows = parse_csv(read_file(run.csv));
+  ASSERT_EQ(rows.size(), 3u);  // header + 2 rounds
+  const std::size_t uploads = column_index(rows[0], "upload_failures");
+  const std::size_t dropouts = column_index(rows[0], "dropouts");
+  EXPECT_EQ(rows[1][uploads], "0");
+  EXPECT_EQ(rows[2][uploads], "1");
+  EXPECT_EQ(rows[2][dropouts], "0");  // phase ① completed normally
+}
+
+}  // namespace
+}  // namespace fedcav

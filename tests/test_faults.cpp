@@ -153,6 +153,100 @@ TEST(Chaos, SameSeedIsBitIdenticalAcrossPoolSizes) {
   EXPECT_EQ(w1, w4);
 }
 
+/// Pass-through comm::Transport that forwards every call to the wrapped
+/// backend while counting them — installed over the server's own
+/// in-memory fabric to prove the round loop goes through the Transport
+/// seam for ALL protocol traffic (any call that bypassed the seam would
+/// show up as a byte diff under faults, since the wrapped fabric is the
+/// same object either way and only the dispatch path changes).
+class ForwardingTransport final : public comm::Transport {
+ public:
+  explicit ForwardingTransport(comm::Transport* inner) : inner_(inner) {}
+
+  std::size_t num_endpoints() const override { return inner_->num_endpoints(); }
+  void begin_round(std::size_t round) override { inner_->begin_round(round); }
+  void send(std::size_t src, std::size_t dst,
+            const comm::Envelope& env) override {
+    forwarded_ += 1;
+    inner_->send(src, dst, env);
+  }
+  std::optional<ByteBuffer> try_recv_wire(std::size_t dst,
+                                          std::size_t src) override {
+    forwarded_ += 1;
+    return inner_->try_recv_wire(dst, src);
+  }
+  std::optional<ByteBuffer> try_recv_any_wire(std::size_t dst,
+                                              std::size_t* src_out) override {
+    return inner_->try_recv_any_wire(dst, src_out);
+  }
+  void add_link_delay(std::size_t src, std::size_t dst,
+                      double seconds) override {
+    inner_->add_link_delay(src, dst, seconds);
+  }
+  comm::TrafficStats stats(std::size_t endpoint) const override {
+    return inner_->stats(endpoint);
+  }
+  comm::TrafficStats total_stats() const override {
+    return inner_->total_stats();
+  }
+  comm::FaultStats fault_stats() const override {
+    return inner_->fault_stats();
+  }
+  double model_transfer_seconds(std::size_t bytes) const override {
+    return inner_->model_transfer_seconds(bytes);
+  }
+  std::size_t pending_messages() const override {
+    return inner_->pending_messages();
+  }
+  void publish_metrics() const override { inner_->publish_metrics(); }
+  bool peer_closed(std::size_t rank) const override {
+    return inner_->peer_closed(rank);
+  }
+  void poll(double timeout_s) override { inner_->poll(timeout_s); }
+
+  std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  comm::Transport* inner_;
+  std::uint64_t forwarded_ = 0;
+};
+
+TEST(Chaos, TransportShimIsBitIdenticalToDirectFabric) {
+  set_log_level(LogLevel::kError);
+  // The heaviest plan from the grid above: every fault axis active, so
+  // any protocol call that skipped the seam would desynchronize the
+  // fault RNG stream and change the history bytes.
+  fl::SimulationConfig config = chaos_config();
+  comm::FaultPlan& faults = config.server.network.faults;
+  faults.seed = 77;
+  faults.drop_prob = 0.3;
+  faults.duplicate_prob = 0.15;
+  faults.reorder_prob = 0.15;
+  faults.corrupt_prob = 0.1;
+  faults.truncate_prob = 0.05;
+  faults.jitter_s = 0.05;
+  faults.crashes = {comm::CrashWindow{3, 2, 2}};
+
+  fl::Simulation direct = fl::build_simulation(config);
+  direct.server->run(4);
+
+  fl::Simulation shimmed = fl::build_simulation(config);
+  ForwardingTransport shim(shimmed.server->network());
+  shimmed.server->set_transport(&shim, /*remote=*/false);
+  shimmed.server->run(4);
+  expect_conservation(*shimmed.server);
+
+  EXPECT_GT(shim.forwarded(), 0u) << "the shim never saw protocol traffic";
+  EXPECT_EQ(deterministic_csv(*direct.server),
+            deterministic_csv(*shimmed.server));
+  EXPECT_EQ(direct.server->global_weights(), shimmed.server->global_weights());
+
+  // Restoring the owned fabric mid-life keeps the server usable.
+  shimmed.server->set_transport(nullptr, false);
+  shimmed.server->run(1);
+  EXPECT_EQ(shimmed.server->history().rounds(), 5u);
+}
+
 TEST(Chaos, QuantizedRunIsBitIdenticalAcrossPoolSizes) {
   set_log_level(LogLevel::kError);
   // The quantized wire composes with both determinism contracts: the
