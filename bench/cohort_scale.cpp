@@ -1,31 +1,48 @@
 // Cohort-scaling benchmark: proves a round's peak memory is bounded by
 // the replica pool (O(K × model), K ≈ thread-pool size) and NOT by the
-// cohort size — the PR-5 tentpole guarantee (DESIGN.md §11).
+// cohort size — the PR-5 streaming guarantee (DESIGN.md §11), now
+// carried by the sharded round engine (DESIGN.md §15) up to a simulated
+// 102400-client round.
 //
 // For each cohort size it builds a full-participation simulation on a
-// tiny model, runs one warm-up round plus one measured round, and
-// records:
+// tiny model (the per-class sample count grows with the cohort so every
+// client owns at least one sample), runs one warm-up round plus one
+// measured round, and records:
 //   * peak live tensor bytes over the measured round (FEDCAV_ALLOC_STATS
 //     high-water mark, reset at round start),
 //   * wall time for the round and per-participant time,
 //   * replicas actually materialized by the pool,
-//   * the obs gauges the round exports (pool.occupancy, agg.peak_bytes).
+//   * the obs gauges the round exports (pool.occupancy, agg.peak_bytes),
+//   * a digest of the run's deterministic outputs (timing-free round
+//     CSV + final weight bytes) — the reproducibility comparison key.
 //
-// Canonical producer of BENCH_cohort.json at the repo root. Two gates:
-//   memory — peak live bytes of the largest cohort must stay within 1.5x
-//            of the smallest (per-client replicas would blow this up by
-//            the cohort ratio);
+// Canonical producer of BENCH_cohort.json at the repo root. Gates:
+//   memory — every cohort's peak live bytes must stay within 1.5x of
+//            the smallest row, and the 102400-client row within 1.5x of
+//            the 1024-client row (per-client replicas would blow both
+//            up by the cohort ratio);
 //   time   — per-participant round time of the largest cohort must stay
-//            within 4x of the smallest (rounds scale ~linearly in
-//            participants, never quadratically).
+//            within 4x of the smallest (rounds scale ~linearly);
+//   quant  — the int8 + top-k codec must stay streaming: its peak bytes
+//            within 1.5x of the dense round at the same cohort size;
+//   shards — the emitted round CSV and final weights at shards 1/2/4/16
+//            must be byte-identical (DESIGN.md §15 shard parity);
+//   repro  — in --smoke, the first cohort runs twice with the same seed
+//            and the deterministic fields must match exactly (this is
+//            what pins the --seed flag: results are a function of it).
 //
-// Usage: cohort_scale [--smoke] [--out <path>]
-//   --smoke  CI-sized cohorts (32/128) instead of 64/256/1024
-//   --out    override the JSON destination (default <repo>/BENCH_cohort.json)
+// Usage: cohort_scale [--smoke] [--seed <n>] [--shards <n>] [--out <path>]
+//   --smoke   CI-sized cohorts 64/256 (plus 4096 when --shards > 1)
+//             instead of 64/256/1024/4096/16384/102400
+//   --seed    simulation seed for every run (default 2021)
+//   --shards  round-engine shard count for the scaling rows (default 1;
+//             the shard-parity gate always sweeps 1/2/4/16 regardless)
+//   --out     override the JSON destination (default <repo>/BENCH_cohort.json)
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -41,6 +58,7 @@ using namespace fedcav;
 struct CohortResult {
   std::size_t clients = 0;
   std::size_t participants = 0;
+  std::size_t shards = 1;
   std::uint64_t peak_live_bytes = 0;
   double round_ms = 0.0;
   double per_client_ms = 0.0;
@@ -48,25 +66,43 @@ struct CohortResult {
   std::size_t pool_max = 0;
   double gauge_pool_occupancy = 0.0;
   double gauge_agg_peak_bytes = 0.0;
+  std::string csv;      // timing-free round history (deterministic)
+  nn::Weights weights;  // final global weights (deterministic)
+  std::uint64_t digest = 0;
 };
 
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 CohortResult run_cohort(std::size_t clients, std::size_t workers,
+                        std::uint64_t seed, std::size_t shards,
                         bool quant_uplink = false) {
   fl::SimulationConfig config;
   config.dataset = "digits";
   config.model = "mlp";
   config.strategy = "fedcav";
-  // 10 classes x 128 = 1280 samples: at least one per client up to the
-  // 1024-client cohort, so the partition stays valid at every size.
-  config.train_samples_per_class = 128;
+  // Grow the dataset with the cohort: 10 classes x max(128, ceil(n/10))
+  // keeps at least one sample per client at every size up to 102400
+  // while leaving the small cohorts on the historical 1280-sample set.
+  // Dataset pixels are plain client state, not round-scoped tensors, so
+  // this does not distort the peak-live-bytes gate.
+  config.train_samples_per_class = std::max<std::size_t>(128, (clients + 9) / 10);
   config.test_samples_per_class = 4;
   config.partition.scheme = data::PartitionScheme::kIidBalanced;
   config.partition.num_clients = clients;
+  config.seed = seed;
   config.server.sample_ratio = 1.0;  // whole cohort participates
   config.server.local.epochs = 1;
   config.server.local.batch_size = 4;
   config.server.use_network = false;
   config.server.telemetry = true;  // export pool.occupancy / agg.peak_bytes
+  config.server.shards = shards;
   if (quant_uplink) {
     // Quantized uplink (DESIGN.md §13): the int8 + top-k codec and its
     // per-client error-feedback residual must not break the O(K × model)
@@ -79,9 +115,27 @@ CohortResult run_cohort(std::size_t clients, std::size_t workers,
   ThreadPool pool(workers);
   sim.server->set_thread_pool(&pool);
 
-  // Warm-up round: clones the K replicas and grows every workspace, so
-  // the measured round sees steady state (the regime a long run lives in).
+  // Warm-up round: clones replicas and grows workspaces, so the measured
+  // round sees steady state (the regime a long run lives in).
   sim.server->run_round();
+
+  // Saturate the pool: a small cohort can finish its warm-up before every
+  // worker materializes a replica, which would make the memory baseline a
+  // function of scheduling luck instead of the O(K × model) bound. Lease
+  // every replica and run one training-shaped pass on each so all rows
+  // measure the same K-replica regime (weights + grown workspaces).
+  if (nn::ReplicaPool* rp = sim.server->replica_pool()) {
+    std::vector<std::size_t> idx;
+    std::vector<std::size_t> labels;
+    for (std::size_t i = 0; i < 4 && i < sim.train.size(); ++i) idx.push_back(i);
+    const Tensor batch = sim.train.make_batch(idx, &labels);
+    std::vector<nn::ReplicaPool::Lease> leases;
+    for (std::size_t i = 0; i < rp->max_replicas(); ++i) {
+      leases.push_back(rp->acquire());
+      leases.back()->forward_backward(batch, labels);
+      leases.back()->zero_grad();
+    }
+  }
 
   obs::registry().reset();
   Tensor::reset_alloc_stats();
@@ -94,6 +148,7 @@ CohortResult run_cohort(std::size_t clients, std::size_t workers,
   CohortResult r;
   r.clients = clients;
   r.participants = rec.participants;
+  r.shards = shards;
   r.peak_live_bytes = Tensor::alloc_stats().peak_live_bytes;
   r.round_ms = round_ms;
   r.per_client_ms = round_ms / static_cast<double>(clients);
@@ -103,13 +158,34 @@ CohortResult run_cohort(std::size_t clients, std::size_t workers,
   }
   r.gauge_pool_occupancy = obs::registry().gauge("pool.occupancy").value();
   r.gauge_agg_peak_bytes = obs::registry().gauge("agg.peak_bytes").value();
+  std::ostringstream csv;
+  sim.server->history().write_csv(csv, /*include_timings=*/false);
+  r.csv = csv.str();
+  r.weights = sim.server->global_weights();
+  r.digest = fnv1a(fnv1a(0xcbf29ce484222325ULL, r.csv.data(), r.csv.size()),
+                   r.weights.data(), r.weights.size() * sizeof(float));
   return r;
+}
+
+bool bits_equal(const nn::Weights& a, const nn::Weights& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+void print_row(const CohortResult& r, const char* quant) {
+  std::printf("%8zu %13zu %7zu %14.3f %10.1f %14.3f %6zu/%zu %7s\n", r.clients,
+              r.participants, r.shards,
+              static_cast<double>(r.peak_live_bytes) / (1024.0 * 1024.0),
+              r.round_ms, r.per_client_ms, r.pool_replicas, r.pool_max, quant);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::uint64_t seed = 2021;
+  std::size_t shards = 1;
 #ifdef FEDCAV_REPO_ROOT
   std::string out_path = std::string(FEDCAV_REPO_ROOT) + "/BENCH_cohort.json";
 #else
@@ -118,38 +194,53 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out <path>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--seed <n>] [--shards <n>] [--out <path>]\n",
+                   argv[0]);
       return 2;
     }
   }
+  if (shards == 0) shards = 1;
 
-  const std::vector<std::size_t> cohorts =
-      smoke ? std::vector<std::size_t>{32, 128}
-            : std::vector<std::size_t>{64, 256, 1024};
+  std::vector<std::size_t> cohorts =
+      smoke ? std::vector<std::size_t>{64, 256}
+            : std::vector<std::size_t>{64, 256, 1024, 4096, 16384, 102400};
+  // Multi-shard smoke (the CI configuration) adds one mid-scale cohort so
+  // the engine streams enough waves per shard to mean something.
+  if (smoke && shards > 1) cohorts.push_back(4096);
   const std::size_t workers = 4;
+  // Error-feedback residuals are per-client state (~one model each), so
+  // the quantized row is capped where that stays comfortably in RAM.
+  const std::size_t quant_cap = 16384;
+  std::size_t quant_clients = cohorts.front();
+  for (std::size_t c : cohorts) {
+    if (c <= quant_cap) quant_clients = c;
+  }
 
-  std::printf("%8s %13s %14s %10s %14s %9s %7s\n", "clients", "participants",
-              "peak MiB", "round ms", "per-client ms", "replicas", "quant");
+  std::printf("cohort_scale: seed=%llu shards=%zu%s\n",
+              static_cast<unsigned long long>(seed), shards,
+              smoke ? " (smoke)" : "");
+  std::printf("%8s %13s %7s %14s %10s %14s %9s %7s\n", "clients", "participants",
+              "shards", "peak MiB", "round ms", "per-client ms", "replicas",
+              "quant");
   std::vector<CohortResult> results;
   for (std::size_t clients : cohorts) {
-    const CohortResult r = run_cohort(clients, workers);
-    std::printf("%8zu %13zu %14.3f %10.1f %14.3f %6zu/%zu %7s\n", r.clients,
-                r.participants, static_cast<double>(r.peak_live_bytes) / (1024.0 * 1024.0),
-                r.round_ms, r.per_client_ms, r.pool_replicas, r.pool_max, "no");
-    results.push_back(r);
+    CohortResult r = run_cohort(clients, workers, seed, shards);
+    print_row(r, "no");
+    results.push_back(std::move(r));
   }
-  // One quantized-uplink cohort at the largest size: same bounded-memory
-  // guarantee with the int8 + top-k codec in the aggregation loop.
-  const CohortResult quant_r =
-      run_cohort(cohorts.back(), workers, /*quant_uplink=*/true);
-  std::printf("%8zu %13zu %14.3f %10.1f %14.3f %6zu/%zu %7s\n", quant_r.clients,
-              quant_r.participants,
-              static_cast<double>(quant_r.peak_live_bytes) / (1024.0 * 1024.0),
-              quant_r.round_ms, quant_r.per_client_ms, quant_r.pool_replicas,
-              quant_r.pool_max, "int8");
+  // One quantized-uplink cohort at the largest capped size: same
+  // bounded-memory guarantee with the int8 + top-k codec in the loop.
+  CohortResult quant_r =
+      run_cohort(quant_clients, workers, seed, shards, /*quant_uplink=*/true);
+  print_row(quant_r, "int8");
 
   std::ofstream json(out_path);
   if (!json) {
@@ -157,16 +248,22 @@ int main(int argc, char** argv) {
     return 1;
   }
   json << "[\n";
-  std::vector<CohortResult> all = results;
-  all.push_back(quant_r);
+  std::vector<const CohortResult*> all;
+  for (const CohortResult& r : results) all.push_back(&r);
+  all.push_back(&quant_r);
   for (std::size_t i = 0; i < all.size(); ++i) {
-    const CohortResult& r = all[i];
+    const CohortResult& r = *all[i];
+    char digest[24];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(r.digest));
     json << "  {\"clients\": " << r.clients << ", \"participants\": " << r.participants
+         << ", \"shards\": " << r.shards << ", \"seed\": " << seed
          << ", \"peak_live_bytes\": " << r.peak_live_bytes
          << ", \"round_ms\": " << r.round_ms << ", \"per_client_ms\": " << r.per_client_ms
          << ", \"pool_replicas\": " << r.pool_replicas << ", \"pool_max\": " << r.pool_max
          << ", \"pool_occupancy\": " << r.gauge_pool_occupancy
          << ", \"agg_peak_bytes\": " << r.gauge_agg_peak_bytes
+         << ", \"digest\": \"" << digest << "\""
          << ", \"quant_uplink\": " << (i + 1 == all.size() ? "true" : "false") << "}"
          << (i + 1 < all.size() ? "," : "") << "\n";
   }
@@ -179,10 +276,10 @@ int main(int argc, char** argv) {
   bool ok = true;
   // Replica gate: the pool must never materialize more than workers + 1
   // models regardless of cohort size (quantized uplink included).
-  for (const CohortResult& r : all) {
-    if (r.pool_replicas > workers + 1) {
+  for (const CohortResult* r : all) {
+    if (r->pool_replicas > workers + 1) {
       std::fprintf(stderr, "FAIL: %zu-client round materialized %zu replicas (> %zu)\n",
-                   r.clients, r.pool_replicas, workers + 1);
+                   r->clients, r->pool_replicas, workers + 1);
       ok = false;
     }
   }
@@ -190,34 +287,61 @@ int main(int argc, char** argv) {
   // reports may not inflate the round's peak tensor bytes beyond 1.5x of
   // the dense run at the same cohort size.
   if (Tensor::alloc_stats_enabled()) {
-    const double quant_ratio = static_cast<double>(quant_r.peak_live_bytes) /
-                               static_cast<double>(results.back().peak_live_bytes);
-    std::printf("quantized/dense peak-bytes ratio at %zu clients: %.2fx (gate <= 1.5x)\n",
-                quant_r.clients, quant_ratio);
-    if (quant_ratio > 1.5) {
-      std::fprintf(stderr,
-                   "FAIL: quantized uplink grew peak live bytes %.2fx over the "
-                   "dense round\n",
-                   quant_ratio);
-      ok = false;
+    const CohortResult* dense_peer = nullptr;
+    for (const CohortResult& r : results) {
+      if (r.clients == quant_r.clients) dense_peer = &r;
+    }
+    if (dense_peer != nullptr) {
+      const double quant_ratio = static_cast<double>(quant_r.peak_live_bytes) /
+                                 static_cast<double>(dense_peer->peak_live_bytes);
+      std::printf("quantized/dense peak-bytes ratio at %zu clients: %.2fx (gate <= 1.5x)\n",
+                  quant_r.clients, quant_ratio);
+      if (quant_ratio > 1.5) {
+        std::fprintf(stderr,
+                     "FAIL: quantized uplink grew peak live bytes %.2fx over the "
+                     "dense round\n",
+                     quant_ratio);
+        ok = false;
+      }
     }
   }
-  // Memory gate: only meaningful when the alloc-stats choke point is
-  // compiled in; without it peak_live_bytes reads zero.
+  // Memory gate: every cohort within 1.5x of the smallest row, and (when
+  // both run) the 102400-client round within 1.5x of the 1024-client one
+  // — flatness, not merely sub-linear growth. Only meaningful when the
+  // alloc-stats choke point is compiled in; without it the peak reads 0.
   if (Tensor::alloc_stats_enabled()) {
-    const double mem_ratio = static_cast<double>(large.peak_live_bytes) /
-                             static_cast<double>(small.peak_live_bytes);
-    std::printf("peak-bytes ratio %zu/%zu clients: %.2fx (gate <= 1.5x)\n",
-                large.clients, small.clients, mem_ratio);
-    if (mem_ratio > 1.5) {
-      std::fprintf(stderr,
-                   "FAIL: peak live bytes grew %.2fx from %zu to %zu clients — "
-                   "memory is scaling with the cohort\n",
-                   mem_ratio, small.clients, large.clients);
-      ok = false;
+    const CohortResult* row_1024 = nullptr;
+    for (const CohortResult& r : results) {
+      const double mem_ratio = static_cast<double>(r.peak_live_bytes) /
+                               static_cast<double>(small.peak_live_bytes);
+      if (&r != &small) {
+        std::printf("peak-bytes ratio %zu/%zu clients: %.2fx (gate <= 1.5x)\n",
+                    r.clients, small.clients, mem_ratio);
+      }
+      if (mem_ratio > 1.5) {
+        std::fprintf(stderr,
+                     "FAIL: peak live bytes grew %.2fx from %zu to %zu clients — "
+                     "memory is scaling with the cohort\n",
+                     mem_ratio, small.clients, r.clients);
+        ok = false;
+      }
+      if (r.clients == 1024) row_1024 = &r;
+    }
+    if (row_1024 != nullptr && results.back().clients == 102400) {
+      const double top_ratio = static_cast<double>(results.back().peak_live_bytes) /
+                               static_cast<double>(row_1024->peak_live_bytes);
+      std::printf("peak-bytes ratio 102400/1024 clients: %.2fx (gate <= 1.5x)\n",
+                  top_ratio);
+      if (top_ratio > 1.5) {
+        std::fprintf(stderr,
+                     "FAIL: 102400-client round peak grew %.2fx over the "
+                     "1024-client round\n",
+                     top_ratio);
+        ok = false;
+      }
     }
   } else {
-    std::printf("built without FEDCAV_ALLOC_STATS: memory gate skipped\n");
+    std::printf("built without FEDCAV_ALLOC_STATS: memory gates skipped\n");
   }
   // Time gate: per-participant cost must not degrade super-linearly.
   const double time_ratio = large.per_client_ms / small.per_client_ms;
@@ -227,6 +351,46 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: per-client round time grew %.2fx — rounds are not "
                  "scaling linearly in cohort size\n", time_ratio);
     ok = false;
+  }
+  // Shard-parity gate (DESIGN.md §15): the shard count must be invisible
+  // to the deterministic outputs — CSV and final weights byte-identical
+  // at shards 1/2/4/16 on the smallest cohort.
+  {
+    const CohortResult base =
+        shards == 1 ? small : run_cohort(small.clients, workers, seed, 1);
+    for (const std::size_t s : {std::size_t{2}, std::size_t{4}, std::size_t{16}}) {
+      const CohortResult sharded = run_cohort(small.clients, workers, seed, s);
+      const bool same =
+          sharded.csv == base.csv && bits_equal(sharded.weights, base.weights);
+      std::printf("shard parity at %zu clients, shards=%zu: %s\n", small.clients,
+                  s, same ? "identical" : "DIVERGED");
+      if (!same) {
+        std::fprintf(stderr,
+                     "FAIL: shards=%zu produced different CSV/weights than the "
+                     "single-shard round\n",
+                     s);
+        ok = false;
+      }
+    }
+  }
+  // Reproducibility gate (smoke): the same --seed must reproduce every
+  // deterministic field of the first row exactly — participants, round
+  // CSV, and final weights (via the digest). Timing fields are excluded
+  // by construction.
+  if (smoke) {
+    const CohortResult again = run_cohort(small.clients, workers, seed, shards);
+    const bool same = again.participants == small.participants &&
+                      again.digest == small.digest && again.csv == small.csv &&
+                      bits_equal(again.weights, small.weights);
+    std::printf("seed determinism at %zu clients: %s\n", small.clients,
+                same ? "identical" : "DIVERGED");
+    if (!same) {
+      std::fprintf(stderr,
+                   "FAIL: two runs with --seed %llu disagreed on deterministic "
+                   "outputs\n",
+                   static_cast<unsigned long long>(seed));
+      ok = false;
+    }
   }
   return ok ? 0 : 1;
 }

@@ -6,9 +6,10 @@
 # fault-injection chaos/golden suites — the retry protocol runs on pool
 # threads, so TSan coverage there is mandatory). The plain build also
 # replays the kernel + golden suites under FEDCAV_TEST_THREADS=1 and =4
-# (parallel-kernel determinism gate, DESIGN.md §13), and the TSan build
-# replays them with a 4-worker kernel pool attached. Each configuration
-# gets its own build tree so they never thrash one cache.
+# (parallel-kernel determinism gate, DESIGN.md §13) and under
+# FEDCAV_TEST_SHARDS=1 and =4 (shard-determinism gate, DESIGN.md §15);
+# the TSan build replays both hooks at the 4-way fan-out. Each
+# configuration gets its own build tree so they never thrash one cache.
 #
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
@@ -45,11 +46,28 @@ for threads in 1 4; do
   FEDCAV_TEST_THREADS="${threads}" ctest --test-dir "${repo}/build" \
     --output-on-failure -j "${jobs}" -R "${kernel_filter}" "${ctest_args[@]}"
 done
-# Cohort-scaling memory gate (replica-pool bound, DESIGN.md §11): a smoke
-# run of the bench enforces that peak round memory does not scale with
-# the cohort, in both the plain and sanitized builds.
+# Shard-determinism gate (DESIGN.md §15): replay the golden, chaos-seed,
+# and kernel suites with the FEDCAV_TEST_SHARDS hook forcing every round
+# through a 1-shard and a 4-shard engine. The goldens and committed
+# chaos seeds pin exact values, so a pass proves the shard count is
+# invisible to results at suite scale.
+shard_filter="${kernel_filter}|ChaosSeeds|RoundEngine|Server|Integration"
+for shards in 1 4; do
+  echo "==> ctest shard suites, FEDCAV_TEST_SHARDS=${shards} (plain)"
+  FEDCAV_TEST_SHARDS="${shards}" ctest --test-dir "${repo}/build" \
+    --output-on-failure -j "${jobs}" -R "${shard_filter}" "${ctest_args[@]}"
+done
+# Cohort-scaling memory gate (replica-pool bound, DESIGN.md §11 + §15):
+# smoke runs of the bench enforce that peak round memory does not scale
+# with the cohort — single-shard, and sharded with a 4096-client round —
+# in both the plain and sanitized builds. The bench also self-gates
+# shard-count bit-identity of the emitted CSV and --seed reproducibility.
 echo "==> cohort_scale smoke (plain)"
-"${repo}/build/bench/cohort_scale" --smoke --out "${repo}/build/BENCH_cohort_smoke.json"
+timeout 300 "${repo}/build/bench/cohort_scale" --smoke \
+  --out "${repo}/build/BENCH_cohort_smoke.json"
+echo "==> cohort_scale smoke --shards 4 (plain)"
+timeout 300 "${repo}/build/bench/cohort_scale" --smoke --shards 4 \
+  --out "${repo}/build/BENCH_cohort_smoke_sharded.json"
 # Time-boxed chaos-search smoke (DESIGN.md §12): a short adaptive search
 # over the fault-plan space must find zero invariant violations. The
 # budget keeps this inside a few seconds; the full regression corpus is
@@ -64,8 +82,11 @@ timeout 300 "${repo}/scripts/multiproc_smoke.sh" "${repo}/build"
 
 run_config "${repo}/build-sanitize" "" -DFEDCAV_SANITIZE=ON
 echo "==> cohort_scale smoke (sanitize)"
-"${repo}/build-sanitize/bench/cohort_scale" --smoke \
+timeout 600 "${repo}/build-sanitize/bench/cohort_scale" --smoke \
   --out "${repo}/build-sanitize/BENCH_cohort_smoke.json"
+echo "==> cohort_scale smoke --shards 4 (sanitize)"
+timeout 600 "${repo}/build-sanitize/bench/cohort_scale" --smoke --shards 4 \
+  --out "${repo}/build-sanitize/BENCH_cohort_smoke_sharded.json"
 echo "==> chaos_search smoke (sanitize)"
 timeout 600 "${repo}/build-sanitize/tools/chaos_search" --budget 10 --seed 1
 echo "==> multiproc smoke (sanitize)"
@@ -80,5 +101,11 @@ run_config "${repo}/build-tsan" \
 echo "==> ctest kernel suites, FEDCAV_TEST_THREADS=4 (tsan)"
 FEDCAV_TEST_THREADS=4 ctest --test-dir "${repo}/build-tsan" \
   --output-on-failure -j "${jobs}" -R "${kernel_filter}" "${ctest_args[@]}"
+# Race-check the sharded round engine: the wave pipeline's produce side
+# runs on pool workers while the fold side hops threads, so the golden,
+# chaos-seed, and server suites replay under TSan at a 4-shard fan-out.
+echo "==> ctest shard suites, FEDCAV_TEST_SHARDS=4 (tsan)"
+FEDCAV_TEST_SHARDS=4 ctest --test-dir "${repo}/build-tsan" \
+  --output-on-failure -j "${jobs}" -R "${shard_filter}" "${ctest_args[@]}"
 
 echo "OK: plain, sanitized, and thread-sanitized tier-1 suites passed"

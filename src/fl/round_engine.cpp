@@ -1,0 +1,129 @@
+#include "src/fl/round_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/obs/metrics.hpp"
+#include "src/utils/error.hpp"
+#include "src/utils/timer.hpp"
+
+namespace fedcav::fl {
+
+namespace {
+std::atomic<std::size_t> g_default_shards{1};
+}  // namespace
+
+std::size_t default_round_shards() {
+  return g_default_shards.load(std::memory_order_relaxed);
+}
+
+void set_default_round_shards(std::size_t shards) {
+  g_default_shards.store(shards == 0 ? 1 : shards, std::memory_order_relaxed);
+}
+
+ShardedRoundEngine::ShardedRoundEngine(ThreadPool& pool, std::size_t sampled,
+                                       std::size_t shards)
+    : pool_(pool), map_(sampled, shards), stats_(map_.shards()) {
+  for (std::size_t s = 0; s < map_.shards(); ++s) {
+    stats_[s].owned = map_.size(s);
+  }
+}
+
+void ShardedRoundEngine::run_metadata(
+    const std::function<void(std::size_t)>& exchange, bool serial) {
+  const std::size_t n = map_.num_slots();
+  if (serial) {
+    for (std::size_t i = 0; i < n; ++i) exchange(i);
+  } else {
+    pool_.parallel_for(n, exchange);
+  }
+}
+
+void ShardedRoundEngine::run_streaming(
+    std::size_t first, std::size_t n, std::size_t window,
+    const std::function<void(std::size_t)>& train,
+    const std::function<void(std::size_t)>& fold,
+    const std::function<std::size_t(std::size_t)>& slot_of, bool serial) {
+  if (first >= n) return;
+  Stopwatch stream_watch;
+  // The fold wrapper runs on the pipeline's serial consume side: its
+  // steps are totally ordered (handed off through the scheduler mutex),
+  // so the ledger, timers, and span swap need no further locking.
+  auto fold_step = [&](std::size_t i) {
+    const std::size_t shard = map_.shard_of(slot_of(i));
+    if (obs::enabled() && shard != span_shard_) {
+      shard_span_.reset();
+      shard_span_.emplace("agg.shard", "round.shard");
+      shard_span_->arg("shard", static_cast<double>(shard));
+      span_shard_ = shard;
+    }
+    Stopwatch fold_watch;
+    fold(i);
+    fold_seconds_ += fold_watch.seconds();
+    stats_[shard].folds += 1;
+  };
+  if (serial) {
+    for (std::size_t i = first; i < n; ++i) {
+      train(i);
+      fold_step(i);
+    }
+  } else {
+    WaveScheduler::run(pool_, first, n, window, train, fold_step);
+  }
+  shard_span_.reset();
+  span_shard_ = static_cast<std::size_t>(-1);
+  stream_seconds_ += stream_watch.seconds();
+}
+
+void ShardedRoundEngine::note_dropout(std::size_t sampled_slot) {
+  stats_[map_.shard_of(sampled_slot)].dropouts += 1;
+}
+
+void ShardedRoundEngine::note_straggler(std::size_t sampled_slot) {
+  stats_[map_.shard_of(sampled_slot)].straggler_drops += 1;
+}
+
+void ShardedRoundEngine::note_upload_failure(std::size_t sampled_slot) {
+  stats_[map_.shard_of(sampled_slot)].upload_failures += 1;
+}
+
+void ShardedRoundEngine::check_accounting(std::size_t participants,
+                                          std::size_t dropouts,
+                                          std::size_t straggler_drops) const {
+  std::size_t p = 0, d = 0, s = 0;
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    const ShardRoundStats& st = stats_[i];
+    FEDCAV_REQUIRE(st.dropouts + st.straggler_drops <= st.owned,
+                   "ShardedRoundEngine: shard ledger overflows its slice");
+    // participants() is owned - dropouts - stragglers by construction;
+    // the real check is that every booked loss lands in the owner shard
+    // and the shard slices sum to the round the server saw.
+    p += st.participants();
+    d += st.dropouts;
+    s += st.straggler_drops;
+  }
+  FEDCAV_REQUIRE(p == participants && d == dropouts && s == straggler_drops,
+                 "ShardedRoundEngine: shard ledger does not sum to the round "
+                 "accounting");
+}
+
+void ShardedRoundEngine::publish_metrics() const {
+  if (!obs::enabled()) return;
+  auto& reg = obs::registry();
+  reg.gauge("agg.shard.count").set(static_cast<double>(map_.shards()));
+  std::size_t owned_min = stats_.empty() ? 0 : stats_.front().owned;
+  std::size_t owned_max = owned_min;
+  std::uint64_t folds = 0;
+  for (const ShardRoundStats& st : stats_) {
+    owned_min = std::min(owned_min, st.owned);
+    owned_max = std::max(owned_max, st.owned);
+    folds += st.folds;
+    reg.histogram("agg.shard.participants")
+        .observe(static_cast<double>(st.participants()));
+  }
+  reg.gauge("agg.shard.owned_min").set(static_cast<double>(owned_min));
+  reg.gauge("agg.shard.owned_max").set(static_cast<double>(owned_max));
+  if (folds > 0) reg.counter("agg.shard.folds").add(folds);
+}
+
+}  // namespace fedcav::fl

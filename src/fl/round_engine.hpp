@@ -1,0 +1,118 @@
+// Sharded streaming round engine (DESIGN.md §15).
+//
+// A round's sampled cohort is split by a ShardMap into S contiguous
+// shards. Each shard independently streams its wave of participants —
+// metadata phase ① then streaming phase ② — over one bounded pipeline
+// (WaveScheduler): training runs concurrently inside the window while
+// the fold side advances strictly in ascending global slot order. The
+// aggregation accumulator is CHAINED through the shards in ascending
+// shard order (shard s's partial fold continues from shard s−1's
+// accumulator state), which is what makes the reduction bit-identical
+// to the single-shard path at any shard count: double addition is not
+// associative, so independent per-shard partial sums combined at the
+// end would NOT reproduce the flat fold — a serial chain over the same
+// ascending slot sequence provably does.
+//
+// The engine also owns the per-shard ledger: every sampled slot's fate
+// (participant, dropout, straggler drop, upload failure, fold) is
+// booked against its owning shard, and `check_accounting` proves
+//     owned == participants + dropouts + straggler_drops
+// for every shard individually and for the totals — the round invariant
+// of DESIGN.md §8, now enforced at shard granularity.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/fl/wave_scheduler.hpp"
+#include "src/obs/trace.hpp"
+#include "src/utils/threadpool.hpp"
+
+namespace fedcav::fl {
+
+/// Process-wide default shard count, used when ServerConfig::shards is 0
+/// (auto). 1 unless overridden — the FEDCAV_TEST_SHARDS gtest hook sets
+/// it so whole suites replay under a fixed shard fan-out.
+std::size_t default_round_shards();
+/// Override the process default (0 resets to 1).
+void set_default_round_shards(std::size_t shards);
+
+/// One shard's slice of the round ledger.
+struct ShardRoundStats {
+  std::size_t owned = 0;         // sampled slots this shard owns
+  std::size_t dropouts = 0;      // phase-① failures
+  std::size_t straggler_drops = 0;
+  std::size_t upload_failures = 0;  // phase-② γ-mass carry-forwards
+  std::size_t folds = 0;            // serial consume steps driven
+  std::size_t participants() const {
+    return owned - dropouts - straggler_drops;
+  }
+};
+
+class ShardedRoundEngine {
+ public:
+  /// `sampled` is the round's cohort size; `shards` the requested shard
+  /// count (clamped by the ShardMap to [1, max(1, sampled)]).
+  ShardedRoundEngine(ThreadPool& pool, std::size_t sampled, std::size_t shards);
+
+  const ShardMap& map() const { return map_; }
+  std::size_t shards() const { return map_.shards(); }
+
+  /// Phase ①: run `exchange(slot)` for every sampled slot. Parallel in
+  /// fixed slots (results land in pre-sized outputs, so downstream order
+  /// is scheduling-independent); `serial` forces the caller-thread loop
+  /// remote mode needs (a SocketTransport is single-threaded).
+  void run_metadata(const std::function<void(std::size_t)>& exchange,
+                    bool serial);
+
+  /// Phase ②: stream survivor slots [first, n) through the pipeline.
+  /// `train(i)` may run concurrently, at most `window` slots ahead of
+  /// the fold cursor; `fold(i)` runs strictly serially in ascending i —
+  /// the shard-chained reduction. `slot_of(i)` maps a survivor slot back
+  /// to its sampled slot (shard attribution: survivors keep cohort
+  /// order, so each shard's survivors stay contiguous). `serial` forces
+  /// the produce/consume loop onto the caller (remote mode — the fold
+  /// does no transport work, so the wire op sequence is unchanged).
+  void run_streaming(std::size_t first, std::size_t n, std::size_t window,
+                     const std::function<void(std::size_t)>& train,
+                     const std::function<void(std::size_t)>& fold,
+                     const std::function<std::size_t(std::size_t)>& slot_of,
+                     bool serial);
+
+  /// Ledger entries, booked by SAMPLED slot index.
+  void note_dropout(std::size_t sampled_slot);
+  void note_straggler(std::size_t sampled_slot);
+  void note_upload_failure(std::size_t sampled_slot);
+
+  const std::vector<ShardRoundStats>& stats() const { return stats_; }
+  /// Wall time spent inside fold callbacks (serial side) and inside
+  /// run_streaming overall, summed across calls. The difference is the
+  /// training wall time the pipeline overlapped with folding.
+  double fold_seconds() const { return fold_seconds_; }
+  double stream_seconds() const { return stream_seconds_; }
+
+  /// FEDCAV_REQUIRE the per-shard invariant owned == participants +
+  /// dropouts + straggler_drops for every shard, and that the shard
+  /// ledgers sum to the round totals the server computed independently.
+  void check_accounting(std::size_t participants, std::size_t dropouts,
+                        std::size_t straggler_drops) const;
+
+  /// Emit the round's `agg.shard.*` metrics (aggregate across shards —
+  /// per-shard detail lives in the span trace, not in metric names).
+  void publish_metrics() const;
+
+ private:
+  ThreadPool& pool_;
+  ShardMap map_;
+  std::vector<ShardRoundStats> stats_;
+  double fold_seconds_ = 0.0;
+  double stream_seconds_ = 0.0;
+  // Per-shard trace span, swapped at shard boundaries by the serial fold
+  // side (no synchronization needed: consume steps are totally ordered).
+  std::optional<obs::Span> shard_span_;
+  std::size_t span_shard_ = static_cast<std::size_t>(-1);
+};
+
+}  // namespace fedcav::fl

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iterator>
 
+#include "src/fl/round_engine.hpp"
 #include "src/metrics/evaluation.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
@@ -741,6 +742,15 @@ metrics::RoundRecord Server::run_round() {
   }
   record.sampled = participants.size();
 
+  // Sharded round engine (DESIGN.md §15): the cohort is split into
+  // contiguous shards that stream independently, chained into one
+  // fixed-order reduction — bit-identical at every shard count. 0 =
+  // auto: the process default (normally 1; FEDCAV_TEST_SHARDS raises it
+  // for whole-suite replays).
+  const std::size_t shard_request =
+      config_.shards != 0 ? config_.shards : default_round_shards();
+  ShardedRoundEngine engine(pool(), participants.size(), shard_request);
+
   // Downlink broadcast: the global model is serialized once; the encoded
   // envelope is kept for the per-participant sends inside phase ① and
   // for NACK retransmissions. Queueing per-participant copies here would
@@ -794,14 +804,12 @@ metrics::RoundRecord Server::run_round() {
       for (std::size_t i = 0; i < participants.size(); ++i) {
         transport_->send(kServerRank, participants[i] + 1, downlink_env_);
       }
-      for (std::size_t i = 0; i < participants.size(); ++i) {
-        outcomes[i] = run_participant_metadata(participants[i]);
-      }
-    } else {
-      pool().parallel_for(participants.size(), [&](std::size_t i) {
-        outcomes[i] = run_participant_metadata(participants[i]);
-      });
     }
+    engine.run_metadata(
+        [&](std::size_t i) {
+          outcomes[i] = run_participant_metadata(participants[i]);
+        },
+        remote_);
   }
 
   // Collect, in fixed participant order: sampled clients whose exchange
@@ -809,9 +817,11 @@ metrics::RoundRecord Server::run_round() {
   // fault-fabric analogue of a straggler.
   std::vector<ClientUpdate> metadata;    // scalars only; weights stay empty
   std::vector<std::size_t> surviving;
+  std::vector<std::size_t> survivor_slots;  // original sampled slot (shard owner)
   std::vector<double> survivor_elapsed;  // phase-① simulated time, carried into ②
   metadata.reserve(outcomes.size());
   surviving.reserve(outcomes.size());
+  survivor_slots.reserve(outcomes.size());
   survivor_elapsed.reserve(outcomes.size());
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     record.retries += outcomes[i].retries;
@@ -821,9 +831,11 @@ metrics::RoundRecord Server::run_round() {
     if (outcomes[i].metadata.has_value()) {
       metadata.push_back(std::move(*outcomes[i].metadata));
       surviving.push_back(participants[i]);
+      survivor_slots.push_back(i);
       survivor_elapsed.push_back(outcomes[i].elapsed_s);
     } else {
       record.dropouts += 1;
+      engine.note_dropout(i);
     }
   }
   outcomes.clear();
@@ -833,32 +845,56 @@ metrics::RoundRecord Server::run_round() {
   // got through.
   if (config_.straggler_drop_prob > 0.0 && !metadata.empty()) {
     PhaseTimer phase("straggler_filter", round_, record.phases.straggler_filter);
-    std::vector<ClientUpdate> kept_meta;
-    std::vector<std::size_t> kept_participants;
-    std::vector<double> kept_elapsed;
+    // Draw every survivor's bernoulli first (the RNG stream consumption
+    // order is pinned by the golden runs), then apply the legacy
+    // keep-first guarantee before committing anything to the ledgers.
+    std::vector<char> keep(metadata.size(), 1);
+    std::size_t kept_count = 0;
     for (std::size_t i = 0; i < metadata.size(); ++i) {
-      if (!straggler_rng_.bernoulli(config_.straggler_drop_prob)) {
-        kept_meta.push_back(std::move(metadata[i]));
-        kept_participants.push_back(surviving[i]);
-        kept_elapsed.push_back(survivor_elapsed[i]);
+      if (straggler_rng_.bernoulli(config_.straggler_drop_prob)) {
+        keep[i] = 0;
+      } else {
+        ++kept_count;
       }
     }
-    if (kept_meta.empty() && config_.min_aggregate_clients <= 1) {
+    if (kept_count == 0 && config_.min_aggregate_clients <= 1) {
       // Everyone dropped: keep the first report so the round is defined
       // (legacy guarantee; a quorum > 1 skips the round instead).
-      kept_meta.push_back(std::move(metadata.front()));
-      kept_participants.push_back(surviving.front());
-      kept_elapsed.push_back(survivor_elapsed.front());
+      keep.front() = 1;
+      kept_count = 1;
+    }
+    std::vector<ClientUpdate> kept_meta;
+    std::vector<std::size_t> kept_participants;
+    std::vector<std::size_t> kept_slots;
+    std::vector<double> kept_elapsed;
+    kept_meta.reserve(kept_count);
+    kept_participants.reserve(kept_count);
+    kept_slots.reserve(kept_count);
+    kept_elapsed.reserve(kept_count);
+    for (std::size_t i = 0; i < metadata.size(); ++i) {
+      if (keep[i]) {
+        kept_meta.push_back(std::move(metadata[i]));
+        kept_participants.push_back(surviving[i]);
+        kept_slots.push_back(survivor_slots[i]);
+        kept_elapsed.push_back(survivor_elapsed[i]);
+      } else {
+        engine.note_straggler(survivor_slots[i]);
+      }
     }
     record.straggler_drops = metadata.size() - kept_meta.size();
     metadata = std::move(kept_meta);
     surviving = std::move(kept_participants);
+    survivor_slots = std::move(kept_slots);
     survivor_elapsed = std::move(kept_elapsed);
   }
   record.participants = metadata.size();
   FEDCAV_REQUIRE(record.sampled ==
                      record.participants + record.dropouts + record.straggler_drops,
                  "Server: round accounting invariant violated");
+  // Same invariant at shard granularity: every sampled slot's fate must
+  // have been booked against its owning shard (DESIGN.md §15).
+  engine.check_accounting(record.participants, record.dropouts,
+                          record.straggler_drops);
 
   // Quorum: with fewer survivors than min_aggregate_clients the round is
   // skipped outright — no training, no attack, no detection, no
@@ -872,46 +908,53 @@ metrics::RoundRecord Server::run_round() {
   const bool attack_now = !record.skipped && adversary_ != nullptr &&
                           attack_rounds_.count(round_) > 0 && !metadata.empty();
   const bool streaming = strategy_->streaming_aggregation();
-  // Wave width: how many participants train (and thus how many full
-  // updates are materialized) at once in phase ②.
+  // Pipeline window: how many participants may train (and thus how many
+  // full updates may be materialized) ahead of the fold cursor in
+  // phase ② — the same O(workers × model) bound the old wave barrier
+  // enforced, without the barrier.
   const std::size_t wave = std::max<std::size_t>(std::size_t{1}, pool().size());
 
-  // Phase ② driver: train survivors [first_slot, end) in waves of `wave`,
-  // then hand each slot's update (or nullopt on upload failure) to `sink`
-  // in slot order, so the downstream fold is independent of the worker
-  // count. Fresh per-slot counters avoid double-counting the phase-①
-  // tallies already folded into the record.
-  auto run_waves = [&](std::size_t first_slot, auto&& sink) {
-    std::vector<std::optional<ClientUpdate>> slot_updates;
-    std::vector<ParticipantOutcome> slot_counters;
-    for (std::size_t start = first_slot; start < surviving.size(); start += wave) {
-      const std::size_t count = std::min(wave, surviving.size() - start);
-      slot_updates.assign(count, std::nullopt);
-      slot_counters.assign(count, ParticipantOutcome{});
-      {
-        PhaseTimer phase("local_update", round_, record.phases.local_update);
-        auto train_slot = [&](std::size_t i) {
-          slot_counters[i].elapsed_s = survivor_elapsed[start + i];
-          slot_updates[i] =
-              run_participant_train(surviving[start + i],
-                                    metadata[start + i].inference_loss,
-                                    slot_counters[i]);
-        };
-        if (remote_) {
-          for (std::size_t i = 0; i < count; ++i) train_slot(i);
-        } else {
-          pool().parallel_for(count, train_slot);
-        }
-      }
-      PhaseTimer phase("aggregate", round_, record.phases.aggregate);
-      for (std::size_t i = 0; i < count; ++i) {
-        record.retries += slot_counters[i].retries;
-        record.crc_failures += slot_counters[i].crc_failures;
-        record.stale_discards += slot_counters[i].stale_discards;
-        if (slot_counters[i].deadline_missed) record.deadline_misses += 1;
-        sink(start + i, std::move(slot_updates[i]));
-      }
-    }
+  // Phase ② driver: stream survivors [first_slot, end) through the
+  // sharded engine — training overlaps the serial ascending-order folds
+  // instead of phase-barriering each wave. `sink(slot, update)` receives
+  // slots strictly in order (nullopt = upload failure), so the
+  // downstream fold is independent of the worker count. Updates live in
+  // a ring of `wave` cells: the scheduler guarantees train(s + wave)
+  // cannot start before fold(s) freed its cell. Fresh per-slot counters
+  // avoid double-counting the phase-① tallies already in the record.
+  struct StreamSlot {
+    std::optional<ClientUpdate> update;
+    ParticipantOutcome counters;
+  };
+  auto run_stream = [&](std::size_t first_slot, auto&& sink) {
+    const std::size_t n = surviving.size();
+    if (first_slot >= n) return;
+    // The span keeps the historical "local_update" name: training
+    // dominates the stream, and the serial folds it overlaps get their
+    // own agg.shard spans from the engine.
+    obs::Span span("local_update", "round.phase");
+    span.arg("round", static_cast<double>(round_));
+    std::vector<StreamSlot> ring(std::min(wave, n - first_slot));
+    auto train = [&](std::size_t i) {
+      StreamSlot& slot = ring[i % ring.size()];
+      slot.counters = ParticipantOutcome{};
+      slot.counters.elapsed_s = survivor_elapsed[i];
+      slot.update = run_participant_train(surviving[i],
+                                          metadata[i].inference_loss,
+                                          slot.counters);
+    };
+    auto fold = [&](std::size_t i) {
+      StreamSlot& slot = ring[i % ring.size()];
+      record.retries += slot.counters.retries;
+      record.crc_failures += slot.counters.crc_failures;
+      record.stale_discards += slot.counters.stale_discards;
+      if (slot.counters.deadline_missed) record.deadline_misses += 1;
+      sink(i, std::move(slot.update));
+      slot.update.reset();
+    };
+    engine.run_streaming(
+        first_slot, n, wave, train, fold,
+        [&](std::size_t i) { return survivor_slots[i]; }, remote_);
   };
 
   // A phase-② upload failure after a successful metadata phase: the
@@ -925,6 +968,7 @@ metrics::RoundRecord Server::run_round() {
     synthetic.inference_loss = metadata[slot].inference_loss;
     synthetic.weights = global_weights_;
     record.upload_failures += 1;
+    engine.note_upload_failure(survivor_slots[slot]);
     return synthetic;
   };
 
@@ -1015,14 +1059,14 @@ metrics::RoundRecord Server::run_round() {
           victim_update.reset();
         }
       }
-      run_waves(victim_trained ? 1 : 0,
-                [&](std::size_t slot, std::optional<ClientUpdate> u) {
-                  if (u.has_value()) {
-                    strategy_->accumulate(std::move(*u));
-                  } else {
-                    strategy_->accumulate(make_synthetic(slot));
-                  }
-                });
+      run_stream(victim_trained ? 1 : 0,
+                 [&](std::size_t slot, std::optional<ClientUpdate> u) {
+                   if (u.has_value()) {
+                     strategy_->accumulate(std::move(*u));
+                   } else {
+                     strategy_->accumulate(make_synthetic(slot));
+                   }
+                 });
       PhaseTimer phase("aggregate", round_, record.phases.aggregate);
       global_weights_ = strategy_->finish_aggregation();
     }
@@ -1038,7 +1082,7 @@ metrics::RoundRecord Server::run_round() {
     // survivor in place, detect on the post-corruption losses, then run
     // the classic one-shot aggregate().
     std::vector<ClientUpdate> updates(metadata.size());
-    run_waves(0, [&](std::size_t slot, std::optional<ClientUpdate> u) {
+    run_stream(0, [&](std::size_t slot, std::optional<ClientUpdate> u) {
       updates[slot] = u.has_value() ? std::move(*u) : make_synthetic(slot);
     });
 
@@ -1086,7 +1130,17 @@ metrics::RoundRecord Server::run_round() {
     }
   }
 
+  // Phase attribution for the overlapped stream: the serial fold side is
+  // aggregation time; everything the pipeline ran concurrently with it
+  // (training + uplink protocol) is local-update time. The two no longer
+  // nest — overlapping them was the point — so the split is wall time
+  // inside the fold callbacks vs. the remainder of the stream.
+  record.phases.aggregate += engine.fold_seconds();
+  record.phases.local_update +=
+      std::max(0.0, engine.stream_seconds() - engine.fold_seconds());
+
   if (!record.skipped && obs::enabled()) {
+    engine.publish_metrics();
     // Analytic peak of aggregation-owned tensor bytes: the streaming
     // path holds one f64 accumulator plus at most `wave` materialized f32
     // updates; the buffered path holds every survivor's update.

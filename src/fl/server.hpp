@@ -89,6 +89,13 @@ struct ServerConfig {
   /// this process. Off leaves every probe behind a single relaxed
   /// atomic load — see DESIGN.md §9 for the overhead policy.
   bool telemetry = false;
+  /// Aggregation shards for the sharded round engine (DESIGN.md §15):
+  /// the sampled cohort is split into this many contiguous slices, each
+  /// streaming its wave of participants, chained into one fixed-order
+  /// reduction — results are bit-identical at every shard count. 0 =
+  /// auto (process default, normally 1; the FEDCAV_TEST_SHARDS hook
+  /// overrides it for whole-suite replays).
+  std::size_t shards = 0;
 
   void validate(std::size_t num_clients) const;
 };
@@ -140,8 +147,11 @@ class Server {
 
   /// The bounded model-replica pool backing client training (created on
   /// the first round; null before that). Exposed for memory tests and
-  /// the cohort-scale bench.
+  /// the cohort-scale bench; the mutable overload lets the bench lease
+  /// and warm every replica so peak-memory rows all measure the same
+  /// steady-state K-replica regime regardless of scheduling.
   const nn::ReplicaPool* replica_pool() const { return replica_pool_.get(); }
+  nn::ReplicaPool* replica_pool() { return replica_pool_.get(); }
 
   /// Serialize the full resumable server state to `path` (binary, v5
   /// format by default): round counter, global + cached (reverse-target)

@@ -1,0 +1,346 @@
+// Shard-determinism test layer for the sharded round engine
+// (DESIGN.md §15). Pins, in order of increasing integration:
+//   * ShardMap is an exact contiguous partition (near-equal slices,
+//     shard_of inverts begin/end, shard counts clamp to the cohort);
+//   * WaveScheduler consumes strictly in ascending order, produces at
+//     most `window` slots ahead, completes every slot exactly once, and
+//     propagates exceptions — at any pool size, including the nested
+//     serial fallback;
+//   * the shard-chained fold (accumulate shard slices in ascending
+//     shard order through ONE strategy accumulator) is bit-identical to
+//     one-shot aggregate() — weights AND γ vector — for all five
+//     strategies across shard counts {1,2,3,7,16} and cohorts
+//     {1,2,31,257}, including cohorts smaller than the shard count and
+//     the robust strategies' buffered fallback;
+//   * full Server rounds at shards ∈ {1,2,3,7,16} produce byte-identical
+//     weights, timing-free CSV, and RoundRecord fields — clean runs for
+//     every strategy, plus a faulty run (drops, duplicates, stragglers,
+//     quorum, deadline) where dropout/straggler/upload-failure ledgers
+//     must also shard-partition correctly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "src/fl/round_engine.hpp"
+#include "src/fl/simulation.hpp"
+#include "src/fl/strategy.hpp"
+#include "src/fl/wave_scheduler.hpp"
+#include "src/utils/logging.hpp"
+#include "src/utils/threadpool.hpp"
+#include "property.hpp"
+
+namespace fedcav {
+namespace {
+
+const char* kStrategies[] = {"fedavg", "fedprox", "fedcav", "fedcav-noclip",
+                             "median"};
+const std::size_t kShardCounts[] = {1, 2, 3, 7, 16};
+const std::size_t kCohorts[] = {1, 2, 31, 257};
+
+bool bits_equal(const nn::Weights& a, const nn::Weights& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+// ------------------------------------------------------------ ShardMap
+
+TEST(ShardMap, ExactContiguousPartition) {
+  FEDCAV_PROPERTY("shard map partitions exactly", 2000, [](Rng& rng) {
+    const auto slots = static_cast<std::size_t>(rng.uniform_int(std::uint64_t{400}));
+    const auto shards =
+        1 + static_cast<std::size_t>(rng.uniform_int(std::uint64_t{40}));
+    const fl::ShardMap map(slots, shards);
+
+    // Clamped to [1, max(1, slots)].
+    EXPECT_GE(map.shards(), std::size_t{1});
+    EXPECT_LE(map.shards(), std::max<std::size_t>(slots, 1));
+    if (shards <= std::max<std::size_t>(slots, 1)) {
+      EXPECT_EQ(map.shards(), shards);
+    }
+
+    // Contiguous cover with near-equal slices (sizes differ by <= 1 and
+    // never decrease... larger slices come first).
+    std::size_t cursor = 0;
+    const std::size_t base = slots / map.shards();
+    for (std::size_t s = 0; s < map.shards(); ++s) {
+      EXPECT_EQ(map.begin(s), cursor);
+      EXPECT_GE(map.size(s), base);
+      EXPECT_LE(map.size(s), base + 1);
+      if (s > 0) {
+        EXPECT_LE(map.size(s), map.size(s - 1));
+      }
+      cursor = map.end(s);
+    }
+    EXPECT_EQ(cursor, slots);
+
+    // shard_of inverts the ownership ranges.
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+      const std::size_t s = map.shard_of(slot);
+      EXPECT_GE(slot, map.begin(s));
+      EXPECT_LT(slot, map.end(s));
+    }
+  });
+}
+
+// ------------------------------------------------------- WaveScheduler
+
+TEST(WaveScheduler, AscendingConsumeBoundedProduceEverySlotOnce) {
+  // Shared pools: spawning threads per property case would dominate the
+  // test. The scheduler itself is what varies.
+  ThreadPool pool1(1), pool4(4);
+  FEDCAV_PROPERTY("pipeline order + window", 300, [&](Rng& rng) {
+    ThreadPool& pool = rng.bernoulli(0.5) ? pool4 : pool1;
+    const auto first = static_cast<std::size_t>(rng.uniform_int(std::uint64_t{3}));
+    const std::size_t n =
+        first + static_cast<std::size_t>(rng.uniform_int(std::uint64_t{40}));
+    const auto window =
+        1 + static_cast<std::size_t>(rng.uniform_int(std::uint64_t{8}));
+
+    std::vector<std::atomic<int>> produced(n > 0 ? n + window + 1 : 1);
+    for (auto& p : produced) p.store(0);
+    std::vector<std::size_t> consume_order;  // serial side: no lock needed
+    fl::WaveScheduler::run(
+        pool, first, n, window,
+        [&](std::size_t i) { produced[i].fetch_add(1); },
+        [&](std::size_t i) {
+          // Ring exclusivity: produce(i + window) must not have started
+          // before consume(i) finishes.
+          if (i + window < produced.size()) {
+            EXPECT_EQ(produced[i + window].load(), 0)
+                << "produce overran the window at slot " << i;
+          }
+          EXPECT_EQ(produced[i].load(), 1);
+          consume_order.push_back(i);
+        });
+
+    ASSERT_EQ(consume_order.size(), n - std::min(first, n));
+    for (std::size_t k = 0; k < consume_order.size(); ++k) {
+      EXPECT_EQ(consume_order[k], first + k) << "consume out of order";
+    }
+    for (std::size_t i = first; i < n; ++i) EXPECT_EQ(produced[i].load(), 1);
+  });
+}
+
+TEST(WaveScheduler, NestedCallDegradesToSerialLoop) {
+  ThreadPool pool(2);
+  std::vector<std::size_t> sequence;
+  pool.parallel_for(1, [&](std::size_t) {
+    // Called from a pool worker: the pipeline must run inline, strictly
+    // interleaved produce(i); consume(i).
+    fl::WaveScheduler::run(
+        pool, 0, 5, 3, [&](std::size_t i) { sequence.push_back(100 + i); },
+        [&](std::size_t i) { sequence.push_back(200 + i); });
+  });
+  const std::vector<std::size_t> want = {100, 200, 101, 201, 102,
+                                         202, 103, 203, 104, 204};
+  EXPECT_EQ(sequence, want);
+}
+
+TEST(WaveScheduler, ProduceExceptionPropagatesAndStopsPipeline) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> consumed{0};
+  EXPECT_THROW(
+      fl::WaveScheduler::run(
+          pool, 0, 100, 4,
+          [&](std::size_t i) {
+            if (i == 17) throw std::runtime_error("produce boom");
+          },
+          [&](std::size_t) { consumed.fetch_add(1); }),
+      std::runtime_error);
+  EXPECT_LT(consumed.load(), std::size_t{100});
+}
+
+TEST(WaveScheduler, ConsumeExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(fl::WaveScheduler::run(
+                   pool, 0, 50, 4, [&](std::size_t) {},
+                   [&](std::size_t i) {
+                     if (i == 9) throw std::runtime_error("consume boom");
+                   }),
+               std::runtime_error);
+}
+
+// --------------------------------------- shard-chained fold == one-shot
+
+TEST(RoundEngineProperty, ShardChainedFoldMatchesOneShotBitwise) {
+  // The §15 reduction: ONE strategy accumulator, folded through the
+  // shards in ascending shard order (each shard's slice in ascending
+  // slot order). Exhaustive grid over strategies × shard counts ×
+  // cohorts, randomized update contents per case.
+  FEDCAV_PROPERTY("shard chain == one-shot", 8, [](Rng& rng) {
+    const std::size_t dim =
+        1 + static_cast<std::size_t>(rng.uniform_int(std::uint64_t{16}));
+    std::vector<float> global(dim);
+    for (auto& v : global) v = rng.uniform_f(-1.0f, 1.0f);
+
+    for (const char* name : kStrategies) {
+      for (const std::size_t cohort : kCohorts) {
+        std::vector<fl::ClientUpdate> updates;
+        updates.reserve(cohort);
+        for (std::size_t i = 0; i < cohort; ++i) {
+          fl::ClientUpdate u;
+          u.client_id = i;
+          u.num_samples =
+              1 + static_cast<std::size_t>(rng.uniform_int(std::uint64_t{200}));
+          u.inference_loss = rng.uniform(0.01, 10.0);
+          u.weights.resize(dim);
+          for (auto& w : u.weights) w = rng.uniform_f(-2.0f, 2.0f);
+          updates.push_back(std::move(u));
+        }
+        std::vector<fl::ClientUpdate> meta = updates;
+        for (auto& m : meta) m.weights.clear();
+
+        const auto reference = fl::make_strategy(name);
+        const nn::Weights direct = reference->aggregate(global, updates);
+        const std::vector<double> gamma_direct =
+            reference->aggregation_weights(updates);
+
+        for (const std::size_t shards : kShardCounts) {
+          const fl::ShardMap map(cohort, shards);
+          const auto chained = fl::make_strategy(name);
+          chained->begin_aggregation(global, meta);
+          for (std::size_t s = 0; s < map.shards(); ++s) {
+            for (std::size_t slot = map.begin(s); slot < map.end(s); ++slot) {
+              chained->accumulate(updates[slot]);
+            }
+          }
+          const nn::Weights sharded = chained->finish_aggregation();
+          EXPECT_TRUE(bits_equal(direct, sharded))
+              << name << " cohort=" << cohort << " shards=" << shards;
+          // γ is a pure function of the metadata scalars: identical
+          // doubles, not just close ones.
+          EXPECT_EQ(gamma_direct, chained->aggregation_weights(updates))
+              << name << " cohort=" << cohort << " shards=" << shards;
+        }
+      }
+    }
+  });
+}
+
+// --------------------------------------------- full-server bit-identity
+
+/// Every deterministic RoundRecord field, hex-exact floats included.
+std::string record_summary(const metrics::RoundRecord& rec) {
+  std::ostringstream out;
+  out << rec.round << '|' << rec.sampled << '|' << rec.participants << '|'
+      << rec.dropouts << '|' << rec.straggler_drops << '|'
+      << rec.upload_failures << '|' << rec.retries << '|' << rec.crc_failures
+      << '|' << rec.stale_discards << '|' << rec.deadline_misses << '|'
+      << rec.skipped << '|' << rec.attacked << '|' << rec.detection_fired
+      << '|' << rec.reversed << '|' << rec.bytes_up << '|' << rec.bytes_down
+      << '|';
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%a|%a|%a|%a", rec.test_accuracy,
+                rec.test_loss, rec.mean_inference_loss,
+                rec.max_inference_loss);
+  out << buf;
+  return out.str();
+}
+
+fl::SimulationConfig small_config(const std::string& strategy) {
+  fl::SimulationConfig config;
+  config.dataset = "digits";
+  config.model = "mlp";
+  config.strategy = strategy;
+  config.train_samples_per_class = 8;
+  config.test_samples_per_class = 4;
+  config.partition.num_clients = 10;
+  config.seed = 2021;
+  config.server.sample_ratio = 0.8;
+  config.server.local.epochs = 1;
+  config.server.local.batch_size = 8;
+  return config;
+}
+
+struct ServerRun {
+  std::string csv;  // timing-free: the deterministic comparison target
+  nn::Weights weights;
+  std::vector<std::string> records;
+};
+
+ServerRun run_with_shards(fl::SimulationConfig config, std::size_t shards,
+                          std::size_t rounds) {
+  config.server.shards = shards;
+  fl::Simulation sim = fl::build_simulation(config);
+  sim.server->run(rounds);
+  ServerRun out;
+  std::ostringstream csv;
+  sim.server->history().write_csv(csv, /*include_timings=*/false);
+  out.csv = csv.str();
+  out.weights = sim.server->global_weights();
+  for (const auto& rec : sim.server->history().records()) {
+    out.records.push_back(record_summary(rec));
+  }
+  return out;
+}
+
+void expect_identical(const ServerRun& base, const ServerRun& got,
+                      const std::string& label) {
+  EXPECT_TRUE(bits_equal(base.weights, got.weights))
+      << label << ": final weights diverged";
+  EXPECT_EQ(base.csv, got.csv) << label << ": CSV diverged";
+  ASSERT_EQ(base.records.size(), got.records.size()) << label;
+  for (std::size_t i = 0; i < base.records.size(); ++i) {
+    EXPECT_EQ(base.records[i], got.records[i])
+        << label << ": round " << i + 1 << " record diverged";
+  }
+}
+
+TEST(RoundEngineServer, EveryStrategyBitIdenticalAcrossShardCounts) {
+  set_log_level(LogLevel::kError);
+  for (const char* strategy : kStrategies) {
+    const ServerRun base = run_with_shards(small_config(strategy), 1, 2);
+    for (const std::size_t shards : kShardCounts) {
+      if (shards == 1) continue;
+      const ServerRun got = run_with_shards(small_config(strategy), shards, 2);
+      expect_identical(base, got,
+                       std::string(strategy) + " shards=" +
+                           std::to_string(shards));
+    }
+  }
+}
+
+TEST(RoundEngineServer, FaultyRunBitIdenticalAcrossShardCounts) {
+  // Dropouts, stragglers, upload failures, retries, and a quorum skip
+  // all book into per-shard ledgers; the run must still be invisible to
+  // the shard count (and the per-shard accounting invariant inside
+  // run_round must hold, or this throws).
+  set_log_level(LogLevel::kError);
+  fl::SimulationConfig config = small_config("fedcav");
+  config.server.network.faults.seed = 77;
+  config.server.network.faults.drop_prob = 0.25;
+  config.server.network.faults.duplicate_prob = 0.15;
+  config.server.network.faults.corrupt_prob = 0.1;
+  config.server.straggler_drop_prob = 0.3;
+  config.server.min_aggregate_clients = 2;
+  config.server.max_retries = 2;
+  config.server.retry_backoff_s = 0.01;
+  config.server.uplink_deadline_s = 5.0;
+
+  const ServerRun base = run_with_shards(config, 1, 3);
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4},
+                                   std::size_t{16}}) {
+    const ServerRun got = run_with_shards(config, shards, 3);
+    expect_identical(base, got, "faulty shards=" + std::to_string(shards));
+  }
+}
+
+TEST(RoundEngineServer, AutoShardsFollowsProcessDefault) {
+  // ServerConfig::shards == 0 defers to the process default — the knob
+  // the FEDCAV_TEST_SHARDS Environment hook raises for suite replays.
+  set_log_level(LogLevel::kError);
+  const ServerRun base = run_with_shards(small_config("fedcav"), 1, 1);
+  fl::set_default_round_shards(4);
+  const ServerRun auto_run = run_with_shards(small_config("fedcav"), 0, 1);
+  fl::set_default_round_shards(0);
+  expect_identical(base, auto_run, "auto shards=4");
+}
+
+}  // namespace
+}  // namespace fedcav
