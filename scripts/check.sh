@@ -74,11 +74,15 @@ timeout 300 "${repo}/build/bench/cohort_scale" --smoke --shards 4 \
 # replayed by ctest (label: chaos).
 echo "==> chaos_search smoke (plain)"
 timeout 300 "${repo}/build/tools/chaos_search" --budget 25 --seed 1
-# Multi-process federation smoke (DESIGN.md §14): daemon + workers over
-# a real Unix socket; the watchdog timeout turns a protocol hang into a
-# gate failure instead of a wedged CI job.
+# Multi-process federation smoke (DESIGN.md §14/§16): daemon + workers
+# over a real Unix socket, then over an authenticated TCP loopback
+# (which also exercises the wrong-token fail-fast reject); the watchdog
+# timeout turns a protocol hang into a gate failure instead of a wedged
+# CI job.
 echo "==> multiproc smoke (plain)"
 timeout 300 "${repo}/scripts/multiproc_smoke.sh" "${repo}/build"
+echo "==> multiproc smoke, tcp (plain)"
+timeout 300 "${repo}/scripts/multiproc_smoke.sh" "${repo}/build" 4 2 tcp
 
 run_config "${repo}/build-sanitize" "" -DFEDCAV_SANITIZE=ON
 echo "==> cohort_scale smoke (sanitize)"
@@ -91,6 +95,8 @@ echo "==> chaos_search smoke (sanitize)"
 timeout 600 "${repo}/build-sanitize/tools/chaos_search" --budget 10 --seed 1
 echo "==> multiproc smoke (sanitize)"
 timeout 600 "${repo}/scripts/multiproc_smoke.sh" "${repo}/build-sanitize" 2 2
+echo "==> multiproc smoke, tcp (sanitize)"
+timeout 600 "${repo}/scripts/multiproc_smoke.sh" "${repo}/build-sanitize" 2 2 tcp
 
 run_config "${repo}/build-tsan" \
   "ThreadPool|Obs|CheckpointResume|Server|Integration|Chaos|Faults|GoldenRun" \

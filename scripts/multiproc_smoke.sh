@@ -1,17 +1,22 @@
 #!/usr/bin/env bash
-# Multi-process federation smoke (DESIGN.md §14): launch fedcav_daemon +
-# N fedcav_worker processes from the given build tree over a Unix socket
-# in a throwaway temp dir, and require every process to exit 0 and the
-# daemon to have written one CSV row per round. check.sh runs this under
-# `timeout` for both the plain and ASan trees, so a protocol hang fails
-# the gate instead of wedging it.
+# Multi-process federation smoke (DESIGN.md §14/§16): launch
+# fedcav_daemon + N fedcav_worker processes from the given build tree —
+# over a Unix socket in a throwaway temp dir, or over an authenticated
+# TCP loopback port with "tcp" mode — and require every process to exit
+# 0 and the daemon to have written one CSV row per round. TCP mode also
+# runs a wrong-token join against a fresh daemon and requires BOTH
+# processes to fail fast with nonzero exits (the abort_on_reject path).
+# check.sh runs this under `timeout` for both the plain and ASan trees,
+# so a protocol hang fails the gate instead of wedging it.
 #
-# Usage: scripts/multiproc_smoke.sh <build-dir> [clients] [rounds]
+# Usage: scripts/multiproc_smoke.sh <build-dir> [clients] [rounds] [mode]
+#   mode: "unix" (default) | "tcp"
 set -euo pipefail
 
-build_dir="${1:?usage: multiproc_smoke.sh <build-dir> [clients] [rounds]}"
+build_dir="${1:?usage: multiproc_smoke.sh <build-dir> [clients] [rounds] [unix|tcp]}"
 clients="${2:-4}"
 rounds="${3:-2}"
+mode="${4:-unix}"
 
 daemon="${build_dir}/tools/fedcav_daemon"
 worker="${build_dir}/tools/fedcav_worker"
@@ -30,14 +35,23 @@ cleanup() {
 }
 trap cleanup EXIT
 
-sock="${tmp}/fed.sock"
 csv="${tmp}/history.csv"
+endpoint=()
+if [[ "${mode}" == "tcp" ]]; then
+  # PID-derived loopback port: parallel smoke invocations must not
+  # collide, and SO_REUSEADDR covers TIME_WAIT between the happy-path
+  # run and the reject run below (which uses port+1).
+  port="$((20000 + $$ % 20000))"
+  endpoint=(--tcp "127.0.0.1:${port}" --auth-token smoke-token)
+else
+  endpoint=(--socket "${tmp}/fed.sock")
+fi
 
-"${daemon}" --socket "${sock}" --clients "${clients}" --rounds "${rounds}" \
+"${daemon}" "${endpoint[@]}" --clients "${clients}" --rounds "${rounds}" \
   --csv "${csv}" &
 pids+=("$!")
 for ((w = 1; w <= clients; ++w)); do
-  "${worker}" --socket "${sock}" --clients "${clients}" --rank "${w}" &
+  "${worker}" "${endpoint[@]}" --clients "${clients}" --rank "${w}" &
   pids+=("$!")
 done
 
@@ -56,4 +70,33 @@ row_count="$(grep -c '^[0-9]' "${csv}")"
   echo "multiproc_smoke: expected ${rounds} CSV rounds, got ${row_count}" >&2
   exit 1
 }
-echo "multiproc_smoke: ${clients} workers x ${rounds} rounds OK"
+
+if [[ "${mode}" == "tcp" ]]; then
+  # Wrong-token reject: the daemon must abort on the rejected join (not
+  # wait out its accept timeout) and the worker must fail its connect —
+  # both with nonzero exits.
+  reject_port="$((port + 1))"
+  "${daemon}" --tcp "127.0.0.1:${reject_port}" --auth-token right-token \
+    --clients 1 --rounds 1 &
+  daemon_pid="$!"
+  pids+=("${daemon_pid}")
+  "${worker}" --tcp "127.0.0.1:${reject_port}" --auth-token wrong-token \
+    --clients 1 --rank 1 &
+  worker_pid="$!"
+  pids+=("${worker_pid}")
+  daemon_status=0
+  worker_status=0
+  wait "${daemon_pid}" || daemon_status=$?
+  wait "${worker_pid}" || worker_status=$?
+  pids=()
+  [[ "${daemon_status}" -ne 0 ]] || {
+    echo "multiproc_smoke: daemon accepted a wrong-token join" >&2
+    exit 1
+  }
+  [[ "${worker_status}" -ne 0 ]] || {
+    echo "multiproc_smoke: worker joined with the wrong token" >&2
+    exit 1
+  }
+fi
+
+echo "multiproc_smoke: ${clients} workers x ${rounds} rounds (${mode}) OK"

@@ -19,7 +19,13 @@
 //   * resume: run checkpoint_round rounds, save, restore into a fresh
 //     simulation, finish — post-resume records, final weights, and the
 //     conservation invariant must match a run that never stopped
-//     ("resume_identity" / "resume_conservation").
+//     ("resume_identity" / "resume_conservation");
+//   * derived-seed schedule independence (DESIGN.md §16): for plans
+//     that sample or drop participants, a derived-mode replay whose
+//     per-client RNG streams were deliberately scrambled beforehand
+//     must be bit-identical to an unscrambled derived-mode replay —
+//     stream *history* may not leak into results
+//     ("derived_schedule_independence").
 //
 // The oracle is deterministic given the plan (per-link fault RNGs plus
 // an optionally pinned thread pool), so any failing plan is a committed
@@ -46,6 +52,10 @@ struct OracleOptions {
   /// is > 1, a forced single-shard replay must be bit-identical
   /// (deterministic CSV + final weights) to the sharded run.
   bool check_shard_parity = true;
+  /// Derived-seed schedule independence (DESIGN.md §16), gated on plans
+  /// with sampling or straggler drops — the configs whose legacy
+  /// streams advance on schedule-dependent orders.
+  bool check_derived_parity = true;
 };
 
 struct OracleResult {

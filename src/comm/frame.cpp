@@ -24,6 +24,23 @@ std::uint64_t read_u64_le(const std::uint8_t* p) {
 
 }  // namespace
 
+std::array<std::uint8_t, kAuthTokenBytes> encode_auth_token(const std::string& token) {
+  FEDCAV_REQUIRE(token.size() <= kAuthTokenBytes,
+                 "encode_auth_token: secret exceeds " +
+                     std::to_string(kAuthTokenBytes) + " bytes");
+  std::array<std::uint8_t, kAuthTokenBytes> out{};
+  std::memcpy(out.data(), token.data(), token.size());
+  return out;
+}
+
+bool auth_tokens_equal(const std::array<std::uint8_t, kAuthTokenBytes>& a,
+                       const std::array<std::uint8_t, kAuthTokenBytes>& b) {
+  // Accumulate the xor of every byte pair; no data-dependent branches.
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < kAuthTokenBytes; ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
 ByteBuffer HelloMsg::encode() const {
   ByteBuffer buf;
   write_u64_at(buf, kHelloMagic);
@@ -31,17 +48,19 @@ ByteBuffer HelloMsg::encode() const {
                         static_cast<std::uint64_t>(proto_min));
   write_u64_at(buf, requested_rank);
   write_u64_at(buf, 0);  // reserved
+  buf.insert(buf.end(), auth_token.begin(), auth_token.end());
   return buf;
 }
 
 std::optional<HelloMsg> HelloMsg::decode(const ByteBuffer& wire) {
-  if (wire.size() != kHandshakeBytes) return std::nullopt;
+  if (wire.size() != kHelloBytes) return std::nullopt;
   if (read_u64_le(wire.data()) != kHelloMagic) return std::nullopt;
   const std::uint64_t versions = read_u64_le(wire.data() + 8);
   HelloMsg msg;
   msg.proto_min = static_cast<std::uint32_t>(versions & 0xffffffffULL);
   msg.proto_max = static_cast<std::uint32_t>(versions >> 32);
   msg.requested_rank = read_u64_le(wire.data() + 16);
+  std::memcpy(msg.auth_token.data(), wire.data() + 32, kAuthTokenBytes);
   if (msg.proto_min > msg.proto_max) return std::nullopt;
   return msg;
 }
@@ -57,11 +76,11 @@ ByteBuffer AcceptMsg::encode() const {
 }
 
 std::optional<AcceptMsg> AcceptMsg::decode(const ByteBuffer& wire) {
-  if (wire.size() != kHandshakeBytes) return std::nullopt;
+  if (wire.size() != kAcceptBytes) return std::nullopt;
   if (read_u64_le(wire.data()) != kAcceptMagic) return std::nullopt;
   const std::uint64_t word = read_u64_le(wire.data() + 8);
   const std::uint64_t status = word & 0xffffffffULL;
-  if (status > static_cast<std::uint64_t>(HandshakeStatus::kMalformedHello)) {
+  if (status > static_cast<std::uint64_t>(HandshakeStatus::kAuthRejected)) {
     return std::nullopt;
   }
   AcceptMsg msg;

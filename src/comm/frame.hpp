@@ -17,14 +17,20 @@
 // The handshake is a fixed-size raw exchange (it happens before any
 // protocol version is agreed, so it cannot ride the versioned frame
 // stream — the Nix daemon/worker split does the same):
-//   worker -> daemon : HELLO  { magic, proto_min, proto_max, rank }
+//   worker -> daemon : HELLO  { magic, proto_min, proto_max, rank, token }
 //   daemon -> worker : ACCEPT { magic, status, proto, rank, endpoints }
 // The daemon picks min(its max, the worker's max) as the session
 // protocol version, rejecting when the ranges do not overlap. A
 // requested rank of kAnyRank lets the daemon assign the lowest free
-// worker rank.
+// worker rank. The HELLO carries a fixed 32-byte zero-padded auth
+// token; the daemon compares it in constant time against its own and
+// answers kAuthRejected on mismatch — after the version check (so a
+// version-skewed worker still learns the real reason) but BEFORE any
+// rank is assigned, so an unauthenticated probe can never consume a
+// federation slot.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -42,8 +48,23 @@ constexpr std::uint64_t kHelloMagic = 0xfedca7da30c7e110ULL;
 constexpr std::uint64_t kAcceptMagic = 0xfedca7da30acce97ULL;
 constexpr std::uint64_t kAnyRank = ~std::uint64_t{0};
 
-/// Fixed 32-byte handshake images (4 little-endian u64 slots each).
-constexpr std::size_t kHandshakeBytes = 32;
+/// Fixed handshake images: the HELLO is 4 little-endian u64 slots plus
+/// the 32-byte auth-token field; the ACCEPT is 4 u64 slots.
+constexpr std::size_t kAuthTokenBytes = 32;
+constexpr std::size_t kHelloBytes = 64;
+constexpr std::size_t kAcceptBytes = 32;
+
+/// Zero-pad a secret string into the fixed HELLO token field. Throws
+/// fedcav::Error when the secret exceeds kAuthTokenBytes (silent
+/// truncation would make two distinct secrets compare equal). The empty
+/// string is the "no auth" token both sides default to.
+std::array<std::uint8_t, kAuthTokenBytes> encode_auth_token(const std::string& token);
+
+/// Constant-time token equality: the time taken is independent of where
+/// the first mismatching byte sits, so a remote cannot binary-search the
+/// secret one byte at a time off the reject latency.
+bool auth_tokens_equal(const std::array<std::uint8_t, kAuthTokenBytes>& a,
+                       const std::array<std::uint8_t, kAuthTokenBytes>& b);
 
 struct HelloMsg {
   std::uint32_t proto_min = kProtocolVersionMin;
@@ -51,6 +72,9 @@ struct HelloMsg {
   /// Worker rank to join as (1-based; 0 is the daemon), or kAnyRank to
   /// let the daemon pick.
   std::uint64_t requested_rank = kAnyRank;
+  /// Zero-padded shared secret (see encode_auth_token). All-zero = the
+  /// empty token.
+  std::array<std::uint8_t, kAuthTokenBytes> auth_token{};
 
   ByteBuffer encode() const;
   /// nullopt on bad magic or short buffer.
@@ -63,6 +87,7 @@ enum class HandshakeStatus : std::uint32_t {
   kRankUnavailable = 2,
   kFederationFull = 3,
   kMalformedHello = 4,
+  kAuthRejected = 5,
 };
 
 struct AcceptMsg {

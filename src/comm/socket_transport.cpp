@@ -4,7 +4,6 @@
 #include <cerrno>
 #include <cstring>
 
-#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -16,38 +15,6 @@ namespace fedcav::comm {
 
 namespace {
 
-/// Close-on-scope-exit guard so every handshake exit path releases the
-/// descriptor (the fd-leak audit in ISSUE 8 satellite 3).
-struct UniqueFd {
-  int fd = -1;
-  UniqueFd() = default;
-  explicit UniqueFd(int f) : fd(f) {}
-  UniqueFd(const UniqueFd&) = delete;
-  UniqueFd& operator=(const UniqueFd&) = delete;
-  UniqueFd(UniqueFd&& other) noexcept : fd(other.fd) { other.fd = -1; }
-  UniqueFd& operator=(UniqueFd&& other) noexcept {
-    if (this != &other) {
-      reset();
-      fd = other.fd;
-      other.fd = -1;
-    }
-    return *this;
-  }
-  ~UniqueFd() { reset(); }
-  void reset() {
-    if (fd >= 0) {
-      while (::close(fd) < 0 && errno == EINTR) {
-      }
-      fd = -1;
-    }
-  }
-  int release() {
-    int f = fd;
-    fd = -1;
-    return f;
-  }
-};
-
 sockaddr_un make_addr(const std::string& path) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -57,40 +24,9 @@ sockaddr_un make_addr(const std::string& path) {
   return addr;
 }
 
-void sleep_ms(int ms) { ::poll(nullptr, 0, ms); }
-
-const char* status_name(HandshakeStatus status) {
-  switch (status) {
-    case HandshakeStatus::kOk: return "ok";
-    case HandshakeStatus::kVersionMismatch: return "version mismatch";
-    case HandshakeStatus::kRankUnavailable: return "rank unavailable";
-    case HandshakeStatus::kFederationFull: return "federation full";
-    case HandshakeStatus::kMalformedHello: return "malformed hello";
-  }
-  return "unknown";
-}
-
-/// Best-effort status reply on a handshake reject path; the peer may
-/// already be gone, which is fine — we close either way.
-void send_accept(int fd, const AcceptMsg& msg) {
-  const ByteBuffer wire = msg.encode();
-  (void)write_all(fd, wire.data(), wire.size());
-}
-
 }  // namespace
 
-SocketTransport::SocketTransport(SocketTransportConfig config,
-                                 std::size_t num_endpoints,
-                                 std::size_t local_rank, std::uint32_t proto)
-    : config_(config),
-      num_endpoints_(num_endpoints),
-      local_rank_(local_rank),
-      proto_(proto),
-      peers_(num_endpoints),
-      stats_(num_endpoints) {}
-
 SocketTransport::~SocketTransport() {
-  for (Peer& peer : peers_) close_peer(peer);
   if (!unlink_path_.empty()) ::unlink(unlink_path_.c_str());
 }
 
@@ -100,7 +36,7 @@ std::unique_ptr<SocketTransport> SocketTransport::serve(
   FEDCAV_REQUIRE(num_workers >= 1, "SocketTransport::serve: no workers");
   const std::size_t num_endpoints = num_workers + 1;
 
-  UniqueFd listener(::socket(AF_UNIX, SOCK_STREAM, 0));
+  detail::UniqueFd listener(::socket(AF_UNIX, SOCK_STREAM, 0));
   FEDCAV_CHECK(listener.fd >= 0, "SocketTransport::serve: socket() failed");
   const sockaddr_un addr = make_addr(path);
   ::unlink(path.c_str());  // stale socket file from a crashed run
@@ -114,81 +50,8 @@ std::unique_ptr<SocketTransport> SocketTransport::serve(
   auto transport = std::unique_ptr<SocketTransport>(new SocketTransport(
       config, num_endpoints, /*local_rank=*/0, kProtocolVersion));
   transport->unlink_path_ = path;
-
-  std::size_t joined = 0;
-  Stopwatch watch;
-  while (joined < num_workers) {
-    const double remaining = config.accept_timeout_s - watch.seconds();
-    FEDCAV_CHECK(remaining > 0.0,
-                 "SocketTransport::serve: timed out with " +
-                     std::to_string(joined) + "/" +
-                     std::to_string(num_workers) + " workers joined");
-    struct pollfd pfd{listener.fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining * 1000.0) + 1);
-    if (ready < 0) {
-      FEDCAV_CHECK(errno == EINTR, "SocketTransport::serve: poll failed");
-      continue;
-    }
-    if (ready == 0) continue;
-
-    UniqueFd conn(::accept(listener.fd, nullptr, nullptr));
-    if (conn.fd < 0) continue;  // transient accept failure; keep listening
-
-    // Read the fixed-size HELLO with whatever budget is left. A peer
-    // that stalls or sends garbage is rejected and closed — it never
-    // consumes a rank, and `conn` guarantees the fd is released.
-    ByteBuffer hello_wire(kHandshakeBytes);
-    const IoStatus io =
-        read_exact(conn.fd, hello_wire.data(), hello_wire.size(),
-                   std::max(0.1, config.accept_timeout_s - watch.seconds()));
-    if (io != IoStatus::kOk) continue;
-    const std::optional<HelloMsg> hello = HelloMsg::decode(hello_wire);
-    if (!hello.has_value()) {
-      send_accept(conn.fd, AcceptMsg{HandshakeStatus::kMalformedHello,
-                                     kProtocolVersion, 0, num_endpoints});
-      continue;
-    }
-
-    // Version negotiation: speak the newest version both sides support.
-    const std::uint32_t neg = std::min(kProtocolVersion, hello->proto_max);
-    if (neg < std::max(kProtocolVersionMin, hello->proto_min)) {
-      send_accept(conn.fd, AcceptMsg{HandshakeStatus::kVersionMismatch,
-                                     kProtocolVersion, 0, num_endpoints});
-      continue;
-    }
-
-    // Rank assignment: honor an explicit request if that slot is free;
-    // kAnyRank takes the lowest free worker rank.
-    std::size_t rank = 0;
-    if (hello->requested_rank == kAnyRank) {
-      for (std::size_t r = 1; r < num_endpoints; ++r) {
-        if (transport->peers_[r].fd < 0) {
-          rank = r;
-          break;
-        }
-      }
-      if (rank == 0) {
-        send_accept(conn.fd, AcceptMsg{HandshakeStatus::kFederationFull,
-                                       kProtocolVersion, 0, num_endpoints});
-        continue;
-      }
-    } else {
-      const std::uint64_t req = hello->requested_rank;
-      if (req == 0 || req >= num_endpoints || transport->peers_[req].fd >= 0) {
-        send_accept(conn.fd, AcceptMsg{HandshakeStatus::kRankUnavailable,
-                                       kProtocolVersion, 0, num_endpoints});
-        continue;
-      }
-      rank = static_cast<std::size_t>(req);
-    }
-
-    send_accept(conn.fd,
-                AcceptMsg{HandshakeStatus::kOk, neg, rank, num_endpoints});
-    Peer& peer = transport->peers_[rank];
-    peer.fd = conn.release();
-    peer.decoder = std::make_unique<FrameDecoder>(config.max_frame_bytes);
-    ++joined;
-  }
+  transport->accept_workers(listener.fd, num_workers,
+                            "SocketTransport::serve");
   return transport;
 }
 
@@ -197,11 +60,12 @@ std::unique_ptr<SocketTransport> SocketTransport::connect(
     SocketTransportConfig config) {
   const sockaddr_un addr = make_addr(path);
   Stopwatch watch;
-  UniqueFd conn;
+  detail::UniqueFd conn;
+  detail::Backoff backoff;
   for (;;) {
     FEDCAV_CHECK(watch.seconds() < config.connect_timeout_s,
                  "SocketTransport::connect: timed out reaching " + path);
-    conn = UniqueFd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    conn = detail::UniqueFd(::socket(AF_UNIX, SOCK_STREAM, 0));
     FEDCAV_CHECK(conn.fd >= 0, "SocketTransport::connect: socket() failed");
     if (::connect(conn.fd, reinterpret_cast<const sockaddr*>(&addr),
                   sizeof(addr)) == 0) {
@@ -210,215 +74,24 @@ std::unique_ptr<SocketTransport> SocketTransport::connect(
     const int err = errno;
     conn.reset();
     // The daemon may not have bound yet (ENOENT) or may still be inside
-    // listen() setup (ECONNREFUSED) — both are join-order races, retry.
+    // listen() setup (ECONNREFUSED) — both are join-order races. Retry
+    // with capped exponential backoff so a daemon that never comes up
+    // is probed gently until the deadline, not hammered.
     FEDCAV_CHECK(err == ENOENT || err == ECONNREFUSED || err == EINTR ||
                      err == EAGAIN,
                  "SocketTransport::connect: connect(" + path +
                      ") failed: " + std::strerror(err));
-    sleep_ms(50);
+    backoff.wait();
   }
 
-  HelloMsg hello;
-  hello.requested_rank = requested_rank;
-  const ByteBuffer hello_wire = hello.encode();
-  FEDCAV_CHECK(write_all(conn.fd, hello_wire.data(), hello_wire.size()) ==
-                   IoStatus::kOk,
-               "SocketTransport::connect: failed to send HELLO");
-
-  ByteBuffer accept_wire(kHandshakeBytes);
-  FEDCAV_CHECK(
-      read_exact(conn.fd, accept_wire.data(), accept_wire.size(),
-                 std::max(0.1, config.connect_timeout_s - watch.seconds())) ==
-          IoStatus::kOk,
-      "SocketTransport::connect: no ACCEPT from daemon");
-  const std::optional<AcceptMsg> accept = AcceptMsg::decode(accept_wire);
-  FEDCAV_CHECK(accept.has_value(),
-               "SocketTransport::connect: malformed ACCEPT");
-  FEDCAV_CHECK(accept->status == HandshakeStatus::kOk,
-               std::string("SocketTransport::connect: daemon rejected join: ") +
-                   status_name(accept->status));
-  FEDCAV_CHECK(accept->rank >= 1 && accept->rank < accept->num_endpoints,
-               "SocketTransport::connect: daemon assigned invalid rank");
-
+  JoinResult join = join_handshake(
+      std::move(conn), requested_rank, config,
+      config.connect_timeout_s - watch.seconds(), "SocketTransport::connect");
   auto transport = std::unique_ptr<SocketTransport>(new SocketTransport(
-      config, static_cast<std::size_t>(accept->num_endpoints),
-      static_cast<std::size_t>(accept->rank), accept->proto));
-  Peer& daemon = transport->peers_[0];
-  daemon.fd = conn.release();
-  daemon.decoder = std::make_unique<FrameDecoder>(config.max_frame_bytes);
+      config, static_cast<std::size_t>(join.accept.num_endpoints),
+      static_cast<std::size_t>(join.accept.rank), join.accept.proto));
+  transport->adopt_peer(0, join.fd.release());
   return transport;
-}
-
-void SocketTransport::close_peer(Peer& peer) {
-  if (peer.fd >= 0) {
-    while (::close(peer.fd) < 0 && errno == EINTR) {
-    }
-    peer.fd = -1;
-  }
-  peer.closed = true;
-}
-
-void SocketTransport::send(std::size_t src, std::size_t dst,
-                           const Envelope& env) {
-  FEDCAV_REQUIRE(src == local_rank_,
-                 "SocketTransport::send: src must be the local rank");
-  FEDCAV_REQUIRE(dst < num_endpoints_ && dst != local_rank_,
-                 "SocketTransport::send: bad destination");
-  Peer& peer = peers_[dst];
-  FEDCAV_REQUIRE(peer.fd >= 0 || peer.closed,
-                 "SocketTransport::send: no channel to rank " +
-                     std::to_string(dst));
-
-  const ByteBuffer wire = env.encode();
-  // Meter the attempt regardless of delivery — same rule as the
-  // in-memory fabric, so bytes_up/bytes_down stay backend-independent.
-  TrafficStats& st = stats_[src];
-  st.messages_sent += 1;
-  st.bytes_sent += wire.size();
-  st.simulated_seconds += model_transfer_seconds(wire.size());
-
-  if (peer.closed) return;  // dead peer: metered, silently dropped
-  ByteBuffer framed;
-  framed.reserve(wire.size() + 4);
-  append_frame(framed, wire);
-  if (write_all(peer.fd, framed.data(), framed.size()) != IoStatus::kOk) {
-    close_peer(peer);
-  }
-}
-
-void SocketTransport::ingest(std::size_t rank, Peer& peer) {
-  if (peer.fd < 0) return;
-  std::uint8_t buf[65536];
-  for (;;) {
-    const ssize_t n = ::recv(peer.fd, buf, sizeof(buf), MSG_DONTWAIT);
-    if (n > 0) {
-      if (!peer.decoder->push(buf, static_cast<std::size_t>(n))) {
-        close_peer(peer);  // hostile length prefix — drop the connection
-        break;
-      }
-      if (static_cast<std::size_t>(n) < sizeof(buf)) break;
-      continue;
-    }
-    if (n == 0) {  // orderly EOF: peer exited
-      close_peer(peer);
-      break;
-    }
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    close_peer(peer);  // ECONNRESET and friends
-    break;
-  }
-  while (peer.decoder && peer.decoder->has_frame()) {
-    ByteBuffer frame = *peer.decoder->next_frame();
-    // Peer-send metering happens here, at frame completion (the only
-    // point where this endpoint can observe the peer's send).
-    TrafficStats& st = stats_[rank];
-    st.messages_sent += 1;
-    st.bytes_sent += frame.size();
-    st.simulated_seconds += model_transfer_seconds(frame.size());
-    peer.queue.push_back(std::move(frame));
-  }
-}
-
-void SocketTransport::poll(double timeout_s) {
-  std::vector<struct pollfd> pfds;
-  std::vector<std::size_t> ranks;
-  for (std::size_t r = 0; r < num_endpoints_; ++r) {
-    if (peers_[r].fd >= 0) {
-      pfds.push_back({peers_[r].fd, POLLIN, 0});
-      ranks.push_back(r);
-    }
-  }
-  if (pfds.empty()) {
-    sleep_ms(static_cast<int>(timeout_s * 1000.0));
-    return;
-  }
-  const int ready = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
-                           static_cast<int>(timeout_s * 1000.0));
-  if (ready <= 0) return;
-  for (std::size_t i = 0; i < pfds.size(); ++i) {
-    if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
-      ingest(ranks[i], peers_[ranks[i]]);
-    }
-  }
-}
-
-std::optional<ByteBuffer> SocketTransport::try_recv_wire(std::size_t dst,
-                                                         std::size_t src) {
-  FEDCAV_REQUIRE(dst == local_rank_,
-                 "SocketTransport::try_recv_wire: dst must be the local rank");
-  FEDCAV_REQUIRE(src < num_endpoints_ && src != local_rank_,
-                 "SocketTransport::try_recv_wire: bad source");
-  Peer& peer = peers_[src];
-  if (peer.queue.empty()) ingest(src, peer);
-  if (peer.queue.empty()) return std::nullopt;
-  ByteBuffer wire = std::move(peer.queue.front());
-  peer.queue.pop_front();
-  return wire;
-}
-
-std::optional<ByteBuffer> SocketTransport::try_recv_any_wire(
-    std::size_t dst, std::size_t* src_out) {
-  FEDCAV_REQUIRE(dst == local_rank_,
-                 "SocketTransport::try_recv_any_wire: dst must be local rank");
-  // Same ascending-rank scan the in-memory fabric documents: lowest
-  // source rank with a completed frame wins, per-source order is FIFO.
-  for (std::size_t r = 0; r < num_endpoints_; ++r) {
-    if (r == local_rank_) continue;
-    Peer& peer = peers_[r];
-    if (peer.queue.empty()) ingest(r, peer);
-    if (!peer.queue.empty()) {
-      ByteBuffer wire = std::move(peer.queue.front());
-      peer.queue.pop_front();
-      if (src_out != nullptr) *src_out = r;
-      return wire;
-    }
-  }
-  return std::nullopt;
-}
-
-void SocketTransport::add_link_delay(std::size_t src, std::size_t dst,
-                                     double seconds) {
-  FEDCAV_REQUIRE(src < num_endpoints_ && dst < num_endpoints_,
-                 "SocketTransport::add_link_delay: bad endpoint");
-  stats_[src].simulated_seconds += seconds;
-}
-
-TrafficStats SocketTransport::stats(std::size_t endpoint) const {
-  FEDCAV_REQUIRE(endpoint < num_endpoints_,
-                 "SocketTransport::stats: bad endpoint");
-  return stats_[endpoint];
-}
-
-TrafficStats SocketTransport::total_stats() const {
-  TrafficStats total;
-  for (const TrafficStats& st : stats_) {
-    total.messages_sent += st.messages_sent;
-    total.bytes_sent += st.bytes_sent;
-    total.simulated_seconds += st.simulated_seconds;
-  }
-  return total;
-}
-
-double SocketTransport::model_transfer_seconds(std::size_t bytes) const {
-  return config_.latency_s +
-         static_cast<double>(bytes) / config_.bandwidth_bytes_per_s;
-}
-
-std::size_t SocketTransport::pending_messages() const {
-  std::size_t pending = 0;
-  for (const Peer& peer : peers_) pending += peer.queue.size();
-  return pending;
-}
-
-bool SocketTransport::peer_closed(std::size_t rank) const {
-  FEDCAV_REQUIRE(rank < num_endpoints_ && rank != local_rank_,
-                 "SocketTransport::peer_closed: bad rank");
-  const Peer& peer = peers_[rank];
-  if (!peer.closed) return false;
-  // Bytes that arrived before the close are still deliverable; the peer
-  // only counts as gone once nothing more can ever be popped.
-  return peer.queue.empty() && (!peer.decoder || !peer.decoder->has_frame());
 }
 
 }  // namespace fedcav::comm

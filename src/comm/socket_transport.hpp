@@ -1,72 +1,41 @@
-// One endpoint's view of a Unix-domain-socket federation (DESIGN.md §14).
+// Unix-domain-socket backend of the stream transport (DESIGN.md §14).
 //
-// Topology: rank 0 (the daemon) owns the listening socket and holds one
-// stream connection per worker; workers (ranks 1..N-1) hold a single
-// connection to the daemon. There are no worker-to-worker links — the
-// FedCav round protocol is strictly hub-and-spoke, so the transport is
-// too. Joining runs the fixed-size HELLO/ACCEPT handshake from
-// src/comm/frame.hpp (magic + version-range negotiation + rank
-// assignment); after that, every message is a length-prefixed Envelope
-// wire image.
-//
-// Unlike InMemoryNetwork, which simulates both ends of every link, a
-// SocketTransport is *local*: try_recv_wire(dst, ...) requires dst to be
-// this process's rank, and send(src, ...) requires src to be it. Byte
-// accounting follows the Transport contract — own sends are metered at
-// send time, each peer's sends at frame-receive time, both over the
-// Envelope image size only (the 4-byte length prefix is framing, not
-// payload), so a drained federation reports the same bytes_up/bytes_down
-// the in-memory fabric would for the identical message sequence.
-//
-// Failure model: a peer that dies mid-stream surfaces as EOF (or
-// EPIPE/ECONNRESET on send), never as an exception from the transport —
-// the peer is marked closed and the round loop converts peer_closed()
-// into a dropout / upload failure. A peer that sends a hostile length
-// prefix (> max_frame_bytes) or garbage is disconnected the same way.
-// Instances are not thread-safe; each process drives its transport from
-// one thread.
+// All protocol behavior — framing, HELLO/ACCEPT handshake with version
+// negotiation + auth, metering, the poll/ingest loop, and the failure
+// model — lives in comm::StreamTransport; this class only creates,
+// binds, and connects AF_UNIX sockets (and unlinks the socket file the
+// daemon owned). See stream_transport.hpp for the contracts.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
-#include <vector>
 
-#include "src/comm/frame.hpp"
-#include "src/comm/transport.hpp"
+#include "src/comm/stream_transport.hpp"
 
 namespace fedcav::comm {
 
-struct SocketTransportConfig {
-  /// Upper bound a received length prefix is validated against before
-  /// any allocation. Must comfortably exceed the encoded dense model.
-  std::size_t max_frame_bytes = 64ull * 1024 * 1024;
-  /// Parameters of the deterministic transfer-time model, mirrored from
-  /// NetworkConfig so simulated-deadline accounting agrees across
-  /// backends.
-  double latency_s = 0.01;
-  double bandwidth_bytes_per_s = 1.25e6;
-  /// serve(): total budget for all workers to join.
-  double accept_timeout_s = 30.0;
-  /// connect(): budget to reach the daemon (retries while the socket
-  /// file does not exist yet) plus complete the handshake.
-  double connect_timeout_s = 30.0;
-};
+/// Historical name, kept for the call sites that predate the TCP
+/// backend: the config is backend-independent.
+using SocketTransportConfig = StreamTransportConfig;
 
-class SocketTransport final : public Transport {
+class SocketTransport final : public StreamTransport {
  public:
   /// Daemon side: bind `path`, accept + handshake until `num_workers`
   /// workers have joined (ranks 1..num_workers), then stop listening.
   /// Throws fedcav::Error if the federation does not fill in time.
   /// Connections that fail the handshake are rejected with a status
-  /// ACCEPT and closed; they do not consume a rank.
+  /// ACCEPT, logged, and closed; they do not consume a rank (with
+  /// config.abort_on_reject the serve throws instead — see
+  /// StreamTransportConfig).
   static std::unique_ptr<SocketTransport> serve(const std::string& path,
                                                 std::size_t num_workers,
                                                 SocketTransportConfig config);
 
-  /// Worker side: connect to `path` (retrying until the daemon appears),
-  /// request `requested_rank` (or kAnyRank), and complete the handshake.
+  /// Worker side: connect to `path` (retrying with capped exponential
+  /// backoff — 50 ms doubling to 1 s — under the connect_timeout_s
+  /// deadline while the daemon has not bound/listened yet), request
+  /// `requested_rank` (or kAnyRank), and complete the handshake.
   /// Throws fedcav::Error on timeout or a rejecting ACCEPT.
   static std::unique_ptr<SocketTransport> connect(const std::string& path,
                                                   std::uint64_t requested_rank,
@@ -74,53 +43,12 @@ class SocketTransport final : public Transport {
 
   ~SocketTransport() override;
 
-  SocketTransport(const SocketTransport&) = delete;
-  SocketTransport& operator=(const SocketTransport&) = delete;
-
-  std::size_t local_rank() const { return local_rank_; }
-  std::uint32_t protocol_version() const { return proto_; }
-
-  std::size_t num_endpoints() const override { return num_endpoints_; }
-  void begin_round(std::size_t round) override { current_round_ = round; }
-  void send(std::size_t src, std::size_t dst, const Envelope& env) override;
-  std::optional<ByteBuffer> try_recv_wire(std::size_t dst,
-                                          std::size_t src) override;
-  std::optional<ByteBuffer> try_recv_any_wire(std::size_t dst,
-                                              std::size_t* src_out) override;
-  void add_link_delay(std::size_t src, std::size_t dst,
-                      double seconds) override;
-  TrafficStats stats(std::size_t endpoint) const override;
-  TrafficStats total_stats() const override;
-  double model_transfer_seconds(std::size_t bytes) const override;
-  std::size_t pending_messages() const override;
-  bool peer_closed(std::size_t rank) const override;
-  void poll(double timeout_s) override;
-
  private:
-  struct Peer {
-    int fd = -1;  // -1 = no channel (never connected, or closed)
-    bool closed = false;
-    std::unique_ptr<FrameDecoder> decoder;
-    std::deque<ByteBuffer> queue;  // completed frames awaiting recv
-  };
-
   SocketTransport(SocketTransportConfig config, std::size_t num_endpoints,
-                  std::size_t local_rank, std::uint32_t proto);
+                  std::size_t local_rank, std::uint32_t proto)
+      : StreamTransport(std::move(config), num_endpoints, local_rank, proto) {}
 
-  /// Drain whatever is readable on `peer`'s fd into its decoder; move
-  /// completed frames into its queue and meter them. EOF, a read error,
-  /// or a decoder failure closes the channel.
-  void ingest(std::size_t rank, Peer& peer);
-  void close_peer(Peer& peer);
-
-  SocketTransportConfig config_;
-  std::size_t num_endpoints_;
-  std::size_t local_rank_;
-  std::uint32_t proto_;
-  std::size_t current_round_ = 0;
-  std::vector<Peer> peers_;          // indexed by rank; local slot unused
-  std::vector<TrafficStats> stats_;  // per endpoint, Transport metering rule
-  std::string unlink_path_;          // daemon only: socket file to remove
+  std::string unlink_path_;  // daemon only: socket file to remove
 };
 
 }  // namespace fedcav::comm

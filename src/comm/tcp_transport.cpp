@@ -1,0 +1,248 @@
+#include "src/comm/tcp_transport.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/utils/error.hpp"
+#include "src/utils/timer.hpp"
+
+namespace fedcav::comm {
+
+namespace {
+
+/// getaddrinfo result owner.
+struct AddrInfo {
+  addrinfo* head = nullptr;
+  ~AddrInfo() {
+    if (head != nullptr) ::freeaddrinfo(head);
+  }
+};
+
+/// Resolve host:port for either side. `passive` asks for bindable
+/// addresses (daemon listener). Throws on resolution failure.
+AddrInfo resolve(const HostPort& hp, bool passive, const char* what) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_protocol = IPPROTO_TCP;
+  if (passive) hints.ai_flags = AI_PASSIVE;
+  AddrInfo out;
+  const int rc =
+      ::getaddrinfo(hp.host.c_str(), hp.port.c_str(), &hints, &out.head);
+  FEDCAV_CHECK(rc == 0, std::string(what) + ": cannot resolve " + hp.host +
+                            ":" + hp.port + ": " + ::gai_strerror(rc));
+  FEDCAV_CHECK(out.head != nullptr,
+               std::string(what) + ": resolver returned no addresses");
+  return out;
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Best-effort: TCP_NODELAY on a non-TCP fd (or an exotic stack) just
+  // fails; the transport is still correct, only chattier on the wire.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+bool set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, next) == 0;
+}
+
+/// One nonblocking connect attempt against `ai`, waiting up to
+/// `budget_s` for completion. Returns the connected fd, or an empty
+/// UniqueFd with `retryable` telling the caller whether backing off and
+/// trying again makes sense (refused / timed out / unreachable) or the
+/// failure is permanent for this address.
+detail::UniqueFd try_connect_once(const addrinfo& ai, double budget_s,
+                                  bool* retryable) {
+  *retryable = false;
+  detail::UniqueFd fd(
+      ::socket(ai.ai_family, ai.ai_socktype, ai.ai_protocol));
+  if (fd.fd < 0) return {};
+  if (!set_nonblocking(fd.fd, true)) return {};
+
+  if (::connect(fd.fd, ai.ai_addr, ai.ai_addrlen) != 0) {
+    if (errno != EINPROGRESS && errno != EINTR) {
+      *retryable = errno == ECONNREFUSED || errno == EAGAIN ||
+                   errno == ENETUNREACH || errno == EHOSTUNREACH ||
+                   errno == ETIMEDOUT;
+      return {};
+    }
+    // In-flight SYN: poll for writability, then read the final verdict
+    // out of SO_ERROR (the poll alone cannot distinguish success from a
+    // refused connection — both wake the fd).
+    Stopwatch watch;
+    for (;;) {
+      const double remaining = budget_s - watch.seconds();
+      if (remaining <= 0.0) {
+        *retryable = true;  // daemon may still be coming up
+        return {};
+      }
+      struct pollfd pfd{fd.fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(remaining * 1000.0) + 1);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return {};
+      }
+      if (ready == 0) continue;  // re-check the deadline
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) return {};
+    if (err != 0) {
+      *retryable = err == ECONNREFUSED || err == EAGAIN ||
+                   err == ENETUNREACH || err == EHOSTUNREACH ||
+                   err == ETIMEDOUT;
+      return {};
+    }
+  }
+
+  // Connected: back to blocking for the handshake + frame stream (the
+  // transport's ingest path uses MSG_DONTWAIT explicitly where needed).
+  if (!set_nonblocking(fd.fd, false)) return {};
+  return fd;
+}
+
+}  // namespace
+
+HostPort parse_host_port(const std::string& address) {
+  FEDCAV_REQUIRE(!address.empty(), "parse_host_port: empty address");
+  HostPort hp;
+  if (address.front() == '[') {
+    // Bracketed IPv6: [::1]:9000
+    const std::size_t close = address.find(']');
+    FEDCAV_REQUIRE(close != std::string::npos,
+                   "parse_host_port: unbalanced '[' in " + address);
+    FEDCAV_REQUIRE(close + 1 < address.size() && address[close + 1] == ':',
+                   "parse_host_port: missing :port after ']' in " + address);
+    hp.host = address.substr(1, close - 1);
+    hp.port = address.substr(close + 2);
+  } else {
+    const std::size_t colon = address.rfind(':');
+    FEDCAV_REQUIRE(colon != std::string::npos,
+                   "parse_host_port: missing :port in " + address);
+    FEDCAV_REQUIRE(address.find(':') == colon,
+                   "parse_host_port: bare IPv6 address needs brackets: " +
+                       address);
+    hp.host = address.substr(0, colon);
+    hp.port = address.substr(colon + 1);
+  }
+  FEDCAV_REQUIRE(!hp.host.empty(), "parse_host_port: empty host in " + address);
+  FEDCAV_REQUIRE(!hp.port.empty(), "parse_host_port: empty port in " + address);
+  for (char c : hp.port) {
+    FEDCAV_REQUIRE(c >= '0' && c <= '9',
+                   "parse_host_port: non-numeric port in " + address);
+  }
+  return hp;
+}
+
+void TcpTransport::configure_channel_fd(int fd) { set_nodelay(fd); }
+
+std::unique_ptr<TcpTransport> TcpTransport::serve(
+    const std::string& address, std::size_t num_workers,
+    StreamTransportConfig config) {
+  FEDCAV_REQUIRE(num_workers >= 1, "TcpTransport::serve: no workers");
+  const std::size_t num_endpoints = num_workers + 1;
+  const HostPort hp = parse_host_port(address);
+  const AddrInfo addrs = resolve(hp, /*passive=*/true, "TcpTransport::serve");
+
+  detail::UniqueFd listener;
+  std::string last_error = "no addresses tried";
+  for (const addrinfo* ai = addrs.head; ai != nullptr; ai = ai->ai_next) {
+    detail::UniqueFd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (fd.fd < 0) {
+      last_error = std::string("socket(): ") + std::strerror(errno);
+      continue;
+    }
+    // Quick daemon restarts must not trip over the previous run's
+    // TIME_WAIT sockets.
+    const int one = 1;
+    (void)::setsockopt(fd.fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd.fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+      last_error = std::string("bind(): ") + std::strerror(errno);
+      continue;
+    }
+    if (::listen(fd.fd, static_cast<int>(num_workers) + 4) != 0) {
+      last_error = std::string("listen(): ") + std::strerror(errno);
+      continue;
+    }
+    listener = std::move(fd);
+    break;
+  }
+  FEDCAV_CHECK(listener.fd >= 0, "TcpTransport::serve: cannot listen on " +
+                                     address + ": " + last_error);
+
+  // Read the bound port back (resolves a port-0 request for the tests).
+  sockaddr_storage bound{};
+  socklen_t bound_len = sizeof(bound);
+  std::uint16_t port = 0;
+  if (::getsockname(listener.fd, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    if (bound.ss_family == AF_INET) {
+      port = ntohs(reinterpret_cast<const sockaddr_in&>(bound).sin_port);
+    } else if (bound.ss_family == AF_INET6) {
+      port = ntohs(reinterpret_cast<const sockaddr_in6&>(bound).sin6_port);
+    }
+  }
+
+  auto transport = std::unique_ptr<TcpTransport>(new TcpTransport(
+      config, num_endpoints, /*local_rank=*/0, kProtocolVersion));
+  transport->local_port_ = port;
+  transport->accept_workers(listener.fd, num_workers, "TcpTransport::serve");
+  return transport;
+}
+
+std::unique_ptr<TcpTransport> TcpTransport::connect(
+    const std::string& address, std::uint64_t requested_rank,
+    StreamTransportConfig config) {
+  const HostPort hp = parse_host_port(address);
+  const AddrInfo addrs =
+      resolve(hp, /*passive=*/false, "TcpTransport::connect");
+
+  Stopwatch watch;
+  detail::UniqueFd conn;
+  detail::Backoff backoff;
+  while (conn.fd < 0) {
+    const double remaining = config.connect_timeout_s - watch.seconds();
+    FEDCAV_CHECK(remaining > 0.0,
+                 "TcpTransport::connect: timed out reaching " + address);
+    bool any_retryable = false;
+    for (const addrinfo* ai = addrs.head; ai != nullptr; ai = ai->ai_next) {
+      bool retryable = false;
+      conn = try_connect_once(*ai, remaining, &retryable);
+      if (conn.fd >= 0) break;
+      any_retryable = any_retryable || retryable;
+    }
+    if (conn.fd >= 0) break;
+    // The daemon may simply not be listening yet — a join-order race,
+    // same as the Unix backend's ENOENT/ECONNREFUSED window. Anything
+    // non-retryable on every resolved address is a hard failure.
+    FEDCAV_CHECK(any_retryable,
+                 "TcpTransport::connect: connect(" + address + ") failed");
+    backoff.wait();
+  }
+  set_nodelay(conn.fd);
+
+  JoinResult join = join_handshake(
+      std::move(conn), requested_rank, config,
+      config.connect_timeout_s - watch.seconds(), "TcpTransport::connect");
+  auto transport = std::unique_ptr<TcpTransport>(new TcpTransport(
+      config, static_cast<std::size_t>(join.accept.num_endpoints),
+      static_cast<std::size_t>(join.accept.rank), join.accept.proto));
+  transport->adopt_peer(0, join.fd.release());
+  return transport;
+}
+
+}  // namespace fedcav::comm

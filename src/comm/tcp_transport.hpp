@@ -1,0 +1,71 @@
+// TCP backend of the stream transport (DESIGN.md §16): the same
+// framing, HELLO/ACCEPT handshake (version negotiation + constant-time
+// auth), metering, and failure model as the Unix-socket backend, over
+// an address instead of a path — the piece that turns the daemon/worker
+// tools from a same-host demo into a cross-machine runner.
+//
+// Addresses are "host:port" with IPv6 hosts in brackets ("[::1]:9000").
+// The daemon may bind port 0 and read the kernel-chosen port back via
+// local_port() (how the tests avoid picking a fixed port). Sockets get
+// SO_REUSEADDR (daemon listener — quick restarts must not trip
+// TIME_WAIT) and TCP_NODELAY on every channel (the round protocol
+// exchanges many latency-sensitive small control frames; Nagle would
+// serialize them behind ACK round trips). The worker connects
+// nonblocking (O_NONBLOCK + EINPROGRESS + poll(POLLOUT) + SO_ERROR) so
+// a black-holed daemon cannot wedge it past connect_timeout_s, retrying
+// refused/unreachable attempts with capped exponential backoff.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/comm/stream_transport.hpp"
+
+namespace fedcav::comm {
+
+/// Split "host:port" / "[v6-host]:port". Throws fedcav::Error on a
+/// missing port, empty host, or unbalanced brackets. Exposed for the
+/// unit tests; getaddrinfo does the actual resolution.
+struct HostPort {
+  std::string host;
+  std::string port;
+};
+HostPort parse_host_port(const std::string& address);
+
+class TcpTransport final : public StreamTransport {
+ public:
+  /// Daemon side: bind + listen on `address` (port 0 = kernel-chosen,
+  /// see local_port()), then accept + handshake until `num_workers`
+  /// workers joined. Same reject/abort semantics as
+  /// SocketTransport::serve.
+  static std::unique_ptr<TcpTransport> serve(const std::string& address,
+                                             std::size_t num_workers,
+                                             StreamTransportConfig config);
+
+  /// Worker side: resolve + connect to `address` (nonblocking connect
+  /// with capped exponential backoff under the connect_timeout_s
+  /// deadline while the daemon is not listening yet), request
+  /// `requested_rank` (or kAnyRank), and complete the handshake.
+  /// Throws fedcav::Error on timeout or a rejecting ACCEPT.
+  static std::unique_ptr<TcpTransport> connect(const std::string& address,
+                                               std::uint64_t requested_rank,
+                                               StreamTransportConfig config);
+
+  /// Daemon only: the port actually bound (resolves a port-0 request).
+  std::uint16_t local_port() const { return local_port_; }
+
+ protected:
+  /// Every channel runs latency-sensitive small control frames; Nagle
+  /// would hold them hostage to ACK round trips.
+  void configure_channel_fd(int fd) override;
+
+ private:
+  TcpTransport(StreamTransportConfig config, std::size_t num_endpoints,
+               std::size_t local_rank, std::uint32_t proto)
+      : StreamTransport(std::move(config), num_endpoints, local_rank, proto) {}
+
+  std::uint16_t local_port_ = 0;
+};
+
+}  // namespace fedcav::comm

@@ -54,6 +54,17 @@ class Client {
   /// fresh-class samples between phases).
   void set_local_data(data::Dataset new_data);
 
+  /// RngMode::kDerived — reseed the batch-shuffle stream for one
+  /// participation: Rng(derive_seed(root_seed, round, id, kClientTrain)).
+  /// Both the in-process server and a remote worker call this right
+  /// before train_update, so the shuffles a client performs in round r
+  /// are a pure function of (seed, r, id) — identical no matter which
+  /// process hosts the client or which earlier rounds it sat out.
+  void reseed_for_round(std::uint64_t root_seed, std::size_t round) {
+    rng_ = Rng(derive_seed(root_seed, static_cast<std::uint64_t>(round),
+                           static_cast<std::uint64_t>(id_), RngStream::kClientTrain));
+  }
+
   /// True once a curv_lambda run has stored a previous-optimum anchor.
   bool has_curvature_state() const { return !curv_anchor_.empty(); }
 

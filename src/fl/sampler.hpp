@@ -38,6 +38,14 @@ class ParticipantSampler {
   /// relies on the deterministic order for reproducible reductions).
   std::vector<std::size_t> sample();
 
+  /// Replace the sampler's RNG stream. In RngMode::kDerived the server
+  /// calls this before every sample() with
+  /// derive_seed(seed, round, 0, kSampler), making the cohort a pure
+  /// function of (seed, round) — resume- and schedule-independent. The
+  /// rotation cursor and loss memory stay stateful either way (they are
+  /// checkpointed, not derived).
+  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
+
   /// Feed back the inference losses observed for `participants` this
   /// round (used by kLossBiased; ignored otherwise).
   void observe_losses(const std::vector<std::size_t>& participants,

@@ -34,13 +34,19 @@ constexpr std::uint64_t kCheckpointMagicV4 = 0xfedca5c4ec901aULL;
 // quantized run resumed mid-stream sends the exact deltas the
 // uninterrupted run would have.
 constexpr std::uint64_t kCheckpointMagicV5 = 0xfedca5c4ec901bULL;
+// v6 appends the RngMode the run was recorded under (DESIGN.md §16):
+// a derived-seed run resumed from a v6 file keeps deriving, and a
+// pre-v6 file — written when only the legacy streams existed — always
+// loads in kLegacyStream regardless of the configured mode.
+constexpr std::uint64_t kCheckpointMagicV6 = 0xfedca5c4ec901cULL;
 
 std::uint64_t checkpoint_magic(int version) {
   switch (version) {
     case 2: return kCheckpointMagicV2;
     case 3: return kCheckpointMagicV3;
     case 4: return kCheckpointMagicV4;
-    default: return kCheckpointMagicV5;
+    case 5: return kCheckpointMagicV5;
+    default: return kCheckpointMagicV6;
   }
 }
 
@@ -343,6 +349,12 @@ std::optional<ClientUpdate> Server::run_participant_train(std::size_t client_ind
   obs::Span span("participant", "client");
   span.arg("client", static_cast<double>(client_index));
   Client& client = *clients_[client_index];
+  // Derived mode: the batch-shuffle stream for this participation is
+  // Rng(derive_seed(seed, round, id, kClientTrain)) — the same stream a
+  // remote worker hosting this client derives for itself (§16).
+  if (config_.rng_mode == RngMode::kDerived) {
+    client.reseed_for_round(config_.seed, round_);
+  }
   ClientUpdate update;
   {
     nn::ReplicaPool::Lease replica = replica_pool_->acquire();
@@ -610,7 +622,7 @@ void Server::set_lr_schedule(std::unique_ptr<nn::LrSchedule> schedule) {
 }
 
 void Server::save_checkpoint(const std::string& path, int version) const {
-  FEDCAV_REQUIRE(version >= 2 && version <= 5,
+  FEDCAV_REQUIRE(version >= 2 && version <= 6,
                  "save_checkpoint: unsupported version requested");
   ByteBuffer buf;
   write_u64(buf, checkpoint_magic(version));
@@ -636,6 +648,7 @@ void Server::save_checkpoint(const std::string& path, int version) const {
     write_u8(buf, network_ != nullptr ? 1 : 0);
     if (network_ != nullptr) network_->save_state(buf, /*with_stats=*/version >= 4);
   }
+  if (version >= 6) write_u8(buf, static_cast<std::uint8_t>(config_.rng_mode));
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   FEDCAV_REQUIRE(out.good(), "save_checkpoint: cannot open " + path);
@@ -667,7 +680,8 @@ void Server::load_checkpoint(const std::string& path) {
   }
 
   FEDCAV_REQUIRE(magic == kCheckpointMagicV2 || magic == kCheckpointMagicV3 ||
-                     magic == kCheckpointMagicV4 || magic == kCheckpointMagicV5,
+                     magic == kCheckpointMagicV4 || magic == kCheckpointMagicV5 ||
+                     magic == kCheckpointMagicV6,
                  "load_checkpoint: bad magic in " + path);
   const std::uint64_t saved_round = reader.read_u64();
   std::vector<float> weights = reader.read_f32_vector();
@@ -685,7 +699,8 @@ void Server::load_checkpoint(const std::string& path) {
                  "load_checkpoint: client count mismatch in " + path);
   for (auto& client : clients_) {
     client->load_state(reader, global_weights_.size(),
-                       /*with_quant_residual=*/magic == kCheckpointMagicV5);
+                       /*with_quant_residual=*/magic == kCheckpointMagicV5 ||
+                           magic == kCheckpointMagicV6);
   }
   if (magic != kCheckpointMagicV2) {
     const bool has_network = reader.read_u8() != 0;
@@ -694,6 +709,17 @@ void Server::load_checkpoint(const std::string& path) {
     if (has_network) {
       network_->load_state(reader, /*with_stats=*/magic != kCheckpointMagicV3);
     }
+  }
+  // RngMode travels with the run (v6): pre-v6 files were written when
+  // only the legacy streams existed, so they load in kLegacyStream no
+  // matter what the server was configured with — bit-compat first.
+  if (magic == kCheckpointMagicV6) {
+    const std::uint8_t mode = reader.read_u8();
+    FEDCAV_REQUIRE(mode <= static_cast<std::uint8_t>(RngMode::kDerived),
+                   "load_checkpoint: bad rng_mode in " + path);
+    config_.rng_mode = static_cast<RngMode>(mode);
+  } else {
+    config_.rng_mode = RngMode::kLegacyStream;
   }
   // v2 files load with the fabric left in its freshly-seeded state; v3
   // files restore the queues but restart the traffic/fault accounting
@@ -738,6 +764,12 @@ metrics::RoundRecord Server::run_round() {
   std::vector<std::size_t> participants;
   {
     PhaseTimer phase("sample", round_, record.phases.sample);
+    if (config_.rng_mode == RngMode::kDerived) {
+      // Derived mode: the cohort is a pure function of (seed, round) —
+      // the sampler's stream no longer depends on how many rounds ran
+      // before or where (DESIGN.md §16).
+      sampler_.reseed(derive_seed(config_.seed, round_, 0, RngStream::kSampler));
+    }
     participants = sampler_.sample();
   }
   record.sampled = participants.size();
@@ -850,18 +882,35 @@ metrics::RoundRecord Server::run_round() {
     // keep-first guarantee before committing anything to the ledgers.
     std::vector<char> keep(metadata.size(), 1);
     std::size_t kept_count = 0;
-    for (std::size_t i = 0; i < metadata.size(); ++i) {
-      if (straggler_rng_.bernoulli(config_.straggler_drop_prob)) {
-        keep[i] = 0;
-      } else {
-        ++kept_count;
+    if (config_.rng_mode == RngMode::kDerived) {
+      // Derived mode: one pure coin per (round, client) — any process
+      // that knows the seed reaches the same verdict, so a remote worker
+      // decides its own fate locally (skips training + report) and the
+      // server's filter here agrees without coordination. No keep-first
+      // rescue: a worker deciding alone cannot know it was the last
+      // survivor, so a fully-straggled round skips via quorum instead.
+      for (std::size_t i = 0; i < metadata.size(); ++i) {
+        if (derived_bernoulli(config_.seed, round_, metadata[i].client_id,
+                              RngStream::kStraggler, config_.straggler_drop_prob)) {
+          keep[i] = 0;
+        } else {
+          ++kept_count;
+        }
       }
-    }
-    if (kept_count == 0 && config_.min_aggregate_clients <= 1) {
-      // Everyone dropped: keep the first report so the round is defined
-      // (legacy guarantee; a quorum > 1 skips the round instead).
-      keep.front() = 1;
-      kept_count = 1;
+    } else {
+      for (std::size_t i = 0; i < metadata.size(); ++i) {
+        if (straggler_rng_.bernoulli(config_.straggler_drop_prob)) {
+          keep[i] = 0;
+        } else {
+          ++kept_count;
+        }
+      }
+      if (kept_count == 0 && config_.min_aggregate_clients <= 1) {
+        // Everyone dropped: keep the first report so the round is defined
+        // (legacy guarantee; a quorum > 1 skips the round instead).
+        keep.front() = 1;
+        kept_count = 1;
+      }
     }
     std::vector<ClientUpdate> kept_meta;
     std::vector<std::size_t> kept_participants;

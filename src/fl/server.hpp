@@ -96,6 +96,19 @@ struct ServerConfig {
   /// auto (process default, normally 1; the FEDCAV_TEST_SHARDS hook
   /// overrides it for whole-suite replays).
   std::size_t shards = 0;
+  /// How per-client / sampler / straggler streams are produced
+  /// (DESIGN.md §16). kLegacyStream (default) keeps the historical
+  /// long-lived streams every pinned golden was recorded under.
+  /// kDerived reseeds each consumer per round from
+  /// derive_seed(seed, round, id, tag), making the run bit-identical
+  /// across in-process, multi-process, sharded, and resumed execution —
+  /// including sampled/straggler configurations. In kDerived the
+  /// straggler coin is a pure per-(round, client) draw that remote
+  /// workers evaluate locally, and the legacy keep-first straggler
+  /// rescue is disabled (a fully-straggled round skips via quorum
+  /// instead — a worker deciding alone cannot know it was the last
+  /// survivor).
+  RngMode rng_mode = RngMode::kLegacyStream;
 
   void validate(std::size_t num_clients) const;
 };
@@ -122,6 +135,9 @@ class Server {
   const metrics::TrainingHistory& history() const { return history_; }
   std::size_t current_round() const { return round_; }
   std::size_t num_clients() const { return clients_.size(); }
+  /// Effective config — load_checkpoint may rewrite rng_mode (a pre-v6
+  /// file forces legacy-stream mode).
+  const ServerConfig& config() const { return config_; }
 
   const nn::Weights& global_weights() const { return global_weights_; }
   void set_global_weights(nn::Weights weights);
@@ -153,26 +169,29 @@ class Server {
   const nn::ReplicaPool* replica_pool() const { return replica_pool_.get(); }
   nn::ReplicaPool* replica_pool() { return replica_pool_.get(); }
 
-  /// Serialize the full resumable server state to `path` (binary, v5
+  /// Serialize the full resumable server state to `path` (binary, v6
   /// format by default): round counter, global + cached (reverse-target)
   /// weights, detector reference, sampler state (RNG stream, round-robin
   /// cursor, per-client loss memory), straggler RNG, per-client state
   /// (batch RNG + FedCurv anchors), the comm fabric's fault-RNG streams
   /// and in-flight messages (v3), the fabric's traffic/fault accounting
-  /// (v4), and — new in v5 — each client's quantization error-feedback
-  /// residual, so a quantized run resumed mid-stream reproduces the
-  /// exact deltas the uninterrupted run would have sent. A run resumed
-  /// from the file is bit-identical to one that never stopped. `version`
-  /// may be 2–4 to emit the legacy formats (compat testing).
-  void save_checkpoint(const std::string& path, int version = 5) const;
-  /// Restore state from save_checkpoint output. v3 files load with the
-  /// fabric's accounting restarted from zero (their layout never carried
-  /// it); v2 files load with the fabric reset to its freshly-seeded
-  /// state; v1 files (weights + round only) also load, with the cached
-  /// weights falling back to the global weights and the detector
-  /// reference reset. Throws fedcav::Error on malformed files or
-  /// size/client-count mismatch; the server state is unspecified after a
-  /// throw partway through a payload.
+  /// (v4), each client's quantization error-feedback residual (v5), and
+  /// — new in v6 — the RngMode the run was recorded under, so a resumed
+  /// run derives (or replays) exactly the streams the uninterrupted run
+  /// would have. A run resumed from the file is bit-identical to one
+  /// that never stopped. `version` may be 2–5 to emit the legacy
+  /// formats (compat testing).
+  void save_checkpoint(const std::string& path, int version = 6) const;
+  /// Restore state from save_checkpoint output. Pre-v6 files load in
+  /// RngMode::kLegacyStream (the only mode that existed when they were
+  /// written — bit-compat trumps the configured mode); v3 files load
+  /// with the fabric's accounting restarted from zero (their layout
+  /// never carried it); v2 files load with the fabric reset to its
+  /// freshly-seeded state; v1 files (weights + round only) also load,
+  /// with the cached weights falling back to the global weights and the
+  /// detector reference reset. Throws fedcav::Error on malformed files
+  /// or size/client-count mismatch; the server state is unspecified
+  /// after a throw partway through a payload.
   void load_checkpoint(const std::string& path);
 
   /// Flush collected telemetry: a chrome://tracing JSON to `trace_path`

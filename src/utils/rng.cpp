@@ -21,6 +21,29 @@ inline std::uint64_t rotl(std::uint64_t x, int k) {
 }
 }  // namespace
 
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t round,
+                          std::uint64_t stream_id, RngStream tag) {
+  // Absorb each component through a full splitmix64 avalanche before
+  // mixing in the next, so e.g. (round=1, id=2) and (round=2, id=1)
+  // land in unrelated streams. The xor between steps keeps every input
+  // bit live in the running state.
+  std::uint64_t state = root;
+  std::uint64_t h = splitmix64(state);
+  state ^= round;
+  h ^= splitmix64(state);
+  state ^= stream_id;
+  h ^= splitmix64(state);
+  state ^= static_cast<std::uint64_t>(tag);
+  h ^= splitmix64(state);
+  return h;
+}
+
+bool derived_bernoulli(std::uint64_t root, std::uint64_t round,
+                       std::uint64_t stream_id, RngStream tag, double p) {
+  if (p <= 0.0) return false;
+  return Rng(derive_seed(root, round, stream_id, tag)).bernoulli(p);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = splitmix64(sm);

@@ -18,6 +18,49 @@ namespace fedcav {
 /// state and to derive independent child seeds.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// How per-consumer random streams are produced across federation rounds.
+///
+///  * kLegacyStream — one long-lived Rng per consumer (client batch
+///    shuffles, straggler draws, the sampler), advancing whenever that
+///    consumer happens to run. This is the historical behaviour and the
+///    mode all pinned goldens were recorded under, but the streams are a
+///    function of the *schedule*: a client that skips a round (sampling,
+///    dropout, straggler) resumes a different stream than a remote worker
+///    that trained unprompted on every downlink (DESIGN.md §16).
+///  * kDerived — stateless per-round derivation: every consumer reseeds
+///    from derive_seed(global_seed, round, stream_id, tag) at the moment
+///    it participates, so the stream it sees is a pure function of
+///    (seed, round, id) regardless of which process hosts it or which
+///    rounds it skipped. Remote, in-process, sharded, and resumed runs
+///    are bit-identical everywhere, including sampled/straggler configs.
+enum class RngMode : std::uint8_t {
+  kLegacyStream = 0,
+  kDerived = 1,
+};
+
+/// Stream-tag domain separators for derive_seed. Distinct tags make the
+/// derived streams of one (round, client) pair independent: the batch
+/// shuffle stream can never collide with the straggler coin.
+enum class RngStream : std::uint64_t {
+  kClientTrain = 1,
+  kStraggler = 2,
+  kSampler = 3,
+};
+
+/// Derive the seed of one consumer's stream for one round: a splitmix64
+/// mix chain over (root, round, stream_id, tag). Pure function — any
+/// process that knows the global seed can reproduce any stream without
+/// replaying history. Changing any single argument decorrelates the
+/// output completely (each absorption runs the full avalanche).
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t round,
+                          std::uint64_t stream_id, RngStream tag);
+
+/// One pure Bernoulli draw from the derived stream (root, round,
+/// stream_id, tag). The straggler filter uses this so the server and a
+/// remote worker reach the same drop decision independently.
+bool derived_bernoulli(std::uint64_t root, std::uint64_t round,
+                       std::uint64_t stream_id, RngStream tag, double p);
+
 /// Complete serializable snapshot of an Rng. Restoring a state resumes
 /// the exact output stream — the checkpoint/resume path depends on this
 /// for bit-identical continuation of sampling, straggler draws, and

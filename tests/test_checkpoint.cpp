@@ -236,7 +236,55 @@ TEST(CheckpointResume, RejectsUnsupportedSaveVersion) {
   set_log_level(LogLevel::kError);
   fl::Simulation sim = fl::build_simulation(small_config());
   EXPECT_THROW(sim.server->save_checkpoint(temp_path("never_written.bin"), 1), Error);
-  EXPECT_THROW(sim.server->save_checkpoint(temp_path("never_written.bin"), 6), Error);
+  EXPECT_THROW(sim.server->save_checkpoint(temp_path("never_written.bin"), 7), Error);
+}
+
+TEST(CheckpointResume, V6RoundTripsDerivedSeedMode) {
+  set_log_level(LogLevel::kError);
+  // The v6 payload carries the RNG mode: a derived-seed run restored
+  // into a fresh (legacy-default) server must come back in derived mode,
+  // or the resumed half would re-derive nothing and diverge.
+  fl::SimulationConfig config = small_config();
+  config.server.rng_mode = RngMode::kDerived;
+  config.server.straggler_drop_prob = 0.2;
+  fl::Simulation sim = fl::build_simulation(config);
+  sim.server->run(2);
+  const std::string path = temp_path("fedcav_v6_mode_ckpt.bin");
+  sim.server->save_checkpoint(path);  // default version = 6
+
+  fl::SimulationConfig legacy_config = small_config();
+  legacy_config.server.straggler_drop_prob = 0.2;
+  ASSERT_EQ(legacy_config.server.rng_mode, RngMode::kLegacyStream);
+  fl::Simulation resumed = fl::build_simulation(legacy_config);
+  resumed.server->load_checkpoint(path);
+  EXPECT_EQ(resumed.server->config().rng_mode, RngMode::kDerived);
+
+  // And the resumed run continues bit-identically to the unbroken one.
+  fl::Simulation continuous = fl::build_simulation(config);
+  continuous.server->run(4);
+  resumed.server->run(2);
+  EXPECT_EQ(resumed.server->global_weights(),
+            continuous.server->global_weights());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, PreV6FilesLoadInLegacyStreamMode) {
+  set_log_level(LogLevel::kError);
+  // A v5 file has no RNG-mode byte; loading one must force legacy-stream
+  // mode even into a server configured for derived seeds — the old file
+  // recorded advancing streams, not per-round derivation.
+  fl::SimulationConfig config = small_config();
+  fl::Simulation sim = fl::build_simulation(config);
+  sim.server->run(1);
+  const std::string path = temp_path("fedcav_v5_mode_ckpt.bin");
+  sim.server->save_checkpoint(path, /*version=*/5);
+
+  fl::SimulationConfig derived_config = small_config();
+  derived_config.server.rng_mode = RngMode::kDerived;
+  fl::Simulation resumed = fl::build_simulation(derived_config);
+  resumed.server->load_checkpoint(path);
+  EXPECT_EQ(resumed.server->config().rng_mode, RngMode::kLegacyStream);
+  std::remove(path.c_str());
 }
 
 TEST(CheckpointResume, LoadsLegacyV1Files) {

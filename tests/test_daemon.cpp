@@ -103,11 +103,23 @@ struct FederationRun {
   std::vector<int> exit_codes;  // [0] = daemon, [1..] = workers
 };
 
-/// Launch 1 daemon + `clients` workers over a socket in a fresh temp
-/// dir; `worker_extra[i]` appends per-worker flags (failure injection).
-FederationRun run_federation(
-    std::size_t clients, std::size_t rounds,
-    const std::vector<std::vector<std::string>>& worker_extra = {}) {
+struct FederationOptions {
+  /// Flags appended to the daemon AND every worker (config knobs like
+  /// --derived-seeds / --straggler must agree on both sides).
+  std::vector<std::string> common;
+  /// Per-worker extra flags (failure injection, token mismatch — a
+  /// repeated flag's last occurrence wins in CliParser).
+  std::vector<std::vector<std::string>> worker_extra;
+  /// Run over TCP loopback instead of a Unix socket. `tcp_slot` keeps
+  /// the TCP tests within this binary off each other's PID-derived port.
+  bool tcp = false;
+  int tcp_slot = 0;
+};
+
+/// Launch 1 daemon + `clients` workers over a socket (or TCP loopback)
+/// in a fresh temp dir.
+FederationRun run_federation(std::size_t clients, std::size_t rounds,
+                             const FederationOptions& opts = {}) {
   char tmpl[] = "/tmp/fedcavXXXXXX";
   const char* dir = ::mkdtemp(tmpl);
   EXPECT_NE(dir, nullptr);
@@ -115,21 +127,36 @@ FederationRun run_federation(
   run.dir = dir;
   run.csv = run.dir + "/history.csv";
   run.weights = run.dir + "/final.bin";
-  const std::string socket_path = run.dir + "/fed.sock";
   const std::string bin = FEDCAV_TOOL_BIN_DIR;
   const std::string clients_s = std::to_string(clients);
 
+  // Endpoint flags: a socket path inside the temp dir, or a PID-derived
+  // loopback port (parallel ctest binaries must not collide; 41000+ is
+  // clear of test_transport's 21000+ range).
+  std::vector<std::string> endpoint;
+  if (opts.tcp) {
+    const int port =
+        41000 + static_cast<int>(::getpid() % 19000) + opts.tcp_slot;
+    endpoint = {"--tcp", "127.0.0.1:" + std::to_string(port)};
+  } else {
+    endpoint = {"--socket", run.dir + "/fed.sock"};
+  }
+
   std::vector<pid_t> pids;
-  pids.push_back(spawn({bin + "/fedcav_daemon", "--socket", socket_path,
-                        "--clients", clients_s, "--rounds",
-                        std::to_string(rounds), "--csv", run.csv, "--weights",
-                        run.weights}));
+  std::vector<std::string> daemon_argv = {
+      bin + "/fedcav_daemon", endpoint[0], endpoint[1], "--clients", clients_s,
+      "--rounds", std::to_string(rounds), "--csv", run.csv,
+      "--weights", run.weights};
+  daemon_argv.insert(daemon_argv.end(), opts.common.begin(), opts.common.end());
+  pids.push_back(spawn(daemon_argv));
   for (std::size_t w = 0; w < clients; ++w) {
-    std::vector<std::string> argv = {bin + "/fedcav_worker", "--socket",
-                                     socket_path, "--clients", clients_s,
+    std::vector<std::string> argv = {bin + "/fedcav_worker", endpoint[0],
+                                     endpoint[1], "--clients", clients_s,
                                      "--rank", std::to_string(w + 1)};
-    if (w < worker_extra.size()) {
-      argv.insert(argv.end(), worker_extra[w].begin(), worker_extra[w].end());
+    argv.insert(argv.end(), opts.common.begin(), opts.common.end());
+    if (w < opts.worker_extra.size()) {
+      argv.insert(argv.end(), opts.worker_extra[w].begin(),
+                  opts.worker_extra[w].end());
     }
     pids.push_back(spawn(argv));
   }
@@ -137,16 +164,22 @@ FederationRun run_federation(
   return run;
 }
 
-/// The in-process equivalent of the tools' default federation flags:
-/// parse an empty command line through the same CliParser/flag set the
-/// daemon and workers use, so config drift between the two paths is
-/// structurally impossible.
-fl::SimulationConfig default_federation_config() {
+/// The in-process equivalent of the tools' federation flags: parse
+/// `flags` through the same CliParser/flag set the daemon and workers
+/// use, so config drift between the two paths is structurally
+/// impossible.
+fl::SimulationConfig federation_config_from(
+    const std::vector<std::string>& flags) {
   CliParser cli("test_daemon", "in-process reference run");
   tools::add_federation_flags(cli);
-  const char* argv[] = {"test_daemon"};
-  EXPECT_TRUE(cli.parse(1, argv));
+  std::vector<const char*> argv = {"test_daemon"};
+  for (const std::string& f : flags) argv.push_back(f.c_str());
+  EXPECT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
   return tools::federation_config(cli);
+}
+
+fl::SimulationConfig default_federation_config() {
+  return federation_config_from({});
 }
 
 TEST(Daemon, BitIdenticalToInProcessRun) {
@@ -204,8 +237,9 @@ TEST(Daemon, KilledWorkerBecomesDropoutNotHang) {
   // ever arrives, the daemon must observe the EOF and book a phase-①
   // dropout — within the watchdog deadline, i.e. without waiting out
   // the 30 s receive timeout per remaining round.
-  const FederationRun run = run_federation(
-      2, 3, {{"--exit-before-round", "2"}});
+  FederationOptions opts;
+  opts.worker_extra = {{"--exit-before-round", "2"}};
+  const FederationRun run = run_federation(2, 3, opts);
   EXPECT_EQ(run.exit_codes[0], 0) << "daemon";
 
   const auto rows = parse_csv(read_file(run.csv));
@@ -221,8 +255,9 @@ TEST(Daemon, KilledWorkerBecomesDropoutNotHang) {
 TEST(Daemon, KilledWorkerMidUplinkBecomesUploadFailure) {
   // Worker 1 uplinks round 2's metadata and then dies before the
   // report: phase ① succeeds, phase ② must book an upload failure.
-  const FederationRun run = run_federation(
-      2, 2, {{"--exit-after-metadata", "2"}});
+  FederationOptions opts;
+  opts.worker_extra = {{"--exit-after-metadata", "2"}};
+  const FederationRun run = run_federation(2, 2, opts);
   EXPECT_EQ(run.exit_codes[0], 0) << "daemon";
 
   const auto rows = parse_csv(read_file(run.csv));
@@ -232,6 +267,111 @@ TEST(Daemon, KilledWorkerMidUplinkBecomesUploadFailure) {
   EXPECT_EQ(rows[1][uploads], "0");
   EXPECT_EQ(rows[2][uploads], "1");
   EXPECT_EQ(rows[2][dropouts], "0");  // phase ① completed normally
+}
+
+TEST(Daemon, TcpFederationBitIdenticalToInProcessRun) {
+  // The PR 8 acceptance gate, re-run over authenticated TCP loopback:
+  // the backend swap must not move a single byte of CSV or weights.
+  constexpr std::size_t kClients = 2;
+  constexpr std::size_t kRounds = 2;
+  FederationOptions opts;
+  opts.tcp = true;
+  opts.tcp_slot = 0;
+  opts.common = {"--auth-token", "pr11-tcp"};
+  const FederationRun run = run_federation(kClients, kRounds, opts);
+  for (std::size_t i = 0; i < run.exit_codes.size(); ++i) {
+    EXPECT_EQ(run.exit_codes[i], 0) << (i == 0 ? "daemon" : "worker") << " #" << i;
+  }
+
+  fl::Simulation sim = fl::build_simulation(
+      federation_config_from({"--clients", std::to_string(kClients)}));
+  sim.server->run(kRounds);
+  std::ostringstream ref_csv;
+  sim.server->history().write_csv(ref_csv, /*include_timings=*/false);
+  const std::string ref_weights_path = run.dir + "/ref.bin";
+  tools::write_weights_file(ref_weights_path, sim.server->global_weights());
+
+  EXPECT_EQ(read_file(run.csv), ref_csv.str())
+      << "TCP round history diverged from the in-process run";
+  EXPECT_EQ(read_file(run.weights), read_file(ref_weights_path))
+      << "TCP final weights are not bit-identical";
+}
+
+TEST(Daemon, DerivedSeedsSampledStragglerParityAcrossProcessLayouts) {
+  // THE regression pin of PR 10's tentpole. Under the legacy stream
+  // semantics this exact config — client sampling plus straggler drops —
+  // diverged across process layouts, because remote workers trained on
+  // every downlink (advancing their RNG streams) while in-process
+  // straggler-dropped clients never trained. With --derived-seeds every
+  // consumer reseeds per round from (seed, round, id, stream), so the
+  // in-process run, the Unix-socket federation, and the TCP federation
+  // must produce byte-identical CSV history and final weights.
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kRounds = 3;
+  const std::vector<std::string> knobs = {"--derived-seeds", "--straggler",
+                                          "0.25", "--sample-ratio", "0.5"};
+
+  std::vector<std::string> ref_flags = knobs;
+  ref_flags.insert(ref_flags.end(), {"--clients", std::to_string(kClients)});
+  fl::Simulation sim = fl::build_simulation(federation_config_from(ref_flags));
+  ASSERT_EQ(sim.server->config().rng_mode, RngMode::kDerived);
+  sim.server->run(kRounds);
+  std::ostringstream ref_csv_stream;
+  sim.server->history().write_csv(ref_csv_stream, /*include_timings=*/false);
+  const std::string ref_csv = ref_csv_stream.str();
+  // The config must actually exercise the divergence: at least one
+  // straggler drop across the run, or the pin proves nothing.
+  std::size_t straggler_drops = 0;
+  for (const auto& record : sim.server->history().records()) {
+    straggler_drops += record.straggler_drops;
+  }
+  EXPECT_GT(straggler_drops, 0u)
+      << "straggler knob never fired; pick a different seed/prob";
+
+  FederationOptions unix_opts;
+  unix_opts.common = knobs;
+  const FederationRun unix_run = run_federation(kClients, kRounds, unix_opts);
+  for (std::size_t i = 0; i < unix_run.exit_codes.size(); ++i) {
+    EXPECT_EQ(unix_run.exit_codes[i], 0)
+        << (i == 0 ? "daemon" : "worker") << " #" << i << " (unix)";
+  }
+  EXPECT_EQ(read_file(unix_run.csv), ref_csv)
+      << "unix-socket derived-seed history diverged from in-process";
+
+  FederationOptions tcp_opts;
+  tcp_opts.common = knobs;
+  tcp_opts.common.insert(tcp_opts.common.end(), {"--auth-token", "pr11"});
+  tcp_opts.tcp = true;
+  tcp_opts.tcp_slot = 1;
+  const FederationRun tcp_run = run_federation(kClients, kRounds, tcp_opts);
+  for (std::size_t i = 0; i < tcp_run.exit_codes.size(); ++i) {
+    EXPECT_EQ(tcp_run.exit_codes[i], 0)
+        << (i == 0 ? "daemon" : "worker") << " #" << i << " (tcp)";
+  }
+  EXPECT_EQ(read_file(tcp_run.csv), ref_csv)
+      << "TCP derived-seed history diverged from in-process";
+
+  const std::string ref_weights_path = unix_run.dir + "/ref.bin";
+  tools::write_weights_file(ref_weights_path, sim.server->global_weights());
+  const std::string ref_weights = read_file(ref_weights_path);
+  EXPECT_EQ(read_file(unix_run.weights), ref_weights)
+      << "unix-socket derived-seed weights are not bit-identical";
+  EXPECT_EQ(read_file(tcp_run.weights), ref_weights)
+      << "TCP derived-seed weights are not bit-identical";
+}
+
+TEST(Daemon, WrongAuthTokenFailsFastAndLoud) {
+  // Satellite 2: the daemon runs with abort_on_reject — a worker
+  // bringing the wrong token must sink both processes promptly with
+  // nonzero exits, not leave the daemon waiting out its accept timeout.
+  FederationOptions opts;
+  opts.tcp = true;
+  opts.tcp_slot = 2;
+  opts.common = {"--auth-token", "the-right-token"};
+  opts.worker_extra = {{"--auth-token", "the-wrong-token"}};
+  const FederationRun run = run_federation(1, 1, opts);
+  EXPECT_NE(run.exit_codes[0], 0) << "daemon must abort on the rejected join";
+  EXPECT_NE(run.exit_codes[1], 0) << "worker must fail on the reject";
 }
 
 }  // namespace

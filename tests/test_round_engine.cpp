@@ -331,6 +331,50 @@ TEST(RoundEngineServer, FaultyRunBitIdenticalAcrossShardCounts) {
   }
 }
 
+TEST(RoundEngineServer, DerivedSeedsBitIdenticalAcrossShardCounts) {
+  // Derived-seed mode (DESIGN.md §16) with sampling + stragglers — the
+  // configs the per-round derivation exists for — must stay invisible
+  // to the shard count like every other config.
+  set_log_level(LogLevel::kError);
+  fl::SimulationConfig config = small_config("fedcav");
+  config.server.rng_mode = RngMode::kDerived;
+  config.server.sample_ratio = 0.5;
+  config.server.straggler_drop_prob = 0.25;
+
+  const ServerRun base = run_with_shards(config, 1, 3);
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+    const ServerRun got = run_with_shards(config, shards, 3);
+    expect_identical(base, got, "derived shards=" + std::to_string(shards));
+  }
+}
+
+TEST(RoundEngineServer, DerivedSeedsIgnoreClientStreamHistory) {
+  // The divergence bug in miniature: scramble every client's long-lived
+  // RNG stream before the run. In derived mode each participation
+  // reseeds from (seed, round, id, stream), so the scramble must be
+  // invisible; in legacy-stream mode the same scramble changes the run
+  // (which is why remote/in-process legacy runs diverged under
+  // sampling/stragglers).
+  set_log_level(LogLevel::kError);
+  fl::SimulationConfig config = small_config("fedcav");
+  config.server.rng_mode = RngMode::kDerived;
+  config.server.sample_ratio = 0.5;
+  config.server.straggler_drop_prob = 0.25;
+
+  const ServerRun clean = run_with_shards(config, 1, 3);
+  fl::Simulation dirty = fl::build_simulation(config);
+  for (std::size_t c = 0; c < dirty.server->num_clients(); ++c) {
+    dirty.server->client_at(c).reseed_for_round(0xbadc0ffeeULL + c, 777);
+  }
+  dirty.server->run(3);
+  std::ostringstream dirty_csv;
+  dirty.server->history().write_csv(dirty_csv, /*include_timings=*/false);
+  EXPECT_EQ(dirty_csv.str(), clean.csv)
+      << "derived-mode history depends on pre-run client RNG state";
+  EXPECT_TRUE(bits_equal(dirty.server->global_weights(), clean.weights))
+      << "derived-mode weights depend on pre-run client RNG state";
+}
+
 TEST(RoundEngineServer, AutoShardsFollowsProcessDefault) {
   // ServerConfig::shards == 0 defers to the process default — the knob
   // the FEDCAV_TEST_SHARDS Environment hook raises for suite replays.

@@ -1,10 +1,12 @@
-// Unit + property tests for the socket transport layer (DESIGN.md §14):
-// length-prefixed framing with the reject-before-allocate hostile-length
-// gate, the HELLO/ACCEPT handshake (version negotiation, rank
-// assignment, reject statuses), and the SocketTransport contract —
-// including the ascending-rank try_recv_any_wire order it shares with
-// InMemoryNetwork and the peer_closed() drain semantics the daemon's
-// dropout accounting rides on.
+// Unit + property tests for the stream transport layer (DESIGN.md
+// §14/§16): length-prefixed framing with the reject-before-allocate
+// hostile-length gate, the HELLO/ACCEPT handshake (version negotiation,
+// constant-time auth, rank assignment, reject statuses), and the
+// SocketTransport/TcpTransport contract — including the ascending-rank
+// try_recv_any_wire order it shares with InMemoryNetwork and the
+// peer_closed() drain semantics the daemon's dropout accounting rides
+// on. The version-skew tests drive both backends through the
+// proto_*_override knobs to simulate mixed builds.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -20,6 +22,7 @@
 #include "src/comm/frame.hpp"
 #include "src/comm/message.hpp"
 #include "src/comm/socket_transport.hpp"
+#include "src/comm/tcp_transport.hpp"
 #include "src/utils/error.hpp"
 #include "tests/property.hpp"
 
@@ -180,13 +183,29 @@ TEST(Handshake, HelloRoundTrip) {
   msg.proto_min = 1;
   msg.proto_max = 3;
   msg.requested_rank = 7;
+  msg.auth_token = encode_auth_token("s3cret");
   const ByteBuffer wire = msg.encode();
-  EXPECT_EQ(wire.size(), kHandshakeBytes);
+  EXPECT_EQ(wire.size(), kHelloBytes);
   const std::optional<HelloMsg> back = HelloMsg::decode(wire);
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(back->proto_min, 1u);
   EXPECT_EQ(back->proto_max, 3u);
   EXPECT_EQ(back->requested_rank, 7u);
+  EXPECT_TRUE(auth_tokens_equal(back->auth_token, encode_auth_token("s3cret")));
+  EXPECT_FALSE(auth_tokens_equal(back->auth_token, encode_auth_token("wrong")));
+}
+
+TEST(Handshake, AuthTokenEncodingIsBoundedAndPadded) {
+  // The empty token is all zeroes (the "no auth" default both sides
+  // share), exactly kAuthTokenBytes fits, one byte more throws — silent
+  // truncation would make two distinct secrets compare equal.
+  EXPECT_TRUE(auth_tokens_equal(encode_auth_token(""),
+                                std::array<std::uint8_t, kAuthTokenBytes>{}));
+  EXPECT_NO_THROW(encode_auth_token(std::string(kAuthTokenBytes, 'x')));
+  EXPECT_THROW(encode_auth_token(std::string(kAuthTokenBytes + 1, 'x')), Error);
+  // Padding is part of the comparison: a prefix is not a match.
+  EXPECT_FALSE(auth_tokens_equal(encode_auth_token("abc"),
+                                 encode_auth_token("abcd")));
 }
 
 TEST(Handshake, AcceptRoundTrip) {
@@ -207,7 +226,7 @@ TEST(Handshake, RejectsBadMagicAndShortBuffers) {
   ByteBuffer wire = HelloMsg{}.encode();
   wire[0] ^= 0x01;
   EXPECT_FALSE(HelloMsg::decode(wire).has_value());
-  EXPECT_FALSE(HelloMsg::decode(ByteBuffer(kHandshakeBytes - 1, 0)).has_value());
+  EXPECT_FALSE(HelloMsg::decode(ByteBuffer(kHelloBytes - 1, 0)).has_value());
   EXPECT_FALSE(AcceptMsg::decode(HelloMsg{}.encode()).has_value());  // wrong magic
 }
 
@@ -282,7 +301,7 @@ AcceptMsg raw_handshake(const std::string& path, const ByteBuffer& hello) {
     usleep(10000);
   }
   EXPECT_EQ(write_all(fd, hello.data(), hello.size()), IoStatus::kOk);
-  ByteBuffer reply(kHandshakeBytes);
+  ByteBuffer reply(kAcceptBytes);
   EXPECT_EQ(read_exact(fd, reply.data(), reply.size(), 10.0), IoStatus::kOk);
   ::close(fd);
   const std::optional<AcceptMsg> accept = AcceptMsg::decode(reply);
@@ -313,7 +332,7 @@ TEST(SocketTransport, RejectsGarbageHelloAsMalformed) {
   AcceptMsg rejected;
   std::unique_ptr<SocketTransport> ok;
   std::thread workers([&] {
-    rejected = raw_handshake(path, ByteBuffer(kHandshakeBytes, 0x42));
+    rejected = raw_handshake(path, ByteBuffer(kHelloBytes, 0x42));
     ok = SocketTransport::connect(path, kAnyRank, {});
   });
   auto daemon = SocketTransport::serve(path, 1, {});
@@ -428,6 +447,224 @@ TEST(SocketTransport, OversizedFrameDisconnectsPeer) {
   worker->send(1, 0, big);
   while (!daemon->peer_closed(1)) daemon->poll(0.05);
   EXPECT_FALSE(daemon->try_recv_wire(0, 1).has_value());
+}
+
+// ------------------------------------------------------ authentication
+
+TEST(SocketTransport, AcceptsMatchingAuthToken) {
+  const std::string path = temp_socket_path("fed.sock");
+  SocketTransportConfig auth;
+  auth.auth_token = "round11-secret";
+  std::unique_ptr<SocketTransport> worker;
+  std::thread thread(
+      [&] { worker = SocketTransport::connect(path, kAnyRank, auth); });
+  auto daemon = SocketTransport::serve(path, 1, auth);
+  thread.join();
+  EXPECT_EQ(worker->local_rank(), 1u);
+}
+
+TEST(SocketTransport, RejectsWrongAuthTokenWithoutConsumingRank) {
+  const std::string path = temp_socket_path("fed.sock");
+  SocketTransportConfig good;
+  good.auth_token = "right-token";
+  std::unique_ptr<SocketTransport> ok;
+  std::thread workers([&] {
+    SocketTransportConfig bad = good;
+    bad.auth_token = "wrong-token";
+    try {
+      SocketTransport::connect(path, kAnyRank, bad);
+      ADD_FAILURE() << "wrong token must be rejected";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("auth rejected"), std::string::npos);
+    }
+    ok = SocketTransport::connect(path, kAnyRank, good);
+  });
+  auto daemon = SocketTransport::serve(path, 1, good);
+  workers.join();
+  // The rejected join consumed no rank: the honest worker still gets 1.
+  EXPECT_EQ(ok->local_rank(), 1u);
+}
+
+// ------------------------------------------------------- version skew
+
+TEST(SocketTransport, MixedBuildsNegotiateMinOfProtocolMaxes) {
+  // A daemon speaking [1, 5] and a worker speaking [2, 7] must settle on
+  // 5 — the newest protocol both builds implement.
+  const std::string path = temp_socket_path("fed.sock");
+  SocketTransportConfig daemon_cfg;
+  daemon_cfg.proto_min_override = 1;
+  daemon_cfg.proto_max_override = 5;
+  SocketTransportConfig worker_cfg;
+  worker_cfg.proto_min_override = 2;
+  worker_cfg.proto_max_override = 7;
+  std::unique_ptr<SocketTransport> worker;
+  std::thread thread(
+      [&] { worker = SocketTransport::connect(path, kAnyRank, worker_cfg); });
+  auto daemon = SocketTransport::serve(path, 1, daemon_cfg);
+  thread.join();
+  EXPECT_EQ(worker->protocol_version(), 5u);
+}
+
+TEST(SocketTransport, DisjointVersionRangesRejectWithoutLeakingRank) {
+  const std::string path = temp_socket_path("fed.sock");
+  std::unique_ptr<SocketTransport> ok;
+  std::thread workers([&] {
+    SocketTransportConfig future;  // disjoint from the build's [1, 1]
+    future.proto_min_override = kProtocolVersion + 7;
+    future.proto_max_override = kProtocolVersion + 9;
+    try {
+      SocketTransport::connect(path, kAnyRank, future);
+      ADD_FAILURE() << "disjoint version ranges must be rejected";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("version mismatch"),
+                std::string::npos);
+    }
+    ok = SocketTransport::connect(path, kAnyRank, {});
+  });
+  auto daemon = SocketTransport::serve(path, 1, {});
+  workers.join();
+  EXPECT_EQ(ok->local_rank(), 1u);
+}
+
+// -------------------------------------------------------- TcpTransport
+
+TEST(ParseHostPort, SplitsIpv4BracketedIpv6AndHostnames) {
+  EXPECT_EQ(parse_host_port("127.0.0.1:9000").host, "127.0.0.1");
+  EXPECT_EQ(parse_host_port("127.0.0.1:9000").port, "9000");
+  EXPECT_EQ(parse_host_port("[::1]:9000").host, "::1");
+  EXPECT_EQ(parse_host_port("[::1]:9000").port, "9000");
+  EXPECT_EQ(parse_host_port("localhost:0").host, "localhost");
+  EXPECT_EQ(parse_host_port("localhost:0").port, "0");
+}
+
+TEST(ParseHostPort, RejectsMalformedAddresses) {
+  EXPECT_THROW(parse_host_port(""), Error);
+  EXPECT_THROW(parse_host_port("noport"), Error);
+  EXPECT_THROW(parse_host_port("host:"), Error);
+  EXPECT_THROW(parse_host_port(":9000"), Error);
+  EXPECT_THROW(parse_host_port("::1:9000"), Error);   // bare IPv6
+  EXPECT_THROW(parse_host_port("[::1]9000"), Error);  // ']' without ':'
+  EXPECT_THROW(parse_host_port("[::1:9000"), Error);  // unbalanced '['
+  EXPECT_THROW(parse_host_port("host:12ab"), Error);  // non-numeric port
+}
+
+/// Loopback address with a PID-derived port: parallel test binaries must
+/// not collide, and SO_REUSEADDR covers TIME_WAIT between tests. The
+/// `slot` offset keeps tests within one binary off each other's port.
+std::string test_tcp_address(int slot) {
+  const int port = 21000 + static_cast<int>(::getpid() % 19000) + slot;
+  return "127.0.0.1:" + std::to_string(port);
+}
+
+TEST(TcpTransport, EnvelopeRoundTripWithAuthAndMetering) {
+  const std::string address = test_tcp_address(0);
+  StreamTransportConfig cfg;
+  cfg.auth_token = "tcp-secret";
+  std::unique_ptr<TcpTransport> worker;
+  std::thread thread(
+      [&] { worker = TcpTransport::connect(address, kAnyRank, cfg); });
+  auto daemon = TcpTransport::serve(address, 1, cfg);
+  thread.join();
+  EXPECT_EQ(std::to_string(daemon->local_port()),
+            parse_host_port(address).port);
+  EXPECT_EQ(worker->local_rank(), 1u);
+  EXPECT_EQ(worker->protocol_version(), kProtocolVersion);
+
+  daemon->send(0, 1, control_envelope(5));
+  std::optional<ByteBuffer> wire;
+  while (!(wire = worker->try_recv_wire(1, 0)).has_value()) worker->poll(0.05);
+  const Envelope down_env = Envelope::decode(*wire);
+  ByteReader down(down_env.payload);
+  EXPECT_EQ(ControlMsg::decode(down).round, 5u);
+
+  worker->send(1, 0, control_envelope(6));
+  std::size_t src = 99;
+  while (!(wire = daemon->try_recv_any_wire(0, &src)).has_value()) {
+    daemon->poll(0.05);
+  }
+  EXPECT_EQ(src, 1u);
+  const Envelope up_env = Envelope::decode(*wire);
+  ByteReader up(up_env.payload);
+  EXPECT_EQ(ControlMsg::decode(up).round, 6u);
+
+  // Same metering rule as the Unix backend and InMemoryNetwork: the
+  // Envelope image only, never the 4-byte length prefix.
+  EXPECT_EQ(daemon->stats(0).bytes_sent, control_envelope(5).wire_size());
+  EXPECT_EQ(daemon->stats(1).bytes_sent, control_envelope(6).wire_size());
+}
+
+TEST(TcpTransport, RejectsWrongAuthTokenWithoutConsumingRank) {
+  const std::string address = test_tcp_address(1);
+  StreamTransportConfig good;
+  good.auth_token = "tcp-right";
+  std::unique_ptr<TcpTransport> ok;
+  std::thread workers([&] {
+    StreamTransportConfig bad = good;
+    bad.auth_token = "tcp-wrong";
+    try {
+      TcpTransport::connect(address, kAnyRank, bad);
+      ADD_FAILURE() << "wrong token must be rejected";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("auth rejected"), std::string::npos);
+    }
+    ok = TcpTransport::connect(address, kAnyRank, good);
+  });
+  auto daemon = TcpTransport::serve(address, 1, good);
+  workers.join();
+  EXPECT_EQ(ok->local_rank(), 1u);
+}
+
+TEST(TcpTransport, VersionSkewMatchesSocketBackendSemantics) {
+  // Same mixed-build negotiation as the Unix backend: overlapping
+  // ranges settle on min(maxes), disjoint ranges reject cleanly and the
+  // next compatible worker still gets rank 1.
+  const std::string address = test_tcp_address(2);
+  StreamTransportConfig daemon_cfg;
+  daemon_cfg.proto_min_override = 1;
+  daemon_cfg.proto_max_override = 5;
+  std::unique_ptr<TcpTransport> skewed, ok;
+  std::thread workers([&] {
+    StreamTransportConfig disjoint;
+    disjoint.proto_min_override = 6;
+    disjoint.proto_max_override = 9;
+    try {
+      TcpTransport::connect(address, kAnyRank, disjoint);
+      ADD_FAILURE() << "disjoint version ranges must be rejected";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("version mismatch"),
+                std::string::npos);
+    }
+    StreamTransportConfig overlap;
+    overlap.proto_min_override = 2;
+    overlap.proto_max_override = 7;
+    ok = TcpTransport::connect(address, kAnyRank, overlap);
+  });
+  auto daemon = TcpTransport::serve(address, 1, daemon_cfg);
+  workers.join();
+  EXPECT_EQ(ok->local_rank(), 1u);
+  EXPECT_EQ(ok->protocol_version(), 5u);
+}
+
+TEST(TcpTransport, ServeAbortsOnRejectWhenConfigured) {
+  // The daemon tool's fail-fast path (satellite 2): with
+  // abort_on_reject a bad join kills the serve with the reason in the
+  // error instead of waiting out the accept timeout.
+  const std::string address = test_tcp_address(3);
+  StreamTransportConfig daemon_cfg;
+  daemon_cfg.auth_token = "gate";
+  daemon_cfg.abort_on_reject = true;
+  std::thread worker([&] {
+    StreamTransportConfig bad;
+    bad.auth_token = "not-the-gate";
+    EXPECT_THROW(TcpTransport::connect(address, kAnyRank, bad), Error);
+  });
+  try {
+    TcpTransport::serve(address, 1, daemon_cfg);
+    ADD_FAILURE() << "serve must abort on the rejected join";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("auth rejected"), std::string::npos);
+  }
+  worker.join();
 }
 
 }  // namespace

@@ -85,6 +85,50 @@ TEST(Rng, SignedUniformIntInclusiveBounds) {
   EXPECT_EQ(*seen.rbegin(), 2);
 }
 
+TEST(DeriveSeed, DeterministicAndComponentSensitive) {
+  // The whole point of derived seeds (DESIGN.md §16) is that the value
+  // is a pure function of its four components — same inputs, same seed,
+  // in any process — and that every component matters.
+  const std::uint64_t base =
+      derive_seed(2021, 3, 5, RngStream::kClientTrain);
+  EXPECT_EQ(base, derive_seed(2021, 3, 5, RngStream::kClientTrain));
+  EXPECT_NE(base, derive_seed(2022, 3, 5, RngStream::kClientTrain));
+  EXPECT_NE(base, derive_seed(2021, 4, 5, RngStream::kClientTrain));
+  EXPECT_NE(base, derive_seed(2021, 3, 6, RngStream::kClientTrain));
+  EXPECT_NE(base, derive_seed(2021, 3, 5, RngStream::kStraggler));
+  EXPECT_NE(base, derive_seed(2021, 3, 5, RngStream::kSampler));
+}
+
+TEST(DeriveSeed, NearbyInputsProduceWellMixedSeeds) {
+  // Consecutive (round, client) pairs must not land on correlated
+  // streams: sample a block of derived seeds and require them unique.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t round = 0; round < 32; ++round) {
+    for (std::uint64_t client = 0; client < 32; ++client) {
+      seen.insert(derive_seed(7, round, client, RngStream::kClientTrain));
+    }
+  }
+  EXPECT_EQ(seen.size(), 32u * 32u);
+}
+
+TEST(DerivedBernoulli, PureCoinMatchesProbabilityAndEdgeCases) {
+  // p <= 0 is always false (the "no stragglers" configs never touch the
+  // RNG), p >= 1 always true, and the coin is reproducible — the same
+  // verdict a remote worker computes for itself.
+  EXPECT_FALSE(derived_bernoulli(1, 2, 3, RngStream::kStraggler, 0.0));
+  EXPECT_FALSE(derived_bernoulli(1, 2, 3, RngStream::kStraggler, -1.0));
+  EXPECT_TRUE(derived_bernoulli(1, 2, 3, RngStream::kStraggler, 1.0));
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto id = static_cast<std::uint64_t>(i);
+    const bool coin = derived_bernoulli(17, 1, id, RngStream::kStraggler, 0.3);
+    EXPECT_EQ(coin, derived_bernoulli(17, 1, id, RngStream::kStraggler, 0.3));
+    hits += coin ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
 TEST(Rng, NormalMomentsLookGaussian) {
   Rng rng(13);
   const int n = 20000;

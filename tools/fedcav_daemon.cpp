@@ -1,18 +1,27 @@
-// Rank-0 daemon of a multi-process federation (DESIGN.md §14).
+// Rank-0 daemon of a multi-process federation (DESIGN.md §14/§16).
 //
-// Binds a Unix domain socket, waits for --clients workers to join via
-// the HELLO/ACCEPT handshake, then runs the standard FedCav round loop
-// with the SocketTransport installed: every downlink/uplink crosses a
-// real process boundary. Exiting closes all connections, which is the
-// workers' shutdown signal (EOF — there is no shutdown message type).
+// Binds a Unix domain socket (--socket PATH) or a TCP listener
+// (--tcp HOST:PORT), waits for --clients workers to join via the
+// HELLO/ACCEPT handshake (optionally gated by --auth-token), then runs
+// the standard FedCav round loop with the stream transport installed:
+// every downlink/uplink crosses a real process boundary. Exiting closes
+// all connections, which is the workers' shutdown signal (EOF — there
+// is no shutdown message type).
+//
+// Any handshake reject (version skew, bad token, rank collision) is
+// fatal: the rejected worker exits instead of retrying, so the
+// federation could never fill — the daemon logs the reason and exits
+// nonzero immediately rather than burying it under an accept timeout.
 //
 //   ./fedcav_daemon --socket /tmp/fed.sock --clients 4 --rounds 3
 //       [--csv history.csv] [--weights final.bin]
+//   ./fedcav_daemon --tcp 127.0.0.1:9000 --auth-token s3cret --clients 4
 #include <cstdio>
 #include <exception>
 #include <fstream>
 
 #include "src/comm/socket_transport.hpp"
+#include "src/comm/tcp_transport.hpp"
 #include "src/fl/simulation.hpp"
 #include "src/utils/cli.hpp"
 #include "src/utils/logging.hpp"
@@ -29,8 +38,10 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 0;
 
   const std::string socket_path = cli.get_string("socket");
-  if (socket_path.empty()) {
-    std::fprintf(stderr, "fedcav_daemon: --socket is required\n");
+  const std::string tcp_address = cli.get_string("tcp");
+  if (socket_path.empty() == tcp_address.empty()) {
+    std::fprintf(stderr,
+                 "fedcav_daemon: exactly one of --socket or --tcp is required\n");
     return 2;
   }
 
@@ -39,10 +50,20 @@ int main(int argc, char** argv) {
     const fl::SimulationConfig config = tools::federation_config(cli);
     fl::Simulation sim = fl::build_simulation(config);
 
-    comm::SocketTransportConfig tcfg;
+    comm::StreamTransportConfig tcfg;
     tcfg.accept_timeout_s = cli.get_double("accept-timeout");
-    auto transport = comm::SocketTransport::serve(
-        socket_path, config.partition.num_clients, tcfg);
+    tcfg.auth_token = cli.get_string("auth-token");
+    // A rejected worker exits, so the configured worker count can never
+    // be met: fail fast and loud instead of waiting out the timeout.
+    tcfg.abort_on_reject = true;
+    std::unique_ptr<comm::Transport> transport;
+    if (!tcp_address.empty()) {
+      transport = comm::TcpTransport::serve(
+          tcp_address, config.partition.num_clients, tcfg);
+    } else {
+      transport = comm::SocketTransport::serve(
+          socket_path, config.partition.num_clients, tcfg);
+    }
     sim.server->set_transport(transport.get(), /*remote=*/true);
 
     const std::size_t rounds = static_cast<std::size_t>(cli.get_int("rounds"));

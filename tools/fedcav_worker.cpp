@@ -1,11 +1,19 @@
-// Worker rank of a multi-process federation (DESIGN.md §14).
+// Worker rank of a multi-process federation (DESIGN.md §14/§16).
 //
 // Builds the same simulation as the daemon (identical seeds → identical
-// shards and model init), joins the daemon's socket, and then serves
-// round downlinks: compute the inference loss, uplink the metadata
-// scalars, train locally, uplink the full report. The worker keeps no
-// round schedule of its own — it reacts to whatever the daemon sends
-// and exits when the daemon closes the connection (EOF is shutdown).
+// shards and model init), joins the daemon's socket (--socket PATH) or
+// TCP address (--tcp HOST:PORT, optionally with --auth-token), and then
+// serves round downlinks: compute the inference loss, uplink the
+// metadata scalars, train locally, uplink the full report. The worker
+// keeps no round schedule of its own — it reacts to whatever the daemon
+// sends and exits when the daemon closes the connection (EOF is
+// shutdown).
+//
+// With --derived-seeds the worker also evaluates its own straggler coin
+// (a pure function of seed/round/client id — DESIGN.md §16): a
+// straggled round uplinks the metadata scalars but skips training and
+// the report, exactly like the in-process path, so sampled/straggler
+// configs stay bit-identical across process layouts.
 //
 //   ./fedcav_worker --socket /tmp/fed.sock --clients 4 [--rank 2]
 //
@@ -18,6 +26,7 @@
 #include <unistd.h>
 
 #include "src/comm/socket_transport.hpp"
+#include "src/comm/tcp_transport.hpp"
 #include "src/fl/simulation.hpp"
 #include "src/nn/zoo.hpp"
 #include "src/utils/cli.hpp"
@@ -38,8 +47,10 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 0;
 
   const std::string socket_path = cli.get_string("socket");
-  if (socket_path.empty()) {
-    std::fprintf(stderr, "fedcav_worker: --socket is required\n");
+  const std::string tcp_address = cli.get_string("tcp");
+  if (socket_path.empty() == tcp_address.empty()) {
+    std::fprintf(stderr,
+                 "fedcav_worker: exactly one of --socket or --tcp is required\n");
     return 2;
   }
 
@@ -48,12 +59,17 @@ int main(int argc, char** argv) {
     const fl::SimulationConfig config = tools::federation_config(cli);
     fl::Simulation sim = fl::build_simulation(config);
 
-    comm::SocketTransportConfig tcfg;
+    comm::StreamTransportConfig tcfg;
+    tcfg.auth_token = cli.get_string("auth-token");
     const long long rank_flag = cli.get_int("rank");
-    auto transport = comm::SocketTransport::connect(
-        socket_path,
-        rank_flag == 0 ? comm::kAnyRank : static_cast<std::uint64_t>(rank_flag),
-        tcfg);
+    const std::uint64_t want_rank =
+        rank_flag == 0 ? comm::kAnyRank : static_cast<std::uint64_t>(rank_flag);
+    std::unique_ptr<comm::StreamTransport> transport;
+    if (!tcp_address.empty()) {
+      transport = comm::TcpTransport::connect(tcp_address, want_rank, tcfg);
+    } else {
+      transport = comm::SocketTransport::connect(socket_path, want_rank, tcfg);
+    }
     const std::size_t rank = transport->local_rank();
     constexpr std::size_t kServerRank = 0;
 
@@ -152,6 +168,23 @@ int main(int argc, char** argv) {
 
       if (exit_after_meta != 0 && round == exit_after_meta) {
         ::_exit(0);  // vanish mid-uplink → phase-② upload failure
+      }
+
+      if (config.server.rng_mode == RngMode::kDerived) {
+        // The straggler coin is a pure function of (seed, round, client
+        // id), so the worker reaches the same verdict the daemon does
+        // without a control message: a straggled round ends after the
+        // metadata uplink — no training, no report — exactly like the
+        // in-process path. The report cache stays empty so a stray NACK
+        // cannot resurrect a report the daemon never expected.
+        if (derived_bernoulli(config.seed, round, client.id(),
+                              RngStream::kStraggler,
+                              config.server.straggler_drop_prob)) {
+          continue;
+        }
+        // Per-participation reseed: local training draws from the same
+        // derived stream regardless of this worker's downlink history.
+        client.reseed_for_round(config.seed, round);
       }
 
       fl::ClientUpdate update = client.train_update(*model, weights, local, f_i);

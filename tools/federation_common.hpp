@@ -20,7 +20,12 @@
 namespace fedcav::tools {
 
 inline void add_federation_flags(CliParser& cli) {
-  cli.add_string("socket", "", "Unix socket path of the federation (required)");
+  cli.add_string("socket", "", "Unix socket path of the federation");
+  cli.add_string("tcp", "",
+                 "host:port TCP address of the federation "
+                 "(alternative to --socket; IPv6 hosts in brackets)");
+  cli.add_string("auth-token", "",
+                 "shared join secret (at most 32 bytes; empty = open join)");
   cli.add_int("rounds", 3, "communication rounds");
   cli.add_int("clients", 4, "federated clients (= worker ranks 1..N)");
   cli.add_string("dataset", "digits", "digits | fashion | cifar");
@@ -38,6 +43,11 @@ inline void add_federation_flags(CliParser& cli) {
   cli.add_double("quant-keep", 1.0, "top-k fraction of the uplink delta (0, 1]");
   cli.add_double("recv-timeout", 30.0,
                  "daemon: seconds to wait on a silent live worker");
+  cli.add_double("straggler", 0.0,
+                 "per-round probability a sampled client straggles out");
+  cli.add_flag("derived-seeds",
+               "per-round derived RNG streams (DESIGN.md §16): required for "
+               "bit-identical sampled/straggler runs across process layouts");
 }
 
 inline fl::SimulationConfig federation_config(const CliParser& cli) {
@@ -60,6 +70,9 @@ inline fl::SimulationConfig federation_config(const CliParser& cli) {
   config.server.quant = comm::quant_mode_from_string(cli.get_string("quant"));
   config.server.quant_keep = cli.get_double("quant-keep");
   config.server.remote_recv_timeout_s = cli.get_double("recv-timeout");
+  config.server.straggler_drop_prob = cli.get_double("straggler");
+  config.server.rng_mode =
+      cli.get_flag("derived-seeds") ? RngMode::kDerived : RngMode::kLegacyStream;
   config.server.seed = config.seed;
   return config;
 }
